@@ -1,0 +1,29 @@
+//! Criterion benches of the platform-side substrate: the MNA transient
+//! engine on the selected flip-flop and the switch-level sizing sweep
+//! behind Figures 8-10.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use fpga_cells::detff::{measure_detff, DetffKind, Fig4Stimulus};
+use fpga_cells::routing::{paper_lengths, paper_widths, SizingExperiment, SwitchKind};
+use fpga_cells::tech::WireGeometry;
+
+fn bench_platform(c: &mut Criterion) {
+    let mut group = c.benchmark_group("platform");
+    group.sample_size(10);
+
+    let stim = Fig4Stimulus { clk_period: 2e-9, edge: 50e-12, cycles: 2 };
+    group.bench_function("mna_detff_llopis1_2cycles", |b| {
+        b.iter(|| measure_detff(DetffKind::Llopis1, &stim, 4e-12))
+    });
+
+    let exp = SizingExperiment::new(WireGeometry::MinWidthDoubleSpace, SwitchKind::PassTransistor);
+    group.bench_function("switch_sizing_full_grid", |b| {
+        b.iter(|| exp.sweep(&paper_lengths(), &paper_widths()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_platform);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Criterion benches of the mapping toolset: one benchmark per Fig. 11
+//! stage, run on a mid-size generated circuit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use fpga_arch::device::Device;
+use fpga_arch::Architecture;
+use fpga_place::PlaceOptions;
+use fpga_route::rrgraph::RrGraph;
+use fpga_route::RouteOptions;
+
+fn bench_tools(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flow_stages");
+    group.sample_size(10);
+
+    // Shared inputs.
+    let vhdl = fpga_circuits::vhdl_counter(8);
+    let rtl = fpga_circuits::random_logic(&fpga_circuits::RandomLogicParams {
+        n_gates: 250,
+        seed: 11,
+        ..Default::default()
+    });
+    let (mut mapped, _) =
+        fpga_synth::map_to_luts(&rtl, fpga_synth::MapOptions::default()).unwrap();
+    fpga_pack::prepare(&mut mapped).unwrap();
+    let arch = Architecture::paper_default();
+    let clustering = fpga_pack::pack(&mapped, &arch.clb).unwrap();
+    let device = Device::sized_for(
+        arch.clone(),
+        clustering.clusters.len(),
+        mapped.inputs.len() + mapped.outputs.len() + 1,
+    );
+    let placement = fpga_place::place(
+        &clustering,
+        device.clone(),
+        PlaceOptions { seed: 1, inner_num: 2.0 },
+    )
+    .unwrap();
+    let graph = RrGraph::build(&placement.device, 14);
+    let routed =
+        fpga_route::route(&clustering, &placement, &graph, &RouteOptions::default()).unwrap();
+
+    group.bench_function("synthesis_vhdl_counter8", |b| {
+        b.iter(|| fpga_synth::diviner::synthesize(&vhdl).unwrap())
+    });
+    group.bench_function("lut_mapping_250gates", |b| {
+        b.iter(|| fpga_synth::map_to_luts(&rtl, fpga_synth::MapOptions::default()).unwrap())
+    });
+    group.bench_function("tvpack_250gates", |b| {
+        b.iter(|| fpga_pack::pack(&mapped, &arch.clb).unwrap())
+    });
+    group.bench_function("vpr_place", |b| {
+        b.iter(|| {
+            fpga_place::place(
+                &clustering,
+                device.clone(),
+                PlaceOptions { seed: 1, inner_num: 1.0 },
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("vpr_route", |b| {
+        b.iter(|| {
+            fpga_route::route(&clustering, &placement, &graph, &RouteOptions::default())
+                .unwrap()
+        })
+    });
+    group.bench_function("dagger_bitstream", |b| {
+        b.iter(|| {
+            let bs =
+                fpga_bitstream::generate(&clustering, &placement, &routed, &graph).unwrap();
+            fpga_bitstream::frames::write(&bs)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tools);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Regenerate Figures 8-10: energy-delay-area product vs routing pass
+//! transistor width for wire lengths 1/2/4/8 under the three metal
+//! geometries. `--config min-min|min-double|double-double` selects one
+//! figure; default prints all three. `--csv` emits plot-ready data.
+
+use fpga_bench::Table;
+use fpga_cells::routing::{
+    optimum_width, paper_lengths, paper_widths, SizingExperiment, SwitchKind,
+};
+use fpga_cells::tech::WireGeometry;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let csv = args.iter().any(|a| a == "--csv");
+    let which = args
+        .iter()
+        .position(|a| a == "--config")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str());
+    let geoms: Vec<WireGeometry> = match which {
+        Some("min-min") => vec![WireGeometry::MinWidthMinSpace],
+        Some("min-double") => vec![WireGeometry::MinWidthDoubleSpace],
+        Some("double-double") => vec![WireGeometry::DoubleWidthDoubleSpace],
+        _ => WireGeometry::all().to_vec(),
+    };
+    for geom in geoms {
+        let exp = SizingExperiment::new(geom, SwitchKind::PassTransistor);
+        let pts = exp.sweep(&paper_lengths(), &paper_widths());
+        if csv {
+            println!("# {}", geom.label());
+            println!("wire_len,width_mult,energy_fj,delay_ps,area_units,eda");
+            for p in &pts {
+                println!(
+                    "{},{},{:.2},{:.2},{:.2},{:.4e}",
+                    p.wire_len, p.width_mult, p.energy_fj, p.delay_ps, p.area_units,
+                    p.eda()
+                );
+            }
+            continue;
+        }
+        println!("== {} ==", geom.label());
+        let t = Table::new(&[9, 12, 12, 12, 14]);
+        println!("{}", t.row(&["len".into(), "width(xmin)".into(), "E (fJ)".into(),
+            "D (ps)".into(), "E*D*A".into()]));
+        println!("{}", t.rule());
+        for len in paper_lengths() {
+            for p in pts.iter().filter(|p| p.wire_len == len) {
+                println!(
+                    "{}",
+                    t.row(&[
+                        len.to_string(),
+                        format!("{}", p.width_mult),
+                        format!("{:.1}", p.energy_fj),
+                        format!("{:.1}", p.delay_ps),
+                        format!("{:.3e}", p.eda()),
+                    ])
+                );
+            }
+            println!(
+                "  -> optimum for length {}: {}x minimum width",
+                len,
+                optimum_width(&pts, len)
+            );
+            println!("{}", t.rule());
+        }
+        println!();
+    }
+    println!("paper: ~10x optimal for lengths 1/2/4; large (64x) for length 8 at");
+    println!("minimum metal width, 16x with double-width metal; the platform");
+    println!("selects 10x pass transistors on length-1 segments.");
+}

@@ -1,0 +1,84 @@
+//! # fpga-bench
+//!
+//! The reproduction harness: every table and figure of the paper's
+//! evaluation has a binary here that regenerates it, and the Criterion
+//! benches measure the tools themselves. See `EXPERIMENTS.md` at the
+//! workspace root for the paper-vs-measured record.
+//!
+//! | Paper artifact | Binary |
+//! |---|---|
+//! | Table 1 (DETFF energy/delay/EDP) | `table1_detff` |
+//! | Table 2 (BLE clock gating) | `table2_ble_gating` |
+//! | Table 3 (CLB clock gating) | `table3_clb_gating` |
+//! | Fig. 4 (FF stimulus) | `table1_detff --waveform` |
+//! | Figs. 8–10 (switch sizing) | `fig8_10_switch_sizing` |
+//! | Fig. 11 (complete flow) | `flow_report` |
+//! | Eq. (1) (CLB inputs) | `eq1_clb_inputs` |
+//! | §3.1 cluster-size choice | `ablation_cluster_size` |
+//! | §3.1 LUT-size choice | `ablation_lut_size` |
+//! | §3.3.2 switch style choice | `ablation_switch_type` |
+
+use fpga_arch::{clb_inputs_eq1, ClbArch};
+use fpga_netlist::Netlist;
+use fpga_synth::{map_to_luts, MapOptions};
+
+/// Map a gate-level benchmark for a given LUT size (shared by ablations).
+pub fn map_benchmark(netlist: &Netlist, k: usize) -> (Netlist, fpga_synth::MapReport) {
+    map_to_luts(netlist, MapOptions { k, cut_limit: 10 })
+        .expect("benchmark circuits are mappable")
+}
+
+/// A cluster architecture for an (K, N) ablation point, inputs per Eq. 1.
+pub fn arch_for(k: usize, n: usize) -> ClbArch {
+    ClbArch {
+        lut_k: k,
+        cluster_size: n,
+        inputs: clb_inputs_eq1(k, n),
+        outputs: n,
+        clocks: 1,
+        full_crossbar: true,
+    }
+}
+
+/// Simple fixed-width table printer for the report binaries.
+pub struct Table {
+    widths: Vec<usize>,
+}
+
+impl Table {
+    pub fn new(widths: &[usize]) -> Self {
+        Table { widths: widths.to_vec() }
+    }
+
+    pub fn row(&self, cells: &[String]) -> String {
+        let mut out = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            let w = self.widths.get(i).copied().unwrap_or(12);
+            out.push_str(&format!("{cell:<w$}  "));
+        }
+        out.trim_end().to_string()
+    }
+
+    pub fn rule(&self) -> String {
+        let total: usize = self.widths.iter().map(|w| w + 2).sum();
+        "-".repeat(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers() {
+        let (mapped, report) = map_benchmark(&fpga_circuits::ripple_adder(4), 4);
+        assert!(report.luts > 0);
+        mapped.validate().unwrap();
+        let a = arch_for(4, 5);
+        assert_eq!(a.inputs, 12);
+        let t = Table::new(&[8, 6]);
+        let r = t.row(&["a".into(), "b".into()]);
+        assert!(r.starts_with("a"));
+        assert!(!t.rule().is_empty());
+    }
+}

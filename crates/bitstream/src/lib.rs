@@ -1,0 +1,73 @@
+//! # fpga-bitstream
+//!
+//! DAGGER: configuration bitstream generation for the platform, plus the
+//! fabric-level functional simulator that stands in for a physical device.
+//!
+//! * [`config`] — the decoded configuration model: per-CLB LUT truth
+//!   tables, 17:1 input-crossbar selections, BLE register/clock-enable
+//!   bits, IO pad modes, and the closed routing switches.
+//! * [`frames`] — the binary frame format: header, per-section payload,
+//!   CRC-32 integrity check, and readback (parse).
+//! * [`fabric`] — a functional simulator of the *configured* fabric: it
+//!   reconstructs electrical nets from the closed switches and emulates
+//!   the design cycle-by-cycle, which is how the flow verifies that a
+//!   bitstream really implements the input netlist.
+
+pub mod config;
+pub mod fabric;
+pub mod frames;
+
+pub use config::{generate, BleConfig, Bitstream, ClbConfig, IoConfig, IoMode, XbarSel};
+pub use fabric::Fabric;
+
+/// Errors from bitstream generation, serialization, or emulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BitstreamError {
+    Generate(String),
+    Format(String),
+    Crc { stored: u32, computed: u32 },
+    Fabric(String),
+}
+
+impl std::fmt::Display for BitstreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BitstreamError::Generate(m) => write!(f, "bitstream generation: {m}"),
+            BitstreamError::Format(m) => write!(f, "bitstream format: {m}"),
+            BitstreamError::Crc { stored, computed } => {
+                write!(f, "CRC mismatch: stored {stored:#010x}, computed {computed:#010x}")
+            }
+            BitstreamError::Fabric(m) => write!(f, "fabric emulation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for BitstreamError {}
+
+pub type Result<T> = std::result::Result<T, BitstreamError>;
+
+/// CRC-32 (IEEE 802.3, reflected) used by the frame format.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"a"), crc32(b"b"));
+    }
+}

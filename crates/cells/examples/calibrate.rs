@@ -1,0 +1,81 @@
+//! Calibration probe: prints the raw numbers behind Tables 1-3 and the
+//! Figure 8-10 sweeps so the technology constants can be tuned against the
+//! paper's reported shapes. Not part of the shipped experiment harness —
+//! see `fpga-bench` for the reproduction binaries.
+
+use fpga_cells::detff::{table1, Fig4Stimulus};
+use fpga_cells::routing::{
+    optimum_width, paper_lengths, paper_widths, SizingExperiment, SwitchKind,
+};
+use fpga_cells::tech::WireGeometry;
+use fpga_cells::clockgate;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let what = args.get(1).map(|s| s.as_str()).unwrap_or("all");
+
+    if what == "all" || what == "table1" {
+        println!("== Table 1 (DETFF) ==");
+        let stim = Fig4Stimulus { clk_period: 2e-9, edge: 50e-12, cycles: 4 };
+        for row in table1(&stim, 2e-12) {
+            println!(
+                "{:<14} E = {:7.2} fJ   D = {:7.1} ps   EDP = {:9.1}",
+                format!("{:?}", row.kind),
+                row.energy_fj,
+                row.delay_ps,
+                row.edp
+            );
+        }
+    }
+
+    if what == "all" || what == "table2" {
+        println!("== Table 2 (BLE clock gating) ==");
+        let t2 = clockgate::table2(4e-12, 3);
+        println!(
+            "single {:.2} fJ | gated EN=1 {:.2} fJ ({:+.1} %) | gated EN=0 {:.2} fJ ({:-.1} % saving)",
+            t2.single_fj,
+            t2.gated_en1_fj,
+            t2.overhead_en1_pct(),
+            t2.gated_en0_fj,
+            t2.saving_en0_pct()
+        );
+    }
+
+    if what == "all" || what == "table3" {
+        println!("== Table 3 (CLB clock gating) ==");
+        for row in clockgate::table3(4e-12, 3) {
+            println!(
+                "{:<14} single {:7.2} fJ   gated {:7.2} fJ   saving {:+6.1} %",
+                row.condition(),
+                row.single_fj,
+                row.gated_fj,
+                row.saving_pct()
+            );
+        }
+    }
+
+    if what == "all" || what == "routing" {
+        for geom in WireGeometry::all() {
+            println!("== {} ==", geom.label());
+            let exp = SizingExperiment::new(geom, SwitchKind::PassTransistor);
+            let pts = exp.sweep(&paper_lengths(), &paper_widths());
+            for len in paper_lengths() {
+                print!("len {len}: ");
+                for p in pts.iter().filter(|p| p.wire_len == len) {
+                    print!("{}:{:.2e} ", p.width_mult, p.eda());
+                }
+                println!("  -> opt {}", optimum_width(&pts, len));
+            }
+            for len in paper_lengths() {
+                let p10 = pts
+                    .iter()
+                    .find(|p| p.wire_len == len && p.width_mult == 10.0)
+                    .unwrap();
+                println!(
+                    "  len {len} @10x: E {:7.1} fJ  D {:8.1} ps  A {:7.1}",
+                    p10.energy_fj, p10.delay_ps, p10.area_units
+                );
+            }
+        }
+    }
+}

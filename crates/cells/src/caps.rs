@@ -1,0 +1,157 @@
+//! Capacitance summary of the platform, derived from the transistor-level
+//! cell designs. This is the bridge between the paper's two halves: the
+//! `fpga-power` estimator multiplies these capacitances by the switching
+//! activities the tool flow computes.
+
+use serde::{Deserialize, Serialize};
+
+use fpga_spice::circuit::Circuit;
+use fpga_spice::mosfet::MosModel;
+use fpga_spice::units::{L_MIN, W_MIN};
+
+use crate::detff::{build_detff, DetffKind};
+use crate::tech::{Tech, WireGeometry};
+
+/// Per-structure capacitances of the selected CLB architecture (F).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ClbCaps {
+    /// One LUT input pin, including its share of the fully connected
+    /// 17-to-1 input crossbar (12 CLB inputs + 5 feedback).
+    pub lut_input: f64,
+    /// The LUT internal mux tree switched per evaluation.
+    pub lut_internal: f64,
+    /// The clock pin of the selected (Llopis 1) DETFF.
+    pub ff_clock_pin: f64,
+    /// The D pin of the selected DETFF.
+    pub ff_data_pin: f64,
+    /// Internal FF nodes switched per captured transition.
+    pub ff_internal: f64,
+    /// A BLE output (mux + local feedback wiring).
+    pub ble_output: f64,
+    /// The CLB local clock network (wiring + gating).
+    pub clock_network: f64,
+    /// Routing: one minimum-pitch wire segment of logical length 1 (F).
+    pub wire_per_tile: f64,
+    /// Routing: junction load of one attached switch at the selected 10x
+    /// width.
+    pub switch_junction: f64,
+    /// An IO pad input/output load.
+    pub io_pad: f64,
+}
+
+impl ClbCaps {
+    /// Derive the summary from the transistor-level designs: the FF pins
+    /// come from the built Llopis-1 netlist, the LUT from the mux-tree
+    /// geometry, the routing entries from the technology card at the
+    /// selected (10x, length-1, min-width double-spacing) operating point.
+    pub fn from_designs(tech: &Tech) -> Self {
+        // FF pin caps from the actual transistor netlist.
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let pins = build_detff(&mut c, "ff", DetffKind::Llopis1, vdd);
+        let node_caps = c.node_capacitance();
+        let ff_clock_pin = node_caps[pins.clk.index()];
+        let ff_data_pin = node_caps[pins.d.index()];
+        // Internal: everything that is not a pin or rail, averaged per
+        // output transition (roughly half the internal nodes swing).
+        let internal_total: f64 = (0..c.node_count())
+            .filter(|&i| {
+                i != 0
+                    && i != vdd.index()
+                    && i != pins.clk.index()
+                    && i != pins.d.index()
+                    && i != pins.q.index()
+            })
+            .map(|i| node_caps[i])
+            .sum();
+        let ff_internal = internal_total * 0.5;
+
+        let nmos = MosModel::nmos_018();
+        let pmos = MosModel::pmos_018();
+        // One min NMOS gate + its slice of the pass tree junctions.
+        let pass_gate = nmos.cgate(W_MIN, L_MIN);
+        let pass_junction = nmos.cjunction(W_MIN);
+        // A LUT input drives 15 pass gates across the tree levels
+        // (8 + 4 + 2 + 1) plus the input inverter.
+        let lut_select_load =
+            15.0 * pass_gate + nmos.cgate(W_MIN, L_MIN) + pmos.cgate(2.0 * W_MIN, L_MIN);
+        // The 17:1 input crossbar: a pass-gate mux in front of each LUT
+        // input; its selected branch junction load rides on the input net.
+        let crossbar = 17.0 * pass_junction * 0.25;
+        let lut_input = lut_select_load * 0.3 + crossbar;
+        // Internal mux tree: ~half the 15 internal junction-loaded nodes
+        // swing per evaluation.
+        let lut_internal = 15.0 * 2.0 * pass_junction * 0.5;
+
+        let ble_output =
+            2.0 * pass_junction + pmos.cgate(2.0 * W_MIN, L_MIN) + nmos.cgate(W_MIN, L_MIN);
+        let clock_network = 6e-15 + 5.0 * ff_clock_pin * 0.2;
+
+        let geometry = WireGeometry::MinWidthDoubleSpace;
+        ClbCaps {
+            lut_input,
+            lut_internal,
+            ff_clock_pin,
+            ff_data_pin,
+            ff_internal,
+            ble_output,
+            clock_network,
+            wire_per_tile: tech.wire_c(geometry, 1),
+            switch_junction: tech.pass_cj(10.0),
+            io_pad: 40e-15,
+        }
+    }
+}
+
+impl Default for ClbCaps {
+    fn default() -> Self {
+        ClbCaps::from_designs(&Tech::stm018())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caps_are_physical() {
+        let caps = ClbCaps::default();
+        for (name, v) in [
+            ("lut_input", caps.lut_input),
+            ("lut_internal", caps.lut_internal),
+            ("ff_clock_pin", caps.ff_clock_pin),
+            ("ff_data_pin", caps.ff_data_pin),
+            ("ff_internal", caps.ff_internal),
+            ("ble_output", caps.ble_output),
+            ("clock_network", caps.clock_network),
+            ("wire_per_tile", caps.wire_per_tile),
+            ("switch_junction", caps.switch_junction),
+            ("io_pad", caps.io_pad),
+        ] {
+            assert!(v > 0.05e-15, "{name} too small: {v}");
+            assert!(v < 500e-15, "{name} too large: {v}");
+        }
+    }
+
+    #[test]
+    fn clock_pin_is_lighter_than_clock_network() {
+        let caps = ClbCaps::default();
+        assert!(caps.ff_clock_pin < caps.clock_network);
+    }
+
+    #[test]
+    fn wire_dominates_gate_loads() {
+        // Interconnect capacitance dominating logic capacitance is the
+        // paper's premise for focusing on the routing switches.
+        let caps = ClbCaps::default();
+        assert!(caps.wire_per_tile > caps.lut_input);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let caps = ClbCaps::default();
+        let js = serde_json::to_string(&caps).unwrap();
+        let back: ClbCaps = serde_json::from_str(&js).unwrap();
+        assert_eq!(back.lut_input, caps.lut_input);
+    }
+}

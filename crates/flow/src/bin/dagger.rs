@@ -1,0 +1,24 @@
+//! `dagger` — the full back end: mapped BLIF in, configuration bitstream
+//! out, with optional fabric-level verification.
+
+use fpga_flow::cli;
+use fpga_flow::{run_blif, FlowOptions};
+
+fn main() {
+    let args = cli::parse_args(&["o", "seed"]);
+    let text = cli::input_or_usage(&args, "dagger <design.blif> [-o out.bit] [--no-verify]");
+    let mut opts = FlowOptions::default();
+    if args.flags.iter().any(|f| f == "no-verify") {
+        opts.verify_cycles = 0;
+    }
+    if let Some(seed) = args.options.get("seed").and_then(|s| s.parse().ok()) {
+        opts.place_seed = seed;
+    }
+    match run_blif(&text, &opts) {
+        Ok(art) => {
+            eprint!("{}", art.report.summary());
+            cli::write_binary_output(&args, &art.bitstream_bytes, "design.bit");
+        }
+        Err(e) => cli::die("dagger", e),
+    }
+}

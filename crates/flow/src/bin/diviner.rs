@@ -1,0 +1,12 @@
+//! `diviner` — synthesis: VHDL in, gate-level EDIF out.
+
+use fpga_flow::cli;
+
+fn main() {
+    let args = cli::parse_args(&["o"]);
+    let text = cli::input_or_usage(&args, "diviner <design.vhd> [-o out.edif]");
+    match fpga_synth::diviner::synthesize_to_edif(&text) {
+        Ok(edif) => cli::write_output(&args, &edif),
+        Err(e) => cli::die("diviner", e),
+    }
+}

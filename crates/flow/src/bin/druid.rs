@@ -1,0 +1,12 @@
+//! `druid` — EDIF normalization between tool dialects.
+
+use fpga_flow::cli;
+
+fn main() {
+    let args = cli::parse_args(&["o"]);
+    let text = cli::input_or_usage(&args, "druid <in.edif> [-o out.edif]");
+    match fpga_synth::druid::normalize_edif(&text) {
+        Ok(out) => cli::write_output(&args, &out),
+        Err(e) => cli::die("druid", e),
+    }
+}

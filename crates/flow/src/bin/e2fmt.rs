@@ -1,0 +1,18 @@
+//! `e2fmt` — EDIF <-> BLIF format translation.
+
+use fpga_flow::cli;
+
+fn main() {
+    let args = cli::parse_args(&["o"]);
+    let text =
+        cli::input_or_usage(&args, "e2fmt <in.edif> [-o out.blif] | e2fmt --reverse <in.blif>");
+    let result = if args.flags.iter().any(|f| f == "reverse") {
+        fpga_synth::e2fmt::blif_to_edif(&text)
+    } else {
+        fpga_synth::e2fmt::edif_to_blif(&text)
+    };
+    match result {
+        Ok(out) => cli::write_output(&args, &out),
+        Err(e) => cli::die("e2fmt", e),
+    }
+}

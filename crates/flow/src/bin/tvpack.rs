@@ -1,0 +1,44 @@
+//! `tvpack` — pack a LUT/FF BLIF netlist into the platform's CLBs and
+//! emit the `.net` clustered netlist.
+
+use fpga_arch::{clb_inputs_eq1, ClbArch};
+use fpga_flow::cli;
+
+fn main() {
+    let args = cli::parse_args(&["o", "k", "n", "i"]);
+    let text =
+        cli::input_or_usage(&args, "tvpack <in.blif> [-k 4] [-n 5] [-i 12] [-o out.net]");
+    let k: usize = args.options.get("k").map(|s| s.parse().unwrap_or(4)).unwrap_or(4);
+    let n: usize = args.options.get("n").map(|s| s.parse().unwrap_or(5)).unwrap_or(5);
+    let i: usize = args
+        .options
+        .get("i")
+        .map(|s| s.parse().unwrap_or(clb_inputs_eq1(k, n)))
+        .unwrap_or_else(|| clb_inputs_eq1(k, n));
+    let arch = ClbArch {
+        lut_k: k,
+        cluster_size: n,
+        inputs: i,
+        outputs: n,
+        clocks: 1,
+        full_crossbar: true,
+    };
+    let mut netlist = match fpga_netlist::blif::parse(&text) {
+        Ok(nl) => nl,
+        Err(e) => cli::die("tvpack", e),
+    };
+    fpga_pack::prepare(&mut netlist)
+        .unwrap_or_else(|e| cli::die("tvpack", e));
+    match fpga_pack::pack(&netlist, &arch) {
+        Ok(clustering) => {
+            eprintln!(
+                "packed: {} BLEs into {} CLBs (utilization {:.1} %)",
+                clustering.bles.len(),
+                clustering.clusters.len(),
+                100.0 * clustering.utilization()
+            );
+            cli::write_output(&args, &fpga_pack::netformat::write_net(&clustering));
+        }
+        Err(e) => cli::die("tvpack", e),
+    }
+}

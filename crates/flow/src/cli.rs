@@ -1,0 +1,82 @@
+//! Minimal shared command-line plumbing for the tool binaries. The tools
+//! follow the paper's conventions: positional input file, `-o` output,
+//! long flags for options, helpful usage text on error.
+
+use std::collections::HashMap;
+
+/// Parsed command line: positionals plus `--key value` / `-o value` pairs
+/// and bare `--flags`.
+#[derive(Debug, Default)]
+pub struct Args {
+    pub positionals: Vec<String>,
+    pub options: HashMap<String, String>,
+    pub flags: Vec<String>,
+}
+
+/// Options that take a value (everything else with a dash is a flag).
+pub fn parse_args(valued: &[&str]) -> Args {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1).peekable();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--").or_else(|| a.strip_prefix('-')) {
+            if valued.contains(&name) {
+                let v = it.next().unwrap_or_default();
+                args.options.insert(name.to_string(), v);
+            } else {
+                args.flags.push(name.to_string());
+            }
+        } else {
+            args.positionals.push(a);
+        }
+    }
+    args
+}
+
+/// Read the input file (first positional) or exit with usage.
+pub fn input_or_usage(args: &Args, usage: &str) -> String {
+    let Some(path) = args.positionals.first() else {
+        eprintln!("usage: {usage}");
+        std::process::exit(2);
+    };
+    match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: cannot read '{path}': {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Write to `-o <path>`, or stdout when absent.
+pub fn write_output(args: &Args, content: &str) {
+    match args.options.get("o") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, content) {
+                eprintln!("error: cannot write '{path}': {e}");
+                std::process::exit(1);
+            }
+            eprintln!("wrote {path}");
+        }
+        None => print!("{content}"),
+    }
+}
+
+/// Write binary output to `-o <path>` (mandatory for binary formats).
+pub fn write_binary_output(args: &Args, content: &[u8], default_name: &str) {
+    let path = args
+        .options
+        .get("o")
+        .cloned()
+        .unwrap_or_else(|| default_name.to_string());
+    if let Err(e) = std::fs::write(&path, content) {
+        eprintln!("error: cannot write '{path}': {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {path} ({} bytes)", content.len());
+}
+
+/// Exit printing a tool error.
+pub fn die(tool: &str, err: impl std::fmt::Display) -> ! {
+    eprintln!("{tool}: error: {err}");
+    std::process::exit(1);
+}

@@ -1,0 +1,50 @@
+//! # fpga-flow
+//!
+//! The integrated design framework of the paper's §4: one typed pipeline
+//! from VHDL (or BLIF) down to the configuration bitstream, mirroring the
+//! six stages of the paper's GUI (Fig. 12):
+//!
+//! 1. **File Upload** — read the source design;
+//! 2. **Synthesis** — VHDL Parser + DIVINER (+ SIS optimization);
+//! 3. **Format Translation** — DRUID + E2FMT (+ FlowMap LUT mapping and
+//!    T-VPack clustering, which the paper groups under translation);
+//! 4. **Power Estimation** — PowerModel;
+//! 5. **Placement and Routing** — VPR;
+//! 6. **FPGA Program** — DAGGER bitstream generation (and, here, fabric
+//!    emulation to *prove* the bitstream implements the design).
+//!
+//! Every stage can also be driven standalone through the per-tool
+//! binaries (`vparse`, `diviner`, `druid`, `e2fmt`, `sis-map`, `tvpack`,
+//! `dutys`, `vpr-pr`, `powermodel`, `dagger`), exactly as the paper's
+//! modularity requirement states; `flowctl` is the CLI stand-in for the
+//! web GUI.
+
+pub mod cli;
+pub mod pipeline;
+pub mod report;
+pub mod svg;
+
+pub use pipeline::{run_blif, run_netlist, run_vhdl, FlowArtifacts, FlowOptions};
+pub use report::{FlowReport, StageReport};
+
+/// Errors from any stage, tagged with the stage name.
+#[derive(Debug)]
+pub struct FlowError {
+    pub stage: &'static str,
+    pub message: String,
+}
+
+impl std::fmt::Display for FlowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.stage, self.message)
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+pub type Result<T> = std::result::Result<T, FlowError>;
+
+/// Tag an error with its stage.
+pub fn stage_err<E: std::fmt::Display>(stage: &'static str) -> impl Fn(E) -> FlowError {
+    move |e| FlowError { stage, message: e.to_string() }
+}

@@ -1,0 +1,313 @@
+//! The end-to-end pipeline: VHDL/BLIF in, verified bitstream out.
+
+use std::time::Instant;
+
+use fpga_arch::device::Device;
+use fpga_arch::Architecture;
+use fpga_bitstream::fabric::{verify_against_netlist, Fabric};
+use fpga_bitstream::Bitstream;
+use fpga_cells::caps::ClbCaps;
+use fpga_cells::tech::Tech;
+use fpga_netlist::{NetId, Netlist};
+use fpga_pack::Clustering;
+use fpga_place::{PlaceOptions, Placement};
+use fpga_power::{PowerOptions, PowerReport};
+use fpga_route::rrgraph::RrGraph;
+use fpga_route::{RouteOptions, RouteResult};
+use fpga_synth::{map_to_luts, MapOptions};
+
+use crate::report::FlowReport;
+use crate::{stage_err, FlowError, Result};
+
+/// Flow configuration.
+#[derive(Clone, Debug)]
+pub struct FlowOptions {
+    pub arch: Architecture,
+    pub place_seed: u64,
+    pub place_effort: f64,
+    /// Fixed channel width, or `None` to binary-search the minimum.
+    pub channel_width: Option<usize>,
+    pub power: PowerOptions,
+    /// Random-simulation cycles used to verify the bitstream against the
+    /// mapped netlist (0 disables verification).
+    pub verify_cycles: usize,
+}
+
+impl Default for FlowOptions {
+    fn default() -> Self {
+        FlowOptions {
+            arch: Architecture::paper_default(),
+            place_seed: 1,
+            place_effort: 3.0,
+            channel_width: None,
+            power: PowerOptions::default(),
+            verify_cycles: 48,
+        }
+    }
+}
+
+/// Everything the flow produces.
+pub struct FlowArtifacts {
+    pub rtl: Netlist,
+    pub mapped: Netlist,
+    pub clustering: Clustering,
+    pub placement: Placement,
+    pub graph: RrGraph,
+    pub routing: RouteResult,
+    /// Nets on the reported critical path (from the STA), source first.
+    pub critical_nets: Vec<NetId>,
+    pub power: PowerReport,
+    pub bitstream: Bitstream,
+    pub bitstream_bytes: Vec<u8>,
+    pub report: FlowReport,
+}
+
+/// Run the full flow from VHDL source.
+pub fn run_vhdl(source: &str, opts: &FlowOptions) -> Result<FlowArtifacts> {
+    let t = Instant::now();
+    let rtl =
+        fpga_synth::diviner::synthesize(source).map_err(stage_err("synthesis"))?;
+    let mut report = FlowReport { design: rtl.name.clone(), ..Default::default() };
+    report.push(
+        "synthesis (VHDL Parser + DIVINER)",
+        serde_json::json!({
+            "cells": rtl.cells.len(),
+            "ffs": rtl.cell_counts().1,
+            "nets": rtl.nets.len(),
+        }),
+        t,
+    );
+    run_from_rtl(rtl, opts, report)
+}
+
+/// Run the flow from a BLIF file (entering after synthesis, as the
+/// paper's E2FMT hand-off does).
+pub fn run_blif(text: &str, opts: &FlowOptions) -> Result<FlowArtifacts> {
+    let t = Instant::now();
+    let rtl = fpga_netlist::blif::parse(text).map_err(stage_err("blif"))?;
+    rtl.validate().map_err(stage_err("blif"))?;
+    let mut report = FlowReport { design: rtl.name.clone(), ..Default::default() };
+    report.push(
+        "file upload (BLIF)",
+        serde_json::json!({"cells": rtl.cells.len()}),
+        t,
+    );
+    run_from_rtl(rtl, opts, report)
+}
+
+/// Run the flow from an in-memory gate-level netlist.
+pub fn run_netlist(rtl: Netlist, opts: &FlowOptions) -> Result<FlowArtifacts> {
+    let report = FlowReport { design: rtl.name.clone(), ..Default::default() };
+    run_from_rtl(rtl, opts, report)
+}
+
+fn run_from_rtl(
+    rtl: Netlist,
+    opts: &FlowOptions,
+    mut report: FlowReport,
+) -> Result<FlowArtifacts> {
+    // --- LUT mapping (SIS stage).
+    let t = Instant::now();
+    let map_opts = MapOptions { k: opts.arch.clb.lut_k, cut_limit: 10 };
+    let (mut mapped, map_report) =
+        map_to_luts(&rtl, map_opts).map_err(stage_err("lut mapping (SIS)"))?;
+    report.push(
+        "lut mapping (SIS)",
+        serde_json::json!({
+            "luts": map_report.luts,
+            "depth": map_report.depth,
+            "ffs": map_report.ffs,
+        }),
+        t,
+    );
+
+    // --- Packing (T-VPack).
+    let t = Instant::now();
+    fpga_pack::absorb_constants(&mut mapped);
+    let clustering =
+        fpga_pack::pack(&mapped, &opts.arch.clb).map_err(stage_err("packing (T-VPack)"))?;
+    report.push(
+        "packing (T-VPack)",
+        serde_json::json!({
+            "bles": clustering.bles.len(),
+            "clbs": clustering.clusters.len(),
+            "utilization": clustering.utilization(),
+        }),
+        t,
+    );
+
+    // --- Placement (VPR).
+    let t = Instant::now();
+    let io_count = mapped.inputs.len() + mapped.outputs.len() + 1;
+    let device = Device::sized_for(opts.arch.clone(), clustering.clusters.len(), io_count);
+    let placement = fpga_place::place(
+        &clustering,
+        device,
+        PlaceOptions { seed: opts.place_seed, inner_num: opts.place_effort },
+    )
+    .map_err(stage_err("placement (VPR)"))?;
+    report.push(
+        "placement (VPR)",
+        serde_json::json!({
+            "grid_w": placement.device.width,
+            "grid_h": placement.device.height,
+            "cost": placement.cost,
+            "hpwl": placement.hpwl(),
+        }),
+        t,
+    );
+
+    // --- Routing (VPR).
+    let t = Instant::now();
+    let route_opts = RouteOptions::default();
+    let (graph, routing) = match opts.channel_width {
+        Some(w) => {
+            let g = RrGraph::build(&placement.device, w);
+            let r = fpga_route::route(&clustering, &placement, &g, &route_opts)
+                .map_err(stage_err("routing (VPR)"))?;
+            (g, r)
+        }
+        None => {
+            let (w, r) = fpga_route::find_min_channel_width(
+                &clustering,
+                &placement,
+                &route_opts,
+                128,
+            )
+            .map_err(stage_err("routing (VPR)"))?;
+            (RrGraph::build(&placement.device, w), r)
+        }
+    };
+    let sta = fpga_route::analyze_paths(
+        &clustering,
+        &placement,
+        &routing,
+        &graph,
+        &fpga_route::timing::TimingModel::default(),
+        &fpga_route::LogicDelays::default(),
+    );
+    report.push(
+        "routing (VPR)",
+        serde_json::json!({
+            "channel_width": routing.channel_width,
+            "wirelength": routing.wirelength,
+            "iterations": routing.iterations,
+            "critical_ns": sta.critical_delay * 1e9,
+            "fmax_mhz": sta.fmax() / 1e6,
+        }),
+        t,
+    );
+    let critical_nets = sta.critical_path.clone();
+
+    // --- Power estimation (PowerModel).
+    let t = Instant::now();
+    let tech = Tech::stm018();
+    let caps = ClbCaps::from_designs(&tech);
+    let power =
+        fpga_power::estimate(&clustering, Some((&routing, &graph)), &tech, &caps, &opts.power)
+            .map_err(|m| FlowError { stage: "power (PowerModel)", message: m })?;
+    report.push(
+        "power (PowerModel)",
+        serde_json::json!({
+            "dynamic_mw": power.dynamic() * 1e3,
+            "total_mw": power.total() * 1e3,
+        }),
+        t,
+    );
+
+    // --- Bitstream generation (DAGGER).
+    let t = Instant::now();
+    let bitstream = fpga_bitstream::generate(&clustering, &placement, &routing, &graph)
+        .map_err(stage_err("bitstream (DAGGER)"))?;
+    let bitstream_bytes = fpga_bitstream::frames::write(&bitstream);
+    let budget = fpga_bitstream::config::bit_budget(&bitstream);
+    report.push(
+        "bitstream (DAGGER)",
+        serde_json::json!({
+            "bytes": bitstream_bytes.len(),
+            "config_bits": budget.total(),
+        }),
+        t,
+    );
+
+    // --- Verification: emulate the configured fabric against the mapped
+    // netlist (the flow's "program the FPGA and check" step).
+    if opts.verify_cycles > 0 {
+        let t = Instant::now();
+        let parsed = fpga_bitstream::frames::parse(&bitstream_bytes)
+            .map_err(stage_err("verify (fabric)"))?;
+        let mut fabric = Fabric::new(parsed).map_err(stage_err("verify (fabric)"))?;
+        verify_against_netlist(&mut fabric, &mapped, opts.verify_cycles, 0xF00D)
+            .map_err(stage_err("verify (fabric)"))?;
+        report.push(
+            "verify (fabric emulation)",
+            serde_json::json!({"cycles": opts.verify_cycles, "match": true}),
+            t,
+        );
+    }
+
+    Ok(FlowArtifacts {
+        rtl,
+        mapped,
+        clustering,
+        placement,
+        graph,
+        routing,
+        critical_nets,
+        power,
+        bitstream,
+        bitstream_bytes,
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vhdl_counter_to_verified_bitstream() {
+        let src = fpga_circuits::vhdl_counter(4);
+        let art = run_vhdl(&src, &FlowOptions::default()).unwrap();
+        assert!(art.bitstream_bytes.len() > 64);
+        assert_eq!(art.report.stages.len(), 8);
+        assert!(art.report.stages.iter().all(|s| s.ok));
+        assert!(art.clustering.bles.len() >= 4);
+        assert!(art.routing.wirelength > 0);
+        assert!(art.power.total() > 0.0);
+        let summary = art.report.summary();
+        assert!(summary.contains("DAGGER"), "{summary}");
+    }
+
+    #[test]
+    fn blif_flow_works() {
+        let blif = "
+.model majority
+.inputs a b c
+.outputs y
+.names a b c y
+11- 1
+1-1 1
+-11 1
+.end";
+        let art = run_blif(blif, &FlowOptions::default()).unwrap();
+        assert_eq!(art.clustering.bles.len(), 1, "majority fits one 4-LUT");
+        assert!(art.report.stages.iter().any(|s| s.stage.contains("fabric")));
+    }
+
+    #[test]
+    fn netlist_flow_with_fixed_channel() {
+        let nl = fpga_circuits::ripple_adder(4);
+        let opts = FlowOptions { channel_width: Some(14), ..FlowOptions::default() };
+        let art = run_netlist(nl, &opts).unwrap();
+        assert_eq!(art.routing.channel_width, 14);
+    }
+
+    #[test]
+    fn bad_vhdl_fails_in_synthesis_stage() {
+        match run_vhdl("entity oops", &FlowOptions::default()) {
+            Err(err) => assert_eq!(err.stage, "synthesis"),
+            Ok(_) => panic!("bad VHDL must fail"),
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Flow reports: per-stage structured results, serialized as JSON for the
+//! GUI/automation layer.
+
+use serde::{Deserialize, Serialize};
+
+/// One stage's report.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StageReport {
+    pub stage: String,
+    pub ok: bool,
+    /// Stage-specific metrics (cells, LUTs, wirelength, ...).
+    pub metrics: serde_json::Value,
+    pub elapsed_ms: f64,
+}
+
+/// The whole flow's report.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct FlowReport {
+    pub design: String,
+    pub stages: Vec<StageReport>,
+}
+
+impl FlowReport {
+    pub fn push(
+        &mut self,
+        stage: &str,
+        metrics: serde_json::Value,
+        started: std::time::Instant,
+    ) {
+        self.stages.push(StageReport {
+            stage: stage.to_string(),
+            ok: true,
+            metrics,
+            elapsed_ms: started.elapsed().as_secs_f64() * 1e3,
+        });
+    }
+
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+
+    /// Human-readable summary table.
+    pub fn summary(&self) -> String {
+        let mut out = format!("flow report for '{}':\n", self.design);
+        for s in &self.stages {
+            out.push_str(&format!(
+                "  {:<24} {:>9.2} ms   {}\n",
+                s.stage,
+                s.elapsed_ms,
+                compact(&s.metrics)
+            ));
+        }
+        out
+    }
+}
+
+fn compact(v: &serde_json::Value) -> String {
+    match v {
+        serde_json::Value::Object(map) => map
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(" "),
+        other => other.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_roundtrip_and_summary() {
+        let mut r = FlowReport { design: "demo".into(), ..Default::default() };
+        let t = std::time::Instant::now();
+        r.push("synthesis", serde_json::json!({"cells": 42}), t);
+        r.push("pack", serde_json::json!({"clbs": 7, "util": 0.9}), t);
+        let js = r.to_json();
+        let back: FlowReport = serde_json::from_str(&js).unwrap();
+        assert_eq!(back.stages.len(), 2);
+        assert_eq!(back.design, "demo");
+        let s = r.summary();
+        assert!(s.contains("synthesis"));
+        assert!(s.contains("cells=42"));
+    }
+}

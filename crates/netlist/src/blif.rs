@@ -1,0 +1,494 @@
+//! BLIF (Berkeley Logic Interchange Format) reader and writer.
+//!
+//! The subset implemented is what the Fig. 11 flow exchanges between
+//! E2FMT, SIS and T-VPack: `.model`, `.inputs`, `.outputs`, `.clock`,
+//! `.names` (on-set and off-set covers), `.latch` (with optional clock and
+//! initial value), `.end`, plus `#` comments and `\` line continuation.
+
+use crate::ir::{CellKind, Netlist};
+use crate::sop::{Cube, SopCover};
+use crate::{NetlistError, Result};
+
+/// Parse a BLIF document into a netlist (first `.model` only).
+pub fn parse(text: &str) -> Result<Netlist> {
+    // Join continuation lines, strip comments, keep line numbers.
+    let mut logical: Vec<(usize, String)> = Vec::new();
+    let mut pending = String::new();
+    let mut pending_line = 0usize;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = match raw.find('#') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        };
+        let trimmed = line.trim_end();
+        if pending.is_empty() {
+            pending_line = lineno + 1;
+        }
+        if let Some(stripped) = trimmed.strip_suffix('\\') {
+            pending.push_str(stripped);
+            pending.push(' ');
+            continue;
+        }
+        pending.push_str(trimmed);
+        if !pending.trim().is_empty() {
+            logical.push((pending_line, std::mem::take(&mut pending)));
+        } else {
+            pending.clear();
+        }
+    }
+
+    let mut netlist = Netlist::new("top");
+    let mut saw_model = false;
+    let mut i = 0usize;
+    let mut names_counter = 0usize;
+    let mut latch_counter = 0usize;
+
+    while i < logical.len() {
+        let (lineno, line) = &logical[i];
+        let mut toks = line.split_whitespace();
+        let head = toks.next().unwrap();
+        match head {
+            ".model" => {
+                if saw_model {
+                    // Only the first model is read (hierarchies are
+                    // flattened upstream by DRUID).
+                    break;
+                }
+                saw_model = true;
+                if let Some(name) = toks.next() {
+                    netlist.name = name.to_string();
+                }
+                i += 1;
+            }
+            ".inputs" => {
+                for t in toks {
+                    let net = netlist.net(t);
+                    netlist.add_input(net);
+                }
+                i += 1;
+            }
+            ".outputs" => {
+                for t in toks {
+                    let net = netlist.net(t);
+                    netlist.add_output(net);
+                }
+                i += 1;
+            }
+            ".clock" => {
+                for t in toks {
+                    let net = netlist.net(t);
+                    netlist.add_clock(net);
+                }
+                i += 1;
+            }
+            ".names" => {
+                let signals: Vec<&str> = toks.collect();
+                if signals.is_empty() {
+                    return Err(NetlistError::Parse {
+                        line: *lineno,
+                        msg: ".names needs at least an output".into(),
+                    });
+                }
+                let (input_names, output_name) =
+                    signals.split_at(signals.len() - 1);
+                let inputs: Vec<_> =
+                    input_names.iter().map(|s| netlist.net(s)).collect();
+                let output = netlist.net(output_name[0]);
+                // Collect the cover rows.
+                let mut on_cubes = Vec::new();
+                let mut off_cubes = Vec::new();
+                let mut j = i + 1;
+                while j < logical.len() {
+                    let (rl, row) = &logical[j];
+                    if row.trim_start().starts_with('.') {
+                        break;
+                    }
+                    let parts: Vec<&str> = row.split_whitespace().collect();
+                    let (pat, out_bit) = match parts.len() {
+                        1 if input_names.is_empty() => ("", parts[0]),
+                        2 => (parts[0], parts[1]),
+                        _ => {
+                            return Err(NetlistError::Parse {
+                                line: *rl,
+                                msg: format!("malformed cover row '{row}'"),
+                            })
+                        }
+                    };
+                    if pat.len() != input_names.len() {
+                        return Err(NetlistError::Parse {
+                            line: *rl,
+                            msg: format!(
+                                "cover row width {} != {} inputs",
+                                pat.len(),
+                                input_names.len()
+                            ),
+                        });
+                    }
+                    let cube = Cube::from_pattern(pat).ok_or(NetlistError::Parse {
+                        line: *rl,
+                        msg: format!("bad cube pattern '{pat}'"),
+                    })?;
+                    match out_bit {
+                        "1" => on_cubes.push(cube),
+                        "0" => off_cubes.push(cube),
+                        _ => {
+                            return Err(NetlistError::Parse {
+                                line: *rl,
+                                msg: format!("output column must be 0/1, got '{out_bit}'"),
+                            })
+                        }
+                    }
+                    j += 1;
+                }
+                if !on_cubes.is_empty() && !off_cubes.is_empty() {
+                    return Err(NetlistError::Unsupported(
+                        "mixed on-set and off-set .names cover".into(),
+                    ));
+                }
+                let kind = if !off_cubes.is_empty() {
+                    // Off-set cover: function is the complement of the OR.
+                    if input_names.len() > 6 {
+                        return Err(NetlistError::Unsupported(
+                            "off-set cover with more than 6 inputs".into(),
+                        ));
+                    }
+                    let off = SopCover { n_inputs: input_names.len(), cubes: off_cubes };
+                    let tt = off.truth_table().unwrap();
+                    let mask = if input_names.len() == 6 {
+                        !0u64
+                    } else {
+                        (1u64 << (1 << input_names.len())) - 1
+                    };
+                    CellKind::Sop(SopCover::from_truth_table(
+                        input_names.len(),
+                        !tt & mask,
+                    ))
+                } else if on_cubes.is_empty() {
+                    CellKind::Sop(SopCover::const0(input_names.len()))
+                } else {
+                    CellKind::Sop(SopCover { n_inputs: input_names.len(), cubes: on_cubes })
+                };
+                let cell_name = format!("names{names_counter}_{output_name:?}");
+                names_counter += 1;
+                netlist.add_cell(&cell_name, kind, inputs, output);
+                i = j;
+            }
+            ".latch" => {
+                // .latch <input> <output> [<type> <control>] [<init>]
+                let parts: Vec<&str> = toks.collect();
+                if parts.len() < 2 {
+                    return Err(NetlistError::Parse {
+                        line: *lineno,
+                        msg: ".latch needs input and output".into(),
+                    });
+                }
+                let d = netlist.net(parts[0]);
+                let q = netlist.net(parts[1]);
+                let (clock_name, init_tok) = match parts.len() {
+                    2 => (None, None),
+                    3 => (None, Some(parts[2])),
+                    4 => (Some(parts[3]), None),
+                    5 => (Some(parts[3]), Some(parts[4])),
+                    _ => {
+                        return Err(NetlistError::Parse {
+                            line: *lineno,
+                            msg: "too many .latch fields".into(),
+                        })
+                    }
+                };
+                let clock = match clock_name {
+                    Some(name) if name != "NIL" => {
+                        let c = netlist.net(name);
+                        netlist.add_clock(c);
+                        c
+                    }
+                    _ => {
+                        // Unnamed global clock.
+                        let c = netlist.net("__global_clock__");
+                        netlist.add_clock(c);
+                        c
+                    }
+                };
+                let init = matches!(init_tok, Some("1"));
+                let name = format!("latch{latch_counter}");
+                latch_counter += 1;
+                netlist.add_cell(&name, CellKind::Dff { clock, init }, vec![d], q);
+                i += 1;
+            }
+            ".end" => break,
+            ".subckt" | ".gate" | ".mlatch" => {
+                return Err(NetlistError::Unsupported(format!(
+                    "BLIF construct '{head}' (flatten hierarchy first)"
+                )));
+            }
+            _ if head.starts_with('.') => {
+                // Unknown dot-directives are skipped (e.g. .default_input_arrival).
+                i += 1;
+            }
+            _ => {
+                return Err(NetlistError::Parse {
+                    line: *lineno,
+                    msg: format!("unexpected line '{line}'"),
+                });
+            }
+        }
+    }
+    if !saw_model {
+        return Err(NetlistError::Parse { line: 1, msg: "no .model found".into() });
+    }
+    Ok(netlist)
+}
+
+/// Serialize a netlist to BLIF. LUT cells become `.names` covers; gates
+/// are expanded to covers as well, so any tool downstream of SIS can read
+/// the output.
+pub fn write(netlist: &Netlist) -> Result<String> {
+    let mut out = String::new();
+    out.push_str(&format!(".model {}\n", sanitize(&netlist.name)));
+    out.push_str(".inputs");
+    for &n in &netlist.inputs {
+        if netlist.clocks.contains(&n) {
+            continue;
+        }
+        out.push(' ');
+        out.push_str(netlist.net_name(n));
+    }
+    out.push('\n');
+    out.push_str(".outputs");
+    for &n in &netlist.outputs {
+        out.push(' ');
+        out.push_str(netlist.net_name(n));
+    }
+    out.push('\n');
+    for &c in &netlist.clocks {
+        out.push_str(&format!(".clock {}\n", netlist.net_name(c)));
+    }
+
+    for cell in &netlist.cells {
+        match &cell.kind {
+            CellKind::Dff { clock, init } => {
+                out.push_str(&format!(
+                    ".latch {} {} re {} {}\n",
+                    netlist.net_name(cell.inputs[0]),
+                    netlist.net_name(cell.output),
+                    netlist.net_name(*clock),
+                    if *init { 1 } else { 0 },
+                ));
+            }
+            kind => {
+                let cover = cover_for(kind, cell.inputs.len())?;
+                out.push_str(".names");
+                for &i in &cell.inputs {
+                    out.push(' ');
+                    out.push_str(netlist.net_name(i));
+                }
+                out.push(' ');
+                out.push_str(netlist.net_name(cell.output));
+                out.push('\n');
+                for cube in &cover.cubes {
+                    if cell.inputs.is_empty() {
+                        out.push_str("1\n");
+                    } else {
+                        out.push_str(&format!("{} 1\n", cube.to_pattern(cell.inputs.len())));
+                    }
+                }
+            }
+        }
+    }
+    out.push_str(".end\n");
+    Ok(out)
+}
+
+/// Express any combinational cell kind as an SOP cover.
+pub fn cover_for(kind: &CellKind, n: usize) -> Result<SopCover> {
+    Ok(match kind {
+        CellKind::Sop(c) => c.clone(),
+        CellKind::Const0 => SopCover::const0(n),
+        CellKind::Const1 => SopCover::const1(n),
+        CellKind::Buf => SopCover::literal(n, 0, true),
+        CellKind::Not => SopCover::literal(n, 0, false),
+        CellKind::And => {
+            let care = (1u64 << n) - 1;
+            SopCover { n_inputs: n, cubes: vec![Cube { care, value: care }] }
+        }
+        CellKind::Nand => {
+            // OR of single-zero literals.
+            let cubes = (0..n).map(|i| Cube { care: 1 << i, value: 0 }).collect();
+            SopCover { n_inputs: n, cubes }
+        }
+        CellKind::Or => {
+            let cubes = (0..n).map(|i| Cube { care: 1 << i, value: 1 << i }).collect();
+            SopCover { n_inputs: n, cubes }
+        }
+        CellKind::Nor => {
+            let care = (1u64 << n) - 1;
+            SopCover { n_inputs: n, cubes: vec![Cube { care, value: 0 }] }
+        }
+        CellKind::Xor | CellKind::Xnor => {
+            if n > 6 {
+                return Err(NetlistError::Unsupported("wide xor to SOP".into()));
+            }
+            let want = matches!(kind, CellKind::Xor);
+            let mut tt = 0u64;
+            for m in 0..(1u64 << n) {
+                let parity = (m.count_ones() % 2 == 1) == want;
+                if parity {
+                    tt |= 1 << m;
+                }
+            }
+            SopCover::from_truth_table(n, tt)
+        }
+        CellKind::Mux2 => {
+            // inputs [sel, a, b]: out = !sel&a | sel&b.
+            SopCover {
+                n_inputs: 3,
+                cubes: vec![
+                    Cube::from_pattern("01-").unwrap(),
+                    Cube::from_pattern("1-1").unwrap(),
+                ],
+            }
+        }
+        CellKind::Lut { k, truth } => SopCover::from_truth_table(*k as usize, *truth),
+        CellKind::Dff { .. } => {
+            return Err(NetlistError::Validate("FF has no cover".into()))
+        }
+    })
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_whitespace() { '_' } else { c })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::check_equivalence;
+
+    const SAMPLE: &str = r#"
+# a tiny accumulator bit
+.model acc
+.inputs a b
+.outputs q
+.clock clk
+.names a b w
+11 1
+.names w q d \
+       # continuation comment is stripped above
+10 1
+01 1
+.latch d q re clk 0
+.end
+"#;
+
+    #[test]
+    fn parse_sample() {
+        let n = parse(SAMPLE).unwrap();
+        assert_eq!(n.name, "acc");
+        assert_eq!(n.inputs.len(), 3); // a, b, clk
+        assert_eq!(n.outputs.len(), 1);
+        assert_eq!(n.clocks.len(), 1);
+        let (comb, ffs) = n.cell_counts();
+        assert_eq!((comb, ffs), (2, 1));
+        n.validate().unwrap();
+    }
+
+    #[test]
+    fn roundtrip_preserves_function() {
+        let n = parse(SAMPLE).unwrap();
+        let text = write(&n).unwrap();
+        let back = parse(&text).unwrap();
+        back.validate().unwrap();
+        check_equivalence(&n, &back, 128, 3).unwrap();
+    }
+
+    #[test]
+    fn off_set_cover_is_complemented() {
+        let blif = ".model t\n.inputs a b\n.outputs y\n.names a b y\n11 0\n.end\n";
+        let n = parse(blif).unwrap();
+        // y = !(a & b) = NAND.
+        let mut golden = Netlist::new("t");
+        let a = golden.net("a");
+        let b = golden.net("b");
+        let y = golden.net("y");
+        golden.add_input(a);
+        golden.add_input(b);
+        golden.add_output(y);
+        golden.add_cell("g", CellKind::Nand, vec![a, b], y);
+        check_equivalence(&golden, &n, 32, 1).unwrap();
+    }
+
+    #[test]
+    fn constant_names() {
+        let blif = ".model t\n.inputs a\n.outputs one zero\n.names one\n1\n.names zero\n.end\n";
+        let n = parse(blif).unwrap();
+        let mut sim = crate::sim::Simulator::new(&n).unwrap();
+        sim.propagate();
+        assert_eq!(sim.outputs(), vec![true, false]);
+    }
+
+    #[test]
+    fn latch_without_clock_gets_global() {
+        let blif = ".model t\n.inputs d\n.outputs q\n.latch d q 0\n.end\n";
+        let n = parse(blif).unwrap();
+        assert_eq!(n.clocks.len(), 1);
+    }
+
+    #[test]
+    fn errors_are_reported_with_lines() {
+        let blif = ".model t\n.inputs a\n.outputs y\n.names a y\n2 1\n.end\n";
+        match parse(blif) {
+            Err(NetlistError::Parse { line, .. }) => assert_eq!(line, 5),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn subckt_rejected() {
+        let blif = ".model t\n.inputs a\n.outputs y\n.subckt foo x=a y=y\n.end\n";
+        assert!(matches!(parse(blif), Err(NetlistError::Unsupported(_))));
+    }
+
+    #[test]
+    fn gate_cover_expansion_all_kinds() {
+        // Every gate kind round-trips through its cover.
+        use crate::ir::CellKind::*;
+        for (kind, n) in [
+            (And, 3usize),
+            (Or, 3),
+            (Nand, 3),
+            (Nor, 3),
+            (Xor, 3),
+            (Xnor, 3),
+            (Not, 1),
+            (Buf, 1),
+            (Mux2, 3),
+        ] {
+            let cover = cover_for(&kind, n).unwrap();
+            let tt = cover.truth_table().unwrap();
+            for m in 0..(1u64 << n) {
+                let bits: Vec<bool> = (0..n).map(|i| m >> i & 1 == 1).collect();
+                let expect = match kind {
+                    And => bits.iter().all(|&b| b),
+                    Or => bits.iter().any(|&b| b),
+                    Nand => !bits.iter().all(|&b| b),
+                    Nor => !bits.iter().any(|&b| b),
+                    Xor => bits.iter().filter(|&&b| b).count() % 2 == 1,
+                    Xnor => bits.iter().filter(|&&b| b).count() % 2 == 0,
+                    Not => !bits[0],
+                    Buf => bits[0],
+                    Mux2 => {
+                        if bits[0] {
+                            bits[2]
+                        } else {
+                            bits[1]
+                        }
+                    }
+                    _ => unreachable!(),
+                };
+                assert_eq!(tt >> m & 1 == 1, expect, "{kind:?} at m={m}");
+            }
+        }
+    }
+}

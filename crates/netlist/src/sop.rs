@@ -1,0 +1,299 @@
+//! Sum-of-products covers: the logic payload of BLIF `.names` blocks and
+//! the internal representation the SIS-equivalent optimizer works on.
+//!
+//! A cube over `n` inputs stores, per input, one of `{0, 1, -}`. Cubes are
+//! packed into two bitmasks (`care` and `value`), which caps support at 64
+//! inputs — far beyond anything a LUT-mapping flow encounters.
+
+use serde::{Deserialize, Serialize};
+
+/// One product term.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Cube {
+    /// Bit i set: input i is cared about.
+    pub care: u64,
+    /// Bit i (only meaningful when cared): required value of input i.
+    pub value: u64,
+}
+
+impl Cube {
+    /// The universal cube (always true).
+    pub const fn always() -> Cube {
+        Cube { care: 0, value: 0 }
+    }
+
+    /// Build from a BLIF-style pattern string of `0`, `1`, `-`.
+    pub fn from_pattern(pat: &str) -> Option<Cube> {
+        if pat.len() > 64 {
+            return None;
+        }
+        let mut care = 0u64;
+        let mut value = 0u64;
+        for (i, ch) in pat.chars().enumerate() {
+            match ch {
+                '0' => care |= 1 << i,
+                '1' => {
+                    care |= 1 << i;
+                    value |= 1 << i;
+                }
+                '-' => {}
+                _ => return None,
+            }
+        }
+        Some(Cube { care, value })
+    }
+
+    /// Render as a BLIF pattern of width `n`.
+    pub fn to_pattern(&self, n: usize) -> String {
+        (0..n)
+            .map(|i| {
+                if self.care >> i & 1 == 0 {
+                    '-'
+                } else if self.value >> i & 1 == 1 {
+                    '1'
+                } else {
+                    '0'
+                }
+            })
+            .collect()
+    }
+
+    /// Does the cube contain the minterm `m` (bit i = value of input i)?
+    #[inline]
+    pub fn covers(&self, m: u64) -> bool {
+        (m ^ self.value) & self.care == 0
+    }
+
+    /// Number of cared literals.
+    pub fn literal_count(&self) -> u32 {
+        self.care.count_ones()
+    }
+
+    /// Does this cube contain (cover at least everything of) `other`?
+    pub fn contains(&self, other: &Cube) -> bool {
+        // Every literal of self must be present identically in other.
+        self.care & other.care == self.care
+            && (self.value ^ other.value) & self.care == 0
+    }
+}
+
+/// A sum-of-products cover: OR of cubes over a fixed input support.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct SopCover {
+    pub n_inputs: usize,
+    pub cubes: Vec<Cube>,
+}
+
+impl SopCover {
+    /// The constant-0 cover over `n` inputs (no cubes).
+    pub fn const0(n: usize) -> Self {
+        SopCover { n_inputs: n, cubes: Vec::new() }
+    }
+
+    /// The constant-1 cover over `n` inputs.
+    pub fn const1(n: usize) -> Self {
+        SopCover { n_inputs: n, cubes: vec![Cube::always()] }
+    }
+
+    /// A single-literal buffer/inverter cover.
+    pub fn literal(n: usize, input: usize, positive: bool) -> Self {
+        let care = 1u64 << input;
+        let value = if positive { care } else { 0 };
+        SopCover { n_inputs: n, cubes: vec![Cube { care, value }] }
+    }
+
+    /// Evaluate on a minterm.
+    pub fn eval(&self, m: u64) -> bool {
+        self.cubes.iter().any(|c| c.covers(m))
+    }
+
+    /// Truth table for covers with at most 6 inputs (bit `m` = output for
+    /// input combination `m`).
+    pub fn truth_table(&self) -> Option<u64> {
+        if self.n_inputs > 6 {
+            return None;
+        }
+        let mut tt = 0u64;
+        for m in 0..(1u64 << self.n_inputs) {
+            if self.eval(m) {
+                tt |= 1 << m;
+            }
+        }
+        Some(tt)
+    }
+
+    /// Build a cover from a truth table over `n <= 6` inputs (one cube per
+    /// on-set minterm; not minimal, but correct).
+    pub fn from_truth_table(n: usize, tt: u64) -> Self {
+        assert!(n <= 6);
+        let full_care = if n == 64 { !0 } else { (1u64 << n) - 1 };
+        let cubes = (0..(1u64 << n))
+            .filter(|&m| tt >> m & 1 == 1)
+            .map(|m| Cube { care: full_care, value: m })
+            .collect();
+        SopCover { n_inputs: n, cubes }
+    }
+
+    /// Is the cover a tautology / constant-0? Only exact for <= 16 inputs
+    /// (exhaustive check); returns `None` for wider covers.
+    pub fn constant_value(&self) -> Option<bool> {
+        if self.cubes.is_empty() {
+            return Some(false);
+        }
+        if self.cubes.iter().any(|c| c.care == 0) {
+            return Some(true);
+        }
+        if self.n_inputs <= 16 {
+            let all = (0..(1u64 << self.n_inputs)).all(|m| self.eval(m));
+            let none = (0..(1u64 << self.n_inputs)).all(|m| !self.eval(m));
+            if all {
+                return Some(true);
+            }
+            if none {
+                return Some(false);
+            }
+        }
+        None
+    }
+
+    /// Remove cubes contained in other cubes (single-cube containment).
+    #[allow(clippy::needless_range_loop)] // pairwise i/j scan over the same vec
+    pub fn remove_contained(&mut self) {
+        let mut keep = vec![true; self.cubes.len()];
+        for i in 0..self.cubes.len() {
+            if !keep[i] {
+                continue;
+            }
+            for j in 0..self.cubes.len() {
+                if i != j && keep[j] && self.cubes[i].contains(&self.cubes[j]) {
+                    keep[j] = false;
+                }
+            }
+        }
+        let mut idx = 0;
+        self.cubes.retain(|_| {
+            let k = keep[idx];
+            idx += 1;
+            k
+        });
+    }
+
+    /// Which inputs actually appear in some cube?
+    pub fn support(&self) -> u64 {
+        self.cubes.iter().fold(0, |acc, c| acc | c.care)
+    }
+
+    /// Restrict the cover to a smaller support: `map[i] = new position of
+    /// old input i` (or `None` if dropped — the input must not be in the
+    /// support).
+    pub fn remap(&self, map: &[Option<usize>], new_n: usize) -> SopCover {
+        let cubes = self
+            .cubes
+            .iter()
+            .map(|c| {
+                let mut care = 0u64;
+                let mut value = 0u64;
+                for (old, slot) in map.iter().enumerate() {
+                    if let Some(new) = slot {
+                        if c.care >> old & 1 == 1 {
+                            care |= 1 << new;
+                            if c.value >> old & 1 == 1 {
+                                value |= 1 << new;
+                            }
+                        }
+                    } else {
+                        debug_assert_eq!(c.care >> old & 1, 0, "dropped input in support");
+                    }
+                }
+                Cube { care, value }
+            })
+            .collect();
+        SopCover { n_inputs: new_n, cubes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pattern_roundtrip() {
+        let c = Cube::from_pattern("1-0").unwrap();
+        assert_eq!(c.to_pattern(3), "1-0");
+        assert!(c.covers(0b001)); // in0=1, in1=0, in2=0
+        assert!(c.covers(0b011));
+        assert!(!c.covers(0b000));
+        assert!(!c.covers(0b101));
+        assert_eq!(c.literal_count(), 2);
+    }
+
+    #[test]
+    fn bad_patterns_rejected() {
+        assert!(Cube::from_pattern("10x").is_none());
+        assert!(Cube::from_pattern(&"1".repeat(65)).is_none());
+    }
+
+    #[test]
+    fn xor_cover() {
+        let mut cover = SopCover::const0(2);
+        cover.cubes.push(Cube::from_pattern("10").unwrap());
+        cover.cubes.push(Cube::from_pattern("01").unwrap());
+        assert_eq!(cover.truth_table().unwrap(), 0b0110);
+        assert!(cover.eval(0b01));
+        assert!(!cover.eval(0b11));
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(SopCover::const0(3).constant_value(), Some(false));
+        assert_eq!(SopCover::const1(3).constant_value(), Some(true));
+        // A full cover of all minterms is a tautology.
+        let cover = SopCover::from_truth_table(2, 0b1111);
+        assert_eq!(cover.constant_value(), Some(true));
+        let lit = SopCover::literal(2, 0, true);
+        assert_eq!(lit.constant_value(), None);
+    }
+
+    #[test]
+    fn containment_removal() {
+        let mut cover = SopCover::const0(3);
+        cover.cubes.push(Cube::from_pattern("1--").unwrap());
+        cover.cubes.push(Cube::from_pattern("11-").unwrap()); // contained
+        cover.cubes.push(Cube::from_pattern("0-1").unwrap());
+        cover.remove_contained();
+        assert_eq!(cover.cubes.len(), 2);
+    }
+
+    #[test]
+    fn support_and_remap() {
+        let mut cover = SopCover::const0(4);
+        cover.cubes.push(Cube::from_pattern("1--0").unwrap());
+        assert_eq!(cover.support(), 0b1001);
+        let remapped = cover.remap(&[Some(0), None, None, Some(1)], 2);
+        assert_eq!(remapped.n_inputs, 2);
+        assert_eq!(remapped.cubes[0].to_pattern(2), "10");
+    }
+
+    proptest! {
+        /// from_truth_table . truth_table == identity for all 4-input tts.
+        #[test]
+        fn truth_table_roundtrip(tt in 0u64..=0xFFFF) {
+            let cover = SopCover::from_truth_table(4, tt);
+            prop_assert_eq!(cover.truth_table().unwrap(), tt);
+        }
+
+        /// remove_contained preserves the function.
+        #[test]
+        fn containment_preserves_function(
+            patterns in proptest::collection::vec("[01-]{4}", 1..8)
+        ) {
+            let cubes: Vec<Cube> =
+                patterns.iter().map(|p| Cube::from_pattern(p).unwrap()).collect();
+            let mut cover = SopCover { n_inputs: 4, cubes };
+            let before = cover.truth_table().unwrap();
+            cover.remove_contained();
+            prop_assert_eq!(cover.truth_table().unwrap(), before);
+        }
+    }
+}

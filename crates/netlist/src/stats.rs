@@ -1,0 +1,190 @@
+//! Structural netlist statistics: what the flow's reports print after
+//! each stage (cell census, logic depth, fanout distribution, IO counts).
+
+use std::collections::BTreeMap;
+
+use crate::ir::Netlist;
+use crate::Result;
+
+/// Summary statistics of a netlist.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NetlistStats {
+    pub name: String,
+    pub n_nets: usize,
+    pub n_cells: usize,
+    pub n_ffs: usize,
+    pub n_inputs: usize,
+    pub n_outputs: usize,
+    pub n_clocks: usize,
+    /// Combinational depth in cells (longest PI/FF -> PO/FF path).
+    pub logic_depth: usize,
+    /// Maximum fanout of any net.
+    pub max_fanout: usize,
+    /// Average fanout over driven nets.
+    pub avg_fanout: f64,
+    /// Cell count per mnemonic.
+    pub kind_census: BTreeMap<String, usize>,
+}
+
+/// Compute statistics. Errors only if the netlist has combinational loops.
+pub fn stats(netlist: &Netlist) -> Result<NetlistStats> {
+    let order = netlist.topo_order()?;
+    let drivers = netlist.drivers();
+
+    // Depth: level of a cell = 1 + max level of its combinational fanin.
+    let mut level = vec![0usize; netlist.cells.len()];
+    let mut depth = 0usize;
+    // `order` is topological (every cell after its combinational fanin),
+    // so a single forward sweep computes levels.
+    for &cid in &order {
+        let c = &netlist.cells[cid.index()];
+        let mut lvl = 1usize;
+        for &input in &c.inputs {
+            if let Some(drv) = drivers[input.index()] {
+                if !netlist.cells[drv.index()].kind.is_ff() {
+                    lvl = lvl.max(level[drv.index()] + 1);
+                }
+            }
+        }
+        level[cid.index()] = lvl;
+        depth = depth.max(lvl);
+    }
+
+    let sinks = netlist.sinks();
+    let fanouts: Vec<usize> = sinks.iter().map(|s| s.len()).collect();
+    let driven: Vec<usize> = fanouts
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| {
+            drivers[*i].is_some() || netlist.inputs.contains(&crate::ir::NetId(*i as u32))
+        })
+        .map(|(_, &f)| f)
+        .collect();
+    let max_fanout = driven.iter().copied().max().unwrap_or(0);
+    let avg_fanout = if driven.is_empty() {
+        0.0
+    } else {
+        driven.iter().sum::<usize>() as f64 / driven.len() as f64
+    };
+
+    let mut kind_census: BTreeMap<String, usize> = BTreeMap::new();
+    for c in &netlist.cells {
+        *kind_census.entry(c.kind.mnemonic().to_string()).or_insert(0) += 1;
+    }
+    let n_ffs = netlist.cells.iter().filter(|c| c.kind.is_ff()).count();
+
+    Ok(NetlistStats {
+        name: netlist.name.clone(),
+        n_nets: netlist.nets.len(),
+        n_cells: netlist.cells.len(),
+        n_ffs,
+        n_inputs: netlist.inputs.len(),
+        n_outputs: netlist.outputs.len(),
+        n_clocks: netlist.clocks.len(),
+        logic_depth: depth,
+        max_fanout,
+        avg_fanout,
+        kind_census,
+    })
+}
+
+impl std::fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "netlist '{}':", self.name)?;
+        writeln!(
+            f,
+            "  {} cells ({} FFs), {} nets, {}/{} inputs/outputs, {} clocks",
+            self.n_cells, self.n_ffs, self.n_nets, self.n_inputs, self.n_outputs, self.n_clocks
+        )?;
+        writeln!(
+            f,
+            "  depth {}, max fanout {}, avg fanout {:.2}",
+            self.logic_depth, self.max_fanout, self.avg_fanout
+        )?;
+        for (kind, count) in &self.kind_census {
+            writeln!(f, "    {kind:>8}: {count}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Does the order returned by `topo_order` place every cell after all of
+/// its combinational fanin? Used in tests and debug assertions.
+pub fn is_topological(netlist: &Netlist, order: &[crate::ir::CellId]) -> bool {
+    let drivers = netlist.drivers();
+    let mut pos = vec![usize::MAX; netlist.cells.len()];
+    for (p, &cid) in order.iter().enumerate() {
+        pos[cid.index()] = p;
+    }
+    for &cid in order {
+        let c = &netlist.cells[cid.index()];
+        for &input in &c.inputs {
+            if let Some(drv) = drivers[input.index()] {
+                if !netlist.cells[drv.index()].kind.is_ff()
+                    && pos[drv.index()] >= pos[cid.index()]
+                {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::CellKind;
+
+    fn chain(n: usize) -> Netlist {
+        let mut nl = Netlist::new("chain");
+        let a = nl.net("a");
+        nl.add_input(a);
+        let mut cur = a;
+        for i in 0..n {
+            let next = nl.net(&format!("w{i}"));
+            nl.add_cell(&format!("g{i}"), CellKind::Not, vec![cur], next);
+            cur = next;
+        }
+        nl.add_output(cur);
+        nl
+    }
+
+    #[test]
+    fn depth_of_chain() {
+        let nl = chain(7);
+        let s = stats(&nl).unwrap();
+        assert_eq!(s.logic_depth, 7);
+        assert_eq!(s.n_cells, 7);
+        assert_eq!(s.kind_census["not"], 7);
+    }
+
+    #[test]
+    fn fanout_counts() {
+        let mut nl = Netlist::new("fan");
+        let a = nl.net("a");
+        nl.add_input(a);
+        for i in 0..5 {
+            let y = nl.net(&format!("y{i}"));
+            nl.add_output(y);
+            nl.add_cell(&format!("g{i}"), CellKind::Not, vec![a], y);
+        }
+        let s = stats(&nl).unwrap();
+        assert_eq!(s.max_fanout, 5);
+        assert_eq!(s.logic_depth, 1);
+    }
+
+    #[test]
+    fn topo_order_invariant_holds() {
+        let nl = chain(20);
+        let order = nl.topo_order().unwrap();
+        assert!(is_topological(&nl, &order));
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = stats(&chain(2)).unwrap();
+        let text = format!("{s}");
+        assert!(text.contains("depth 2"));
+    }
+}

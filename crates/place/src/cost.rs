@@ -1,0 +1,116 @@
+//! Placement cost: bounding-box wirelength with VPR's crossing-count
+//! compensation.
+
+use fpga_netlist::ir::NetId;
+use fpga_pack::{Clustering, ClusterId};
+
+use crate::BlockRef;
+
+/// A routable net with its terminal blocks (driver first).
+#[derive(Clone, Debug)]
+pub struct PlacedNet {
+    pub net: NetId,
+    pub terminals: Vec<BlockRef>,
+}
+
+/// Build the net -> terminal-block list for all routable (non-clock)
+/// nets of a clustering: primary IO pads plus cluster pins.
+pub fn net_terminals(clustering: &Clustering) -> Vec<PlacedNet> {
+    let nl = &clustering.netlist;
+    let mut nets = Vec::new();
+    for net in clustering.external_nets() {
+        if nl.clocks.contains(&net) {
+            continue; // dedicated global network
+        }
+        let mut terminals = Vec::new();
+        // Driver: producing cluster or an input pad.
+        match clustering.producer(net) {
+            Some(c) => terminals.push(BlockRef::Cluster(c)),
+            None => terminals.push(BlockRef::InputPad(net)),
+        }
+        // Sinks: clusters that list the net as an input.
+        for (ci, cluster) in clustering.clusters.iter().enumerate() {
+            if cluster.inputs.contains(&net) {
+                terminals.push(BlockRef::Cluster(ClusterId(ci as u32)));
+            }
+        }
+        // Primary output pad.
+        if nl.outputs.contains(&net) {
+            terminals.push(BlockRef::OutputPad(net));
+        }
+        if terminals.len() >= 2 {
+            nets.push(PlacedNet { net, terminals });
+        }
+    }
+    nets
+}
+
+/// VPR's crossing-count factor `q(t)`: corrects the half-perimeter
+/// wirelength estimate for nets with more than three terminals.
+pub fn crossing_factor(terminals: usize) -> f64 {
+    const Q: [f64; 51] = [
+        1.0, 1.0, 1.0, 1.0, 1.0828, 1.1536, 1.2206, 1.2823, 1.3385, 1.3991, 1.4493, 1.4974,
+        1.5455, 1.5937, 1.6418, 1.6899, 1.7304, 1.7709, 1.8114, 1.8519, 1.8924, 1.9288, 1.9652,
+        2.0015, 2.0379, 2.0743, 2.1061, 2.1379, 2.1698, 2.2016, 2.2334, 2.2646, 2.2958, 2.3271,
+        2.3583, 2.3895, 2.4187, 2.4479, 2.4772, 2.5064, 2.5356, 2.5610, 2.5864, 2.6117, 2.6371,
+        2.6625, 2.6887, 2.7148, 2.7410, 2.7671, 2.7933,
+    ];
+    if terminals < Q.len() {
+        Q[terminals]
+    } else {
+        // Linear extrapolation beyond 50 terminals, as VPR does.
+        2.7933 + 0.02616 * (terminals as f64 - 50.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpga_arch::ClbArch;
+    use fpga_netlist::ir::{CellKind, Netlist};
+
+    #[test]
+    fn crossing_factor_monotone() {
+        assert_eq!(crossing_factor(2), 1.0);
+        assert_eq!(crossing_factor(3), 1.0);
+        assert!(crossing_factor(10) > 1.0);
+        assert!(crossing_factor(60) > crossing_factor(50));
+        let mut prev = 0.0;
+        for t in 0..80 {
+            let q = crossing_factor(t);
+            assert!(q >= prev);
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn terminals_cover_io_and_clusters() {
+        let mut nl = Netlist::new("t");
+        let clk = nl.net("clk");
+        nl.add_clock(clk);
+        let a = nl.net("a");
+        let b = nl.net("b");
+        nl.add_input(a);
+        nl.add_input(b);
+        let d = nl.net("d");
+        let q = nl.net("q");
+        nl.add_output(q);
+        nl.add_cell("l", CellKind::Lut { k: 2, truth: 0b0110 }, vec![a, b], d);
+        nl.add_cell("f", CellKind::Dff { clock: clk, init: false }, vec![d], q);
+        let c = fpga_pack::pack(&nl, &ClbArch::paper_default()).unwrap();
+        let nets = net_terminals(&c);
+        // Nets: a (pad -> cluster), b (pad -> cluster), q (cluster -> pad).
+        // clk is global; d is internal to the fused BLE.
+        assert_eq!(nets.len(), 3, "{nets:?}");
+        for pn in &nets {
+            assert!(pn.terminals.len() >= 2);
+            match pn.terminals[0] {
+                BlockRef::Cluster(_) | BlockRef::InputPad(_) => {}
+                other => panic!("driver should be cluster or input pad, got {other:?}"),
+            }
+        }
+        // The output net's last terminal is the output pad.
+        let qnet = nets.iter().find(|p| p.net == q).unwrap();
+        assert!(matches!(qnet.terminals.last(), Some(BlockRef::OutputPad(_))));
+    }
+}

@@ -1,0 +1,473 @@
+//! Adaptive simulated-annealing placement (the VPR schedule).
+
+use std::collections::HashMap;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use fpga_arch::device::{Device, GridLoc};
+use fpga_pack::{Clustering, ClusterId};
+
+use crate::cost::{crossing_factor, net_terminals, PlacedNet};
+use crate::{BlockRef, PlaceError, Result, Slot};
+
+/// Placement options.
+#[derive(Clone, Debug)]
+pub struct PlaceOptions {
+    pub seed: u64,
+    /// Moves per temperature = `inner_num * blocks^(4/3)` (VPR default 10;
+    /// smaller values trade quality for speed).
+    pub inner_num: f64,
+}
+
+impl Default for PlaceOptions {
+    fn default() -> Self {
+        PlaceOptions { seed: 1, inner_num: 5.0 }
+    }
+}
+
+/// The placement result.
+#[derive(Clone, Debug)]
+pub struct Placement {
+    pub device: Device,
+    /// Block -> placed slot.
+    pub slots: HashMap<BlockRef, Slot>,
+    /// Final bounding-box cost.
+    pub cost: f64,
+    /// Nets used for the cost (kept for routing and reports).
+    pub nets: Vec<PlacedNet>,
+}
+
+impl Placement {
+    /// Location of a block.
+    pub fn loc_of(&self, b: BlockRef) -> GridLoc {
+        self.slots[&b].loc
+    }
+
+    /// Location of a cluster.
+    pub fn cluster_loc(&self, c: ClusterId) -> GridLoc {
+        self.loc_of(BlockRef::Cluster(c))
+    }
+
+    /// Total half-perimeter wirelength (without crossing factors).
+    pub fn hpwl(&self) -> u64 {
+        self.nets
+            .iter()
+            .map(|n| {
+                let (w, h) = bbox(&n.terminals, &self.slots);
+                (w + h) as u64
+            })
+            .sum()
+    }
+
+    /// Render the `.place`-style text file.
+    pub fn write_place(&self, clustering: &Clustering) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "# placement: {} blocks, grid {} x {}\n",
+            self.slots.len(),
+            self.device.width,
+            self.device.height
+        ));
+        let mut rows: Vec<(String, Slot)> = self
+            .slots
+            .iter()
+            .map(|(b, s)| {
+                let name = match b {
+                    BlockRef::Cluster(c) => format!("clb_{}", c.0),
+                    BlockRef::InputPad(n) => {
+                        format!("in_{}", clustering.netlist.net_name(*n))
+                    }
+                    BlockRef::OutputPad(n) => {
+                        format!("out_{}", clustering.netlist.net_name(*n))
+                    }
+                };
+                (name, *s)
+            })
+            .collect();
+        rows.sort();
+        for (name, slot) in rows {
+            out.push_str(&format!(
+                "{name} {} {} {}\n",
+                slot.loc.x, slot.loc.y, slot.sub
+            ));
+        }
+        out
+    }
+}
+
+fn bbox(terminals: &[BlockRef], slots: &HashMap<BlockRef, Slot>) -> (u32, u32) {
+    let mut min_x = u32::MAX;
+    let mut max_x = 0;
+    let mut min_y = u32::MAX;
+    let mut max_y = 0;
+    for t in terminals {
+        let loc = slots[t].loc;
+        min_x = min_x.min(loc.x);
+        max_x = max_x.max(loc.x);
+        min_y = min_y.min(loc.y);
+        max_y = max_y.max(loc.y);
+    }
+    (max_x - min_x, max_y - min_y)
+}
+
+fn net_cost(net: &PlacedNet, slots: &HashMap<BlockRef, Slot>) -> f64 {
+    let (w, h) = bbox(&net.terminals, slots);
+    crossing_factor(net.terminals.len()) * (w + h) as f64
+}
+
+/// Place a clustering onto a device with simulated annealing.
+pub fn place(clustering: &Clustering, device: Device, opts: PlaceOptions) -> Result<Placement> {
+    let nets = net_terminals(clustering);
+    let mut rng = SmallRng::seed_from_u64(opts.seed);
+
+    // Enumerate blocks.
+    let mut blocks: Vec<BlockRef> = (0..clustering.clusters.len())
+        .map(|i| BlockRef::Cluster(ClusterId(i as u32)))
+        .collect();
+    let mut io_blocks: Vec<BlockRef> = Vec::new();
+    for &pi in &clustering.netlist.inputs {
+        if !clustering.netlist.clocks.contains(&pi) {
+            io_blocks.push(BlockRef::InputPad(pi));
+        }
+    }
+    for &po in &clustering.netlist.outputs {
+        io_blocks.push(BlockRef::OutputPad(po));
+    }
+    // Clock pads still occupy an IO site (driven from off chip) but carry
+    // no placement cost; place them too so the bitstream can configure
+    // their pad. They are modelled as input pads.
+    for &clk in &clustering.netlist.clocks {
+        io_blocks.push(BlockRef::InputPad(clk));
+    }
+
+    let n_clb = blocks.len();
+    let n_io = io_blocks.len();
+    if n_clb > device.clb_capacity() || n_io > device.io_capacity() {
+        return Err(PlaceError::DoesNotFit {
+            clbs: n_clb,
+            clb_cap: device.clb_capacity(),
+            ios: n_io,
+            io_cap: device.io_capacity(),
+        });
+    }
+    blocks.extend(io_blocks.iter().copied());
+
+    // Initial placement: round-robin over sites.
+    let clb_sites: Vec<Slot> = device
+        .clb_locs()
+        .into_iter()
+        .map(|loc| Slot { loc, sub: 0 })
+        .collect();
+    let io_sites: Vec<Slot> = device
+        .io_locs()
+        .into_iter()
+        .flat_map(|loc| {
+            (0..device.arch.io_per_tile as u32).map(move |sub| Slot { loc, sub })
+        })
+        .collect();
+
+    let mut slots: HashMap<BlockRef, Slot> = HashMap::new();
+    let mut occupant: HashMap<Slot, BlockRef> = HashMap::new();
+    for (i, &b) in blocks.iter().enumerate().take(n_clb) {
+        slots.insert(b, clb_sites[i]);
+        occupant.insert(clb_sites[i], b);
+    }
+    for (i, &b) in io_blocks.iter().enumerate() {
+        slots.insert(b, io_sites[i]);
+        occupant.insert(io_sites[i], b);
+    }
+
+    // Net index: block -> nets touching it.
+    let mut nets_of: HashMap<BlockRef, Vec<usize>> = HashMap::new();
+    for (ni, net) in nets.iter().enumerate() {
+        for &t in &net.terminals {
+            nets_of.entry(t).or_default().push(ni);
+        }
+    }
+    let mut net_costs: Vec<f64> = nets.iter().map(|n| net_cost(n, &slots)).collect();
+    let mut cost: f64 = net_costs.iter().sum();
+
+    if blocks.is_empty() || nets.is_empty() {
+        return Ok(Placement { device, slots, cost, nets });
+    }
+
+    // One annealing move; returns Some(delta) if accepted.
+    let moves_per_temp =
+        ((opts.inner_num * (blocks.len() as f64).powf(4.0 / 3.0)) as usize).max(16);
+    let mut rlim = device.width.max(device.height) as f64;
+
+    // Initial temperature: the std-dev of a sample of move deltas (VPR
+    // uses 20x; accept-everything warm start).
+    let mut deltas = Vec::new();
+    {
+        let mut trial_slots = slots.clone();
+        let mut trial_occ = occupant.clone();
+        let mut trial_costs = net_costs.clone();
+        for _ in 0..blocks.len().min(200) {
+            if let Some(delta) = try_move(
+                &blocks,
+                &nets,
+                &nets_of,
+                &mut trial_slots,
+                &mut trial_occ,
+                &mut trial_costs,
+                &clb_sites,
+                &io_sites,
+                n_clb,
+                f64::INFINITY,
+                rlim,
+                &mut rng,
+            ) {
+                deltas.push(delta);
+            }
+        }
+    }
+    let mean = deltas.iter().sum::<f64>() / deltas.len().max(1) as f64;
+    let var = deltas.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>()
+        / deltas.len().max(1) as f64;
+    let mut temp = 20.0 * var.sqrt().max(1.0);
+
+    let exit_temp = |cost: f64, nets: usize| 0.005 * cost / nets.max(1) as f64;
+    while temp > exit_temp(cost, nets.len()) {
+        let mut accepted = 0usize;
+        for _ in 0..moves_per_temp {
+            if let Some(delta) = try_move(
+                &blocks,
+                &nets,
+                &nets_of,
+                &mut slots,
+                &mut occupant,
+                &mut net_costs,
+                &clb_sites,
+                &io_sites,
+                n_clb,
+                temp,
+                rlim,
+                &mut rng,
+            ) {
+                accepted += 1;
+                cost += delta;
+            }
+        }
+        // VPR's schedule: keep the acceptance rate near 0.44.
+        let rate = accepted as f64 / moves_per_temp as f64;
+        let alpha = if rate > 0.96 {
+            0.5
+        } else if rate > 0.8 {
+            0.9
+        } else if rate > 0.15 {
+            0.95
+        } else {
+            0.8
+        };
+        temp *= alpha;
+        rlim = (rlim * (1.0 - 0.44 + rate)).clamp(1.0, device.width.max(device.height) as f64);
+        // Guard against numerical drift on long runs.
+        if cost < 0.0 {
+            cost = net_costs.iter().sum();
+        }
+    }
+    // Final exact cost.
+    let cost: f64 = nets.iter().map(|n| net_cost(n, &slots)).sum();
+    Ok(Placement { device, slots, cost, nets })
+}
+
+/// Propose and evaluate one move. Returns the accepted delta, or None.
+#[allow(clippy::too_many_arguments)]
+fn try_move(
+    blocks: &[BlockRef],
+    nets: &[PlacedNet],
+    nets_of: &HashMap<BlockRef, Vec<usize>>,
+    slots: &mut HashMap<BlockRef, Slot>,
+    occupant: &mut HashMap<Slot, BlockRef>,
+    net_costs: &mut [f64],
+    clb_sites: &[Slot],
+    io_sites: &[Slot],
+    n_clb: usize,
+    temp: f64,
+    rlim: f64,
+    rng: &mut SmallRng,
+) -> Option<f64> {
+    let bi = rng.gen_range(0..blocks.len());
+    let block = blocks[bi];
+    let from = slots[&block];
+    // Target site of the same class within the range limit.
+    let sites = if bi < n_clb { clb_sites } else { io_sites };
+    let mut to = sites[rng.gen_range(0..sites.len())];
+    for _ in 0..8 {
+        let d = (from.loc.x.abs_diff(to.loc.x) + from.loc.y.abs_diff(to.loc.y)) as f64;
+        if d <= rlim.max(2.0) && to != from {
+            break;
+        }
+        to = sites[rng.gen_range(0..sites.len())];
+    }
+    if to == from {
+        return None;
+    }
+    let other = occupant.get(&to).copied();
+
+    // Affected nets.
+    let mut affected: Vec<usize> = nets_of.get(&block).cloned().unwrap_or_default();
+    if let Some(o) = other {
+        if let Some(extra) = nets_of.get(&o) {
+            affected.extend(extra.iter().copied());
+        }
+    }
+    affected.sort_unstable();
+    affected.dedup();
+
+    // Apply tentatively.
+    slots.insert(block, to);
+    occupant.insert(to, block);
+    if let Some(o) = other {
+        slots.insert(o, from);
+        occupant.insert(from, o);
+    } else {
+        occupant.remove(&from);
+    }
+
+    let mut delta = 0.0;
+    let new_costs: Vec<(usize, f64)> = affected
+        .iter()
+        .map(|&ni| {
+            let c = net_cost(&nets[ni], slots);
+            delta += c - net_costs[ni];
+            (ni, c)
+        })
+        .collect();
+
+    let accept = delta <= 0.0 || {
+        temp.is_finite() && rng.gen::<f64>() < (-delta / temp).exp()
+            || temp.is_infinite()
+    };
+    if accept {
+        for (ni, c) in new_costs {
+            net_costs[ni] = c;
+        }
+        Some(delta)
+    } else {
+        // Revert.
+        slots.insert(block, from);
+        occupant.insert(from, block);
+        if let Some(o) = other {
+            slots.insert(o, to);
+            occupant.insert(to, o);
+        } else {
+            occupant.remove(&to);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpga_arch::{Architecture, ClbArch};
+    use fpga_netlist::ir::{CellKind, Netlist};
+
+    fn chain_clustering(n: usize) -> Clustering {
+        let mut nl = Netlist::new("chain");
+        let clk = nl.net("clk");
+        nl.add_clock(clk);
+        let mut prev = nl.net("x");
+        nl.add_input(prev);
+        for i in 0..n {
+            let d = nl.net(&format!("d{i}"));
+            let q = nl.net(&format!("q{i}"));
+            nl.add_cell(&format!("l{i}"), CellKind::Lut { k: 1, truth: 0b01 }, vec![prev], d);
+            nl.add_cell(&format!("f{i}"), CellKind::Dff { clock: clk, init: false }, vec![d], q);
+            prev = q;
+        }
+        nl.add_output(prev);
+        fpga_pack::pack(&nl, &ClbArch::paper_default()).unwrap()
+    }
+
+    #[test]
+    fn placement_is_legal() {
+        let c = chain_clustering(40);
+        let device = Device::sized_for(
+            Architecture::paper_default(),
+            c.clusters.len(),
+            c.netlist.inputs.len() + c.netlist.outputs.len(),
+        );
+        let p = place(&c, device, PlaceOptions::default()).unwrap();
+        // Every block has a distinct slot of the right class.
+        let mut seen = std::collections::HashSet::new();
+        for (b, s) in &p.slots {
+            assert!(seen.insert(*s), "slot reused: {s:?}");
+            match p.device.block_at(s.loc) {
+                fpga_arch::BlockKind::Clb => assert!(!b.is_io(), "{b:?} on CLB tile"),
+                fpga_arch::BlockKind::Io => assert!(b.is_io(), "{b:?} on IO tile"),
+                fpga_arch::BlockKind::Empty => panic!("block on empty tile"),
+            }
+            if b.is_io() {
+                assert!((s.sub as usize) < p.device.arch.io_per_tile);
+            } else {
+                assert_eq!(s.sub, 0);
+            }
+        }
+        assert!(p.cost > 0.0);
+    }
+
+    #[test]
+    fn annealing_beats_initial_placement() {
+        let c = chain_clustering(60);
+        let device = Device::sized_for(Architecture::paper_default(), c.clusters.len(), 4);
+        // "Initial" = annealer frozen immediately (zero moves): emulate by
+        // computing cost of the round-robin assignment via a tiny run at
+        // inner_num ~ 0. Instead, compare against a clearly bad measure:
+        // the worst-case bbox if every net spanned the whole chip.
+        let p = place(&c, device.clone(), PlaceOptions { seed: 3, inner_num: 4.0 }).unwrap();
+        let span = (device.width + device.height) as f64;
+        let worst: f64 = p
+            .nets
+            .iter()
+            .map(|n| crate::cost::crossing_factor(n.terminals.len()) * span)
+            .sum();
+        assert!(
+            p.cost < 0.8 * worst,
+            "annealed cost {} should beat whole-chip spans {}",
+            p.cost,
+            worst
+        );
+        // A chain should place compactly: average net bbox small.
+        let avg = p.hpwl() as f64 / p.nets.len() as f64;
+        assert!(avg < span / 2.0, "avg net span {avg} vs chip span {span}");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let c = chain_clustering(20);
+        let mk = || {
+            let device = Device::sized_for(Architecture::paper_default(), c.clusters.len(), 4);
+            place(&c, device, PlaceOptions { seed: 7, inner_num: 2.0 }).unwrap()
+        };
+        let p1 = mk();
+        let p2 = mk();
+        assert_eq!(p1.cost, p2.cost);
+        assert_eq!(p1.slots, p2.slots);
+    }
+
+    #[test]
+    fn too_small_device_rejected() {
+        let c = chain_clustering(40);
+        let device = Device::new(Architecture::paper_default(), 1, 1);
+        assert!(matches!(
+            place(&c, device, PlaceOptions::default()),
+            Err(PlaceError::DoesNotFit { .. })
+        ));
+    }
+
+    #[test]
+    fn place_file_lists_all_blocks() {
+        let c = chain_clustering(10);
+        let device = Device::sized_for(Architecture::paper_default(), c.clusters.len(), 4);
+        let p = place(&c, device, PlaceOptions { seed: 2, inner_num: 1.0 }).unwrap();
+        let text = p.write_place(&c);
+        let body_lines = text.lines().filter(|l| !l.starts_with('#')).count();
+        assert_eq!(body_lines, p.slots.len());
+        assert!(text.contains("clb_0"));
+        assert!(text.contains("in_x"));
+    }
+}

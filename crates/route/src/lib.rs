@@ -1,0 +1,52 @@
+//! # fpga-route
+//!
+//! The routing half of the flow's "VPR" tool.
+//!
+//! * [`rrgraph`] — the routing-resource graph of the island-style fabric:
+//!   output/input pins, segmented channel wires, disjoint switch boxes
+//!   (Fs = 3) and connection boxes with configurable Fc, exactly the
+//!   §3.3 architecture.
+//! * [`pathfinder`] — the PathFinder negotiated-congestion router:
+//!   repeated shortest-path search with present-congestion and historic
+//!   cost terms until no routing resource is overused.
+//! * [`timing`] — Elmore-style delay estimates over routed trees using the
+//!   platform's switch and wire electricals.
+//!
+//! `find_min_channel_width` runs the binary search VPR uses to report the
+//! minimum channel width a netlist needs on the architecture.
+
+pub mod pathfinder;
+pub mod rrgraph;
+pub mod sta;
+pub mod timing;
+
+pub use pathfinder::{find_min_channel_width, route, RouteOptions, RouteResult, RoutedNet};
+pub use sta::{analyze_paths, LogicDelays, StaResult};
+pub use rrgraph::{RrGraph, RrKind, RrNodeId};
+
+/// Errors from routing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RouteError {
+    /// PathFinder did not converge at this channel width.
+    Unroutable { channel_width: usize, overused: usize },
+    /// A net endpoint could not be attached to the graph.
+    BadEndpoint(String),
+    Internal(String),
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteError::Unroutable { channel_width, overused } => write!(
+                f,
+                "unroutable at channel width {channel_width}: {overused} overused nodes"
+            ),
+            RouteError::BadEndpoint(msg) => write!(f, "bad net endpoint: {msg}"),
+            RouteError::Internal(msg) => write!(f, "internal routing error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+pub type Result<T> = std::result::Result<T, RouteError>;

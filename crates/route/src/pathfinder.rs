@@ -1,0 +1,472 @@
+//! PathFinder: negotiated-congestion routing.
+//!
+//! Each iteration routes every net by Dijkstra search over the RR graph
+//! with the cost `base * (1 + hist) * (1 + pres * overuse)`. Present-
+//! congestion pressure (`pres`) grows each iteration, history cost
+//! accumulates on persistently overused nodes, and the loop ends when no
+//! node is shared.
+
+use std::collections::{BinaryHeap, HashMap};
+
+use fpga_netlist::ir::NetId;
+use fpga_pack::Clustering;
+use fpga_place::{BlockRef, Placement};
+
+use crate::rrgraph::{clb_ipin, clb_opin, RrGraph, RrKind, RrNodeId};
+use crate::{RouteError, Result};
+
+/// Router options.
+#[derive(Clone, Debug)]
+pub struct RouteOptions {
+    pub max_iterations: usize,
+    pub pres_fac_first: f64,
+    pub pres_fac_mult: f64,
+    pub hist_fac: f64,
+}
+
+impl Default for RouteOptions {
+    fn default() -> Self {
+        RouteOptions {
+            max_iterations: 30,
+            pres_fac_first: 0.5,
+            pres_fac_mult: 1.8,
+            hist_fac: 0.4,
+        }
+    }
+}
+
+/// One routed net: the tree as (node, parent-node) pairs, roots first.
+#[derive(Clone, Debug)]
+pub struct RoutedNet {
+    pub net: NetId,
+    pub source: RrNodeId,
+    pub sinks: Vec<RrNodeId>,
+    /// Every RR node used by the net, with its parent in the tree
+    /// (`None` for the source).
+    pub tree: Vec<(RrNodeId, Option<RrNodeId>)>,
+}
+
+impl RoutedNet {
+    /// Wire segments used.
+    pub fn wirelength(&self, g: &RrGraph) -> usize {
+        self.tree.iter().filter(|(n, _)| g.kind(*n).is_wire()).count()
+    }
+}
+
+/// The routing result.
+#[derive(Clone, Debug)]
+pub struct RouteResult {
+    pub nets: Vec<RoutedNet>,
+    pub channel_width: usize,
+    pub iterations: usize,
+    /// Total wire segments used.
+    pub wirelength: usize,
+}
+
+/// Endpoints of every routable net in RR-graph terms.
+pub fn net_endpoints(
+    clustering: &Clustering,
+    placement: &Placement,
+    g: &RrGraph,
+) -> Result<Vec<(NetId, RrNodeId, Vec<RrNodeId>)>> {
+    let device = &placement.device;
+    let mut out = Vec::new();
+    for pn in &placement.nets {
+        let driver = pn.terminals[0];
+        let source = match driver {
+            BlockRef::Cluster(c) => {
+                let loc = placement.cluster_loc(c);
+                // Which BLE slot drives this net?
+                let cluster = &clustering.clusters[c.0 as usize];
+                let slot = cluster
+                    .bles
+                    .iter()
+                    .position(|&b| clustering.bles[b.0 as usize].output == pn.net)
+                    .ok_or_else(|| {
+                        RouteError::BadEndpoint(format!(
+                            "cluster {} does not drive net {}",
+                            c.0,
+                            clustering.netlist.net_name(pn.net)
+                        ))
+                    })?;
+                clb_opin(g, device, loc, slot).ok_or_else(|| {
+                    RouteError::BadEndpoint("missing CLB opin".to_string())
+                })?
+            }
+            BlockRef::InputPad(n) => {
+                let slot = placement.slots[&BlockRef::InputPad(n)];
+                g.find(RrKind::Opin { x: slot.loc.x, y: slot.loc.y, pin: slot.sub })
+                    .ok_or_else(|| RouteError::BadEndpoint("missing pad opin".into()))?
+            }
+            BlockRef::OutputPad(_) => {
+                return Err(RouteError::BadEndpoint(
+                    "net driven by an output pad".into(),
+                ))
+            }
+        };
+        let mut sinks = Vec::new();
+        for &term in &pn.terminals[1..] {
+            match term {
+                BlockRef::Cluster(c) => {
+                    let loc = placement.cluster_loc(c);
+                    let cluster = &clustering.clusters[c.0 as usize];
+                    let idx = cluster
+                        .inputs
+                        .iter()
+                        .position(|&n| n == pn.net)
+                        .ok_or_else(|| {
+                            RouteError::BadEndpoint(format!(
+                                "cluster {} does not consume net {}",
+                                c.0,
+                                clustering.netlist.net_name(pn.net)
+                            ))
+                        })?;
+                    sinks.push(clb_ipin(g, loc, idx).ok_or_else(|| {
+                        RouteError::BadEndpoint("missing CLB ipin".into())
+                    })?);
+                }
+                BlockRef::OutputPad(n) => {
+                    let slot = placement.slots[&BlockRef::OutputPad(n)];
+                    sinks.push(
+                        g.find(RrKind::Ipin {
+                            x: slot.loc.x,
+                            y: slot.loc.y,
+                            pin: slot.sub,
+                        })
+                        .ok_or_else(|| RouteError::BadEndpoint("missing pad ipin".into()))?,
+                    );
+                }
+                BlockRef::InputPad(_) => {
+                    return Err(RouteError::BadEndpoint(
+                        "input pad listed as a sink".into(),
+                    ))
+                }
+            }
+        }
+        out.push((pn.net, source, sinks));
+    }
+    Ok(out)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+struct HeapEntry {
+    cost: f64,
+    node: RrNodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap on cost.
+        other.cost.partial_cmp(&self.cost).unwrap_or(std::cmp::Ordering::Equal)
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+fn base_cost(kind: RrKind) -> f64 {
+    match kind {
+        RrKind::Chanx { .. } | RrKind::Chany { .. } => 1.0,
+        RrKind::Ipin { .. } => 0.9,
+        RrKind::Opin { .. } => 0.9,
+    }
+}
+
+/// Route all nets of a placement on an RR graph.
+pub fn route(
+    clustering: &Clustering,
+    placement: &Placement,
+    g: &RrGraph,
+    opts: &RouteOptions,
+) -> Result<RouteResult> {
+    let endpoints = net_endpoints(clustering, placement, g)?;
+    let n_nodes = g.node_count();
+    let mut occupancy = vec![0u32; n_nodes];
+    let mut history = vec![0.0f64; n_nodes];
+    let mut trees: HashMap<NetId, Vec<(RrNodeId, Option<RrNodeId>)>> = HashMap::new();
+
+    let mut pres_fac = opts.pres_fac_first;
+    for iteration in 0..opts.max_iterations {
+        for (net, source, sinks) in &endpoints {
+            // Rip up the previous tree.
+            if let Some(old) = trees.remove(net) {
+                for (n, _) in &old {
+                    occupancy[n.0 as usize] -= 1;
+                }
+            }
+            let tree = route_net(g, *source, sinks, &occupancy, &history, pres_fac)
+                .ok_or_else(|| RouteError::Internal(format!(
+                    "no path for net '{}'",
+                    clustering.netlist.net_name(*net)
+                )))?;
+            for (n, _) in &tree {
+                occupancy[n.0 as usize] += 1;
+            }
+            trees.insert(*net, tree);
+        }
+        // Congestion check: every node capacity is 1.
+        let mut overused = 0usize;
+        for (i, &occ) in occupancy.iter().enumerate() {
+            if occ > 1 {
+                overused += 1;
+                history[i] += opts.hist_fac * (occ - 1) as f64;
+            }
+        }
+        if overused == 0 {
+            let nets: Vec<RoutedNet> = endpoints
+                .iter()
+                .map(|(net, source, sinks)| RoutedNet {
+                    net: *net,
+                    source: *source,
+                    sinks: sinks.clone(),
+                    tree: trees[net].clone(),
+                })
+                .collect();
+            let wirelength = nets.iter().map(|n| n.wirelength(g)).sum();
+            return Ok(RouteResult {
+                nets,
+                channel_width: g.channel_width,
+                iterations: iteration + 1,
+                wirelength,
+            });
+        }
+        pres_fac *= opts.pres_fac_mult;
+    }
+    let overused = occupancy.iter().filter(|&&o| o > 1).count();
+    Err(RouteError::Unroutable { channel_width: g.channel_width, overused })
+}
+
+/// Dijkstra-grown route tree for one net.
+fn route_net(
+    g: &RrGraph,
+    source: RrNodeId,
+    sinks: &[RrNodeId],
+    occupancy: &[u32],
+    history: &[f64],
+    pres_fac: f64,
+) -> Option<Vec<(RrNodeId, Option<RrNodeId>)>> {
+    let n = g.node_count();
+    let mut tree: Vec<(RrNodeId, Option<RrNodeId>)> = vec![(source, None)];
+    let mut in_tree = vec![false; n];
+    in_tree[source.0 as usize] = true;
+    let mut remaining: Vec<RrNodeId> = sinks.to_vec();
+
+    let node_cost = |id: RrNodeId, extra_occ: u32| -> f64 {
+        let i = id.0 as usize;
+        let occ = occupancy[i] + extra_occ;
+        let over = occ as f64; // capacity 1: occ >= 1 means congestion next
+        base_cost(g.kind(id)) * (1.0 + history[i]) * (1.0 + pres_fac * over)
+    };
+
+    while !remaining.is_empty() {
+        // Dijkstra from the whole current tree to the nearest sink.
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev: Vec<Option<RrNodeId>> = vec![None; n];
+        let mut heap = BinaryHeap::new();
+        for &(tn, _) in &tree {
+            dist[tn.0 as usize] = 0.0;
+            heap.push(HeapEntry { cost: 0.0, node: tn });
+        }
+        let mut reached: Option<RrNodeId> = None;
+        while let Some(HeapEntry { cost, node }) = heap.pop() {
+            if cost > dist[node.0 as usize] {
+                continue;
+            }
+            if remaining.contains(&node) {
+                reached = Some(node);
+                break;
+            }
+            // Input pins terminate paths: you cannot route *through* a pin.
+            if !in_tree[node.0 as usize]
+                && matches!(g.kind(node), RrKind::Ipin { .. })
+            {
+                continue;
+            }
+            for &succ in &g.edges[node.0 as usize] {
+                let c = cost + node_cost(succ, 0);
+                if c < dist[succ.0 as usize] {
+                    dist[succ.0 as usize] = c;
+                    prev[succ.0 as usize] = Some(node);
+                    heap.push(HeapEntry { cost: c, node: succ });
+                }
+            }
+        }
+        let sink = reached?;
+        // Trace back to the tree.
+        let mut cur = sink;
+        let mut path = Vec::new();
+        while !in_tree[cur.0 as usize] {
+            let p = prev[cur.0 as usize]?;
+            path.push((cur, Some(p)));
+            cur = p;
+        }
+        for &(node, parent) in path.iter().rev() {
+            tree.push((node, parent));
+            in_tree[node.0 as usize] = true;
+        }
+        remaining.retain(|&s| s != sink);
+    }
+    Some(tree)
+}
+
+/// Binary search for the minimum channel width that routes the design.
+pub fn find_min_channel_width(
+    clustering: &Clustering,
+    placement: &Placement,
+    opts: &RouteOptions,
+    max_width: usize,
+) -> Result<(usize, RouteResult)> {
+    let device = &placement.device;
+    // Find an upper bound that routes.
+    let mut hi = device.arch.routing.channel_width.max(2);
+    let mut best: Option<(usize, RouteResult)>;
+    loop {
+        let g = RrGraph::build(device, hi);
+        match route(clustering, placement, &g, opts) {
+            Ok(r) => {
+                best = Some((hi, r));
+                break;
+            }
+            Err(_) if hi < max_width => hi = (hi * 2).min(max_width),
+            Err(e) => return Err(e),
+        }
+    }
+    let mut hi_w = hi;
+    let mut lo = 1usize;
+    while lo < hi_w {
+        let mid = (lo + hi_w) / 2;
+        let g = RrGraph::build(device, mid);
+        match route(clustering, placement, &g, opts) {
+            Ok(r) => {
+                best = Some((mid, r));
+                hi_w = mid;
+            }
+            Err(_) => lo = mid + 1,
+        }
+    }
+    Ok(best.expect("at least one successful width"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpga_arch::{Architecture, ClbArch};
+    use fpga_arch::device::Device;
+    use fpga_netlist::ir::{CellKind, Netlist};
+    use fpga_place::{place, PlaceOptions};
+
+    fn flow(n_luts: usize, seed: u64) -> (Clustering, Placement) {
+        // A few LUT+FF chains with cross-links for routing pressure.
+        let mut nl = Netlist::new("t");
+        let clk = nl.net("clk");
+        nl.add_clock(clk);
+        let a = nl.net("a");
+        let b = nl.net("b");
+        nl.add_input(a);
+        nl.add_input(b);
+        let mut prev = a;
+        for i in 0..n_luts {
+            let d = nl.net(&format!("d{i}"));
+            let q = nl.net(&format!("q{i}"));
+            nl.add_cell(
+                &format!("l{i}"),
+                CellKind::Lut { k: 2, truth: 0b0110 },
+                vec![prev, b],
+                d,
+            );
+            nl.add_cell(&format!("f{i}"), CellKind::Dff { clock: clk, init: false }, vec![d], q);
+            prev = q;
+        }
+        nl.add_output(prev);
+        let c = fpga_pack::pack(&nl, &ClbArch::paper_default()).unwrap();
+        let device = Device::sized_for(Architecture::paper_default(), c.clusters.len(), 8);
+        let p = place(&c, device, PlaceOptions { seed, inner_num: 2.0 }).unwrap();
+        (c, p)
+    }
+
+    #[test]
+    fn routes_small_design() {
+        let (c, p) = flow(12, 1);
+        let g = RrGraph::build(&p.device, p.device.arch.routing.channel_width);
+        let r = route(&c, &p, &g, &RouteOptions::default()).unwrap();
+        assert_eq!(r.nets.len(), p.nets.len());
+        assert!(r.wirelength > 0);
+        // Legality: no node used twice.
+        let mut used = std::collections::HashSet::new();
+        for net in &r.nets {
+            for (node, _) in &net.tree {
+                assert!(used.insert(*node), "node {:?} shared", g.kind(*node));
+            }
+        }
+        // Connectivity: every sink is in its net's tree, every tree node's
+        // parent precedes it.
+        for net in &r.nets {
+            let nodes: std::collections::HashSet<_> =
+                net.tree.iter().map(|(n, _)| *n).collect();
+            for s in &net.sinks {
+                assert!(nodes.contains(s), "sink not reached");
+            }
+            for (i, (node, parent)) in net.tree.iter().enumerate() {
+                if let Some(p) = parent {
+                    let pos = net.tree.iter().position(|(n, _)| n == p).unwrap();
+                    assert!(pos < i, "parent after child for {node:?}");
+                } else {
+                    assert_eq!(*node, net.source);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trees_follow_graph_edges() {
+        let (c, p) = flow(8, 2);
+        let g = RrGraph::build(&p.device, 10);
+        let r = route(&c, &p, &g, &RouteOptions::default()).unwrap();
+        for net in &r.nets {
+            for (node, parent) in &net.tree {
+                if let Some(par) = parent {
+                    assert!(
+                        g.edges[par.0 as usize].contains(node),
+                        "tree edge {:?} -> {:?} not in graph",
+                        g.kind(*par),
+                        g.kind(*node)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn min_channel_width_is_found() {
+        let (c, p) = flow(10, 3);
+        let (w, r) =
+            find_min_channel_width(&c, &p, &RouteOptions::default(), 64).unwrap();
+        assert!((1..=64).contains(&w));
+        assert_eq!(r.channel_width, w);
+        // One less track must fail (minimality), unless already 1.
+        if w > 1 {
+            let g = RrGraph::build(&p.device, w - 1);
+            assert!(route(&c, &p, &g, &RouteOptions::default()).is_err());
+        }
+    }
+
+    #[test]
+    fn tiny_channel_is_unroutable() {
+        let (c, p) = flow(25, 4);
+        let g = RrGraph::build(&p.device, 1);
+        let opts = RouteOptions { max_iterations: 6, ..Default::default() };
+        match route(&c, &p, &g, &opts) {
+            Err(RouteError::Unroutable { .. }) | Err(RouteError::Internal(_)) => {}
+            Ok(r) => {
+                // Highly unlikely but legal for trivially small placements.
+                assert!(r.wirelength > 0);
+            }
+            Err(other) => panic!("unexpected error {other}"),
+        }
+    }
+}

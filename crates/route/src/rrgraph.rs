@@ -1,0 +1,328 @@
+//! The routing-resource graph.
+//!
+//! Geometry conventions (see `fpga_arch::device`): horizontal channel
+//! segment `Chanx { x, y, t }` runs along row boundary `y` (0..=H) at
+//! column `x` (1..=W); vertical segment `Chany { x, y, t }` runs along
+//! column boundary `x` (0..=W) at row `y` (1..=H). A switch box sits at
+//! every corner `(x, y)` with `x` in 0..=W, `y` in 0..=H, joining up to
+//! four wires of the same track index (the disjoint topology, Fs = 3).
+//!
+//! Pins: CLB input pins are numbered `0..I`, output pins `I..I+N`; IO
+//! tiles number their pads' fabric-driving pin (OPIN) and fabric-receiving
+//! pin (IPIN) by the pad sub-slot.
+
+use std::collections::HashMap;
+
+use fpga_arch::device::{Device, GridLoc, PinClass};
+
+/// Routing-resource node id.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RrNodeId(pub u32);
+
+/// Node kinds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RrKind {
+    /// A block output pin at a grid location.
+    Opin { x: u32, y: u32, pin: u32 },
+    /// A block input pin.
+    Ipin { x: u32, y: u32, pin: u32 },
+    /// Horizontal channel wire.
+    Chanx { x: u32, y: u32, t: u32 },
+    /// Vertical channel wire.
+    Chany { x: u32, y: u32, t: u32 },
+}
+
+impl RrKind {
+    pub fn is_wire(&self) -> bool {
+        matches!(self, RrKind::Chanx { .. } | RrKind::Chany { .. })
+    }
+}
+
+/// The graph.
+#[derive(Clone, Debug)]
+pub struct RrGraph {
+    pub nodes: Vec<RrKind>,
+    /// Forward adjacency (switches are bidirectional pass transistors, so
+    /// wire-wire edges appear in both directions).
+    pub edges: Vec<Vec<RrNodeId>>,
+    index: HashMap<RrKind, RrNodeId>,
+    pub channel_width: usize,
+}
+
+impl RrGraph {
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn find(&self, kind: RrKind) -> Option<RrNodeId> {
+        self.index.get(&kind).copied()
+    }
+
+    pub fn kind(&self, id: RrNodeId) -> RrKind {
+        self.nodes[id.0 as usize]
+    }
+
+    /// Build the full graph for a device at the given channel width.
+    pub fn build(device: &Device, channel_width: usize) -> RrGraph {
+        let w = device.width as u32;
+        let h = device.height as u32;
+        let cw = channel_width as u32;
+        let mut g = RrGraph {
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            index: HashMap::new(),
+            channel_width,
+        };
+
+        let add = |g: &mut RrGraph, kind: RrKind| -> RrNodeId {
+            if let Some(&id) = g.index.get(&kind) {
+                return id;
+            }
+            let id = RrNodeId(g.nodes.len() as u32);
+            g.nodes.push(kind);
+            g.edges.push(Vec::new());
+            g.index.insert(kind, id);
+            id
+        };
+
+        // Channel wires.
+        for x in 1..=w {
+            for y in 0..=h {
+                for t in 0..cw {
+                    add(&mut g, RrKind::Chanx { x, y, t });
+                }
+            }
+        }
+        for x in 0..=w {
+            for y in 1..=h {
+                for t in 0..cw {
+                    add(&mut g, RrKind::Chany { x, y, t });
+                }
+            }
+        }
+
+        // Disjoint switch boxes: same track index joins at each corner.
+        // The four wires at corner (x, y): chanx(x, y) [west side],
+        // chanx(x+1, y) [east], chany(x, y) [below], chany(x, y+1) [above].
+        for x in 0..=w {
+            for y in 0..=h {
+                for t in 0..cw {
+                    let mut here: Vec<RrNodeId> = Vec::with_capacity(4);
+                    if x >= 1 {
+                        here.push(add(&mut g, RrKind::Chanx { x, y, t }));
+                    }
+                    if x < w {
+                        here.push(add(&mut g, RrKind::Chanx { x: x + 1, y, t }));
+                    }
+                    if y >= 1 {
+                        here.push(add(&mut g, RrKind::Chany { x, y, t }));
+                    }
+                    if y < h {
+                        here.push(add(&mut g, RrKind::Chany { x, y: y + 1, t }));
+                    }
+                    for i in 0..here.len() {
+                        for j in 0..here.len() {
+                            if i != j {
+                                let (a, b) = (here[i], here[j]);
+                                if !g.edges[a.0 as usize].contains(&b) {
+                                    g.edges[a.0 as usize].push(b);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // CLB pins.
+        let arch = &device.arch;
+        let tracks_for = |fc: f64, pin: u32| -> Vec<u32> {
+            let n = ((fc * cw as f64).ceil() as u32).clamp(1, cw);
+            (0..n).map(|k| (pin + k * cw.div_ceil(n).max(1)) % cw).collect()
+        };
+        for loc in device.clb_locs() {
+            for pin in 0..arch.clb.inputs as u32 {
+                let ipin = add(&mut g, RrKind::Ipin { x: loc.x, y: loc.y, pin });
+                let (horiz, cx, cy) = device.pin_channel(loc, PinClass::Input(pin));
+                for t in tracks_for(arch.routing.fc_in, pin) {
+                    let wire = if horiz {
+                        add(&mut g, RrKind::Chanx { x: cx, y: cy, t })
+                    } else {
+                        add(&mut g, RrKind::Chany { x: cx, y: cy, t })
+                    };
+                    g.edges[wire.0 as usize].push(ipin);
+                }
+            }
+            for out in 0..arch.clb.outputs as u32 {
+                let pin = arch.clb.inputs as u32 + out;
+                let opin = add(&mut g, RrKind::Opin { x: loc.x, y: loc.y, pin });
+                let (horiz, cx, cy) = device.pin_channel(loc, PinClass::Output(out));
+                for t in tracks_for(arch.routing.fc_out, pin) {
+                    let wire = if horiz {
+                        add(&mut g, RrKind::Chanx { x: cx, y: cy, t })
+                    } else {
+                        add(&mut g, RrKind::Chany { x: cx, y: cy, t })
+                    };
+                    g.edges[opin.0 as usize].push(wire);
+                }
+            }
+        }
+
+        // IO pads: every pad can both drive and receive on all tracks of
+        // its adjacent channel (pads are flexible).
+        for loc in device.io_locs() {
+            let (horiz, cx, cy) = device.io_channel(loc);
+            for sub in 0..device.arch.io_per_tile as u32 {
+                let opin = add(&mut g, RrKind::Opin { x: loc.x, y: loc.y, pin: sub });
+                let ipin = add(&mut g, RrKind::Ipin { x: loc.x, y: loc.y, pin: sub });
+                for t in 0..cw {
+                    let wire = if horiz {
+                        add(&mut g, RrKind::Chanx { x: cx, y: cy, t })
+                    } else {
+                        add(&mut g, RrKind::Chany { x: cx, y: cy, t })
+                    };
+                    g.edges[opin.0 as usize].push(wire);
+                    g.edges[wire.0 as usize].push(ipin);
+                }
+            }
+        }
+
+        g
+    }
+}
+
+/// Convenience: the RR node of a cluster's output pin for BLE slot `slot`.
+pub fn clb_opin(g: &RrGraph, device: &Device, loc: GridLoc, slot: usize) -> Option<RrNodeId> {
+    let pin = device.arch.clb.inputs as u32 + slot as u32;
+    g.find(RrKind::Opin { x: loc.x, y: loc.y, pin })
+}
+
+/// The RR node of a cluster's input pin at list position `idx`.
+pub fn clb_ipin(g: &RrGraph, loc: GridLoc, idx: usize) -> Option<RrNodeId> {
+    g.find(RrKind::Ipin { x: loc.x, y: loc.y, pin: idx as u32 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpga_arch::Architecture;
+
+    fn graph() -> (Device, RrGraph) {
+        let device = Device::new(Architecture::paper_default(), 3, 3);
+        let g = RrGraph::build(&device, 6);
+        (device, g)
+    }
+
+    #[test]
+    fn node_counts_match_geometry() {
+        let (device, g) = graph();
+        let w = device.width;
+        let h = device.height;
+        let cw = g.channel_width;
+        let chanx = w * (h + 1) * cw;
+        let chany = (w + 1) * h * cw;
+        let clb_pins = w * h * device.arch.clb.total_pins().saturating_sub(1); // no clock pin in RR
+        // Clock is global, so CLB pins = inputs + outputs only.
+        let io_pins = device.io_locs().len() * device.arch.io_per_tile * 2;
+        assert_eq!(
+            g.node_count(),
+            chanx + chany + clb_pins + io_pins,
+            "chanx {chanx} chany {chany} clb {clb_pins} io {io_pins}"
+        );
+    }
+
+    #[test]
+    fn disjoint_switchbox_preserves_track_index() {
+        let (_, g) = graph();
+        for (i, kind) in g.nodes.iter().enumerate() {
+            if let RrKind::Chanx { t, .. } | RrKind::Chany { t, .. } = kind {
+                for succ in &g.edges[i] {
+                    if let RrKind::Chanx { t: t2, .. } | RrKind::Chany { t: t2, .. } =
+                        g.kind(*succ)
+                    {
+                        assert_eq!(*t, t2, "disjoint SB must keep the track index");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wires_have_at_most_fs_wire_neighbours_per_end(){
+        let (_, g) = graph();
+        // A wire touches two switch boxes; with Fs = 3 it can reach at
+        // most 3 other wires per end = 6 wire neighbours total.
+        for (i, kind) in g.nodes.iter().enumerate() {
+            if kind.is_wire() {
+                let wire_neighbours =
+                    g.edges[i].iter().filter(|s| g.kind(**s).is_wire()).count();
+                assert!(wire_neighbours <= 6, "{kind:?} has {wire_neighbours}");
+            }
+        }
+    }
+
+    #[test]
+    fn clb_pins_connect_to_adjacent_channels_only() {
+        let (device, g) = graph();
+        let loc = GridLoc::new(2, 2);
+        for pin in 0..device.arch.clb.inputs as u32 {
+            let ipin = g.find(RrKind::Ipin { x: 2, y: 2, pin }).unwrap();
+            // Input pins are edge *targets*; find sources pointing at them.
+            let mut found = false;
+            for (i, kind) in g.nodes.iter().enumerate() {
+                if g.edges[i].contains(&ipin) {
+                    found = true;
+                    match kind {
+                        RrKind::Chanx { x, y, .. } => {
+                            assert_eq!(*x, 2);
+                            assert!(*y == 1 || *y == 2);
+                        }
+                        RrKind::Chany { x, y, .. } => {
+                            assert!(*x == 1 || *x == 2);
+                            assert_eq!(*y, 2);
+                        }
+                        other => panic!("pin fed by {other:?}"),
+                    }
+                }
+            }
+            assert!(found, "pin {pin} unreachable");
+        }
+        let _ = loc;
+    }
+
+    #[test]
+    fn fc_one_reaches_every_track() {
+        let (device, g) = graph();
+        // fc_in = 1.0: every input pin must see all tracks of its channel.
+        let pin = 0u32;
+        let ipin = g.find(RrKind::Ipin { x: 1, y: 1, pin }).unwrap();
+        let feeders: Vec<RrKind> = g
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| g.edges[*i].contains(&ipin))
+            .map(|(_, k)| *k)
+            .collect();
+        assert_eq!(feeders.len(), g.channel_width, "{feeders:?}");
+        let _ = device;
+    }
+
+    #[test]
+    fn io_pads_reach_the_ring_channels() {
+        let (device, g) = graph();
+        let loc = device.io_locs()[0];
+        let opin = g.find(RrKind::Opin { x: loc.x, y: loc.y, pin: 0 }).unwrap();
+        assert_eq!(g.edges[opin.0 as usize].len(), g.channel_width);
+    }
+
+    #[test]
+    fn helpers_find_pins() {
+        let (device, g) = graph();
+        let loc = GridLoc::new(1, 1);
+        assert!(clb_opin(&g, &device, loc, 0).is_some());
+        assert!(clb_opin(&g, &device, loc, device.arch.clb.outputs - 1).is_some());
+        assert!(clb_ipin(&g, loc, 0).is_some());
+        assert!(clb_ipin(&g, loc, device.arch.clb.inputs - 1).is_some());
+        assert!(clb_ipin(&g, loc, 99).is_none());
+    }
+}

@@ -1,0 +1,290 @@
+//! Static timing analysis over the placed-and-routed design.
+//!
+//! Combines three delay sources into path-based arrival times on the
+//! mapped netlist:
+//!
+//! * logic delay per LUT evaluation (crossbar + pass tree + BLE mux),
+//! * intra-cluster feedback (the fully connected local crossbar),
+//! * per-connection routed net delay (Elmore over the actual route tree,
+//!   looked up per sink pin).
+//!
+//! Paths start at primary inputs and FF outputs and end at FF D inputs
+//! and primary outputs; the maximum arrival is the critical path, whose
+//! net-by-net trace is reported for designers (and the ablation benches).
+
+use std::collections::HashMap;
+
+use fpga_netlist::ir::{CellKind, NetId};
+use fpga_pack::{Clustering, ClusterId};
+use fpga_place::{BlockRef, Placement};
+
+use crate::pathfinder::RouteResult;
+use crate::rrgraph::{RrGraph, RrKind};
+use crate::timing::{net_delays, TimingModel};
+
+/// Logic-stage delays of the platform (seconds).
+#[derive(Clone, Copy, Debug)]
+pub struct LogicDelays {
+    /// One LUT evaluation including its crossbar mux.
+    pub lut: f64,
+    /// Intra-cluster feedback path (crossbar only).
+    pub local: f64,
+    /// FF clock-to-Q.
+    pub clk_to_q: f64,
+    /// FF setup time.
+    pub setup: f64,
+}
+
+impl Default for LogicDelays {
+    fn default() -> Self {
+        LogicDelays { lut: 650e-12, local: 150e-12, clk_to_q: 105e-12, setup: 60e-12 }
+    }
+}
+
+/// The analysis result.
+#[derive(Clone, Debug)]
+pub struct StaResult {
+    /// Arrival time per net (seconds), for nets on analyzed paths.
+    pub arrival: HashMap<NetId, f64>,
+    /// The critical path as a net trace, source first.
+    pub critical_path: Vec<NetId>,
+    /// Critical delay including FF setup (= minimum clock period for
+    /// single-edge clocking; the DET platform runs the clock at half the
+    /// data rate but the data path constraint is identical).
+    pub critical_delay: f64,
+}
+
+impl StaResult {
+    /// Maximum data rate implied by the critical path (Hz).
+    pub fn fmax(&self) -> f64 {
+        if self.critical_delay <= 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / self.critical_delay
+        }
+    }
+}
+
+/// Run the analysis.
+pub fn analyze_paths(
+    clustering: &Clustering,
+    placement: &Placement,
+    routing: &RouteResult,
+    graph: &RrGraph,
+    wires: &TimingModel,
+    logic: &LogicDelays,
+) -> StaResult {
+    let nl = &clustering.netlist;
+
+    // Per-(net, sink location) routed delay: map each sink RR pin back to
+    // its grid location.
+    let mut routed_delay: HashMap<(NetId, (u32, u32)), f64> = HashMap::new();
+    for rn in &routing.nets {
+        for (sink, delay) in net_delays(rn, graph, wires) {
+            if let RrKind::Ipin { x, y, .. } = graph.kind(sink) {
+                let key = (rn.net, (x, y));
+                let entry = routed_delay.entry(key).or_insert(0.0);
+                *entry = entry.max(delay);
+            }
+        }
+    }
+
+    // Which cluster is each cell in, and where is that cluster?
+    let mut cluster_of_cell: HashMap<u32, ClusterId> = HashMap::new();
+    for (ci, cluster) in clustering.clusters.iter().enumerate() {
+        for &bid in &cluster.bles {
+            let ble = &clustering.bles[bid.0 as usize];
+            if let Some(lut) = ble.lut {
+                cluster_of_cell.insert(lut.0, ClusterId(ci as u32));
+            }
+            if let Some(ff) = ble.ff {
+                cluster_of_cell.insert(ff.0, ClusterId(ci as u32));
+            }
+        }
+    }
+
+    // Interconnect delay for a net arriving at a consuming cell.
+    let conn_delay = |net: NetId, consumer: u32| -> f64 {
+        match cluster_of_cell.get(&consumer) {
+            Some(&c) => {
+                let producer = clustering.producer(net);
+                if producer == Some(c) {
+                    logic.local // stays inside the cluster
+                } else {
+                    let loc = placement.cluster_loc(c);
+                    routed_delay
+                        .get(&(net, (loc.x, loc.y)))
+                        .copied()
+                        .unwrap_or(logic.local)
+                        + logic.local
+                }
+            }
+            None => logic.local,
+        }
+    };
+
+    // Arrival propagation in topological order.
+    let order = nl.topo_order().expect("mapped netlist is acyclic");
+    let mut arrival: HashMap<NetId, f64> = HashMap::new();
+    let mut pred: HashMap<NetId, NetId> = HashMap::new();
+    for &pi in &nl.inputs {
+        arrival.insert(pi, 0.0);
+    }
+    for cell in &nl.cells {
+        if cell.kind.is_ff() {
+            arrival.insert(cell.output, logic.clk_to_q);
+        }
+    }
+    for cid in order {
+        let cell = &nl.cells[cid.index()];
+        let mut worst = 0.0f64;
+        let mut worst_src: Option<NetId> = None;
+        for &input in &cell.inputs {
+            let a = arrival.get(&input).copied().unwrap_or(0.0)
+                + conn_delay(input, cid.0);
+            if a >= worst {
+                worst = a;
+                worst_src = Some(input);
+            }
+        }
+        let out_arrival = worst + logic.lut;
+        arrival.insert(cell.output, out_arrival);
+        if let Some(src) = worst_src {
+            pred.insert(cell.output, src);
+        }
+    }
+
+    // Endpoints: FF D inputs (+ setup + their arrival through the net) and
+    // primary outputs (+ routed delay to the pad).
+    let mut worst_end = 0.0f64;
+    let mut worst_net: Option<NetId> = None;
+    for cell in &nl.cells {
+        if let CellKind::Dff { .. } = cell.kind {
+            let d = cell.inputs[0];
+            let t = arrival.get(&d).copied().unwrap_or(0.0)
+                + conn_delay(d, u32::MAX)
+                + logic.setup;
+            if t > worst_end {
+                worst_end = t;
+                worst_net = Some(d);
+            }
+        }
+    }
+    for &po in &nl.outputs {
+        let pad_delay = placement
+            .slots
+            .get(&BlockRef::OutputPad(po))
+            .and_then(|s| routed_delay.get(&(po, (s.loc.x, s.loc.y))))
+            .copied()
+            .unwrap_or(0.0);
+        let t = arrival.get(&po).copied().unwrap_or(0.0) + pad_delay;
+        if t > worst_end {
+            worst_end = t;
+            worst_net = Some(po);
+        }
+    }
+
+    // Trace the critical path backwards.
+    let mut critical_path = Vec::new();
+    let mut cur = worst_net;
+    while let Some(net) = cur {
+        critical_path.push(net);
+        cur = pred.get(&net).copied();
+        if critical_path.len() > nl.nets.len() {
+            break; // defensive: no cycles expected
+        }
+    }
+    critical_path.reverse();
+
+    StaResult { arrival, critical_path, critical_delay: worst_end }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pathfinder::{route, RouteOptions};
+    use crate::rrgraph::RrGraph;
+    use fpga_arch::device::Device;
+    use fpga_arch::{Architecture, ClbArch};
+    use fpga_netlist::ir::Netlist;
+    use fpga_place::{place, PlaceOptions};
+
+    fn lut_chain(n: usize) -> Netlist {
+        let mut nl = Netlist::new("chain");
+        let a = nl.net("a");
+        nl.add_input(a);
+        let mut prev = a;
+        for i in 0..n {
+            let w = nl.net(&format!("w{i}"));
+            nl.add_cell(
+                &format!("l{i}"),
+                CellKind::Lut { k: 1, truth: 0b01 },
+                vec![prev],
+                w,
+            );
+            prev = w;
+        }
+        nl.add_output(prev);
+        nl
+    }
+
+    fn analyzed(n: usize) -> StaResult {
+        let nl = lut_chain(n);
+        let c = fpga_pack::pack(&nl, &ClbArch::paper_default()).unwrap();
+        let device = Device::sized_for(Architecture::paper_default(), c.clusters.len(), 4);
+        let p = place(&c, device, PlaceOptions { seed: 4, inner_num: 1.0 }).unwrap();
+        let g = RrGraph::build(&p.device, 10);
+        let r = route(&c, &p, &g, &RouteOptions::default()).unwrap();
+        analyze_paths(&c, &p, &r, &g, &TimingModel::default(), &LogicDelays::default())
+    }
+
+    #[test]
+    fn deeper_chains_are_slower() {
+        let d4 = analyzed(4).critical_delay;
+        let d12 = analyzed(12).critical_delay;
+        assert!(d12 > d4, "12-deep {d12:.3e} vs 4-deep {d4:.3e}");
+        // A 12-LUT chain must cost at least 12 LUT delays.
+        assert!(d12 >= 12.0 * LogicDelays::default().lut);
+    }
+
+    #[test]
+    fn critical_path_traces_the_chain() {
+        let sta = analyzed(8);
+        // The path must run from the input to the final output net.
+        assert!(sta.critical_path.len() >= 8, "{:?}", sta.critical_path);
+        assert!(sta.fmax() > 0.0 && sta.fmax() < 1e9);
+        // Arrivals are monotone along the reported path.
+        let mut last = -1.0;
+        for net in &sta.critical_path {
+            let a = sta.arrival.get(net).copied().unwrap_or(0.0);
+            assert!(a >= last, "arrivals must not decrease along the path");
+            last = a;
+        }
+    }
+
+    #[test]
+    fn registered_designs_measure_register_to_register() {
+        let mut nl = Netlist::new("r2r");
+        let clk = nl.net("clk");
+        nl.add_clock(clk);
+        let q0 = nl.net("q0");
+        let w = nl.net("w");
+        let d1 = nl.net("d1");
+        let q1 = nl.net("q1");
+        nl.add_output(q1);
+        nl.add_cell("f0", CellKind::Dff { clock: clk, init: false }, vec![q1], q0);
+        nl.add_cell("l0", CellKind::Lut { k: 1, truth: 0b10 }, vec![q0], w);
+        nl.add_cell("l1", CellKind::Lut { k: 1, truth: 0b01 }, vec![w], d1);
+        nl.add_cell("f1", CellKind::Dff { clock: clk, init: false }, vec![d1], q1);
+        let c = fpga_pack::pack(&nl, &ClbArch::paper_default()).unwrap();
+        let device = Device::sized_for(Architecture::paper_default(), c.clusters.len(), 3);
+        let p = place(&c, device, PlaceOptions { seed: 1, inner_num: 1.0 }).unwrap();
+        let g = RrGraph::build(&p.device, 8);
+        let r = route(&c, &p, &g, &RouteOptions::default()).unwrap();
+        let logic = LogicDelays::default();
+        let sta = analyze_paths(&c, &p, &r, &g, &TimingModel::default(), &logic);
+        // clk->Q + 2 LUTs + setup at minimum.
+        assert!(sta.critical_delay >= logic.clk_to_q + 2.0 * logic.lut + logic.setup);
+        assert!(sta.critical_delay < 100e-9);
+    }
+}

@@ -1,0 +1,197 @@
+//! Post-route delay estimation: Elmore delays over routed trees using the
+//! platform's wire and switch electricals (§3.3's selected design point:
+//! 10x pass transistors on length-1 segments).
+
+use std::collections::HashMap;
+
+use crate::pathfinder::{RouteResult, RoutedNet};
+use crate::rrgraph::{RrGraph, RrKind, RrNodeId};
+
+/// Per-resource electrical parameters (seconds-friendly SI units).
+#[derive(Clone, Copy, Debug)]
+pub struct TimingModel {
+    /// Switch on-resistance entering a wire (ohm).
+    pub switch_r: f64,
+    /// Wire segment capacitance (F).
+    pub wire_c: f64,
+    /// Wire segment resistance (ohm).
+    pub wire_r: f64,
+    /// Input-pin load (F).
+    pub ipin_c: f64,
+    /// Driver (output buffer) resistance (ohm).
+    pub driver_r: f64,
+    /// Intra-cluster (crossbar + LUT + FF) delay per CLB traversal (s).
+    pub clb_delay: f64,
+}
+
+impl Default for TimingModel {
+    fn default() -> Self {
+        // The selected platform point: 10x pass switches (~550 ohm),
+        // length-1 double-spacing wires (~11 fF, ~450 ohm effective with
+        // via resistance), minimum input buffers.
+        TimingModel {
+            switch_r: 550.0,
+            wire_c: 11e-15,
+            wire_r: 450.0,
+            ipin_c: 2e-15,
+            driver_r: 350.0,
+            clb_delay: 800e-12,
+        }
+    }
+}
+
+/// Elmore delay (s) from the net source to each sink.
+pub fn net_delays(
+    net: &RoutedNet,
+    g: &RrGraph,
+    model: &TimingModel,
+) -> HashMap<RrNodeId, f64> {
+    // Downstream capacitance per tree node.
+    let idx: HashMap<RrNodeId, usize> =
+        net.tree.iter().enumerate().map(|(i, (n, _))| (*n, i)).collect();
+    let node_c = |id: RrNodeId| -> f64 {
+        match g.kind(id) {
+            RrKind::Chanx { .. } | RrKind::Chany { .. } => model.wire_c,
+            RrKind::Ipin { .. } => model.ipin_c,
+            RrKind::Opin { .. } => 2e-15,
+        }
+    };
+    let node_r = |id: RrNodeId| -> f64 {
+        match g.kind(id) {
+            RrKind::Chanx { .. } | RrKind::Chany { .. } => model.switch_r + model.wire_r,
+            RrKind::Ipin { .. } => model.switch_r,
+            RrKind::Opin { .. } => model.driver_r,
+        }
+    };
+    let n = net.tree.len();
+    let mut cdown: Vec<f64> = net.tree.iter().map(|(id, _)| node_c(*id)).collect();
+    for i in (1..n).rev() {
+        if let Some(parent) = net.tree[i].1 {
+            let pi = idx[&parent];
+            cdown[pi] += cdown[i];
+        }
+    }
+    // Delay accumulates root -> leaves: delay(child) = delay(parent) +
+    // R(edge into child) * Cdown(child).
+    let mut delay = vec![0.0f64; n];
+    for i in 0..n {
+        let (id, parent) = net.tree[i];
+        match parent {
+            None => delay[i] = model.driver_r * cdown[i],
+            Some(p) => {
+                let pi = idx[&p];
+                delay[i] = delay[pi] + node_r(id) * cdown[i];
+            }
+        }
+    }
+    net.sinks
+        .iter()
+        .map(|s| (*s, idx.get(s).map(|&i| delay[i]).unwrap_or(0.0)))
+        .collect()
+}
+
+/// Summary timing over a whole routing: worst net delay and the
+/// worst-case register-to-register period estimate (net + CLB delay).
+#[derive(Clone, Copy, Debug)]
+pub struct TimingReport {
+    pub worst_net_delay: f64,
+    pub mean_net_delay: f64,
+    pub critical_path_estimate: f64,
+}
+
+/// Compute the timing report for a routed design.
+pub fn analyze(result: &RouteResult, g: &RrGraph, model: &TimingModel) -> TimingReport {
+    let mut worst: f64 = 0.0;
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for net in &result.nets {
+        for (_, d) in net_delays(net, g, model) {
+            worst = worst.max(d);
+            total += d;
+            count += 1;
+        }
+    }
+    TimingReport {
+        worst_net_delay: worst,
+        mean_net_delay: if count == 0 { 0.0 } else { total / count as f64 },
+        critical_path_estimate: worst + model.clb_delay,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pathfinder::{route, RouteOptions};
+    use crate::rrgraph::RrGraph;
+    use fpga_arch::{Architecture, ClbArch};
+    use fpga_arch::device::Device;
+    use fpga_netlist::ir::{CellKind, Netlist};
+    use fpga_place::{place, PlaceOptions};
+
+    fn routed() -> (RouteResult, RrGraph) {
+        let mut nl = Netlist::new("t");
+        let a = nl.net("a");
+        nl.add_input(a);
+        let mut prev = a;
+        for i in 0..6 {
+            let w = nl.net(&format!("w{i}"));
+            nl.add_cell(&format!("l{i}"), CellKind::Lut { k: 1, truth: 0b01 }, vec![prev], w);
+            prev = w;
+        }
+        nl.add_output(prev);
+        let c = fpga_pack::pack(&nl, &ClbArch::paper_default()).unwrap();
+        let device = Device::sized_for(Architecture::paper_default(), c.clusters.len(), 4);
+        let p = place(&c, device, PlaceOptions { seed: 5, inner_num: 1.0 }).unwrap();
+        let g = RrGraph::build(&p.device, 8);
+        let r = route(&c, &p, &g, &RouteOptions::default()).unwrap();
+        (r, g)
+    }
+
+    #[test]
+    fn delays_are_positive_and_ordered() {
+        let (r, g) = routed();
+        let model = TimingModel::default();
+        for net in &r.nets {
+            let delays = net_delays(net, &g, &model);
+            assert_eq!(delays.len(), net.sinks.len());
+            for (_, d) in delays {
+                assert!(d > 0.0 && d < 100e-9, "delay {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let (r, g) = routed();
+        let rep = analyze(&r, &g, &TimingModel::default());
+        assert!(rep.worst_net_delay >= rep.mean_net_delay);
+        assert!(rep.critical_path_estimate > rep.worst_net_delay);
+    }
+
+    #[test]
+    fn longer_routes_are_slower() {
+        let (r, g) = routed();
+        let model = TimingModel::default();
+        // Compare two nets with different wirelength.
+        let mut by_len: Vec<(usize, f64)> = r
+            .nets
+            .iter()
+            .map(|n| {
+                let wl = n.wirelength(&g);
+                let worst = net_delays(n, &g, &model)
+                    .values()
+                    .cloned()
+                    .fold(0.0f64, f64::max);
+                (wl, worst)
+            })
+            .collect();
+        by_len.sort_by_key(|(wl, _)| *wl);
+        if by_len.len() >= 2 {
+            let (short_wl, short_d) = by_len[0];
+            let (long_wl, long_d) = by_len[by_len.len() - 1];
+            if long_wl > short_wl + 2 {
+                assert!(long_d > short_d, "{long_wl} seg {long_d} vs {short_wl} seg {short_d}");
+            }
+        }
+    }
+}

@@ -1,0 +1,384 @@
+//! Transistor-level circuit netlist shared by both simulation engines.
+//!
+//! A [`Circuit`] is a flat bag of devices connected to named nodes. Node 0
+//! is ground. The builder methods return device indices so experiment
+//! harnesses can refer back to particular elements (e.g. the VDD source
+//! whose current is integrated for energy).
+
+use crate::mosfet::{MosModel, MosType};
+use crate::units::{L_MIN, W_MIN};
+
+/// Index of a circuit node. `NodeId(0)` is ground.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+    #[inline]
+    pub fn is_ground(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// Index of a device within its circuit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct DeviceId(pub u32);
+
+/// Independent-source waveform description.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stimulus {
+    /// Constant voltage.
+    Dc(f64),
+    /// Periodic pulse: starts at `v1`, after `delay` ramps to `v2` over
+    /// `rise`, stays for `width`, ramps back over `fall`, repeats with
+    /// `period` (0 disables repetition).
+    Pulse {
+        v1: f64,
+        v2: f64,
+        delay: f64,
+        rise: f64,
+        fall: f64,
+        width: f64,
+        period: f64,
+    },
+    /// Piecewise-linear: (time, value) points, held constant outside.
+    Pwl(Vec<(f64, f64)>),
+}
+
+impl Stimulus {
+    pub fn dc(v: f64) -> Self {
+        Stimulus::Dc(v)
+    }
+
+    /// A square-ish clock from 0 to `vdd` with the given period, 50 % duty
+    /// cycle and `edge` rise/fall time, starting low.
+    pub fn clock(vdd: f64, period: f64, edge: f64, delay: f64) -> Self {
+        Stimulus::Pulse {
+            v1: 0.0,
+            v2: vdd,
+            delay,
+            rise: edge,
+            fall: edge,
+            width: period / 2.0 - edge,
+            period,
+        }
+    }
+
+    /// Build a PWL from a bit pattern: each bit occupies `bit_time`, with
+    /// `edge` transition time, levels 0/`vdd`. Useful to reproduce the
+    /// Fig. 4 input sequences.
+    pub fn bits(pattern: &[u8], vdd: f64, bit_time: f64, edge: f64) -> Self {
+        let mut pts: Vec<(f64, f64)> = Vec::with_capacity(pattern.len() * 2 + 1);
+        let lvl = |b: u8| if b != 0 { vdd } else { 0.0 };
+        let first = pattern.first().copied().unwrap_or(0);
+        pts.push((0.0, lvl(first)));
+        for i in 1..pattern.len() {
+            if pattern[i] != pattern[i - 1] {
+                let t = i as f64 * bit_time;
+                pts.push((t, lvl(pattern[i - 1])));
+                pts.push((t + edge, lvl(pattern[i])));
+            }
+        }
+        Stimulus::Pwl(pts)
+    }
+
+    /// Evaluate the stimulus at time `t`.
+    pub fn value_at(&self, t: f64) -> f64 {
+        match self {
+            Stimulus::Dc(v) => *v,
+            Stimulus::Pulse { v1, v2, delay, rise, fall, width, period } => {
+                if t < *delay {
+                    return *v1;
+                }
+                let mut tt = t - delay;
+                if *period > 0.0 {
+                    tt %= period;
+                }
+                if tt < *rise {
+                    v1 + (v2 - v1) * tt / rise.max(1e-18)
+                } else if tt < rise + width {
+                    *v2
+                } else if tt < rise + width + fall {
+                    v2 + (v1 - v2) * (tt - rise - width) / fall.max(1e-18)
+                } else {
+                    *v1
+                }
+            }
+            Stimulus::Pwl(pts) => {
+                if pts.is_empty() {
+                    return 0.0;
+                }
+                if t <= pts[0].0 {
+                    return pts[0].1;
+                }
+                if t >= pts[pts.len() - 1].0 {
+                    return pts[pts.len() - 1].1;
+                }
+                let idx = pts.partition_point(|&(pt, _)| pt <= t);
+                let (t0, v0) = pts[idx - 1];
+                let (t1, v1) = pts[idx];
+                v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+            }
+        }
+    }
+}
+
+/// The device zoo.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DeviceKind {
+    Resistor { p: NodeId, n: NodeId, ohms: f64 },
+    Capacitor { p: NodeId, n: NodeId, farads: f64 },
+    VSource { p: NodeId, n: NodeId, stim: Stimulus },
+    Mosfet { d: NodeId, g: NodeId, s: NodeId, model: MosModel, w: f64, l: f64 },
+}
+
+/// One device instance.
+#[derive(Clone, Debug)]
+pub struct Device {
+    pub name: String,
+    pub kind: DeviceKind,
+}
+
+/// A flat transistor-level circuit.
+#[derive(Clone, Debug, Default)]
+pub struct Circuit {
+    node_names: Vec<String>,
+    pub devices: Vec<Device>,
+    /// Optional initial conditions: (node, volts) applied at t = 0.
+    pub initial_conditions: Vec<(NodeId, f64)>,
+}
+
+impl Circuit {
+    /// The ground node.
+    pub const GND: NodeId = NodeId(0);
+
+    pub fn new() -> Self {
+        Circuit {
+            node_names: vec!["gnd".to_string()],
+            devices: Vec::new(),
+            initial_conditions: Vec::new(),
+        }
+    }
+
+    /// Create (or fetch, by exact name match) a named node.
+    pub fn node(&mut self, name: &str) -> NodeId {
+        if let Some(idx) = self.node_names.iter().position(|n| n == name) {
+            return NodeId(idx as u32);
+        }
+        self.node_names.push(name.to_string());
+        NodeId((self.node_names.len() - 1) as u32)
+    }
+
+    /// Create a fresh anonymous node with a unique generated name.
+    pub fn fresh_node(&mut self, prefix: &str) -> NodeId {
+        let name = format!("{prefix}${}", self.node_names.len());
+        self.node_names.push(name);
+        NodeId((self.node_names.len() - 1) as u32)
+    }
+
+    /// Number of nodes including ground.
+    pub fn node_count(&self) -> usize {
+        self.node_names.len()
+    }
+
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.node_names[id.index()]
+    }
+
+    /// Look up an existing node by name.
+    pub fn find_node(&self, name: &str) -> Option<NodeId> {
+        self.node_names.iter().position(|n| n == name).map(|i| NodeId(i as u32))
+    }
+
+    /// Set the initial (t = 0) voltage of a node.
+    pub fn ic(&mut self, node: NodeId, volts: f64) {
+        self.initial_conditions.push((node, volts));
+    }
+
+    pub fn resistor(&mut self, name: &str, p: NodeId, n: NodeId, ohms: f64) -> DeviceId {
+        self.push(name, DeviceKind::Resistor { p, n, ohms })
+    }
+
+    pub fn capacitor(&mut self, name: &str, p: NodeId, n: NodeId, farads: f64) -> DeviceId {
+        self.push(name, DeviceKind::Capacitor { p, n, farads })
+    }
+
+    pub fn vsource(&mut self, name: &str, p: NodeId, n: NodeId, stim: Stimulus) -> DeviceId {
+        self.push(name, DeviceKind::VSource { p, n, stim })
+    }
+
+    /// Add a MOSFET with explicit geometry (metres).
+    #[allow(clippy::too_many_arguments)] // terminal list mirrors the schematic
+    pub fn mosfet(
+        &mut self,
+        name: &str,
+        t: MosType,
+        d: NodeId,
+        g: NodeId,
+        s: NodeId,
+        w: f64,
+        l: f64,
+    ) -> DeviceId {
+        self.push(name, DeviceKind::Mosfet { d, g, s, model: MosModel::for_type(t), w, l })
+    }
+
+    /// Add a MOSFET sized as a multiple of the minimum contacted width at
+    /// minimum length — the sizing convention used throughout the paper.
+    pub fn mosfet_x(
+        &mut self,
+        name: &str,
+        t: MosType,
+        d: NodeId,
+        g: NodeId,
+        s: NodeId,
+        w_mult: f64,
+    ) -> DeviceId {
+        self.mosfet(name, t, d, g, s, w_mult * W_MIN, L_MIN)
+    }
+
+    fn push(&mut self, name: &str, kind: DeviceKind) -> DeviceId {
+        self.devices.push(Device { name: name.to_string(), kind });
+        DeviceId((self.devices.len() - 1) as u32)
+    }
+
+    /// Total gate + junction + explicit capacitance hanging on each node.
+    /// Used by the switch-level engine and for sanity checks.
+    pub fn node_capacitance(&self) -> Vec<f64> {
+        let mut c = vec![0.0; self.node_count()];
+        for dev in &self.devices {
+            match &dev.kind {
+                DeviceKind::Capacitor { p, n, farads } => {
+                    c[p.index()] += farads;
+                    c[n.index()] += farads;
+                }
+                DeviceKind::Mosfet { d, g, s, model, w, l } => {
+                    c[g.index()] += model.cgate(*w, *l);
+                    c[d.index()] += model.cjunction(*w);
+                    c[s.index()] += model.cjunction(*w);
+                }
+                _ => {}
+            }
+        }
+        c
+    }
+
+    /// Count devices of each broad class: (resistors, capacitors, sources,
+    /// mosfets).
+    pub fn device_census(&self) -> (usize, usize, usize, usize) {
+        let mut r = 0;
+        let mut c = 0;
+        let mut v = 0;
+        let mut m = 0;
+        for d in &self.devices {
+            match d.kind {
+                DeviceKind::Resistor { .. } => r += 1,
+                DeviceKind::Capacitor { .. } => c += 1,
+                DeviceKind::VSource { .. } => v += 1,
+                DeviceKind::Mosfet { .. } => m += 1,
+            }
+        }
+        (r, c, v, m)
+    }
+
+    /// Total transistor gate area (W x L summed), a proxy for silicon area
+    /// used in the energy-delay-area explorations.
+    pub fn transistor_area(&self) -> f64 {
+        self.devices
+            .iter()
+            .filter_map(|d| match d.kind {
+                DeviceKind::Mosfet { w, l, .. } => Some(w * l),
+                _ => None,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_interning() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        assert_ne!(a, b);
+        assert_eq!(c.node("a"), a);
+        assert_eq!(c.node_count(), 3); // gnd, a, b
+        assert_eq!(c.node_name(a), "a");
+        assert_eq!(c.find_node("b"), Some(b));
+        assert_eq!(c.find_node("zzz"), None);
+    }
+
+    #[test]
+    fn fresh_nodes_are_unique() {
+        let mut c = Circuit::new();
+        let x = c.fresh_node("n");
+        let y = c.fresh_node("n");
+        assert_ne!(x, y);
+    }
+
+    #[test]
+    fn pulse_stimulus_shape() {
+        let s = Stimulus::Pulse {
+            v1: 0.0,
+            v2: 1.8,
+            delay: 1e-9,
+            rise: 0.1e-9,
+            fall: 0.1e-9,
+            width: 0.9e-9,
+            period: 2e-9,
+        };
+        assert_eq!(s.value_at(0.0), 0.0);
+        assert!((s.value_at(1.05e-9) - 0.9).abs() < 1e-9); // mid-rise
+        assert_eq!(s.value_at(1.5e-9), 1.8); // plateau
+        assert_eq!(s.value_at(2.5e-9), 0.0); // back low
+        assert_eq!(s.value_at(3.5e-9), 1.8); // next period plateau
+    }
+
+    #[test]
+    fn clock_starts_low_and_toggles() {
+        let s = Stimulus::clock(1.8, 2e-9, 50e-12, 0.0);
+        assert_eq!(s.value_at(0.0), 0.0);
+        assert_eq!(s.value_at(0.5e-9), 1.8);
+        assert!(s.value_at(1.5e-9) < 0.1);
+    }
+
+    #[test]
+    fn bits_stimulus() {
+        let s = Stimulus::bits(&[0, 1, 1, 0], 1.8, 1e-9, 0.1e-9);
+        assert_eq!(s.value_at(0.5e-9), 0.0);
+        assert_eq!(s.value_at(1.5e-9), 1.8);
+        assert_eq!(s.value_at(2.5e-9), 1.8);
+        assert_eq!(s.value_at(3.5e-9), 0.0);
+    }
+
+    #[test]
+    fn pwl_holds_endpoints() {
+        let s = Stimulus::Pwl(vec![(1.0, 2.0), (3.0, 4.0)]);
+        assert_eq!(s.value_at(0.0), 2.0);
+        assert_eq!(s.value_at(2.0), 3.0);
+        assert_eq!(s.value_at(9.0), 4.0);
+    }
+
+    #[test]
+    fn census_and_area() {
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let a = c.node("a");
+        let y = c.node("y");
+        c.vsource("V1", vdd, Circuit::GND, Stimulus::dc(1.8));
+        c.mosfet_x("MP", MosType::Pmos, y, a, vdd, 2.0);
+        c.mosfet_x("MN", MosType::Nmos, y, a, Circuit::GND, 1.0);
+        c.capacitor("CL", y, Circuit::GND, 1e-15);
+        let (r, cc, v, m) = c.device_census();
+        assert_eq!((r, cc, v, m), (0, 1, 1, 2));
+        assert!(c.transistor_area() > 0.0);
+        let caps = c.node_capacitance();
+        assert!(caps[a.index()] > 0.0, "gate load on input");
+        assert!(caps[y.index()] > 1e-15, "junctions + explicit load");
+    }
+}

@@ -1,0 +1,90 @@
+//! # fpga-spice
+//!
+//! Circuit-simulation substrate for the FPGA platform experiments of the
+//! paper *"An Integrated FPGA Design Framework"* (IPPS 2004).
+//!
+//! The paper's circuit results (Tables 1–3, Figures 8–10) were obtained with
+//! Cadence simulations in an STM 0.18 µm design kit. Neither is available
+//! here, so this crate provides two engines that reproduce the physics that
+//! drives the paper's *relative* conclusions:
+//!
+//! * [`mna`] — a transistor-level transient simulator based on Modified
+//!   Nodal Analysis with a Level-1 (square-law) MOSFET model, Newton–Raphson
+//!   iteration, and backward-Euler/trapezoidal integration. Used for the
+//!   flip-flop and clock-gating experiments (Tables 1–3) where the internal
+//!   switching of latches matters.
+//! * [`switchlevel`] — a deterministic switch-level RC engine (Elmore delay,
+//!   CV² energy) used for the large interconnect sizing sweeps of
+//!   Figures 8–10, where thousands of configurations are evaluated.
+//!
+//! Both engines share the [`circuit`] netlist representation and the
+//! [`wave`] waveform/measurement utilities.
+//!
+//! ## Example: RC charge
+//!
+//! ```
+//! use fpga_spice::circuit::{Circuit, Stimulus};
+//! use fpga_spice::mna::{Tran, TranOpts};
+//!
+//! let mut c = Circuit::new();
+//! let vin = c.node("in");
+//! c.vsource("V1", vin, Circuit::GND, Stimulus::dc(1.8));
+//! let out = c.node("out");
+//! c.resistor("R1", vin, out, 1e3);
+//! c.capacitor("C1", out, Circuit::GND, 1e-12);
+//! let res = Tran::new(TranOpts::new(10e-12, 20e-9)).run(&c).unwrap();
+//! let v_end = res.voltage(out).last_value();
+//! assert!((v_end - 1.8).abs() < 1e-3); // fully charged after 20 RC
+//! ```
+
+pub mod circuit;
+pub mod linalg;
+pub mod measure;
+pub mod mna;
+pub mod mosfet;
+pub mod switchlevel;
+pub mod units;
+pub mod wave;
+
+pub use circuit::{Circuit, DeviceKind, NodeId, Stimulus};
+pub use mna::{Tran, TranOpts, TranResult};
+pub use mosfet::{MosModel, MosType};
+pub use wave::Waveform;
+
+/// Errors produced by the simulation engines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpiceError {
+    /// Newton–Raphson failed to converge at the given time point.
+    NoConvergence { time: f64, worst_node: String, residual: f64 },
+    /// The MNA matrix was singular (typically a floating node or a loop of
+    /// voltage sources).
+    SingularMatrix { time: f64 },
+    /// A device referenced a node that does not exist in the circuit.
+    BadNode { device: String },
+    /// Invalid analysis or device parameter.
+    BadParameter(String),
+}
+
+impl std::fmt::Display for SpiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpiceError::NoConvergence { time, worst_node, residual } => write!(
+                f,
+                "transient analysis failed to converge at t={time:.3e}s \
+                 (worst node '{worst_node}', residual {residual:.3e})"
+            ),
+            SpiceError::SingularMatrix { time } => {
+                write!(f, "singular MNA matrix at t={time:.3e}s (floating node?)")
+            }
+            SpiceError::BadNode { device } => {
+                write!(f, "device '{device}' references an unknown node")
+            }
+            SpiceError::BadParameter(msg) => write!(f, "bad parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SpiceError {}
+
+/// Convenient result alias for this crate.
+pub type Result<T> = std::result::Result<T, SpiceError>;

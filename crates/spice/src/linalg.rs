@@ -1,0 +1,242 @@
+//! Small dense linear algebra: just enough for MNA systems.
+//!
+//! Circuits in this framework are cell-sized (tens to a few hundred nodes),
+//! so a dense LU factorization with partial pivoting is both simpler and
+//! faster than a sparse solver would be at this scale. The matrix storage is
+//! row-major in a single flat allocation so repeated solves inside the
+//! Newton loop reuse memory.
+
+/// Dense row-major matrix.
+#[derive(Clone, Debug)]
+pub struct Mat {
+    n: usize,
+    a: Vec<f64>,
+}
+
+impl Mat {
+    /// Create an `n x n` zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        Mat { n, a: vec![0.0; n * n] }
+    }
+
+    /// Matrix dimension.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Reset all entries to zero without reallocating.
+    pub fn clear(&mut self) {
+        self.a.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.a[r * self.n + c]
+    }
+
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.a[r * self.n + c] = v;
+    }
+
+    /// Add `v` to entry `(r, c)` — the MNA "stamp" primitive.
+    #[inline]
+    pub fn add(&mut self, r: usize, c: usize, v: f64) {
+        self.a[r * self.n + c] += v;
+    }
+
+    /// Multiply `self * x` into `out`.
+    #[allow(clippy::needless_range_loop)] // r indexes both the matrix rows and out
+    pub fn mul_vec(&self, x: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.n);
+        debug_assert_eq!(out.len(), self.n);
+        for r in 0..self.n {
+            let row = &self.a[r * self.n..(r + 1) * self.n];
+            let mut acc = 0.0;
+            for (aij, xj) in row.iter().zip(x.iter()) {
+                acc += aij * xj;
+            }
+            out[r] = acc;
+        }
+    }
+}
+
+/// LU factorization with partial pivoting, reusing workspace across solves.
+pub struct LuSolver {
+    lu: Mat,
+    perm: Vec<usize>,
+}
+
+impl LuSolver {
+    pub fn new(n: usize) -> Self {
+        LuSolver { lu: Mat::zeros(n), perm: vec![0; n] }
+    }
+
+    /// Factorize `a` in place (into internal storage). Returns `false` when
+    /// the matrix is numerically singular.
+    pub fn factorize(&mut self, a: &Mat) -> bool {
+        let n = a.n;
+        self.lu.a.copy_from_slice(&a.a);
+        self.lu.n = n;
+        if self.perm.len() != n {
+            self.perm = vec![0; n];
+        }
+        let lu = &mut self.lu.a;
+        for (i, p) in self.perm.iter_mut().enumerate() {
+            *p = i;
+        }
+        for k in 0..n {
+            // Partial pivot: find the largest |a[i][k]| for i >= k.
+            let mut piv = k;
+            let mut max = lu[k * n + k].abs();
+            for i in (k + 1)..n {
+                let v = lu[i * n + k].abs();
+                if v > max {
+                    max = v;
+                    piv = i;
+                }
+            }
+            if max < 1e-300 {
+                return false;
+            }
+            if piv != k {
+                self.perm.swap(piv, k);
+                for j in 0..n {
+                    lu.swap(piv * n + j, k * n + j);
+                }
+            }
+            let diag = lu[k * n + k];
+            for i in (k + 1)..n {
+                let m = lu[i * n + k] / diag;
+                lu[i * n + k] = m;
+                if m != 0.0 {
+                    for j in (k + 1)..n {
+                        lu[i * n + j] -= m * lu[k * n + j];
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Solve `A x = b` using the factorization from the last
+    /// [`factorize`](Self::factorize) call. `x` receives the solution.
+    pub fn solve(&self, b: &[f64], x: &mut [f64]) {
+        let n = self.lu.n;
+        debug_assert_eq!(b.len(), n);
+        debug_assert_eq!(x.len(), n);
+        let lu = &self.lu.a;
+        // Forward substitution with permutation applied.
+        for i in 0..n {
+            let mut acc = b[self.perm[i]];
+            for j in 0..i {
+                acc -= lu[i * n + j] * x[j];
+            }
+            x[i] = acc;
+        }
+        // Back substitution.
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= lu[i * n + j] * x[j];
+            }
+            x[i] = acc / lu[i * n + i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn solve_dense(a: &Mat, b: &[f64]) -> Option<Vec<f64>> {
+        let mut s = LuSolver::new(a.n());
+        if !s.factorize(a) {
+            return None;
+        }
+        let mut x = vec![0.0; a.n()];
+        s.solve(b, &mut x);
+        Some(x)
+    }
+
+    #[test]
+    fn solves_identity() {
+        let mut a = Mat::zeros(3);
+        for i in 0..3 {
+            a.set(i, i, 1.0);
+        }
+        let x = solve_dense(&a, &[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn solves_2x2_requiring_pivot() {
+        // First pivot is zero, forcing a row swap.
+        let mut a = Mat::zeros(2);
+        a.set(0, 0, 0.0);
+        a.set(0, 1, 2.0);
+        a.set(1, 0, 1.0);
+        a.set(1, 1, 1.0);
+        let x = solve_dense(&a, &[2.0, 3.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detects_singular() {
+        let mut a = Mat::zeros(2);
+        a.set(0, 0, 1.0);
+        a.set(0, 1, 2.0);
+        a.set(1, 0, 2.0);
+        a.set(1, 1, 4.0);
+        assert!(solve_dense(&a, &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn mul_vec_matches_manual() {
+        let mut a = Mat::zeros(2);
+        a.set(0, 0, 1.0);
+        a.set(0, 1, 2.0);
+        a.set(1, 0, 3.0);
+        a.set(1, 1, 4.0);
+        let mut out = vec![0.0; 2];
+        a.mul_vec(&[5.0, 6.0], &mut out);
+        assert_eq!(out, vec![17.0, 39.0]);
+    }
+
+    proptest! {
+        /// For random diagonally dominant matrices, A * solve(A, b) == b.
+        #[test]
+        fn lu_roundtrip(seed in 0u64..500, n in 1usize..12) {
+            // Deterministic pseudo-random fill from the seed.
+            let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+            let mut next = || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state as f64 / u64::MAX as f64) * 2.0 - 1.0
+            };
+            let mut a = Mat::zeros(n);
+            for r in 0..n {
+                let mut rowsum = 0.0;
+                for c in 0..n {
+                    let v = next();
+                    a.set(r, c, v);
+                    rowsum += v.abs();
+                }
+                // Diagonal dominance guarantees non-singularity.
+                a.add(r, r, rowsum + 1.0);
+            }
+            let b: Vec<f64> = (0..n).map(|_| next()).collect();
+            let x = solve_dense(&a, &b).unwrap();
+            let mut bx = vec![0.0; n];
+            a.mul_vec(&x, &mut bx);
+            for i in 0..n {
+                prop_assert!((bx[i] - b[i]).abs() < 1e-8,
+                    "residual too large at row {}: {} vs {}", i, bx[i], b[i]);
+            }
+        }
+    }
+}

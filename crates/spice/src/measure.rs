@@ -1,0 +1,105 @@
+//! Measurement helpers shared by the experiment harnesses: energy/delay
+//! extraction from transient results and the figure-of-merit products the
+//! paper reports (energy·delay, energy·delay·area).
+
+use crate::mna::TranResult;
+use crate::units::{to_fj, to_ps};
+use crate::wave::{worst_delay, Edge, Waveform};
+use crate::NodeId;
+
+/// An (energy, delay) measurement with the derived products, in the units
+/// the paper uses.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EnergyDelay {
+    /// Total supply energy (fJ).
+    pub energy_fj: f64,
+    /// Worst-case propagation delay (ps).
+    pub delay_ps: f64,
+}
+
+impl EnergyDelay {
+    /// Energy-delay product in fJ·ps (the unit of Table 1 is fJ·ps scaled;
+    /// only relative comparisons matter).
+    pub fn edp(&self) -> f64 {
+        self.energy_fj * self.delay_ps
+    }
+}
+
+/// Energy, delay and area with the triple product used in Figures 8–10.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EnergyDelayArea {
+    pub energy_fj: f64,
+    pub delay_ps: f64,
+    /// Area in units of minimum-width transistor areas.
+    pub area_min_tx: f64,
+}
+
+impl EnergyDelayArea {
+    /// The energy·delay·area product (arbitrary consistent units).
+    pub fn eda(&self) -> f64 {
+        self.energy_fj * self.delay_ps * self.area_min_tx
+    }
+}
+
+/// Extract supply energy (fJ) and worst clock-to-output delay (ps) from a
+/// transient run of a clocked cell.
+///
+/// * `clk` — the clock node (both edges are considered: these are DET FFs),
+/// * `out` — the output node,
+/// * `threshold` — measurement threshold, typically VDD/2,
+/// * `window` — maximum plausible propagation delay; arrivals later than
+///   this are treated as responses to a later edge.
+pub fn clocked_cell_measure(
+    res: &TranResult,
+    clk: NodeId,
+    out: NodeId,
+    threshold: f64,
+    window: f64,
+) -> EnergyDelay {
+    let energy_fj = to_fj(res.supply_energy());
+    let delay = worst_delay(res.voltage(clk), Edge::Any, res.voltage(out), threshold, window)
+        .unwrap_or(0.0);
+    EnergyDelay { energy_fj, delay_ps: to_ps(delay) }
+}
+
+/// Count rail-to-rail transitions of a node (crossings of `threshold`).
+pub fn transition_count(wave: &Waveform, threshold: f64) -> usize {
+    wave.crossings(threshold, Edge::Any).len()
+}
+
+/// Average power (W) over the simulated interval given total energy (J).
+pub fn average_power(energy_j: f64, span_s: f64) -> f64 {
+    if span_s <= 0.0 {
+        0.0
+    } else {
+        energy_j / span_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edp_and_eda_products() {
+        let ed = EnergyDelay { energy_fj: 10.0, delay_ps: 100.0 };
+        assert!((ed.edp() - 1000.0).abs() < 1e-12);
+        let eda = EnergyDelayArea { energy_fj: 2.0, delay_ps: 3.0, area_min_tx: 4.0 };
+        assert!((eda.eda() - 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transition_counting() {
+        let w = Waveform::from_series(
+            vec![0.0, 1.0, 2.0, 3.0, 4.0],
+            vec![0.0, 1.8, 0.0, 1.8, 1.8],
+        );
+        assert_eq!(transition_count(&w, 0.9), 3);
+    }
+
+    #[test]
+    fn average_power_guards_zero_span() {
+        assert_eq!(average_power(1.0, 0.0), 0.0);
+        assert!((average_power(2e-15, 1e-9) - 2e-6).abs() < 1e-20);
+    }
+}

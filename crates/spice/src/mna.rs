@@ -1,0 +1,578 @@
+//! Transient analysis by Modified Nodal Analysis.
+//!
+//! Each timestep solves the nonlinear circuit equations with Newton–Raphson
+//! iteration. Devices contribute linearized "companion" stamps:
+//!
+//! * resistors: constant conductance,
+//! * capacitors: backward-Euler companion `geq = C/dt`, `Ieq = geq * v_prev`,
+//! * voltage sources: an extra branch unknown (the source current),
+//! * MOSFETs: `Ids` linearized via `gm`/`gds` at the current NR estimate.
+//!
+//! A small `gmin` conductance to ground on every node keeps otherwise
+//! floating nodes (e.g. dynamic latch internals while all access devices
+//! are off) well conditioned. Two robustness measures matter for the
+//! bistable latch circuits this crate simulates: NR steps are damped with a
+//! limit that tightens as iterations accumulate (breaking limit cycles
+//! around the metastable point), and a timestep that still fails to
+//! converge is retried as a sequence of shorter sub-steps.
+
+use crate::circuit::{Circuit, DeviceKind, NodeId};
+use crate::linalg::{LuSolver, Mat};
+use crate::wave::Waveform;
+use crate::{Result, SpiceError};
+
+/// Transient analysis options.
+#[derive(Clone, Debug)]
+pub struct TranOpts {
+    /// Fixed timestep (s).
+    pub dt: f64,
+    /// Stop time (s).
+    pub t_stop: f64,
+    /// NR convergence tolerance on node voltages (V).
+    pub vtol: f64,
+    /// Maximum NR iterations per timestep.
+    pub max_iters: usize,
+    /// Minimum conductance from every node to ground (S).
+    pub gmin: f64,
+    /// Largest voltage update applied per NR iteration (V); the effective
+    /// limit shrinks as iterations accumulate to damp limit cycles.
+    pub vstep_limit: f64,
+    /// Store every `decimate`-th point in waveforms (1 = all).
+    pub decimate: usize,
+    /// Maximum sub-division of a non-converging step (power of two).
+    pub max_substeps: usize,
+}
+
+impl TranOpts {
+    pub fn new(dt: f64, t_stop: f64) -> Self {
+        TranOpts {
+            dt,
+            t_stop,
+            vtol: 1e-6,
+            max_iters: 120,
+            gmin: 1e-9,
+            vstep_limit: 0.5,
+            decimate: 1,
+            max_substeps: 64,
+        }
+    }
+}
+
+/// Result of a transient run: one waveform per node plus one current
+/// waveform per voltage source.
+#[derive(Clone, Debug)]
+pub struct TranResult {
+    node_waves: Vec<Waveform>,
+    /// (device index within circuit, current waveform) for each V source.
+    source_currents: Vec<(usize, Waveform)>,
+    /// Total energy delivered by each V source over the run (J), indexed
+    /// like `source_currents`.
+    source_energy: Vec<f64>,
+    /// Instantaneous power delivered by each V source (W), same axis as
+    /// the current waveforms. Enables windowed energy measurements that
+    /// exclude the initial charge-up transient.
+    source_power: Vec<Waveform>,
+}
+
+impl TranResult {
+    /// Voltage waveform of a node.
+    pub fn voltage(&self, n: NodeId) -> &Waveform {
+        &self.node_waves[n.index()]
+    }
+
+    /// Current waveform of the `k`-th voltage source in the circuit
+    /// (ordered by device insertion). Positive current flows out of the
+    /// positive terminal through the external circuit.
+    pub fn source_current(&self, k: usize) -> &Waveform {
+        &self.source_currents[k].1
+    }
+
+    /// Energy delivered by the `k`-th voltage source over the whole run (J).
+    pub fn source_energy(&self, k: usize) -> f64 {
+        self.source_energy[k]
+    }
+
+    /// Energy delivered by all sources over the run (J). For the cell
+    /// experiments this is the paper's "total energy consumed during the
+    /// application of the input sequence".
+    pub fn supply_energy(&self) -> f64 {
+        self.source_energy.iter().sum()
+    }
+
+    /// Energy delivered by the `k`-th source within `[t0, t1]` (J).
+    pub fn source_energy_between(&self, k: usize, t0: f64, t1: f64) -> f64 {
+        self.source_power[k].integral_between(t0, t1)
+    }
+
+    /// Energy delivered by all sources within `[t0, t1]` (J). Use this to
+    /// exclude the t = 0 charge-up of internal node capacitances from
+    /// steady-state energy measurements.
+    pub fn supply_energy_between(&self, t0: f64, t1: f64) -> f64 {
+        (0..self.source_power.len())
+            .map(|k| self.source_energy_between(k, t0, t1))
+            .sum()
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.node_waves.len()
+    }
+}
+
+/// Workspace for one NR solve, reused across timesteps.
+struct Solver<'c> {
+    circuit: &'c Circuit,
+    opts: TranOpts,
+    n_nodes: usize,
+    sources: Vec<usize>,
+    g: Mat,
+    rhs: Vec<f64>,
+    lu: LuSolver,
+    x_new: Vec<f64>,
+    /// Per-node MOSFET parasitic capacitance (gate + junction), stamped as
+    /// grounded-capacitor companions. This is what loads internal nodes,
+    /// gives logic gates their delay, and accounts for the parasitic part
+    /// of the switching energy.
+    node_device_cap: Vec<f64>,
+}
+
+impl<'c> Solver<'c> {
+    fn new(circuit: &'c Circuit, opts: TranOpts) -> Self {
+        let n_nodes = circuit.node_count();
+        let sources: Vec<usize> = circuit
+            .devices
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| matches!(d.kind, DeviceKind::VSource { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        let n_unknowns = (n_nodes - 1) + sources.len();
+        let mut node_device_cap = vec![0.0; n_nodes];
+        for dev in &circuit.devices {
+            if let DeviceKind::Mosfet { d, g, s, model, w, l } = &dev.kind {
+                node_device_cap[g.index()] += model.cgate(*w, *l);
+                node_device_cap[d.index()] += model.cjunction(*w);
+                node_device_cap[s.index()] += model.cjunction(*w);
+            }
+        }
+        Solver {
+            circuit,
+            opts,
+            n_nodes,
+            sources,
+            g: Mat::zeros(n_unknowns),
+            rhs: vec![0.0; n_unknowns],
+            lu: LuSolver::new(n_unknowns),
+            x_new: vec![0.0; n_unknowns],
+            node_device_cap,
+        }
+    }
+
+    /// Solve the circuit at time `t` with companion state `v_prev` over a
+    /// step of `dt`. `v` holds the initial guess on entry and the solution
+    /// on success; `i_src` receives the source branch currents.
+    #[allow(clippy::too_many_arguments, clippy::needless_range_loop)]
+    // Solver state is threaded explicitly; loops index parallel per-node
+    // arrays (v, v_prev, rhs) by node id.
+    fn solve_point(
+        &mut self,
+        t: f64,
+        dt: f64,
+        v_prev: &[f64],
+        v: &mut [f64],
+        i_src: &mut [f64],
+    ) -> Result<()> {
+        let o = &self.opts;
+        let n_nodes = self.n_nodes;
+        let mut worst = f64::INFINITY;
+        let mut worst_node = 0usize;
+        for iter in 0..o.max_iters {
+            self.g.clear();
+            self.rhs.iter_mut().for_each(|r| *r = 0.0);
+
+            for k in 1..n_nodes {
+                self.g.add(k - 1, k - 1, o.gmin);
+                // MOSFET parasitic capacitance companion (backward Euler).
+                let cpar = self.node_device_cap[k];
+                if cpar > 0.0 {
+                    let geq = cpar / dt;
+                    self.g.add(k - 1, k - 1, geq);
+                    self.rhs[k - 1] += geq * v_prev[k];
+                }
+            }
+
+            let mut src_idx = 0usize;
+            for dev in &self.circuit.devices {
+                match &dev.kind {
+                    DeviceKind::Resistor { p, n, ohms } => {
+                        let gc = 1.0 / ohms.max(1e-6);
+                        stamp_conductance(&mut self.g, *p, *n, gc);
+                    }
+                    DeviceKind::Capacitor { p, n, farads } => {
+                        let geq = farads / dt;
+                        let v_prev_pn = v_prev[p.index()] - v_prev[n.index()];
+                        let ieq = geq * v_prev_pn;
+                        stamp_conductance(&mut self.g, *p, *n, geq);
+                        stamp_current(&mut self.rhs, *p, *n, ieq);
+                    }
+                    DeviceKind::VSource { p, n, stim } => {
+                        let row = (n_nodes - 1) + src_idx;
+                        let e = stim.value_at(t);
+                        if !p.is_ground() {
+                            self.g.add(row, p.index() - 1, 1.0);
+                            self.g.add(p.index() - 1, row, 1.0);
+                        }
+                        if !n.is_ground() {
+                            self.g.add(row, n.index() - 1, -1.0);
+                            self.g.add(n.index() - 1, row, -1.0);
+                        }
+                        self.rhs[row] = e;
+                        src_idx += 1;
+                    }
+                    DeviceKind::Mosfet { d, g: gate, s, model, w, l } => {
+                        let vg = v[gate.index()];
+                        let vd = v[d.index()];
+                        let vs = v[s.index()];
+                        let ev = model.eval(vg - vs, vd - vs, *w, *l);
+                        let ieq = ev.ids - ev.gm * (vg - vs) - ev.gds * (vd - vs);
+                        stamp_conductance(&mut self.g, *d, *s, ev.gds);
+                        stamp_vccs(&mut self.g, *d, *s, *gate, *s, ev.gm);
+                        stamp_current(&mut self.rhs, *d, *s, -ieq);
+                    }
+                }
+            }
+
+            if !self.lu.factorize(&self.g) {
+                return Err(SpiceError::SingularMatrix { time: t });
+            }
+            self.lu.solve(&self.rhs, &mut self.x_new);
+
+            // Damped update; the limit tightens with the iteration count to
+            // break oscillation around bistable operating points.
+            let limit = o.vstep_limit / (1.0 + iter as f64 / 8.0);
+            worst = 0.0;
+            for k in 1..n_nodes {
+                let dv = self.x_new[k - 1] - v[k];
+                if dv.abs() > worst {
+                    worst = dv.abs();
+                    worst_node = k;
+                }
+                v[k] += dv.clamp(-limit, limit);
+            }
+            for (j, cur) in i_src.iter_mut().enumerate() {
+                *cur = self.x_new[(n_nodes - 1) + j];
+            }
+            if worst < o.vtol {
+                return Ok(());
+            }
+        }
+        Err(SpiceError::NoConvergence {
+            time: t,
+            worst_node: self.circuit.node_name(NodeId(worst_node as u32)).to_string(),
+            residual: worst,
+        })
+    }
+
+    /// Advance from `t0` to `t0 + dt`, sub-dividing on non-convergence.
+    #[allow(clippy::too_many_arguments, clippy::ptr_arg)]
+    // Solver state is threaded explicitly; v/v_prev stay Vec so advance can
+    // clone them for sub-step retries.
+    fn advance(
+        &mut self,
+        t0: f64,
+        dt: f64,
+        v_prev: &mut Vec<f64>,
+        v: &mut Vec<f64>,
+        i_src: &mut [f64],
+    ) -> Result<()> {
+        let mut n_sub = 1usize;
+        loop {
+            // Try n_sub equal sub-steps starting from the accepted state.
+            let sub_dt = dt / n_sub as f64;
+            let mut v_try = v_prev.clone();
+            let mut v_companion = v_prev.clone();
+            let mut ok = true;
+            let mut err = None;
+            for s in 1..=n_sub {
+                let t = t0 + sub_dt * s as f64;
+                match self.solve_point(t, sub_dt, &v_companion, &mut v_try, i_src) {
+                    Ok(()) => v_companion.copy_from_slice(&v_try),
+                    Err(e) => {
+                        ok = false;
+                        err = Some(e);
+                        break;
+                    }
+                }
+            }
+            if ok {
+                v.copy_from_slice(&v_try);
+                v_prev.copy_from_slice(&v_try);
+                return Ok(());
+            }
+            n_sub *= 2;
+            if n_sub > self.opts.max_substeps {
+                return Err(err.unwrap());
+            }
+        }
+    }
+}
+
+/// The transient engine.
+pub struct Tran {
+    opts: TranOpts,
+}
+
+impl Tran {
+    pub fn new(opts: TranOpts) -> Self {
+        Tran { opts }
+    }
+
+    /// Run the analysis on `circuit`.
+    pub fn run(&self, circuit: &Circuit) -> Result<TranResult> {
+        let o = self.opts.clone();
+        if o.dt <= 0.0 || o.t_stop <= 0.0 {
+            return Err(SpiceError::BadParameter("dt and t_stop must be positive".into()));
+        }
+        let mut solver = Solver::new(circuit, o.clone());
+        let n_nodes = solver.n_nodes;
+        let n_sources = solver.sources.len();
+
+        let mut v = vec![0.0; n_nodes];
+        for &(node, volts) in &circuit.initial_conditions {
+            v[node.index()] = volts;
+        }
+        let mut v_prev = v.clone();
+        let mut i_src = vec![0.0; n_sources];
+
+        let steps = (o.t_stop / o.dt).ceil() as usize;
+        let cap = steps / o.decimate + 2;
+        let mut node_waves: Vec<Waveform> =
+            (0..n_nodes).map(|_| Waveform::with_capacity(cap)).collect();
+        let mut src_waves: Vec<Waveform> =
+            (0..n_sources).map(|_| Waveform::with_capacity(cap)).collect();
+        let mut src_power_waves: Vec<Waveform> =
+            (0..n_sources).map(|_| Waveform::with_capacity(cap)).collect();
+        let mut src_energy = vec![0.0; n_sources];
+        let mut prev_src_power = vec![0.0; n_sources];
+
+        for (k, w) in node_waves.iter_mut().enumerate() {
+            w.push(0.0, v[k]);
+        }
+        for w in src_waves.iter_mut() {
+            w.push(0.0, 0.0);
+        }
+        for w in src_power_waves.iter_mut() {
+            w.push(0.0, 0.0);
+        }
+
+        for step in 1..=steps {
+            let t0 = (step - 1) as f64 * o.dt;
+            let t = step as f64 * o.dt;
+            solver.advance(t0, o.dt, &mut v_prev, &mut v, &mut i_src)?;
+
+            // Accumulate per-source energy (trapezoidal in power).
+            let mut src_idx = 0usize;
+            for dev in &circuit.devices {
+                if let DeviceKind::VSource { p, n, .. } = &dev.kind {
+                    // MNA convention: the branch current unknown flows from
+                    // p through the source to n; the source delivers
+                    // -i_branch out of its positive terminal.
+                    let i_out = -i_src[src_idx];
+                    let vp = if p.is_ground() { 0.0 } else { v[p.index()] };
+                    let vn = if n.is_ground() { 0.0 } else { v[n.index()] };
+                    let power = (vp - vn) * i_out;
+                    src_energy[src_idx] += 0.5 * (power + prev_src_power[src_idx]) * o.dt;
+                    prev_src_power[src_idx] = power;
+                    if step % o.decimate == 0 || step == steps {
+                        src_waves[src_idx].push(t, i_out);
+                        src_power_waves[src_idx].push(t, power);
+                    }
+                    src_idx += 1;
+                }
+            }
+            if step % o.decimate == 0 || step == steps {
+                for (k, w) in node_waves.iter_mut().enumerate() {
+                    w.push(t, v[k]);
+                }
+            }
+        }
+
+        Ok(TranResult {
+            node_waves,
+            source_currents: solver.sources.iter().copied().zip(src_waves).collect(),
+            source_energy: src_energy,
+            source_power: src_power_waves,
+        })
+    }
+}
+
+/// Stamp a conductance between nodes `p` and `n` (ground rows skipped).
+#[inline]
+fn stamp_conductance(g: &mut Mat, p: NodeId, n: NodeId, gc: f64) {
+    if !p.is_ground() {
+        g.add(p.index() - 1, p.index() - 1, gc);
+    }
+    if !n.is_ground() {
+        g.add(n.index() - 1, n.index() - 1, gc);
+    }
+    if !p.is_ground() && !n.is_ground() {
+        g.add(p.index() - 1, n.index() - 1, -gc);
+        g.add(n.index() - 1, p.index() - 1, -gc);
+    }
+}
+
+/// Stamp a current source of `i` amps flowing *into* node `p` and out of
+/// node `n` (i.e. from n to p through the device).
+#[inline]
+fn stamp_current(rhs: &mut [f64], p: NodeId, n: NodeId, i: f64) {
+    if !p.is_ground() {
+        rhs[p.index() - 1] += i;
+    }
+    if !n.is_ground() {
+        rhs[n.index() - 1] -= i;
+    }
+}
+
+/// Stamp a voltage-controlled current source: current `gm * (V(cp)-V(cn))`
+/// flows from `p` to `n`.
+#[inline]
+fn stamp_vccs(g: &mut Mat, p: NodeId, n: NodeId, cp: NodeId, cn: NodeId, gm: f64) {
+    for (row, sign_r) in [(p, 1.0), (n, -1.0)] {
+        if row.is_ground() {
+            continue;
+        }
+        for (col, sign_c) in [(cp, 1.0), (cn, -1.0)] {
+            if col.is_ground() {
+                continue;
+            }
+            g.add(row.index() - 1, col.index() - 1, sign_r * sign_c * gm);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Stimulus;
+    use crate::mosfet::MosType;
+    use crate::units::VDD;
+
+    fn rc_circuit(r: f64, c: f64) -> (Circuit, NodeId) {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.vsource("V1", vin, Circuit::GND, Stimulus::dc(1.0));
+        ckt.resistor("R1", vin, out, r);
+        ckt.capacitor("C1", out, Circuit::GND, c);
+        (ckt, out)
+    }
+
+    #[test]
+    fn rc_charging_matches_analytic() {
+        let (ckt, out) = rc_circuit(1e3, 1e-12); // tau = 1 ns
+        let res = Tran::new(TranOpts::new(5e-12, 5e-9)).run(&ckt).unwrap();
+        let w = res.voltage(out);
+        let v_tau = w.sample(1e-9);
+        assert!((v_tau - 0.632).abs() < 0.01, "v(tau) = {v_tau}");
+        let v_end = w.last_value();
+        assert!((v_end - 1.0).abs() < 1e-2, "v(end) = {v_end}");
+    }
+
+    #[test]
+    fn rc_charge_energy_is_cv2() {
+        // Charging a cap through a resistor draws E = C*V^2 from the source
+        // (half stored, half dissipated).
+        let (ckt, _) = rc_circuit(1e3, 1e-12);
+        let res = Tran::new(TranOpts::new(5e-12, 20e-9)).run(&ckt).unwrap();
+        let e = res.supply_energy();
+        let expect = 1e-12 * 1.0 * 1.0;
+        assert!((e - expect).abs() / expect < 0.05, "E = {e}, expect {expect}");
+    }
+
+    #[test]
+    fn inverter_inverts() {
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let a = ckt.node("a");
+        let y = ckt.node("y");
+        ckt.vsource("VDD", vdd, Circuit::GND, Stimulus::dc(VDD));
+        ckt.vsource("VIN", a, Circuit::GND, Stimulus::clock(VDD, 4e-9, 100e-12, 0.2e-9));
+        ckt.mosfet_x("MP", MosType::Pmos, y, a, vdd, 2.0);
+        ckt.mosfet_x("MN", MosType::Nmos, y, a, Circuit::GND, 1.0);
+        ckt.capacitor("CL", y, Circuit::GND, 5e-15);
+        let res = Tran::new(TranOpts::new(2e-12, 8e-9)).run(&ckt).unwrap();
+        let vy = res.voltage(y);
+        assert!(vy.sample(1.5e-9) < 0.2, "out low while in high: {}", vy.sample(1.5e-9));
+        assert!(vy.sample(3.5e-9) > VDD - 0.2, "out high while in low");
+    }
+
+    #[test]
+    fn inverter_consumes_energy_per_transition() {
+        // Energy per full output cycle must be close to Ctotal * VDD^2.
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let a = ckt.node("a");
+        let y = ckt.node("y");
+        ckt.vsource("VDD", vdd, Circuit::GND, Stimulus::dc(VDD));
+        ckt.vsource("VIN", a, Circuit::GND, Stimulus::clock(VDD, 4e-9, 100e-12, 0.2e-9));
+        ckt.mosfet_x("MP", MosType::Pmos, y, a, vdd, 2.0);
+        ckt.mosfet_x("MN", MosType::Nmos, y, a, Circuit::GND, 1.0);
+        let cl = 10e-15;
+        ckt.capacitor("CL", y, Circuit::GND, cl);
+        let res = Tran::new(TranOpts::new(2e-12, 8e-9)).run(&ckt).unwrap();
+        let e = res.source_energy(0); // VDD source only
+        let floor = 2.0 * cl * VDD * VDD;
+        assert!(e > 0.8 * floor, "E = {e:.3e} vs floor {floor:.3e}");
+        assert!(e < 4.0 * floor, "E = {e:.3e} vs floor {floor:.3e}");
+    }
+
+    #[test]
+    fn bistable_latch_holds_state() {
+        // Cross-coupled inverter pair with an initial condition: the NR
+        // loop must settle on the chosen stable point, not oscillate.
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let q = ckt.node("q");
+        let qb = ckt.node("qb");
+        ckt.vsource("VDD", vdd, Circuit::GND, Stimulus::dc(VDD));
+        ckt.mosfet_x("MP1", MosType::Pmos, q, qb, vdd, 2.0);
+        ckt.mosfet_x("MN1", MosType::Nmos, q, qb, Circuit::GND, 1.0);
+        ckt.mosfet_x("MP2", MosType::Pmos, qb, q, vdd, 2.0);
+        ckt.mosfet_x("MN2", MosType::Nmos, qb, q, Circuit::GND, 1.0);
+        ckt.capacitor("CQ", q, Circuit::GND, 1e-15);
+        ckt.capacitor("CQB", qb, Circuit::GND, 1e-15);
+        ckt.ic(q, 1.2);
+        ckt.ic(qb, 0.3);
+        let res = Tran::new(TranOpts::new(2e-12, 3e-9)).run(&ckt).unwrap();
+        assert!(res.voltage(q).last_value() > VDD - 0.1);
+        assert!(res.voltage(qb).last_value() < 0.1);
+    }
+
+    #[test]
+    fn source_current_waveform_has_samples() {
+        let (ckt, _) = rc_circuit(1e3, 1e-12);
+        let res = Tran::new(TranOpts::new(5e-12, 1e-9)).run(&ckt).unwrap();
+        assert!(res.source_current(0).len() > 100);
+        assert_eq!(res.node_count(), 3);
+    }
+
+    #[test]
+    fn bad_params_rejected() {
+        let (ckt, _) = rc_circuit(1e3, 1e-12);
+        assert!(Tran::new(TranOpts::new(0.0, 1e-9)).run(&ckt).is_err());
+        assert!(Tran::new(TranOpts::new(1e-12, -1.0)).run(&ckt).is_err());
+    }
+
+    #[test]
+    fn initial_conditions_respected() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.capacitor("C1", a, Circuit::GND, 1e-12);
+        ckt.resistor("R1", a, Circuit::GND, 1e3);
+        ckt.ic(a, 1.5);
+        let res = Tran::new(TranOpts::new(5e-12, 5e-9)).run(&ckt).unwrap();
+        let w = res.voltage(a);
+        assert!((w.sample(0.0) - 1.5).abs() < 1e-6);
+        assert!(w.sample(1e-9) < 0.6);
+        assert!(w.last_value() < 0.02);
+    }
+}

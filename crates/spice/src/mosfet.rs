@@ -1,0 +1,341 @@
+//! Level-1 (square-law) MOSFET model with channel-length modulation.
+//!
+//! The experiments in the paper compare circuit alternatives built in the
+//! same process, so the absolute accuracy of a BSIM-class model is not
+//! needed — what matters is that drive current scales with W/L, that gate
+//! and junction capacitance scale with geometry, and that the device turns
+//! on and off at a realistic threshold. The Level-1 model captures exactly
+//! those effects and keeps the Newton iteration well-behaved.
+
+use serde::{Deserialize, Serialize};
+
+use crate::units;
+
+/// Transistor polarity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MosType {
+    Nmos,
+    Pmos,
+}
+
+/// Device model card for one polarity in the 0.18 µm-class process.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MosModel {
+    pub kind: MosType,
+    /// Zero-bias threshold voltage (V). Positive for NMOS, negative for PMOS.
+    pub vt0: f64,
+    /// Transconductance parameter k' = µ·Cox (A/V²).
+    pub kp: f64,
+    /// Channel-length modulation (1/V).
+    pub lambda: f64,
+    /// Gate-oxide capacitance per area (F/m²).
+    pub cox: f64,
+    /// Gate-drain/source overlap capacitance per metre of width (F/m).
+    pub cov: f64,
+    /// Source/drain junction capacitance per metre of width (F/m).
+    pub cj: f64,
+    /// Subthreshold leakage per metre of width at Vgs = 0 (A/m).
+    pub ileak: f64,
+}
+
+impl MosModel {
+    /// NMOS card calibrated to a 0.18 µm-class process (VDD = 1.8 V).
+    pub fn nmos_018() -> Self {
+        MosModel {
+            kind: MosType::Nmos,
+            vt0: 0.45,
+            kp: 3.0e-4,
+            lambda: 0.10,
+            cox: 8.5e-3, // 8.5 fF/µm²
+            cov: 3.0e-10, // 0.30 fF/µm
+            cj: 9.0e-10, // 0.90 fF/µm
+            ileak: 2.0e-4, // ~56 pA at minimum width
+        }
+    }
+
+    /// PMOS card: ~2.5x lower mobility than NMOS, as in 0.18 µm CMOS.
+    pub fn pmos_018() -> Self {
+        MosModel {
+            kind: MosType::Pmos,
+            vt0: -0.45,
+            kp: 1.2e-4,
+            lambda: 0.10,
+            cox: 8.5e-3,
+            cov: 3.0e-10,
+            cj: 9.0e-10,
+            ileak: 1.0e-4,
+        }
+    }
+
+    /// Model card for the polarity.
+    pub fn for_type(t: MosType) -> Self {
+        match t {
+            MosType::Nmos => Self::nmos_018(),
+            MosType::Pmos => Self::pmos_018(),
+        }
+    }
+}
+
+/// Operating region of the device at a bias point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MosRegion {
+    Cutoff,
+    Linear,
+    Saturation,
+}
+
+/// Evaluated large-signal state of a MOSFET at a bias point:
+/// drain current plus the small-signal conductances the Newton
+/// iteration needs for its companion model.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MosEval {
+    /// Drain current flowing D -> S for NMOS conventions (A).
+    pub ids: f64,
+    /// dIds/dVgs (S).
+    pub gm: f64,
+    /// dIds/dVds (S).
+    pub gds: f64,
+    /// Operating region (diagnostics).
+    pub region_linear: bool,
+}
+
+impl MosModel {
+    /// Operating region at the bias point, using NMOS-referred voltages.
+    pub fn region(&self, vgs: f64, vds: f64) -> MosRegion {
+        let (vgs, vds, vt) = self.refer(vgs, vds);
+        let vov = vgs - vt;
+        if vov <= 0.0 {
+            MosRegion::Cutoff
+        } else if vds < vov {
+            MosRegion::Linear
+        } else {
+            MosRegion::Saturation
+        }
+    }
+
+    /// Map device voltages to NMOS-referred quantities. For PMOS we flip
+    /// signs so a single set of equations serves both polarities.
+    #[inline]
+    fn refer(&self, vgs: f64, vds: f64) -> (f64, f64, f64) {
+        match self.kind {
+            MosType::Nmos => (vgs, vds, self.vt0),
+            MosType::Pmos => (-vgs, -vds, -self.vt0),
+        }
+    }
+
+    /// Evaluate drain current and derivatives at `(vgs, vds)` for a device
+    /// of width `w` and length `l` (metres). `vds` may be negative: the
+    /// model treats the more positive terminal as the drain internally
+    /// (MOSFETs are symmetric), which keeps pass transistors well-defined.
+    pub fn eval(&self, vgs_in: f64, vds_in: f64, w: f64, l: f64) -> MosEval {
+        let sign = match self.kind {
+            MosType::Nmos => 1.0,
+            MosType::Pmos => -1.0,
+        };
+        // NMOS-referred terminal voltages.
+        let mut vgs = sign * vgs_in;
+        let mut vds = sign * vds_in;
+        // Source/drain swap for reverse conduction (vds < 0): measure the
+        // gate from the true source (the lower terminal).
+        let swapped = vds < 0.0;
+        if swapped {
+            vgs -= vds; // vgd becomes the effective vgs
+            vds = -vds;
+        }
+        let beta = self.kp * w / l;
+        let vt = match self.kind {
+            MosType::Nmos => self.vt0,
+            MosType::Pmos => -self.vt0, // NMOS-referred magnitude
+        };
+        let vov = vgs - vt;
+        let (mut ids, mut gm, mut gds);
+        if vov <= 0.0 {
+            // Smooth cutoff: tiny exponential-ish leakage keeps the Jacobian
+            // non-zero which helps NR escape the cutoff region.
+            let g0 = 1e-12 * w / l.max(1e-9);
+            ids = g0 * vds;
+            gm = 0.0;
+            gds = g0;
+        } else if vds < vov {
+            // Linear (triode) region.
+            let clm = 1.0 + self.lambda * vds;
+            ids = beta * (vov * vds - 0.5 * vds * vds) * clm;
+            gm = beta * vds * clm;
+            gds = beta * (vov - vds) * clm + beta * (vov * vds - 0.5 * vds * vds) * self.lambda;
+        } else {
+            // Saturation.
+            let clm = 1.0 + self.lambda * vds;
+            ids = 0.5 * beta * vov * vov * clm;
+            gm = beta * vov * clm;
+            gds = 0.5 * beta * vov * vov * self.lambda;
+        }
+        // Undo the source/drain swap with the exact chain rule:
+        // ids_orig = -f(vgs - vds, -vds), so
+        //   d ids/d vgs = -gm_eff,
+        //   d ids/d vds = gm_eff + gds_eff.
+        if swapped {
+            ids = -ids;
+            let gm_eff = gm;
+            let gds_eff = gds;
+            gm = -gm_eff;
+            gds = gm_eff + gds_eff;
+        }
+        // Refer back to device polarity. The sign cancels in derivatives
+        // (both current and controlling voltages flip together).
+        MosEval {
+            ids: sign * ids,
+            gm,
+            gds: gds.max(1e-12),
+            region_linear: vds < vov,
+        }
+    }
+
+    /// Gate capacitance of a `w` x `l` device: intrinsic channel plus both
+    /// overlaps (F). Treated as a constant (bias-independent) capacitance,
+    /// which is the standard simplification for energy-trend studies.
+    pub fn cgate(&self, w: f64, l: f64) -> f64 {
+        self.cox * w * l + 2.0 * self.cov * w
+    }
+
+    /// Junction (drain or source) capacitance for width `w` (F).
+    pub fn cjunction(&self, w: f64) -> f64 {
+        self.cj * w
+    }
+
+    /// Effective switch on-resistance of the device when fully on, used by
+    /// the switch-level engine. A pass transistor passing a rising signal
+    /// loses gate drive as its source rises (body effect + Vgs collapse),
+    /// so the effective large-signal resistance is several times the small-
+    /// signal triode value; the 3.5x factor calibrates a minimum-width pass
+    /// device to the ~5-6 kΩ typical of 0.18 µm FPGAs.
+    pub fn ron(&self, w: f64, l: f64) -> f64 {
+        let vov = units::VDD - self.vt0.abs();
+        let beta = self.kp * w / l;
+        let r_triode = 1.0 / (beta * vov);
+        3.5 * r_triode
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::{L_MIN, VDD, W_MIN};
+
+    #[test]
+    fn nmos_regions() {
+        let m = MosModel::nmos_018();
+        assert_eq!(m.region(0.0, 1.0), MosRegion::Cutoff);
+        assert_eq!(m.region(1.8, 0.1), MosRegion::Linear);
+        assert_eq!(m.region(1.0, 1.8), MosRegion::Saturation);
+    }
+
+    #[test]
+    fn pmos_regions_mirror_nmos() {
+        let m = MosModel::pmos_018();
+        assert_eq!(m.region(0.0, -1.0), MosRegion::Cutoff);
+        assert_eq!(m.region(-1.8, -0.1), MosRegion::Linear);
+        assert_eq!(m.region(-1.0, -1.8), MosRegion::Saturation);
+    }
+
+    #[test]
+    fn current_scales_with_width() {
+        let m = MosModel::nmos_018();
+        let i1 = m.eval(VDD, VDD, W_MIN, L_MIN).ids;
+        let i4 = m.eval(VDD, VDD, 4.0 * W_MIN, L_MIN).ids;
+        assert!(i1 > 0.0);
+        assert!((i4 / i1 - 4.0).abs() < 0.01, "ratio {}", i4 / i1);
+    }
+
+    #[test]
+    fn saturation_current_magnitude_is_plausible() {
+        // A minimum NMOS in 0.18 µm drives on the order of 100-300 µA/µm.
+        let m = MosModel::nmos_018();
+        let i = m.eval(VDD, VDD, 1e-6, L_MIN).ids; // 1 µm wide
+        assert!(i > 5e-5 && i < 5e-3, "Idsat = {i} A/µm-class device");
+    }
+
+    #[test]
+    fn pmos_current_is_negative_and_weaker() {
+        let n = MosModel::nmos_018();
+        let p = MosModel::pmos_018();
+        let idn = n.eval(VDD, VDD, W_MIN, L_MIN).ids;
+        let idp = p.eval(-VDD, -VDD, W_MIN, L_MIN).ids;
+        assert!(idp < 0.0);
+        assert!(idn > idp.abs(), "NMOS should out-drive PMOS at equal W");
+    }
+
+    #[test]
+    fn reverse_conduction_is_antisymmetric_in_sign() {
+        let m = MosModel::nmos_018();
+        let fwd = m.eval(VDD, 0.3, W_MIN, L_MIN).ids;
+        let rev = m.eval(VDD, -0.3, W_MIN, L_MIN).ids;
+        assert!(fwd > 0.0);
+        assert!(rev < 0.0, "reverse vds must conduct backwards: {rev}");
+    }
+
+    #[test]
+    fn capacitances_scale_with_geometry() {
+        let m = MosModel::nmos_018();
+        let c1 = m.cgate(W_MIN, L_MIN);
+        let c2 = m.cgate(2.0 * W_MIN, L_MIN);
+        assert!(c2 > 1.9 * c1 && c2 < 2.1 * c1);
+        assert!(m.cjunction(2.0 * W_MIN) > m.cjunction(W_MIN));
+        // A minimum device has a gate cap in the low fF range.
+        assert!(c1 > 0.1e-15 && c1 < 5e-15, "cgate = {c1}");
+    }
+
+    #[test]
+    fn ron_decreases_with_width() {
+        let m = MosModel::nmos_018();
+        let r1 = m.ron(W_MIN, L_MIN);
+        let r10 = m.ron(10.0 * W_MIN, L_MIN);
+        assert!((r1 / r10 - 10.0).abs() < 0.2);
+        // Minimum-width pass device is several kΩ in this class of process.
+        assert!(r1 > 1e3 && r1 < 50e3, "ron = {r1}");
+    }
+
+    #[test]
+    fn gds_positive_and_derivatives_finite() {
+        let m = MosModel::nmos_018();
+        for &vgs in &[0.0, 0.3, 0.6, 1.0, 1.8] {
+            for &vds in &[-1.8, -0.5, 0.0, 0.5, 1.8] {
+                let e = m.eval(vgs, vds, W_MIN, L_MIN);
+                assert!(e.gm.is_finite());
+                assert!(e.gds > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        // The companion-model derivatives must agree with numeric ones,
+        // including in the swapped (vds < 0) regime — NR stability depends
+        // on it.
+        let m = MosModel::nmos_018();
+        let h = 1e-6;
+        for &vgs in &[0.3, 0.8, 1.3, 1.8] {
+            for &vds in &[-1.5, -0.4, 0.2, 0.9, 1.8] {
+                let e = m.eval(vgs, vds, W_MIN, L_MIN);
+                let dgm = (m.eval(vgs + h, vds, W_MIN, L_MIN).ids
+                    - m.eval(vgs - h, vds, W_MIN, L_MIN).ids)
+                    / (2.0 * h);
+                let dgds = (m.eval(vgs, vds + h, W_MIN, L_MIN).ids
+                    - m.eval(vgs, vds - h, W_MIN, L_MIN).ids)
+                    / (2.0 * h);
+                let scale = dgm.abs().max(dgds.abs()).max(1e-6);
+                assert!(
+                    (e.gm - dgm).abs() / scale < 0.05,
+                    "gm mismatch at vgs={vgs}, vds={vds}: {} vs {}",
+                    e.gm,
+                    dgm
+                );
+                assert!(
+                    (e.gds - dgds).abs() / scale < 0.05,
+                    "gds mismatch at vgs={vgs}, vds={vds}: {} vs {}",
+                    e.gds,
+                    dgds
+                );
+            }
+        }
+    }
+}

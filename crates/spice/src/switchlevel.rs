@@ -1,0 +1,219 @@
+//! Switch-level RC engine: Elmore delay and CV² energy on RC trees.
+//!
+//! The interconnect sizing sweeps of Figures 8–10 evaluate hundreds of
+//! (switch width, wire geometry, wire length) combinations. At that scale a
+//! full transient run per point is wasteful: once the routing switches are
+//! reduced to their on-resistance and parasitic capacitance, a driven net is
+//! an RC tree, for which the Elmore metric gives the 50 % delay and the total
+//! switched capacitance gives the transition energy. This is the same
+//! abstraction VPR-class tools use for interconnect, and it was validated
+//! against the [`crate::mna`] engine (see `tests/mna_vs_switchlevel.rs` at
+//! the workspace root).
+
+/// Index of a node in an [`RcTree`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RcNodeId(pub u32);
+
+#[derive(Clone, Debug)]
+struct RcNode {
+    cap: f64,
+    /// Parent node and the resistance of the edge to it; `None` for root.
+    up: Option<(u32, f64)>,
+}
+
+/// A rooted RC tree. The root is the driver's output (with the driver's
+/// output resistance modelled as the first edge).
+#[derive(Clone, Debug, Default)]
+pub struct RcTree {
+    nodes: Vec<RcNode>,
+}
+
+impl RcTree {
+    /// Create a tree with a root node of the given capacitance.
+    pub fn with_root(cap: f64) -> Self {
+        RcTree { nodes: vec![RcNode { cap, up: None }] }
+    }
+
+    /// Root node id.
+    pub fn root(&self) -> RcNodeId {
+        RcNodeId(0)
+    }
+
+    /// Add a node with capacitance `cap`, attached to `parent` through
+    /// resistance `r` (ohms).
+    pub fn add(&mut self, parent: RcNodeId, r: f64, cap: f64) -> RcNodeId {
+        assert!((parent.0 as usize) < self.nodes.len(), "parent out of range");
+        self.nodes.push(RcNode { cap, up: Some((parent.0, r)) });
+        RcNodeId((self.nodes.len() - 1) as u32)
+    }
+
+    /// Add extra capacitance to an existing node (fan-in loads, parasitics).
+    pub fn add_cap(&mut self, node: RcNodeId, cap: f64) {
+        self.nodes[node.0 as usize].cap += cap;
+    }
+
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Total capacitance of the tree (F).
+    pub fn total_cap(&self) -> f64 {
+        self.nodes.iter().map(|n| n.cap).sum()
+    }
+
+    /// Downstream capacitance seen through each node (the node's own cap
+    /// plus everything below it).
+    fn downstream_caps(&self) -> Vec<f64> {
+        let n = self.nodes.len();
+        let mut cdown: Vec<f64> = self.nodes.iter().map(|nd| nd.cap).collect();
+        // Children always have larger indices than parents (construction
+        // order), so a reverse sweep accumulates subtrees.
+        for i in (1..n).rev() {
+            if let Some((p, _)) = self.nodes[i].up {
+                cdown[p as usize] += cdown[i];
+            }
+        }
+        cdown
+    }
+
+    /// Elmore delay (seconds) from the root to `sink`:
+    /// `sum over edges e on the path of R_e * Cdown_e`.
+    pub fn elmore_delay(&self, sink: RcNodeId) -> f64 {
+        let cdown = self.downstream_caps();
+        let mut t = 0.0;
+        let mut cur = sink.0 as usize;
+        while let Some((p, r)) = self.nodes[cur].up {
+            t += r * cdown[cur];
+            cur = p as usize;
+        }
+        t
+    }
+
+    /// Worst Elmore delay over all leaves.
+    pub fn max_elmore_delay(&self) -> f64 {
+        let cdown = self.downstream_caps();
+        // Per-node delay computed incrementally root -> leaves.
+        let n = self.nodes.len();
+        let mut delay = vec![0.0; n];
+        let mut worst = 0.0f64;
+        for i in 1..n {
+            let (p, r) = self.nodes[i].up.unwrap();
+            delay[i] = delay[p as usize] + r * cdown[i];
+            worst = worst.max(delay[i]);
+        }
+        worst
+    }
+
+    /// Energy drawn from the supply for one full output transition of the
+    /// driver (a rail-to-rail swing of every node): `Ctotal * Vdd^2` for the
+    /// charging half-cycle. `sc_fraction` adds a short-circuit allowance
+    /// (typically 0.05–0.15 in this process class).
+    pub fn transition_energy(&self, vdd: f64, sc_fraction: f64) -> f64 {
+        self.total_cap() * vdd * vdd * (1.0 + sc_fraction)
+    }
+}
+
+/// A π-model segment chain for a distributed wire: splits the wire into
+/// `sections` RC sections and appends them to the tree, returning the node
+/// at the far end.
+pub fn append_wire(
+    tree: &mut RcTree,
+    from: RcNodeId,
+    total_r: f64,
+    total_c: f64,
+    sections: usize,
+) -> RcNodeId {
+    assert!(sections > 0);
+    let rs = total_r / sections as f64;
+    let cs = total_c / sections as f64;
+    // First section: half cap at the near node.
+    tree.add_cap(from, cs / 2.0);
+    let mut cur = from;
+    for i in 0..sections {
+        let c = if i + 1 == sections { cs / 2.0 } else { cs };
+        cur = tree.add(cur, rs, c);
+    }
+    tree.add_cap(cur, 0.0);
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rc_elmore() {
+        let mut t = RcTree::with_root(0.0);
+        let sink = t.add(t.root(), 1e3, 1e-12);
+        assert!((t.elmore_delay(sink) - 1e-9).abs() < 1e-15);
+        assert!((t.max_elmore_delay() - 1e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn ladder_elmore_sums_downstream() {
+        // R1=1k -> C1=1p -> R2=1k -> C2=1p.
+        // Elmore(sink) = R1*(C1+C2) + R2*C2 = 2n + 1n = 3 ns.
+        let mut t = RcTree::with_root(0.0);
+        let n1 = t.add(t.root(), 1e3, 1e-12);
+        let n2 = t.add(n1, 1e3, 1e-12);
+        assert!((t.elmore_delay(n2) - 3e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn branch_caps_count_once() {
+        // Root -> R -> node with two branch caps; delay to either leaf sees
+        // the shared resistance times all downstream cap.
+        let mut t = RcTree::with_root(0.0);
+        let mid = t.add(t.root(), 1e3, 0.0);
+        let a = t.add(mid, 1e3, 1e-12);
+        let b = t.add(mid, 2e3, 1e-12);
+        let da = t.elmore_delay(a);
+        let db = t.elmore_delay(b);
+        // Shared edge: 1k * 2p = 2ns. Then private edges.
+        assert!((da - (2e-9 + 1e-9)).abs() < 1e-15);
+        assert!((db - (2e-9 + 2e-9)).abs() < 1e-15);
+        assert!((t.max_elmore_delay() - db).abs() < 1e-15);
+    }
+
+    #[test]
+    fn wire_splitting_approaches_distributed_limit() {
+        // A distributed RC line has delay ~0.5*R*C; a 1-section lumped model
+        // overestimates at R*C. More sections converge to ~0.5 RC.
+        let r = 10e3;
+        let c = 1e-12;
+        let one = {
+            let mut t = RcTree::with_root(0.0);
+            let root = t.root();
+            let s = append_wire(&mut t, root, r, c, 1);
+            t.elmore_delay(s)
+        };
+        let many = {
+            let mut t = RcTree::with_root(0.0);
+            let root = t.root();
+            let s = append_wire(&mut t, root, r, c, 32);
+            t.elmore_delay(s)
+        };
+        assert!(one > many);
+        let rc = r * c;
+        assert!((many - 0.5 * rc).abs() < 0.05 * rc, "many = {many}, rc/2 = {}", 0.5 * rc);
+        // Total capacitance is preserved by the splitting.
+        let mut t = RcTree::with_root(0.0);
+        let root = t.root();
+        append_wire(&mut t, root, r, c, 7);
+        assert!((t.total_cap() - c).abs() < 1e-18);
+    }
+
+    #[test]
+    fn transition_energy_is_cv2() {
+        let mut t = RcTree::with_root(1e-15);
+        t.add(t.root(), 1e3, 3e-15);
+        let e = t.transition_energy(1.8, 0.0);
+        assert!((e - 4e-15 * 1.8 * 1.8).abs() < 1e-20);
+        let esc = t.transition_energy(1.8, 0.1);
+        assert!(esc > e);
+    }
+}

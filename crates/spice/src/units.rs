@@ -1,0 +1,97 @@
+//! Physical constants and unit helpers used across the simulation substrate.
+//!
+//! All internal quantities are SI: volts, amperes, seconds, farads, ohms,
+//! metres. The helpers here exist so that call sites can speak the units the
+//! paper uses (fJ, ps, µm) without sprinkling powers of ten around.
+
+/// Nominal supply voltage of the 0.18 µm-class process (volts).
+pub const VDD: f64 = 1.8;
+
+/// Minimum drawn transistor length of the process (metres). 0.18 µm.
+pub const L_MIN: f64 = 0.18e-6;
+
+/// Minimum *contacted* transistor width (metres). The paper quotes 0.28 µm
+/// as the minimum contactable width in the STM 0.18 µm process (§3.3.2).
+pub const W_MIN: f64 = 0.28e-6;
+
+/// Convert femtojoules to joules.
+#[inline]
+pub fn fj(x: f64) -> f64 {
+    x * 1e-15
+}
+
+/// Convert joules to femtojoules.
+#[inline]
+pub fn to_fj(x: f64) -> f64 {
+    x * 1e15
+}
+
+/// Convert picoseconds to seconds.
+#[inline]
+pub fn ps(x: f64) -> f64 {
+    x * 1e-12
+}
+
+/// Convert seconds to picoseconds.
+#[inline]
+pub fn to_ps(x: f64) -> f64 {
+    x * 1e12
+}
+
+/// Convert nanoseconds to seconds.
+#[inline]
+pub fn ns(x: f64) -> f64 {
+    x * 1e-9
+}
+
+/// Convert femtofarads to farads.
+#[inline]
+pub fn ff(x: f64) -> f64 {
+    x * 1e-15
+}
+
+/// Convert farads to femtofarads.
+#[inline]
+pub fn to_ff(x: f64) -> f64 {
+    x * 1e15
+}
+
+/// Convert micrometres to metres.
+#[inline]
+pub fn um(x: f64) -> f64 {
+    x * 1e-6
+}
+
+/// Convert metres to micrometres.
+#[inline]
+pub fn to_um(x: f64) -> f64 {
+    x * 1e6
+}
+
+/// Convert square micrometres to square metres.
+#[inline]
+pub fn um2(x: f64) -> f64 {
+    x * 1e-12
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        assert!((to_fj(fj(42.0)) - 42.0).abs() < 1e-12);
+        assert!((to_ps(ps(17.5)) - 17.5).abs() < 1e-12);
+        assert!((to_ff(ff(3.25)) - 3.25).abs() < 1e-12);
+        assert!((to_um(um(0.28)) - 0.28).abs() < 1e-12);
+    }
+
+    #[test]
+    fn process_constants_are_018um_class() {
+        assert!((L_MIN - 0.18e-6).abs() < 1e-12);
+        // Relationship checks computed through function calls so the
+        // compiler cannot fold them away.
+        assert!(um(to_um(W_MIN)) > um(to_um(L_MIN)));
+        assert!((1.0..2.5).contains(&VDD));
+    }
+}

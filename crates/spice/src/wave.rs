@@ -1,0 +1,288 @@
+//! Waveforms: sampled signals produced by transient analysis, plus the
+//! measurement helpers (threshold crossings, delays, averages) that the
+//! experiment harnesses use to extract energy and delay numbers.
+
+/// A sampled waveform: strictly increasing time points with one value each.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Waveform {
+    t: Vec<f64>,
+    v: Vec<f64>,
+}
+
+/// Direction of a threshold crossing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Edge {
+    Rising,
+    Falling,
+    /// Either direction.
+    Any,
+}
+
+impl Waveform {
+    pub fn new() -> Self {
+        Waveform::default()
+    }
+
+    /// Build from parallel time/value vectors. Panics if lengths differ or
+    /// time is not strictly increasing (a programming error in the caller).
+    pub fn from_series(t: Vec<f64>, v: Vec<f64>) -> Self {
+        assert_eq!(t.len(), v.len(), "time/value length mismatch");
+        assert!(
+            t.windows(2).all(|w| w[0] < w[1]),
+            "waveform time axis must be strictly increasing"
+        );
+        Waveform { t, v }
+    }
+
+    pub fn with_capacity(n: usize) -> Self {
+        Waveform { t: Vec::with_capacity(n), v: Vec::with_capacity(n) }
+    }
+
+    /// Append a sample. Time must be greater than the last sample's time.
+    pub fn push(&mut self, t: f64, v: f64) {
+        debug_assert!(self.t.last().is_none_or(|&last| t > last));
+        self.t.push(t);
+        self.v.push(v);
+    }
+
+    pub fn len(&self) -> usize {
+        self.t.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.t.is_empty()
+    }
+
+    pub fn times(&self) -> &[f64] {
+        &self.t
+    }
+
+    pub fn values(&self) -> &[f64] {
+        &self.v
+    }
+
+    /// Last sampled value; 0.0 for an empty waveform.
+    pub fn last_value(&self) -> f64 {
+        self.v.last().copied().unwrap_or(0.0)
+    }
+
+    /// Linear interpolation at time `time`. Clamps outside the range.
+    pub fn sample(&self, time: f64) -> f64 {
+        if self.t.is_empty() {
+            return 0.0;
+        }
+        if time <= self.t[0] {
+            return self.v[0];
+        }
+        if time >= *self.t.last().unwrap() {
+            return *self.v.last().unwrap();
+        }
+        // Binary search for the bracketing interval.
+        let idx = self.t.partition_point(|&t| t <= time);
+        let (t0, t1) = (self.t[idx - 1], self.t[idx]);
+        let (v0, v1) = (self.v[idx - 1], self.v[idx]);
+        v0 + (v1 - v0) * (time - t0) / (t1 - t0)
+    }
+
+    /// All times at which the waveform crosses `threshold` in the given
+    /// direction, linearly interpolated.
+    pub fn crossings(&self, threshold: f64, edge: Edge) -> Vec<f64> {
+        let mut out = Vec::new();
+        for i in 1..self.t.len() {
+            let (v0, v1) = (self.v[i - 1], self.v[i]);
+            let rising = v0 < threshold && v1 >= threshold;
+            let falling = v0 > threshold && v1 <= threshold;
+            let hit = match edge {
+                Edge::Rising => rising,
+                Edge::Falling => falling,
+                Edge::Any => rising || falling,
+            };
+            if hit {
+                let frac = (threshold - v0) / (v1 - v0);
+                out.push(self.t[i - 1] + frac * (self.t[i] - self.t[i - 1]));
+            }
+        }
+        out
+    }
+
+    /// First crossing at or after `after`, or `None`.
+    pub fn first_crossing_after(&self, threshold: f64, edge: Edge, after: f64) -> Option<f64> {
+        self.crossings(threshold, edge).into_iter().find(|&t| t >= after)
+    }
+
+    /// Trapezoidal integral of the waveform over its full span.
+    pub fn integral(&self) -> f64 {
+        let mut acc = 0.0;
+        for i in 1..self.t.len() {
+            acc += 0.5 * (self.v[i] + self.v[i - 1]) * (self.t[i] - self.t[i - 1]);
+        }
+        acc
+    }
+
+    /// Trapezoidal integral restricted to `[t0, t1]`.
+    pub fn integral_between(&self, t0: f64, t1: f64) -> f64 {
+        if self.t.len() < 2 || t1 <= t0 {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for i in 1..self.t.len() {
+            let (a, b) = (self.t[i - 1], self.t[i]);
+            if b <= t0 || a >= t1 {
+                continue;
+            }
+            let lo = a.max(t0);
+            let hi = b.min(t1);
+            let va = self.sample(lo);
+            let vb = self.sample(hi);
+            acc += 0.5 * (va + vb) * (hi - lo);
+        }
+        acc
+    }
+
+    /// Time-average over the full span.
+    pub fn average(&self) -> f64 {
+        let span = match (self.t.first(), self.t.last()) {
+            (Some(&a), Some(&b)) if b > a => b - a,
+            _ => return self.last_value(),
+        };
+        self.integral() / span
+    }
+
+    /// Pointwise product with another waveform sampled on this one's axis.
+    /// Used for instantaneous power `v(t) * i(t)`.
+    pub fn pointwise_mul(&self, other: &Waveform) -> Waveform {
+        let v = self
+            .t
+            .iter()
+            .zip(self.v.iter())
+            .map(|(&t, &v)| v * other.sample(t))
+            .collect();
+        Waveform { t: self.t.clone(), v }
+    }
+
+    /// Minimum and maximum values; (0, 0) for an empty waveform.
+    pub fn min_max(&self) -> (f64, f64) {
+        self.v.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| {
+            (lo.min(x), hi.max(x))
+        })
+    }
+}
+
+/// Delay between an edge on `from` and the consequent edge on `to`, both
+/// measured at `threshold` (typically VDD/2). `from_edge` selects the
+/// launching transition; the earliest `to` crossing of any direction at or
+/// after the launch is taken as arrival. Returns `None` if either edge is
+/// missing.
+pub fn delay_between(
+    from: &Waveform,
+    from_edge: Edge,
+    to: &Waveform,
+    threshold: f64,
+    launch_after: f64,
+) -> Option<f64> {
+    let launch = from.first_crossing_after(threshold, from_edge, launch_after)?;
+    let arrive = to.first_crossing_after(threshold, Edge::Any, launch)?;
+    Some(arrive - launch)
+}
+
+/// Worst (maximum) delay from every `from_edge` event on `from` to the next
+/// `to` transition. Events with no consequent output transition within
+/// `window` are ignored (the output did not change for that input edge).
+pub fn worst_delay(
+    from: &Waveform,
+    from_edge: Edge,
+    to: &Waveform,
+    threshold: f64,
+    window: f64,
+) -> Option<f64> {
+    let mut worst: Option<f64> = None;
+    for launch in from.crossings(threshold, from_edge) {
+        if let Some(arrive) = to.first_crossing_after(threshold, Edge::Any, launch) {
+            let d = arrive - launch;
+            if d <= window {
+                worst = Some(worst.map_or(d, |w: f64| w.max(d)));
+            }
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> Waveform {
+        // 0 -> 1 over 1s, then back down to 0 at 2s.
+        Waveform::from_series(vec![0.0, 1.0, 2.0], vec![0.0, 1.0, 0.0])
+    }
+
+    #[test]
+    fn sample_interpolates_and_clamps() {
+        let w = ramp();
+        assert!((w.sample(0.5) - 0.5).abs() < 1e-12);
+        assert!((w.sample(1.5) - 0.5).abs() < 1e-12);
+        assert_eq!(w.sample(-1.0), 0.0);
+        assert_eq!(w.sample(5.0), 0.0);
+    }
+
+    #[test]
+    fn crossings_detect_both_edges() {
+        let w = ramp();
+        let rising = w.crossings(0.5, Edge::Rising);
+        let falling = w.crossings(0.5, Edge::Falling);
+        assert_eq!(rising.len(), 1);
+        assert_eq!(falling.len(), 1);
+        assert!((rising[0] - 0.5).abs() < 1e-12);
+        assert!((falling[0] - 1.5).abs() < 1e-12);
+        assert_eq!(w.crossings(0.5, Edge::Any).len(), 2);
+    }
+
+    #[test]
+    fn integral_of_triangle() {
+        let w = ramp();
+        assert!((w.integral() - 1.0).abs() < 1e-12);
+        assert!((w.integral_between(0.0, 1.0) - 0.5).abs() < 1e-12);
+        assert!((w.integral_between(0.5, 1.5) - 0.75).abs() < 1e-12);
+        assert!((w.average() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delay_measurement() {
+        let clk = Waveform::from_series(vec![0.0, 1.0, 2.0], vec![0.0, 1.0, 1.0]);
+        let q = Waveform::from_series(vec![0.0, 1.2, 1.4, 2.0], vec![0.0, 0.0, 1.0, 1.0]);
+        let d = delay_between(&clk, Edge::Rising, &q, 0.5, 0.0).unwrap();
+        // clk crosses 0.5 at t=0.5; q crosses 0.5 at t=1.3.
+        assert!((d - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn worst_delay_picks_maximum() {
+        let clk = Waveform::from_series(
+            vec![0.0, 0.1, 1.0, 1.1, 2.0],
+            vec![0.0, 1.0, 1.0, 0.0, 0.0],
+        );
+        // Output transitions 0.2 after first edge, 0.4 after second.
+        let q = Waveform::from_series(
+            vec![0.0, 0.24, 0.26, 1.44, 1.46, 2.0],
+            vec![0.0, 0.0, 1.0, 1.0, 0.0, 0.0],
+        );
+        let d = worst_delay(&clk, Edge::Any, &q, 0.5, 1.0).unwrap();
+        assert!(d > 0.3 && d < 0.5, "worst delay {d}");
+    }
+
+    #[test]
+    fn pointwise_mul_gives_power() {
+        let v = Waveform::from_series(vec![0.0, 1.0], vec![2.0, 2.0]);
+        let i = Waveform::from_series(vec![0.0, 1.0], vec![3.0, 5.0]);
+        let p = v.pointwise_mul(&i);
+        assert!((p.sample(0.0) - 6.0).abs() < 1e-12);
+        assert!((p.sample(1.0) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max() {
+        let w = ramp();
+        let (lo, hi) = w.min_max();
+        assert_eq!((lo, hi), (0.0, 1.0));
+    }
+}

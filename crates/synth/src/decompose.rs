@@ -1,0 +1,318 @@
+//! Gate decomposition into a 2-bounded network (every combinational cell
+//! has at most two inputs) — the canonical form the LUT mapper's cut
+//! enumeration works on.
+
+use fpga_netlist::ir::{CellKind, NetId, Netlist};
+use fpga_netlist::sop::SopCover;
+
+use crate::{Result, SynthError};
+
+/// Decompose all wide gates, muxes, SOPs and LUTs into 2-input gates and
+/// inverters. The result uses only `Const0/1`, `Buf`, `Not`, and 2-input
+/// `And/Or/Xor/Nand/Nor/Xnor`, plus untouched `Dff` cells.
+pub fn decompose(netlist: &Netlist) -> Result<Netlist> {
+    let mut out = Netlist::new(&netlist.name);
+    // Recreate all nets so ids and names match.
+    for net in &netlist.nets {
+        out.net(&net.name);
+    }
+    out.inputs = netlist.inputs.clone();
+    out.outputs = netlist.outputs.clone();
+    out.clocks = netlist.clocks.clone();
+
+    let mut counter = 0usize;
+    for cell in &netlist.cells {
+        let name = cell.name.clone();
+        match &cell.kind {
+            CellKind::Dff { clock, init } => {
+                out.add_cell(
+                    &name,
+                    CellKind::Dff { clock: *clock, init: *init },
+                    cell.inputs.clone(),
+                    cell.output,
+                );
+            }
+            CellKind::Const0 | CellKind::Const1 | CellKind::Buf | CellKind::Not => {
+                out.add_cell(&name, cell.kind.clone(), cell.inputs.clone(), cell.output);
+            }
+            CellKind::And | CellKind::Or | CellKind::Xor | CellKind::Nand | CellKind::Nor
+            | CellKind::Xnor => {
+                decompose_gate(&mut out, &name, &cell.kind, &cell.inputs, cell.output, &mut counter);
+            }
+            CellKind::Mux2 => {
+                // out = (!s & a) | (s & b)
+                let s = cell.inputs[0];
+                let a = cell.inputs[1];
+                let b = cell.inputs[2];
+                let ns = fresh(&mut out, &mut counter);
+                out.add_cell(&format!("{name}.ns"), CellKind::Not, vec![s], ns);
+                let t0 = fresh(&mut out, &mut counter);
+                out.add_cell(&format!("{name}.a"), CellKind::And, vec![ns, a], t0);
+                let t1 = fresh(&mut out, &mut counter);
+                out.add_cell(&format!("{name}.b"), CellKind::And, vec![s, b], t1);
+                out.add_cell(&format!("{name}.o"), CellKind::Or, vec![t0, t1], cell.output);
+            }
+            CellKind::Lut { k, truth } => {
+                let cover = SopCover::from_truth_table(*k as usize, *truth);
+                decompose_sop(&mut out, &name, &cover, &cell.inputs, cell.output, &mut counter)?;
+            }
+            CellKind::Sop(cover) => {
+                decompose_sop(&mut out, &name, cover, &cell.inputs, cell.output, &mut counter)?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn fresh(out: &mut Netlist, counter: &mut usize) -> NetId {
+    *counter += 1;
+    out.fresh_net("$d")
+}
+
+/// Balanced binary tree for an associative gate; the inverting variants
+/// build the positive tree and invert the final node.
+fn decompose_gate(
+    out: &mut Netlist,
+    name: &str,
+    kind: &CellKind,
+    inputs: &[NetId],
+    output: NetId,
+    counter: &mut usize,
+) {
+    let (base, invert): (CellKind, bool) = match kind {
+        CellKind::And => (CellKind::And, false),
+        CellKind::Or => (CellKind::Or, false),
+        CellKind::Xor => (CellKind::Xor, false),
+        CellKind::Nand => (CellKind::And, true),
+        CellKind::Nor => (CellKind::Or, true),
+        CellKind::Xnor => (CellKind::Xor, true),
+        _ => unreachable!(),
+    };
+    if inputs.len() == 1 {
+        let k = if invert { CellKind::Not } else { CellKind::Buf };
+        out.add_cell(name, k, vec![inputs[0]], output);
+        return;
+    }
+    // Reduce pairwise, balanced.
+    let mut layer: Vec<NetId> = inputs.to_vec();
+    let mut level = 0usize;
+    while layer.len() > 2 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for (j, pair) in layer.chunks(2).enumerate() {
+            if pair.len() == 2 {
+                let w = fresh(out, counter);
+                out.add_cell(
+                    &format!("{name}.t{level}_{j}"),
+                    base.clone(),
+                    vec![pair[0], pair[1]],
+                    w,
+                );
+                next.push(w);
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        layer = next;
+        level += 1;
+    }
+    if invert {
+        let w = fresh(out, counter);
+        out.add_cell(&format!("{name}.last"), base, vec![layer[0], layer[1]], w);
+        out.add_cell(&format!("{name}.inv"), CellKind::Not, vec![w], output);
+    } else {
+        out.add_cell(&format!("{name}.last"), base, vec![layer[0], layer[1]], output);
+    }
+}
+
+/// SOP: AND tree per cube (with shared input inverters), OR tree of cubes.
+fn decompose_sop(
+    out: &mut Netlist,
+    name: &str,
+    cover: &SopCover,
+    inputs: &[NetId],
+    output: NetId,
+    counter: &mut usize,
+) -> Result<()> {
+    if inputs.len() != cover.n_inputs {
+        return Err(SynthError::Internal(format!(
+            "SOP arity mismatch in '{name}'"
+        )));
+    }
+    match cover.constant_value() {
+        Some(true) => {
+            out.add_cell(name, CellKind::Const1, vec![], output);
+            return Ok(());
+        }
+        Some(false) if cover.cubes.is_empty() => {
+            out.add_cell(name, CellKind::Const0, vec![], output);
+            return Ok(());
+        }
+        _ => {}
+    }
+    // Shared inverters, created lazily.
+    let mut inv: Vec<Option<NetId>> = vec![None; inputs.len()];
+    let mut cube_nets = Vec::with_capacity(cover.cubes.len());
+    for (ci, cube) in cover.cubes.iter().enumerate() {
+        let mut literals = Vec::new();
+        for (i, &input) in inputs.iter().enumerate() {
+            if cube.care >> i & 1 == 0 {
+                continue;
+            }
+            if cube.value >> i & 1 == 1 {
+                literals.push(input);
+            } else {
+                let n = match inv[i] {
+                    Some(n) => n,
+                    None => {
+                        let n = fresh(out, counter);
+                        out.add_cell(&format!("{name}.inv{i}"), CellKind::Not, vec![input], n);
+                        inv[i] = Some(n);
+                        n
+                    }
+                };
+                literals.push(n);
+            }
+        }
+        let cube_net = if literals.is_empty() {
+            // Tautological cube: handled by constant_value above for pure
+            // constants; a mixed cover with an always-true cube is const1.
+            out.add_cell(&format!("{name}.c{ci}"), CellKind::Const1, vec![], output);
+            return Ok(());
+        } else if literals.len() == 1 {
+            literals[0]
+        } else {
+            let w = fresh(out, counter);
+            decompose_gate(out, &format!("{name}.c{ci}"), &CellKind::And, &literals, w, counter);
+            w
+        };
+        cube_nets.push(cube_net);
+    }
+    if cube_nets.len() == 1 {
+        out.add_cell(&format!("{name}.o"), CellKind::Buf, vec![cube_nets[0]], output);
+    } else {
+        decompose_gate(out, &format!("{name}.o"), &CellKind::Or, &cube_nets, output, counter);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpga_netlist::sim::check_equivalence;
+    use fpga_netlist::sop::Cube;
+
+    fn all_two_bounded(n: &Netlist) -> bool {
+        n.cells.iter().all(|c| c.kind.is_ff() || c.inputs.len() <= 2)
+    }
+
+    #[test]
+    fn wide_and_becomes_tree() {
+        let mut n = Netlist::new("w");
+        let ins: Vec<NetId> = (0..7).map(|i| n.net(&format!("i{i}"))).collect();
+        let y = n.net("y");
+        for &i in &ins {
+            n.add_input(i);
+        }
+        n.add_output(y);
+        n.add_cell("g", CellKind::And, ins, y);
+        let d = decompose(&n).unwrap();
+        d.validate().unwrap();
+        assert!(all_two_bounded(&d));
+        check_equivalence(&n, &d, 128, 21).unwrap();
+    }
+
+    #[test]
+    fn nand_nor_xnor_wide() {
+        for kind in [CellKind::Nand, CellKind::Nor, CellKind::Xnor] {
+            let mut n = Netlist::new("w");
+            let ins: Vec<NetId> = (0..5).map(|i| n.net(&format!("i{i}"))).collect();
+            let y = n.net("y");
+            for &i in &ins {
+                n.add_input(i);
+            }
+            n.add_output(y);
+            n.add_cell("g", kind.clone(), ins, y);
+            let d = decompose(&n).unwrap();
+            d.validate().unwrap();
+            assert!(all_two_bounded(&d), "{kind:?}");
+            check_equivalence(&n, &d, 128, 22).unwrap();
+        }
+    }
+
+    #[test]
+    fn mux_and_lut_decompose() {
+        let mut n = Netlist::new("m");
+        let s = n.net("s");
+        let a = n.net("a");
+        let b = n.net("b");
+        let c = n.net("c");
+        let m = n.net("m");
+        let y = n.net("y");
+        for &i in &[s, a, b, c] {
+            n.add_input(i);
+        }
+        n.add_output(y);
+        n.add_cell("mx", CellKind::Mux2, vec![s, a, b], m);
+        // LUT: y = majority(m, c, s).
+        n.add_cell("l", CellKind::Lut { k: 3, truth: 0b1110_1000 }, vec![m, c, s], y);
+        let d = decompose(&n).unwrap();
+        d.validate().unwrap();
+        assert!(all_two_bounded(&d));
+        check_equivalence(&n, &d, 128, 23).unwrap();
+    }
+
+    #[test]
+    fn sop_with_dont_cares() {
+        let mut n = Netlist::new("s");
+        let ins: Vec<NetId> = (0..4).map(|i| n.net(&format!("i{i}"))).collect();
+        let y = n.net("y");
+        for &i in &ins {
+            n.add_input(i);
+        }
+        n.add_output(y);
+        let cover = SopCover {
+            n_inputs: 4,
+            cubes: vec![
+                Cube::from_pattern("1-0-").unwrap(),
+                Cube::from_pattern("01--").unwrap(),
+                Cube::from_pattern("--11").unwrap(),
+            ],
+        };
+        n.add_cell("g", CellKind::Sop(cover), ins, y);
+        let d = decompose(&n).unwrap();
+        d.validate().unwrap();
+        assert!(all_two_bounded(&d));
+        check_equivalence(&n, &d, 256, 24).unwrap();
+    }
+
+    #[test]
+    fn ffs_pass_through() {
+        let mut n = Netlist::new("f");
+        let clk = n.net("clk");
+        let d_in = n.net("d");
+        let q = n.net("q");
+        n.add_clock(clk);
+        n.add_input(d_in);
+        n.add_output(q);
+        n.add_cell("ff", CellKind::Dff { clock: clk, init: true }, vec![d_in], q);
+        let dec = decompose(&n).unwrap();
+        assert_eq!(dec.cell_counts(), (0, 1));
+        check_equivalence(&n, &dec, 32, 25).unwrap();
+    }
+
+    #[test]
+    fn constant_sops() {
+        let mut n = Netlist::new("k");
+        let a = n.net("a");
+        n.add_input(a);
+        let y0 = n.net("y0");
+        let y1 = n.net("y1");
+        n.add_output(y0);
+        n.add_output(y1);
+        n.add_cell("z", CellKind::Sop(SopCover::const0(1)), vec![a], y0);
+        n.add_cell("o", CellKind::Sop(SopCover::const1(1)), vec![a], y1);
+        let d = decompose(&n).unwrap();
+        d.validate().unwrap();
+        check_equivalence(&n, &d, 16, 26).unwrap();
+    }
+}

@@ -1,0 +1,66 @@
+//! E2FMT: EDIF-to-BLIF format translation.
+//!
+//! Pure format plumbing between DRUID's output and SIS's input: read the
+//! gate-level EDIF, emit generic BLIF (gates expand to `.names` covers).
+
+use crate::Result;
+
+/// Translate EDIF text to BLIF text.
+pub fn edif_to_blif(text: &str) -> Result<String> {
+    let netlist = fpga_netlist::edif::parse(text)?;
+    Ok(fpga_netlist::blif::write(&netlist)?)
+}
+
+/// Translate BLIF text to EDIF text (the reverse direction, used by tools
+/// that want to go back into the EDIF world; only gate-level BLIF without
+/// LUT cells can be represented).
+pub fn blif_to_edif(text: &str) -> Result<String> {
+    let netlist = fpga_netlist::blif::parse(text)?;
+    // BLIF logic arrives as SOP covers, which have no EDIF primitive;
+    // decompose them into 2-input gates first.
+    let gates = crate::decompose::decompose(&netlist)?;
+    Ok(fpga_netlist::edif::write(&gates)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpga_netlist::ir::{CellKind, Netlist};
+    use fpga_netlist::sim::check_equivalence;
+
+    #[test]
+    fn edif_to_blif_preserves_function() {
+        let mut n = Netlist::new("t");
+        let a = n.net("a");
+        let b = n.net("b");
+        let clk = n.net("clk");
+        let w = n.net("w");
+        let q = n.net("q");
+        n.add_input(a);
+        n.add_input(b);
+        n.add_clock(clk);
+        n.add_output(q);
+        n.add_cell("g", CellKind::Xor, vec![a, b], w);
+        n.add_cell("f", CellKind::Dff { clock: clk, init: false }, vec![w], q);
+        let edif = fpga_netlist::edif::write(&n).unwrap();
+        let blif = edif_to_blif(&edif).unwrap();
+        let back = fpga_netlist::blif::parse(&blif).unwrap();
+        back.validate().unwrap();
+        check_equivalence(&n, &back, 64, 3).unwrap();
+    }
+
+    #[test]
+    fn blif_to_edif_round_trip() {
+        let blif = "
+.model t
+.inputs a b
+.outputs y
+.names a b y
+11 1
+.end";
+        let edif = blif_to_edif(blif).unwrap();
+        let back = fpga_netlist::edif::parse(&edif).unwrap();
+        let golden = fpga_netlist::blif::parse(blif).unwrap();
+        check_equivalence(&golden, &back, 32, 4).unwrap();
+    }
+}

@@ -1,0 +1,53 @@
+//! # fpga-synth
+//!
+//! The synthesis and technology-mapping tools of the Fig. 11 flow:
+//!
+//! * [`diviner`] — "DIVINER": behavioural VHDL to gate-level EDIF;
+//! * [`druid`] — "DRUID": EDIF normalization between the synthesizer's
+//!   dialect and the downstream tools;
+//! * [`e2fmt`] — "E2FMT": EDIF to BLIF translation;
+//! * [`opt`] — the SIS-equivalent logic optimizer (sweep, constant
+//!   propagation, buffer/double-inverter removal, structural hashing);
+//! * [`decompose`] — gate decomposition into a 2-bounded network;
+//! * [`flowmap`] — depth-oriented K-LUT technology mapping with priority
+//!   cuts and area recovery (the "SIS LUT mapping" stage).
+//!
+//! Every pass is checked for functional equivalence against its input
+//! netlist by random simulation (see the crate tests).
+
+pub mod decompose;
+pub mod diviner;
+pub mod druid;
+pub mod e2fmt;
+pub mod flowmap;
+pub mod opt;
+
+pub use flowmap::{map_to_luts, MapOptions, MapReport};
+
+/// Errors from the synthesis passes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SynthError {
+    Netlist(fpga_netlist::NetlistError),
+    Vhdl(String),
+    Internal(String),
+}
+
+impl From<fpga_netlist::NetlistError> for SynthError {
+    fn from(e: fpga_netlist::NetlistError) -> Self {
+        SynthError::Netlist(e)
+    }
+}
+
+impl std::fmt::Display for SynthError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SynthError::Netlist(e) => write!(f, "netlist error: {e}"),
+            SynthError::Vhdl(msg) => write!(f, "VHDL error: {msg}"),
+            SynthError::Internal(msg) => write!(f, "internal synthesis error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SynthError {}
+
+pub type Result<T> = std::result::Result<T, SynthError>;

@@ -1,0 +1,237 @@
+//! Abstract syntax tree of the supported VHDL subset.
+
+/// A parsed design file: entities plus their architectures.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Design {
+    pub entities: Vec<Entity>,
+    pub architectures: Vec<Architecture>,
+}
+
+impl Design {
+    /// Find an entity by (lower-cased) name.
+    pub fn entity(&self, name: &str) -> Option<&Entity> {
+        self.entities.iter().find(|e| e.name == name)
+    }
+
+    /// The architecture bound to an entity (first match).
+    pub fn architecture_of(&self, entity: &str) -> Option<&Architecture> {
+        self.architectures.iter().find(|a| a.entity == entity)
+    }
+
+    /// The top entity: the last one with an architecture.
+    pub fn top(&self) -> Option<(&Entity, &Architecture)> {
+        self.entities
+            .iter()
+            .rev()
+            .find_map(|e| self.architecture_of(&e.name).map(|a| (e, a)))
+    }
+}
+
+/// Port direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dir {
+    In,
+    Out,
+}
+
+/// Signal type: a scalar bit or a `downto` vector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Ty {
+    Bit,
+    /// `std_logic_vector(msb downto lsb)`.
+    Vector { msb: u32, lsb: u32 },
+}
+
+impl Ty {
+    /// Number of bits.
+    pub fn width(&self) -> usize {
+        match self {
+            Ty::Bit => 1,
+            Ty::Vector { msb, lsb } => (*msb as usize) - (*lsb as usize) + 1,
+        }
+    }
+}
+
+/// An entity port.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Port {
+    pub name: String,
+    pub dir: Dir,
+    pub ty: Ty,
+    pub line: usize,
+}
+
+/// `entity <name> is port (...); end`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Entity {
+    pub name: String,
+    pub ports: Vec<Port>,
+    pub line: usize,
+}
+
+/// `signal <name> : <type>;`
+#[derive(Clone, Debug, PartialEq)]
+pub struct SignalDecl {
+    pub name: String,
+    pub ty: Ty,
+    pub line: usize,
+}
+
+/// `architecture <name> of <entity> is ... begin ... end`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Architecture {
+    pub name: String,
+    pub entity: String,
+    pub signals: Vec<SignalDecl>,
+    pub stmts: Vec<ConcStmt>,
+    pub line: usize,
+}
+
+/// Assignment target: a whole signal or one bit of a vector.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Target {
+    Sig(String),
+    Index(String, u32),
+}
+
+impl Target {
+    pub fn base(&self) -> &str {
+        match self {
+            Target::Sig(s) | Target::Index(s, _) => s,
+        }
+    }
+}
+
+/// Concurrent statements.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConcStmt {
+    /// `target <= expr;`
+    Assign { target: Target, expr: Expr, line: usize },
+    /// `target <= v1 when c1 else v2 when c2 else vN;`
+    CondAssign { target: Target, arms: Vec<(Expr, Expr)>, default: Expr, line: usize },
+    /// A clocked process.
+    Process(Process),
+}
+
+/// `process (sensitivity) begin ... end process;`
+#[derive(Clone, Debug, PartialEq)]
+pub struct Process {
+    pub sensitivity: Vec<String>,
+    pub body: Vec<SeqStmt>,
+    pub line: usize,
+}
+
+/// Sequential statements inside a process.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SeqStmt {
+    Assign { target: Target, expr: Expr, line: usize },
+    If {
+        cond: Expr,
+        then_body: Vec<SeqStmt>,
+        elsifs: Vec<(Expr, Vec<SeqStmt>)>,
+        else_body: Vec<SeqStmt>,
+        line: usize,
+    },
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    And,
+    Or,
+    Nand,
+    Nor,
+    Xor,
+    Xnor,
+    /// Ripple-carry addition on equal-width vectors (or vector + integer).
+    Add,
+    /// Ripple-borrow subtraction (vector - vector or vector - integer).
+    Sub,
+    /// Equality comparison (yields a single bit).
+    Eq,
+    /// Inequality comparison.
+    Neq,
+    /// Concatenation `&` (vector building).
+    Concat,
+}
+
+/// Expressions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Reference to a scalar or whole vector.
+    Ref(String),
+    /// `sig(i)` — one bit of a vector.
+    Index(String, u32),
+    /// `'0'` / `'1'`.
+    Bit(bool),
+    /// `"0101"` (index 0 of the Vec is the leftmost/most-significant bit).
+    Vec(Vec<bool>),
+    /// Integer literal (for `+ 1` and comparisons against vectors).
+    Int(u64),
+    /// `(others => '0')` / `(others => '1')` aggregate: fills the target.
+    Others(bool),
+    Not(Box<Expr>),
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// `rising_edge(clk)` — only valid as a process `if` condition.
+    RisingEdge(String),
+}
+
+impl Expr {
+    /// Does the expression tree contain a `rising_edge`?
+    pub fn has_rising_edge(&self) -> bool {
+        match self {
+            Expr::RisingEdge(_) => true,
+            Expr::Not(e) => e.has_rising_edge(),
+            Expr::Bin(_, a, b) => a.has_rising_edge() || b.has_rising_edge(),
+            _ => false,
+        }
+    }
+
+    /// All signal names referenced.
+    pub fn refs(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Ref(s) | Expr::Index(s, _) | Expr::RisingEdge(s) => out.push(s.clone()),
+            Expr::Not(e) => e.refs(out),
+            Expr::Bin(_, a, b) => {
+                a.refs(out);
+                b.refs(out);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_widths() {
+        assert_eq!(Ty::Bit.width(), 1);
+        assert_eq!(Ty::Vector { msb: 7, lsb: 0 }.width(), 8);
+        assert_eq!(Ty::Vector { msb: 3, lsb: 2 }.width(), 2);
+    }
+
+    #[test]
+    fn expr_refs_collects_all() {
+        let e = Expr::Bin(
+            BinOp::And,
+            Box::new(Expr::Ref("a".into())),
+            Box::new(Expr::Not(Box::new(Expr::Index("b".into(), 2)))),
+        );
+        let mut refs = Vec::new();
+        e.refs(&mut refs);
+        assert_eq!(refs, vec!["a".to_string(), "b".to_string()]);
+        assert!(!e.has_rising_edge());
+    }
+
+    #[test]
+    fn rising_edge_detection() {
+        let e = Expr::Bin(
+            BinOp::And,
+            Box::new(Expr::RisingEdge("clk".into())),
+            Box::new(Expr::Bit(true)),
+        );
+        assert!(e.has_rising_edge());
+    }
+}

@@ -1,0 +1,264 @@
+//! VHDL tokenizer. Identifiers are case-folded to lower case (VHDL is
+//! case-insensitive); `--` comments run to end of line.
+
+use crate::{Result, VhdlError};
+
+/// A lexical token with its source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    pub kind: Tok,
+    pub line: usize,
+}
+
+/// Token kinds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (lower-cased).
+    Ident(String),
+    /// Integer literal.
+    Int(u64),
+    /// Bit literal `'0'` / `'1'`.
+    BitLit(bool),
+    /// String/bit-vector literal `"0101"`.
+    VecLit(Vec<bool>),
+    LParen,
+    RParen,
+    Semi,
+    Colon,
+    Comma,
+    /// `<=` (assignment or comparison — the parser disambiguates).
+    LessEq,
+    /// `=>`
+    Arrow,
+    Eq,
+    /// `/=`
+    NotEq,
+    Plus,
+    Minus,
+    Amp,
+    Dot,
+    /// `'` used in attributes (not bit literals).
+    Tick,
+}
+
+impl Tok {
+    /// Is this the given keyword?
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Tok::Ident(s) if s == kw)
+    }
+}
+
+/// Tokenize VHDL source.
+pub fn lex(source: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let mut chars = source.char_indices().peekable();
+    let mut line = 1usize;
+    let bytes = source.as_bytes();
+
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '\n' => line += 1,
+            c if c.is_whitespace() => {}
+            '-' => {
+                if matches!(chars.peek(), Some((_, '-'))) {
+                    // Comment to end of line.
+                    for (_, cc) in chars.by_ref() {
+                        if cc == '\n' {
+                            line += 1;
+                            break;
+                        }
+                    }
+                } else {
+                    out.push(Token { kind: Tok::Minus, line });
+                }
+            }
+            '(' => out.push(Token { kind: Tok::LParen, line }),
+            ')' => out.push(Token { kind: Tok::RParen, line }),
+            ';' => out.push(Token { kind: Tok::Semi, line }),
+            ':' => out.push(Token { kind: Tok::Colon, line }),
+            ',' => out.push(Token { kind: Tok::Comma, line }),
+            '+' => out.push(Token { kind: Tok::Plus, line }),
+            '&' => out.push(Token { kind: Tok::Amp, line }),
+            '.' => out.push(Token { kind: Tok::Dot, line }),
+            '<' => {
+                if matches!(chars.peek(), Some((_, '='))) {
+                    chars.next();
+                    out.push(Token { kind: Tok::LessEq, line });
+                } else {
+                    return Err(VhdlError { line, msg: "expected '<='".into() });
+                }
+            }
+            '=' => {
+                if matches!(chars.peek(), Some((_, '>'))) {
+                    chars.next();
+                    out.push(Token { kind: Tok::Arrow, line });
+                } else {
+                    out.push(Token { kind: Tok::Eq, line });
+                }
+            }
+            '/' => {
+                if matches!(chars.peek(), Some((_, '='))) {
+                    chars.next();
+                    out.push(Token { kind: Tok::NotEq, line });
+                } else {
+                    return Err(VhdlError { line, msg: "unexpected '/'".into() });
+                }
+            }
+            '\'' => {
+                // '0' or '1' bit literal if the pattern is 'x' followed by
+                // a closing quote; otherwise an attribute tick.
+                let lit = if i + 2 < bytes.len() && bytes[i + 2] == b'\'' {
+                    match bytes[i + 1] {
+                        b'0' => Some(false),
+                        b'1' => Some(true),
+                        _ => None,
+                    }
+                } else {
+                    None
+                };
+                match lit {
+                    Some(v) => {
+                        chars.next();
+                        chars.next();
+                        out.push(Token { kind: Tok::BitLit(v), line });
+                    }
+                    None => out.push(Token { kind: Tok::Tick, line }),
+                }
+            }
+            '"' => {
+                let mut bits = Vec::new();
+                let mut closed = false;
+                for (_, cc) in chars.by_ref() {
+                    match cc {
+                        '"' => {
+                            closed = true;
+                            break;
+                        }
+                        '0' => bits.push(false),
+                        '1' => bits.push(true),
+                        '\n' => {
+                            return Err(VhdlError {
+                                line,
+                                msg: "unterminated string literal".into(),
+                            })
+                        }
+                        other => {
+                            return Err(VhdlError {
+                                line,
+                                msg: format!("unsupported bit value '{other}' in literal"),
+                            })
+                        }
+                    }
+                }
+                if !closed {
+                    return Err(VhdlError { line, msg: "unterminated string literal".into() });
+                }
+                out.push(Token { kind: Tok::VecLit(bits), line });
+            }
+            c if c.is_ascii_digit() => {
+                let mut val = c.to_digit(10).unwrap() as u64;
+                while let Some(&(_, d)) = chars.peek() {
+                    if d.is_ascii_digit() {
+                        val = val * 10 + d.to_digit(10).unwrap() as u64;
+                        chars.next();
+                    } else if d == '_' {
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token { kind: Tok::Int(val), line });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut ident = String::new();
+                ident.push(c.to_ascii_lowercase());
+                while let Some(&(_, d)) = chars.peek() {
+                    if d.is_alphanumeric() || d == '_' {
+                        ident.push(d.to_ascii_lowercase());
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token { kind: Tok::Ident(ident), line });
+            }
+            other => {
+                return Err(VhdlError { line, msg: format!("unexpected character '{other}'") })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn identifiers_fold_case() {
+        assert_eq!(
+            kinds("Entity FOO IS"),
+            vec![
+                Tok::Ident("entity".into()),
+                Tok::Ident("foo".into()),
+                Tok::Ident("is".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(kinds("a -- the rest\nb"), vec![Tok::Ident("a".into()), Tok::Ident("b".into())]);
+    }
+
+    #[test]
+    fn bit_and_vector_literals() {
+        assert_eq!(
+            kinds("'1' '0' \"10\""),
+            vec![Tok::BitLit(true), Tok::BitLit(false), Tok::VecLit(vec![true, false])]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("y <= a = b /= c + 1;"),
+            vec![
+                Tok::Ident("y".into()),
+                Tok::LessEq,
+                Tok::Ident("a".into()),
+                Tok::Eq,
+                Tok::Ident("b".into()),
+                Tok::NotEq,
+                Tok::Ident("c".into()),
+                Tok::Plus,
+                Tok::Int(1),
+                Tok::Semi
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_tracked() {
+        let toks = lex("a\nb\n\nc").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 4);
+    }
+
+    #[test]
+    fn bad_characters_rejected() {
+        assert!(lex("a ? b").is_err());
+        assert!(lex("\"01x\"").is_err());
+        assert!(lex("\"01").is_err());
+    }
+
+    #[test]
+    fn numbers_with_underscores() {
+        assert_eq!(kinds("1_000"), vec![Tok::Int(1000)]);
+    }
+}

@@ -1,0 +1,76 @@
+//! # fpga-vhdl
+//!
+//! VHDL-93 front end of the application-mapping toolset: the paper's
+//! "VHDL Parser" tool (syntax and semantic checking against a VHDL-93
+//! subset) plus the elaboration step DIVINER builds on.
+//!
+//! The supported subset is the synthesizable RTL the flow targets:
+//!
+//! * `entity` with `port` lists of `std_logic` and
+//!   `std_logic_vector(M downto L)` signals, directions `in`/`out`;
+//! * `architecture` with `signal` declarations;
+//! * concurrent signal assignments with the logical operators
+//!   (`and or nand nor xor xnor not`), parentheses, bit/vector literals,
+//!   indexing, `+` (ripple-carry addition), equality tests, and
+//!   `when .. else` selection;
+//! * clocked `process` blocks (`rising_edge(clk)`) with `if`/`elsif`/
+//!   `else` and sequential assignments, which elaborate to D flip-flops
+//!   with multiplexed data paths.
+//!
+//! ```
+//! let src = "
+//! entity inv is
+//!   port ( a : in std_logic; y : out std_logic );
+//! end inv;
+//! architecture rtl of inv is
+//! begin
+//!   y <= not a;
+//! end rtl;";
+//! let design = fpga_vhdl::parse(src).expect("parses");
+//! fpga_vhdl::check(&design).expect("semantically valid");
+//! let netlist = fpga_vhdl::elaborate(&design).expect("elaborates");
+//! // One NOT gate plus the buffer driving the output port net.
+//! assert_eq!(netlist.cells.len(), 2);
+//! ```
+
+pub mod ast;
+pub mod elab;
+pub mod lexer;
+pub mod parser;
+pub mod sema;
+
+pub use ast::Design;
+
+/// Errors from the VHDL front end, with 1-based source line numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VhdlError {
+    pub line: usize,
+    pub msg: String,
+}
+
+impl std::fmt::Display for VhdlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for VhdlError {}
+
+pub type Result<T> = std::result::Result<T, VhdlError>;
+
+/// Parse a VHDL source file into a [`Design`] (syntax check).
+pub fn parse(source: &str) -> Result<Design> {
+    let tokens = lexer::lex(source)?;
+    parser::parse_design(&tokens)
+}
+
+/// Semantic check (the second half of the "VHDL Parser" tool).
+pub fn check(design: &Design) -> Result<()> {
+    sema::check(design)
+}
+
+/// Elaborate the (checked) design into a gate-level netlist.
+pub fn elaborate(design: &Design) -> Result<fpga_netlist::Netlist> {
+    sema::check(design)?;
+    elab::elaborate(design)
+}

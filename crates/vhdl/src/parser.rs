@@ -1,0 +1,660 @@
+//! Recursive-descent parser for the VHDL subset.
+
+use crate::ast::*;
+use crate::lexer::{Tok, Token};
+use crate::{Result, VhdlError};
+
+struct Cursor<'a> {
+    toks: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map(|t| t.line)
+            .unwrap_or(0)
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T> {
+        Err(VhdlError { line: self.line(), msg: msg.into() })
+    }
+
+    fn next(&mut self) -> Option<&Tok> {
+        let t = self.toks.get(self.pos).map(|t| &t.kind);
+        self.pos += 1;
+        t
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_some_and(|t| t.is_kw(kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            self.err(format!("expected '{kw}', found {:?}", self.peek()))
+        }
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: &Tok, what: &str) -> Result<()> {
+        if self.eat(tok) {
+            Ok(())
+        } else {
+            self.err(format!("expected {what}, found {:?}", self.peek()))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.peek() {
+            Some(Tok::Ident(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    fn int(&mut self) -> Result<u64> {
+        match self.peek() {
+            Some(Tok::Int(v)) => {
+                let v = *v;
+                self.pos += 1;
+                Ok(v)
+            }
+            other => self.err(format!("expected integer, found {other:?}")),
+        }
+    }
+}
+
+/// Parse a full design file.
+pub fn parse_design(tokens: &[Token]) -> Result<Design> {
+    let mut cur = Cursor { toks: tokens, pos: 0 };
+    let mut design = Design::default();
+    while let Some(tok) = cur.peek() {
+        match tok {
+            t if t.is_kw("library") => {
+                // library ieee, work;
+                cur.next();
+                loop {
+                    cur.ident()?;
+                    if !cur.eat(&Tok::Comma) {
+                        break;
+                    }
+                }
+                cur.expect(&Tok::Semi, "';'")?;
+            }
+            t if t.is_kw("use") => {
+                cur.next();
+                cur.ident()?;
+                while cur.eat(&Tok::Dot) {
+                    cur.ident()?;
+                }
+                cur.expect(&Tok::Semi, "';'")?;
+            }
+            t if t.is_kw("entity") => {
+                let e = parse_entity(&mut cur)?;
+                design.entities.push(e);
+            }
+            t if t.is_kw("architecture") => {
+                let a = parse_architecture(&mut cur)?;
+                design.architectures.push(a);
+            }
+            other => return cur.err(format!("expected design unit, found {other:?}")),
+        }
+    }
+    Ok(design)
+}
+
+fn parse_type(cur: &mut Cursor) -> Result<Ty> {
+    let name = cur.ident()?;
+    match name.as_str() {
+        "std_logic" | "std_ulogic" | "bit" => Ok(Ty::Bit),
+        "std_logic_vector" | "std_ulogic_vector" | "bit_vector" | "unsigned" | "signed" => {
+            cur.expect(&Tok::LParen, "'('")?;
+            let msb = cur.int()? as u32;
+            cur.expect_kw("downto")?;
+            let lsb = cur.int()? as u32;
+            cur.expect(&Tok::RParen, "')'")?;
+            if lsb > msb {
+                return cur.err("ascending ranges ('to') are not supported");
+            }
+            Ok(Ty::Vector { msb, lsb })
+        }
+        other => cur.err(format!("unsupported type '{other}'")),
+    }
+}
+
+fn parse_entity(cur: &mut Cursor) -> Result<Entity> {
+    let line = cur.line();
+    cur.expect_kw("entity")?;
+    let name = cur.ident()?;
+    cur.expect_kw("is")?;
+    let mut ports = Vec::new();
+    if cur.eat_kw("port") {
+        cur.expect(&Tok::LParen, "'('")?;
+        loop {
+            let pline = cur.line();
+            let mut names = vec![cur.ident()?];
+            while cur.eat(&Tok::Comma) {
+                names.push(cur.ident()?);
+            }
+            cur.expect(&Tok::Colon, "':'")?;
+            let dir = if cur.eat_kw("in") {
+                Dir::In
+            } else if cur.eat_kw("out") {
+                Dir::Out
+            } else {
+                return cur.err("expected 'in' or 'out'");
+            };
+            let ty = parse_type(cur)?;
+            for n in names {
+                ports.push(Port { name: n, dir, ty, line: pline });
+            }
+            if !cur.eat(&Tok::Semi) {
+                break;
+            }
+            // A ');' after the last port: peek for ')'.
+            if cur.peek() == Some(&Tok::RParen) {
+                break;
+            }
+        }
+        cur.expect(&Tok::RParen, "')' after port list")?;
+        cur.expect(&Tok::Semi, "';' after port clause")?;
+    }
+    cur.expect_kw("end")?;
+    cur.eat_kw("entity");
+    // Optional repeated name.
+    if matches!(cur.peek(), Some(Tok::Ident(_))) {
+        cur.ident()?;
+    }
+    cur.expect(&Tok::Semi, "';' after entity")?;
+    Ok(Entity { name, ports, line })
+}
+
+fn parse_architecture(cur: &mut Cursor) -> Result<Architecture> {
+    let line = cur.line();
+    cur.expect_kw("architecture")?;
+    let name = cur.ident()?;
+    cur.expect_kw("of")?;
+    let entity = cur.ident()?;
+    cur.expect_kw("is")?;
+    let mut signals = Vec::new();
+    while cur.eat_kw("signal") {
+        let sline = cur.line();
+        let mut names = vec![cur.ident()?];
+        while cur.eat(&Tok::Comma) {
+            names.push(cur.ident()?);
+        }
+        cur.expect(&Tok::Colon, "':'")?;
+        let ty = parse_type(cur)?;
+        // Optional default value is ignored for synthesis.
+        if cur.eat(&Tok::Colon) {
+            return cur.err("unexpected ':'");
+        }
+        cur.expect(&Tok::Semi, "';' after signal declaration")?;
+        for n in names {
+            signals.push(SignalDecl { name: n, ty, line: sline });
+        }
+    }
+    cur.expect_kw("begin")?;
+    let mut stmts = Vec::new();
+    while !cur.peek().is_some_and(|t| t.is_kw("end")) {
+        if cur.peek().is_none() {
+            return cur.err("unterminated architecture body");
+        }
+        stmts.push(parse_conc_stmt(cur)?);
+    }
+    cur.expect_kw("end")?;
+    cur.eat_kw("architecture");
+    if matches!(cur.peek(), Some(Tok::Ident(_))) {
+        cur.ident()?;
+    }
+    cur.expect(&Tok::Semi, "';' after architecture")?;
+    Ok(Architecture { name, entity, signals, stmts, line })
+}
+
+fn parse_conc_stmt(cur: &mut Cursor) -> Result<ConcStmt> {
+    // Optional label before 'process'.
+    let save = cur.pos;
+    if matches!(cur.peek(), Some(Tok::Ident(_))) {
+        let _label = cur.ident()?;
+        if cur.eat(&Tok::Colon) {
+            if cur.peek().is_some_and(|t| t.is_kw("process")) {
+                return Ok(ConcStmt::Process(parse_process(cur)?));
+            }
+            return cur.err("only process statements may be labelled");
+        }
+        cur.pos = save;
+    }
+    if cur.peek().is_some_and(|t| t.is_kw("process")) {
+        return Ok(ConcStmt::Process(parse_process(cur)?));
+    }
+    // Signal assignment.
+    let line = cur.line();
+    let target = parse_target(cur)?;
+    cur.expect(&Tok::LessEq, "'<='")?;
+    let first = parse_expr(cur)?;
+    if cur.eat_kw("when") {
+        // v1 when c1 else v2 [when c2 else v3 ...];
+        let mut arms = Vec::new();
+        let mut value = first;
+        loop {
+            let cond = parse_expr(cur)?;
+            cur.expect_kw("else")?;
+            arms.push((value, cond));
+            let next = parse_expr(cur)?;
+            if cur.eat_kw("when") {
+                value = next;
+            } else {
+                cur.expect(&Tok::Semi, "';' after conditional assignment")?;
+                return Ok(ConcStmt::CondAssign { target, arms, default: next, line });
+            }
+        }
+    }
+    cur.expect(&Tok::Semi, "';' after assignment")?;
+    Ok(ConcStmt::Assign { target, expr: first, line })
+}
+
+fn parse_target(cur: &mut Cursor) -> Result<Target> {
+    let name = cur.ident()?;
+    if cur.eat(&Tok::LParen) {
+        let idx = cur.int()? as u32;
+        cur.expect(&Tok::RParen, "')'")?;
+        Ok(Target::Index(name, idx))
+    } else {
+        Ok(Target::Sig(name))
+    }
+}
+
+fn parse_process(cur: &mut Cursor) -> Result<Process> {
+    let line = cur.line();
+    cur.expect_kw("process")?;
+    let mut sensitivity = Vec::new();
+    if cur.eat(&Tok::LParen) {
+        loop {
+            sensitivity.push(cur.ident()?);
+            if !cur.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        cur.expect(&Tok::RParen, "')'")?;
+    }
+    cur.eat_kw("is");
+    cur.expect_kw("begin")?;
+    let body = parse_seq_body(cur, &["end"])?;
+    cur.expect_kw("end")?;
+    cur.expect_kw("process")?;
+    if matches!(cur.peek(), Some(Tok::Ident(_))) {
+        cur.ident()?;
+    }
+    cur.expect(&Tok::Semi, "';' after process")?;
+    Ok(Process { sensitivity, body, line })
+}
+
+/// Parse sequential statements until one of the given keywords is next.
+fn parse_seq_body(cur: &mut Cursor, stops: &[&str]) -> Result<Vec<SeqStmt>> {
+    let mut body = Vec::new();
+    loop {
+        match cur.peek() {
+            None => return cur.err("unterminated statement body"),
+            Some(t) if stops.iter().any(|s| t.is_kw(s)) => return Ok(body),
+            Some(t) if t.is_kw("if") => body.push(parse_if(cur)?),
+            Some(t) if t.is_kw("case") => body.push(parse_case(cur)?),
+            _ => {
+                let line = cur.line();
+                let target = parse_target(cur)?;
+                cur.expect(&Tok::LessEq, "'<='")?;
+                let expr = parse_expr(cur)?;
+                cur.expect(&Tok::Semi, "';' after assignment")?;
+                body.push(SeqStmt::Assign { target, expr, line });
+            }
+        }
+    }
+}
+
+fn parse_if(cur: &mut Cursor) -> Result<SeqStmt> {
+    let line = cur.line();
+    cur.expect_kw("if")?;
+    let cond = parse_expr(cur)?;
+    cur.expect_kw("then")?;
+    let then_body = parse_seq_body(cur, &["elsif", "else", "end"])?;
+    let mut elsifs = Vec::new();
+    let mut else_body = Vec::new();
+    loop {
+        if cur.eat_kw("elsif") {
+            let c = parse_expr(cur)?;
+            cur.expect_kw("then")?;
+            let b = parse_seq_body(cur, &["elsif", "else", "end"])?;
+            elsifs.push((c, b));
+        } else if cur.eat_kw("else") {
+            else_body = parse_seq_body(cur, &["end"])?;
+        } else {
+            break;
+        }
+    }
+    cur.expect_kw("end")?;
+    cur.expect_kw("if")?;
+    cur.expect(&Tok::Semi, "';' after end if")?;
+    Ok(SeqStmt::If { cond, then_body, elsifs, else_body, line })
+}
+
+/// `case <expr> is when <literal> => ... [when others => ...] end case;`
+/// Desugared at parse time into an if/elsif/else chain of equality tests,
+/// so semantic analysis and elaboration see only the core constructs.
+fn parse_case(cur: &mut Cursor) -> Result<SeqStmt> {
+    let line = cur.line();
+    cur.expect_kw("case")?;
+    let subject = parse_expr(cur)?;
+    cur.expect_kw("is")?;
+    let mut arms: Vec<(Option<Expr>, Vec<SeqStmt>)> = Vec::new();
+    let mut saw_others = false;
+    while cur.eat_kw("when") {
+        let choice = if cur.eat_kw("others") {
+            saw_others = true;
+            None
+        } else {
+            Some(parse_expr(cur)?)
+        };
+        cur.expect(&Tok::Arrow, "'=>'")?;
+        let body = parse_seq_body(cur, &["when", "end"])?;
+        arms.push((choice, body));
+        if saw_others {
+            break;
+        }
+    }
+    cur.expect_kw("end")?;
+    cur.expect_kw("case")?;
+    cur.expect(&Tok::Semi, "';' after end case")?;
+    if arms.is_empty() {
+        return cur.err("case statement needs at least one 'when' arm");
+    }
+    // Desugar: first literal arm becomes the if, later literal arms become
+    // elsifs, 'others' (if any) the else.
+    let mut lits = Vec::new();
+    let mut others_body = Vec::new();
+    for (choice, body) in arms {
+        match choice {
+            Some(lit) => lits.push((
+                Expr::Bin(BinOp::Eq, Box::new(subject.clone()), Box::new(lit)),
+                body,
+            )),
+            None => others_body = body,
+        }
+    }
+    if lits.is_empty() {
+        // Only 'others': the body executes unconditionally.
+        return Ok(SeqStmt::If {
+            cond: Expr::Bit(true),
+            then_body: others_body,
+            elsifs: Vec::new(),
+            else_body: Vec::new(),
+            line,
+        });
+    }
+    let (first_cond, first_body) = lits.remove(0);
+    Ok(SeqStmt::If {
+        cond: first_cond,
+        then_body: first_body,
+        elsifs: lits,
+        else_body: others_body,
+        line,
+    })
+}
+
+/// Expression grammar (loosest to tightest):
+/// logical (and/or/nand/nor/xor/xnor, non-mixing without parens relaxed to
+/// left-assoc) -> relational (= /=) -> additive (+ &) -> unary (not) ->
+/// primary.
+fn parse_expr(cur: &mut Cursor) -> Result<Expr> {
+    parse_logical(cur)
+}
+
+fn logical_op(t: &Tok) -> Option<BinOp> {
+    for (kw, op) in [
+        ("and", BinOp::And),
+        ("or", BinOp::Or),
+        ("nand", BinOp::Nand),
+        ("nor", BinOp::Nor),
+        ("xor", BinOp::Xor),
+        ("xnor", BinOp::Xnor),
+    ] {
+        if t.is_kw(kw) {
+            return Some(op);
+        }
+    }
+    None
+}
+
+fn parse_logical(cur: &mut Cursor) -> Result<Expr> {
+    let mut lhs = parse_relational(cur)?;
+    while let Some(op) = cur.peek().and_then(logical_op) {
+        cur.next();
+        let rhs = parse_relational(cur)?;
+        lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+    }
+    Ok(lhs)
+}
+
+fn parse_relational(cur: &mut Cursor) -> Result<Expr> {
+    let lhs = parse_additive(cur)?;
+    if cur.eat(&Tok::Eq) {
+        let rhs = parse_additive(cur)?;
+        return Ok(Expr::Bin(BinOp::Eq, Box::new(lhs), Box::new(rhs)));
+    }
+    if cur.eat(&Tok::NotEq) {
+        let rhs = parse_additive(cur)?;
+        return Ok(Expr::Bin(BinOp::Neq, Box::new(lhs), Box::new(rhs)));
+    }
+    Ok(lhs)
+}
+
+fn parse_additive(cur: &mut Cursor) -> Result<Expr> {
+    let mut lhs = parse_unary(cur)?;
+    loop {
+        if cur.eat(&Tok::Plus) {
+            let rhs = parse_unary(cur)?;
+            lhs = Expr::Bin(BinOp::Add, Box::new(lhs), Box::new(rhs));
+        } else if cur.eat(&Tok::Minus) {
+            let rhs = parse_unary(cur)?;
+            lhs = Expr::Bin(BinOp::Sub, Box::new(lhs), Box::new(rhs));
+        } else if cur.eat(&Tok::Amp) {
+            let rhs = parse_unary(cur)?;
+            lhs = Expr::Bin(BinOp::Concat, Box::new(lhs), Box::new(rhs));
+        } else {
+            return Ok(lhs);
+        }
+    }
+}
+
+fn parse_unary(cur: &mut Cursor) -> Result<Expr> {
+    if cur.eat_kw("not") {
+        let e = parse_unary(cur)?;
+        return Ok(Expr::Not(Box::new(e)));
+    }
+    parse_primary(cur)
+}
+
+fn parse_primary(cur: &mut Cursor) -> Result<Expr> {
+    match cur.peek().cloned() {
+        Some(Tok::LParen) => {
+            cur.next();
+            // `(others => '0')` aggregate or a parenthesized expression.
+            if cur.eat_kw("others") {
+                cur.expect(&Tok::Arrow, "'=>'")?;
+                let bit = match cur.next().cloned() {
+                    Some(Tok::BitLit(b)) => b,
+                    other => {
+                        return cur
+                            .err(format!("expected '0' or '1' after others =>, found {other:?}"))
+                    }
+                };
+                cur.expect(&Tok::RParen, "')'")?;
+                return Ok(Expr::Others(bit));
+            }
+            let e = parse_expr(cur)?;
+            cur.expect(&Tok::RParen, "')'")?;
+            Ok(e)
+        }
+        Some(Tok::BitLit(b)) => {
+            cur.next();
+            Ok(Expr::Bit(b))
+        }
+        Some(Tok::VecLit(v)) => {
+            cur.next();
+            Ok(Expr::Vec(v))
+        }
+        Some(Tok::Int(v)) => {
+            cur.next();
+            Ok(Expr::Int(v))
+        }
+        Some(Tok::Ident(name)) => {
+            cur.next();
+            if name == "rising_edge" {
+                cur.expect(&Tok::LParen, "'('")?;
+                let clk = cur.ident()?;
+                cur.expect(&Tok::RParen, "')'")?;
+                return Ok(Expr::RisingEdge(clk));
+            }
+            if cur.eat(&Tok::LParen) {
+                let idx = cur.int()? as u32;
+                cur.expect(&Tok::RParen, "')'")?;
+                return Ok(Expr::Index(name, idx));
+            }
+            Ok(Expr::Ref(name))
+        }
+        other => cur.err(format!("expected expression, found {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> Result<Design> {
+        parse_design(&lex(src).unwrap())
+    }
+
+    const COUNTER: &str = "
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+
+entity counter is
+  port ( clk : in std_logic;
+         rst : in std_logic;
+         q   : out std_logic_vector(3 downto 0) );
+end counter;
+
+architecture rtl of counter is
+  signal cnt : std_logic_vector(3 downto 0);
+begin
+  main : process (clk)
+  begin
+    if rising_edge(clk) then
+      if rst = '1' then
+        cnt <= \"0000\";
+      else
+        cnt <= cnt + 1;
+      end if;
+    end if;
+  end process;
+  q <= cnt;
+end rtl;
+";
+
+    #[test]
+    fn parses_counter() {
+        let d = parse(COUNTER).unwrap();
+        assert_eq!(d.entities.len(), 1);
+        assert_eq!(d.architectures.len(), 1);
+        let e = &d.entities[0];
+        assert_eq!(e.name, "counter");
+        assert_eq!(e.ports.len(), 3);
+        assert_eq!(e.ports[2].ty, Ty::Vector { msb: 3, lsb: 0 });
+        let a = &d.architectures[0];
+        assert_eq!(a.signals.len(), 1);
+        assert_eq!(a.stmts.len(), 2);
+        assert!(matches!(a.stmts[0], ConcStmt::Process(_)));
+        let (top_e, _) = d.top().unwrap();
+        assert_eq!(top_e.name, "counter");
+    }
+
+    #[test]
+    fn parses_when_else_chain() {
+        let src = "
+entity m is
+  port ( s, a, b, c : in std_logic; y : out std_logic );
+end m;
+architecture rtl of m is
+begin
+  y <= a when s = '1' else b when c = '1' else '0';
+end rtl;";
+        let d = parse(src).unwrap();
+        match &d.architectures[0].stmts[0] {
+            ConcStmt::CondAssign { arms, .. } => assert_eq!(arms.len(), 2),
+            other => panic!("expected CondAssign, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_indexed_targets_and_operators() {
+        let src = "
+entity g is
+  port ( a : in std_logic_vector(1 downto 0); y : out std_logic_vector(1 downto 0) );
+end g;
+architecture rtl of g is
+begin
+  y(0) <= a(0) nand a(1);
+  y(1) <= not (a(0) xor a(1));
+end rtl;";
+        let d = parse(src).unwrap();
+        assert_eq!(d.architectures[0].stmts.len(), 2);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("entity x is end;").is_ok());
+        assert!(parse("entity x port end;").is_err());
+        assert!(parse("architecture a of b is begin y <= ; end a;").is_err());
+        assert!(parse("begin end").is_err());
+    }
+
+    #[test]
+    fn error_lines_are_useful() {
+        let src = "entity x is\nport ( a : in std_logic );\nend x;\narchitecture r of x is\nbegin\n  y <== a;\nend r;";
+        // '<==' lexes as '<=' '=', the parser chokes on '=' at line 6.
+        let err = parse(src).unwrap_err();
+        assert_eq!(err.line, 6);
+    }
+
+    #[test]
+    fn multiple_port_names_share_type() {
+        let src = "entity x is port ( a, b, c : in std_logic; y : out std_logic ); end x;";
+        let d = parse(src).unwrap();
+        assert_eq!(d.entities[0].ports.len(), 4);
+        assert!(d.entities[0].ports[0].dir == Dir::In);
+    }
+}

@@ -1,0 +1,492 @@
+//! Semantic analysis: the checking half of the paper's "VHDL Parser" tool.
+//!
+//! Verifies that a parsed design is well-formed for synthesis: every
+//! architecture binds to an entity, all referenced signals are declared,
+//! widths are consistent, inputs are never driven, no signal bit has two
+//! concurrent drivers, and processes follow the synthesizable clocked
+//! template (`if rising_edge(clk) then ... end if;` with the clock in the
+//! sensitivity list).
+
+use std::collections::{HashMap, HashSet};
+
+use crate::ast::*;
+use crate::{Result, VhdlError};
+
+/// Width of an expression: either a fixed number of bits or elastic
+/// (integer literals adapt to context).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Width {
+    Bits(usize),
+    Elastic,
+}
+
+impl Width {
+    fn unify(self, other: Width, line: usize, what: &str) -> Result<Width> {
+        match (self, other) {
+            (Width::Elastic, w) | (w, Width::Elastic) => Ok(w),
+            (Width::Bits(a), Width::Bits(b)) if a == b => Ok(Width::Bits(a)),
+            (Width::Bits(a), Width::Bits(b)) => Err(VhdlError {
+                line,
+                msg: format!("{what}: width mismatch ({a} vs {b} bits)"),
+            }),
+        }
+    }
+}
+
+/// Symbol table for one architecture: name -> (type, is_input, is_output).
+pub struct Scope {
+    pub symbols: HashMap<String, (Ty, Option<Dir>)>,
+}
+
+impl Scope {
+    pub fn build(entity: &Entity, arch: &Architecture) -> Result<Scope> {
+        let mut symbols = HashMap::new();
+        for p in &entity.ports {
+            if symbols.insert(p.name.clone(), (p.ty, Some(p.dir))).is_some() {
+                return Err(VhdlError {
+                    line: p.line,
+                    msg: format!("duplicate port '{}'", p.name),
+                });
+            }
+        }
+        for s in &arch.signals {
+            if symbols.insert(s.name.clone(), (s.ty, None)).is_some() {
+                return Err(VhdlError {
+                    line: s.line,
+                    msg: format!("'{}' shadows a port or earlier signal", s.name),
+                });
+            }
+        }
+        Ok(Scope { symbols })
+    }
+
+    fn lookup(&self, name: &str, line: usize) -> Result<(Ty, Option<Dir>)> {
+        self.symbols.get(name).copied().ok_or_else(|| VhdlError {
+            line,
+            msg: format!("undeclared signal '{name}'"),
+        })
+    }
+}
+
+/// Check the whole design.
+pub fn check(design: &Design) -> Result<()> {
+    if design.entities.is_empty() {
+        return Err(VhdlError { line: 1, msg: "no entity declared".into() });
+    }
+    let mut entity_names = HashSet::new();
+    for e in &design.entities {
+        if !entity_names.insert(&e.name) {
+            return Err(VhdlError {
+                line: e.line,
+                msg: format!("duplicate entity '{}'", e.name),
+            });
+        }
+    }
+    for arch in &design.architectures {
+        let entity = design.entity(&arch.entity).ok_or_else(|| VhdlError {
+            line: arch.line,
+            msg: format!("architecture '{}' of unknown entity '{}'", arch.name, arch.entity),
+        })?;
+        check_architecture(entity, arch)?;
+    }
+    if design.top().is_none() {
+        return Err(VhdlError {
+            line: 1,
+            msg: "no entity has an architecture".into(),
+        });
+    }
+    Ok(())
+}
+
+fn check_architecture(entity: &Entity, arch: &Architecture) -> Result<()> {
+    let scope = Scope::build(entity, arch)?;
+
+    // Per-bit driver map to catch multiple drivers.
+    let mut driven: HashMap<(String, u32), usize> = HashMap::new();
+    fn drive(
+        driven: &mut HashMap<(String, u32), usize>,
+        scope: &Scope,
+        target: &Target,
+        line: usize,
+    ) -> Result<()> {
+        let (ty, dir) = scope.lookup(target.base(), line)?;
+        if dir == Some(Dir::In) {
+            return Err(VhdlError {
+                line,
+                msg: format!("cannot assign to input port '{}'", target.base()),
+            });
+        }
+        let bits: Vec<u32> = match (target, ty) {
+            (Target::Sig(_), Ty::Bit) => vec![0],
+            (Target::Sig(_), Ty::Vector { msb, lsb }) => (lsb..=msb).collect(),
+            (Target::Index(_, i), Ty::Vector { msb, lsb }) => {
+                if *i < lsb || *i > msb {
+                    return Err(VhdlError {
+                        line,
+                        msg: format!("index {} out of range {}..{}", i, lsb, msb),
+                    });
+                }
+                vec![*i]
+            }
+            (Target::Index(..), Ty::Bit) => {
+                return Err(VhdlError {
+                    line,
+                    msg: format!("cannot index scalar '{}'", target.base()),
+                })
+            }
+        };
+        for b in bits {
+            if let Some(prev) = driven.insert((target.base().to_string(), b), line) {
+                return Err(VhdlError {
+                    line,
+                    msg: format!(
+                        "'{}({})' already driven at line {prev}",
+                        target.base(),
+                        b
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    for stmt in &arch.stmts {
+        match stmt {
+            ConcStmt::Assign { target, expr, line } => {
+                drive(&mut driven, &scope, target, *line)?;
+                let tw = target_width(&scope, target, *line)?;
+                let ew = expr_width(&scope, expr, *line)?;
+                Width::Bits(tw).unify(ew, *line, "assignment")?;
+            }
+            ConcStmt::CondAssign { target, arms, default, line } => {
+                drive(&mut driven, &scope, target, *line)?;
+                let tw = target_width(&scope, target, *line)?;
+                for (value, cond) in arms {
+                    let vw = expr_width(&scope, value, *line)?;
+                    Width::Bits(tw).unify(vw, *line, "conditional value")?;
+                    let cw = expr_width(&scope, cond, *line)?;
+                    Width::Bits(1).unify(cw, *line, "condition")?;
+                }
+                let dw = expr_width(&scope, default, *line)?;
+                Width::Bits(tw).unify(dw, *line, "default value")?;
+            }
+            ConcStmt::Process(p) => check_process(&scope, p, &mut driven)?,
+        }
+    }
+    Ok(())
+}
+
+fn target_width(scope: &Scope, target: &Target, line: usize) -> Result<usize> {
+    let (ty, _) = scope.lookup(target.base(), line)?;
+    Ok(match target {
+        Target::Sig(_) => ty.width(),
+        Target::Index(..) => 1,
+    })
+}
+
+fn check_process(
+    scope: &Scope,
+    p: &Process,
+    driven: &mut HashMap<(String, u32), usize>,
+) -> Result<()> {
+    // Synthesizable template: exactly one top-level if with a
+    // rising_edge condition and no else.
+    let (clk, body) = match p.body.as_slice() {
+        [SeqStmt::If { cond: Expr::RisingEdge(clk), then_body, elsifs, else_body, line }] => {
+            if !elsifs.is_empty() || !else_body.is_empty() {
+                return Err(VhdlError {
+                    line: *line,
+                    msg: "clocked process must not have elsif/else at the clock level".into(),
+                });
+            }
+            (clk.clone(), then_body)
+        }
+        _ => {
+            return Err(VhdlError {
+                line: p.line,
+                msg: "process must be 'if rising_edge(<clk>) then ... end if;'".into(),
+            })
+        }
+    };
+    scope.lookup(&clk, p.line)?;
+    if !p.sensitivity.contains(&clk) {
+        return Err(VhdlError {
+            line: p.line,
+            msg: format!("clock '{clk}' missing from sensitivity list"),
+        });
+    }
+
+    // Collect targets (duplicates within a process are fine — last wins —
+    // but they must not collide with other concurrent drivers).
+    let mut local: HashSet<(String, u32)> = HashSet::new();
+    collect_seq_targets(scope, body, &mut local)?;
+    for (name, bit) in local {
+        if let Some(prev) = driven.insert((name.clone(), bit), p.line) {
+            return Err(VhdlError {
+                line: p.line,
+                msg: format!("'{name}({bit})' already driven at line {prev}"),
+            });
+        }
+    }
+    check_seq(scope, body)?;
+    Ok(())
+}
+
+#[allow(clippy::only_used_in_recursion)] // scope is threaded for future nested scopes
+fn collect_seq_targets(
+    scope: &Scope,
+    body: &[SeqStmt],
+    out: &mut HashSet<(String, u32)>,
+) -> Result<()> {
+    for stmt in body {
+        match stmt {
+            SeqStmt::Assign { target, line, .. } => {
+                let (ty, dir) = scope.lookup(target.base(), *line)?;
+                if dir == Some(Dir::In) {
+                    return Err(VhdlError {
+                        line: *line,
+                        msg: format!("cannot assign to input port '{}'", target.base()),
+                    });
+                }
+                match (target, ty) {
+                    (Target::Sig(n), Ty::Bit) => {
+                        out.insert((n.clone(), 0));
+                    }
+                    (Target::Sig(n), Ty::Vector { msb, lsb }) => {
+                        for b in lsb..=msb {
+                            out.insert((n.clone(), b));
+                        }
+                    }
+                    (Target::Index(n, i), Ty::Vector { msb, lsb }) => {
+                        if *i < lsb || *i > msb {
+                            return Err(VhdlError {
+                                line: *line,
+                                msg: format!("index {i} out of range"),
+                            });
+                        }
+                        out.insert((n.clone(), *i));
+                    }
+                    (Target::Index(..), Ty::Bit) => {
+                        return Err(VhdlError {
+                            line: *line,
+                            msg: "cannot index scalar".into(),
+                        })
+                    }
+                }
+            }
+            SeqStmt::If { then_body, elsifs, else_body, .. } => {
+                collect_seq_targets(scope, then_body, out)?;
+                for (_, b) in elsifs {
+                    collect_seq_targets(scope, b, out)?;
+                }
+                collect_seq_targets(scope, else_body, out)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_seq(scope: &Scope, body: &[SeqStmt]) -> Result<()> {
+    for stmt in body {
+        match stmt {
+            SeqStmt::Assign { target, expr, line } => {
+                if expr.has_rising_edge() {
+                    return Err(VhdlError {
+                        line: *line,
+                        msg: "rising_edge only allowed as a process condition".into(),
+                    });
+                }
+                let tw = target_width(scope, target, *line)?;
+                let ew = expr_width(scope, expr, *line)?;
+                Width::Bits(tw).unify(ew, *line, "assignment")?;
+            }
+            SeqStmt::If { cond, then_body, elsifs, else_body, line } => {
+                if cond.has_rising_edge() {
+                    return Err(VhdlError {
+                        line: *line,
+                        msg: "nested rising_edge conditions are not supported".into(),
+                    });
+                }
+                let cw = expr_width(scope, cond, *line)?;
+                Width::Bits(1).unify(cw, *line, "if condition")?;
+                check_seq(scope, then_body)?;
+                for (c, b) in elsifs {
+                    let cw = expr_width(scope, c, *line)?;
+                    Width::Bits(1).unify(cw, *line, "elsif condition")?;
+                    check_seq(scope, b)?;
+                }
+                check_seq(scope, else_body)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Compute (and check) the width of an expression.
+pub fn expr_width(scope: &Scope, expr: &Expr, line: usize) -> Result<Width> {
+    Ok(match expr {
+        Expr::Bit(_) => Width::Bits(1),
+        Expr::Vec(v) => Width::Bits(v.len()),
+        Expr::Int(_) | Expr::Others(_) => Width::Elastic,
+        Expr::Ref(name) => {
+            let (ty, _) = scope.lookup(name, line)?;
+            Width::Bits(ty.width())
+        }
+        Expr::Index(name, i) => {
+            let (ty, _) = scope.lookup(name, line)?;
+            match ty {
+                Ty::Vector { msb, lsb } if *i >= lsb && *i <= msb => Width::Bits(1),
+                Ty::Vector { msb, lsb } => {
+                    return Err(VhdlError {
+                        line,
+                        msg: format!("index {i} out of range {lsb}..{msb} for '{name}'"),
+                    })
+                }
+                Ty::Bit => {
+                    return Err(VhdlError { line, msg: format!("cannot index scalar '{name}'") })
+                }
+            }
+        }
+        Expr::Not(e) => expr_width(scope, e, line)?,
+        Expr::Bin(op, a, b) => {
+            let wa = expr_width(scope, a, line)?;
+            let wb = expr_width(scope, b, line)?;
+            match op {
+                BinOp::Eq | BinOp::Neq => {
+                    wa.unify(wb, line, "comparison")?;
+                    Width::Bits(1)
+                }
+                BinOp::Concat => match (wa, wb) {
+                    (Width::Bits(x), Width::Bits(y)) => Width::Bits(x + y),
+                    _ => {
+                        return Err(VhdlError {
+                            line,
+                            msg: "cannot concatenate integer literals".into(),
+                        })
+                    }
+                },
+                BinOp::Add | BinOp::Sub => wa.unify(wb, line, "arithmetic")?,
+                _ => wa.unify(wb, line, "logical operation")?,
+            }
+        }
+        Expr::RisingEdge(name) => {
+            scope.lookup(name, line)?;
+            Width::Bits(1)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn check_src(src: &str) -> Result<()> {
+        check(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn good_design_passes() {
+        check_src(
+            "entity x is port (a, b : in std_logic; y : out std_logic); end x;
+             architecture r of x is begin y <= a and b; end r;",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn undeclared_signal_rejected() {
+        let err = check_src(
+            "entity x is port (a : in std_logic; y : out std_logic); end x;
+             architecture r of x is begin y <= a and ghost; end r;",
+        )
+        .unwrap_err();
+        assert!(err.msg.contains("ghost"), "{err}");
+    }
+
+    #[test]
+    fn assigning_input_rejected() {
+        let err = check_src(
+            "entity x is port (a : in std_logic; y : out std_logic); end x;
+             architecture r of x is begin a <= y; end r;",
+        )
+        .unwrap_err();
+        assert!(err.msg.contains("input"), "{err}");
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let err = check_src(
+            "entity x is port (a : in std_logic_vector(3 downto 0); y : out std_logic); end x;
+             architecture r of x is begin y <= a; end r;",
+        )
+        .unwrap_err();
+        assert!(err.msg.contains("width"), "{err}");
+    }
+
+    #[test]
+    fn double_driver_rejected() {
+        let err = check_src(
+            "entity x is port (a : in std_logic; y : out std_logic); end x;
+             architecture r of x is begin y <= a; y <= not a; end r;",
+        )
+        .unwrap_err();
+        assert!(err.msg.contains("already driven"), "{err}");
+    }
+
+    #[test]
+    fn process_requires_clock_in_sensitivity() {
+        let err = check_src(
+            "entity x is port (clk, d : in std_logic; q : out std_logic); end x;
+             architecture r of x is begin
+               process (d) begin
+                 if rising_edge(clk) then q <= d; end if;
+               end process;
+             end r;",
+        )
+        .unwrap_err();
+        assert!(err.msg.contains("sensitivity"), "{err}");
+    }
+
+    #[test]
+    fn clocked_process_passes() {
+        check_src(
+            "entity x is port (clk, d : in std_logic; q : out std_logic); end x;
+             architecture r of x is begin
+               process (clk) begin
+                 if rising_edge(clk) then q <= d; end if;
+               end process;
+             end r;",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn unclocked_process_rejected() {
+        let err = check_src(
+            "entity x is port (a : in std_logic; y : out std_logic); end x;
+             architecture r of x is begin
+               process (a) begin y <= a; end process;
+             end r;",
+        )
+        .unwrap_err();
+        assert!(err.msg.contains("rising_edge"), "{err}");
+    }
+
+    #[test]
+    fn index_out_of_range_rejected() {
+        let err = check_src(
+            "entity x is port (a : in std_logic_vector(3 downto 0); y : out std_logic); end x;
+             architecture r of x is begin y <= a(7); end r;",
+        )
+        .unwrap_err();
+        assert!(err.msg.contains("range"), "{err}");
+    }
+
+    #[test]
+    fn architecture_of_unknown_entity_rejected() {
+        let err =
+            check_src("entity x is end x; architecture r of zz is begin end r;").unwrap_err();
+        assert!(err.msg.contains("unknown entity"), "{err}");
+    }
+}

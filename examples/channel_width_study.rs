@@ -1,0 +1,50 @@
+//! Channel-width study: how many routing tracks do the benchmark
+//! circuits need on the platform, and how does wirelength respond? This
+//! is the classic VPR experiment, run on the whole generated suite.
+//!
+//! ```sh
+//! cargo run --release --example channel_width_study
+//! ```
+
+use fpga_framework::arch::device::Device;
+use fpga_framework::arch::Architecture;
+use fpga_framework::place::PlaceOptions;
+use fpga_framework::route::{find_min_channel_width, RouteOptions};
+use fpga_framework::synth::{map_to_luts, MapOptions};
+
+fn main() {
+    println!("minimum channel width per benchmark (paper architecture):\n");
+    println!(
+        "{:<12} {:>6} {:>6} {:>8} {:>10} {:>12}",
+        "design", "CLBs", "grid", "min W", "wirelen", "route iters"
+    );
+    for netlist in fpga_framework::circuits::benchmark_suite() {
+        let name = netlist.name.clone();
+        let (mut mapped, _) = map_to_luts(&netlist, MapOptions::default()).expect("maps");
+        fpga_framework::pack::prepare(&mut mapped).expect("prepares");
+        let arch = Architecture::paper_default();
+        let clustering = fpga_framework::pack::pack(&mapped, &arch.clb).expect("packs");
+        let ios = mapped.inputs.len() + mapped.outputs.len() + 1;
+        let device = Device::sized_for(arch, clustering.clusters.len(), ios);
+        let placement = fpga_framework::place::place(
+            &clustering,
+            device,
+            PlaceOptions { seed: 1, inner_num: 3.0 },
+        )
+        .expect("places");
+        match find_min_channel_width(&clustering, &placement, &RouteOptions::default(), 96) {
+            Ok((w, routed)) => println!(
+                "{:<12} {:>6} {:>6} {:>8} {:>10} {:>12}",
+                name,
+                clustering.clusters.len(),
+                format!("{}x{}", placement.device.width, placement.device.height),
+                w,
+                routed.wirelength,
+                routed.iterations
+            ),
+            Err(e) => println!("{name:<12} unroutable: {e}"),
+        }
+    }
+    println!("\nnote: the platform ships channel_width = 12; designs needing more");
+    println!("would target a larger device of the same family.");
+}

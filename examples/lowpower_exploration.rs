@@ -1,0 +1,61 @@
+//! Low-power platform exploration: reproduce the §3 design decisions from
+//! the public API — pick the flip-flop, decide the clock-gating policy,
+//! and size the routing switches.
+//!
+//! ```sh
+//! cargo run --release --example lowpower_exploration
+//! ```
+
+use fpga_framework::cells::clockgate::{breakeven_idle_probability, table2, table3};
+use fpga_framework::cells::detff::{selected_detff, table1, Fig4Stimulus};
+use fpga_framework::cells::routing::{
+    optimum_width, paper_lengths, paper_widths, SizingExperiment, SwitchKind,
+};
+use fpga_framework::cells::tech::WireGeometry;
+
+fn main() {
+    // --- 1. Flip-flop selection (Table 1): simulate all five candidate
+    // DETFFs at transistor level and rank them.
+    println!("== flip-flop selection ==");
+    let stim = Fig4Stimulus::default();
+    let rows = table1(&stim, 2e-12);
+    for r in &rows {
+        println!(
+            "  {:<14} {:7.2} fJ  {:6.1} ps  EDP {:8.0}",
+            r.kind.label(),
+            r.energy_fj,
+            r.delay_ps,
+            r.edp
+        );
+    }
+    println!("  -> platform adopts {} (lowest energy, simplest structure)\n",
+        selected_detff(&rows).label());
+
+    // --- 2. Clock gating policy (Tables 2-3).
+    println!("== clock gating ==");
+    let t2 = table2(2e-12, 3);
+    println!(
+        "  BLE level: {:.0} % saving when idle, {:.1} % overhead when active",
+        t2.saving_en0_pct(),
+        t2.overhead_en1_pct()
+    );
+    let t3 = table3(2e-12, 3);
+    let p = breakeven_idle_probability(&t3);
+    println!(
+        "  CLB level: gate the cluster clock when P(all FFs idle) > {p:.2} \
+         (paper's rule: > 1/3)\n"
+    );
+
+    // --- 3. Routing switch sizing (Figs. 8-10).
+    println!("== routing switch sizing ==");
+    for geom in WireGeometry::all() {
+        let exp = SizingExperiment::new(geom, SwitchKind::PassTransistor);
+        let pts = exp.sweep(&paper_lengths(), &paper_widths());
+        let opts: Vec<String> = paper_lengths()
+            .iter()
+            .map(|&l| format!("len {l}: {}x", optimum_width(&pts, l)))
+            .collect();
+        println!("  {:<42} {}", geom.label(), opts.join("  "));
+    }
+    println!("  -> platform adopts 10x pass transistors on length-1 segments");
+}

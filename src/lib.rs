@@ -1,0 +1,30 @@
+//! # fpga-framework
+//!
+//! Umbrella crate for the integrated FPGA design framework: a custom
+//! low-energy FPGA platform model (transistor-level cells, clock gating,
+//! sized interconnect) together with a complete application mapping toolset
+//! (VHDL parsing, synthesis, LUT mapping, packing, placement, routing,
+//! power estimation, and bitstream generation).
+//!
+//! Each subsystem lives in its own crate and is re-exported here under a
+//! short alias so downstream users can depend on a single crate:
+//!
+//! ```
+//! use fpga_framework::arch::Architecture;
+//! let arch = Architecture::paper_default();
+//! assert_eq!(arch.clb.cluster_size, 5);
+//! ```
+
+pub use fpga_arch as arch;
+pub use fpga_bitstream as bitstream;
+pub use fpga_cells as cells;
+pub use fpga_circuits as circuits;
+pub use fpga_flow as flow;
+pub use fpga_netlist as netlist;
+pub use fpga_pack as pack;
+pub use fpga_place as place;
+pub use fpga_power as power;
+pub use fpga_route as route;
+pub use fpga_spice as spice;
+pub use fpga_synth as synth;
+pub use fpga_vhdl as vhdl;

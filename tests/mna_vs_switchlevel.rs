@@ -1,0 +1,175 @@
+//! Cross-validation of the two simulation engines: the switch-level RC
+//! abstraction used for the interconnect sweeps must agree with the
+//! transistor-level MNA engine on circuits simple enough to run in both.
+
+use fpga_framework::spice::circuit::{Circuit, Stimulus};
+use fpga_framework::spice::mna::{Tran, TranOpts};
+use fpga_framework::spice::mosfet::{MosModel, MosType};
+use fpga_framework::spice::switchlevel::{append_wire, RcTree};
+use fpga_framework::spice::units::{L_MIN, VDD, W_MIN};
+use fpga_framework::spice::wave::Edge;
+
+/// Drive an RC ladder from an ideal source and compare the 50 % delay
+/// and charge energy against the Elmore/CV^2 abstraction.
+#[test]
+fn rc_ladder_delay_and_energy_agree() {
+    let r = 2e3;
+    let c = 20e-15;
+    let stages = 4;
+
+    // MNA model.
+    let mut ckt = Circuit::new();
+    let src = ckt.node("src");
+    ckt.vsource(
+        "VIN",
+        src,
+        Circuit::GND,
+        Stimulus::Pulse {
+            v1: 0.0,
+            v2: VDD,
+            delay: 0.1e-9,
+            rise: 1e-12,
+            fall: 1e-12,
+            width: 60e-9,
+            period: 0.0,
+        },
+    );
+    let mut cur = src;
+    for i in 0..stages {
+        let next = ckt.node(&format!("n{i}"));
+        ckt.resistor(&format!("R{i}"), cur, next, r);
+        ckt.capacitor(&format!("C{i}"), next, Circuit::GND, c);
+        cur = next;
+    }
+    let res = Tran::new(TranOpts::new(2e-12, 20e-9)).run(&ckt).unwrap();
+    let far = res.voltage(cur);
+    let t50 = far
+        .first_crossing_after(VDD / 2.0, Edge::Rising, 0.0)
+        .expect("charges past VDD/2")
+        - 0.1e-9;
+    let energy = res.supply_energy();
+
+    // Switch-level model of the same ladder.
+    let mut tree = RcTree::with_root(0.0);
+    let mut node = tree.root();
+    let mut sink = node;
+    for _ in 0..stages {
+        sink = tree.add(node, r, c);
+        node = sink;
+    }
+    let elmore = tree.elmore_delay(sink);
+    let cv2 = tree.transition_energy(VDD, 0.0);
+
+    // Elmore approximates the 50 % point within ~40 % on ladders (it is a
+    // first moment); energy must match CV^2 tightly.
+    let ratio = t50 / elmore;
+    assert!(
+        (0.4..=1.1).contains(&ratio),
+        "t50 {t50:.3e} vs Elmore {elmore:.3e} (ratio {ratio:.2})"
+    );
+    let e_ratio = energy / cv2;
+    assert!(
+        (0.9..=1.1).contains(&e_ratio),
+        "MNA energy {energy:.3e} vs CV2 {cv2:.3e}"
+    );
+}
+
+/// A pass transistor driving a wire: the switch-level Ron abstraction must
+/// predict the MNA delay within a factor commensurate with its simplicity.
+#[test]
+fn pass_transistor_ron_abstraction_is_calibrated() {
+    let w_mult = 10.0;
+    let cload = 50e-15;
+
+    // MNA: ideal driver -> NMOS pass gate (gate at VDD) -> load cap.
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    ckt.vsource("VDD", vdd, Circuit::GND, Stimulus::dc(VDD));
+    let src = ckt.node("src");
+    ckt.vsource(
+        "VIN",
+        src,
+        Circuit::GND,
+        Stimulus::Pulse {
+            v1: 0.0,
+            v2: VDD,
+            delay: 0.1e-9,
+            rise: 1e-12,
+            fall: 1e-12,
+            width: 60e-9,
+            period: 0.0,
+        },
+    );
+    let out = ckt.node("out");
+    ckt.mosfet("MP", MosType::Nmos, src, vdd, out, w_mult * W_MIN, L_MIN);
+    ckt.capacitor("CL", out, Circuit::GND, cload);
+    let res = Tran::new(TranOpts::new(2e-12, 30e-9)).run(&ckt).unwrap();
+    let t50 = res
+        .voltage(out)
+        .first_crossing_after(VDD / 2.0, Edge::Rising, 0.0)
+        .expect("passes VDD/2")
+        - 0.1e-9;
+
+    // Switch-level: Ron * C with the 0.69 RC-to-50% factor.
+    let ron = MosModel::nmos_018().ron(w_mult * W_MIN, L_MIN);
+    let predicted = 0.69 * ron * cload;
+    let ratio = t50 / predicted;
+    assert!(
+        (0.3..=3.0).contains(&ratio),
+        "MNA t50 {t50:.3e} vs Ron*C model {predicted:.3e} (ratio {ratio:.2})"
+    );
+}
+
+/// Distributed wire: more pi sections converge to the distributed limit
+/// in the MNA engine, matching the switch-level `append_wire` treatment.
+#[test]
+fn wire_discretization_converges_in_both_engines() {
+    let total_r = 5e3;
+    let total_c = 100e-15;
+    let mut t50 = Vec::new();
+    for sections in [1usize, 8] {
+        let mut ckt = Circuit::new();
+        let src = ckt.node("src");
+        ckt.vsource(
+            "VIN",
+            src,
+            Circuit::GND,
+            Stimulus::Pulse {
+                v1: 0.0,
+                v2: VDD,
+                delay: 0.05e-9,
+                rise: 1e-12,
+                fall: 1e-12,
+                width: 40e-9,
+                period: 0.0,
+            },
+        );
+        let mut cur = src;
+        for i in 0..sections {
+            let next = ckt.node(&format!("n{i}"));
+            ckt.resistor(&format!("R{i}"), cur, next, total_r / sections as f64);
+            ckt.capacitor(
+                &format!("C{i}"),
+                next,
+                Circuit::GND,
+                total_c / sections as f64,
+            );
+            cur = next;
+        }
+        let res = Tran::new(TranOpts::new(2e-12, 10e-9)).run(&ckt).unwrap();
+        let t = res
+            .voltage(cur)
+            .first_crossing_after(VDD / 2.0, Edge::Rising, 0.0)
+            .unwrap();
+        t50.push(t - 0.05e-9);
+    }
+    // The same ordering holds in the RcTree abstraction.
+    let elmore = |sections: usize| {
+        let mut tree = RcTree::with_root(0.0);
+        let root = tree.root();
+        let sink = append_wire(&mut tree, root, total_r, total_c, sections);
+        tree.elmore_delay(sink)
+    };
+    assert!(t50[0] > t50[1], "lumped is slower than distributed in MNA");
+    assert!(elmore(1) > elmore(8), "and in the switch-level model");
+}
