@@ -71,13 +71,21 @@ pub struct Device {
 impl Device {
     /// Instantiate with an explicit grid.
     pub fn new(arch: Architecture, width: usize, height: usize) -> Self {
-        Device { arch, width, height }
+        Device {
+            arch,
+            width,
+            height,
+        }
     }
 
     /// Instantiate sized for a netlist of `clbs` clusters and `ios` pads.
     pub fn sized_for(arch: Architecture, clbs: usize, ios: usize) -> Self {
         let (w, h) = arch.size_for(clbs, ios);
-        Device { arch, width: w, height: h }
+        Device {
+            arch,
+            width: w,
+            height: h,
+        }
     }
 
     /// Grid extent including the IO ring: x and y run `0..=w+1` / `0..=h+1`.
@@ -236,8 +244,12 @@ mod tests {
     fn pin_channels_are_adjacent() {
         let d = device();
         let loc = GridLoc::new(2, 2);
-        for pin in [PinClass::Input(0), PinClass::Input(1), PinClass::Output(0), PinClass::Clock]
-        {
+        for pin in [
+            PinClass::Input(0),
+            PinClass::Input(1),
+            PinClass::Output(0),
+            PinClass::Clock,
+        ] {
             let (horiz, cx, cy) = d.pin_channel(loc, pin);
             if horiz {
                 assert!(cy == 1 || cy == 2, "chanx row adjacent");

@@ -32,7 +32,10 @@ pub fn write_arch_text(arch: &Architecture) -> String {
             SwitchType::TristateBuffer => "tristate_buffer",
         }
     ));
-    out.push_str(&format!("switch_width {}\n", arch.routing.switch_width_mult));
+    out.push_str(&format!(
+        "switch_width {}\n",
+        arch.routing.switch_width_mult
+    ));
     out.push_str(&format!("io_per_tile {}\n", arch.io_per_tile));
     if let Some((w, h)) = arch.grid {
         out.push_str(&format!("grid {w} {h}\n"));
@@ -62,10 +65,12 @@ pub fn parse_arch_text(text: &str) -> Result<Architecture, String> {
                 .ok_or_else(|| format!("line {}: '{}' needs a value", lineno + 1, key))
         };
         let parse_usize = |s: String| -> Result<usize, String> {
-            s.parse().map_err(|_| format!("line {}: bad integer '{s}'", lineno + 1))
+            s.parse()
+                .map_err(|_| format!("line {}: bad integer '{s}'", lineno + 1))
         };
         let parse_f64 = |s: String| -> Result<f64, String> {
-            s.parse().map_err(|_| format!("line {}: bad number '{s}'", lineno + 1))
+            s.parse()
+                .map_err(|_| format!("line {}: bad number '{s}'", lineno + 1))
         };
         match key {
             "name" => arch.name = val()?,
@@ -103,7 +108,10 @@ pub fn parse_arch_text(text: &str) -> Result<Architecture, String> {
     }
     // Sanity constraints.
     if arch.clb.lut_k < 2 || arch.clb.lut_k > 6 {
-        return Err(format!("lut_k {} out of the supported 2..=6 range", arch.clb.lut_k));
+        return Err(format!(
+            "lut_k {} out of the supported 2..=6 range",
+            arch.clb.lut_k
+        ));
     }
     if arch.clb.cluster_size == 0 || arch.clb.outputs != arch.clb.cluster_size {
         return Err("clb_outputs must equal cluster_size (one per BLE)".to_string());

@@ -163,6 +163,16 @@ impl Architecture {
         serde_json::to_string_pretty(self).expect("architecture serializes")
     }
 
+    /// Canonical, whitespace-stable rendering used for stage-cache keys.
+    ///
+    /// Compact JSON with fields emitted in struct declaration order — no
+    /// maps with unstable iteration order are involved, so two equal
+    /// architectures always render byte-identically, and any parameter
+    /// change (CLB geometry, routing, IO, grid) changes the text.
+    pub fn canonical_text(&self) -> String {
+        serde_json::to_string(self).expect("architecture serializes")
+    }
+
     /// Parse the JSON architecture file.
     pub fn from_json(text: &str) -> Result<Self, String> {
         serde_json::from_str(text).map_err(|e| e.to_string())
@@ -172,6 +182,15 @@ impl Architecture {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn canonical_text_is_stable_and_parameter_sensitive() {
+        let a = Architecture::paper_default();
+        assert_eq!(a.canonical_text(), a.canonical_text());
+        let mut b = Architecture::paper_default();
+        b.clb.lut_k += 1;
+        assert_ne!(a.canonical_text(), b.canonical_text());
+    }
 
     #[test]
     fn eq1_matches_paper() {

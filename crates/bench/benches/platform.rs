@@ -12,12 +12,19 @@ fn bench_platform(c: &mut Criterion) {
     let mut group = c.benchmark_group("platform");
     group.sample_size(10);
 
-    let stim = Fig4Stimulus { clk_period: 2e-9, edge: 50e-12, cycles: 2 };
+    let stim = Fig4Stimulus {
+        clk_period: 2e-9,
+        edge: 50e-12,
+        cycles: 2,
+    };
     group.bench_function("mna_detff_llopis1_2cycles", |b| {
         b.iter(|| measure_detff(DetffKind::Llopis1, &stim, 4e-12))
     });
 
-    let exp = SizingExperiment::new(WireGeometry::MinWidthDoubleSpace, SwitchKind::PassTransistor);
+    let exp = SizingExperiment::new(
+        WireGeometry::MinWidthDoubleSpace,
+        SwitchKind::PassTransistor,
+    );
     group.bench_function("switch_sizing_full_grid", |b| {
         b.iter(|| exp.sweep(&paper_lengths(), &paper_widths()))
     });

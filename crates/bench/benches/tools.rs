@@ -20,8 +20,7 @@ fn bench_tools(c: &mut Criterion) {
         seed: 11,
         ..Default::default()
     });
-    let (mut mapped, _) =
-        fpga_synth::map_to_luts(&rtl, fpga_synth::MapOptions::default()).unwrap();
+    let (mut mapped, _) = fpga_synth::map_to_luts(&rtl, fpga_synth::MapOptions::default()).unwrap();
     fpga_pack::prepare(&mut mapped).unwrap();
     let arch = Architecture::paper_default();
     let clustering = fpga_pack::pack(&mapped, &arch.clb).unwrap();
@@ -33,7 +32,10 @@ fn bench_tools(c: &mut Criterion) {
     let placement = fpga_place::place(
         &clustering,
         device.clone(),
-        PlaceOptions { seed: 1, inner_num: 2.0 },
+        PlaceOptions {
+            seed: 1,
+            inner_num: 2.0,
+        },
     )
     .unwrap();
     let graph = RrGraph::build(&placement.device, 14);
@@ -54,21 +56,22 @@ fn bench_tools(c: &mut Criterion) {
             fpga_place::place(
                 &clustering,
                 device.clone(),
-                PlaceOptions { seed: 1, inner_num: 1.0 },
+                PlaceOptions {
+                    seed: 1,
+                    inner_num: 1.0,
+                },
             )
             .unwrap()
         })
     });
     group.bench_function("vpr_route", |b| {
         b.iter(|| {
-            fpga_route::route(&clustering, &placement, &graph, &RouteOptions::default())
-                .unwrap()
+            fpga_route::route(&clustering, &placement, &graph, &RouteOptions::default()).unwrap()
         })
     });
     group.bench_function("dagger_bitstream", |b| {
         b.iter(|| {
-            let bs =
-                fpga_bitstream::generate(&clustering, &placement, &routed, &graph).unwrap();
+            let bs = fpga_bitstream::generate(&clustering, &placement, &routed, &graph).unwrap();
             fpga_bitstream::frames::write(&bs)
         })
     });

@@ -23,8 +23,15 @@ fn main() {
         })
         .collect();
     let t = Table::new(&[4, 12, 12, 14]);
-    println!("{}", t.row(&["N".into(), "avg CLBs".into(), "util (%)".into(),
-        "power (uW)".into()]));
+    println!(
+        "{}",
+        t.row(&[
+            "N".into(),
+            "avg CLBs".into(),
+            "util (%)".into(),
+            "power (uW)".into()
+        ])
+    );
     println!("{}", t.rule());
     for n in [1usize, 2, 3, 4, 5, 6, 8, 10] {
         let arch = arch_for(k, n);

@@ -13,8 +13,16 @@ fn main() {
     let tech = Tech::stm018();
     let caps = ClbCaps::from_designs(&tech);
     let t = Table::new(&[10, 14, 14, 12, 12]);
-    println!("{}", t.row(&["design".into(), "SET clock uW".into(), "DET clock uW".into(),
-        "saving %".into(), "total sav %".into()]));
+    println!(
+        "{}",
+        t.row(&[
+            "design".into(),
+            "SET clock uW".into(),
+            "DET clock uW".into(),
+            "saving %".into(),
+            "total sav %".into()
+        ])
+    );
     println!("{}", t.rule());
     for nl in fpga_circuits::benchmark_suite() {
         let name = nl.name.clone();
@@ -24,9 +32,11 @@ fn main() {
         if c.bles.iter().all(|b| b.ff.is_none()) {
             continue; // purely combinational: no clock network
         }
-        let det = fpga_power::estimate(&c, None, &tech, &caps, &PowerOptions::default())
-            .unwrap();
-        let set_opts = PowerOptions { clock_ratio: 1.0, ..PowerOptions::default() };
+        let det = fpga_power::estimate(&c, None, &tech, &caps, &PowerOptions::default()).unwrap();
+        let set_opts = PowerOptions {
+            clock_ratio: 1.0,
+            ..PowerOptions::default()
+        };
         let set = fpga_power::estimate(&c, None, &tech, &caps, &set_opts).unwrap();
         println!(
             "{}",
@@ -34,7 +44,10 @@ fn main() {
                 name,
                 format!("{:.2}", set.clock_dynamic * 1e6),
                 format!("{:.2}", det.clock_dynamic * 1e6),
-                format!("{:.1}", 100.0 * (1.0 - det.clock_dynamic / set.clock_dynamic)),
+                format!(
+                    "{:.1}",
+                    100.0 * (1.0 - det.clock_dynamic / set.clock_dynamic)
+                ),
                 format!("{:.1}", 100.0 * (1.0 - det.total() / set.total())),
             ])
         );

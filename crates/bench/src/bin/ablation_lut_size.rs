@@ -13,8 +13,16 @@ fn main() {
     let caps = ClbCaps::from_designs(&tech);
     let suite = fpga_circuits::benchmark_suite();
     let t = Table::new(&[4, 10, 10, 10, 14]);
-    println!("{}", t.row(&["K".into(), "LUTs".into(), "depth".into(), "CLBs".into(),
-        "power (uW)".into()]));
+    println!(
+        "{}",
+        t.row(&[
+            "K".into(),
+            "LUTs".into(),
+            "depth".into(),
+            "CLBs".into(),
+            "power (uW)".into()
+        ])
+    );
     println!("{}", t.rule());
     for k in [2usize, 3, 4, 5, 6] {
         let arch = arch_for(k, 5);

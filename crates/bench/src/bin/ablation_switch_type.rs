@@ -9,15 +9,25 @@ use fpga_cells::tech::WireGeometry;
 fn main() {
     println!("Ablation: routing switch style (min width, double spacing)\n");
     let t = Table::new(&[18, 6, 12, 12, 12, 14]);
-    println!("{}", t.row(&["style".into(), "len".into(), "E (fJ)".into(),
-        "D (ps)".into(), "area".into(), "E*D*A".into()]));
+    println!(
+        "{}",
+        t.row(&[
+            "style".into(),
+            "len".into(),
+            "E (fJ)".into(),
+            "D (ps)".into(),
+            "area".into(),
+            "E*D*A".into()
+        ])
+    );
     println!("{}", t.rule());
     for kind in [SwitchKind::PassTransistor, SwitchKind::TristateBuffer] {
         let exp = SizingExperiment::new(WireGeometry::MinWidthDoubleSpace, kind);
         let pts = exp.sweep(&paper_lengths(), &paper_widths());
         for len in paper_lengths() {
             let p = pts
-                .iter().find(|p| p.wire_len == len && p.width_mult == 10.0)
+                .iter()
+                .find(|p| p.wire_len == len && p.width_mult == 10.0)
                 .unwrap();
             println!(
                 "{}",

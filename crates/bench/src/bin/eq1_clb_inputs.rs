@@ -24,8 +24,15 @@ fn main() {
         .collect();
 
     let t = Table::new(&[4, 14, 14, 10]);
-    println!("{}", t.row(&["I".into(), "avg util (%)".into(), "avg CLBs".into(),
-        "note".into()]));
+    println!(
+        "{}",
+        t.row(&[
+            "I".into(),
+            "avg util (%)".into(),
+            "avg CLBs".into(),
+            "note".into()
+        ])
+    );
     println!("{}", t.rule());
     for i in [4usize, 5, 6, 8, 10, eq1, 14, 16] {
         let arch = ClbArch {

@@ -32,7 +32,11 @@ fn main() {
             for p in &pts {
                 println!(
                     "{},{},{:.2},{:.2},{:.2},{:.4e}",
-                    p.wire_len, p.width_mult, p.energy_fj, p.delay_ps, p.area_units,
+                    p.wire_len,
+                    p.width_mult,
+                    p.energy_fj,
+                    p.delay_ps,
+                    p.area_units,
                     p.eda()
                 );
             }
@@ -40,8 +44,16 @@ fn main() {
         }
         println!("== {} ==", geom.label());
         let t = Table::new(&[9, 12, 12, 12, 14]);
-        println!("{}", t.row(&["len".into(), "width(xmin)".into(), "E (fJ)".into(),
-            "D (ps)".into(), "E*D*A".into()]));
+        println!(
+            "{}",
+            t.row(&[
+                "len".into(),
+                "width(xmin)".into(),
+                "E (fJ)".into(),
+                "D (ps)".into(),
+                "E*D*A".into()
+            ])
+        );
         println!("{}", t.rule());
         for len in paper_lengths() {
             for p in pts.iter().filter(|p| p.wire_len == len) {

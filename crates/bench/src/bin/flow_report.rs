@@ -8,9 +8,20 @@ use fpga_flow::{run_netlist, run_vhdl, FlowOptions};
 fn main() {
     println!("Complete flow (Fig. 11): VHDL/netlist -> verified bitstream\n");
     let t = Table::new(&[10, 7, 7, 7, 7, 9, 11, 11, 8]);
-    println!("{}", t.row(&["design".into(), "LUTs".into(), "FFs".into(), "CLBs".into(),
-        "grid".into(), "chan W".into(), "wirelen".into(), "power uW".into(),
-        "verify".into()]));
+    println!(
+        "{}",
+        t.row(&[
+            "design".into(),
+            "LUTs".into(),
+            "FFs".into(),
+            "CLBs".into(),
+            "grid".into(),
+            "chan W".into(),
+            "wirelen".into(),
+            "power uW".into(),
+            "verify".into()
+        ])
+    );
     println!("{}", t.rule());
 
     let mut designs: Vec<(String, fpga_flow::FlowArtifacts)> = Vec::new();
@@ -49,11 +60,18 @@ fn main() {
                 luts.to_string(),
                 ffs.to_string(),
                 art.clustering.clusters.len().to_string(),
-                format!("{}x{}", art.placement.device.width, art.placement.device.height),
+                format!(
+                    "{}x{}",
+                    art.placement.device.width, art.placement.device.height
+                ),
                 art.routing.channel_width.to_string(),
                 art.routing.wirelength.to_string(),
                 format!("{:.1}", art.power.total() * 1e6),
-                if verified { "OK".into() } else { "-".to_string() },
+                if verified {
+                    "OK".into()
+                } else {
+                    "-".to_string()
+                },
             ])
         );
     }

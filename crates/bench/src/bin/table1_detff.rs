@@ -24,13 +24,30 @@ fn main() {
     }
 
     println!("Table 1: Energy consumption, delay and energy-delay product of DET F/Fs");
-    println!("(Fig. 4 stimulus, {} cycles at {:.1} ns period, dt = 1 ps)\n",
-        stim.cycles, stim.clk_period * 1e9);
+    println!(
+        "(Fig. 4 stimulus, {} cycles at {:.1} ns period, dt = 1 ps)\n",
+        stim.cycles,
+        stim.clk_period * 1e9
+    );
     let t = Table::new(&[14, 16, 12, 20]);
-    println!("{}", t.row(&["Cell".into(), "Total Energy".into(), "Delay".into(),
-        "Energy-Delay Product".into()]));
-    println!("{}", t.row(&["".into(), "(fJ/cycle)".into(), "(ps)".into(),
-        "(fJ*ps)".into()]));
+    println!(
+        "{}",
+        t.row(&[
+            "Cell".into(),
+            "Total Energy".into(),
+            "Delay".into(),
+            "Energy-Delay Product".into()
+        ])
+    );
+    println!(
+        "{}",
+        t.row(&[
+            "".into(),
+            "(fJ/cycle)".into(),
+            "(ps)".into(),
+            "(fJ*ps)".into()
+        ])
+    );
     println!("{}", t.rule());
     let rows = table1(&stim, 1e-12);
     for row in &rows {

@@ -7,10 +7,16 @@ fn main() {
     println!("(per clock cycle; Fig. 5 circuits; Llopis-1 DETFF)\n");
     let t2 = table2(1e-12, 4);
     println!("Single clock                 E = {:.2} fJ", t2.single_fj);
-    println!("Gated clock, clock_enable=1  E = {:.2} fJ  ({:+.1} %)",
-        t2.gated_en1_fj, t2.overhead_en1_pct());
-    println!("Gated clock, clock_enable=0  E = {:.2} fJ  ({:.1} % saving)",
-        t2.gated_en0_fj, t2.saving_en0_pct());
+    println!(
+        "Gated clock, clock_enable=1  E = {:.2} fJ  ({:+.1} %)",
+        t2.gated_en1_fj,
+        t2.overhead_en1_pct()
+    );
+    println!(
+        "Gated clock, clock_enable=0  E = {:.2} fJ  ({:.1} % saving)",
+        t2.gated_en0_fj,
+        t2.saving_en0_pct()
+    );
     println!();
     println!("paper: +6.2 % overhead when enabled, ~77 % saving when idle");
 }

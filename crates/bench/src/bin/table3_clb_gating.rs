@@ -7,8 +7,15 @@ fn main() {
     println!("Table 3: Energy for single and gated clock at CLB level");
     println!("(per clock cycle; Fig. 6 circuits: 5 Llopis-1 DETFFs, local clock network)\n");
     let t = Table::new(&[14, 14, 14, 10]);
-    println!("{}", t.row(&["Condition".into(), "Single Clock".into(),
-        "Gated Clock".into(), "Saving".into()]));
+    println!(
+        "{}",
+        t.row(&[
+            "Condition".into(),
+            "Single Clock".into(),
+            "Gated Clock".into(),
+            "Saving".into()
+        ])
+    );
     println!("{}", t.rule());
     let rows = table3(1e-12, 4);
     for row in &rows {

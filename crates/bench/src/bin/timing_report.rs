@@ -10,8 +10,16 @@ use fpga_flow::{run_netlist, FlowOptions};
 fn main() {
     println!("Post-route timing (paper architecture):\n");
     let t = Table::new(&[10, 8, 12, 10, 14]);
-    println!("{}", t.row(&["design".into(), "depth".into(), "critical ns".into(),
-        "fmax MHz".into(), "crit. nets".into()]));
+    println!(
+        "{}",
+        t.row(&[
+            "design".into(),
+            "depth".into(),
+            "critical ns".into(),
+            "fmax MHz".into(),
+            "crit. nets".into()
+        ])
+    );
     println!("{}", t.rule());
     for nl in fpga_circuits::benchmark_suite() {
         let name = nl.name.clone();

@@ -24,8 +24,7 @@ use fpga_synth::{map_to_luts, MapOptions};
 
 /// Map a gate-level benchmark for a given LUT size (shared by ablations).
 pub fn map_benchmark(netlist: &Netlist, k: usize) -> (Netlist, fpga_synth::MapReport) {
-    map_to_luts(netlist, MapOptions { k, cut_limit: 10 })
-        .expect("benchmark circuits are mappable")
+    map_to_luts(netlist, MapOptions { k, cut_limit: 10 }).expect("benchmark circuits are mappable")
 }
 
 /// A cluster architecture for an (K, N) ablation point, inputs per Eq. 1.
@@ -47,7 +46,9 @@ pub struct Table {
 
 impl Table {
     pub fn new(widths: &[usize]) -> Self {
-        Table { widths: widths.to_vec() }
+        Table {
+            widths: widths.to_vec(),
+        }
     }
 
     pub fn row(&self, cells: &[String]) -> String {

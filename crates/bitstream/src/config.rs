@@ -214,10 +214,9 @@ pub fn generate(
                         Some(lut) => {
                             let cell = &nl.cells[lut.index()];
                             match cell.kind {
-                                CellKind::Lut { k: ku, truth } => (
-                                    expand_truth(truth, ku as usize, k),
-                                    cell.inputs.clone(),
-                                ),
+                                CellKind::Lut { k: ku, truth } => {
+                                    (expand_truth(truth, ku as usize, k), cell.inputs.clone())
+                                }
                                 _ => {
                                     return Err(BitstreamError::Generate(
                                         "BLE LUT cell is not a LUT".into(),
@@ -287,8 +286,10 @@ pub fn generate(
             let a = graph.kind(*parent);
             let b = graph.kind(*node);
             match (a, b) {
-                (RrKind::Chanx { .. } | RrKind::Chany { .. },
-                 RrKind::Chanx { .. } | RrKind::Chany { .. }) => {
+                (
+                    RrKind::Chanx { .. } | RrKind::Chany { .. },
+                    RrKind::Chanx { .. } | RrKind::Chany { .. },
+                ) => {
                     bs.sb_switches.insert(canon(a, b));
                 }
                 (RrKind::Opin { x, y, pin }, wire) if wire.is_wire() => {
@@ -337,14 +338,18 @@ pub fn bit_budget(bs: &Bitstream) -> BitBudget {
     let lut_bits = n_clb_tiles * bs.cluster_size * per_ble_lut;
     let crossbar_bits = n_clb_tiles * bs.cluster_size * bs.lut_k * crossbar_sel_bits;
     let ble_mode_bits = n_clb_tiles * (bs.cluster_size * 3 + 1); // reg, en, init + clb en
-    // Routing: 6 bits per switch-box junction + Fc connections.
+                                                                 // Routing: 6 bits per switch-box junction + Fc connections.
     let sb_junctions = (bs.width + 1) * (bs.height + 1) * bs.channel_width;
-    let cb_bits = n_clb_tiles
-        * (bs.clb_inputs + bs.cluster_size)
-        * bs.channel_width;
+    let cb_bits = n_clb_tiles * (bs.clb_inputs + bs.cluster_size) * bs.channel_width;
     let routing_bits = sb_junctions * 6 + cb_bits;
     let io_bits = bs.ios.len().max(2 * (bs.width + bs.height)) * 2;
-    BitBudget { lut_bits, crossbar_bits, ble_mode_bits, routing_bits, io_bits }
+    BitBudget {
+        lut_bits,
+        crossbar_bits,
+        ble_mode_bits,
+        routing_bits,
+        io_bits,
+    }
 }
 
 #[cfg(test)]
@@ -353,8 +358,13 @@ mod tests {
 
     #[test]
     fn xbar_encoding_roundtrip() {
-        for sel in [XbarSel::ClusterInput(0), XbarSel::ClusterInput(11), XbarSel::Feedback(0),
-                    XbarSel::Feedback(4), XbarSel::Unused] {
+        for sel in [
+            XbarSel::ClusterInput(0),
+            XbarSel::ClusterInput(11),
+            XbarSel::Feedback(0),
+            XbarSel::Feedback(4),
+            XbarSel::Unused,
+        ] {
             let code = sel.encode(12);
             let back = XbarSel::decode(code, 12, 5).unwrap();
             assert_eq!(back, sel);

@@ -22,7 +22,9 @@ struct Dsu {
 
 impl Dsu {
     fn new(n: usize) -> Self {
-        Dsu { parent: (0..n).collect() }
+        Dsu {
+            parent: (0..n).collect(),
+        }
     }
 
     fn find(&mut self, mut x: usize) -> usize {
@@ -66,8 +68,8 @@ impl Fabric {
         let mut keys: Vec<WireKey> = Vec::new();
         let mut key_index: HashMap<WireKey, usize> = HashMap::new();
         let intern = |k: WireKey,
-                          keys: &mut Vec<WireKey>,
-                          key_index: &mut HashMap<WireKey, usize>|
+                      keys: &mut Vec<WireKey>,
+                      key_index: &mut HashMap<WireKey, usize>|
          -> usize {
             *key_index.entry(k).or_insert_with(|| {
                 keys.push(k);
@@ -82,7 +84,11 @@ impl Fabric {
         }
         for ((x, y, pin), wire) in &bs.cb_inputs {
             let ipin = intern(
-                RrKind::Ipin { x: *x, y: *y, pin: *pin },
+                RrKind::Ipin {
+                    x: *x,
+                    y: *y,
+                    pin: *pin,
+                },
                 &mut keys,
                 &mut key_index,
             );
@@ -91,7 +97,11 @@ impl Fabric {
         }
         for ((x, y, pin), wire) in &bs.cb_outputs {
             let opin = intern(
-                RrKind::Opin { x: *x, y: *y, pin: *pin },
+                RrKind::Opin {
+                    x: *x,
+                    y: *y,
+                    pin: *pin,
+                },
                 &mut keys,
                 &mut key_index,
             );
@@ -101,8 +111,16 @@ impl Fabric {
         // IO pads participate even if unrouted (unused pads park).
         for io in &bs.ios {
             let k = match io.mode {
-                IoMode::Input => RrKind::Opin { x: io.loc.x, y: io.loc.y, pin: io.sub },
-                IoMode::Output => RrKind::Ipin { x: io.loc.x, y: io.loc.y, pin: io.sub },
+                IoMode::Input => RrKind::Opin {
+                    x: io.loc.x,
+                    y: io.loc.y,
+                    pin: io.sub,
+                },
+                IoMode::Output => RrKind::Ipin {
+                    x: io.loc.x,
+                    y: io.loc.y,
+                    pin: io.sub,
+                },
                 IoMode::Unused => continue,
             };
             intern(k, &mut keys, &mut key_index);
@@ -144,8 +162,11 @@ impl Fabric {
             .iter()
             .map(|clb| clb.bles.iter().map(|b| b.init).collect())
             .collect();
-        let ble_out: Vec<Vec<bool>> =
-            bs.clbs.iter().map(|clb| vec![false; clb.bles.len()]).collect();
+        let ble_out: Vec<Vec<bool>> = bs
+            .clbs
+            .iter()
+            .map(|clb| vec![false; clb.bles.len()])
+            .collect();
 
         let mut fabric = Fabric {
             bs,
@@ -187,7 +208,11 @@ impl Fabric {
             .ok_or_else(|| {
                 BitstreamError::Fabric(format!("no output pad carries '{net_symbol}'"))
             })?;
-        let key = RrKind::Ipin { x: io.loc.x, y: io.loc.y, pin: io.sub };
+        let key = RrKind::Ipin {
+            x: io.loc.x,
+            y: io.loc.y,
+            pin: io.sub,
+        };
         match self.net_of.get(&key) {
             Some(&net) => Ok(self.net_values[net]),
             None => Ok(false), // unconnected output pad reads low
@@ -234,9 +259,7 @@ impl Fabric {
             // 1. Drive nets from their drivers.
             for net in 0..self.n_nets {
                 let v = match self.driver_of_net[net] {
-                    Some(RrKind::Opin { x, y, pin }) => {
-                        self.opin_value(x, y, pin)
-                    }
+                    Some(RrKind::Opin { x, y, pin }) => self.opin_value(x, y, pin),
                     _ => false,
                 };
                 if self.net_values[net] != v {
@@ -285,11 +308,10 @@ impl Fabric {
             return false;
         }
         // Input pad?
-        if let Some(io) = self
-            .bs
-            .ios
-            .iter()
-            .find(|io| io.mode == IoMode::Input && io.loc.x == x && io.loc.y == y && io.sub == pin)
+        if let Some(io) =
+            self.bs.ios.iter().find(|io| {
+                io.mode == IoMode::Input && io.loc.x == x && io.loc.y == y && io.sub == pin
+            })
         {
             return self.pad_inputs.get(&io.net).copied().unwrap_or(false);
         }
@@ -363,8 +385,7 @@ pub fn verify_against_netlist(
     seed: u64,
 ) -> Result<()> {
     use fpga_netlist::sim::Simulator;
-    let mut sim =
-        Simulator::new(netlist).map_err(|e| BitstreamError::Fabric(e.to_string()))?;
+    let mut sim = Simulator::new(netlist).map_err(|e| BitstreamError::Fabric(e.to_string()))?;
     fabric.reset();
 
     let mut state = seed | 1;
@@ -408,12 +429,12 @@ pub fn verify_against_netlist(
 mod tests {
     use super::*;
     use crate::config::generate;
-    use fpga_arch::{Architecture, ClbArch};
     use fpga_arch::device::Device;
+    use fpga_arch::{Architecture, ClbArch};
     use fpga_netlist::ir::{CellKind, NetId, Netlist};
     use fpga_place::{place, PlaceOptions};
-    use fpga_route::{route, RouteOptions};
     use fpga_route::rrgraph::RrGraph;
+    use fpga_route::{route, RouteOptions};
 
     fn full_flow(nl: &Netlist) -> (Fabric, Netlist) {
         let c = fpga_pack::pack(nl, &ClbArch::paper_default()).unwrap();
@@ -422,7 +443,15 @@ mod tests {
             c.clusters.len(),
             nl.inputs.len() + nl.outputs.len() + 2,
         );
-        let p = place(&c, device, PlaceOptions { seed: 11, inner_num: 1.5 }).unwrap();
+        let p = place(
+            &c,
+            device,
+            PlaceOptions {
+                seed: 11,
+                inner_num: 1.5,
+            },
+        )
+        .unwrap();
         let g = RrGraph::build(&p.device, p.device.arch.routing.channel_width.max(8));
         let r = route(&c, &p, &g, &RouteOptions::default()).unwrap();
         let bs = generate(&c, &p, &r, &g).unwrap();
@@ -446,8 +475,24 @@ mod tests {
         nl.add_output(y);
         nl.add_output(z);
         // y = maj(a, b, c); z = a xor b xor c.
-        nl.add_cell("m", CellKind::Lut { k: 3, truth: 0b1110_1000 }, vec![a, b, cnet], y);
-        nl.add_cell("x", CellKind::Lut { k: 3, truth: 0b1001_0110 }, vec![a, b, cnet], z);
+        nl.add_cell(
+            "m",
+            CellKind::Lut {
+                k: 3,
+                truth: 0b1110_1000,
+            },
+            vec![a, b, cnet],
+            y,
+        );
+        nl.add_cell(
+            "x",
+            CellKind::Lut {
+                k: 3,
+                truth: 0b1001_0110,
+            },
+            vec![a, b, cnet],
+            z,
+        );
         let (mut fabric, golden) = full_flow(&nl);
         verify_against_netlist(&mut fabric, &golden, 64, 5).unwrap();
     }
@@ -466,7 +511,10 @@ mod tests {
             let q = nl.net(&format!("q{i}"));
             nl.add_cell(
                 &format!("f{i}"),
-                CellKind::Dff { clock: clk, init: false },
+                CellKind::Dff {
+                    clock: clk,
+                    init: false,
+                },
                 vec![prev],
                 q,
             );
@@ -477,7 +525,10 @@ mod tests {
         nl.add_output(y);
         nl.add_cell(
             "tap",
-            CellKind::Lut { k: 2, truth: 0b0110 },
+            CellKind::Lut {
+                k: 2,
+                truth: 0b0110,
+            },
             vec![taps[1], taps[3]],
             y,
         );
@@ -502,11 +553,22 @@ mod tests {
             let q = nl.net(&format!("q{i}"));
             nl.add_cell(
                 &format!("l{i}"),
-                CellKind::Lut { k: 2, truth: 0b1000 },
+                CellKind::Lut {
+                    k: 2,
+                    truth: 0b1000,
+                },
                 vec![a, b],
                 d,
             );
-            nl.add_cell(&format!("f{i}"), CellKind::Dff { clock: clk, init: false }, vec![d], q);
+            nl.add_cell(
+                &format!("f{i}"),
+                CellKind::Dff {
+                    clock: clk,
+                    init: false,
+                },
+                vec![d],
+                q,
+            );
             qs.push(q);
         }
         // XOR reduce in pairs with 2-LUTs.
@@ -519,7 +581,10 @@ mod tests {
                     let w = nl.net(&format!("x{lvl}_{j}"));
                     nl.add_cell(
                         &format!("g{lvl}_{j}"),
-                        CellKind::Lut { k: 2, truth: 0b0110 },
+                        CellKind::Lut {
+                            k: 2,
+                            truth: 0b0110,
+                        },
                         vec![pair[0], pair[1]],
                         w,
                     );

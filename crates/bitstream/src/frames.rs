@@ -16,7 +16,7 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use fpga_arch::device::GridLoc;
 use fpga_route::rrgraph::RrKind;
 
-use crate::config::{BleConfig, Bitstream, ClbConfig, IoConfig, IoMode, XbarSel};
+use crate::config::{Bitstream, BleConfig, ClbConfig, IoConfig, IoMode, XbarSel};
 use crate::{crc32, BitstreamError, Result};
 
 const MAGIC: &[u8; 4] = b"DAGR";
@@ -80,9 +80,8 @@ pub fn write(bs: &Bitstream) -> Vec<u8> {
             for sel in &ble.inputs {
                 buf.put_u8(sel.encode(bs.clb_inputs));
             }
-            let mode = (ble.registered as u8)
-                | ((ble.clock_enable as u8) << 1)
-                | ((ble.init as u8) << 2);
+            let mode =
+                (ble.registered as u8) | ((ble.clock_enable as u8) << 1) | ((ble.init as u8) << 2);
             buf.put_u8(mode);
         }
     }
@@ -142,7 +141,9 @@ pub fn parse(data: &[u8]) -> Result<Bitstream> {
     }
     let version = buf.get_u16_le();
     if version != VERSION {
-        return Err(BitstreamError::Format(format!("unsupported version {version}")));
+        return Err(BitstreamError::Format(format!(
+            "unsupported version {version}"
+        )));
     }
     let width = buf.get_u16_le() as usize;
     let height = buf.get_u16_le() as usize;
@@ -196,7 +197,11 @@ pub fn parse(data: &[u8]) -> Result<Bitstream> {
                 init: mode & 4 != 0,
             });
         }
-        bs.clbs.push(ClbConfig { loc: GridLoc::new(x, y), bles, clock_enable });
+        bs.clbs.push(ClbConfig {
+            loc: GridLoc::new(x, y),
+            bles,
+            clock_enable,
+        });
     }
 
     for _ in 0..n_ios {
@@ -220,7 +225,12 @@ pub fn parse(data: &[u8]) -> Result<Bitstream> {
         buf.copy_to_slice(&mut name);
         let net = String::from_utf8(name)
             .map_err(|_| BitstreamError::Format("bad IO symbol utf-8".into()))?;
-        bs.ios.push(IoConfig { loc: GridLoc::new(x, y), sub, mode, net });
+        bs.ios.push(IoConfig {
+            loc: GridLoc::new(x, y),
+            sub,
+            mode,
+            net,
+        });
     }
 
     for _ in 0..n_sb {
@@ -286,7 +296,11 @@ mod tests {
             clock_enable: true,
             init: true,
         };
-        bs.clbs.push(ClbConfig { loc: GridLoc::new(1, 1), bles, clock_enable: true });
+        bs.clbs.push(ClbConfig {
+            loc: GridLoc::new(1, 1),
+            bles,
+            clock_enable: true,
+        });
         bs.ios.push(IoConfig {
             loc: GridLoc::new(0, 1),
             sub: 1,
@@ -297,8 +311,10 @@ mod tests {
             RrKind::Chanx { x: 1, y: 0, t: 2 },
             RrKind::Chany { x: 0, y: 1, t: 2 },
         ));
-        bs.cb_inputs.insert((1, 1, 3), RrKind::Chanx { x: 1, y: 1, t: 0 });
-        bs.cb_outputs.insert(((1, 1, 12), RrKind::Chany { x: 1, y: 1, t: 1 }));
+        bs.cb_inputs
+            .insert((1, 1, 3), RrKind::Chanx { x: 1, y: 1, t: 0 });
+        bs.cb_outputs
+            .insert(((1, 1, 12), RrKind::Chany { x: 1, y: 1, t: 1 }));
         bs
     }
 

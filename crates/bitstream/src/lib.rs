@@ -17,7 +17,7 @@ pub mod config;
 pub mod fabric;
 pub mod frames;
 
-pub use config::{generate, BleConfig, Bitstream, ClbConfig, IoConfig, IoMode, XbarSel};
+pub use config::{generate, Bitstream, BleConfig, ClbConfig, IoConfig, IoMode, XbarSel};
 pub use fabric::Fabric;
 
 /// Errors from bitstream generation, serialization, or emulation.
@@ -35,7 +35,10 @@ impl std::fmt::Display for BitstreamError {
             BitstreamError::Generate(m) => write!(f, "bitstream generation: {m}"),
             BitstreamError::Format(m) => write!(f, "bitstream format: {m}"),
             BitstreamError::Crc { stored, computed } => {
-                write!(f, "CRC mismatch: stored {stored:#010x}, computed {computed:#010x}")
+                write!(
+                    f,
+                    "CRC mismatch: stored {stored:#010x}, computed {computed:#010x}"
+                )
             }
             BitstreamError::Fabric(m) => write!(f, "fabric emulation: {m}"),
         }

@@ -3,12 +3,12 @@
 //! paper's reported shapes. Not part of the shipped experiment harness —
 //! see `fpga-bench` for the reproduction binaries.
 
+use fpga_cells::clockgate;
 use fpga_cells::detff::{table1, Fig4Stimulus};
 use fpga_cells::routing::{
     optimum_width, paper_lengths, paper_widths, SizingExperiment, SwitchKind,
 };
 use fpga_cells::tech::WireGeometry;
-use fpga_cells::clockgate;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -16,7 +16,11 @@ fn main() {
 
     if what == "all" || what == "table1" {
         println!("== Table 1 (DETFF) ==");
-        let stim = Fig4Stimulus { clk_period: 2e-9, edge: 50e-12, cycles: 4 };
+        let stim = Fig4Stimulus {
+            clk_period: 2e-9,
+            edge: 50e-12,
+            cycles: 4,
+        };
         for row in table1(&stim, 2e-12) {
             println!(
                 "{:<14} E = {:7.2} fJ   D = {:7.1} ps   EDP = {:9.1}",

@@ -42,7 +42,11 @@ pub fn build_ble(
     tgate(c, &format!("{name}.mxq"), vdd, ff.q, out, sel, selb, 1.0);
     tgate(c, &format!("{name}.mxl"), vdd, lut.out, out, selb, sel, 1.0);
 
-    BlePins { inputs: lut.inputs, clk: ff.clk, out }
+    BlePins {
+        inputs: lut.inputs,
+        clk: ff.clk,
+        out,
+    }
 }
 
 /// Transient-simulate a BLE with input 0 driven by `phases` (other
@@ -77,7 +81,9 @@ pub fn simulate_ble(
     );
     c.capacitor("CL", ble.out, Circuit::GND, 4e-15);
     let t_stop = phase_time * phases.len() as f64;
-    let res = Tran::new(TranOpts::new(dt, t_stop)).run(&c).expect("BLE transient");
+    let res = Tran::new(TranOpts::new(dt, t_stop))
+        .run(&c)
+        .expect("BLE transient");
     let w = res.voltage(ble.out);
     (0..phases.len())
         .map(|i| w.sample((i as f64 + 0.95) * phase_time) > VDD / 2.0)

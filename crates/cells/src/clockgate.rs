@@ -55,7 +55,11 @@ enum BleClockPath {
 }
 
 fn run_ble_experiment(path: BleClockPath, dt: f64, cycles: usize) -> f64 {
-    let stim = Fig4Stimulus { clk_period: 2e-9, edge: 50e-12, cycles };
+    let stim = Fig4Stimulus {
+        clk_period: 2e-9,
+        edge: 50e-12,
+        cycles,
+    };
     let mut c = Circuit::new();
     let vdd = c.node("vdd");
     c.vsource("VDD", vdd, Circuit::GND, Stimulus::dc(VDD));
@@ -77,7 +81,12 @@ fn run_ble_experiment(path: BleClockPath, dt: f64, cycles: usize) -> f64 {
         }
         BleClockPath::Gated { enable } => {
             let en = c.node("en");
-            c.vsource("VEN", en, Circuit::GND, Stimulus::dc(if enable { VDD } else { 0.0 }));
+            c.vsource(
+                "VEN",
+                en,
+                Circuit::GND,
+                Stimulus::dc(if enable { VDD } else { 0.0 }),
+            );
             // Sized for the same drive as the single-clock inverter; the
             // overhead is its extra input capacitance and stack junctions.
             nand2(&mut c, "cknand", vdd, b, en, ff.clk, 3.0, 1.5);
@@ -146,7 +155,11 @@ pub const CLB_FFS: usize = 5;
 
 fn run_clb_experiment(active_ffs: usize, clb_gated: bool, dt: f64, cycles: usize) -> f64 {
     assert!(active_ffs <= CLB_FFS);
-    let stim = Fig4Stimulus { clk_period: 2e-9, edge: 50e-12, cycles };
+    let stim = Fig4Stimulus {
+        clk_period: 2e-9,
+        edge: 50e-12,
+        cycles,
+    };
     let mut c = Circuit::new();
     let vdd = c.node("vdd");
     c.vsource("VDD", vdd, Circuit::GND, Stimulus::dc(VDD));
@@ -189,7 +202,16 @@ fn run_clb_experiment(active_ffs: usize, clb_gated: bool, dt: f64, cycles: usize
             Stimulus::dc(if active { VDD } else { 0.0 }),
         );
         let ff = build_detff(&mut c, &format!("ff{i}"), DetffKind::Llopis1, vdd);
-        nand2(&mut c, &format!("blegate{i}"), vdd, net, en, ff.clk, 2.0, 1.0);
+        nand2(
+            &mut c,
+            &format!("blegate{i}"),
+            vdd,
+            net,
+            en,
+            ff.clk,
+            2.0,
+            1.0,
+        );
         // Static data: the clock-network experiment keeps every D pinned.
         c.vsource(&format!("VD{i}"), ff.d, Circuit::GND, Stimulus::dc(0.0));
         c.capacitor(&format!("CLQ{i}"), ff.q, Circuit::GND, 8e-15);
@@ -218,8 +240,14 @@ pub fn table3(dt: f64, cycles: usize) -> Vec<Table3Row> {
 /// measured all-off saving and all-on overhead:
 /// `p* = ΔE_cost / (ΔE_save + ΔE_cost)`. The paper quotes ≈ 1/3.
 pub fn breakeven_idle_probability(rows: &[Table3Row]) -> f64 {
-    let off = rows.iter().find(|r| r.active_ffs == 0).expect("all-off row");
-    let on = rows.iter().find(|r| r.active_ffs == CLB_FFS).expect("all-on row");
+    let off = rows
+        .iter()
+        .find(|r| r.active_ffs == 0)
+        .expect("all-off row");
+    let on = rows
+        .iter()
+        .find(|r| r.active_ffs == CLB_FFS)
+        .expect("all-on row");
     let save = (off.single_fj - off.gated_fj).max(0.0);
     let cost = (on.gated_fj - on.single_fj).max(0.0);
     if save + cost == 0.0 {
@@ -244,10 +272,16 @@ mod tests {
         // Paper: −77 % with enable low. Accept a generous band: the exact
         // figure depends on the unavailable ST kit.
         let saving = t2.saving_en0_pct();
-        assert!(saving > 50.0 && saving < 95.0, "EN=0 saving = {saving:.1} %");
+        assert!(
+            saving > 50.0 && saving < 95.0,
+            "EN=0 saving = {saving:.1} %"
+        );
         // Paper: +6.2 % with enable high (NAND input capacitance).
         let overhead = t2.overhead_en1_pct();
-        assert!(overhead > 0.0 && overhead < 30.0, "EN=1 overhead = {overhead:.1} %");
+        assert!(
+            overhead > 0.0 && overhead < 30.0,
+            "EN=1 overhead = {overhead:.1} %"
+        );
     }
 
     #[test]
@@ -266,8 +300,16 @@ mod tests {
             off.gated_fj
         );
         // Any FF active: gating costs energy (paper: −33 % / −29 %).
-        assert!(one.saving_pct() < 0.0, "one-on must cost: {:.1} %", one.saving_pct());
-        assert!(all.saving_pct() < 0.0, "all-on must cost: {:.1} %", all.saving_pct());
+        assert!(
+            one.saving_pct() < 0.0,
+            "one-on must cost: {:.1} %",
+            one.saving_pct()
+        );
+        assert!(
+            all.saving_pct() < 0.0,
+            "all-on must cost: {:.1} %",
+            all.saving_pct()
+        );
         // The fixed overhead amortizes as more FFs are active.
         assert!(
             one.saving_pct() <= all.saving_pct() + 1.0,

@@ -124,16 +124,60 @@ fn build_chung(
     // Latch H: transparent while clk = 1, holds the falling-edge sample.
     let m1 = c.node(&format!("{name}.m1"));
     let m1b = c.node(&format!("{name}.m1b"));
-    tristate_inv(c, &format!("{name}.t1"), vdd, d, m1, phi, phib, kind, wp_in, wn_in);
+    tristate_inv(
+        c,
+        &format!("{name}.t1"),
+        vdd,
+        d,
+        m1,
+        phi,
+        phib,
+        kind,
+        wp_in,
+        wn_in,
+    );
     crate::gates::inverter(c, &format!("{name}.k1"), vdd, m1, m1b, wp_k, wn_k);
-    tristate_inv(c, &format!("{name}.f1"), vdd, m1b, m1, phib, phi, kind, 0.7, 0.5);
+    tristate_inv(
+        c,
+        &format!("{name}.f1"),
+        vdd,
+        m1b,
+        m1,
+        phib,
+        phi,
+        kind,
+        0.7,
+        0.5,
+    );
 
     // Latch L: transparent while clk = 0, holds the rising-edge sample.
     let m2 = c.node(&format!("{name}.m2"));
     let m2b = c.node(&format!("{name}.m2b"));
-    tristate_inv(c, &format!("{name}.t2"), vdd, d, m2, phib, phi, kind, wp_in, wn_in);
+    tristate_inv(
+        c,
+        &format!("{name}.t2"),
+        vdd,
+        d,
+        m2,
+        phib,
+        phi,
+        kind,
+        wp_in,
+        wn_in,
+    );
     crate::gates::inverter(c, &format!("{name}.k2"), vdd, m2, m2b, wp_k, wn_k);
-    tristate_inv(c, &format!("{name}.f2"), vdd, m2b, m2, phi, phib, kind, 0.7, 0.5);
+    tristate_inv(
+        c,
+        &format!("{name}.f2"),
+        vdd,
+        m2b,
+        m2,
+        phi,
+        phib,
+        kind,
+        0.7,
+        0.5,
+    );
 
     // Output multiplexer on the keeper-buffered latch outputs: pick the
     // latch that is currently opaque, then invert.
@@ -198,14 +242,7 @@ fn build_llopis(
 /// Strollo-style pulse-triggered DETFF: an edge detector (delay chain +
 /// XNOR) produces a short transparency pulse after every clock edge, which
 /// opens a single transmission-gate latch.
-fn build_strollo(
-    c: &mut Circuit,
-    name: &str,
-    vdd: NodeId,
-    d: NodeId,
-    clk: NodeId,
-    q: NodeId,
-) {
+fn build_strollo(c: &mut Circuit, name: &str, vdd: NodeId, d: NodeId, clk: NodeId, q: NodeId) {
     // Delay chain: five inverters -> delayed, inverted clock.
     let mut cur = clk;
     for s in 0..5 {
@@ -253,7 +290,11 @@ pub struct Fig4Stimulus {
 
 impl Default for Fig4Stimulus {
     fn default() -> Self {
-        Fig4Stimulus { clk_period: 2e-9, edge: 50e-12, cycles: 6 }
+        Fig4Stimulus {
+            clk_period: 2e-9,
+            edge: 50e-12,
+            cycles: 6,
+        }
     }
 }
 
@@ -276,8 +317,10 @@ impl Fig4Stimulus {
         // Shift by a quarter period via a leading segment.
         let base = Stimulus::bits(&pattern, VDD, half, self.edge);
         if let Stimulus::Pwl(pts) = base {
-            let shifted =
-                pts.into_iter().map(|(t, v)| (t + self.clk_period / 4.0, v)).collect();
+            let shifted = pts
+                .into_iter()
+                .map(|(t, v)| (t + self.clk_period / 4.0, v))
+                .collect();
             Stimulus::Pwl(shifted)
         } else {
             unreachable!("bits always builds a PWL")
@@ -313,13 +356,14 @@ pub fn measure_detff(kind: DetffKind, stim: &Fig4Stimulus, dt: f64) -> DetffRow 
     let res = Tran::new(opts)
         .run(&c)
         .unwrap_or_else(|e| panic!("{kind:?} transient failed: {e}"));
-    let EnergyDelay { energy_fj: _, delay_ps } =
-        clocked_cell_measure(&res, pins.clk, pins.q, VDD / 2.0, stim.clk_period / 2.0);
+    let EnergyDelay {
+        energy_fj: _,
+        delay_ps,
+    } = clocked_cell_measure(&res, pins.clk, pins.q, VDD / 2.0, stim.clk_period / 2.0);
     // Energy: skip the first cycle (initial charge-up of internal nodes is
     // not steady-state behaviour), then normalize per clock cycle.
-    let measured = fpga_spice::units::to_fj(
-        res.supply_energy_between(stim.clk_period, stim.t_stop()),
-    );
+    let measured =
+        fpga_spice::units::to_fj(res.supply_energy_between(stim.clk_period, stim.t_stop()));
     let energy_per_cycle = measured / (stim.cycles - 1) as f64;
     DetffRow {
         kind,
@@ -331,7 +375,10 @@ pub fn measure_detff(kind: DetffKind, stim: &Fig4Stimulus, dt: f64) -> DetffRow 
 
 /// Regenerate Table 1: all five designs under the same stimulus.
 pub fn table1(stim: &Fig4Stimulus, dt: f64) -> Vec<DetffRow> {
-    DetffKind::all().iter().map(|&k| measure_detff(k, stim, dt)).collect()
+    DetffKind::all()
+        .iter()
+        .map(|&k| measure_detff(k, stim, dt))
+        .collect()
 }
 
 /// The winner by total energy with a simple-structure tie-break — the
@@ -350,7 +397,11 @@ mod tests {
 
     /// Functional check: Q must track D across both clock edges.
     fn check_functional(kind: DetffKind) {
-        let stim = Fig4Stimulus { clk_period: 2e-9, edge: 50e-12, cycles: 4 };
+        let stim = Fig4Stimulus {
+            clk_period: 2e-9,
+            edge: 50e-12,
+            cycles: 4,
+        };
         let mut c = Circuit::new();
         let vdd = c.node("vdd");
         c.vsource("VDD", vdd, Circuit::GND, Stimulus::dc(VDD));
@@ -358,7 +409,9 @@ mod tests {
         c.vsource("VCLK", pins.clk, Circuit::GND, stim.clock());
         c.vsource("VD", pins.d, Circuit::GND, stim.data());
         c.capacitor("CLQ", pins.q, Circuit::GND, 8e-15);
-        let res = Tran::new(TranOpts::new(2e-12, stim.t_stop())).run(&c).unwrap();
+        let res = Tran::new(TranOpts::new(2e-12, stim.t_stop()))
+            .run(&c)
+            .unwrap();
         let q = res.voltage(pins.q);
         let clk = res.voltage(pins.clk);
         // After the first couple of edges the output must toggle on every
@@ -409,7 +462,11 @@ mod tests {
     fn table1_ordering_matches_paper() {
         // Coarse timestep is enough for the ordering; the bench harness
         // re-runs with dt = 1 ps.
-        let stim = Fig4Stimulus { clk_period: 2e-9, edge: 50e-12, cycles: 4 };
+        let stim = Fig4Stimulus {
+            clk_period: 2e-9,
+            edge: 50e-12,
+            cycles: 4,
+        };
         let rows = table1(&stim, 2e-12);
         assert_eq!(rows.len(), 5);
         for r in &rows {

@@ -36,8 +36,22 @@ pub fn inverter(
     wp_mult: f64,
     wn_mult: f64,
 ) {
-    c.mosfet_x(&format!("{name}.mp"), MosType::Pmos, output, input, vdd, wp_mult);
-    c.mosfet_x(&format!("{name}.mn"), MosType::Nmos, output, input, Circuit::GND, wn_mult);
+    c.mosfet_x(
+        &format!("{name}.mp"),
+        MosType::Pmos,
+        output,
+        input,
+        vdd,
+        wp_mult,
+    );
+    c.mosfet_x(
+        &format!("{name}.mn"),
+        MosType::Nmos,
+        output,
+        input,
+        Circuit::GND,
+        wn_mult,
+    );
 }
 
 /// Minimum-size inverter (Wp = 2, Wn = 1 in minimum-width units).
@@ -58,12 +72,40 @@ pub fn nand2(
     wn_mult: f64,
 ) {
     // Parallel PMOS pull-up.
-    c.mosfet_x(&format!("{name}.mpa"), MosType::Pmos, output, a, vdd, wp_mult);
-    c.mosfet_x(&format!("{name}.mpb"), MosType::Pmos, output, b, vdd, wp_mult);
+    c.mosfet_x(
+        &format!("{name}.mpa"),
+        MosType::Pmos,
+        output,
+        a,
+        vdd,
+        wp_mult,
+    );
+    c.mosfet_x(
+        &format!("{name}.mpb"),
+        MosType::Pmos,
+        output,
+        b,
+        vdd,
+        wp_mult,
+    );
     // Series NMOS pull-down (stacked devices widened to keep drive).
     let mid = c.fresh_node(&format!("{name}.mid"));
-    c.mosfet_x(&format!("{name}.mna"), MosType::Nmos, output, a, mid, 2.0 * wn_mult);
-    c.mosfet_x(&format!("{name}.mnb"), MosType::Nmos, mid, b, Circuit::GND, 2.0 * wn_mult);
+    c.mosfet_x(
+        &format!("{name}.mna"),
+        MosType::Nmos,
+        output,
+        a,
+        mid,
+        2.0 * wn_mult,
+    );
+    c.mosfet_x(
+        &format!("{name}.mnb"),
+        MosType::Nmos,
+        mid,
+        b,
+        Circuit::GND,
+        2.0 * wn_mult,
+    );
 }
 
 /// Two-input NOR gate.
@@ -79,10 +121,38 @@ pub fn nor2(
     wn_mult: f64,
 ) {
     let mid = c.fresh_node(&format!("{name}.mid"));
-    c.mosfet_x(&format!("{name}.mpa"), MosType::Pmos, mid, a, vdd, 2.0 * wp_mult);
-    c.mosfet_x(&format!("{name}.mpb"), MosType::Pmos, output, b, mid, 2.0 * wp_mult);
-    c.mosfet_x(&format!("{name}.mna"), MosType::Nmos, output, a, Circuit::GND, wn_mult);
-    c.mosfet_x(&format!("{name}.mnb"), MosType::Nmos, output, b, Circuit::GND, wn_mult);
+    c.mosfet_x(
+        &format!("{name}.mpa"),
+        MosType::Pmos,
+        mid,
+        a,
+        vdd,
+        2.0 * wp_mult,
+    );
+    c.mosfet_x(
+        &format!("{name}.mpb"),
+        MosType::Pmos,
+        output,
+        b,
+        mid,
+        2.0 * wp_mult,
+    );
+    c.mosfet_x(
+        &format!("{name}.mna"),
+        MosType::Nmos,
+        output,
+        a,
+        Circuit::GND,
+        wn_mult,
+    );
+    c.mosfet_x(
+        &format!("{name}.mnb"),
+        MosType::Nmos,
+        output,
+        b,
+        Circuit::GND,
+        wn_mult,
+    );
 }
 
 /// CMOS transmission gate between `a` and `b`, conducting when
@@ -100,7 +170,14 @@ pub fn tgate(
 ) {
     let _ = vdd; // body terminals are implicit in the Level-1 model
     c.mosfet_x(&format!("{name}.mn"), MosType::Nmos, a, ctl, b, w_mult);
-    c.mosfet_x(&format!("{name}.mp"), MosType::Pmos, a, ctlb, b, 2.0 * w_mult);
+    c.mosfet_x(
+        &format!("{name}.mp"),
+        MosType::Pmos,
+        a,
+        ctlb,
+        b,
+        2.0 * w_mult,
+    );
 }
 
 /// Tri-state inverter: drives `output = !input` when `en` = 1 (`enb` = 0),
@@ -123,9 +200,30 @@ pub fn tristate_inv(
     match kind {
         TristateKind::ClockOuter => {
             // Data at the rails, enables at the output.
-            c.mosfet_x(&format!("{name}.mpd"), MosType::Pmos, pmid, input, vdd, wp_mult);
-            c.mosfet_x(&format!("{name}.mpe"), MosType::Pmos, output, enb, pmid, wp_mult);
-            c.mosfet_x(&format!("{name}.mne"), MosType::Nmos, output, en, nmid, wn_mult);
+            c.mosfet_x(
+                &format!("{name}.mpd"),
+                MosType::Pmos,
+                pmid,
+                input,
+                vdd,
+                wp_mult,
+            );
+            c.mosfet_x(
+                &format!("{name}.mpe"),
+                MosType::Pmos,
+                output,
+                enb,
+                pmid,
+                wp_mult,
+            );
+            c.mosfet_x(
+                &format!("{name}.mne"),
+                MosType::Nmos,
+                output,
+                en,
+                nmid,
+                wn_mult,
+            );
             c.mosfet_x(
                 &format!("{name}.mnd"),
                 MosType::Nmos,
@@ -137,9 +235,30 @@ pub fn tristate_inv(
         }
         TristateKind::ClockInner => {
             // Enables at the rails, data at the output.
-            c.mosfet_x(&format!("{name}.mpe"), MosType::Pmos, pmid, enb, vdd, wp_mult);
-            c.mosfet_x(&format!("{name}.mpd"), MosType::Pmos, output, input, pmid, wp_mult);
-            c.mosfet_x(&format!("{name}.mnd"), MosType::Nmos, output, input, nmid, wn_mult);
+            c.mosfet_x(
+                &format!("{name}.mpe"),
+                MosType::Pmos,
+                pmid,
+                enb,
+                vdd,
+                wp_mult,
+            );
+            c.mosfet_x(
+                &format!("{name}.mpd"),
+                MosType::Pmos,
+                output,
+                input,
+                pmid,
+                wp_mult,
+            );
+            c.mosfet_x(
+                &format!("{name}.mnd"),
+                MosType::Nmos,
+                output,
+                input,
+                nmid,
+                wn_mult,
+            );
             c.mosfet_x(
                 &format!("{name}.mne"),
                 MosType::Nmos,
@@ -170,7 +289,11 @@ pub fn buffer_chain(
     let mut prev = input;
     let mut w = 1.0;
     for s in 0..stages {
-        let next = if s + 1 == stages { output } else { c.fresh_node(&format!("{name}.s{s}")) };
+        let next = if s + 1 == stages {
+            output
+        } else {
+            c.fresh_node(&format!("{name}.s{s}"))
+        };
         inverter(c, &format!("{name}.inv{s}"), vdd, cur, next, 2.0 * w, w);
         prev = cur;
         cur = next;
@@ -220,8 +343,18 @@ mod tests {
         let b = c.node("b");
         let y = c.node("y");
         // a: 0,0,1,1 ; b: 0,1,0,1 at 2 ns per phase.
-        c.vsource("VA", a, Circuit::GND, Stimulus::bits(&[0, 0, 1, 1], VDD, 2e-9, 0.1e-9));
-        c.vsource("VB", b, Circuit::GND, Stimulus::bits(&[0, 1, 0, 1], VDD, 2e-9, 0.1e-9));
+        c.vsource(
+            "VA",
+            a,
+            Circuit::GND,
+            Stimulus::bits(&[0, 0, 1, 1], VDD, 2e-9, 0.1e-9),
+        );
+        c.vsource(
+            "VB",
+            b,
+            Circuit::GND,
+            Stimulus::bits(&[0, 1, 0, 1], VDD, 2e-9, 0.1e-9),
+        );
         nand2(&mut c, "g", vdd, a, b, y, 2.0, 1.0);
         c.capacitor("CL", y, Circuit::GND, 2e-15);
         let res = run(&c, 8e-9);
@@ -239,8 +372,18 @@ mod tests {
         let a = c.node("a");
         let b = c.node("b");
         let y = c.node("y");
-        c.vsource("VA", a, Circuit::GND, Stimulus::bits(&[0, 0, 1, 1], VDD, 2e-9, 0.1e-9));
-        c.vsource("VB", b, Circuit::GND, Stimulus::bits(&[0, 1, 0, 1], VDD, 2e-9, 0.1e-9));
+        c.vsource(
+            "VA",
+            a,
+            Circuit::GND,
+            Stimulus::bits(&[0, 0, 1, 1], VDD, 2e-9, 0.1e-9),
+        );
+        c.vsource(
+            "VB",
+            b,
+            Circuit::GND,
+            Stimulus::bits(&[0, 1, 0, 1], VDD, 2e-9, 0.1e-9),
+        );
         nor2(&mut c, "g", vdd, a, b, y, 2.0, 1.0);
         c.capacitor("CL", y, Circuit::GND, 2e-15);
         let res = run(&c, 8e-9);
@@ -260,8 +403,18 @@ mod tests {
         let ctl = c.node("ctl");
         let ctlb = c.node("ctlb");
         c.vsource("VS", src, Circuit::GND, Stimulus::dc(VDD));
-        c.vsource("VC", ctl, Circuit::GND, Stimulus::bits(&[1, 0], VDD, 4e-9, 0.1e-9));
-        c.vsource("VCB", ctlb, Circuit::GND, Stimulus::bits(&[0, 1], VDD, 4e-9, 0.1e-9));
+        c.vsource(
+            "VC",
+            ctl,
+            Circuit::GND,
+            Stimulus::bits(&[1, 0], VDD, 4e-9, 0.1e-9),
+        );
+        c.vsource(
+            "VCB",
+            ctlb,
+            Circuit::GND,
+            Stimulus::bits(&[0, 1], VDD, 4e-9, 0.1e-9),
+        );
         tgate(&mut c, "t", vdd, src, dst, ctl, ctlb, 1.0);
         c.capacitor("CL", dst, Circuit::GND, 5e-15);
         let res = run(&c, 8e-9);
@@ -282,16 +435,34 @@ mod tests {
             let en = c.node("en");
             let enb = c.node("enb");
             c.vsource("VI", inp, Circuit::GND, Stimulus::dc(0.0));
-            c.vsource("VE", en, Circuit::GND, Stimulus::bits(&[1, 0], VDD, 4e-9, 0.1e-9));
-            c.vsource("VEB", enb, Circuit::GND, Stimulus::bits(&[0, 1], VDD, 4e-9, 0.1e-9));
+            c.vsource(
+                "VE",
+                en,
+                Circuit::GND,
+                Stimulus::bits(&[1, 0], VDD, 4e-9, 0.1e-9),
+            );
+            c.vsource(
+                "VEB",
+                enb,
+                Circuit::GND,
+                Stimulus::bits(&[0, 1], VDD, 4e-9, 0.1e-9),
+            );
             tristate_inv(&mut c, "tz", vdd, inp, out, en, enb, kind, 2.0, 1.0);
             c.capacitor("CL", out, Circuit::GND, 5e-15);
             let res = run(&c, 8e-9);
             let w = res.voltage(out);
             // Enabled with input 0: output pulls to VDD.
-            assert!(w.sample(3.9e-9) > VDD - 0.15, "{kind:?} drive: {}", w.sample(3.9e-9));
+            assert!(
+                w.sample(3.9e-9) > VDD - 0.15,
+                "{kind:?} drive: {}",
+                w.sample(3.9e-9)
+            );
             // Disabled: output floats and holds.
-            assert!(w.sample(7.9e-9) > VDD - 0.4, "{kind:?} hold: {}", w.sample(7.9e-9));
+            assert!(
+                w.sample(7.9e-9) > VDD - 0.4,
+                "{kind:?} hold: {}",
+                w.sample(7.9e-9)
+            );
         }
     }
 
@@ -326,7 +497,12 @@ mod tests {
         let vdd_s = power_rail(&mut small);
         let a_s = small.node("a");
         let y_s = small.node("y");
-        small.vsource("VI", a_s, Circuit::GND, Stimulus::bits(&[0, 1], VDD, 2e-9, 0.05e-9));
+        small.vsource(
+            "VI",
+            a_s,
+            Circuit::GND,
+            Stimulus::bits(&[0, 1], VDD, 2e-9, 0.05e-9),
+        );
         inverter_min(&mut small, "inv", vdd_s, a_s, y_s);
         small.capacitor("CL", y_s, Circuit::GND, 100e-15);
 
@@ -334,7 +510,12 @@ mod tests {
         let vdd_b = power_rail(&mut big);
         let a_b = big.node("a");
         let y_b = big.node("y");
-        big.vsource("VI", a_b, Circuit::GND, Stimulus::bits(&[0, 1], VDD, 2e-9, 0.05e-9));
+        big.vsource(
+            "VI",
+            a_b,
+            Circuit::GND,
+            Stimulus::bits(&[0, 1], VDD, 2e-9, 0.05e-9),
+        );
         buffer_chain(&mut big, "buf", vdd_b, a_b, y_b, 3, 4.0);
         big.capacitor("CL", y_b, Circuit::GND, 100e-15);
 

@@ -77,7 +77,14 @@ pub fn build_lut4(c: &mut Circuit, name: &str, vdd: NodeId, truth: u16) -> LutPi
     // and a keeper PMOS restores the internal node to the full rail.
     let outb = c.node(&format!("{name}.outb"));
     inverter(c, &format!("{name}.rinv"), vdd, tree_out, outb, 1.0, 1.5);
-    c.mosfet_x(&format!("{name}.keeper"), MosType::Pmos, tree_out, outb, vdd, 0.5);
+    c.mosfet_x(
+        &format!("{name}.keeper"),
+        MosType::Pmos,
+        tree_out,
+        outb,
+        vdd,
+        0.5,
+    );
     let out = c.node(&format!("{name}.out"));
     inverter_min(c, &format!("{name}.oinv"), vdd, outb, out);
 
@@ -103,7 +110,9 @@ pub fn simulate_lut4(truth: u16, vectors: &[u8], phase: f64, dt: f64) -> Vec<boo
     }
     c.capacitor("CL", lut.out, Circuit::GND, 3e-15);
     let t_stop = phase * vectors.len() as f64;
-    let res = Tran::new(TranOpts::new(dt, t_stop)).run(&c).expect("LUT transient");
+    let res = Tran::new(TranOpts::new(dt, t_stop))
+        .run(&c)
+        .expect("LUT transient");
     let w = res.voltage(lut.out);
     (0..vectors.len())
         .map(|i| w.sample((i as f64 + 0.9) * phase) > VDD / 2.0)
@@ -165,6 +174,9 @@ mod tests {
     fn lut_energy_is_femtojoule_scale() {
         let e = lut4_energy_per_transition(0xAAAA, 4e-12); // out = in0
         let e_fj = e * 1e15;
-        assert!(e_fj > 0.5 && e_fj < 500.0, "LUT energy/transition = {e_fj} fJ");
+        assert!(
+            e_fj > 0.5 && e_fj < 500.0,
+            "LUT energy/transition = {e_fj} fJ"
+        );
     }
 }

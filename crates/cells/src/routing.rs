@@ -183,9 +183,7 @@ impl SizingExperiment {
         // channel metal (pitch-dependent).
         let per_switch = match self.switch_kind {
             SwitchKind::PassTransistor => t.tx_area_units(w_mult),
-            SwitchKind::TristateBuffer => {
-                2.0 * (t.tx_area_units(1.0) + t.tx_area_units(w_mult))
-            }
+            SwitchKind::TristateBuffer => 2.0 * (t.tx_area_units(1.0) + t.tx_area_units(w_mult)),
         };
         let span = FIG7_SEGMENTS * wire_len;
         let area = switch_count * per_switch
@@ -213,7 +211,9 @@ impl SizingExperiment {
 
 /// The switch widths plotted in the figures (multiples of minimum width).
 pub fn paper_widths() -> Vec<f64> {
-    vec![1.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 16.0, 24.0, 32.0, 48.0, 64.0]
+    vec![
+        1.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 16.0, 24.0, 32.0, 48.0, 64.0,
+    ]
 }
 
 /// The wire lengths plotted in the figures.
@@ -243,26 +243,33 @@ mod tests {
 
     #[test]
     fn energy_has_crowbar_knee_then_junction_growth() {
-        let exp =
-            SizingExperiment::new(WireGeometry::MinWidthMinSpace, SwitchKind::PassTransistor);
+        let exp = SizingExperiment::new(WireGeometry::MinWidthMinSpace, SwitchKind::PassTransistor);
         // Below the knee, tiny switches produce such slow edges that the
         // receivers' crowbar energy dominates: energy *falls* with width.
         let e1 = exp.evaluate(1, 1.0).energy_fj;
         let e10 = exp.evaluate(1, 10.0).energy_fj;
-        assert!(e1 > e10, "crowbar dominates at minimum width: {e1} vs {e10}");
+        assert!(
+            e1 > e10,
+            "crowbar dominates at minimum width: {e1} vs {e10}"
+        );
         // Above it, junction capacitance grows energy again.
         let e64 = exp.evaluate(1, 64.0).energy_fj;
-        assert!(e64 > e10, "junction capacitance must grow energy: {e10} -> {e64}");
+        assert!(
+            e64 > e10,
+            "junction capacitance must grow energy: {e10} -> {e64}"
+        );
     }
 
     #[test]
     fn delay_decreases_steeply_then_self_loading_bites() {
-        let exp =
-            SizingExperiment::new(WireGeometry::MinWidthMinSpace, SwitchKind::PassTransistor);
+        let exp = SizingExperiment::new(WireGeometry::MinWidthMinSpace, SwitchKind::PassTransistor);
         let d1 = exp.evaluate(4, 1.0).delay_ps;
         let d10 = exp.evaluate(4, 10.0).delay_ps;
         let d64 = exp.evaluate(4, 64.0).delay_ps;
-        assert!(d10 < d1 / 2.0, "10x switch should be much faster: {d1} -> {d10}");
+        assert!(
+            d10 < d1 / 2.0,
+            "10x switch should be much faster: {d1} -> {d10}"
+        );
         assert!(d64 < d1, "64x still beats minimum width: {d1} -> {d64}");
         // Diminishing returns: the second 6.4x of width buys far less than
         // the first 10x (junction self-loading).
@@ -274,9 +281,15 @@ mod tests {
     /// wires, and "10x and 16x essentially tied" near the optimum.
     fn check_common_shape(pts: &[SizingPoint], label: &str) {
         let w1 = optimum_width(pts, 1);
-        assert!((6.0..=16.0).contains(&w1), "{label} len 1: optimum ~10x, got {w1}");
+        assert!(
+            (6.0..=16.0).contains(&w1),
+            "{label} len 1: optimum ~10x, got {w1}"
+        );
         let w2 = optimum_width(pts, 2);
-        assert!((8.0..=16.0).contains(&w2), "{label} len 2: optimum ~10-16x, got {w2}");
+        assert!(
+            (8.0..=16.0).contains(&w2),
+            "{label} len 2: optimum ~10-16x, got {w2}"
+        );
         let w4 = optimum_width(pts, 4);
         assert!((10.0..=24.0).contains(&w4), "{label} len 4: got {w4}");
         let w8 = optimum_width(pts, 8);
@@ -350,15 +363,22 @@ mod tests {
             .find(|p| p.wire_len == 1 && p.width_mult == 10.0)
             .unwrap()
             .eda();
-        assert!(chosen <= 1.3 * best, "chosen {chosen:.3e} vs best {best:.3e}");
+        assert!(
+            chosen <= 1.3 * best,
+            "chosen {chosen:.3e} vs best {best:.3e}"
+        );
     }
 
     #[test]
     fn tristate_buffers_cost_more_area() {
-        let pass =
-            SizingExperiment::new(WireGeometry::MinWidthDoubleSpace, SwitchKind::PassTransistor);
-        let buf =
-            SizingExperiment::new(WireGeometry::MinWidthDoubleSpace, SwitchKind::TristateBuffer);
+        let pass = SizingExperiment::new(
+            WireGeometry::MinWidthDoubleSpace,
+            SwitchKind::PassTransistor,
+        );
+        let buf = SizingExperiment::new(
+            WireGeometry::MinWidthDoubleSpace,
+            SwitchKind::TristateBuffer,
+        );
         let p = pass.evaluate(1, 10.0);
         let b = buf.evaluate(1, 10.0);
         assert!(b.area_units > p.area_units);

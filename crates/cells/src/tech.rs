@@ -100,8 +100,8 @@ impl Tech {
             // Effective sheet resistance of a minimum-width routing track
             // including via and contact resistance along the run.
             metal_rsheet: 0.25,
-            metal_c_area: 0.02e-3, // 0.02 fF/µm²
-            metal_c_fringe: 0.045e-9, // 0.045 fF/µm per edge
+            metal_c_area: 0.02e-3,        // 0.02 fF/µm²
+            metal_c_fringe: 0.045e-9,     // 0.045 fF/µm per edge
             metal_c_couple_min: 0.085e-9, // 0.085 fF/µm per neighbour
             clb_pitch: 62.0e-6,
             min_tx_area: 1.5e-12, // ~1.5 µm² per minimum contacted device
@@ -140,8 +140,7 @@ impl Tech {
     /// with fatter geometry consume proportionally more channel area.
     pub fn wire_pitch_mult(&self, geom: WireGeometry) -> f64 {
         let min_pitch = self.metal_w_min + self.metal_s_min;
-        let pitch =
-            self.metal_w_min * geom.width_mult() + self.metal_s_min * geom.space_mult();
+        let pitch = self.metal_w_min * geom.width_mult() + self.metal_s_min * geom.space_mult();
         pitch / min_pitch
     }
 
@@ -182,7 +181,10 @@ mod tests {
         let t = Tech::stm018();
         let c_min = t.wire_c_per_m(WireGeometry::MinWidthMinSpace);
         let c_dbl = t.wire_c_per_m(WireGeometry::MinWidthDoubleSpace);
-        assert!(c_dbl < c_min, "double spacing must cut coupling: {c_dbl} vs {c_min}");
+        assert!(
+            c_dbl < c_min,
+            "double spacing must cut coupling: {c_dbl} vs {c_min}"
+        );
     }
 
     #[test]

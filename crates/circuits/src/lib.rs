@@ -138,8 +138,12 @@ pub fn alu(width: usize) -> Netlist {
     let op1 = nl.net("op1");
     nl.add_input(op0);
     nl.add_input(op1);
-    let a: Vec<NetId> = (0..width).map(|i| nl.find_net(&format!("a{i}")).unwrap()).collect();
-    let b: Vec<NetId> = (0..width).map(|i| nl.find_net(&format!("b{i}")).unwrap()).collect();
+    let a: Vec<NetId> = (0..width)
+        .map(|i| nl.find_net(&format!("a{i}")).unwrap())
+        .collect();
+    let b: Vec<NetId> = (0..width)
+        .map(|i| nl.find_net(&format!("b{i}")).unwrap())
+        .collect();
     for i in 0..width {
         let and = nl.net(&format!("land{i}"));
         let or = nl.net(&format!("lor{i}"));
@@ -182,7 +186,10 @@ pub fn lfsr(width: usize, taps: u64) -> Netlist {
         // Initialize to the all-ones state so the register is not stuck.
         nl.add_cell(
             &format!("f{i}"),
-            CellKind::Dff { clock: clk, init: true },
+            CellKind::Dff {
+                clock: clk,
+                init: true,
+            },
             vec![d],
             q[i],
         );
@@ -217,7 +224,10 @@ pub fn crc(width: usize, poly: u64) -> Netlist {
         };
         nl.add_cell(
             &format!("f{i}"),
-            CellKind::Dff { clock: clk, init: false },
+            CellKind::Dff {
+                clock: clk,
+                init: false,
+            },
             vec![d],
             q[i],
         );
@@ -254,7 +264,10 @@ pub fn fsm(states: usize) -> Netlist {
         // State 0 starts hot.
         nl.add_cell(
             &format!("f{i}"),
-            CellKind::Dff { clock: clk, init: i == 0 },
+            CellKind::Dff {
+                clock: clk,
+                init: i == 0,
+            },
             vec![d],
             s[i],
         );
@@ -311,8 +324,7 @@ pub fn multiplier(width: usize) -> Netlist {
     for (j, row) in pp.iter().enumerate() {
         let mut carry = zero;
         for i in 0..width {
-            let (s2, c2) =
-                full_adder(&mut nl, format!("fa{j}_{i}"), row[i], prod[j + i], carry);
+            let (s2, c2) = full_adder(&mut nl, format!("fa{j}_{i}"), row[i], prod[j + i], carry);
             prod[j + i] = s2;
             carry = c2;
         }
@@ -378,7 +390,13 @@ pub fn random_logic(p: &RandomLogicParams) -> Netlist {
             n
         })
         .collect();
-    let kinds = [CellKind::And, CellKind::Or, CellKind::Xor, CellKind::Nand, CellKind::Nor];
+    let kinds = [
+        CellKind::And,
+        CellKind::Or,
+        CellKind::Xor,
+        CellKind::Nand,
+        CellKind::Nor,
+    ];
     for g in 0..p.n_gates {
         let lo = pool.len().saturating_sub(p.window);
         let i1 = rng.gen_range(lo..pool.len());
@@ -393,7 +411,10 @@ pub fn random_logic(p: &RandomLogicParams) -> Netlist {
             let q = nl.net(&format!("r{g}"));
             nl.add_cell(
                 &format!("ff{g}"),
-                CellKind::Dff { clock: clk, init: false },
+                CellKind::Dff {
+                    clock: clk,
+                    init: false,
+                },
                 vec![w],
                 q,
             );
@@ -423,7 +444,11 @@ pub fn benchmark_suite() -> Vec<Netlist> {
         lfsr(16, 0b0110_1000_0000_0000),
         crc(8, 0x07),
         fsm(10),
-        random_logic(&RandomLogicParams { n_gates: 120, seed: 3, ..Default::default() }),
+        random_logic(&RandomLogicParams {
+            n_gates: 120,
+            seed: 3,
+            ..Default::default()
+        }),
         random_logic(&RandomLogicParams {
             n_gates: 300,
             n_inputs: 20,
@@ -446,8 +471,10 @@ mod tests {
         let mut sim = Simulator::new(&nl).unwrap();
         for (a, b) in [(3u32, 5u32), (15, 1), (7, 7), (0, 0)] {
             for i in 0..4 {
-                sim.set_input_by_name(&format!("a{i}"), a >> i & 1 == 1).unwrap();
-                sim.set_input_by_name(&format!("b{i}"), b >> i & 1 == 1).unwrap();
+                sim.set_input_by_name(&format!("a{i}"), a >> i & 1 == 1)
+                    .unwrap();
+                sim.set_input_by_name(&format!("b{i}"), b >> i & 1 == 1)
+                    .unwrap();
             }
             sim.propagate();
             let mut sum = 0u32;
@@ -471,8 +498,10 @@ mod tests {
         let a = 0b1010u32;
         let b = 0b0110u32;
         for i in 0..4 {
-            sim.set_input_by_name(&format!("a{i}"), a >> i & 1 == 1).unwrap();
-            sim.set_input_by_name(&format!("b{i}"), b >> i & 1 == 1).unwrap();
+            sim.set_input_by_name(&format!("a{i}"), a >> i & 1 == 1)
+                .unwrap();
+            sim.set_input_by_name(&format!("b{i}"), b >> i & 1 == 1)
+                .unwrap();
         }
         for (op, expect) in [(0u32, (a + b) & 0xF), (1, a & b), (2, a | b), (3, a ^ b)] {
             sim.set_input_by_name("op0", op & 1 == 1).unwrap();
@@ -495,8 +524,10 @@ mod tests {
         let mut sim = Simulator::new(&nl).unwrap();
         for (a, b) in [(0u32, 0u32), (3, 5), (15, 15), (7, 9), (12, 1)] {
             for i in 0..4 {
-                sim.set_input_by_name(&format!("a{i}"), a >> i & 1 == 1).unwrap();
-                sim.set_input_by_name(&format!("b{i}"), b >> i & 1 == 1).unwrap();
+                sim.set_input_by_name(&format!("a{i}"), a >> i & 1 == 1)
+                    .unwrap();
+                sim.set_input_by_name(&format!("b{i}"), b >> i & 1 == 1)
+                    .unwrap();
             }
             sim.propagate();
             let mut p = 0u32;
@@ -518,14 +549,16 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for _ in 0..50 {
             let state: u32 = (0..8)
-                .map(|i| {
-                    (sim.value(nl.find_net(&format!("q{i}")).unwrap()) as u32) << i
-                })
+                .map(|i| (sim.value(nl.find_net(&format!("q{i}")).unwrap()) as u32) << i)
                 .sum();
             seen.insert(state);
             sim.tick(clk);
         }
-        assert!(seen.len() > 20, "LFSR visits many states, got {}", seen.len());
+        assert!(
+            seen.len() > 20,
+            "LFSR visits many states, got {}",
+            seen.len()
+        );
     }
 
     #[test]
@@ -567,7 +600,11 @@ mod tests {
 
     #[test]
     fn random_logic_reproducible_and_valid() {
-        let p = RandomLogicParams { n_gates: 150, seed: 42, ..Default::default() };
+        let p = RandomLogicParams {
+            n_gates: 150,
+            seed: 42,
+            ..Default::default()
+        };
         let n1 = random_logic(&p);
         let n2 = random_logic(&p);
         n1.validate().unwrap();

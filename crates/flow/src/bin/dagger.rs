@@ -6,6 +6,7 @@ use fpga_flow::{run_blif, FlowOptions};
 
 fn main() {
     let args = cli::parse_args(&["o", "seed"]);
+    cli::handle_version("dagger", &args);
     let text = cli::input_or_usage(&args, "dagger <design.blif> [-o out.bit] [--no-verify]");
     let mut opts = FlowOptions::default();
     if args.flags.iter().any(|f| f == "no-verify") {

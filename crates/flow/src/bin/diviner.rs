@@ -4,6 +4,7 @@ use fpga_flow::cli;
 
 fn main() {
     let args = cli::parse_args(&["o"]);
+    cli::handle_version("diviner", &args);
     let text = cli::input_or_usage(&args, "diviner <design.vhd> [-o out.edif]");
     match fpga_synth::diviner::synthesize_to_edif(&text) {
         Ok(edif) => cli::write_output(&args, &edif),

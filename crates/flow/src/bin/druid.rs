@@ -4,6 +4,7 @@ use fpga_flow::cli;
 
 fn main() {
     let args = cli::parse_args(&["o"]);
+    cli::handle_version("druid", &args);
     let text = cli::input_or_usage(&args, "druid <in.edif> [-o out.edif]");
     match fpga_synth::druid::normalize_edif(&text) {
         Ok(out) => cli::write_output(&args, &out),

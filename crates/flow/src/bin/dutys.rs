@@ -5,6 +5,7 @@ use fpga_flow::cli;
 
 fn main() {
     let args = cli::parse_args(&["o", "k", "n", "w", "name"]);
+    cli::handle_version("dutys", &args);
     let mut arch = Architecture::paper_default();
     if let Some(name) = args.options.get("name") {
         arch.name = name.clone();

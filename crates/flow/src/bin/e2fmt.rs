@@ -4,8 +4,11 @@ use fpga_flow::cli;
 
 fn main() {
     let args = cli::parse_args(&["o"]);
-    let text =
-        cli::input_or_usage(&args, "e2fmt <in.edif> [-o out.blif] | e2fmt --reverse <in.blif>");
+    cli::handle_version("e2fmt", &args);
+    let text = cli::input_or_usage(
+        &args,
+        "e2fmt <in.edif> [-o out.blif] | e2fmt --reverse <in.blif>",
+    );
     let result = if args.flags.iter().any(|f| f == "reverse") {
         fpga_synth::e2fmt::blif_to_edif(&text)
     } else {

@@ -8,6 +8,7 @@ use fpga_flow::{run_blif, run_vhdl, FlowArtifacts, FlowOptions};
 
 fn main() {
     let args = cli::parse_args(&["o", "report", "seed", "w", "svg"]);
+    cli::handle_version("flowctl", &args);
     if args.flags.iter().any(|f| f == "interactive") {
         interactive(args.positionals.first().cloned());
         return;
@@ -158,7 +159,11 @@ fn interactive(initial: Option<String>) {
                         std::io::stdout().flush().ok();
                         let mut p = String::new();
                         stdin.lock().read_line(&mut p).ok();
-                        let p = if p.trim().is_empty() { "design.bit" } else { p.trim() };
+                        let p = if p.trim().is_empty() {
+                            "design.bit"
+                        } else {
+                            p.trim()
+                        };
                         match std::fs::write(p, &art.bitstream_bytes) {
                             Ok(()) => println!(
                                 "programmed: wrote {p} ({} bytes, fabric-verified)",

@@ -8,14 +8,16 @@ use fpga_power::PowerOptions;
 
 fn main() {
     let args = cli::parse_args(&["f", "cycles"]);
-    let text = cli::input_or_usage(&args, "powermodel <mapped.blif> [--f 100e6] [--cycles 1000]");
-    let mut netlist = fpga_netlist::blif::parse(&text)
+    cli::handle_version("powermodel", &args);
+    let text = cli::input_or_usage(
+        &args,
+        "powermodel <mapped.blif> [--f 100e6] [--cycles 1000]",
+    );
+    let mut netlist =
+        fpga_netlist::blif::parse(&text).unwrap_or_else(|e| cli::die("powermodel", e));
+    fpga_pack::prepare(&mut netlist).unwrap_or_else(|e| cli::die("powermodel", e));
+    let clustering = fpga_pack::pack(&netlist, &fpga_arch::ClbArch::paper_default())
         .unwrap_or_else(|e| cli::die("powermodel", e));
-    fpga_pack::prepare(&mut netlist)
-        .unwrap_or_else(|e| cli::die("powermodel", e));
-    let clustering =
-        fpga_pack::pack(&netlist, &fpga_arch::ClbArch::paper_default())
-            .unwrap_or_else(|e| cli::die("powermodel", e));
     let mut opts = PowerOptions::default();
     if let Some(f) = args.options.get("f").and_then(|s| s.parse().ok()) {
         opts.frequency = f;

@@ -6,8 +6,13 @@ use fpga_synth::{map_to_luts, MapOptions};
 
 fn main() {
     let args = cli::parse_args(&["o", "k"]);
+    cli::handle_version("sis-map", &args);
     let text = cli::input_or_usage(&args, "sis-map <in.blif> [-k 4] [-o out.blif]");
-    let k: usize = args.options.get("k").map(|s| s.parse().unwrap_or(4)).unwrap_or(4);
+    let k: usize = args
+        .options
+        .get("k")
+        .map(|s| s.parse().unwrap_or(4))
+        .unwrap_or(4);
     let mut netlist = match fpga_netlist::blif::parse(&text) {
         Ok(n) => n,
         Err(e) => cli::die("sis-map", e),

@@ -6,10 +6,18 @@ use fpga_flow::cli;
 
 fn main() {
     let args = cli::parse_args(&["o", "k", "n", "i"]);
-    let text =
-        cli::input_or_usage(&args, "tvpack <in.blif> [-k 4] [-n 5] [-i 12] [-o out.net]");
-    let k: usize = args.options.get("k").map(|s| s.parse().unwrap_or(4)).unwrap_or(4);
-    let n: usize = args.options.get("n").map(|s| s.parse().unwrap_or(5)).unwrap_or(5);
+    cli::handle_version("tvpack", &args);
+    let text = cli::input_or_usage(&args, "tvpack <in.blif> [-k 4] [-n 5] [-i 12] [-o out.net]");
+    let k: usize = args
+        .options
+        .get("k")
+        .map(|s| s.parse().unwrap_or(4))
+        .unwrap_or(4);
+    let n: usize = args
+        .options
+        .get("n")
+        .map(|s| s.parse().unwrap_or(5))
+        .unwrap_or(5);
     let i: usize = args
         .options
         .get("i")
@@ -27,8 +35,7 @@ fn main() {
         Ok(nl) => nl,
         Err(e) => cli::die("tvpack", e),
     };
-    fpga_pack::prepare(&mut netlist)
-        .unwrap_or_else(|e| cli::die("tvpack", e));
+    fpga_pack::prepare(&mut netlist).unwrap_or_else(|e| cli::die("tvpack", e));
     match fpga_pack::pack(&netlist, &arch) {
         Ok(clustering) => {
             eprintln!(

@@ -5,6 +5,7 @@ use fpga_flow::cli;
 
 fn main() {
     let args = cli::parse_args(&[]);
+    cli::handle_version("vparse", &args);
     let text = cli::input_or_usage(&args, "vparse <design.vhd>");
     match fpga_vhdl::parse(&text) {
         Err(e) => cli::die("vparse", format!("syntax error: {e}")),

@@ -9,6 +9,7 @@ use fpga_route::RouteOptions;
 
 fn main() {
     let args = cli::parse_args(&["o", "arch", "seed", "w", "net"]);
+    cli::handle_version("vpr-pr", &args);
     let text = cli::input_or_usage(
         &args,
         "vpr-pr <mapped.blif> [--arch arch.txt] [--seed 1] [--w <tracks>] [-o out.place]",
@@ -17,34 +18,36 @@ fn main() {
         Some(path) => {
             let atext = std::fs::read_to_string(path)
                 .unwrap_or_else(|e| cli::die("vpr-pr", format!("cannot read '{path}': {e}")));
-            fpga_arch::parse_arch_text(&atext)
-                .unwrap_or_else(|e| cli::die("vpr-pr", e))
+            fpga_arch::parse_arch_text(&atext).unwrap_or_else(|e| cli::die("vpr-pr", e))
         }
         None => Architecture::paper_default(),
     };
-    let seed: u64 = args.options.get("seed").and_then(|s| s.parse().ok()).unwrap_or(1);
-    let mut netlist = fpga_netlist::blif::parse(&text)
-        .unwrap_or_else(|e| cli::die("vpr-pr", e));
-    fpga_pack::prepare(&mut netlist)
-        .unwrap_or_else(|e| cli::die("vpr-pr", e));
+    let seed: u64 = args
+        .options
+        .get("seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let mut netlist = fpga_netlist::blif::parse(&text).unwrap_or_else(|e| cli::die("vpr-pr", e));
+    fpga_pack::prepare(&mut netlist).unwrap_or_else(|e| cli::die("vpr-pr", e));
     // Either consume T-VPack's .net file or re-pack internally.
     let clustering = match args.options.get("net") {
         Some(net_path) => {
-            let net_text = std::fs::read_to_string(net_path).unwrap_or_else(|e| {
-                cli::die("vpr-pr", format!("cannot read '{net_path}': {e}"))
-            });
+            let net_text = std::fs::read_to_string(net_path)
+                .unwrap_or_else(|e| cli::die("vpr-pr", format!("cannot read '{net_path}': {e}")));
             fpga_pack::netformat::parse_net(&net_text, &netlist, &arch.clb)
                 .unwrap_or_else(|e| cli::die("vpr-pr", e))
         }
-        None => fpga_pack::pack(&netlist, &arch.clb)
-            .unwrap_or_else(|e| cli::die("vpr-pr", e)),
+        None => fpga_pack::pack(&netlist, &arch.clb).unwrap_or_else(|e| cli::die("vpr-pr", e)),
     };
     let ios = netlist.inputs.len() + netlist.outputs.len() + 1;
     let device = Device::sized_for(arch, clustering.clusters.len(), ios);
     let placement = fpga_place::place(
         &clustering,
         device,
-        PlaceOptions { seed, inner_num: 5.0 },
+        PlaceOptions {
+            seed,
+            inner_num: 5.0,
+        },
     )
     .unwrap_or_else(|e| cli::die("vpr-pr", e));
     eprintln!(

@@ -1,0 +1,346 @@
+//! Content-addressed stage cache for the compile flow.
+//!
+//! Every pipeline stage is keyed by a SHA-256 digest of its canonical
+//! input: the canonicalized netlist/architecture text, the stage's own
+//! options, the [`crate::FLOW_VERSION`] string, and — for downstream
+//! stages — the key of the stage they consume. Chaining upstream keys
+//! keeps each digest cheap while preserving content addressing
+//! transitively: if any byte of any input to any ancestor stage changes,
+//! every descendant key changes with it.
+//!
+//! The cache is process-local and in-memory (the daemon owns one for its
+//! lifetime). Lookups are *single-flight*: when two jobs race on the same
+//! key, one computes while the others block on a condition variable and
+//! then take the hit path — so N concurrent submissions of the same
+//! design cost exactly one computation per stage and count as one miss
+//! plus N-1 hits in the metrics.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use serde_json::Value;
+
+use crate::Result;
+
+/// The cacheable pipeline stages, in flow order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StageId {
+    Synthesis,
+    LutMap,
+    Pack,
+    Place,
+    Route,
+    Power,
+    Bitstream,
+    Verify,
+}
+
+/// All stages, in flow order (index matches the metrics table).
+pub const STAGES: [StageId; 8] = [
+    StageId::Synthesis,
+    StageId::LutMap,
+    StageId::Pack,
+    StageId::Place,
+    StageId::Route,
+    StageId::Power,
+    StageId::Bitstream,
+    StageId::Verify,
+];
+
+impl StageId {
+    /// Short stable name used in cache keys and metrics JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            StageId::Synthesis => "synthesis",
+            StageId::LutMap => "lut_map",
+            StageId::Pack => "pack",
+            StageId::Place => "place",
+            StageId::Route => "route",
+            StageId::Power => "power",
+            StageId::Bitstream => "bitstream",
+            StageId::Verify => "verify",
+        }
+    }
+
+    fn index(self) -> usize {
+        STAGES
+            .iter()
+            .position(|&s| s == self)
+            .expect("stage listed")
+    }
+}
+
+/// Per-stage counters. `misses` counts actual computations, `hits` counts
+/// lookups served from a ready entry (including threads that waited out
+/// another job's in-flight computation), `wall_nanos` accumulates compute
+/// time spent on misses.
+#[derive(Default)]
+pub struct StageCounters {
+    pub hits: AtomicU64,
+    pub misses: AtomicU64,
+    pub wall_nanos: AtomicU64,
+}
+
+/// A snapshot of one stage's counters (plain numbers, for assertions and
+/// JSON rendering).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StageStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub wall_nanos: u64,
+}
+
+enum Slot {
+    /// Another thread is computing this key; wait on the condvar.
+    InFlight,
+    /// Ready: the stage's typed output plus the metrics it reported.
+    Ready(Arc<dyn Any + Send + Sync>, Value),
+}
+
+/// The cache proper. Cheap to share: the daemon wraps it in an [`Arc`]
+/// and hands clones to every worker.
+#[derive(Default)]
+pub struct StageCache {
+    slots: Mutex<HashMap<String, Slot>>,
+    ready: Condvar,
+    counters: [StageCounters; STAGES.len()],
+}
+
+impl StageCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Look up `key`; on a miss, run `compute` (once, even under
+    /// contention) and remember its output. Returns the typed output, the
+    /// stage metrics, and whether this lookup was a hit.
+    ///
+    /// Failed computations are not cached: the in-flight marker is
+    /// removed and the error propagates, so a later retry recomputes.
+    pub fn get_or_compute<T: Any + Send + Sync>(
+        &self,
+        stage: StageId,
+        key: &str,
+        compute: impl FnOnce() -> Result<(T, Value)>,
+    ) -> Result<(Arc<T>, Value, bool)> {
+        let mut slots = self.slots.lock().expect("cache lock");
+        loop {
+            match slots.get(key) {
+                Some(Slot::Ready(v, m)) => {
+                    let out = Arc::clone(v)
+                        .downcast::<T>()
+                        .expect("stage key maps to one output type");
+                    let metrics = m.clone();
+                    self.counters[stage.index()]
+                        .hits
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Ok((out, metrics, true));
+                }
+                Some(Slot::InFlight) => {
+                    slots = self.ready.wait(slots).expect("cache lock");
+                }
+                None => {
+                    slots.insert(key.to_string(), Slot::InFlight);
+                    break;
+                }
+            }
+        }
+        drop(slots);
+
+        let t = Instant::now();
+        let computed = compute();
+        let elapsed = t.elapsed().as_nanos() as u64;
+
+        let mut slots = self.slots.lock().expect("cache lock");
+        match computed {
+            Ok((value, metrics)) => {
+                let value = Arc::new(value);
+                slots.insert(
+                    key.to_string(),
+                    Slot::Ready(
+                        Arc::clone(&value) as Arc<dyn Any + Send + Sync>,
+                        metrics.clone(),
+                    ),
+                );
+                let c = &self.counters[stage.index()];
+                c.misses.fetch_add(1, Ordering::Relaxed);
+                c.wall_nanos.fetch_add(elapsed, Ordering::Relaxed);
+                drop(slots);
+                self.ready.notify_all();
+                Ok((value, metrics, false))
+            }
+            Err(e) => {
+                slots.remove(key);
+                drop(slots);
+                self.ready.notify_all();
+                Err(e)
+            }
+        }
+    }
+
+    /// Snapshot one stage's counters.
+    pub fn stats(&self, stage: StageId) -> StageStats {
+        let c = &self.counters[stage.index()];
+        StageStats {
+            hits: c.hits.load(Ordering::Relaxed),
+            misses: c.misses.load(Ordering::Relaxed),
+            wall_nanos: c.wall_nanos.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Snapshot every stage, in flow order.
+    pub fn all_stats(&self) -> Vec<(&'static str, StageStats)> {
+        STAGES.iter().map(|&s| (s.name(), self.stats(s))).collect()
+    }
+
+    /// Totals across stages: (hits, misses).
+    pub fn totals(&self) -> (u64, u64) {
+        let mut hits = 0;
+        let mut misses = 0;
+        for (_, s) in self.all_stats() {
+            hits += s.hits;
+            misses += s.misses;
+        }
+        (hits, misses)
+    }
+
+    /// Number of ready entries (in-flight markers excluded).
+    pub fn len(&self) -> usize {
+        self.slots
+            .lock()
+            .expect("cache lock")
+            .values()
+            .filter(|s| matches!(s, Slot::Ready(..)))
+            .count()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Metrics as JSON, shaped for `flowc stats`.
+    pub fn stats_json(&self) -> Value {
+        let mut stages = serde_json::Map::new();
+        for (name, s) in self.all_stats() {
+            stages.insert(
+                name.to_string(),
+                serde_json::json!({
+                    "hits": s.hits,
+                    "misses": s.misses,
+                    "wall_ms": s.wall_nanos / 1_000_000,
+                }),
+            );
+        }
+        let (hits, misses) = self.totals();
+        let mut root = serde_json::Map::new();
+        root.insert("entries".to_string(), serde_json::json!(self.len() as u64));
+        root.insert("hits".to_string(), serde_json::json!(hits));
+        root.insert("misses".to_string(), serde_json::json!(misses));
+        root.insert("stages".to_string(), Value::Object(stages));
+        Value::Object(root)
+    }
+}
+
+/// Digest key parts into a stage key. Parts are length-prefixed, so no
+/// two distinct part lists collide by concatenation.
+pub fn stage_key(stage: StageId, parts: &[&str]) -> String {
+    let mut all: Vec<&[u8]> = Vec::with_capacity(parts.len() + 2);
+    all.push(crate::FLOW_VERSION.as_bytes());
+    all.push(stage.name().as_bytes());
+    for p in parts {
+        all.push(p.as_bytes());
+    }
+    crate::hash::digest_hex(&all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn hit_after_miss_returns_same_value_and_metrics() {
+        let cache = StageCache::new();
+        let key = stage_key(StageId::Pack, &["k"]);
+        let computed = AtomicUsize::new(0);
+        for round in 0..3 {
+            let (v, m, hit) = cache
+                .get_or_compute(StageId::Pack, &key, || {
+                    computed.fetch_add(1, Ordering::SeqCst);
+                    Ok((41usize + 1, serde_json::json!({"n": 7})))
+                })
+                .unwrap();
+            assert_eq!(*v, 42);
+            assert_eq!(m["n"], serde_json::json!(7u64));
+            assert_eq!(hit, round > 0);
+        }
+        assert_eq!(computed.load(Ordering::SeqCst), 1);
+        let s = cache.stats(StageId::Pack);
+        assert_eq!((s.misses, s.hits), (1, 2));
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let cache = StageCache::new();
+        let key = stage_key(StageId::Route, &["e"]);
+        let r = cache.get_or_compute::<usize>(StageId::Route, &key, || {
+            Err(crate::FlowError {
+                stage: "routing (VPR)",
+                message: "no".into(),
+            })
+        });
+        assert!(r.is_err());
+        assert_eq!(cache.len(), 0);
+        let (v, _, hit) = cache
+            .get_or_compute(StageId::Route, &key, || Ok((9usize, Value::Null)))
+            .unwrap();
+        assert_eq!((*v, hit), (9, false));
+    }
+
+    #[test]
+    fn single_flight_under_contention() {
+        let cache = Arc::new(StageCache::new());
+        let key = stage_key(StageId::LutMap, &["contended"]);
+        let computed = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let cache = Arc::clone(&cache);
+            let key = key.clone();
+            let computed = Arc::clone(&computed);
+            handles.push(std::thread::spawn(move || {
+                let (v, _, _) = cache
+                    .get_or_compute(StageId::LutMap, &key, || {
+                        computed.fetch_add(1, Ordering::SeqCst);
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        Ok((7usize, Value::Null))
+                    })
+                    .unwrap();
+                *v
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 7);
+        }
+        assert_eq!(
+            computed.load(Ordering::SeqCst),
+            1,
+            "exactly one computation"
+        );
+        let s = cache.stats(StageId::LutMap);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 7);
+    }
+
+    #[test]
+    fn keys_separate_stages_and_parts() {
+        let a = stage_key(StageId::Pack, &["x"]);
+        let b = stage_key(StageId::Place, &["x"]);
+        let c = stage_key(StageId::Pack, &["x", ""]);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 64);
+    }
+}

@@ -80,3 +80,13 @@ pub fn die(tool: &str, err: impl std::fmt::Display) -> ! {
     eprintln!("{tool}: error: {err}");
     std::process::exit(1);
 }
+
+/// Shared `--version` handling: when the flag is present, print the
+/// tool's name with the toolset version ([`crate::FLOW_VERSION`], the
+/// same string folded into stage-cache keys) and exit.
+pub fn handle_version(tool: &str, args: &Args) {
+    if args.flags.iter().any(|f| f == "version" || f == "V") {
+        println!("{tool} {}", crate::FLOW_VERSION);
+        std::process::exit(0);
+    }
+}

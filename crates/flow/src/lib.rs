@@ -19,13 +19,25 @@
 //! modularity requirement states; `flowctl` is the CLI stand-in for the
 //! web GUI.
 
+pub mod cache;
 pub mod cli;
+pub mod hash;
 pub mod pipeline;
 pub mod report;
+pub mod stages;
 pub mod svg;
 
-pub use pipeline::{run_blif, run_netlist, run_vhdl, FlowArtifacts, FlowOptions};
+pub use cache::{StageCache, StageId, StageStats};
+pub use pipeline::{
+    run_blif, run_blif_ctx, run_netlist, run_netlist_ctx, run_vhdl, run_vhdl_ctx, FlowArtifacts,
+    FlowCtx, FlowOptions,
+};
 pub use report::{FlowReport, StageReport};
+
+/// Single source of truth for the toolset's version, folded into every
+/// stage-cache key (a flow upgrade invalidates all cached stages) and
+/// reported by every tool binary's `--version`.
+pub const FLOW_VERSION: &str = concat!("ifdf-", env!("CARGO_PKG_VERSION"));
 
 /// Errors from any stage, tagged with the stage name.
 #[derive(Debug)]
@@ -46,5 +58,8 @@ pub type Result<T> = std::result::Result<T, FlowError>;
 
 /// Tag an error with its stage.
 pub fn stage_err<E: std::fmt::Display>(stage: &'static str) -> impl Fn(E) -> FlowError {
-    move |e| FlowError { stage, message: e.to_string() }
+    move |e| FlowError {
+        stage,
+        message: e.to_string(),
+    }
 }

@@ -1,23 +1,26 @@
 //! The end-to-end pipeline: VHDL/BLIF in, verified bitstream out.
+//!
+//! The work itself lives in [`crate::stages`] as individually-cacheable
+//! steps; this module composes them. [`FlowCtx`] carries the optional
+//! [`StageCache`] (content-addressed, shared across jobs by the flow
+//! server) and an optional per-stage observer used to stream progress to
+//! connected clients.
 
 use std::time::Instant;
 
-use fpga_arch::device::Device;
 use fpga_arch::Architecture;
-use fpga_bitstream::fabric::{verify_against_netlist, Fabric};
 use fpga_bitstream::Bitstream;
-use fpga_cells::caps::ClbCaps;
-use fpga_cells::tech::Tech;
 use fpga_netlist::{NetId, Netlist};
 use fpga_pack::Clustering;
-use fpga_place::{PlaceOptions, Placement};
+use fpga_place::Placement;
 use fpga_power::{PowerOptions, PowerReport};
 use fpga_route::rrgraph::RrGraph;
-use fpga_route::{RouteOptions, RouteResult};
-use fpga_synth::{map_to_luts, MapOptions};
+use fpga_route::RouteResult;
 
-use crate::report::FlowReport;
-use crate::{stage_err, FlowError, Result};
+use crate::cache::StageCache;
+use crate::report::{FlowReport, StageReport};
+use crate::stages::{self, Staged};
+use crate::Result;
 
 /// Flow configuration.
 #[derive(Clone, Debug)]
@@ -46,6 +49,26 @@ impl Default for FlowOptions {
     }
 }
 
+/// Per-run context: options plus the optional cross-job machinery.
+#[derive(Clone, Copy, Default)]
+pub struct FlowCtx<'a> {
+    /// Content-addressed stage cache shared across jobs, or `None` to
+    /// compute everything.
+    pub cache: Option<&'a StageCache>,
+    /// Called after each stage completes (hit or miss) with its report
+    /// entry; the flow server streams these to the submitting client.
+    pub observer: Option<&'a (dyn Fn(&StageReport) + Send + Sync)>,
+}
+
+impl<'a> FlowCtx<'a> {
+    pub fn with_cache(cache: &'a StageCache) -> Self {
+        FlowCtx {
+            cache: Some(cache),
+            observer: None,
+        }
+    }
+}
+
 /// Everything the flow produces.
 pub struct FlowArtifacts {
     pub rtl: Netlist,
@@ -64,199 +87,130 @@ pub struct FlowArtifacts {
 
 /// Run the full flow from VHDL source.
 pub fn run_vhdl(source: &str, opts: &FlowOptions) -> Result<FlowArtifacts> {
-    let t = Instant::now();
-    let rtl =
-        fpga_synth::diviner::synthesize(source).map_err(stage_err("synthesis"))?;
-    let mut report = FlowReport { design: rtl.name.clone(), ..Default::default() };
-    report.push(
-        "synthesis (VHDL Parser + DIVINER)",
-        serde_json::json!({
-            "cells": rtl.cells.len(),
-            "ffs": rtl.cell_counts().1,
-            "nets": rtl.nets.len(),
-        }),
-        t,
-    );
-    run_from_rtl(rtl, opts, report)
+    run_vhdl_ctx(source, opts, FlowCtx::default())
 }
 
 /// Run the flow from a BLIF file (entering after synthesis, as the
 /// paper's E2FMT hand-off does).
 pub fn run_blif(text: &str, opts: &FlowOptions) -> Result<FlowArtifacts> {
-    let t = Instant::now();
-    let rtl = fpga_netlist::blif::parse(text).map_err(stage_err("blif"))?;
-    rtl.validate().map_err(stage_err("blif"))?;
-    let mut report = FlowReport { design: rtl.name.clone(), ..Default::default() };
-    report.push(
-        "file upload (BLIF)",
-        serde_json::json!({"cells": rtl.cells.len()}),
-        t,
-    );
-    run_from_rtl(rtl, opts, report)
+    run_blif_ctx(text, opts, FlowCtx::default())
 }
 
 /// Run the flow from an in-memory gate-level netlist.
 pub fn run_netlist(rtl: Netlist, opts: &FlowOptions) -> Result<FlowArtifacts> {
-    let report = FlowReport { design: rtl.name.clone(), ..Default::default() };
-    run_from_rtl(rtl, opts, report)
+    run_netlist_ctx(rtl, opts, FlowCtx::default())
+}
+
+/// [`run_vhdl`] with a cache/observer context.
+pub fn run_vhdl_ctx(source: &str, opts: &FlowOptions, ctx: FlowCtx) -> Result<FlowArtifacts> {
+    let t = Instant::now();
+    let rtl = stages::synthesize_vhdl(source, ctx.cache)?;
+    let mut report = FlowReport {
+        design: rtl.value.name.clone(),
+        ..Default::default()
+    };
+    record(
+        &mut report,
+        &ctx,
+        "synthesis (VHDL Parser + DIVINER)",
+        &rtl,
+        t,
+    );
+    run_from_rtl(rtl, opts, ctx, report)
+}
+
+/// [`run_blif`] with a cache/observer context.
+pub fn run_blif_ctx(text: &str, opts: &FlowOptions, ctx: FlowCtx) -> Result<FlowArtifacts> {
+    let t = Instant::now();
+    let rtl = stages::parse_blif(text, ctx.cache)?;
+    let mut report = FlowReport {
+        design: rtl.value.name.clone(),
+        ..Default::default()
+    };
+    record(&mut report, &ctx, "file upload (BLIF)", &rtl, t);
+    run_from_rtl(rtl, opts, ctx, report)
+}
+
+/// [`run_netlist`] with a cache/observer context.
+pub fn run_netlist_ctx(rtl: Netlist, opts: &FlowOptions, ctx: FlowCtx) -> Result<FlowArtifacts> {
+    let report = FlowReport {
+        design: rtl.name.clone(),
+        ..Default::default()
+    };
+    run_from_rtl(stages::adopt_rtl(rtl), opts, ctx, report)
+}
+
+/// Append a stage's report entry (tagging cache hits) and notify the
+/// observer.
+fn record<T>(
+    report: &mut FlowReport,
+    ctx: &FlowCtx,
+    name: &str,
+    staged: &Staged<T>,
+    started: Instant,
+) {
+    let mut metrics = staged.metrics.clone();
+    if staged.cache_hit {
+        if let serde_json::Value::Object(m) = &mut metrics {
+            m.insert(
+                "cache".to_string(),
+                serde_json::Value::String("hit".to_string()),
+            );
+        }
+    }
+    report.push(name, metrics, started);
+    if let Some(observe) = ctx.observer {
+        observe(report.stages.last().expect("just pushed"));
+    }
 }
 
 fn run_from_rtl(
-    rtl: Netlist,
+    rtl: Staged<Netlist>,
     opts: &FlowOptions,
+    ctx: FlowCtx,
     mut report: FlowReport,
 ) -> Result<FlowArtifacts> {
-    // --- LUT mapping (SIS stage).
     let t = Instant::now();
-    let map_opts = MapOptions { k: opts.arch.clb.lut_k, cut_limit: 10 };
-    let (mut mapped, map_report) =
-        map_to_luts(&rtl, map_opts).map_err(stage_err("lut mapping (SIS)"))?;
-    report.push(
-        "lut mapping (SIS)",
-        serde_json::json!({
-            "luts": map_report.luts,
-            "depth": map_report.depth,
-            "ffs": map_report.ffs,
-        }),
-        t,
-    );
+    let mapped = stages::lut_map(&rtl, opts, ctx.cache)?;
+    record(&mut report, &ctx, "lut mapping (SIS)", &mapped, t);
 
-    // --- Packing (T-VPack).
     let t = Instant::now();
-    fpga_pack::absorb_constants(&mut mapped);
-    let clustering =
-        fpga_pack::pack(&mapped, &opts.arch.clb).map_err(stage_err("packing (T-VPack)"))?;
-    report.push(
-        "packing (T-VPack)",
-        serde_json::json!({
-            "bles": clustering.bles.len(),
-            "clbs": clustering.clusters.len(),
-            "utilization": clustering.utilization(),
-        }),
-        t,
-    );
+    let clustering = stages::pack(&mapped, &opts.arch, ctx.cache)?;
+    record(&mut report, &ctx, "packing (T-VPack)", &clustering, t);
 
-    // --- Placement (VPR).
     let t = Instant::now();
-    let io_count = mapped.inputs.len() + mapped.outputs.len() + 1;
-    let device = Device::sized_for(opts.arch.clone(), clustering.clusters.len(), io_count);
-    let placement = fpga_place::place(
-        &clustering,
-        device,
-        PlaceOptions { seed: opts.place_seed, inner_num: opts.place_effort },
-    )
-    .map_err(stage_err("placement (VPR)"))?;
-    report.push(
-        "placement (VPR)",
-        serde_json::json!({
-            "grid_w": placement.device.width,
-            "grid_h": placement.device.height,
-            "cost": placement.cost,
-            "hpwl": placement.hpwl(),
-        }),
-        t,
-    );
+    let placement = stages::place(&clustering, opts, ctx.cache)?;
+    record(&mut report, &ctx, "placement (VPR)", &placement, t);
 
-    // --- Routing (VPR).
     let t = Instant::now();
-    let route_opts = RouteOptions::default();
-    let (graph, routing) = match opts.channel_width {
-        Some(w) => {
-            let g = RrGraph::build(&placement.device, w);
-            let r = fpga_route::route(&clustering, &placement, &g, &route_opts)
-                .map_err(stage_err("routing (VPR)"))?;
-            (g, r)
-        }
-        None => {
-            let (w, r) = fpga_route::find_min_channel_width(
-                &clustering,
-                &placement,
-                &route_opts,
-                128,
-            )
-            .map_err(stage_err("routing (VPR)"))?;
-            (RrGraph::build(&placement.device, w), r)
-        }
-    };
-    let sta = fpga_route::analyze_paths(
-        &clustering,
-        &placement,
-        &routing,
-        &graph,
-        &fpga_route::timing::TimingModel::default(),
-        &fpga_route::LogicDelays::default(),
-    );
-    report.push(
-        "routing (VPR)",
-        serde_json::json!({
-            "channel_width": routing.channel_width,
-            "wirelength": routing.wirelength,
-            "iterations": routing.iterations,
-            "critical_ns": sta.critical_delay * 1e9,
-            "fmax_mhz": sta.fmax() / 1e6,
-        }),
-        t,
-    );
-    let critical_nets = sta.critical_path.clone();
+    let routed = stages::route(&clustering, &placement, opts, ctx.cache)?;
+    record(&mut report, &ctx, "routing (VPR)", &routed, t);
 
-    // --- Power estimation (PowerModel).
     let t = Instant::now();
-    let tech = Tech::stm018();
-    let caps = ClbCaps::from_designs(&tech);
-    let power =
-        fpga_power::estimate(&clustering, Some((&routing, &graph)), &tech, &caps, &opts.power)
-            .map_err(|m| FlowError { stage: "power (PowerModel)", message: m })?;
-    report.push(
-        "power (PowerModel)",
-        serde_json::json!({
-            "dynamic_mw": power.dynamic() * 1e3,
-            "total_mw": power.total() * 1e3,
-        }),
-        t,
-    );
+    let power = stages::power(&clustering, &routed, opts, ctx.cache)?;
+    record(&mut report, &ctx, "power (PowerModel)", &power, t);
 
-    // --- Bitstream generation (DAGGER).
     let t = Instant::now();
-    let bitstream = fpga_bitstream::generate(&clustering, &placement, &routing, &graph)
-        .map_err(stage_err("bitstream (DAGGER)"))?;
-    let bitstream_bytes = fpga_bitstream::frames::write(&bitstream);
-    let budget = fpga_bitstream::config::bit_budget(&bitstream);
-    report.push(
-        "bitstream (DAGGER)",
-        serde_json::json!({
-            "bytes": bitstream_bytes.len(),
-            "config_bits": budget.total(),
-        }),
-        t,
-    );
+    let bits = stages::bitstream(&clustering, &placement, &routed, ctx.cache)?;
+    record(&mut report, &ctx, "bitstream (DAGGER)", &bits, t);
 
-    // --- Verification: emulate the configured fabric against the mapped
-    // netlist (the flow's "program the FPGA and check" step).
     if opts.verify_cycles > 0 {
         let t = Instant::now();
-        let parsed = fpga_bitstream::frames::parse(&bitstream_bytes)
-            .map_err(stage_err("verify (fabric)"))?;
-        let mut fabric = Fabric::new(parsed).map_err(stage_err("verify (fabric)"))?;
-        verify_against_netlist(&mut fabric, &mapped, opts.verify_cycles, 0xF00D)
-            .map_err(stage_err("verify (fabric)"))?;
-        report.push(
-            "verify (fabric emulation)",
-            serde_json::json!({"cycles": opts.verify_cycles, "match": true}),
-            t,
-        );
+        let verified = stages::verify(&bits, &mapped, opts.verify_cycles, ctx.cache)?;
+        record(&mut report, &ctx, "verify (fabric emulation)", &verified, t);
     }
 
     Ok(FlowArtifacts {
-        rtl,
-        mapped,
-        clustering,
-        placement,
-        graph,
-        routing,
-        critical_nets,
-        power,
-        bitstream,
-        bitstream_bytes,
+        rtl: (*rtl.value).clone(),
+        mapped: (*mapped.value).clone(),
+        clustering: (*clustering.value).clone(),
+        placement: (*placement.value).clone(),
+        graph: routed.value.graph.clone(),
+        routing: routed.value.routing.clone(),
+        critical_nets: routed.value.critical_nets.clone(),
+        power: *power.value,
+        bitstream: bits.value.bitstream.clone(),
+        bitstream_bytes: bits.value.bytes.clone(),
         report,
     })
 }
@@ -264,6 +218,7 @@ fn run_from_rtl(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cache::{StageId, STAGES};
 
     #[test]
     fn vhdl_counter_to_verified_bitstream() {
@@ -298,7 +253,10 @@ mod tests {
     #[test]
     fn netlist_flow_with_fixed_channel() {
         let nl = fpga_circuits::ripple_adder(4);
-        let opts = FlowOptions { channel_width: Some(14), ..FlowOptions::default() };
+        let opts = FlowOptions {
+            channel_width: Some(14),
+            ..FlowOptions::default()
+        };
         let art = run_netlist(nl, &opts).unwrap();
         assert_eq!(art.routing.channel_width, 14);
     }
@@ -308,6 +266,54 @@ mod tests {
         match run_vhdl("entity oops", &FlowOptions::default()) {
             Err(err) => assert_eq!(err.stage, "synthesis"),
             Ok(_) => panic!("bad VHDL must fail"),
+        }
+    }
+
+    #[test]
+    fn cached_rerun_recomputes_nothing_and_matches_bytes() {
+        let cache = StageCache::new();
+        let src = fpga_circuits::vhdl_counter(3);
+        let opts = FlowOptions::default();
+
+        let cold = run_vhdl_ctx(&src, &opts, FlowCtx::with_cache(&cache)).unwrap();
+        for stage in STAGES {
+            let s = cache.stats(stage);
+            assert_eq!((s.misses, s.hits), (1, 0), "{}", stage.name());
+        }
+
+        let warm = run_vhdl_ctx(&src, &opts, FlowCtx::with_cache(&cache)).unwrap();
+        for stage in STAGES {
+            let s = cache.stats(stage);
+            assert_eq!((s.misses, s.hits), (1, 1), "{}", stage.name());
+        }
+        assert_eq!(cold.bitstream_bytes, warm.bitstream_bytes);
+        assert!(warm
+            .report
+            .stages
+            .iter()
+            .all(|s| s.metrics["cache"] == serde_json::json!("hit")));
+    }
+
+    #[test]
+    fn cache_shares_backend_stages_across_seeds() {
+        let cache = StageCache::new();
+        let src = fpga_circuits::vhdl_counter(3);
+        let a = FlowOptions::default();
+        let b = FlowOptions {
+            place_seed: 99,
+            ..FlowOptions::default()
+        };
+        run_vhdl_ctx(&src, &a, FlowCtx::with_cache(&cache)).unwrap();
+        run_vhdl_ctx(&src, &b, FlowCtx::with_cache(&cache)).unwrap();
+        // Front end (synth/map/pack) is seed-independent: shared.
+        for stage in [StageId::Synthesis, StageId::LutMap, StageId::Pack] {
+            let s = cache.stats(stage);
+            assert_eq!((s.misses, s.hits), (1, 1), "{}", stage.name());
+        }
+        // Placement and everything chained after it re-ran.
+        for stage in [StageId::Place, StageId::Route, StageId::Bitstream] {
+            let s = cache.stats(stage);
+            assert_eq!((s.misses, s.hits), (2, 0), "{}", stage.name());
         }
     }
 }

@@ -21,12 +21,7 @@ pub struct FlowReport {
 }
 
 impl FlowReport {
-    pub fn push(
-        &mut self,
-        stage: &str,
-        metrics: serde_json::Value,
-        started: std::time::Instant,
-    ) {
+    pub fn push(&mut self, stage: &str, metrics: serde_json::Value, started: std::time::Instant) {
         self.stages.push(StageReport {
             stage: stage.to_string(),
             ok: true,
@@ -71,7 +66,10 @@ mod tests {
 
     #[test]
     fn report_roundtrip_and_summary() {
-        let mut r = FlowReport { design: "demo".into(), ..Default::default() };
+        let mut r = FlowReport {
+            design: "demo".into(),
+            ..Default::default()
+        };
         let t = std::time::Instant::now();
         r.push("synthesis", serde_json::json!({"cells": 42}), t);
         r.push("pack", serde_json::json!({"clbs": 7, "util": 0.9}), t);

@@ -1,0 +1,353 @@
+//! The pipeline, decomposed into resumable, individually-cacheable stage
+//! steps.
+//!
+//! Each step takes its typed inputs plus an optional [`StageCache`] and
+//! returns a [`Staged`] output: the value (shared via `Arc` so cached
+//! entries are never deep-copied on a hit), the stage's content-address
+//! key, the metrics it reported, and whether the cache served it. Keys
+//! chain: a step's key digests its upstream step's key plus its own
+//! options, so content addressing holds transitively — see
+//! [`crate::cache`] for the scheme.
+//!
+//! [`crate::pipeline`] composes these steps into the classic end-to-end
+//! runs; the flow server (`fpga-server`) drives them with a shared cache
+//! and a per-stage observer.
+
+use std::any::Any;
+use std::sync::Arc;
+
+use fpga_arch::device::Device;
+use fpga_arch::Architecture;
+use fpga_bitstream::fabric::{verify_against_netlist, Fabric};
+use fpga_bitstream::Bitstream;
+use fpga_cells::caps::ClbCaps;
+use fpga_cells::tech::Tech;
+use fpga_netlist::{canonical_text, NetId, Netlist};
+use fpga_pack::Clustering;
+use fpga_place::{PlaceOptions, Placement};
+use fpga_power::PowerReport;
+use fpga_route::rrgraph::RrGraph;
+use fpga_route::{RouteOptions, RouteResult};
+use fpga_synth::{map_to_luts, MapOptions};
+use serde_json::Value;
+
+use crate::cache::{stage_key, StageCache, StageId};
+use crate::pipeline::FlowOptions;
+use crate::{stage_err, FlowError, Result};
+
+/// One stage step's output.
+pub struct Staged<T> {
+    pub value: Arc<T>,
+    /// Content-address of this output (chains the upstream stage's key).
+    pub key: String,
+    /// The metrics the stage reported when it (first) ran.
+    pub metrics: Value,
+    /// Whether this invocation was served from the cache.
+    pub cache_hit: bool,
+}
+
+/// Routing's bundled output: the stage is only meaningful as a whole.
+pub struct RoutedDesign {
+    pub graph: RrGraph,
+    pub routing: RouteResult,
+    /// Nets on the reported critical path (from the STA), source first.
+    pub critical_nets: Vec<NetId>,
+}
+
+/// Bitstream generation's bundled output.
+pub struct GeneratedBitstream {
+    pub bitstream: Bitstream,
+    pub bytes: Vec<u8>,
+}
+
+/// Run `compute` through the cache when one is present, directly
+/// otherwise.
+fn run_step<T: Any + Send + Sync>(
+    cache: Option<&StageCache>,
+    stage: StageId,
+    key: String,
+    compute: impl FnOnce() -> Result<(T, Value)>,
+) -> Result<Staged<T>> {
+    match cache {
+        Some(c) => {
+            let (value, metrics, cache_hit) = c.get_or_compute(stage, &key, compute)?;
+            Ok(Staged {
+                value,
+                key,
+                metrics,
+                cache_hit,
+            })
+        }
+        None => {
+            let (value, metrics) = compute()?;
+            Ok(Staged {
+                value: Arc::new(value),
+                key,
+                metrics,
+                cache_hit: false,
+            })
+        }
+    }
+}
+
+/// Synthesis: VHDL source to a gate-level netlist (VHDL Parser +
+/// DIVINER). Keyed on the source text itself.
+pub fn synthesize_vhdl(source: &str, cache: Option<&StageCache>) -> Result<Staged<Netlist>> {
+    let key = stage_key(StageId::Synthesis, &["vhdl", source]);
+    run_step(cache, StageId::Synthesis, key, || {
+        let rtl = fpga_synth::diviner::synthesize(source).map_err(stage_err("synthesis"))?;
+        let metrics = serde_json::json!({
+            "cells": rtl.cells.len(),
+            "ffs": rtl.cell_counts().1,
+            "nets": rtl.nets.len(),
+        });
+        Ok((rtl, metrics))
+    })
+}
+
+/// BLIF upload: parse + validate (the paper's E2FMT hand-off entry).
+/// Shares the synthesis counters — it is the flow's front door.
+pub fn parse_blif(text: &str, cache: Option<&StageCache>) -> Result<Staged<Netlist>> {
+    let key = stage_key(StageId::Synthesis, &["blif", text]);
+    run_step(cache, StageId::Synthesis, key, || {
+        let rtl = fpga_netlist::blif::parse(text).map_err(stage_err("blif"))?;
+        rtl.validate().map_err(stage_err("blif"))?;
+        let metrics = serde_json::json!({"cells": rtl.cells.len()});
+        Ok((rtl, metrics))
+    })
+}
+
+/// Wrap an already-synthesized netlist as a stage output without running
+/// (or counting) anything: the key is its canonical content.
+pub fn adopt_rtl(rtl: Netlist) -> Staged<Netlist> {
+    let key = stage_key(StageId::Synthesis, &["netlist", &canonical_text(&rtl)]);
+    Staged {
+        value: Arc::new(rtl),
+        key,
+        metrics: Value::Null,
+        cache_hit: false,
+    }
+}
+
+/// LUT mapping (SIS) plus constant absorption. Keyed on the *canonical*
+/// netlist text — not the upstream key — so equivalent logic reaching
+/// this point from different front doors (VHDL, BLIF, in-memory) shares
+/// cache entries from here down.
+pub fn lut_map(
+    rtl: &Staged<Netlist>,
+    opts: &FlowOptions,
+    cache: Option<&StageCache>,
+) -> Result<Staged<Netlist>> {
+    let map_opts = MapOptions {
+        k: opts.arch.clb.lut_k,
+        cut_limit: 10,
+    };
+    let fingerprint = format!("k={} cut_limit={}", map_opts.k, map_opts.cut_limit);
+    let key = stage_key(
+        StageId::LutMap,
+        &[&canonical_text(&rtl.value), &fingerprint],
+    );
+    let rtl = Arc::clone(&rtl.value);
+    run_step(cache, StageId::LutMap, key, move || {
+        let (mut mapped, map_report) =
+            map_to_luts(&rtl, map_opts).map_err(stage_err("lut mapping (SIS)"))?;
+        fpga_pack::absorb_constants(&mut mapped);
+        let metrics = serde_json::json!({
+            "luts": map_report.luts,
+            "depth": map_report.depth,
+            "ffs": map_report.ffs,
+        });
+        Ok((mapped, metrics))
+    })
+}
+
+/// Packing (T-VPack): BLEs into CLBs.
+pub fn pack(
+    mapped: &Staged<Netlist>,
+    arch: &Architecture,
+    cache: Option<&StageCache>,
+) -> Result<Staged<Clustering>> {
+    let key = stage_key(StageId::Pack, &[&mapped.key, &arch.canonical_text()]);
+    let mapped = Arc::clone(&mapped.value);
+    let clb = arch.clb.clone();
+    run_step(cache, StageId::Pack, key, move || {
+        let clustering = fpga_pack::pack(&mapped, &clb).map_err(stage_err("packing (T-VPack)"))?;
+        let metrics = serde_json::json!({
+            "bles": clustering.bles.len(),
+            "clbs": clustering.clusters.len(),
+            "utilization": clustering.utilization(),
+        });
+        Ok((clustering, metrics))
+    })
+}
+
+/// Placement (VPR simulated annealing).
+pub fn place(
+    clustering: &Staged<Clustering>,
+    opts: &FlowOptions,
+    cache: Option<&StageCache>,
+) -> Result<Staged<Placement>> {
+    let fingerprint = format!("seed={} inner_num={}", opts.place_seed, opts.place_effort);
+    let key = stage_key(
+        StageId::Place,
+        &[&clustering.key, &opts.arch.canonical_text(), &fingerprint],
+    );
+    let clustering = Arc::clone(&clustering.value);
+    let arch = opts.arch.clone();
+    let place_opts = PlaceOptions {
+        seed: opts.place_seed,
+        inner_num: opts.place_effort,
+    };
+    run_step(cache, StageId::Place, key, move || {
+        let nl = &clustering.netlist;
+        let io_count = nl.inputs.len() + nl.outputs.len() + 1;
+        let device = Device::sized_for(arch, clustering.clusters.len(), io_count);
+        let placement = fpga_place::place(&clustering, device, place_opts)
+            .map_err(stage_err("placement (VPR)"))?;
+        let metrics = serde_json::json!({
+            "grid_w": placement.device.width,
+            "grid_h": placement.device.height,
+            "cost": placement.cost,
+            "hpwl": placement.hpwl(),
+        });
+        Ok((placement, metrics))
+    })
+}
+
+/// Routing (VPR PathFinder) plus static timing analysis.
+pub fn route(
+    clustering: &Staged<Clustering>,
+    placement: &Staged<Placement>,
+    opts: &FlowOptions,
+    cache: Option<&StageCache>,
+) -> Result<Staged<RoutedDesign>> {
+    let fingerprint = format!("channel_width={:?}", opts.channel_width);
+    let key = stage_key(StageId::Route, &[&placement.key, &fingerprint]);
+    let clustering = Arc::clone(&clustering.value);
+    let placement = Arc::clone(&placement.value);
+    let channel_width = opts.channel_width;
+    run_step(cache, StageId::Route, key, move || {
+        let route_opts = RouteOptions::default();
+        let (graph, routing) = match channel_width {
+            Some(w) => {
+                let g = RrGraph::build(&placement.device, w);
+                let r = fpga_route::route(&clustering, &placement, &g, &route_opts)
+                    .map_err(stage_err("routing (VPR)"))?;
+                (g, r)
+            }
+            None => {
+                let (w, r) =
+                    fpga_route::find_min_channel_width(&clustering, &placement, &route_opts, 128)
+                        .map_err(stage_err("routing (VPR)"))?;
+                (RrGraph::build(&placement.device, w), r)
+            }
+        };
+        let sta = fpga_route::analyze_paths(
+            &clustering,
+            &placement,
+            &routing,
+            &graph,
+            &fpga_route::timing::TimingModel::default(),
+            &fpga_route::LogicDelays::default(),
+        );
+        let metrics = serde_json::json!({
+            "channel_width": routing.channel_width,
+            "wirelength": routing.wirelength,
+            "iterations": routing.iterations,
+            "critical_ns": sta.critical_delay * 1e9,
+            "fmax_mhz": sta.fmax() / 1e6,
+        });
+        let routed = RoutedDesign {
+            graph,
+            routing,
+            critical_nets: sta.critical_path.clone(),
+        };
+        Ok((routed, metrics))
+    })
+}
+
+/// Power estimation (PowerModel) over the routed design.
+pub fn power(
+    clustering: &Staged<Clustering>,
+    routed: &Staged<RoutedDesign>,
+    opts: &FlowOptions,
+    cache: Option<&StageCache>,
+) -> Result<Staged<PowerReport>> {
+    // PowerOptions is a plain value struct: its Debug form spells out
+    // every field, which is all a process-local key needs.
+    let key = stage_key(StageId::Power, &[&routed.key, &format!("{:?}", opts.power)]);
+    let clustering = Arc::clone(&clustering.value);
+    let routed = Arc::clone(&routed.value);
+    let power_opts = opts.power.clone();
+    run_step(cache, StageId::Power, key, move || {
+        let tech = Tech::stm018();
+        let caps = ClbCaps::from_designs(&tech);
+        let power = fpga_power::estimate(
+            &clustering,
+            Some((&routed.routing, &routed.graph)),
+            &tech,
+            &caps,
+            &power_opts,
+        )
+        .map_err(|m| FlowError {
+            stage: "power (PowerModel)",
+            message: m,
+        })?;
+        let metrics = serde_json::json!({
+            "dynamic_mw": power.dynamic() * 1e3,
+            "total_mw": power.total() * 1e3,
+        });
+        Ok((power, metrics))
+    })
+}
+
+/// Bitstream generation (DAGGER): frames plus the serialized bytes.
+pub fn bitstream(
+    clustering: &Staged<Clustering>,
+    placement: &Staged<Placement>,
+    routed: &Staged<RoutedDesign>,
+    cache: Option<&StageCache>,
+) -> Result<Staged<GeneratedBitstream>> {
+    let key = stage_key(StageId::Bitstream, &[&routed.key]);
+    let clustering = Arc::clone(&clustering.value);
+    let placement = Arc::clone(&placement.value);
+    let routed = Arc::clone(&routed.value);
+    run_step(cache, StageId::Bitstream, key, move || {
+        let bitstream =
+            fpga_bitstream::generate(&clustering, &placement, &routed.routing, &routed.graph)
+                .map_err(stage_err("bitstream (DAGGER)"))?;
+        let bytes = fpga_bitstream::frames::write(&bitstream);
+        let budget = fpga_bitstream::config::bit_budget(&bitstream);
+        let metrics = serde_json::json!({
+            "bytes": bytes.len(),
+            "config_bits": budget.total(),
+        });
+        Ok((GeneratedBitstream { bitstream, bytes }, metrics))
+    })
+}
+
+/// Verification: emulate the configured fabric against the mapped netlist
+/// (the flow's "program the FPGA and check" step). The cached value is
+/// the *fact that it passed* for this (bitstream, netlist, cycles) triple.
+pub fn verify(
+    bits: &Staged<GeneratedBitstream>,
+    mapped: &Staged<Netlist>,
+    cycles: usize,
+    cache: Option<&StageCache>,
+) -> Result<Staged<()>> {
+    let key = stage_key(
+        StageId::Verify,
+        &[&bits.key, &mapped.key, &format!("cycles={cycles}")],
+    );
+    let bits = Arc::clone(&bits.value);
+    let mapped = Arc::clone(&mapped.value);
+    run_step(cache, StageId::Verify, key, move || {
+        let parsed =
+            fpga_bitstream::frames::parse(&bits.bytes).map_err(stage_err("verify (fabric)"))?;
+        let mut fabric = Fabric::new(parsed).map_err(stage_err("verify (fabric)"))?;
+        verify_against_netlist(&mut fabric, &mapped, cycles, 0xF00D)
+            .map_err(stage_err("verify (fabric)"))?;
+        let metrics = serde_json::json!({"cycles": cycles, "match": true});
+        Ok(((), metrics))
+    })
+}

@@ -29,7 +29,11 @@ pub fn render_layout(art: &FlowArtifacts) -> String {
         r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w_px}" height="{h_px}" viewBox="{} {} {w_px} {h_px}">"#,
         -PAD, -PAD
     );
-    let _ = writeln!(s, r#"<rect x="{}" y="{}" width="{w_px}" height="{h_px}" fill="white"/>"#, -PAD, -PAD);
+    let _ = writeln!(
+        s,
+        r#"<rect x="{}" y="{}" width="{w_px}" height="{h_px}" fill="white"/>"#,
+        -PAD, -PAD
+    );
 
     // Tiles.
     for y in 0..ey {

@@ -89,10 +89,8 @@ pub fn parse(text: &str) -> Result<Netlist> {
                         msg: ".names needs at least an output".into(),
                     });
                 }
-                let (input_names, output_name) =
-                    signals.split_at(signals.len() - 1);
-                let inputs: Vec<_> =
-                    input_names.iter().map(|s| netlist.net(s)).collect();
+                let (input_names, output_name) = signals.split_at(signals.len() - 1);
+                let inputs: Vec<_> = input_names.iter().map(|s| netlist.net(s)).collect();
                 let output = netlist.net(output_name[0]);
                 // Collect the cover rows.
                 let mut on_cubes = Vec::new();
@@ -152,21 +150,24 @@ pub fn parse(text: &str) -> Result<Netlist> {
                             "off-set cover with more than 6 inputs".into(),
                         ));
                     }
-                    let off = SopCover { n_inputs: input_names.len(), cubes: off_cubes };
+                    let off = SopCover {
+                        n_inputs: input_names.len(),
+                        cubes: off_cubes,
+                    };
                     let tt = off.truth_table().unwrap();
                     let mask = if input_names.len() == 6 {
                         !0u64
                     } else {
                         (1u64 << (1 << input_names.len())) - 1
                     };
-                    CellKind::Sop(SopCover::from_truth_table(
-                        input_names.len(),
-                        !tt & mask,
-                    ))
+                    CellKind::Sop(SopCover::from_truth_table(input_names.len(), !tt & mask))
                 } else if on_cubes.is_empty() {
                     CellKind::Sop(SopCover::const0(input_names.len()))
                 } else {
-                    CellKind::Sop(SopCover { n_inputs: input_names.len(), cubes: on_cubes })
+                    CellKind::Sop(SopCover {
+                        n_inputs: input_names.len(),
+                        cubes: on_cubes,
+                    })
                 };
                 let cell_name = format!("names{names_counter}_{output_name:?}");
                 names_counter += 1;
@@ -234,7 +235,10 @@ pub fn parse(text: &str) -> Result<Netlist> {
         }
     }
     if !saw_model {
-        return Err(NetlistError::Parse { line: 1, msg: "no .model found".into() });
+        return Err(NetlistError::Parse {
+            line: 1,
+            msg: "no .model found".into(),
+        });
     }
     Ok(netlist)
 }
@@ -309,20 +313,36 @@ pub fn cover_for(kind: &CellKind, n: usize) -> Result<SopCover> {
         CellKind::Not => SopCover::literal(n, 0, false),
         CellKind::And => {
             let care = (1u64 << n) - 1;
-            SopCover { n_inputs: n, cubes: vec![Cube { care, value: care }] }
+            SopCover {
+                n_inputs: n,
+                cubes: vec![Cube { care, value: care }],
+            }
         }
         CellKind::Nand => {
             // OR of single-zero literals.
-            let cubes = (0..n).map(|i| Cube { care: 1 << i, value: 0 }).collect();
+            let cubes = (0..n)
+                .map(|i| Cube {
+                    care: 1 << i,
+                    value: 0,
+                })
+                .collect();
             SopCover { n_inputs: n, cubes }
         }
         CellKind::Or => {
-            let cubes = (0..n).map(|i| Cube { care: 1 << i, value: 1 << i }).collect();
+            let cubes = (0..n)
+                .map(|i| Cube {
+                    care: 1 << i,
+                    value: 1 << i,
+                })
+                .collect();
             SopCover { n_inputs: n, cubes }
         }
         CellKind::Nor => {
             let care = (1u64 << n) - 1;
-            SopCover { n_inputs: n, cubes: vec![Cube { care, value: 0 }] }
+            SopCover {
+                n_inputs: n,
+                cubes: vec![Cube { care, value: 0 }],
+            }
         }
         CellKind::Xor | CellKind::Xnor => {
             if n > 6 {
@@ -349,9 +369,7 @@ pub fn cover_for(kind: &CellKind, n: usize) -> Result<SopCover> {
             }
         }
         CellKind::Lut { k, truth } => SopCover::from_truth_table(*k as usize, *truth),
-        CellKind::Dff { .. } => {
-            return Err(NetlistError::Validate("FF has no cover".into()))
-        }
+        CellKind::Dff { .. } => return Err(NetlistError::Validate("FF has no cover".into())),
     })
 }
 

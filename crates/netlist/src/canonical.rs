@@ -1,0 +1,159 @@
+//! Canonical, whitespace-stable textual form of a netlist.
+//!
+//! The flow server's stage cache keys each stage by a hash of its input,
+//! so two submissions of the *same logic* must hash identically even when
+//! the in-memory representation differs in storage order. This module
+//! defines that stable form:
+//!
+//! * nets are listed sorted by name (net *names* are the stable identity;
+//!   [`NetId`] indices never appear in the output, so permuting the `nets`
+//!   vector — with cell references remapped — leaves the text unchanged);
+//! * cells are listed sorted by the name of the net they drive (a valid
+//!   netlist has a single driver per net, so this is a total order) and
+//!   cell names are omitted — they are labels, not logic;
+//! * per-cell *input order* is preserved: it selects LUT truth-table rows
+//!   and SOP columns, so it is logic-visible;
+//! * primary input/output/clock lists keep their declared order: port
+//!   order decides IO placement downstream, so it is flow-visible.
+//!
+//! Everything logic- or flow-visible lands in the text; anything that is
+//! only a storage artifact does not. Renaming nets changes the text (a
+//! harmless cache miss), reordering storage does not.
+
+use crate::ir::{CellKind, Netlist};
+
+/// Render the canonical form. Stable across cell/net storage reordering;
+/// any logic-visible mutation (connectivity, truth tables, covers, FF
+/// init/clocking, port lists) changes the output.
+pub fn canonical_text(n: &Netlist) -> String {
+    let mut out = String::with_capacity(64 * (n.cells.len() + n.nets.len() + 4));
+    out.push_str("design ");
+    out.push_str(&n.name);
+    out.push('\n');
+
+    for (label, list) in [
+        ("inputs", &n.inputs),
+        ("outputs", &n.outputs),
+        ("clocks", &n.clocks),
+    ] {
+        out.push_str(label);
+        for &id in list {
+            out.push(' ');
+            out.push_str(n.net_name(id));
+        }
+        out.push('\n');
+    }
+
+    let mut net_names: Vec<&str> = n.nets.iter().map(|net| net.name.as_str()).collect();
+    net_names.sort_unstable();
+    out.push_str("nets");
+    for name in net_names {
+        out.push(' ');
+        out.push_str(name);
+    }
+    out.push('\n');
+
+    let mut cell_lines: Vec<String> = n
+        .cells
+        .iter()
+        .map(|c| {
+            let mut line = String::from("cell ");
+            line.push_str(n.net_name(c.output));
+            line.push_str(" = ");
+            line.push_str(&kind_canonical(n, &c.kind));
+            for &i in &c.inputs {
+                line.push(' ');
+                line.push_str(n.net_name(i));
+            }
+            line
+        })
+        .collect();
+    cell_lines.sort_unstable();
+    for line in cell_lines {
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Canonical spelling of a cell kind, with net references by name (never
+/// by index) so the text survives net-storage permutation.
+fn kind_canonical(n: &Netlist, kind: &CellKind) -> String {
+    match kind {
+        CellKind::Lut { k, truth } => format!("lut{k}:{truth:016x}"),
+        CellKind::Sop(cover) => {
+            // Cube order within a cover is an OR of products — not
+            // logic-visible — so sort the patterns too.
+            let mut pats: Vec<String> = cover
+                .cubes
+                .iter()
+                .map(|c| c.to_pattern(cover.n_inputs))
+                .collect();
+            pats.sort_unstable();
+            format!("sop{}:{}", cover.n_inputs, pats.join(","))
+        }
+        CellKind::Dff { clock, init } => {
+            format!("dff(clk={},init={})", n.net_name(*clock), u8::from(*init))
+        }
+        other => other.mnemonic().to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{CellKind, NetId, Netlist};
+
+    fn xor_pair() -> Netlist {
+        let mut n = Netlist::new("t");
+        let a = n.net("a");
+        let b = n.net("b");
+        let y = n.net("y");
+        let z = n.net("z");
+        n.inputs = vec![a, b];
+        n.outputs = vec![y, z];
+        n.add_cell("g1", CellKind::Xor, vec![a, b], y);
+        n.add_cell("g2", CellKind::Nand, vec![b, a], z);
+        n
+    }
+
+    #[test]
+    fn cell_storage_order_is_invisible() {
+        let n1 = xor_pair();
+        let mut n2 = xor_pair();
+        n2.cells.reverse();
+        assert_eq!(canonical_text(&n1), canonical_text(&n2));
+    }
+
+    #[test]
+    fn net_storage_order_is_invisible() {
+        let n1 = xor_pair();
+        // Rebuild with nets interned in a different order; same logic.
+        let mut n2 = Netlist::new("t");
+        let z = n2.net("z");
+        let y = n2.net("y");
+        let b = n2.net("b");
+        let a = n2.net("a");
+        n2.inputs = vec![a, b];
+        n2.outputs = vec![y, z];
+        n2.add_cell("q1", CellKind::Xor, vec![a, b], y);
+        n2.add_cell("q2", CellKind::Nand, vec![b, a], z);
+        assert_eq!(canonical_text(&n1), canonical_text(&n2));
+    }
+
+    #[test]
+    fn input_order_is_visible() {
+        let n1 = xor_pair();
+        let mut n2 = xor_pair();
+        n2.cells[1].inputs = vec![NetId(0), NetId(1)]; // swap nand's a,b
+        assert_ne!(canonical_text(&n1), canonical_text(&n2));
+    }
+
+    #[test]
+    fn port_order_is_visible() {
+        let n1 = xor_pair();
+        let mut n2 = xor_pair();
+        n2.outputs.reverse();
+        assert_ne!(canonical_text(&n1), canonical_text(&n2));
+    }
+}

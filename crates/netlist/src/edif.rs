@@ -132,9 +132,15 @@ pub fn parse_sexp(text: &str) -> Result<Sexp> {
         }
     }
     if !stack.is_empty() {
-        return Err(NetlistError::Parse { line, msg: "unbalanced '('".into() });
+        return Err(NetlistError::Parse {
+            line,
+            msg: "unbalanced '('".into(),
+        });
     }
-    top.ok_or(NetlistError::Parse { line, msg: "empty document".into() })
+    top.ok_or(NetlistError::Parse {
+        line,
+        msg: "empty document".into(),
+    })
 }
 
 /// Primitive cell descriptions: ordered input pin names and output pin.
@@ -183,11 +189,16 @@ fn primitive_kind(cell: &str, clock: NetId) -> Result<CellKind> {
                 ("XOR", CellKind::Xor),
                 ("OR", CellKind::Or),
             ] {
-                if upper.strip_prefix(prefix).is_some_and(|r| r.parse::<usize>().is_ok()) {
+                if upper
+                    .strip_prefix(prefix)
+                    .is_some_and(|r| r.parse::<usize>().is_ok())
+                {
                     return Ok(kind);
                 }
             }
-            return Err(NetlistError::Unsupported(format!("EDIF primitive '{cell}'")));
+            return Err(NetlistError::Unsupported(format!(
+                "EDIF primitive '{cell}'"
+            )));
         }
     })
 }
@@ -196,16 +207,16 @@ fn primitive_kind(cell: &str, clock: NetId) -> Result<CellKind> {
 pub fn parse(text: &str) -> Result<Netlist> {
     let doc = parse_sexp(text)?;
     if doc.head().as_deref() != Some("edif") {
-        return Err(NetlistError::Parse { line: 1, msg: "not an EDIF document".into() });
+        return Err(NetlistError::Parse {
+            line: 1,
+            msg: "not an EDIF document".into(),
+        });
     }
 
     // Find the design cell: the last cell of the last library that has
     // contents with instances (primitive libraries have no contents).
     let mut design: Option<&Sexp> = None;
-    for lib in doc
-        .find_all("library")
-        .chain(doc.find_all("external"))
-    {
+    for lib in doc.find_all("library").chain(doc.find_all("external")) {
         for cell in lib.find_all("cell") {
             let has_contents = cell
                 .find("view")
@@ -309,16 +320,16 @@ pub fn parse(text: &str) -> Result<Netlist> {
     let mut insts: Vec<(&String, &String)> = inst_cell.iter().collect();
     insts.sort();
     for (iname, cellname) in insts {
-        let (in_pins, out_pin) = primitive_pins(cellname).ok_or_else(|| {
-            NetlistError::Unsupported(format!("EDIF primitive '{cellname}'"))
-        })?;
+        let (in_pins, out_pin) = primitive_pins(cellname)
+            .ok_or_else(|| NetlistError::Unsupported(format!("EDIF primitive '{cellname}'")))?;
         let lookup = |pin: &str| -> Result<NetId> {
-            pin_net.get(&(iname.clone(), pin.to_string())).copied().ok_or_else(|| {
-                NetlistError::Parse {
+            pin_net
+                .get(&(iname.clone(), pin.to_string()))
+                .copied()
+                .ok_or_else(|| NetlistError::Parse {
                     line: 1,
                     msg: format!("instance '{iname}' pin '{pin}' unconnected"),
-                }
-            })
+                })
         };
         let output = lookup(&out_pin)?;
         if cellname.eq_ignore_ascii_case("DFF") || cellname.eq_ignore_ascii_case("DFF1") {
@@ -328,7 +339,10 @@ pub fn parse(text: &str) -> Result<Netlist> {
             let kind = primitive_kind(cellname, clk)?;
             netlist.add_cell(iname, kind, vec![d], output);
         } else {
-            let inputs = in_pins.iter().map(|p| lookup(p)).collect::<Result<Vec<_>>>()?;
+            let inputs = in_pins
+                .iter()
+                .map(|p| lookup(p))
+                .collect::<Result<Vec<_>>>()?;
             let kind = primitive_kind(cellname, NetId(0))?;
             netlist.add_cell(iname, kind, inputs, output);
         }
@@ -421,7 +435,10 @@ pub fn write(netlist: &Netlist) -> Result<String> {
         ));
     }
     out.push_str("  )\n");
-    out.push_str(&format!("  (library work\n    (cell {}\n", sanitize(&netlist.name)));
+    out.push_str(&format!(
+        "  (library work\n    (cell {}\n",
+        sanitize(&netlist.name)
+    ));
     out.push_str("      (cellType GENERIC)\n      (view netlist (viewType NETLIST)\n");
     out.push_str("      (interface\n");
     for &n in &netlist.inputs {
@@ -453,13 +470,22 @@ pub fn write(netlist: &Netlist) -> Result<String> {
 }
 
 fn gate(prefix: &str, n: usize) -> (String, Vec<String>) {
-    (format!("{prefix}{n}"), (0..n).map(|i| format!("A{i}")).collect())
+    (
+        format!("{prefix}{n}"),
+        (0..n).map(|i| format!("A{i}")).collect(),
+    )
 }
 
 fn sanitize(name: &str) -> String {
     let mut s: String = name
         .chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if s.chars().next().is_none_or(|c| c.is_ascii_digit()) {
         s.insert(0, 'n');
@@ -484,7 +510,15 @@ mod tests {
         n.add_clock(clk);
         n.add_output(q);
         n.add_cell("g1", CellKind::Xor, vec![a, b], w);
-        n.add_cell("ff", CellKind::Dff { clock: clk, init: false }, vec![w], q);
+        n.add_cell(
+            "ff",
+            CellKind::Dff {
+                clock: clk,
+                init: false,
+            },
+            vec![w],
+            q,
+        );
         n
     }
 

@@ -56,12 +56,18 @@ pub enum CellKind {
     Mux2,
     /// K-input lookup table; `truth` bit m = output for input combination m
     /// (input 0 is the LSB of m). K <= 6.
-    Lut { k: u8, truth: u64 },
+    Lut {
+        k: u8,
+        truth: u64,
+    },
     /// Sum-of-products (BLIF `.names`); inputs match `cover.n_inputs`.
     Sop(SopCover),
     /// D flip-flop; inputs are `[d]`, `clock` names the clock net.
     /// On the target platform this maps to the double-edge-triggered FF.
-    Dff { clock: NetId, init: bool },
+    Dff {
+        clock: NetId,
+        init: bool,
+    },
 }
 
 impl CellKind {
@@ -124,7 +130,10 @@ pub struct Netlist {
 
 impl Netlist {
     pub fn new(name: &str) -> Self {
-        Netlist { name: name.to_string(), ..Default::default() }
+        Netlist {
+            name: name.to_string(),
+            ..Default::default()
+        }
     }
 
     /// Create or look up a net by name.
@@ -133,7 +142,9 @@ impl Netlist {
             return id;
         }
         let id = NetId(self.nets.len() as u32);
-        self.nets.push(Net { name: name.to_string() });
+        self.nets.push(Net {
+            name: name.to_string(),
+        });
         self.net_by_name.insert(name.to_string(), id);
         id
     }
@@ -177,7 +188,12 @@ impl Netlist {
         output: NetId,
     ) -> CellId {
         let id = CellId(self.cells.len() as u32);
-        self.cells.push(Cell { name: name.to_string(), kind, inputs, output });
+        self.cells.push(Cell {
+            name: name.to_string(),
+            kind,
+            inputs,
+            output,
+        });
         id
     }
 
@@ -282,8 +298,12 @@ impl Netlist {
             let arity_ok = match &c.kind {
                 CellKind::Const0 | CellKind::Const1 => c.inputs.is_empty(),
                 CellKind::Buf | CellKind::Not => c.inputs.len() == 1,
-                CellKind::And | CellKind::Or | CellKind::Nand | CellKind::Nor
-                | CellKind::Xor | CellKind::Xnor => !c.inputs.is_empty(),
+                CellKind::And
+                | CellKind::Or
+                | CellKind::Nand
+                | CellKind::Nor
+                | CellKind::Xor
+                | CellKind::Xnor => !c.inputs.is_empty(),
                 CellKind::Mux2 => c.inputs.len() == 3,
                 CellKind::Lut { k, .. } => c.inputs.len() == *k as usize && *k <= 6,
                 CellKind::Sop(cover) => c.inputs.len() == cover.n_inputs,
@@ -369,7 +389,15 @@ mod tests {
         n.add_clock(clk);
         n.add_output(q);
         n.add_cell("g1", CellKind::And, vec![a, b], w);
-        n.add_cell("ff1", CellKind::Dff { clock: clk, init: false }, vec![w], q);
+        n.add_cell(
+            "ff1",
+            CellKind::Dff {
+                clock: clk,
+                init: false,
+            },
+            vec![w],
+            q,
+        );
         n
     }
 
@@ -431,7 +459,15 @@ mod tests {
         n.add_clock(clk);
         n.add_output(q);
         n.add_cell("inv", CellKind::Not, vec![q], d);
-        n.add_cell("ff", CellKind::Dff { clock: clk, init: false }, vec![d], q);
+        n.add_cell(
+            "ff",
+            CellKind::Dff {
+                clock: clk,
+                init: false,
+            },
+            vec![d],
+            q,
+        );
         n.validate().unwrap();
     }
 

@@ -19,12 +19,14 @@
 //! * [`stats`] — structural statistics (cell counts, logic depth, fanout).
 
 pub mod blif;
+pub mod canonical;
 pub mod edif;
 pub mod ir;
 pub mod sim;
 pub mod sop;
 pub mod stats;
 
+pub use canonical::canonical_text;
 pub use ir::{Cell, CellId, CellKind, Net, NetId, Netlist};
 pub use sop::{Cube, SopCover};
 

@@ -64,7 +64,11 @@ impl<'a> Simulator<'a> {
 
     /// Values of the primary outputs, in declaration order.
     pub fn outputs(&self) -> Vec<bool> {
-        self.netlist.outputs.iter().map(|&n| self.value(n)).collect()
+        self.netlist
+            .outputs
+            .iter()
+            .map(|&n| self.value(n))
+            .collect()
     }
 
     /// Re-evaluate all combinational logic from the current inputs and FF
@@ -184,14 +188,16 @@ pub fn check_equivalence(
         .iter()
         .map(|&g| {
             let name = golden.net_name(g).to_string();
-            let c = candidate
-                .find_net(&name)
-                .ok_or_else(|| NetlistError::Validate(format!("candidate lacks output '{name}'")))?;
+            let c = candidate.find_net(&name).ok_or_else(|| {
+                NetlistError::Validate(format!("candidate lacks output '{name}'"))
+            })?;
             Ok((g, c, name))
         })
         .collect::<Result<Vec<_>>>()?;
 
-    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(0xDEADBEEF);
+    let mut state = seed
+        .wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add(0xDEADBEEF);
     let mut next_bit = || {
         state ^= state << 13;
         state ^= state >> 7;
@@ -299,9 +305,11 @@ mod tests {
         let a = n.find_net("a").unwrap();
         let b = n.find_net("b").unwrap();
         let y = n.find_net("y").unwrap();
-        for (va, vb, vy) in
-            [(false, false, false), (true, false, true), (true, true, false)]
-        {
+        for (va, vb, vy) in [
+            (false, false, false),
+            (true, false, true),
+            (true, true, false),
+        ] {
             sim.set_input(a, va);
             sim.set_input(b, vb);
             sim.propagate();
@@ -324,7 +332,15 @@ mod tests {
             n.add_output(y);
         }
         n.add_cell("g", CellKind::Xor, vec![a, b], y_gate);
-        n.add_cell("l", CellKind::Lut { k: 2, truth: 0b0110 }, vec![a, b], y_lut);
+        n.add_cell(
+            "l",
+            CellKind::Lut {
+                k: 2,
+                truth: 0b0110,
+            },
+            vec![a, b],
+            y_lut,
+        );
         n.add_cell(
             "s",
             CellKind::Sop(SopCover::from_truth_table(2, 0b0110)),
@@ -352,7 +368,15 @@ mod tests {
         n.add_clock(clk);
         n.add_output(q);
         n.add_cell("inv", CellKind::Not, vec![q], d);
-        n.add_cell("ff", CellKind::Dff { clock: clk, init: false }, vec![d], q);
+        n.add_cell(
+            "ff",
+            CellKind::Dff {
+                clock: clk,
+                init: false,
+            },
+            vec![d],
+            q,
+        );
         let mut sim = Simulator::new(&n).unwrap();
         let qn = n.find_net("q").unwrap();
         assert!(!sim.value(qn));
@@ -398,7 +422,15 @@ mod tests {
         same.add_input(a);
         same.add_input(b);
         same.add_output(y);
-        same.add_cell("l", CellKind::Lut { k: 2, truth: 0b0110 }, vec![a, b], y);
+        same.add_cell(
+            "l",
+            CellKind::Lut {
+                k: 2,
+                truth: 0b0110,
+            },
+            vec![a, b],
+            y,
+        );
         check_equivalence(&golden, &same, 64, 7).unwrap();
 
         // Not equivalent: OR.

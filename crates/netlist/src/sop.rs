@@ -72,8 +72,7 @@ impl Cube {
     /// Does this cube contain (cover at least everything of) `other`?
     pub fn contains(&self, other: &Cube) -> bool {
         // Every literal of self must be present identically in other.
-        self.care & other.care == self.care
-            && (self.value ^ other.value) & self.care == 0
+        self.care & other.care == self.care && (self.value ^ other.value) & self.care == 0
     }
 }
 
@@ -87,19 +86,28 @@ pub struct SopCover {
 impl SopCover {
     /// The constant-0 cover over `n` inputs (no cubes).
     pub fn const0(n: usize) -> Self {
-        SopCover { n_inputs: n, cubes: Vec::new() }
+        SopCover {
+            n_inputs: n,
+            cubes: Vec::new(),
+        }
     }
 
     /// The constant-1 cover over `n` inputs.
     pub fn const1(n: usize) -> Self {
-        SopCover { n_inputs: n, cubes: vec![Cube::always()] }
+        SopCover {
+            n_inputs: n,
+            cubes: vec![Cube::always()],
+        }
     }
 
     /// A single-literal buffer/inverter cover.
     pub fn literal(n: usize, input: usize, positive: bool) -> Self {
         let care = 1u64 << input;
         let value = if positive { care } else { 0 };
-        SopCover { n_inputs: n, cubes: vec![Cube { care, value }] }
+        SopCover {
+            n_inputs: n,
+            cubes: vec![Cube { care, value }],
+        }
     }
 
     /// Evaluate on a minterm.
@@ -129,7 +137,10 @@ impl SopCover {
         let full_care = if n == 64 { !0 } else { (1u64 << n) - 1 };
         let cubes = (0..(1u64 << n))
             .filter(|&m| tt >> m & 1 == 1)
-            .map(|m| Cube { care: full_care, value: m })
+            .map(|m| Cube {
+                care: full_care,
+                value: m,
+            })
             .collect();
         SopCover { n_inputs: n, cubes }
     }
@@ -208,7 +219,10 @@ impl SopCover {
                 Cube { care, value }
             })
             .collect();
-        SopCover { n_inputs: new_n, cubes }
+        SopCover {
+            n_inputs: new_n,
+            cubes,
+        }
     }
 }
 

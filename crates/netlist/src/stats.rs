@@ -69,7 +69,9 @@ pub fn stats(netlist: &Netlist) -> Result<NetlistStats> {
 
     let mut kind_census: BTreeMap<String, usize> = BTreeMap::new();
     for c in &netlist.cells {
-        *kind_census.entry(c.kind.mnemonic().to_string()).or_insert(0) += 1;
+        *kind_census
+            .entry(c.kind.mnemonic().to_string())
+            .or_insert(0) += 1;
     }
     let n_ffs = netlist.cells.iter().filter(|c| c.kind.is_ff()).count();
 
@@ -120,8 +122,7 @@ pub fn is_topological(netlist: &Netlist, order: &[crate::ir::CellId]) -> bool {
         let c = &netlist.cells[cid.index()];
         for &input in &c.inputs {
             if let Some(drv) = drivers[input.index()] {
-                if !netlist.cells[drv.index()].kind.is_ff()
-                    && pos[drv.index()] >= pos[cid.index()]
+                if !netlist.cells[drv.index()].kind.is_ff() && pos[drv.index()] >= pos[cid.index()]
                 {
                     return false;
                 }

@@ -32,7 +32,11 @@ pub enum PackError {
     /// The netlist contains cells that are not LUTs/FFs (run mapping first).
     NotMapped(String),
     /// A LUT has more inputs than the architecture's K.
-    LutTooWide { cell: String, k: usize, max: usize },
+    LutTooWide {
+        cell: String,
+        k: usize,
+        max: usize,
+    },
     /// More clocks in one BLE/cluster than the architecture allows.
     ClockConflict(String),
     Internal(String),
@@ -42,10 +46,16 @@ impl std::fmt::Display for PackError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PackError::NotMapped(c) => {
-                write!(f, "cell '{c}' is not a LUT or FF; run technology mapping first")
+                write!(
+                    f,
+                    "cell '{c}' is not a LUT or FF; run technology mapping first"
+                )
             }
             PackError::LutTooWide { cell, k, max } => {
-                write!(f, "LUT '{cell}' has {k} inputs but the architecture allows {max}")
+                write!(
+                    f,
+                    "LUT '{cell}' has {k} inputs but the architecture allows {max}"
+                )
             }
             PackError::ClockConflict(msg) => write!(f, "clock conflict: {msg}"),
             PackError::Internal(msg) => write!(f, "internal packing error: {msg}"),
@@ -193,9 +203,7 @@ pub fn form_bles(netlist: &Netlist, arch: &ClbArch) -> Result<Vec<Ble>> {
             }
             if let Some(drv) = drivers[d.index()] {
                 let drv_cell = &netlist.cells[drv.index()];
-                if matches!(drv_cell.kind, CellKind::Lut { .. })
-                    && sinks[d.index()].len() == 1
-                {
+                if matches!(drv_cell.kind, CellKind::Lut { .. }) && sinks[d.index()].len() == 1 {
                     fused_lut_of_ff.insert(ffid, drv);
                     fused_luts.insert(drv);
                 }
@@ -315,7 +323,11 @@ pub fn pack(netlist: &Netlist, arch: &ClbArch) -> Result<Clustering> {
             let cluster_nets: HashSet<NetId> = members
                 .iter()
                 .flat_map(|&i| {
-                    bles[i].inputs.iter().copied().chain(std::iter::once(bles[i].output))
+                    bles[i]
+                        .inputs
+                        .iter()
+                        .copied()
+                        .chain(std::iter::once(bles[i].output))
                 })
                 .collect();
             let mut best: Option<(usize, usize)> = None; // (score, ble)
@@ -465,11 +477,22 @@ mod tests {
             let q = nl.net(&format!("q{i}"));
             nl.add_cell(
                 &format!("l{i}"),
-                CellKind::Lut { k: 2, truth: 0b0110 },
+                CellKind::Lut {
+                    k: 2,
+                    truth: 0b0110,
+                },
                 vec![prev, x],
                 d,
             );
-            nl.add_cell(&format!("f{i}"), CellKind::Dff { clock: clk, init: false }, vec![d], q);
+            nl.add_cell(
+                &format!("f{i}"),
+                CellKind::Dff {
+                    clock: clk,
+                    init: false,
+                },
+                vec![d],
+                q,
+            );
             prev = q;
         }
         nl.add_output(prev);
@@ -501,7 +524,15 @@ mod tests {
         nl.add_output(q);
         nl.add_output(y);
         nl.add_cell("l", CellKind::Lut { k: 1, truth: 0b10 }, vec![a], d);
-        nl.add_cell("f", CellKind::Dff { clock: clk, init: false }, vec![d], q);
+        nl.add_cell(
+            "f",
+            CellKind::Dff {
+                clock: clk,
+                init: false,
+            },
+            vec![d],
+            q,
+        );
         nl.add_cell("l2", CellKind::Lut { k: 1, truth: 0b01 }, vec![d], y);
         let bles = form_bles(&nl, &ClbArch::paper_default()).unwrap();
         // LUT 'l' has two sinks -> separate BLEs for l, f, l2.
@@ -552,7 +583,10 @@ mod tests {
             let clk = if i % 2 == 0 { clk1 } else { clk2 };
             nl.add_cell(
                 &format!("f{i}"),
-                CellKind::Dff { clock: clk, init: false },
+                CellKind::Dff {
+                    clock: clk,
+                    init: false,
+                },
                 vec![a],
                 q,
             );

@@ -37,9 +37,7 @@ pub fn write_net(c: &Clustering) -> String {
         // N output pins.
         for slot in 0..c.arch.cluster_size {
             match cluster.bles.get(slot) {
-                Some(&bid) => {
-                    out.push_str(&format!(" {}", nn(c.bles[bid.0 as usize].output)))
-                }
+                Some(&bid) => out.push_str(&format!(" {}", nn(c.bles[bid.0 as usize].output))),
                 None => out.push_str(" open"),
             }
         }
@@ -143,38 +141,36 @@ pub fn parse_net(
 
     let mut clusters: Vec<Cluster> = Vec::new();
     let mut current: Option<Vec<usize>> = None;
-    let flush = |current: &mut Option<Vec<usize>>,
-                     clusters: &mut Vec<Cluster>|
-     -> crate::Result<()> {
-        if let Some(members) = current.take() {
-            if members.is_empty() {
-                return Err(PackError::Internal("empty .clb block".into()));
+    let flush =
+        |current: &mut Option<Vec<usize>>, clusters: &mut Vec<Cluster>| -> crate::Result<()> {
+            if let Some(members) = current.take() {
+                if members.is_empty() {
+                    return Err(PackError::Internal("empty .clb block".into()));
+                }
+                let produced: HashSet<_> = members.iter().map(|&i| bles[i].output).collect();
+                let mut inputs: Vec<_> = members
+                    .iter()
+                    .flat_map(|&i| bles[i].inputs.iter().copied())
+                    .filter(|n| !produced.contains(n))
+                    .collect();
+                inputs.sort();
+                inputs.dedup();
+                let clock = members.iter().find_map(|&i| bles[i].clock);
+                clusters.push(Cluster {
+                    bles: members.into_iter().map(|i| BleId(i as u32)).collect(),
+                    inputs,
+                    clock,
+                });
             }
-            let produced: HashSet<_> = members.iter().map(|&i| bles[i].output).collect();
-            let mut inputs: Vec<_> = members
-                .iter()
-                .flat_map(|&i| bles[i].inputs.iter().copied())
-                .filter(|n| !produced.contains(n))
-                .collect();
-            inputs.sort();
-            inputs.dedup();
-            let clock = members.iter().find_map(|&i| bles[i].clock);
-            clusters.push(Cluster {
-                bles: members.into_iter().map(|i| BleId(i as u32)).collect(),
-                inputs,
-                clock,
-            });
-        }
-        Ok(())
-    };
+            Ok(())
+        };
 
     for (lineno, line) in text.lines().enumerate() {
         let t = line.trim();
         if t.starts_with(".clb ") {
             flush(&mut current, &mut clusters)?;
             current = Some(Vec::new());
-        } else if t.starts_with(".input") || t.starts_with(".output") || t.starts_with(".global")
-        {
+        } else if t.starts_with(".input") || t.starts_with(".output") || t.starts_with(".global") {
             flush(&mut current, &mut clusters)?;
         } else if let Some(rest) = t.strip_prefix("subblock: ") {
             let Some(members) = current.as_mut() else {
@@ -230,8 +226,24 @@ mod tests {
         let d = nl.net("d");
         let q = nl.net("q");
         nl.add_output(q);
-        nl.add_cell("l0", CellKind::Lut { k: 2, truth: 0b1000 }, vec![a, b], d);
-        nl.add_cell("f0", CellKind::Dff { clock: clk, init: false }, vec![d], q);
+        nl.add_cell(
+            "l0",
+            CellKind::Lut {
+                k: 2,
+                truth: 0b1000,
+            },
+            vec![a, b],
+            d,
+        );
+        nl.add_cell(
+            "f0",
+            CellKind::Dff {
+                clock: clk,
+                init: false,
+            },
+            vec![d],
+            q,
+        );
         pack(&nl, &ClbArch::paper_default()).unwrap()
     }
 
@@ -247,7 +259,9 @@ mod tests {
         assert_eq!(s.globals, 1);
         assert!(text.contains("[registered]"));
         // Pin list padded to I + N + 1 entries.
-        let pinline = text.lines().find(|l| l.starts_with("pinlist:") && l.contains("open"));
+        let pinline = text
+            .lines()
+            .find(|l| l.starts_with("pinlist:") && l.contains("open"));
         assert!(pinline.is_some());
     }
 

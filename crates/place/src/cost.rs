@@ -2,7 +2,7 @@
 //! compensation.
 
 use fpga_netlist::ir::NetId;
-use fpga_pack::{Clustering, ClusterId};
+use fpga_pack::{ClusterId, Clustering};
 
 use crate::BlockRef;
 
@@ -49,11 +49,11 @@ pub fn net_terminals(clustering: &Clustering) -> Vec<PlacedNet> {
 /// wirelength estimate for nets with more than three terminals.
 pub fn crossing_factor(terminals: usize) -> f64 {
     const Q: [f64; 51] = [
-        1.0, 1.0, 1.0, 1.0, 1.0828, 1.1536, 1.2206, 1.2823, 1.3385, 1.3991, 1.4493, 1.4974,
-        1.5455, 1.5937, 1.6418, 1.6899, 1.7304, 1.7709, 1.8114, 1.8519, 1.8924, 1.9288, 1.9652,
-        2.0015, 2.0379, 2.0743, 2.1061, 2.1379, 2.1698, 2.2016, 2.2334, 2.2646, 2.2958, 2.3271,
-        2.3583, 2.3895, 2.4187, 2.4479, 2.4772, 2.5064, 2.5356, 2.5610, 2.5864, 2.6117, 2.6371,
-        2.6625, 2.6887, 2.7148, 2.7410, 2.7671, 2.7933,
+        1.0, 1.0, 1.0, 1.0, 1.0828, 1.1536, 1.2206, 1.2823, 1.3385, 1.3991, 1.4493, 1.4974, 1.5455,
+        1.5937, 1.6418, 1.6899, 1.7304, 1.7709, 1.8114, 1.8519, 1.8924, 1.9288, 1.9652, 2.0015,
+        2.0379, 2.0743, 2.1061, 2.1379, 2.1698, 2.2016, 2.2334, 2.2646, 2.2958, 2.3271, 2.3583,
+        2.3895, 2.4187, 2.4479, 2.4772, 2.5064, 2.5356, 2.5610, 2.5864, 2.6117, 2.6371, 2.6625,
+        2.6887, 2.7148, 2.7410, 2.7671, 2.7933,
     ];
     if terminals < Q.len() {
         Q[terminals]
@@ -95,8 +95,24 @@ mod tests {
         let d = nl.net("d");
         let q = nl.net("q");
         nl.add_output(q);
-        nl.add_cell("l", CellKind::Lut { k: 2, truth: 0b0110 }, vec![a, b], d);
-        nl.add_cell("f", CellKind::Dff { clock: clk, init: false }, vec![d], q);
+        nl.add_cell(
+            "l",
+            CellKind::Lut {
+                k: 2,
+                truth: 0b0110,
+            },
+            vec![a, b],
+            d,
+        );
+        nl.add_cell(
+            "f",
+            CellKind::Dff {
+                clock: clk,
+                init: false,
+            },
+            vec![d],
+            q,
+        );
         let c = fpga_pack::pack(&nl, &ClbArch::paper_default()).unwrap();
         let nets = net_terminals(&c);
         // Nets: a (pad -> cluster), b (pad -> cluster), q (cluster -> pad).
@@ -111,6 +127,9 @@ mod tests {
         }
         // The output net's last terminal is the output pad.
         let qnet = nets.iter().find(|p| p.net == q).unwrap();
-        assert!(matches!(qnet.terminals.last(), Some(BlockRef::OutputPad(_))));
+        assert!(matches!(
+            qnet.terminals.last(),
+            Some(BlockRef::OutputPad(_))
+        ));
     }
 }

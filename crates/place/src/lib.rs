@@ -52,14 +52,24 @@ pub struct Slot {
 #[derive(Debug, Clone, PartialEq)]
 pub enum PlaceError {
     /// Device too small for the netlist.
-    DoesNotFit { clbs: usize, clb_cap: usize, ios: usize, io_cap: usize },
+    DoesNotFit {
+        clbs: usize,
+        clb_cap: usize,
+        ios: usize,
+        io_cap: usize,
+    },
     Internal(String),
 }
 
 impl std::fmt::Display for PlaceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            PlaceError::DoesNotFit { clbs, clb_cap, ios, io_cap } => write!(
+            PlaceError::DoesNotFit {
+                clbs,
+                clb_cap,
+                ios,
+                io_cap,
+            } => write!(
                 f,
                 "design does not fit: {clbs} CLBs on {clb_cap} tiles, {ios} IOs on {io_cap} pads"
             ),

@@ -6,7 +6,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use fpga_arch::device::{Device, GridLoc};
-use fpga_pack::{Clustering, ClusterId};
+use fpga_pack::{ClusterId, Clustering};
 
 use crate::cost::{crossing_factor, net_terminals, PlacedNet};
 use crate::{BlockRef, PlaceError, Result, Slot};
@@ -22,7 +22,10 @@ pub struct PlaceOptions {
 
 impl Default for PlaceOptions {
     fn default() -> Self {
-        PlaceOptions { seed: 1, inner_num: 5.0 }
+        PlaceOptions {
+            seed: 1,
+            inner_num: 5.0,
+        }
     }
 }
 
@@ -162,9 +165,7 @@ pub fn place(clustering: &Clustering, device: Device, opts: PlaceOptions) -> Res
     let io_sites: Vec<Slot> = device
         .io_locs()
         .into_iter()
-        .flat_map(|loc| {
-            (0..device.arch.io_per_tile as u32).map(move |sub| Slot { loc, sub })
-        })
+        .flat_map(|loc| (0..device.arch.io_per_tile as u32).map(move |sub| Slot { loc, sub }))
         .collect();
 
     let mut slots: HashMap<BlockRef, Slot> = HashMap::new();
@@ -189,7 +190,12 @@ pub fn place(clustering: &Clustering, device: Device, opts: PlaceOptions) -> Res
     let mut cost: f64 = net_costs.iter().sum();
 
     if blocks.is_empty() || nets.is_empty() {
-        return Ok(Placement { device, slots, cost, nets });
+        return Ok(Placement {
+            device,
+            slots,
+            cost,
+            nets,
+        });
     }
 
     // One annealing move; returns Some(delta) if accepted.
@@ -224,8 +230,8 @@ pub fn place(clustering: &Clustering, device: Device, opts: PlaceOptions) -> Res
         }
     }
     let mean = deltas.iter().sum::<f64>() / deltas.len().max(1) as f64;
-    let var = deltas.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>()
-        / deltas.len().max(1) as f64;
+    let var =
+        deltas.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / deltas.len().max(1) as f64;
     let mut temp = 20.0 * var.sqrt().max(1.0);
 
     let exit_temp = |cost: f64, nets: usize| 0.005 * cost / nets.max(1) as f64;
@@ -270,7 +276,12 @@ pub fn place(clustering: &Clustering, device: Device, opts: PlaceOptions) -> Res
     }
     // Final exact cost.
     let cost: f64 = nets.iter().map(|n| net_cost(n, &slots)).sum();
-    Ok(Placement { device, slots, cost, nets })
+    Ok(Placement {
+        device,
+        slots,
+        cost,
+        nets,
+    })
 }
 
 /// Propose and evaluate one move. Returns the accepted delta, or None.
@@ -338,8 +349,7 @@ fn try_move(
         .collect();
 
     let accept = delta <= 0.0 || {
-        temp.is_finite() && rng.gen::<f64>() < (-delta / temp).exp()
-            || temp.is_infinite()
+        temp.is_finite() && rng.gen::<f64>() < (-delta / temp).exp() || temp.is_infinite()
     };
     if accept {
         for (ni, c) in new_costs {
@@ -375,8 +385,21 @@ mod tests {
         for i in 0..n {
             let d = nl.net(&format!("d{i}"));
             let q = nl.net(&format!("q{i}"));
-            nl.add_cell(&format!("l{i}"), CellKind::Lut { k: 1, truth: 0b01 }, vec![prev], d);
-            nl.add_cell(&format!("f{i}"), CellKind::Dff { clock: clk, init: false }, vec![d], q);
+            nl.add_cell(
+                &format!("l{i}"),
+                CellKind::Lut { k: 1, truth: 0b01 },
+                vec![prev],
+                d,
+            );
+            nl.add_cell(
+                &format!("f{i}"),
+                CellKind::Dff {
+                    clock: clk,
+                    init: false,
+                },
+                vec![d],
+                q,
+            );
             prev = q;
         }
         nl.add_output(prev);
@@ -418,7 +441,15 @@ mod tests {
         // computing cost of the round-robin assignment via a tiny run at
         // inner_num ~ 0. Instead, compare against a clearly bad measure:
         // the worst-case bbox if every net spanned the whole chip.
-        let p = place(&c, device.clone(), PlaceOptions { seed: 3, inner_num: 4.0 }).unwrap();
+        let p = place(
+            &c,
+            device.clone(),
+            PlaceOptions {
+                seed: 3,
+                inner_num: 4.0,
+            },
+        )
+        .unwrap();
         let span = (device.width + device.height) as f64;
         let worst: f64 = p
             .nets
@@ -441,7 +472,15 @@ mod tests {
         let c = chain_clustering(20);
         let mk = || {
             let device = Device::sized_for(Architecture::paper_default(), c.clusters.len(), 4);
-            place(&c, device, PlaceOptions { seed: 7, inner_num: 2.0 }).unwrap()
+            place(
+                &c,
+                device,
+                PlaceOptions {
+                    seed: 7,
+                    inner_num: 2.0,
+                },
+            )
+            .unwrap()
         };
         let p1 = mk();
         let p2 = mk();
@@ -463,7 +502,15 @@ mod tests {
     fn place_file_lists_all_blocks() {
         let c = chain_clustering(10);
         let device = Device::sized_for(Architecture::paper_default(), c.clusters.len(), 4);
-        let p = place(&c, device, PlaceOptions { seed: 2, inner_num: 1.0 }).unwrap();
+        let p = place(
+            &c,
+            device,
+            PlaceOptions {
+                seed: 2,
+                inner_num: 1.0,
+            },
+        )
+        .unwrap();
         let text = p.write_place(&c);
         let body_lines = text.lines().filter(|l| !l.starts_with('#')).count();
         assert_eq!(body_lines, p.slots.len());

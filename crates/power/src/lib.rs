@@ -167,8 +167,7 @@ pub fn estimate(
                     .filter(|c| c.inputs.contains(&net))
                     .count()
                     .max(1);
-                let cap =
-                    (fanout as f64 + 1.0) * (caps.wire_per_tile + 2.0 * caps.switch_junction);
+                let cap = (fanout as f64 + 1.0) * (caps.wire_per_tile + 2.0 * caps.switch_junction);
                 routing_p += 0.5 * f * v2 * d * cap;
             }
         }
@@ -196,8 +195,8 @@ pub fn estimate(
     let tx_per_ble = 16 * 2 /* LUT cells */ + 30 /* LUT mux+restore */ + 24 /* DETFF */ + 8;
     let tx_per_cluster_overhead =
         clustering.arch.crossbar_mux_width() * clustering.arch.lut_k * 2 + 40;
-    let tx_count = clustering.bles.len() * tx_per_ble
-        + clustering.clusters.len() * tx_per_cluster_overhead;
+    let tx_count =
+        clustering.bles.len() * tx_per_ble + clustering.clusters.len() * tx_per_cluster_overhead;
     let leakage = tx_count as f64 * opts.leak_per_tx;
 
     let dynamic = logic + routing_p + clock;
@@ -245,8 +244,24 @@ mod tests {
         for i in 0..n {
             let d = nl.net(&format!("d{i}"));
             let q = nl.net(&format!("q{i}"));
-            nl.add_cell(&format!("l{i}"), CK::Lut { k: 2, truth: 0b0110 }, vec![prev, a], d);
-            nl.add_cell(&format!("f{i}"), CK::Dff { clock: clk, init: false }, vec![d], q);
+            nl.add_cell(
+                &format!("l{i}"),
+                CK::Lut {
+                    k: 2,
+                    truth: 0b0110,
+                },
+                vec![prev, a],
+                d,
+            );
+            nl.add_cell(
+                &format!("f{i}"),
+                CK::Dff {
+                    clock: clk,
+                    init: false,
+                },
+                vec![d],
+                q,
+            );
             prev = q;
         }
         nl.add_output(prev);
@@ -276,11 +291,21 @@ mod tests {
         let c = clustering(12);
         let tech = Tech::stm018();
         let caps = ClbCaps::from_designs(&tech);
-        let o1 = PowerOptions { frequency: 50e6, ..PowerOptions::default() };
-        let o2 = PowerOptions { frequency: 200e6, ..PowerOptions::default() };
+        let o1 = PowerOptions {
+            frequency: 50e6,
+            ..PowerOptions::default()
+        };
+        let o2 = PowerOptions {
+            frequency: 200e6,
+            ..PowerOptions::default()
+        };
         let p1 = estimate(&c, None, &tech, &caps, &o1).unwrap().dynamic();
         let p2 = estimate(&c, None, &tech, &caps, &o2).unwrap().dynamic();
-        assert!((p2 / p1 - 4.0).abs() < 0.01, "dynamic power linear in f: {}", p2 / p1);
+        assert!(
+            (p2 / p1 - 4.0).abs() < 0.01,
+            "dynamic power linear in f: {}",
+            p2 / p1
+        );
     }
 
     #[test]
@@ -289,7 +314,10 @@ mod tests {
         let tech = Tech::stm018();
         let caps = ClbCaps::from_designs(&tech);
         let saving = det_clock_saving(&c, &tech, &caps, &PowerOptions::default()).unwrap();
-        assert!((saving - 0.5).abs() < 1e-9, "DETFF halves clock power, got {saving}");
+        assert!(
+            (saving - 0.5).abs() < 1e-9,
+            "DETFF halves clock power, got {saving}"
+        );
     }
 
     #[test]
@@ -297,8 +325,10 @@ mod tests {
         let c = clustering(12);
         let tech = Tech::stm018();
         let caps = ClbCaps::from_designs(&tech);
-        let gated =
-            PowerOptions { clock_enable_fraction: 0.3, ..PowerOptions::default() };
+        let gated = PowerOptions {
+            clock_enable_fraction: 0.3,
+            ..PowerOptions::default()
+        };
         let full = estimate(&c, None, &tech, &caps, &PowerOptions::default()).unwrap();
         let g = estimate(&c, None, &tech, &caps, &gated).unwrap();
         assert!(g.clock_dynamic < full.clock_dynamic);
@@ -307,20 +337,27 @@ mod tests {
 
     #[test]
     fn routed_design_power_uses_wirelength() {
-        use fpga_arch::Architecture;
         use fpga_arch::device::Device;
+        use fpga_arch::Architecture;
         use fpga_place::{place, PlaceOptions};
-        use fpga_route::{route, RouteOptions};
         use fpga_route::rrgraph::RrGraph;
+        use fpga_route::{route, RouteOptions};
         let c = clustering(15);
         let device = Device::sized_for(Architecture::paper_default(), c.clusters.len(), 4);
-        let p = place(&c, device, PlaceOptions { seed: 1, inner_num: 1.5 }).unwrap();
+        let p = place(
+            &c,
+            device,
+            PlaceOptions {
+                seed: 1,
+                inner_num: 1.5,
+            },
+        )
+        .unwrap();
         let g = RrGraph::build(&p.device, 10);
         let r = route(&c, &p, &g, &RouteOptions::default()).unwrap();
         let tech = Tech::stm018();
         let caps = ClbCaps::from_designs(&tech);
-        let rep =
-            estimate(&c, Some((&r, &g)), &tech, &caps, &PowerOptions::default()).unwrap();
+        let rep = estimate(&c, Some((&r, &g)), &tech, &caps, &PowerOptions::default()).unwrap();
         assert!(rep.routing_dynamic > 0.0);
     }
 }

@@ -21,14 +21,17 @@ pub mod sta;
 pub mod timing;
 
 pub use pathfinder::{find_min_channel_width, route, RouteOptions, RouteResult, RoutedNet};
-pub use sta::{analyze_paths, LogicDelays, StaResult};
 pub use rrgraph::{RrGraph, RrKind, RrNodeId};
+pub use sta::{analyze_paths, LogicDelays, StaResult};
 
 /// Errors from routing.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RouteError {
     /// PathFinder did not converge at this channel width.
-    Unroutable { channel_width: usize, overused: usize },
+    Unroutable {
+        channel_width: usize,
+        overused: usize,
+    },
     /// A net endpoint could not be attached to the graph.
     BadEndpoint(String),
     Internal(String),
@@ -37,7 +40,10 @@ pub enum RouteError {
 impl std::fmt::Display for RouteError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            RouteError::Unroutable { channel_width, overused } => write!(
+            RouteError::Unroutable {
+                channel_width,
+                overused,
+            } => write!(
                 f,
                 "unroutable at channel width {channel_width}: {overused} overused nodes"
             ),

@@ -13,7 +13,7 @@ use fpga_pack::Clustering;
 use fpga_place::{BlockRef, Placement};
 
 use crate::rrgraph::{clb_ipin, clb_opin, RrGraph, RrKind, RrNodeId};
-use crate::{RouteError, Result};
+use crate::{Result, RouteError};
 
 /// Router options.
 #[derive(Clone, Debug)]
@@ -49,7 +49,10 @@ pub struct RoutedNet {
 impl RoutedNet {
     /// Wire segments used.
     pub fn wirelength(&self, g: &RrGraph) -> usize {
-        self.tree.iter().filter(|(n, _)| g.kind(*n).is_wire()).count()
+        self.tree
+            .iter()
+            .filter(|(n, _)| g.kind(*n).is_wire())
+            .count()
     }
 }
 
@@ -89,14 +92,17 @@ pub fn net_endpoints(
                             clustering.netlist.net_name(pn.net)
                         ))
                     })?;
-                clb_opin(g, device, loc, slot).ok_or_else(|| {
-                    RouteError::BadEndpoint("missing CLB opin".to_string())
-                })?
+                clb_opin(g, device, loc, slot)
+                    .ok_or_else(|| RouteError::BadEndpoint("missing CLB opin".to_string()))?
             }
             BlockRef::InputPad(n) => {
                 let slot = placement.slots[&BlockRef::InputPad(n)];
-                g.find(RrKind::Opin { x: slot.loc.x, y: slot.loc.y, pin: slot.sub })
-                    .ok_or_else(|| RouteError::BadEndpoint("missing pad opin".into()))?
+                g.find(RrKind::Opin {
+                    x: slot.loc.x,
+                    y: slot.loc.y,
+                    pin: slot.sub,
+                })
+                .ok_or_else(|| RouteError::BadEndpoint("missing pad opin".into()))?
             }
             BlockRef::OutputPad(_) => {
                 return Err(RouteError::BadEndpoint(
@@ -121,9 +127,10 @@ pub fn net_endpoints(
                                 clustering.netlist.net_name(pn.net)
                             ))
                         })?;
-                    sinks.push(clb_ipin(g, loc, idx).ok_or_else(|| {
-                        RouteError::BadEndpoint("missing CLB ipin".into())
-                    })?);
+                    sinks.push(
+                        clb_ipin(g, loc, idx)
+                            .ok_or_else(|| RouteError::BadEndpoint("missing CLB ipin".into()))?,
+                    );
                 }
                 BlockRef::OutputPad(n) => {
                     let slot = placement.slots[&BlockRef::OutputPad(n)];
@@ -137,9 +144,7 @@ pub fn net_endpoints(
                     );
                 }
                 BlockRef::InputPad(_) => {
-                    return Err(RouteError::BadEndpoint(
-                        "input pad listed as a sink".into(),
-                    ))
+                    return Err(RouteError::BadEndpoint("input pad listed as a sink".into()))
                 }
             }
         }
@@ -159,7 +164,10 @@ impl Eq for HeapEntry {}
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Min-heap on cost.
-        other.cost.partial_cmp(&self.cost).unwrap_or(std::cmp::Ordering::Equal)
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .unwrap_or(std::cmp::Ordering::Equal)
     }
 }
 
@@ -199,11 +207,13 @@ pub fn route(
                     occupancy[n.0 as usize] -= 1;
                 }
             }
-            let tree = route_net(g, *source, sinks, &occupancy, &history, pres_fac)
-                .ok_or_else(|| RouteError::Internal(format!(
-                    "no path for net '{}'",
-                    clustering.netlist.net_name(*net)
-                )))?;
+            let tree =
+                route_net(g, *source, sinks, &occupancy, &history, pres_fac).ok_or_else(|| {
+                    RouteError::Internal(format!(
+                        "no path for net '{}'",
+                        clustering.netlist.net_name(*net)
+                    ))
+                })?;
             for (n, _) in &tree {
                 occupancy[n.0 as usize] += 1;
             }
@@ -238,7 +248,10 @@ pub fn route(
         pres_fac *= opts.pres_fac_mult;
     }
     let overused = occupancy.iter().filter(|&&o| o > 1).count();
-    Err(RouteError::Unroutable { channel_width: g.channel_width, overused })
+    Err(RouteError::Unroutable {
+        channel_width: g.channel_width,
+        overused,
+    })
 }
 
 /// Dijkstra-grown route tree for one net.
@@ -270,7 +283,10 @@ fn route_net(
         let mut heap = BinaryHeap::new();
         for &(tn, _) in &tree {
             dist[tn.0 as usize] = 0.0;
-            heap.push(HeapEntry { cost: 0.0, node: tn });
+            heap.push(HeapEntry {
+                cost: 0.0,
+                node: tn,
+            });
         }
         let mut reached: Option<RrNodeId> = None;
         while let Some(HeapEntry { cost, node }) = heap.pop() {
@@ -282,9 +298,7 @@ fn route_net(
                 break;
             }
             // Input pins terminate paths: you cannot route *through* a pin.
-            if !in_tree[node.0 as usize]
-                && matches!(g.kind(node), RrKind::Ipin { .. })
-            {
+            if !in_tree[node.0 as usize] && matches!(g.kind(node), RrKind::Ipin { .. }) {
                 continue;
             }
             for &succ in &g.edges[node.0 as usize] {
@@ -292,7 +306,10 @@ fn route_net(
                 if c < dist[succ.0 as usize] {
                     dist[succ.0 as usize] = c;
                     prev[succ.0 as usize] = Some(node);
-                    heap.push(HeapEntry { cost: c, node: succ });
+                    heap.push(HeapEntry {
+                        cost: c,
+                        node: succ,
+                    });
                 }
             }
         }
@@ -355,8 +372,8 @@ pub fn find_min_channel_width(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fpga_arch::{Architecture, ClbArch};
     use fpga_arch::device::Device;
+    use fpga_arch::{Architecture, ClbArch};
     use fpga_netlist::ir::{CellKind, Netlist};
     use fpga_place::{place, PlaceOptions};
 
@@ -375,17 +392,36 @@ mod tests {
             let q = nl.net(&format!("q{i}"));
             nl.add_cell(
                 &format!("l{i}"),
-                CellKind::Lut { k: 2, truth: 0b0110 },
+                CellKind::Lut {
+                    k: 2,
+                    truth: 0b0110,
+                },
                 vec![prev, b],
                 d,
             );
-            nl.add_cell(&format!("f{i}"), CellKind::Dff { clock: clk, init: false }, vec![d], q);
+            nl.add_cell(
+                &format!("f{i}"),
+                CellKind::Dff {
+                    clock: clk,
+                    init: false,
+                },
+                vec![d],
+                q,
+            );
             prev = q;
         }
         nl.add_output(prev);
         let c = fpga_pack::pack(&nl, &ClbArch::paper_default()).unwrap();
         let device = Device::sized_for(Architecture::paper_default(), c.clusters.len(), 8);
-        let p = place(&c, device, PlaceOptions { seed, inner_num: 2.0 }).unwrap();
+        let p = place(
+            &c,
+            device,
+            PlaceOptions {
+                seed,
+                inner_num: 2.0,
+            },
+        )
+        .unwrap();
         (c, p)
     }
 
@@ -406,8 +442,7 @@ mod tests {
         // Connectivity: every sink is in its net's tree, every tree node's
         // parent precedes it.
         for net in &r.nets {
-            let nodes: std::collections::HashSet<_> =
-                net.tree.iter().map(|(n, _)| *n).collect();
+            let nodes: std::collections::HashSet<_> = net.tree.iter().map(|(n, _)| *n).collect();
             for s in &net.sinks {
                 assert!(nodes.contains(s), "sink not reached");
             }
@@ -444,8 +479,7 @@ mod tests {
     #[test]
     fn min_channel_width_is_found() {
         let (c, p) = flow(10, 3);
-        let (w, r) =
-            find_min_channel_width(&c, &p, &RouteOptions::default(), 64).unwrap();
+        let (w, r) = find_min_channel_width(&c, &p, &RouteOptions::default(), 64).unwrap();
         assert!((1..=64).contains(&w));
         assert_eq!(r.channel_width, w);
         // One less track must fail (minimality), unless already 1.
@@ -459,7 +493,10 @@ mod tests {
     fn tiny_channel_is_unroutable() {
         let (c, p) = flow(25, 4);
         let g = RrGraph::build(&p.device, 1);
-        let opts = RouteOptions { max_iterations: 6, ..Default::default() };
+        let opts = RouteOptions {
+            max_iterations: 6,
+            ..Default::default()
+        };
         match route(&c, &p, &g, &opts) {
             Err(RouteError::Unroutable { .. }) | Err(RouteError::Internal(_)) => {}
             Ok(r) => {

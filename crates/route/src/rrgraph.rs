@@ -138,11 +138,20 @@ impl RrGraph {
         let arch = &device.arch;
         let tracks_for = |fc: f64, pin: u32| -> Vec<u32> {
             let n = ((fc * cw as f64).ceil() as u32).clamp(1, cw);
-            (0..n).map(|k| (pin + k * cw.div_ceil(n).max(1)) % cw).collect()
+            (0..n)
+                .map(|k| (pin + k * cw.div_ceil(n).max(1)) % cw)
+                .collect()
         };
         for loc in device.clb_locs() {
             for pin in 0..arch.clb.inputs as u32 {
-                let ipin = add(&mut g, RrKind::Ipin { x: loc.x, y: loc.y, pin });
+                let ipin = add(
+                    &mut g,
+                    RrKind::Ipin {
+                        x: loc.x,
+                        y: loc.y,
+                        pin,
+                    },
+                );
                 let (horiz, cx, cy) = device.pin_channel(loc, PinClass::Input(pin));
                 for t in tracks_for(arch.routing.fc_in, pin) {
                     let wire = if horiz {
@@ -155,7 +164,14 @@ impl RrGraph {
             }
             for out in 0..arch.clb.outputs as u32 {
                 let pin = arch.clb.inputs as u32 + out;
-                let opin = add(&mut g, RrKind::Opin { x: loc.x, y: loc.y, pin });
+                let opin = add(
+                    &mut g,
+                    RrKind::Opin {
+                        x: loc.x,
+                        y: loc.y,
+                        pin,
+                    },
+                );
                 let (horiz, cx, cy) = device.pin_channel(loc, PinClass::Output(out));
                 for t in tracks_for(arch.routing.fc_out, pin) {
                     let wire = if horiz {
@@ -173,8 +189,22 @@ impl RrGraph {
         for loc in device.io_locs() {
             let (horiz, cx, cy) = device.io_channel(loc);
             for sub in 0..device.arch.io_per_tile as u32 {
-                let opin = add(&mut g, RrKind::Opin { x: loc.x, y: loc.y, pin: sub });
-                let ipin = add(&mut g, RrKind::Ipin { x: loc.x, y: loc.y, pin: sub });
+                let opin = add(
+                    &mut g,
+                    RrKind::Opin {
+                        x: loc.x,
+                        y: loc.y,
+                        pin: sub,
+                    },
+                );
+                let ipin = add(
+                    &mut g,
+                    RrKind::Ipin {
+                        x: loc.x,
+                        y: loc.y,
+                        pin: sub,
+                    },
+                );
                 for t in 0..cw {
                     let wire = if horiz {
                         add(&mut g, RrKind::Chanx { x: cx, y: cy, t })
@@ -194,12 +224,20 @@ impl RrGraph {
 /// Convenience: the RR node of a cluster's output pin for BLE slot `slot`.
 pub fn clb_opin(g: &RrGraph, device: &Device, loc: GridLoc, slot: usize) -> Option<RrNodeId> {
     let pin = device.arch.clb.inputs as u32 + slot as u32;
-    g.find(RrKind::Opin { x: loc.x, y: loc.y, pin })
+    g.find(RrKind::Opin {
+        x: loc.x,
+        y: loc.y,
+        pin,
+    })
 }
 
 /// The RR node of a cluster's input pin at list position `idx`.
 pub fn clb_ipin(g: &RrGraph, loc: GridLoc, idx: usize) -> Option<RrNodeId> {
-    g.find(RrKind::Ipin { x: loc.x, y: loc.y, pin: idx as u32 })
+    g.find(RrKind::Ipin {
+        x: loc.x,
+        y: loc.y,
+        pin: idx as u32,
+    })
 }
 
 #[cfg(test)]
@@ -222,7 +260,7 @@ mod tests {
         let chanx = w * (h + 1) * cw;
         let chany = (w + 1) * h * cw;
         let clb_pins = w * h * device.arch.clb.total_pins().saturating_sub(1); // no clock pin in RR
-        // Clock is global, so CLB pins = inputs + outputs only.
+                                                                               // Clock is global, so CLB pins = inputs + outputs only.
         let io_pins = device.io_locs().len() * device.arch.io_per_tile * 2;
         assert_eq!(
             g.node_count(),
@@ -237,8 +275,7 @@ mod tests {
         for (i, kind) in g.nodes.iter().enumerate() {
             if let RrKind::Chanx { t, .. } | RrKind::Chany { t, .. } = kind {
                 for succ in &g.edges[i] {
-                    if let RrKind::Chanx { t: t2, .. } | RrKind::Chany { t: t2, .. } =
-                        g.kind(*succ)
+                    if let RrKind::Chanx { t: t2, .. } | RrKind::Chany { t: t2, .. } = g.kind(*succ)
                     {
                         assert_eq!(*t, t2, "disjoint SB must keep the track index");
                     }
@@ -248,14 +285,13 @@ mod tests {
     }
 
     #[test]
-    fn wires_have_at_most_fs_wire_neighbours_per_end(){
+    fn wires_have_at_most_fs_wire_neighbours_per_end() {
         let (_, g) = graph();
         // A wire touches two switch boxes; with Fs = 3 it can reach at
         // most 3 other wires per end = 6 wire neighbours total.
         for (i, kind) in g.nodes.iter().enumerate() {
             if kind.is_wire() {
-                let wire_neighbours =
-                    g.edges[i].iter().filter(|s| g.kind(**s).is_wire()).count();
+                let wire_neighbours = g.edges[i].iter().filter(|s| g.kind(**s).is_wire()).count();
                 assert!(wire_neighbours <= 6, "{kind:?} has {wire_neighbours}");
             }
         }
@@ -311,7 +347,13 @@ mod tests {
     fn io_pads_reach_the_ring_channels() {
         let (device, g) = graph();
         let loc = device.io_locs()[0];
-        let opin = g.find(RrKind::Opin { x: loc.x, y: loc.y, pin: 0 }).unwrap();
+        let opin = g
+            .find(RrKind::Opin {
+                x: loc.x,
+                y: loc.y,
+                pin: 0,
+            })
+            .unwrap();
         assert_eq!(g.edges[opin.0 as usize].len(), g.channel_width);
     }
 

@@ -15,7 +15,7 @@
 use std::collections::HashMap;
 
 use fpga_netlist::ir::{CellKind, NetId};
-use fpga_pack::{Clustering, ClusterId};
+use fpga_pack::{ClusterId, Clustering};
 use fpga_place::{BlockRef, Placement};
 
 use crate::pathfinder::RouteResult;
@@ -37,7 +37,12 @@ pub struct LogicDelays {
 
 impl Default for LogicDelays {
     fn default() -> Self {
-        LogicDelays { lut: 650e-12, local: 150e-12, clk_to_q: 105e-12, setup: 60e-12 }
+        LogicDelays {
+            lut: 650e-12,
+            local: 150e-12,
+            clk_to_q: 105e-12,
+            setup: 60e-12,
+        }
     }
 }
 
@@ -140,8 +145,7 @@ pub fn analyze_paths(
         let mut worst = 0.0f64;
         let mut worst_src: Option<NetId> = None;
         for &input in &cell.inputs {
-            let a = arrival.get(&input).copied().unwrap_or(0.0)
-                + conn_delay(input, cid.0);
+            let a = arrival.get(&input).copied().unwrap_or(0.0) + conn_delay(input, cid.0);
             if a >= worst {
                 worst = a;
                 worst_src = Some(input);
@@ -161,9 +165,7 @@ pub fn analyze_paths(
     for cell in &nl.cells {
         if let CellKind::Dff { .. } = cell.kind {
             let d = cell.inputs[0];
-            let t = arrival.get(&d).copied().unwrap_or(0.0)
-                + conn_delay(d, u32::MAX)
-                + logic.setup;
+            let t = arrival.get(&d).copied().unwrap_or(0.0) + conn_delay(d, u32::MAX) + logic.setup;
             if t > worst_end {
                 worst_end = t;
                 worst_net = Some(d);
@@ -196,7 +198,11 @@ pub fn analyze_paths(
     }
     critical_path.reverse();
 
-    StaResult { arrival, critical_path, critical_delay: worst_end }
+    StaResult {
+        arrival,
+        critical_path,
+        critical_delay: worst_end,
+    }
 }
 
 #[cfg(test)]
@@ -232,10 +238,25 @@ mod tests {
         let nl = lut_chain(n);
         let c = fpga_pack::pack(&nl, &ClbArch::paper_default()).unwrap();
         let device = Device::sized_for(Architecture::paper_default(), c.clusters.len(), 4);
-        let p = place(&c, device, PlaceOptions { seed: 4, inner_num: 1.0 }).unwrap();
+        let p = place(
+            &c,
+            device,
+            PlaceOptions {
+                seed: 4,
+                inner_num: 1.0,
+            },
+        )
+        .unwrap();
         let g = RrGraph::build(&p.device, 10);
         let r = route(&c, &p, &g, &RouteOptions::default()).unwrap();
-        analyze_paths(&c, &p, &r, &g, &TimingModel::default(), &LogicDelays::default())
+        analyze_paths(
+            &c,
+            &p,
+            &r,
+            &g,
+            &TimingModel::default(),
+            &LogicDelays::default(),
+        )
     }
 
     #[test]
@@ -272,13 +293,37 @@ mod tests {
         let d1 = nl.net("d1");
         let q1 = nl.net("q1");
         nl.add_output(q1);
-        nl.add_cell("f0", CellKind::Dff { clock: clk, init: false }, vec![q1], q0);
+        nl.add_cell(
+            "f0",
+            CellKind::Dff {
+                clock: clk,
+                init: false,
+            },
+            vec![q1],
+            q0,
+        );
         nl.add_cell("l0", CellKind::Lut { k: 1, truth: 0b10 }, vec![q0], w);
         nl.add_cell("l1", CellKind::Lut { k: 1, truth: 0b01 }, vec![w], d1);
-        nl.add_cell("f1", CellKind::Dff { clock: clk, init: false }, vec![d1], q1);
+        nl.add_cell(
+            "f1",
+            CellKind::Dff {
+                clock: clk,
+                init: false,
+            },
+            vec![d1],
+            q1,
+        );
         let c = fpga_pack::pack(&nl, &ClbArch::paper_default()).unwrap();
         let device = Device::sized_for(Architecture::paper_default(), c.clusters.len(), 3);
-        let p = place(&c, device, PlaceOptions { seed: 1, inner_num: 1.0 }).unwrap();
+        let p = place(
+            &c,
+            device,
+            PlaceOptions {
+                seed: 1,
+                inner_num: 1.0,
+            },
+        )
+        .unwrap();
         let g = RrGraph::build(&p.device, 8);
         let r = route(&c, &p, &g, &RouteOptions::default()).unwrap();
         let logic = LogicDelays::default();

@@ -41,14 +41,14 @@ impl Default for TimingModel {
 }
 
 /// Elmore delay (s) from the net source to each sink.
-pub fn net_delays(
-    net: &RoutedNet,
-    g: &RrGraph,
-    model: &TimingModel,
-) -> HashMap<RrNodeId, f64> {
+pub fn net_delays(net: &RoutedNet, g: &RrGraph, model: &TimingModel) -> HashMap<RrNodeId, f64> {
     // Downstream capacitance per tree node.
-    let idx: HashMap<RrNodeId, usize> =
-        net.tree.iter().enumerate().map(|(i, (n, _))| (*n, i)).collect();
+    let idx: HashMap<RrNodeId, usize> = net
+        .tree
+        .iter()
+        .enumerate()
+        .map(|(i, (n, _))| (*n, i))
+        .collect();
     let node_c = |id: RrNodeId| -> f64 {
         match g.kind(id) {
             RrKind::Chanx { .. } | RrKind::Chany { .. } => model.wire_c,
@@ -113,7 +113,11 @@ pub fn analyze(result: &RouteResult, g: &RrGraph, model: &TimingModel) -> Timing
     }
     TimingReport {
         worst_net_delay: worst,
-        mean_net_delay: if count == 0 { 0.0 } else { total / count as f64 },
+        mean_net_delay: if count == 0 {
+            0.0
+        } else {
+            total / count as f64
+        },
         critical_path_estimate: worst + model.clb_delay,
     }
 }
@@ -123,8 +127,8 @@ mod tests {
     use super::*;
     use crate::pathfinder::{route, RouteOptions};
     use crate::rrgraph::RrGraph;
-    use fpga_arch::{Architecture, ClbArch};
     use fpga_arch::device::Device;
+    use fpga_arch::{Architecture, ClbArch};
     use fpga_netlist::ir::{CellKind, Netlist};
     use fpga_place::{place, PlaceOptions};
 
@@ -135,13 +139,26 @@ mod tests {
         let mut prev = a;
         for i in 0..6 {
             let w = nl.net(&format!("w{i}"));
-            nl.add_cell(&format!("l{i}"), CellKind::Lut { k: 1, truth: 0b01 }, vec![prev], w);
+            nl.add_cell(
+                &format!("l{i}"),
+                CellKind::Lut { k: 1, truth: 0b01 },
+                vec![prev],
+                w,
+            );
             prev = w;
         }
         nl.add_output(prev);
         let c = fpga_pack::pack(&nl, &ClbArch::paper_default()).unwrap();
         let device = Device::sized_for(Architecture::paper_default(), c.clusters.len(), 4);
-        let p = place(&c, device, PlaceOptions { seed: 5, inner_num: 1.0 }).unwrap();
+        let p = place(
+            &c,
+            device,
+            PlaceOptions {
+                seed: 5,
+                inner_num: 1.0,
+            },
+        )
+        .unwrap();
         let g = RrGraph::build(&p.device, 8);
         let r = route(&c, &p, &g, &RouteOptions::default()).unwrap();
         (r, g)
@@ -190,7 +207,10 @@ mod tests {
             let (short_wl, short_d) = by_len[0];
             let (long_wl, long_d) = by_len[by_len.len() - 1];
             if long_wl > short_wl + 2 {
-                assert!(long_d > short_d, "{long_wl} seg {long_d} vs {short_wl} seg {short_d}");
+                assert!(
+                    long_d > short_d,
+                    "{long_wl} seg {long_d} vs {short_wl} seg {short_d}"
+                );
             }
         }
     }

@@ -1,0 +1,147 @@
+//! `flowc` — command-line client for `flowd`.
+//!
+//! ```text
+//! flowc [--tcp HOST:PORT | --unix PATH] compile design.vhd [--blif]
+//!       [--seed N] [--effort F] [--width W] [--cycles N]
+//!       [-o design.bit] [--report report.json]
+//! flowc [...] stats | ping | shutdown
+//! ```
+
+use std::io::Write;
+
+use fpga_flow::cli;
+use fpga_server::FlowClient;
+use serde_json::Value;
+
+fn connect(args: &cli::Args) -> FlowClient {
+    if let Some(path) = args.options.get("unix") {
+        match FlowClient::connect_unix(path) {
+            Ok(c) => return c,
+            Err(e) => cli::die("flowc", format!("cannot connect to unix:{path}: {e}")),
+        }
+    }
+    let addr = args
+        .options
+        .get("tcp")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7171".to_string());
+    match FlowClient::connect_tcp(addr.as_str()) {
+        Ok(c) => c,
+        Err(e) => cli::die("flowc", format!("cannot connect to tcp://{addr}: {e}")),
+    }
+}
+
+fn main() {
+    let args = cli::parse_args(&[
+        "tcp", "unix", "seed", "effort", "width", "cycles", "o", "report",
+    ]);
+    cli::handle_version("flowc", &args);
+
+    let Some(cmd) = args.positionals.first().map(String::as_str) else {
+        eprintln!("usage: flowc [--tcp HOST:PORT | --unix PATH] <compile|stats|ping|shutdown> ...");
+        std::process::exit(2);
+    };
+    let mut client = connect(&args);
+    match cmd {
+        "ping" => match client.ping() {
+            Ok(v) => println!("{v}"),
+            Err(e) => cli::die("flowc", e),
+        },
+        "stats" => match client.stats() {
+            Ok(v) => println!(
+                "{}",
+                serde_json::to_string_pretty(&v).expect("stats render")
+            ),
+            Err(e) => cli::die("flowc", e),
+        },
+        "shutdown" => match client.shutdown_server() {
+            Ok(_) => println!("flowd acknowledged shutdown"),
+            Err(e) => cli::die("flowc", e),
+        },
+        "compile" => compile(&args, &mut client),
+        other => cli::die("flowc", format!("unknown command '{other}'")),
+    }
+}
+
+fn compile(args: &cli::Args, client: &mut FlowClient) {
+    let Some(path) = args.positionals.get(1) else {
+        eprintln!("usage: flowc compile <design.vhd|design.blif> [--blif] [--seed N] ...");
+        std::process::exit(2);
+    };
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => cli::die("flowc", format!("cannot read '{path}': {e}")),
+    };
+    let format = if args.flags.iter().any(|f| f == "blif") || path.ends_with(".blif") {
+        "blif"
+    } else {
+        "vhdl"
+    };
+
+    let mut options = serde_json::Map::new();
+    let mut numeric = |flag: &str, wire: &str| {
+        if let Some(raw) = args.options.get(flag) {
+            match raw.parse::<f64>() {
+                Ok(n) if n.fract() == 0.0 && flag != "effort" => {
+                    options.insert(wire.to_string(), serde_json::json!(n as u64));
+                }
+                Ok(n) => {
+                    options.insert(wire.to_string(), serde_json::json!(n));
+                }
+                Err(_) => cli::die("flowc", format!("bad --{flag} '{raw}'")),
+            }
+        }
+    };
+    numeric("seed", "place_seed");
+    numeric("effort", "place_effort");
+    numeric("width", "channel_width");
+    numeric("cycles", "verify_cycles");
+    let options = if options.is_empty() {
+        Value::Null
+    } else {
+        Value::Object(options)
+    };
+
+    let outcome = match client.compile(format, &source, options) {
+        Ok(o) => o,
+        Err(e) => cli::die("flowc", e),
+    };
+    for ev in &outcome.stage_events {
+        let stage = ev.get("stage").and_then(Value::as_str).unwrap_or("?");
+        let ms = ev.get("elapsed_ms").and_then(Value::as_f64).unwrap_or(0.0);
+        let cached = ev
+            .get("metrics")
+            .and_then(|m| m.get("cache"))
+            .and_then(Value::as_str)
+            .map(|c| format!(" [cache {c}]"))
+            .unwrap_or_default();
+        eprintln!("job {} | {stage:<28} {ms:>9.2} ms{cached}", outcome.job);
+    }
+    if let Some(report_path) = args.options.get("report") {
+        let text = serde_json::to_string_pretty(&outcome.report).expect("report renders");
+        if let Err(e) = std::fs::write(report_path, text) {
+            cli::die("flowc", format!("cannot write '{report_path}': {e}"));
+        }
+        eprintln!("wrote {report_path}");
+    }
+    match args.options.get("o") {
+        Some(out) => {
+            if let Err(e) = std::fs::write(out, &outcome.bitstream) {
+                cli::die("flowc", format!("cannot write '{out}': {e}"));
+            }
+            eprintln!("wrote {out} ({} bytes)", outcome.bitstream.len());
+        }
+        None => {
+            // No output path: the bitstream goes to stdout (progress and
+            // summaries all go to stderr, so redirection stays clean).
+            let mut stdout = std::io::stdout();
+            let _ = stdout.write_all(&outcome.bitstream);
+            let _ = stdout.flush();
+        }
+    }
+    eprintln!(
+        "job {} done ({} bytes of bitstream)",
+        outcome.job,
+        outcome.bitstream.len()
+    );
+}

@@ -1,0 +1,53 @@
+//! `flowd` — the compile-service daemon (the paper's web-server front
+//! end, Fig. 12). Serves newline-delimited JSON over TCP and/or a Unix
+//! socket; see `fpga-server`'s crate docs for the protocol.
+
+use fpga_flow::cli;
+use fpga_server::{Server, ServerConfig};
+
+fn main() {
+    let args = cli::parse_args(&["tcp", "unix", "workers", "queue"]);
+    cli::handle_version("flowd", &args);
+
+    let mut config = ServerConfig::default();
+    if let Some(addr) = args.options.get("tcp") {
+        config.tcp_addr = Some(addr.clone());
+    }
+    if let Some(path) = args.options.get("unix") {
+        config.unix_path = Some(path.into());
+        // An explicit --unix with no --tcp means unix-only.
+        if !args.options.contains_key("tcp") {
+            config.tcp_addr = None;
+        }
+    }
+    if let Some(w) = args.options.get("workers") {
+        match w.parse() {
+            Ok(n) if n > 0 => config.workers = n,
+            _ => cli::die("flowd", format!("bad --workers '{w}'")),
+        }
+    }
+    if let Some(q) = args.options.get("queue") {
+        match q.parse() {
+            Ok(n) if n > 0 => config.queue_capacity = n,
+            _ => cli::die("flowd", format!("bad --queue '{q}'")),
+        }
+    }
+
+    let server = match Server::start(config.clone()) {
+        Ok(s) => s,
+        Err(e) => cli::die("flowd", e),
+    };
+    eprintln!("flowd {} starting", fpga_flow::FLOW_VERSION);
+    if let Some(addr) = server.tcp_addr() {
+        eprintln!("flowd listening on tcp://{addr}");
+    }
+    if let Some(path) = server.unix_path() {
+        eprintln!("flowd listening on unix:{}", path.display());
+    }
+    eprintln!(
+        "flowd {} workers, queue depth {} (stop with: flowc shutdown)",
+        config.workers, config.queue_capacity
+    );
+    server.wait();
+    eprintln!("flowd drained and stopped");
+}

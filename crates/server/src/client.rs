@@ -1,0 +1,199 @@
+//! `flowc`'s library half: a blocking client for the flowd protocol.
+
+use std::io::{self, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use serde_json::Value;
+
+use crate::proto::{self, from_hex};
+
+/// Either transport, behind one blocking interface.
+enum Conn {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Conn {
+    fn try_clone(&self) -> io::Result<Conn> {
+        match self {
+            Conn::Tcp(s) => s.try_clone().map(Conn::Tcp),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.try_clone().map(Conn::Unix),
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// The final state of one compile submission.
+#[derive(Debug)]
+pub struct CompileOutcome {
+    /// Server-assigned job id.
+    pub job: u64,
+    /// The streamed `stage` events, in arrival order.
+    pub stage_events: Vec<Value>,
+    /// The flow report from the `done` event.
+    pub report: Value,
+    /// Decoded bitstream bytes.
+    pub bitstream: Vec<u8>,
+}
+
+/// A connected client. One request/response exchange at a time.
+pub struct FlowClient {
+    reader: BufReader<Conn>,
+    writer: Conn,
+}
+
+impl FlowClient {
+    pub fn connect_tcp(addr: impl ToSocketAddrs) -> io::Result<FlowClient> {
+        Self::from_conn(Conn::Tcp(TcpStream::connect(addr)?))
+    }
+
+    #[cfg(unix)]
+    pub fn connect_unix(path: impl AsRef<Path>) -> io::Result<FlowClient> {
+        Self::from_conn(Conn::Unix(UnixStream::connect(path)?))
+    }
+
+    #[cfg(not(unix))]
+    pub fn connect_unix(_path: impl AsRef<Path>) -> io::Result<FlowClient> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "unix sockets are not available on this platform",
+        ))
+    }
+
+    fn from_conn(conn: Conn) -> io::Result<FlowClient> {
+        let writer = conn.try_clone()?;
+        Ok(FlowClient {
+            reader: BufReader::new(conn),
+            writer,
+        })
+    }
+
+    fn send(&mut self, v: &Value) -> io::Result<()> {
+        proto::write_line(&mut self.writer, v)
+    }
+
+    fn recv(&mut self) -> io::Result<Value> {
+        proto::read_line(&mut self.reader)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
+        })
+    }
+
+    /// `ping` — returns the `pong` event (carries the server version).
+    pub fn ping(&mut self) -> io::Result<Value> {
+        self.send(&serde_json::json!({"cmd": "ping"}))?;
+        self.recv()
+    }
+
+    /// `stats` — job counters plus per-stage cache metrics.
+    pub fn stats(&mut self) -> io::Result<Value> {
+        self.send(&serde_json::json!({"cmd": "stats"}))?;
+        self.recv()
+    }
+
+    /// `shutdown` — ask the daemon to drain and exit.
+    pub fn shutdown_server(&mut self) -> io::Result<Value> {
+        self.send(&serde_json::json!({"cmd": "shutdown"}))?;
+        self.recv()
+    }
+
+    /// Submit a design and block until it finishes, collecting the
+    /// streamed stage events along the way. `options` uses the wire
+    /// option names (`place_seed`, `place_effort`, `channel_width`,
+    /// `verify_cycles`, `arch`); pass `Value::Null` for all-defaults.
+    ///
+    /// Flow errors and rejections come back as `io::ErrorKind::Other`
+    /// with the server's message.
+    pub fn compile(
+        &mut self,
+        format: &str,
+        source: &str,
+        options: Value,
+    ) -> io::Result<CompileOutcome> {
+        let mut req = serde_json::Map::new();
+        req.insert("cmd".to_string(), serde_json::json!("compile"));
+        req.insert("format".to_string(), serde_json::json!(format));
+        req.insert("source".to_string(), serde_json::json!(source));
+        if !options.is_null() {
+            req.insert("options".to_string(), options);
+        }
+        self.send(&Value::Object(req))?;
+
+        let mut job = 0u64;
+        let mut stage_events = Vec::new();
+        loop {
+            let event = self.recv()?;
+            match event.get("event").and_then(Value::as_str) {
+                Some("queued") => {
+                    job = event.get("job").and_then(Value::as_u64).unwrap_or(0);
+                }
+                Some("stage") => stage_events.push(event),
+                Some("done") => {
+                    let hex = event
+                        .get("bitstream_hex")
+                        .and_then(Value::as_str)
+                        .unwrap_or_default();
+                    let bitstream =
+                        from_hex(hex).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+                    let report = event.get("report").cloned().unwrap_or(Value::Null);
+                    return Ok(CompileOutcome {
+                        job,
+                        stage_events,
+                        report,
+                        bitstream,
+                    });
+                }
+                Some("rejected") => {
+                    let reason = event
+                        .get("reason")
+                        .and_then(Value::as_str)
+                        .unwrap_or("rejected")
+                        .to_string();
+                    return Err(io::Error::other(format!("job rejected: {reason}")));
+                }
+                Some("error") => {
+                    let stage = event.get("stage").and_then(Value::as_str).unwrap_or("?");
+                    let message = event.get("message").and_then(Value::as_str).unwrap_or("");
+                    return Err(io::Error::other(format!("[{stage}] {message}")));
+                }
+                other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unexpected event {other:?}"),
+                    ));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! # fpga-server
+//!
+//! `flowd`, a concurrent compile-service daemon, and `flowc`, its command
+//! line client — the stand-in for the paper's web server front end
+//! (Fig. 12): users hand a design to a long-running service and get back
+//! per-stage progress, a report, and the configuration bitstream.
+//!
+//! The daemon accepts newline-delimited JSON requests over TCP and/or a
+//! Unix-domain socket (std-only networking), queues compile jobs into a
+//! bounded, backpressured queue, and runs them on a fixed worker pool.
+//! All workers share one content-addressed [`fpga_flow::StageCache`], so
+//! identical submissions — even concurrent ones, thanks to the cache's
+//! single-flight lookups — cost one computation per stage and later
+//! clients are served byte-identical bitstreams from cache.
+//!
+//! Protocol (one JSON object per line, client speaks first):
+//!
+//! ```text
+//! -> {"cmd":"compile","format":"vhdl","source":"...","options":{"place_seed":7}}
+//! <- {"event":"queued","job":1}
+//! <- {"event":"stage","job":1,"stage":"synthesis (VHDL Parser + DIVINER)",...}
+//! <- ... one per stage ...
+//! <- {"event":"done","job":1,"report":{...},"bitstream_hex":"..."}
+//! ```
+//!
+//! plus `{"cmd":"ping"}`, `{"cmd":"stats"}` (job counters and per-stage
+//! cache hit/miss/wall-time metrics) and `{"cmd":"shutdown"}` (graceful:
+//! new jobs are rejected, queued jobs drain, then the daemon exits).
+
+pub mod client;
+pub mod proto;
+pub mod queue;
+pub mod service;
+
+pub use client::{CompileOutcome, FlowClient};
+pub use proto::{CompileRequest, Request, SourceFormat};
+pub use queue::{JobQueue, SubmitError};
+pub use service::{Server, ServerConfig};

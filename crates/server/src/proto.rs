@@ -1,0 +1,210 @@
+//! Wire protocol: newline-delimited JSON, one object per line.
+//!
+//! Requests and events are plain JSON objects rather than derived enum
+//! encodings — the protocol is the contract here, so it is parsed and
+//! emitted explicitly, field by field.
+
+use std::io::{self, BufRead, Write};
+
+use fpga_arch::Architecture;
+use fpga_flow::FlowOptions;
+use serde_json::Value;
+
+/// Source language of a submitted design.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SourceFormat {
+    Vhdl,
+    Blif,
+}
+
+impl SourceFormat {
+    pub fn name(self) -> &'static str {
+        match self {
+            SourceFormat::Vhdl => "vhdl",
+            SourceFormat::Blif => "blif",
+        }
+    }
+}
+
+/// A compile submission.
+#[derive(Clone, Debug)]
+pub struct CompileRequest {
+    pub format: SourceFormat,
+    pub source: String,
+    pub options: FlowOptions,
+}
+
+/// Everything a client can ask.
+#[derive(Clone, Debug)]
+pub enum Request {
+    Ping,
+    Stats,
+    Shutdown,
+    Compile(Box<CompileRequest>),
+}
+
+/// Parse one request line.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v: Value = serde_json::from_str(line).map_err(|e| format!("bad JSON: {e}"))?;
+    let cmd = v
+        .get("cmd")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "missing 'cmd'".to_string())?;
+    match cmd {
+        "ping" => Ok(Request::Ping),
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        "compile" => {
+            let format = match v.get("format").and_then(Value::as_str) {
+                Some("vhdl") | None => SourceFormat::Vhdl,
+                Some("blif") => SourceFormat::Blif,
+                Some(other) => return Err(format!("unknown format '{other}'")),
+            };
+            let source = v
+                .get("source")
+                .and_then(Value::as_str)
+                .ok_or_else(|| "missing 'source'".to_string())?
+                .to_string();
+            let options = parse_options(v.get("options"))?;
+            Ok(Request::Compile(Box::new(CompileRequest {
+                format,
+                source,
+                options,
+            })))
+        }
+        other => Err(format!("unknown cmd '{other}'")),
+    }
+}
+
+/// Overlay the request's option fields onto [`FlowOptions::default`].
+/// Absent fields keep their defaults; `channel_width: null` means
+/// "search the minimum" explicitly.
+fn parse_options(v: Option<&Value>) -> Result<FlowOptions, String> {
+    let mut opts = FlowOptions::default();
+    let Some(v) = v else { return Ok(opts) };
+    if v.is_null() {
+        return Ok(opts);
+    }
+    let obj = v
+        .as_object()
+        .ok_or_else(|| "'options' must be an object".to_string())?;
+    for (key, val) in obj.iter() {
+        match key.as_str() {
+            "place_seed" => {
+                opts.place_seed = val
+                    .as_u64()
+                    .ok_or_else(|| "place_seed must be an integer".to_string())?;
+            }
+            "place_effort" => {
+                opts.place_effort = val
+                    .as_f64()
+                    .ok_or_else(|| "place_effort must be a number".to_string())?;
+            }
+            "channel_width" => {
+                opts.channel_width = if val.is_null() {
+                    None
+                } else {
+                    Some(
+                        val.as_u64()
+                            .ok_or_else(|| "channel_width must be an integer".to_string())?
+                            as usize,
+                    )
+                };
+            }
+            "verify_cycles" => {
+                opts.verify_cycles = val
+                    .as_u64()
+                    .ok_or_else(|| "verify_cycles must be an integer".to_string())?
+                    as usize;
+            }
+            "arch" => {
+                let text = serde_json::to_string(val).map_err(|e| e.to_string())?;
+                opts.arch =
+                    Architecture::from_json(&text).map_err(|e| format!("bad 'arch': {e}"))?;
+            }
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Write one event line and flush (clients block on complete lines).
+pub fn write_line(w: &mut impl Write, v: &Value) -> io::Result<()> {
+    writeln!(w, "{v}")?;
+    w.flush()
+}
+
+/// Read the next line as JSON. `Ok(None)` on clean EOF.
+pub fn read_line(r: &mut impl BufRead) -> io::Result<Option<Value>> {
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if r.read_line(&mut line)? == 0 {
+            return Ok(None);
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        return serde_json::from_str(line.trim())
+            .map(Some)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()));
+    }
+}
+
+/// Lowercase hex encoding for bitstream bytes on the wire.
+pub fn to_hex(bytes: &[u8]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        write!(s, "{b:02x}").expect("write to String");
+    }
+    s
+}
+
+/// Inverse of [`to_hex`].
+pub fn from_hex(s: &str) -> Result<Vec<u8>, String> {
+    if !s.len().is_multiple_of(2) {
+        return Err("odd-length hex".to_string());
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).map_err(|_| format!("bad hex at {i}")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_compile_with_options() {
+        let req = parse_request(
+            r#"{"cmd":"compile","format":"blif","source":".model m",
+                "options":{"place_seed":9,"channel_width":12,"verify_cycles":0}}"#,
+        )
+        .unwrap();
+        let Request::Compile(c) = req else {
+            panic!("not compile")
+        };
+        assert_eq!(c.format, SourceFormat::Blif);
+        assert_eq!(c.options.place_seed, 9);
+        assert_eq!(c.options.channel_width, Some(12));
+        assert_eq!(c.options.verify_cycles, 0);
+        // Untouched fields keep defaults.
+        assert_eq!(c.options.place_effort, FlowOptions::default().place_effort);
+    }
+
+    #[test]
+    fn rejects_unknown_cmd_and_option() {
+        assert!(parse_request(r#"{"cmd":"fly"}"#).is_err());
+        assert!(parse_request(r#"{"cmd":"compile","source":"x","options":{"speed":9}}"#).is_err());
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        let data = vec![0u8, 1, 0xab, 0xff, 0x10];
+        assert_eq!(from_hex(&to_hex(&data)).unwrap(), data);
+        assert!(from_hex("abc").is_err());
+        assert!(from_hex("zz").is_err());
+    }
+}

@@ -1,0 +1,155 @@
+//! Bounded, backpressured job queue.
+//!
+//! Submissions beyond the capacity are *rejected*, not blocked: the
+//! daemon tells the client the service is saturated instead of letting
+//! connection threads pile up behind a silent queue. Workers block on
+//! [`JobQueue::next`]; after [`JobQueue::drain`] the queue refuses new
+//! work, lets workers finish what is already queued, and then releases
+//! them with `None`.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a submission was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// At capacity — try again later.
+    Full,
+    /// The daemon is shutting down and takes no new work.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Full => write!(f, "queue full"),
+            SubmitError::ShuttingDown => write!(f, "shutting down"),
+        }
+    }
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    draining: bool,
+}
+
+/// The queue. Shared by reference (the server wraps it in an `Arc`).
+pub struct JobQueue<T> {
+    state: Mutex<State<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl<T> JobQueue<T> {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        JobQueue {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                draining: false,
+            }),
+            available: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueue, or reject with the reason.
+    pub fn submit(&self, item: T) -> Result<(), SubmitError> {
+        let mut s = self.state.lock().expect("queue lock");
+        if s.draining {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if s.items.len() >= self.capacity {
+            return Err(SubmitError::Full);
+        }
+        s.items.push_back(item);
+        drop(s);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Block until an item is available. `None` means the queue is
+    /// draining and empty — the worker should exit.
+    pub fn next(&self) -> Option<T> {
+        let mut s = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(item) = s.items.pop_front() {
+                return Some(item);
+            }
+            if s.draining {
+                return None;
+            }
+            s = self.available.wait(s).expect("queue lock");
+        }
+    }
+
+    /// Stop accepting work; queued items still run, then workers drain
+    /// out through `next() == None`.
+    pub fn drain(&self) {
+        self.state.lock().expect("queue lock").draining = true;
+        self.available.notify_all();
+    }
+
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue lock").items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn rejects_when_full_and_when_draining() {
+        let q = JobQueue::new(2);
+        assert_eq!(q.submit(1), Ok(()));
+        assert_eq!(q.submit(2), Ok(()));
+        assert_eq!(q.submit(3), Err(SubmitError::Full));
+        assert_eq!(q.next(), Some(1));
+        assert_eq!(q.submit(3), Ok(()));
+        q.drain();
+        assert_eq!(q.submit(4), Err(SubmitError::ShuttingDown));
+        // Queued work still drains in order, then workers are released.
+        assert_eq!(q.next(), Some(2));
+        assert_eq!(q.next(), Some(3));
+        assert_eq!(q.next(), None);
+    }
+
+    #[test]
+    fn blocking_consumers_wake_on_submit_and_drain() {
+        let q = Arc::new(JobQueue::new(4));
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = q.next() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for i in 0..10 {
+            while q.submit(i) == Err(SubmitError::Full) {
+                std::thread::yield_now();
+            }
+        }
+        // Let the consumers empty the queue before draining.
+        while !q.is_empty() {
+            std::thread::yield_now();
+        }
+        q.drain();
+        let mut all: Vec<i32> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+}

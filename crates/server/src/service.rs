@@ -1,0 +1,499 @@
+//! The daemon: listeners, worker pool, job lifecycle, graceful shutdown.
+
+use std::io::{BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::{fmt, io};
+
+use fpga_flow::{FlowCtx, StageCache};
+use serde_json::Value;
+
+use crate::proto::{self, CompileRequest, Request, SourceFormat};
+use crate::queue::JobQueue;
+
+/// Where and how the daemon runs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// TCP bind address, e.g. `"127.0.0.1:7171"` (`:0` picks a free
+    /// port). `None` disables TCP.
+    pub tcp_addr: Option<String>,
+    /// Unix-domain socket path. `None` disables it. Unix only.
+    pub unix_path: Option<PathBuf>,
+    /// Worker threads compiling jobs.
+    pub workers: usize,
+    /// Bounded queue depth; submissions beyond it are rejected.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            tcp_addr: Some("127.0.0.1:0".to_string()),
+            unix_path: None,
+            workers: 2,
+            queue_capacity: 32,
+        }
+    }
+}
+
+/// One queued compile job: the request plus the channel its events flow
+/// back through (the submitting connection forwards them to the client).
+struct Job {
+    id: u64,
+    req: CompileRequest,
+    events: mpsc::Sender<Value>,
+}
+
+struct Shared {
+    cache: StageCache,
+    queue: JobQueue<Job>,
+    shutting_down: AtomicBool,
+    jobs_submitted: AtomicU64,
+    jobs_completed: AtomicU64,
+    jobs_failed: AtomicU64,
+    jobs_rejected: AtomicU64,
+    next_job_id: AtomicU64,
+}
+
+impl Shared {
+    fn stats_json(&self) -> Value {
+        let mut jobs = serde_json::Map::new();
+        jobs.insert(
+            "submitted".to_string(),
+            serde_json::json!(self.jobs_submitted.load(Ordering::Relaxed)),
+        );
+        jobs.insert(
+            "completed".to_string(),
+            serde_json::json!(self.jobs_completed.load(Ordering::Relaxed)),
+        );
+        jobs.insert(
+            "failed".to_string(),
+            serde_json::json!(self.jobs_failed.load(Ordering::Relaxed)),
+        );
+        jobs.insert(
+            "rejected".to_string(),
+            serde_json::json!(self.jobs_rejected.load(Ordering::Relaxed)),
+        );
+        jobs.insert(
+            "queued".to_string(),
+            serde_json::json!(self.queue.len() as u64),
+        );
+        let mut root = serde_json::Map::new();
+        root.insert("event".to_string(), serde_json::json!("stats"));
+        root.insert(
+            "version".to_string(),
+            serde_json::json!(fpga_flow::FLOW_VERSION),
+        );
+        root.insert("jobs".to_string(), Value::Object(jobs));
+        root.insert("cache".to_string(), self.cache.stats_json());
+        Value::Object(root)
+    }
+}
+
+/// A running daemon. Dropping it without calling [`Server::shutdown`] or
+/// [`Server::wait`] aborts listeners non-gracefully at process exit;
+/// tests and `flowd` always go through the graceful path.
+pub struct Server {
+    shared: Arc<Shared>,
+    tcp_addr: Option<SocketAddr>,
+    unix_path: Option<PathBuf>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl fmt::Debug for Server {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Server")
+            .field("tcp_addr", &self.tcp_addr)
+            .field("unix_path", &self.unix_path)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Bind the configured listeners and start the worker pool.
+    pub fn start(config: ServerConfig) -> io::Result<Server> {
+        if config.tcp_addr.is_none() && config.unix_path.is_none() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "flowd needs at least one of --tcp / --unix",
+            ));
+        }
+        let shared = Arc::new(Shared {
+            cache: StageCache::new(),
+            queue: JobQueue::new(config.queue_capacity.max(1)),
+            shutting_down: AtomicBool::new(false),
+            jobs_submitted: AtomicU64::new(0),
+            jobs_completed: AtomicU64::new(0),
+            jobs_failed: AtomicU64::new(0),
+            jobs_rejected: AtomicU64::new(0),
+            next_job_id: AtomicU64::new(1),
+        });
+
+        let mut threads = Vec::new();
+        for i in 0..config.workers.max(1) {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("flowd-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))?,
+            );
+        }
+
+        let tcp_addr = match &config.tcp_addr {
+            Some(addr) => {
+                let listener = TcpListener::bind(addr.as_str())?;
+                let local = listener.local_addr()?;
+                let shared = Arc::clone(&shared);
+                threads.push(
+                    std::thread::Builder::new()
+                        .name("flowd-accept-tcp".to_string())
+                        .spawn(move || tcp_accept_loop(listener, &shared))?,
+                );
+                Some(local)
+            }
+            None => None,
+        };
+
+        #[cfg(unix)]
+        let unix_path = match &config.unix_path {
+            Some(path) => {
+                // A previous daemon's socket file would make bind fail.
+                let _ = std::fs::remove_file(path);
+                let listener = UnixListener::bind(path)?;
+                let shared = Arc::clone(&shared);
+                let path = path.clone();
+                let thread_path = path.clone();
+                threads.push(
+                    std::thread::Builder::new()
+                        .name("flowd-accept-unix".to_string())
+                        .spawn(move || unix_accept_loop(listener, &shared, &thread_path))?,
+                );
+                Some(path)
+            }
+            None => None,
+        };
+        #[cfg(not(unix))]
+        let unix_path = {
+            if config.unix_path.is_some() {
+                return Err(io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    "unix sockets are not available on this platform",
+                ));
+            }
+            None
+        };
+
+        Ok(Server {
+            shared,
+            tcp_addr,
+            unix_path,
+            threads,
+        })
+    }
+
+    /// The bound TCP address (with the real port when `:0` was asked).
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// The bound Unix socket path.
+    pub fn unix_path(&self) -> Option<&PathBuf> {
+        self.unix_path.as_ref()
+    }
+
+    /// The shared stage cache (tests assert on its counters).
+    pub fn cache(&self) -> &StageCache {
+        &self.shared.cache
+    }
+
+    /// Current job + cache statistics.
+    pub fn stats_json(&self) -> Value {
+        self.shared.stats_json()
+    }
+
+    /// Graceful shutdown: reject new jobs, drain the queue, stop the
+    /// listeners, join every daemon thread.
+    pub fn shutdown(mut self) {
+        trigger_shutdown(&self.shared, self.tcp_addr, self.unix_path.as_deref());
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        if let Some(path) = &self.unix_path {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    /// Block until a client's `shutdown` command stops the daemon (what
+    /// `flowd` does after printing its banner).
+    pub fn wait(mut self) {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        if let Some(path) = &self.unix_path {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// Flip the flag, drain the queue, and poke each listener with a no-op
+/// connection so its blocking `accept` observes the flag and exits.
+fn trigger_shutdown(
+    shared: &Shared,
+    tcp_addr: Option<SocketAddr>,
+    unix_path: Option<&std::path::Path>,
+) {
+    if shared.shutting_down.swap(true, Ordering::SeqCst) {
+        return; // already triggered
+    }
+    shared.queue.drain();
+    if let Some(addr) = tcp_addr {
+        let _ = TcpStream::connect(addr);
+    }
+    #[cfg(unix)]
+    if let Some(path) = unix_path {
+        let _ = UnixStream::connect(path);
+    }
+    #[cfg(not(unix))]
+    let _ = unix_path;
+}
+
+fn tcp_accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    return;
+                }
+                let shared = Arc::clone(shared);
+                let addr = listener.local_addr().ok();
+                let _ = std::thread::Builder::new()
+                    .name("flowd-conn".to_string())
+                    .spawn(move || serve_connection(stream, &shared, addr, None));
+            }
+            Err(_) => {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(unix)]
+fn unix_accept_loop(listener: UnixListener, shared: &Arc<Shared>, path: &std::path::Path) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    return;
+                }
+                let shared = Arc::clone(shared);
+                let path = path.to_path_buf();
+                let _ = std::thread::Builder::new()
+                    .name("flowd-conn".to_string())
+                    .spawn(move || serve_connection(stream, &shared, None, Some(path)));
+            }
+            Err(_) => {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Serve one client connection: a loop of request lines, each answered
+/// by one or more event lines. Works over any bidirectional stream.
+fn serve_connection<S: Read + Write + TryCloneStream>(
+    stream: S,
+    shared: &Arc<Shared>,
+    tcp_addr: Option<SocketAddr>,
+    unix_path: Option<PathBuf>,
+) {
+    let Ok(mut writer) = stream.try_clone_stream() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let line = match proto::read_line(&mut reader) {
+            Ok(Some(v)) => v,
+            Ok(None) => return, // client hung up
+            Err(e) => {
+                let _ = proto::write_line(
+                    &mut writer,
+                    &serde_json::json!({"event": "error", "message": e.to_string()}),
+                );
+                return;
+            }
+        };
+        let req = match parse_value_request(&line) {
+            Ok(req) => req,
+            Err(message) => {
+                let _ = proto::write_line(
+                    &mut writer,
+                    &serde_json::json!({"event": "error", "message": message}),
+                );
+                continue;
+            }
+        };
+        match req {
+            Request::Ping => {
+                let _ = proto::write_line(
+                    &mut writer,
+                    &serde_json::json!({"event": "pong", "version": fpga_flow::FLOW_VERSION}),
+                );
+            }
+            Request::Stats => {
+                let _ = proto::write_line(&mut writer, &shared.stats_json());
+            }
+            Request::Shutdown => {
+                // Trigger BEFORE acknowledging: once the client reads the
+                // ack, the queue is already draining, so nothing submitted
+                // afterwards can slip in and be served.
+                trigger_shutdown(shared, tcp_addr, unix_path.as_deref());
+                let _ =
+                    proto::write_line(&mut writer, &serde_json::json!({"event": "shutting_down"}));
+                return;
+            }
+            Request::Compile(req) => {
+                if !handle_compile(*req, shared, &mut writer) {
+                    return; // client gone mid-stream
+                }
+            }
+        }
+    }
+}
+
+/// Submit one compile job and forward its event stream to the client.
+/// Returns `false` when the client connection broke.
+fn handle_compile(req: CompileRequest, shared: &Arc<Shared>, writer: &mut impl Write) -> bool {
+    let id = shared.next_job_id.fetch_add(1, Ordering::Relaxed);
+    let (tx, rx) = mpsc::channel::<Value>();
+    match shared.queue.submit(Job {
+        id,
+        req,
+        events: tx,
+    }) {
+        Err(reason) => {
+            shared.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+            proto::write_line(
+                writer,
+                &serde_json::json!({
+                    "event": "rejected",
+                    "job": id,
+                    "reason": reason.to_string(),
+                }),
+            )
+            .is_ok()
+        }
+        Ok(()) => {
+            shared.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+            if proto::write_line(writer, &serde_json::json!({"event": "queued", "job": id}))
+                .is_err()
+            {
+                // Keep draining the channel so the worker never blocks —
+                // mpsc senders don't block, so just drop the receiver.
+                return false;
+            }
+            // Forward until the worker's terminal event.
+            for event in rx {
+                let terminal = matches!(
+                    event.get("event").and_then(Value::as_str),
+                    Some("done") | Some("error")
+                );
+                if proto::write_line(writer, &event).is_err() {
+                    return false;
+                }
+                if terminal {
+                    break;
+                }
+            }
+            true
+        }
+    }
+}
+
+/// `Request` parsing from an already-decoded `Value` (the connection
+/// reads JSON once; re-serializing for [`proto::parse_request`] would be
+/// wasteful).
+fn parse_value_request(v: &Value) -> Result<Request, String> {
+    // Round-trip through the text parser: requests are tiny, and one
+    // parser beats two drifting copies of the field logic.
+    proto::parse_request(&serde_json::to_string(v).map_err(|e| e.to_string())?)
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.next() {
+        let Job { id, req, events } = job;
+        // Stream per-stage progress as it happens. The sender side never
+        // blocks; if the client left, sends fail and are ignored.
+        let tx = Mutex::new(events.clone());
+        let observer = move |s: &fpga_flow::StageReport| {
+            let _ = tx.lock().expect("observer lock").send(serde_json::json!({
+                "event": "stage",
+                "job": id,
+                "stage": s.stage.clone(),
+                "ok": s.ok,
+                "elapsed_ms": s.elapsed_ms,
+                "metrics": s.metrics.clone(),
+            }));
+        };
+        let ctx = FlowCtx {
+            cache: Some(&shared.cache),
+            observer: Some(&observer),
+        };
+        let result = match req.format {
+            SourceFormat::Vhdl => fpga_flow::run_vhdl_ctx(&req.source, &req.options, ctx),
+            SourceFormat::Blif => fpga_flow::run_blif_ctx(&req.source, &req.options, ctx),
+        };
+        match result {
+            Ok(art) => {
+                shared.jobs_completed.fetch_add(1, Ordering::Relaxed);
+                let report = serde_json::to_value(&art.report);
+                let _ = events.send(serde_json::json!({
+                    "event": "done",
+                    "job": id,
+                    "design": art.report.design.clone(),
+                    "report": report,
+                    "bitstream_hex": proto::to_hex(&art.bitstream_bytes),
+                }));
+            }
+            Err(e) => {
+                shared.jobs_failed.fetch_add(1, Ordering::Relaxed);
+                let _ = events.send(serde_json::json!({
+                    "event": "error",
+                    "job": id,
+                    "stage": e.stage,
+                    "message": e.message.clone(),
+                }));
+            }
+        }
+    }
+}
+
+/// The one stream capability the connection loop needs beyond
+/// `Read + Write`: a second handle for the writer half.
+trait TryCloneStream: Sized + Send + 'static {
+    type Writer: Write + Send + 'static;
+    fn try_clone_stream(&self) -> io::Result<Self::Writer>;
+}
+
+impl TryCloneStream for TcpStream {
+    type Writer = TcpStream;
+    fn try_clone_stream(&self) -> io::Result<TcpStream> {
+        self.try_clone()
+    }
+}
+
+#[cfg(unix)]
+impl TryCloneStream for UnixStream {
+    type Writer = UnixStream;
+    fn try_clone_stream(&self) -> io::Result<UnixStream> {
+        self.try_clone()
+    }
+}

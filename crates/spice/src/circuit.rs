@@ -89,7 +89,15 @@ impl Stimulus {
     pub fn value_at(&self, t: f64) -> f64 {
         match self {
             Stimulus::Dc(v) => *v,
-            Stimulus::Pulse { v1, v2, delay, rise, fall, width, period } => {
+            Stimulus::Pulse {
+                v1,
+                v2,
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+            } => {
                 if t < *delay {
                     return *v1;
                 }
@@ -129,10 +137,29 @@ impl Stimulus {
 /// The device zoo.
 #[derive(Clone, Debug, PartialEq)]
 pub enum DeviceKind {
-    Resistor { p: NodeId, n: NodeId, ohms: f64 },
-    Capacitor { p: NodeId, n: NodeId, farads: f64 },
-    VSource { p: NodeId, n: NodeId, stim: Stimulus },
-    Mosfet { d: NodeId, g: NodeId, s: NodeId, model: MosModel, w: f64, l: f64 },
+    Resistor {
+        p: NodeId,
+        n: NodeId,
+        ohms: f64,
+    },
+    Capacitor {
+        p: NodeId,
+        n: NodeId,
+        farads: f64,
+    },
+    VSource {
+        p: NodeId,
+        n: NodeId,
+        stim: Stimulus,
+    },
+    Mosfet {
+        d: NodeId,
+        g: NodeId,
+        s: NodeId,
+        model: MosModel,
+        w: f64,
+        l: f64,
+    },
 }
 
 /// One device instance.
@@ -190,7 +217,10 @@ impl Circuit {
 
     /// Look up an existing node by name.
     pub fn find_node(&self, name: &str) -> Option<NodeId> {
-        self.node_names.iter().position(|n| n == name).map(|i| NodeId(i as u32))
+        self.node_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| NodeId(i as u32))
     }
 
     /// Set the initial (t = 0) voltage of a node.
@@ -222,7 +252,17 @@ impl Circuit {
         w: f64,
         l: f64,
     ) -> DeviceId {
-        self.push(name, DeviceKind::Mosfet { d, g, s, model: MosModel::for_type(t), w, l })
+        self.push(
+            name,
+            DeviceKind::Mosfet {
+                d,
+                g,
+                s,
+                model: MosModel::for_type(t),
+                w,
+                l,
+            },
+        )
     }
 
     /// Add a MOSFET sized as a multiple of the minimum contacted width at
@@ -240,7 +280,10 @@ impl Circuit {
     }
 
     fn push(&mut self, name: &str, kind: DeviceKind) -> DeviceId {
-        self.devices.push(Device { name: name.to_string(), kind });
+        self.devices.push(Device {
+            name: name.to_string(),
+            kind,
+        });
         DeviceId((self.devices.len() - 1) as u32)
     }
 
@@ -254,7 +297,14 @@ impl Circuit {
                     c[p.index()] += farads;
                     c[n.index()] += farads;
                 }
-                DeviceKind::Mosfet { d, g, s, model, w, l } => {
+                DeviceKind::Mosfet {
+                    d,
+                    g,
+                    s,
+                    model,
+                    w,
+                    l,
+                } => {
                     c[g.index()] += model.cgate(*w, *l);
                     c[d.index()] += model.cjunction(*w);
                     c[s.index()] += model.cjunction(*w);

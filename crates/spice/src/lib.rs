@@ -55,7 +55,11 @@ pub use wave::Waveform;
 #[derive(Debug, Clone, PartialEq)]
 pub enum SpiceError {
     /// Newton–Raphson failed to converge at the given time point.
-    NoConvergence { time: f64, worst_node: String, residual: f64 },
+    NoConvergence {
+        time: f64,
+        worst_node: String,
+        residual: f64,
+    },
     /// The MNA matrix was singular (typically a floating node or a loop of
     /// voltage sources).
     SingularMatrix { time: f64 },
@@ -68,7 +72,11 @@ pub enum SpiceError {
 impl std::fmt::Display for SpiceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SpiceError::NoConvergence { time, worst_node, residual } => write!(
+            SpiceError::NoConvergence {
+                time,
+                worst_node,
+                residual,
+            } => write!(
                 f,
                 "transient analysis failed to converge at t={time:.3e}s \
                  (worst node '{worst_node}', residual {residual:.3e})"

@@ -16,7 +16,10 @@ pub struct Mat {
 impl Mat {
     /// Create an `n x n` zero matrix.
     pub fn zeros(n: usize) -> Self {
-        Mat { n, a: vec![0.0; n * n] }
+        Mat {
+            n,
+            a: vec![0.0; n * n],
+        }
     }
 
     /// Matrix dimension.
@@ -70,7 +73,10 @@ pub struct LuSolver {
 
 impl LuSolver {
     pub fn new(n: usize) -> Self {
-        LuSolver { lu: Mat::zeros(n), perm: vec![0; n] }
+        LuSolver {
+            lu: Mat::zeros(n),
+            perm: vec![0; n],
+        }
     }
 
     /// Factorize `a` in place (into internal storage). Returns `false` when

@@ -57,9 +57,18 @@ pub fn clocked_cell_measure(
     window: f64,
 ) -> EnergyDelay {
     let energy_fj = to_fj(res.supply_energy());
-    let delay = worst_delay(res.voltage(clk), Edge::Any, res.voltage(out), threshold, window)
-        .unwrap_or(0.0);
-    EnergyDelay { energy_fj, delay_ps: to_ps(delay) }
+    let delay = worst_delay(
+        res.voltage(clk),
+        Edge::Any,
+        res.voltage(out),
+        threshold,
+        window,
+    )
+    .unwrap_or(0.0);
+    EnergyDelay {
+        energy_fj,
+        delay_ps: to_ps(delay),
+    }
 }
 
 /// Count rail-to-rail transitions of a node (crossings of `threshold`).
@@ -82,18 +91,22 @@ mod tests {
 
     #[test]
     fn edp_and_eda_products() {
-        let ed = EnergyDelay { energy_fj: 10.0, delay_ps: 100.0 };
+        let ed = EnergyDelay {
+            energy_fj: 10.0,
+            delay_ps: 100.0,
+        };
         assert!((ed.edp() - 1000.0).abs() < 1e-12);
-        let eda = EnergyDelayArea { energy_fj: 2.0, delay_ps: 3.0, area_min_tx: 4.0 };
+        let eda = EnergyDelayArea {
+            energy_fj: 2.0,
+            delay_ps: 3.0,
+            area_min_tx: 4.0,
+        };
         assert!((eda.eda() - 24.0).abs() < 1e-12);
     }
 
     #[test]
     fn transition_counting() {
-        let w = Waveform::from_series(
-            vec![0.0, 1.0, 2.0, 3.0, 4.0],
-            vec![0.0, 1.8, 0.0, 1.8, 1.8],
-        );
+        let w = Waveform::from_series(vec![0.0, 1.0, 2.0, 3.0, 4.0], vec![0.0, 1.8, 0.0, 1.8, 1.8]);
         assert_eq!(transition_count(&w, 0.9), 3);
     }
 

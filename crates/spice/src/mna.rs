@@ -148,7 +148,15 @@ impl<'c> Solver<'c> {
         let n_unknowns = (n_nodes - 1) + sources.len();
         let mut node_device_cap = vec![0.0; n_nodes];
         for dev in &circuit.devices {
-            if let DeviceKind::Mosfet { d, g, s, model, w, l } = &dev.kind {
+            if let DeviceKind::Mosfet {
+                d,
+                g,
+                s,
+                model,
+                w,
+                l,
+            } = &dev.kind
+            {
                 node_device_cap[g.index()] += model.cgate(*w, *l);
                 node_device_cap[d.index()] += model.cjunction(*w);
                 node_device_cap[s.index()] += model.cjunction(*w);
@@ -228,7 +236,14 @@ impl<'c> Solver<'c> {
                         self.rhs[row] = e;
                         src_idx += 1;
                     }
-                    DeviceKind::Mosfet { d, g: gate, s, model, w, l } => {
+                    DeviceKind::Mosfet {
+                        d,
+                        g: gate,
+                        s,
+                        model,
+                        w,
+                        l,
+                    } => {
                         let vg = v[gate.index()];
                         let vd = v[d.index()];
                         let vs = v[s.index()];
@@ -267,7 +282,10 @@ impl<'c> Solver<'c> {
         }
         Err(SpiceError::NoConvergence {
             time: t,
-            worst_node: self.circuit.node_name(NodeId(worst_node as u32)).to_string(),
+            worst_node: self
+                .circuit
+                .node_name(NodeId(worst_node as u32))
+                .to_string(),
             residual: worst,
         })
     }
@@ -330,7 +348,9 @@ impl Tran {
     pub fn run(&self, circuit: &Circuit) -> Result<TranResult> {
         let o = self.opts.clone();
         if o.dt <= 0.0 || o.t_stop <= 0.0 {
-            return Err(SpiceError::BadParameter("dt and t_stop must be positive".into()));
+            return Err(SpiceError::BadParameter(
+                "dt and t_stop must be positive".into(),
+            ));
         }
         let mut solver = Solver::new(circuit, o.clone());
         let n_nodes = solver.n_nodes;
@@ -347,10 +367,12 @@ impl Tran {
         let cap = steps / o.decimate + 2;
         let mut node_waves: Vec<Waveform> =
             (0..n_nodes).map(|_| Waveform::with_capacity(cap)).collect();
-        let mut src_waves: Vec<Waveform> =
-            (0..n_sources).map(|_| Waveform::with_capacity(cap)).collect();
-        let mut src_power_waves: Vec<Waveform> =
-            (0..n_sources).map(|_| Waveform::with_capacity(cap)).collect();
+        let mut src_waves: Vec<Waveform> = (0..n_sources)
+            .map(|_| Waveform::with_capacity(cap))
+            .collect();
+        let mut src_power_waves: Vec<Waveform> = (0..n_sources)
+            .map(|_| Waveform::with_capacity(cap))
+            .collect();
         let mut src_energy = vec![0.0; n_sources];
         let mut prev_src_power = vec![0.0; n_sources];
 
@@ -485,7 +507,10 @@ mod tests {
         let res = Tran::new(TranOpts::new(5e-12, 20e-9)).run(&ckt).unwrap();
         let e = res.supply_energy();
         let expect = 1e-12 * 1.0 * 1.0;
-        assert!((e - expect).abs() / expect < 0.05, "E = {e}, expect {expect}");
+        assert!(
+            (e - expect).abs() / expect < 0.05,
+            "E = {e}, expect {expect}"
+        );
     }
 
     #[test]
@@ -495,13 +520,22 @@ mod tests {
         let a = ckt.node("a");
         let y = ckt.node("y");
         ckt.vsource("VDD", vdd, Circuit::GND, Stimulus::dc(VDD));
-        ckt.vsource("VIN", a, Circuit::GND, Stimulus::clock(VDD, 4e-9, 100e-12, 0.2e-9));
+        ckt.vsource(
+            "VIN",
+            a,
+            Circuit::GND,
+            Stimulus::clock(VDD, 4e-9, 100e-12, 0.2e-9),
+        );
         ckt.mosfet_x("MP", MosType::Pmos, y, a, vdd, 2.0);
         ckt.mosfet_x("MN", MosType::Nmos, y, a, Circuit::GND, 1.0);
         ckt.capacitor("CL", y, Circuit::GND, 5e-15);
         let res = Tran::new(TranOpts::new(2e-12, 8e-9)).run(&ckt).unwrap();
         let vy = res.voltage(y);
-        assert!(vy.sample(1.5e-9) < 0.2, "out low while in high: {}", vy.sample(1.5e-9));
+        assert!(
+            vy.sample(1.5e-9) < 0.2,
+            "out low while in high: {}",
+            vy.sample(1.5e-9)
+        );
         assert!(vy.sample(3.5e-9) > VDD - 0.2, "out high while in low");
     }
 
@@ -513,7 +547,12 @@ mod tests {
         let a = ckt.node("a");
         let y = ckt.node("y");
         ckt.vsource("VDD", vdd, Circuit::GND, Stimulus::dc(VDD));
-        ckt.vsource("VIN", a, Circuit::GND, Stimulus::clock(VDD, 4e-9, 100e-12, 0.2e-9));
+        ckt.vsource(
+            "VIN",
+            a,
+            Circuit::GND,
+            Stimulus::clock(VDD, 4e-9, 100e-12, 0.2e-9),
+        );
         ckt.mosfet_x("MP", MosType::Pmos, y, a, vdd, 2.0);
         ckt.mosfet_x("MN", MosType::Nmos, y, a, Circuit::GND, 1.0);
         let cl = 10e-15;

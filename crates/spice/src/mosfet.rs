@@ -46,9 +46,9 @@ impl MosModel {
             vt0: 0.45,
             kp: 3.0e-4,
             lambda: 0.10,
-            cox: 8.5e-3, // 8.5 fF/µm²
-            cov: 3.0e-10, // 0.30 fF/µm
-            cj: 9.0e-10, // 0.90 fF/µm
+            cox: 8.5e-3,   // 8.5 fF/µm²
+            cov: 3.0e-10,  // 0.30 fF/µm
+            cj: 9.0e-10,   // 0.90 fF/µm
             ileak: 2.0e-4, // ~56 pA at minimum width
         }
     }

@@ -31,7 +31,9 @@ pub struct RcTree {
 impl RcTree {
     /// Create a tree with a root node of the given capacitance.
     pub fn with_root(cap: f64) -> Self {
-        RcTree { nodes: vec![RcNode { cap, up: None }] }
+        RcTree {
+            nodes: vec![RcNode { cap, up: None }],
+        }
     }
 
     /// Root node id.
@@ -42,8 +44,14 @@ impl RcTree {
     /// Add a node with capacitance `cap`, attached to `parent` through
     /// resistance `r` (ohms).
     pub fn add(&mut self, parent: RcNodeId, r: f64, cap: f64) -> RcNodeId {
-        assert!((parent.0 as usize) < self.nodes.len(), "parent out of range");
-        self.nodes.push(RcNode { cap, up: Some((parent.0, r)) });
+        assert!(
+            (parent.0 as usize) < self.nodes.len(),
+            "parent out of range"
+        );
+        self.nodes.push(RcNode {
+            cap,
+            up: Some((parent.0, r)),
+        });
         RcNodeId((self.nodes.len() - 1) as u32)
     }
 
@@ -199,7 +207,11 @@ mod tests {
         };
         assert!(one > many);
         let rc = r * c;
-        assert!((many - 0.5 * rc).abs() < 0.05 * rc, "many = {many}, rc/2 = {}", 0.5 * rc);
+        assert!(
+            (many - 0.5 * rc).abs() < 0.05 * rc,
+            "many = {many}, rc/2 = {}",
+            0.5 * rc
+        );
         // Total capacitance is preserved by the splitting.
         let mut t = RcTree::with_root(0.0);
         let root = t.root();

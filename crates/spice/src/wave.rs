@@ -35,7 +35,10 @@ impl Waveform {
     }
 
     pub fn with_capacity(n: usize) -> Self {
-        Waveform { t: Vec::with_capacity(n), v: Vec::with_capacity(n) }
+        Waveform {
+            t: Vec::with_capacity(n),
+            v: Vec::with_capacity(n),
+        }
     }
 
     /// Append a sample. Time must be greater than the last sample's time.
@@ -107,7 +110,9 @@ impl Waveform {
 
     /// First crossing at or after `after`, or `None`.
     pub fn first_crossing_after(&self, threshold: f64, edge: Edge, after: f64) -> Option<f64> {
-        self.crossings(threshold, edge).into_iter().find(|&t| t >= after)
+        self.crossings(threshold, edge)
+            .into_iter()
+            .find(|&t| t >= after)
     }
 
     /// Trapezoidal integral of the waveform over its full span.
@@ -157,14 +162,19 @@ impl Waveform {
             .zip(self.v.iter())
             .map(|(&t, &v)| v * other.sample(t))
             .collect();
-        Waveform { t: self.t.clone(), v }
+        Waveform {
+            t: self.t.clone(),
+            v,
+        }
     }
 
     /// Minimum and maximum values; (0, 0) for an empty waveform.
     pub fn min_max(&self) -> (f64, f64) {
-        self.v.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| {
-            (lo.min(x), hi.max(x))
-        })
+        self.v
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| {
+                (lo.min(x), hi.max(x))
+            })
     }
 }
 
@@ -257,10 +267,8 @@ mod tests {
 
     #[test]
     fn worst_delay_picks_maximum() {
-        let clk = Waveform::from_series(
-            vec![0.0, 0.1, 1.0, 1.1, 2.0],
-            vec![0.0, 1.0, 1.0, 0.0, 0.0],
-        );
+        let clk =
+            Waveform::from_series(vec![0.0, 0.1, 1.0, 1.1, 2.0], vec![0.0, 1.0, 1.0, 0.0, 0.0]);
         // Output transitions 0.2 after first edge, 0.4 after second.
         let q = Waveform::from_series(
             vec![0.0, 0.24, 0.26, 1.44, 1.46, 2.0],

@@ -27,7 +27,10 @@ pub fn decompose(netlist: &Netlist) -> Result<Netlist> {
             CellKind::Dff { clock, init } => {
                 out.add_cell(
                     &name,
-                    CellKind::Dff { clock: *clock, init: *init },
+                    CellKind::Dff {
+                        clock: *clock,
+                        init: *init,
+                    },
                     cell.inputs.clone(),
                     cell.output,
                 );
@@ -35,9 +38,20 @@ pub fn decompose(netlist: &Netlist) -> Result<Netlist> {
             CellKind::Const0 | CellKind::Const1 | CellKind::Buf | CellKind::Not => {
                 out.add_cell(&name, cell.kind.clone(), cell.inputs.clone(), cell.output);
             }
-            CellKind::And | CellKind::Or | CellKind::Xor | CellKind::Nand | CellKind::Nor
+            CellKind::And
+            | CellKind::Or
+            | CellKind::Xor
+            | CellKind::Nand
+            | CellKind::Nor
             | CellKind::Xnor => {
-                decompose_gate(&mut out, &name, &cell.kind, &cell.inputs, cell.output, &mut counter);
+                decompose_gate(
+                    &mut out,
+                    &name,
+                    &cell.kind,
+                    &cell.inputs,
+                    cell.output,
+                    &mut counter,
+                );
             }
             CellKind::Mux2 => {
                 // out = (!s & a) | (s & b)
@@ -50,14 +64,33 @@ pub fn decompose(netlist: &Netlist) -> Result<Netlist> {
                 out.add_cell(&format!("{name}.a"), CellKind::And, vec![ns, a], t0);
                 let t1 = fresh(&mut out, &mut counter);
                 out.add_cell(&format!("{name}.b"), CellKind::And, vec![s, b], t1);
-                out.add_cell(&format!("{name}.o"), CellKind::Or, vec![t0, t1], cell.output);
+                out.add_cell(
+                    &format!("{name}.o"),
+                    CellKind::Or,
+                    vec![t0, t1],
+                    cell.output,
+                );
             }
             CellKind::Lut { k, truth } => {
                 let cover = SopCover::from_truth_table(*k as usize, *truth);
-                decompose_sop(&mut out, &name, &cover, &cell.inputs, cell.output, &mut counter)?;
+                decompose_sop(
+                    &mut out,
+                    &name,
+                    &cover,
+                    &cell.inputs,
+                    cell.output,
+                    &mut counter,
+                )?;
             }
             CellKind::Sop(cover) => {
-                decompose_sop(&mut out, &name, cover, &cell.inputs, cell.output, &mut counter)?;
+                decompose_sop(
+                    &mut out,
+                    &name,
+                    cover,
+                    &cell.inputs,
+                    cell.output,
+                    &mut counter,
+                )?;
             }
         }
     }
@@ -120,7 +153,12 @@ fn decompose_gate(
         out.add_cell(&format!("{name}.last"), base, vec![layer[0], layer[1]], w);
         out.add_cell(&format!("{name}.inv"), CellKind::Not, vec![w], output);
     } else {
-        out.add_cell(&format!("{name}.last"), base, vec![layer[0], layer[1]], output);
+        out.add_cell(
+            &format!("{name}.last"),
+            base,
+            vec![layer[0], layer[1]],
+            output,
+        );
     }
 }
 
@@ -182,15 +220,34 @@ fn decompose_sop(
             literals[0]
         } else {
             let w = fresh(out, counter);
-            decompose_gate(out, &format!("{name}.c{ci}"), &CellKind::And, &literals, w, counter);
+            decompose_gate(
+                out,
+                &format!("{name}.c{ci}"),
+                &CellKind::And,
+                &literals,
+                w,
+                counter,
+            );
             w
         };
         cube_nets.push(cube_net);
     }
     if cube_nets.len() == 1 {
-        out.add_cell(&format!("{name}.o"), CellKind::Buf, vec![cube_nets[0]], output);
+        out.add_cell(
+            &format!("{name}.o"),
+            CellKind::Buf,
+            vec![cube_nets[0]],
+            output,
+        );
     } else {
-        decompose_gate(out, &format!("{name}.o"), &CellKind::Or, &cube_nets, output, counter);
+        decompose_gate(
+            out,
+            &format!("{name}.o"),
+            &CellKind::Or,
+            &cube_nets,
+            output,
+            counter,
+        );
     }
     Ok(())
 }
@@ -202,7 +259,9 @@ mod tests {
     use fpga_netlist::sop::Cube;
 
     fn all_two_bounded(n: &Netlist) -> bool {
-        n.cells.iter().all(|c| c.kind.is_ff() || c.inputs.len() <= 2)
+        n.cells
+            .iter()
+            .all(|c| c.kind.is_ff() || c.inputs.len() <= 2)
     }
 
     #[test]
@@ -254,7 +313,15 @@ mod tests {
         n.add_output(y);
         n.add_cell("mx", CellKind::Mux2, vec![s, a, b], m);
         // LUT: y = majority(m, c, s).
-        n.add_cell("l", CellKind::Lut { k: 3, truth: 0b1110_1000 }, vec![m, c, s], y);
+        n.add_cell(
+            "l",
+            CellKind::Lut {
+                k: 3,
+                truth: 0b1110_1000,
+            },
+            vec![m, c, s],
+            y,
+        );
         let d = decompose(&n).unwrap();
         d.validate().unwrap();
         assert!(all_two_bounded(&d));
@@ -294,7 +361,15 @@ mod tests {
         n.add_clock(clk);
         n.add_input(d_in);
         n.add_output(q);
-        n.add_cell("ff", CellKind::Dff { clock: clk, init: true }, vec![d_in], q);
+        n.add_cell(
+            "ff",
+            CellKind::Dff {
+                clock: clk,
+                init: true,
+            },
+            vec![d_in],
+            q,
+        );
         let dec = decompose(&n).unwrap();
         assert_eq!(dec.cell_counts(), (0, 1));
         check_equivalence(&n, &dec, 32, 25).unwrap();

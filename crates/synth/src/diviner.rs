@@ -15,8 +15,7 @@ use crate::{Result, SynthError};
 pub fn synthesize(source: &str) -> Result<Netlist> {
     let design = fpga_vhdl::parse(source).map_err(|e| SynthError::Vhdl(e.to_string()))?;
     fpga_vhdl::check(&design).map_err(|e| SynthError::Vhdl(e.to_string()))?;
-    let mut netlist =
-        fpga_vhdl::elaborate(&design).map_err(|e| SynthError::Vhdl(e.to_string()))?;
+    let mut netlist = fpga_vhdl::elaborate(&design).map_err(|e| SynthError::Vhdl(e.to_string()))?;
     // Synthesizer cleanup: fold constants, drop buffers, share structure.
     opt::optimize(&mut netlist)?;
     Ok(netlist)
@@ -64,6 +63,9 @@ end rtl;";
 
     #[test]
     fn rejects_bad_vhdl() {
-        assert!(matches!(synthesize("entity oops"), Err(SynthError::Vhdl(_))));
+        assert!(matches!(
+            synthesize("entity oops"),
+            Err(SynthError::Vhdl(_))
+        ));
     }
 }

@@ -41,7 +41,15 @@ mod tests {
         n.add_clock(clk);
         n.add_output(q);
         n.add_cell("g", CellKind::Xor, vec![a, b], w);
-        n.add_cell("f", CellKind::Dff { clock: clk, init: false }, vec![w], q);
+        n.add_cell(
+            "f",
+            CellKind::Dff {
+                clock: clk,
+                init: false,
+            },
+            vec![w],
+            q,
+        );
         let edif = fpga_netlist::edif::write(&n).unwrap();
         let blif = edif_to_blif(&edif).unwrap();
         let back = fpga_netlist::blif::parse(&blif).unwrap();

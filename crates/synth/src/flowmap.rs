@@ -27,7 +27,10 @@ pub struct MapOptions {
 
 impl Default for MapOptions {
     fn default() -> Self {
-        MapOptions { k: 4, cut_limit: 10 }
+        MapOptions {
+            k: 4,
+            cut_limit: 10,
+        }
     }
 }
 
@@ -89,7 +92,10 @@ impl Cut {
 /// Map a netlist (any gate mix) to K-LUTs + FFs.
 pub fn map_to_luts(netlist: &Netlist, opts: MapOptions) -> Result<(Netlist, MapReport)> {
     if opts.k < 2 || opts.k > 6 {
-        return Err(SynthError::Internal(format!("unsupported LUT size K={}", opts.k)));
+        return Err(SynthError::Internal(format!(
+            "unsupported LUT size K={}",
+            opts.k
+        )));
     }
     let two_bounded = decompose(netlist)?;
     let order = two_bounded.topo_order()?;
@@ -118,7 +124,11 @@ pub fn map_to_luts(netlist: &Netlist, opts: MapOptions) -> Result<(Netlist, MapR
 
     let leaf_cut = |net: NetId| Cut { leaves: vec![net] };
     let cut_arrival = |cut: &Cut, arrival: &HashMap<NetId, usize>| -> usize {
-        cut.leaves.iter().map(|l| arrival.get(l).copied().unwrap_or(0)).max().unwrap_or(0)
+        cut.leaves
+            .iter()
+            .map(|l| arrival.get(l).copied().unwrap_or(0))
+            .max()
+            .unwrap_or(0)
     };
 
     for &cid in &order {
@@ -243,7 +253,10 @@ pub fn map_to_luts(netlist: &Netlist, opts: MapOptions) -> Result<(Netlist, MapR
             CellKind::Dff { clock, init } => {
                 mapped.add_cell(
                     &c.name,
-                    CellKind::Dff { clock: *clock, init: *init },
+                    CellKind::Dff {
+                        clock: *clock,
+                        init: *init,
+                    },
                     c.inputs.clone(),
                     c.output,
                 );
@@ -268,7 +281,10 @@ pub fn map_to_luts(netlist: &Netlist, opts: MapOptions) -> Result<(Netlist, MapR
             .clone();
         // Compute the truth table of the cone.
         let truth = cone_truth(&two_bounded, &drivers, root, &cut.leaves)?;
-        let name = format!("lut_{}", two_bounded.net_name(root).replace(['(', ')'], "_"));
+        let name = format!(
+            "lut_{}",
+            two_bounded.net_name(root).replace(['(', ')'], "_")
+        );
         // Pad to exactly K inputs? No: LUTs may use fewer inputs.
         let k = cut.leaves.len() as u8;
         lut_count += 1;
@@ -325,7 +341,11 @@ fn cone_truth(
     // Projection patterns: leaf i toggles with period 2^(i+1).
     let mut values: HashMap<NetId, u64> = HashMap::new();
     let n_bits = 1usize << k;
-    let mask: u64 = if n_bits == 64 { !0 } else { (1u64 << n_bits) - 1 };
+    let mask: u64 = if n_bits == 64 {
+        !0
+    } else {
+        (1u64 << n_bits) - 1
+    };
     for (i, &leaf) in leaves.iter().enumerate() {
         let mut pat = 0u64;
         for m in 0..n_bits {
@@ -361,7 +381,11 @@ fn eval_net(
         CellKind::Const1 => mask,
         CellKind::Buf => eval_net(netlist, drivers, cell.inputs[0], values, mask)?,
         CellKind::Not => !eval_net(netlist, drivers, cell.inputs[0], values, mask)? & mask,
-        CellKind::And | CellKind::Or | CellKind::Xor | CellKind::Nand | CellKind::Nor
+        CellKind::And
+        | CellKind::Or
+        | CellKind::Xor
+        | CellKind::Nand
+        | CellKind::Nor
         | CellKind::Xnor => {
             let a = eval_net(netlist, drivers, cell.inputs[0], values, mask)?;
             let b = if cell.inputs.len() > 1 {
@@ -456,7 +480,11 @@ mod tests {
         n.add_cell("o1", CellKind::Or, vec![w2, w3], w4);
         n.add_cell("b1", CellKind::Buf, vec![w4], cout);
         let report = assert_mapped(&n, 4);
-        assert!(report.luts <= 2, "full adder fits two 4-LUTs, got {}", report.luts);
+        assert!(
+            report.luts <= 2,
+            "full adder fits two 4-LUTs, got {}",
+            report.luts
+        );
         assert_eq!(report.depth, 1);
     }
 
@@ -470,9 +498,33 @@ mod tests {
         let d0 = n.net("d0");
         n.add_output(q[2]);
         n.add_cell("fb", CellKind::Xor, vec![q[1], q[2]], d0);
-        n.add_cell("f0", CellKind::Dff { clock: clk, init: true }, vec![d0], q[0]);
-        n.add_cell("f1", CellKind::Dff { clock: clk, init: false }, vec![q[0]], q[1]);
-        n.add_cell("f2", CellKind::Dff { clock: clk, init: false }, vec![q[1]], q[2]);
+        n.add_cell(
+            "f0",
+            CellKind::Dff {
+                clock: clk,
+                init: true,
+            },
+            vec![d0],
+            q[0],
+        );
+        n.add_cell(
+            "f1",
+            CellKind::Dff {
+                clock: clk,
+                init: false,
+            },
+            vec![q[0]],
+            q[1],
+        );
+        n.add_cell(
+            "f2",
+            CellKind::Dff {
+                clock: clk,
+                init: false,
+            },
+            vec![q[1]],
+            q[2],
+        );
         let report = assert_mapped(&n, 4);
         assert_eq!(report.ffs, 3);
         assert!(report.luts >= 1);
@@ -539,6 +591,10 @@ end r;";
         let n = crate::diviner::synthesize(src).unwrap();
         let report = assert_mapped(&n, 4);
         assert_eq!(report.ffs, 4);
-        assert!(report.luts <= 12, "4-bit counter should be small: {}", report.luts);
+        assert!(
+            report.luts <= 12,
+            "4-bit counter should be small: {}",
+            report.luts
+        );
     }
 }

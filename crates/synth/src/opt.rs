@@ -107,11 +107,13 @@ pub fn const_fold(netlist: &mut Netlist) -> Result<usize> {
                 let c = &netlist.cells[i];
                 (c.kind.clone(), c.inputs.clone(), c.output)
             };
-            if matches!(kind, CellKind::Dff { .. } | CellKind::Const0 | CellKind::Const1) {
+            if matches!(
+                kind,
+                CellKind::Dff { .. } | CellKind::Const0 | CellKind::Const1
+            ) {
                 continue;
             }
-            let vals: Vec<Option<bool>> =
-                inputs.iter().map(|n| const_of.get(n).copied()).collect();
+            let vals: Vec<Option<bool>> = inputs.iter().map(|n| const_of.get(n).copied()).collect();
             let new_kind = simplify(&kind, &inputs, &vals);
             if let Some((nk, ni)) = new_kind {
                 if nk != kind || ni != inputs {
@@ -172,7 +174,11 @@ fn simplify(
             }
             _ => return None,
         };
-        let k = if out { CellKind::Const1 } else { CellKind::Const0 };
+        let k = if out {
+            CellKind::Const1
+        } else {
+            CellKind::Const0
+        };
         return Some((k, Vec::new()));
     }
     // Partial simplifications on the common gates.
@@ -261,7 +267,11 @@ pub fn elide_buffers(netlist: &mut Netlist) -> Result<usize> {
         for i in 0..netlist.cells.len() {
             let (is_buf, input, output) = {
                 let c = &netlist.cells[i];
-                (matches!(c.kind, CellKind::Buf), c.inputs.first().copied(), c.output)
+                (
+                    matches!(c.kind, CellKind::Buf),
+                    c.inputs.first().copied(),
+                    c.output,
+                )
             };
             // Nets whose value nobody consumes are dead; sweep handles
             // them — touching them here would loop forever.
@@ -342,9 +352,7 @@ pub fn strash(netlist: &mut Netlist) -> Result<usize> {
             match seen.get(&key) {
                 Some(&existing) if existing != c.output => {
                     // Prefer keeping a PO net as the canonical output.
-                    if netlist.outputs.contains(&c.output)
-                        && !netlist.outputs.contains(&existing)
-                    {
+                    if netlist.outputs.contains(&c.output) && !netlist.outputs.contains(&existing) {
                         merge = Some((existing, c.output));
                     } else if !netlist.outputs.contains(&c.output) {
                         merge = Some((c.output, existing));
@@ -469,7 +477,11 @@ mod tests {
         n.rebuild_index();
         optimize(&mut n).unwrap();
         check_equivalence(&golden, &n, 32, 4).unwrap();
-        let nots = n.cells.iter().filter(|c| matches!(c.kind, CellKind::Not)).count();
+        let nots = n
+            .cells
+            .iter()
+            .filter(|c| matches!(c.kind, CellKind::Not))
+            .count();
         assert_eq!(nots, 0, "double inverter should vanish");
     }
 
@@ -483,7 +495,15 @@ mod tests {
         let d = n.net("d");
         n.add_output(q);
         n.add_cell("inv", CellKind::Not, vec![q], d);
-        n.add_cell("ff", CellKind::Dff { clock: clk, init: false }, vec![d], q);
+        n.add_cell(
+            "ff",
+            CellKind::Dff {
+                clock: clk,
+                init: false,
+            },
+            vec![d],
+            q,
+        );
         let golden = n.clone();
         n.rebuild_index();
         optimize(&mut n).unwrap();

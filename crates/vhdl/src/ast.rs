@@ -39,7 +39,10 @@ pub enum Dir {
 pub enum Ty {
     Bit,
     /// `std_logic_vector(msb downto lsb)`.
-    Vector { msb: u32, lsb: u32 },
+    Vector {
+        msb: u32,
+        lsb: u32,
+    },
 }
 
 impl Ty {
@@ -106,9 +109,18 @@ impl Target {
 #[derive(Clone, Debug, PartialEq)]
 pub enum ConcStmt {
     /// `target <= expr;`
-    Assign { target: Target, expr: Expr, line: usize },
+    Assign {
+        target: Target,
+        expr: Expr,
+        line: usize,
+    },
     /// `target <= v1 when c1 else v2 when c2 else vN;`
-    CondAssign { target: Target, arms: Vec<(Expr, Expr)>, default: Expr, line: usize },
+    CondAssign {
+        target: Target,
+        arms: Vec<(Expr, Expr)>,
+        default: Expr,
+        line: usize,
+    },
     /// A clocked process.
     Process(Process),
 }
@@ -124,7 +136,11 @@ pub struct Process {
 /// Sequential statements inside a process.
 #[derive(Clone, Debug, PartialEq)]
 pub enum SeqStmt {
-    Assign { target: Target, expr: Expr, line: usize },
+    Assign {
+        target: Target,
+        expr: Expr,
+        line: usize,
+    },
     If {
         cond: Expr,
         then_body: Vec<SeqStmt>,

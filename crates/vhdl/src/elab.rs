@@ -58,7 +58,12 @@ pub fn elaborate(design: &Design) -> Result<Netlist> {
                 let value = e.eval_fit(expr, tbits.len(), *line)?;
                 e.connect(&tbits, &value, *line)?;
             }
-            ConcStmt::CondAssign { target, arms, default, line } => {
+            ConcStmt::CondAssign {
+                target,
+                arms,
+                default,
+                line,
+            } => {
                 // Build the mux chain from the last arm backwards.
                 let tbits = e.target_bits(target, *line)?;
                 let mut value = e.eval_fit(default, tbits.len(), *line)?;
@@ -74,9 +79,10 @@ pub fn elaborate(design: &Design) -> Result<Netlist> {
     }
 
     let netlist = e.netlist;
-    netlist
-        .validate()
-        .map_err(|err| VhdlError { line: arch.line, msg: format!("elaboration bug: {err}") })?;
+    netlist.validate().map_err(|err| VhdlError {
+        line: arch.line,
+        msg: format!("elaboration bug: {err}"),
+    })?;
     Ok(netlist)
 }
 
@@ -107,7 +113,10 @@ impl<'d> Elab<'d> {
             .symbols
             .get(name)
             .map(|(ty, _)| *ty)
-            .ok_or_else(|| VhdlError { line, msg: format!("undeclared '{name}'") })
+            .ok_or_else(|| VhdlError {
+                line,
+                msg: format!("undeclared '{name}'"),
+            })
     }
 
     fn const_net(&mut self, v: bool) -> NetId {
@@ -116,7 +125,8 @@ impl<'d> Elab<'d> {
                 return n;
             }
             let n = self.netlist.net("$const1");
-            self.netlist.add_cell("$const1", CellKind::Const1, vec![], n);
+            self.netlist
+                .add_cell("$const1", CellKind::Const1, vec![], n);
             self.const1 = Some(n);
             n
         } else {
@@ -124,7 +134,8 @@ impl<'d> Elab<'d> {
                 return n;
             }
             let n = self.netlist.net("$const0");
-            self.netlist.add_cell("$const0", CellKind::Const0, vec![], n);
+            self.netlist
+                .add_cell("$const0", CellKind::Const0, vec![], n);
             self.const0 = Some(n);
             n
         }
@@ -178,8 +189,7 @@ impl<'d> Elab<'d> {
             Expr::Others(_) => {
                 return Err(VhdlError {
                     line,
-                    msg: "(others => ...) is only allowed as an assignment source"
-                        .into(),
+                    msg: "(others => ...) is only allowed as an assignment source".into(),
                 })
             }
             Expr::RisingEdge(_) => {
@@ -228,10 +238,7 @@ impl<'d> Elab<'d> {
                 if bits.len() != width {
                     return Err(VhdlError {
                         line,
-                        msg: format!(
-                            "expression is {} bits, target needs {width}",
-                            bits.len()
-                        ),
+                        msg: format!("expression is {} bits, target needs {width}", bits.len()),
                     });
                 }
                 Ok(bits)
@@ -394,9 +401,11 @@ impl<'d> Elab<'d> {
     fn elaborate_process(&mut self, p: &Process) -> Result<()> {
         // sema guarantees this shape.
         let (clk_name, body) = match p.body.as_slice() {
-            [SeqStmt::If { cond: Expr::RisingEdge(c), then_body, .. }] => {
-                (c.clone(), then_body)
-            }
+            [SeqStmt::If {
+                cond: Expr::RisingEdge(c),
+                then_body,
+                ..
+            }] => (c.clone(), then_body),
             _ => {
                 return Err(VhdlError {
                     line: p.line,
@@ -416,8 +425,15 @@ impl<'d> Elab<'d> {
         assigned.sort_by_key(|(q, _)| q.0);
         for (q, d) in assigned {
             let name = format!("$ff_{}", self.netlist.net_name(q).replace(['(', ')'], "_"));
-            self.netlist
-                .add_cell(&name, CellKind::Dff { clock: clk, init: false }, vec![d], q);
+            self.netlist.add_cell(
+                &name,
+                CellKind::Dff {
+                    clock: clk,
+                    init: false,
+                },
+                vec![d],
+                q,
+            );
         }
         Ok(())
     }
@@ -436,7 +452,13 @@ impl<'d> Elab<'d> {
                         env.insert(t, v);
                     }
                 }
-                SeqStmt::If { cond, then_body, elsifs, else_body, line } => {
+                SeqStmt::If {
+                    cond,
+                    then_body,
+                    elsifs,
+                    else_body,
+                    line,
+                } => {
                     let branches: Vec<(Option<&Expr>, &[SeqStmt])> =
                         std::iter::once((Some(cond), then_body.as_slice()))
                             .chain(elsifs.iter().map(|(c, b)| (Some(c), b.as_slice())))
@@ -454,11 +476,8 @@ impl<'d> Elab<'d> {
                                 let sel = self.eval_bit(cexpr, *line)?;
                                 // Bits written in either branch get a mux.
                                 let mut merged = HashMap::new();
-                                let keys: Vec<NetId> = branch_env
-                                    .keys()
-                                    .chain(result.keys())
-                                    .copied()
-                                    .collect();
+                                let keys: Vec<NetId> =
+                                    branch_env.keys().chain(result.keys()).copied().collect();
                                 for q in keys {
                                     let tv = branch_env.get(&q).copied().unwrap_or(q);
                                     let fv = result.get(&q).copied().unwrap_or(q);
@@ -500,7 +519,11 @@ mod tests {
              architecture r of x is begin y <= a nand (not b); end r;",
         );
         let mut sim = Simulator::new(&n).unwrap();
-        for (a, b, want) in [(false, false, true), (true, true, true), (true, false, false)] {
+        for (a, b, want) in [
+            (false, false, true),
+            (true, true, true),
+            (true, false, false),
+        ] {
             sim.set_input_by_name("a", a).unwrap();
             sim.set_input_by_name("b", b).unwrap();
             sim.propagate();
@@ -654,12 +677,18 @@ mod tests {
         sim.set_input_by_name("rst", true).unwrap();
         sim.tick(clk);
         for i in 0..5 {
-            assert!(sim.value(n.find_net(&format!("q({i})")).unwrap()), "bit {i} set");
+            assert!(
+                sim.value(n.find_net(&format!("q({i})")).unwrap()),
+                "bit {i} set"
+            );
         }
         sim.set_input_by_name("rst", false).unwrap();
         sim.tick(clk);
         for i in 0..5 {
-            assert!(!sim.value(n.find_net(&format!("q({i})")).unwrap()), "bit {i} clear");
+            assert!(
+                !sim.value(n.find_net(&format!("q({i})")).unwrap()),
+                "bit {i} clear"
+            );
         }
     }
 
@@ -703,8 +732,10 @@ mod tests {
         let mut sim = Simulator::new(&n).unwrap();
         for (a, b) in [(9u32, 4u32), (3, 7), (15, 15)] {
             for i in 0..4 {
-                sim.set_input_by_name(&format!("a({i})"), a >> i & 1 == 1).unwrap();
-                sim.set_input_by_name(&format!("b({i})"), b >> i & 1 == 1).unwrap();
+                sim.set_input_by_name(&format!("a({i})"), a >> i & 1 == 1)
+                    .unwrap();
+                sim.set_input_by_name(&format!("b({i})"), b >> i & 1 == 1)
+                    .unwrap();
             }
             sim.propagate();
             let y: u32 = (0..4)

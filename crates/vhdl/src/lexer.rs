@@ -69,39 +69,84 @@ pub fn lex(source: &str) -> Result<Vec<Token>> {
                         }
                     }
                 } else {
-                    out.push(Token { kind: Tok::Minus, line });
+                    out.push(Token {
+                        kind: Tok::Minus,
+                        line,
+                    });
                 }
             }
-            '(' => out.push(Token { kind: Tok::LParen, line }),
-            ')' => out.push(Token { kind: Tok::RParen, line }),
-            ';' => out.push(Token { kind: Tok::Semi, line }),
-            ':' => out.push(Token { kind: Tok::Colon, line }),
-            ',' => out.push(Token { kind: Tok::Comma, line }),
-            '+' => out.push(Token { kind: Tok::Plus, line }),
-            '&' => out.push(Token { kind: Tok::Amp, line }),
-            '.' => out.push(Token { kind: Tok::Dot, line }),
+            '(' => out.push(Token {
+                kind: Tok::LParen,
+                line,
+            }),
+            ')' => out.push(Token {
+                kind: Tok::RParen,
+                line,
+            }),
+            ';' => out.push(Token {
+                kind: Tok::Semi,
+                line,
+            }),
+            ':' => out.push(Token {
+                kind: Tok::Colon,
+                line,
+            }),
+            ',' => out.push(Token {
+                kind: Tok::Comma,
+                line,
+            }),
+            '+' => out.push(Token {
+                kind: Tok::Plus,
+                line,
+            }),
+            '&' => out.push(Token {
+                kind: Tok::Amp,
+                line,
+            }),
+            '.' => out.push(Token {
+                kind: Tok::Dot,
+                line,
+            }),
             '<' => {
                 if matches!(chars.peek(), Some((_, '='))) {
                     chars.next();
-                    out.push(Token { kind: Tok::LessEq, line });
+                    out.push(Token {
+                        kind: Tok::LessEq,
+                        line,
+                    });
                 } else {
-                    return Err(VhdlError { line, msg: "expected '<='".into() });
+                    return Err(VhdlError {
+                        line,
+                        msg: "expected '<='".into(),
+                    });
                 }
             }
             '=' => {
                 if matches!(chars.peek(), Some((_, '>'))) {
                     chars.next();
-                    out.push(Token { kind: Tok::Arrow, line });
+                    out.push(Token {
+                        kind: Tok::Arrow,
+                        line,
+                    });
                 } else {
-                    out.push(Token { kind: Tok::Eq, line });
+                    out.push(Token {
+                        kind: Tok::Eq,
+                        line,
+                    });
                 }
             }
             '/' => {
                 if matches!(chars.peek(), Some((_, '='))) {
                     chars.next();
-                    out.push(Token { kind: Tok::NotEq, line });
+                    out.push(Token {
+                        kind: Tok::NotEq,
+                        line,
+                    });
                 } else {
-                    return Err(VhdlError { line, msg: "unexpected '/'".into() });
+                    return Err(VhdlError {
+                        line,
+                        msg: "unexpected '/'".into(),
+                    });
                 }
             }
             '\'' => {
@@ -120,9 +165,15 @@ pub fn lex(source: &str) -> Result<Vec<Token>> {
                     Some(v) => {
                         chars.next();
                         chars.next();
-                        out.push(Token { kind: Tok::BitLit(v), line });
+                        out.push(Token {
+                            kind: Tok::BitLit(v),
+                            line,
+                        });
                     }
-                    None => out.push(Token { kind: Tok::Tick, line }),
+                    None => out.push(Token {
+                        kind: Tok::Tick,
+                        line,
+                    }),
                 }
             }
             '"' => {
@@ -151,9 +202,15 @@ pub fn lex(source: &str) -> Result<Vec<Token>> {
                     }
                 }
                 if !closed {
-                    return Err(VhdlError { line, msg: "unterminated string literal".into() });
+                    return Err(VhdlError {
+                        line,
+                        msg: "unterminated string literal".into(),
+                    });
                 }
-                out.push(Token { kind: Tok::VecLit(bits), line });
+                out.push(Token {
+                    kind: Tok::VecLit(bits),
+                    line,
+                });
             }
             c if c.is_ascii_digit() => {
                 let mut val = c.to_digit(10).unwrap() as u64;
@@ -167,7 +224,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>> {
                         break;
                     }
                 }
-                out.push(Token { kind: Tok::Int(val), line });
+                out.push(Token {
+                    kind: Tok::Int(val),
+                    line,
+                });
             }
             c if c.is_alphabetic() || c == '_' => {
                 let mut ident = String::new();
@@ -180,10 +240,16 @@ pub fn lex(source: &str) -> Result<Vec<Token>> {
                         break;
                     }
                 }
-                out.push(Token { kind: Tok::Ident(ident), line });
+                out.push(Token {
+                    kind: Tok::Ident(ident),
+                    line,
+                });
             }
             other => {
-                return Err(VhdlError { line, msg: format!("unexpected character '{other}'") })
+                return Err(VhdlError {
+                    line,
+                    msg: format!("unexpected character '{other}'"),
+                })
             }
         }
     }
@@ -212,14 +278,21 @@ mod tests {
 
     #[test]
     fn comments_are_skipped() {
-        assert_eq!(kinds("a -- the rest\nb"), vec![Tok::Ident("a".into()), Tok::Ident("b".into())]);
+        assert_eq!(
+            kinds("a -- the rest\nb"),
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into())]
+        );
     }
 
     #[test]
     fn bit_and_vector_literals() {
         assert_eq!(
             kinds("'1' '0' \"10\""),
-            vec![Tok::BitLit(true), Tok::BitLit(false), Tok::VecLit(vec![true, false])]
+            vec![
+                Tok::BitLit(true),
+                Tok::BitLit(false),
+                Tok::VecLit(vec![true, false])
+            ]
         );
     }
 

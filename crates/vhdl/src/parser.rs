@@ -22,7 +22,10 @@ impl<'a> Cursor<'a> {
     }
 
     fn err<T>(&self, msg: impl Into<String>) -> Result<T> {
-        Err(VhdlError { line: self.line(), msg: msg.into() })
+        Err(VhdlError {
+            line: self.line(),
+            msg: msg.into(),
+        })
     }
 
     fn next(&mut self) -> Option<&Tok> {
@@ -90,7 +93,10 @@ impl<'a> Cursor<'a> {
 
 /// Parse a full design file.
 pub fn parse_design(tokens: &[Token]) -> Result<Design> {
-    let mut cur = Cursor { toks: tokens, pos: 0 };
+    let mut cur = Cursor {
+        toks: tokens,
+        pos: 0,
+    };
     let mut design = Design::default();
     while let Some(tok) = cur.peek() {
         match tok {
@@ -170,7 +176,12 @@ fn parse_entity(cur: &mut Cursor) -> Result<Entity> {
             };
             let ty = parse_type(cur)?;
             for n in names {
-                ports.push(Port { name: n, dir, ty, line: pline });
+                ports.push(Port {
+                    name: n,
+                    dir,
+                    ty,
+                    line: pline,
+                });
             }
             if !cur.eat(&Tok::Semi) {
                 break;
@@ -215,7 +226,11 @@ fn parse_architecture(cur: &mut Cursor) -> Result<Architecture> {
         }
         cur.expect(&Tok::Semi, "';' after signal declaration")?;
         for n in names {
-            signals.push(SignalDecl { name: n, ty, line: sline });
+            signals.push(SignalDecl {
+                name: n,
+                ty,
+                line: sline,
+            });
         }
     }
     cur.expect_kw("begin")?;
@@ -232,7 +247,13 @@ fn parse_architecture(cur: &mut Cursor) -> Result<Architecture> {
         cur.ident()?;
     }
     cur.expect(&Tok::Semi, "';' after architecture")?;
-    Ok(Architecture { name, entity, signals, stmts, line })
+    Ok(Architecture {
+        name,
+        entity,
+        signals,
+        stmts,
+        line,
+    })
 }
 
 fn parse_conc_stmt(cur: &mut Cursor) -> Result<ConcStmt> {
@@ -269,12 +290,21 @@ fn parse_conc_stmt(cur: &mut Cursor) -> Result<ConcStmt> {
                 value = next;
             } else {
                 cur.expect(&Tok::Semi, "';' after conditional assignment")?;
-                return Ok(ConcStmt::CondAssign { target, arms, default: next, line });
+                return Ok(ConcStmt::CondAssign {
+                    target,
+                    arms,
+                    default: next,
+                    line,
+                });
             }
         }
     }
     cur.expect(&Tok::Semi, "';' after assignment")?;
-    Ok(ConcStmt::Assign { target, expr: first, line })
+    Ok(ConcStmt::Assign {
+        target,
+        expr: first,
+        line,
+    })
 }
 
 fn parse_target(cur: &mut Cursor) -> Result<Target> {
@@ -310,7 +340,11 @@ fn parse_process(cur: &mut Cursor) -> Result<Process> {
         cur.ident()?;
     }
     cur.expect(&Tok::Semi, "';' after process")?;
-    Ok(Process { sensitivity, body, line })
+    Ok(Process {
+        sensitivity,
+        body,
+        line,
+    })
 }
 
 /// Parse sequential statements until one of the given keywords is next.
@@ -357,7 +391,13 @@ fn parse_if(cur: &mut Cursor) -> Result<SeqStmt> {
     cur.expect_kw("end")?;
     cur.expect_kw("if")?;
     cur.expect(&Tok::Semi, "';' after end if")?;
-    Ok(SeqStmt::If { cond, then_body, elsifs, else_body, line })
+    Ok(SeqStmt::If {
+        cond,
+        then_body,
+        elsifs,
+        else_body,
+        line,
+    })
 }
 
 /// `case <expr> is when <literal> => ... [when others => ...] end case;`
@@ -506,8 +546,9 @@ fn parse_primary(cur: &mut Cursor) -> Result<Expr> {
                 let bit = match cur.next().cloned() {
                     Some(Tok::BitLit(b)) => b,
                     other => {
-                        return cur
-                            .err(format!("expected '0' or '1' after others =>, found {other:?}"))
+                        return cur.err(format!(
+                            "expected '0' or '1' after others =>, found {other:?}"
+                        ))
                     }
                 };
                 cur.expect(&Tok::RParen, "')'")?;

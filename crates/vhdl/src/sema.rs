@@ -42,7 +42,10 @@ impl Scope {
     pub fn build(entity: &Entity, arch: &Architecture) -> Result<Scope> {
         let mut symbols = HashMap::new();
         for p in &entity.ports {
-            if symbols.insert(p.name.clone(), (p.ty, Some(p.dir))).is_some() {
+            if symbols
+                .insert(p.name.clone(), (p.ty, Some(p.dir)))
+                .is_some()
+            {
                 return Err(VhdlError {
                     line: p.line,
                     msg: format!("duplicate port '{}'", p.name),
@@ -71,7 +74,10 @@ impl Scope {
 /// Check the whole design.
 pub fn check(design: &Design) -> Result<()> {
     if design.entities.is_empty() {
-        return Err(VhdlError { line: 1, msg: "no entity declared".into() });
+        return Err(VhdlError {
+            line: 1,
+            msg: "no entity declared".into(),
+        });
     }
     let mut entity_names = HashSet::new();
     for e in &design.entities {
@@ -85,7 +91,10 @@ pub fn check(design: &Design) -> Result<()> {
     for arch in &design.architectures {
         let entity = design.entity(&arch.entity).ok_or_else(|| VhdlError {
             line: arch.line,
-            msg: format!("architecture '{}' of unknown entity '{}'", arch.name, arch.entity),
+            msg: format!(
+                "architecture '{}' of unknown entity '{}'",
+                arch.name, arch.entity
+            ),
         })?;
         check_architecture(entity, arch)?;
     }
@@ -139,11 +148,7 @@ fn check_architecture(entity: &Entity, arch: &Architecture) -> Result<()> {
             if let Some(prev) = driven.insert((target.base().to_string(), b), line) {
                 return Err(VhdlError {
                     line,
-                    msg: format!(
-                        "'{}({})' already driven at line {prev}",
-                        target.base(),
-                        b
-                    ),
+                    msg: format!("'{}({})' already driven at line {prev}", target.base(), b),
                 });
             }
         }
@@ -158,7 +163,12 @@ fn check_architecture(entity: &Entity, arch: &Architecture) -> Result<()> {
                 let ew = expr_width(&scope, expr, *line)?;
                 Width::Bits(tw).unify(ew, *line, "assignment")?;
             }
-            ConcStmt::CondAssign { target, arms, default, line } => {
+            ConcStmt::CondAssign {
+                target,
+                arms,
+                default,
+                line,
+            } => {
                 drive(&mut driven, &scope, target, *line)?;
                 let tw = target_width(&scope, target, *line)?;
                 for (value, cond) in arms {
@@ -192,7 +202,13 @@ fn check_process(
     // Synthesizable template: exactly one top-level if with a
     // rising_edge condition and no else.
     let (clk, body) = match p.body.as_slice() {
-        [SeqStmt::If { cond: Expr::RisingEdge(clk), then_body, elsifs, else_body, line }] => {
+        [SeqStmt::If {
+            cond: Expr::RisingEdge(clk),
+            then_body,
+            elsifs,
+            else_body,
+            line,
+        }] => {
             if !elsifs.is_empty() || !else_body.is_empty() {
                 return Err(VhdlError {
                     line: *line,
@@ -274,7 +290,12 @@ fn collect_seq_targets(
                     }
                 }
             }
-            SeqStmt::If { then_body, elsifs, else_body, .. } => {
+            SeqStmt::If {
+                then_body,
+                elsifs,
+                else_body,
+                ..
+            } => {
                 collect_seq_targets(scope, then_body, out)?;
                 for (_, b) in elsifs {
                     collect_seq_targets(scope, b, out)?;
@@ -300,7 +321,13 @@ fn check_seq(scope: &Scope, body: &[SeqStmt]) -> Result<()> {
                 let ew = expr_width(scope, expr, *line)?;
                 Width::Bits(tw).unify(ew, *line, "assignment")?;
             }
-            SeqStmt::If { cond, then_body, elsifs, else_body, line } => {
+            SeqStmt::If {
+                cond,
+                then_body,
+                elsifs,
+                else_body,
+                line,
+            } => {
                 if cond.has_rising_edge() {
                     return Err(VhdlError {
                         line: *line,
@@ -343,7 +370,10 @@ pub fn expr_width(scope: &Scope, expr: &Expr, line: usize) -> Result<Width> {
                     })
                 }
                 Ty::Bit => {
-                    return Err(VhdlError { line, msg: format!("cannot index scalar '{name}'") })
+                    return Err(VhdlError {
+                        line,
+                        msg: format!("cannot index scalar '{name}'"),
+                    })
                 }
             }
         }
@@ -485,8 +515,7 @@ mod tests {
 
     #[test]
     fn architecture_of_unknown_entity_rejected() {
-        let err =
-            check_src("entity x is end x; architecture r of zz is begin end r;").unwrap_err();
+        let err = check_src("entity x is end x; architecture r of zz is begin end r;").unwrap_err();
         assert!(err.msg.contains("unknown entity"), "{err}");
     }
 }

@@ -29,7 +29,10 @@ fn main() {
         let placement = fpga_framework::place::place(
             &clustering,
             device,
-            PlaceOptions { seed: 1, inner_num: 3.0 },
+            PlaceOptions {
+                seed: 1,
+                inner_num: 3.0,
+            },
         )
         .expect("places");
         match find_min_channel_width(&clustering, &placement, &RouteOptions::default(), 96) {

@@ -28,8 +28,10 @@ fn main() {
             r.edp
         );
     }
-    println!("  -> platform adopts {} (lowest energy, simplest structure)\n",
-        selected_detff(&rows).label());
+    println!(
+        "  -> platform adopts {} (lowest energy, simplest structure)\n",
+        selected_detff(&rows).label()
+    );
 
     // --- 2. Clock gating policy (Tables 2-3).
     println!("== clock gating ==");

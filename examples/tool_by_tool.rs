@@ -43,7 +43,10 @@ end rtl;";
 
     // E2FMT: EDIF -> BLIF.
     let blif_text = synth::e2fmt::edif_to_blif(&normalized).expect("translates");
-    println!("[e2fmt]    translated to BLIF ({} lines)", blif_text.lines().count());
+    println!(
+        "[e2fmt]    translated to BLIF ({} lines)",
+        blif_text.lines().count()
+    );
 
     // SIS: optimize + map to 4-LUTs, back to BLIF.
     let mut netlist = blif::parse(&blif_text).expect("parses");
@@ -58,11 +61,9 @@ end rtl;";
     // T-VPack: cluster into CLBs, emit .net.
     let mut for_pack = blif::parse(&mapped_blif).expect("reparses");
     fpga_framework::pack::prepare(&mut for_pack).expect("prepares");
-    let clustering = fpga_framework::pack::pack(
-        &for_pack,
-        &fpga_framework::arch::ClbArch::paper_default(),
-    )
-    .expect("packs");
+    let clustering =
+        fpga_framework::pack::pack(&for_pack, &fpga_framework::arch::ClbArch::paper_default())
+            .expect("packs");
     let net_text = fpga_framework::pack::netformat::write_net(&clustering);
     println!(
         "[tvpack]   {} BLEs in {} CLBs; .net file {} lines",
@@ -74,7 +75,10 @@ end rtl;";
     // DUTYS: the architecture file both VPR and DAGGER read.
     let arch_text =
         fpga_framework::arch::write_arch_text(&fpga_framework::arch::Architecture::paper_default());
-    println!("[dutys]    architecture file {} lines", arch_text.lines().count());
+    println!(
+        "[dutys]    architecture file {} lines",
+        arch_text.lines().count()
+    );
 
     // VPR + PowerModel + DAGGER through the integrated pipeline.
     let art = fpga_framework::flow::run_blif(&mapped_blif, &Default::default())

@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# The full gate a change must pass before merging. Keep this in sync with
+# README "Testing": formatting, lints as errors, then the whole suite.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test -q"
+cargo test -q --workspace
+
+echo "CI gate passed."

@@ -25,6 +25,7 @@ pub use fpga_pack as pack;
 pub use fpga_place as place;
 pub use fpga_power as power;
 pub use fpga_route as route;
+pub use fpga_server as server;
 pub use fpga_spice as spice;
 pub use fpga_synth as synth;
 pub use fpga_vhdl as vhdl;

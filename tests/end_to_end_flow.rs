@@ -37,8 +37,8 @@ fn vhdl_sequence_detector_flow_verifies() {
 fn every_benchmark_flows_and_verifies() {
     for netlist in fpga_framework::circuits::benchmark_suite() {
         let name = netlist.name.clone();
-        let art = run_netlist(netlist, &FlowOptions::default())
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let art =
+            run_netlist(netlist, &FlowOptions::default()).unwrap_or_else(|e| panic!("{name}: {e}"));
         let verified = art
             .report
             .stages
@@ -55,9 +55,15 @@ fn flow_is_deterministic_for_fixed_seed() {
     let src = fpga_framework::circuits::vhdl_counter(4);
     let a = run_vhdl(&src, &FlowOptions::default()).unwrap();
     let b = run_vhdl(&src, &FlowOptions::default()).unwrap();
-    assert_eq!(a.bitstream_bytes, b.bitstream_bytes, "same seed, same bitstream");
+    assert_eq!(
+        a.bitstream_bytes, b.bitstream_bytes,
+        "same seed, same bitstream"
+    );
     // A different placement seed almost surely gives a different bitstream.
-    let opts = FlowOptions { place_seed: 99, ..FlowOptions::default() };
+    let opts = FlowOptions {
+        place_seed: 99,
+        ..FlowOptions::default()
+    };
     let c = run_vhdl(&src, &opts).unwrap();
     assert_ne!(a.bitstream_bytes, c.bitstream_bytes);
 }
@@ -68,8 +74,7 @@ fn blif_entry_point_equivalent_to_vhdl_entry() {
     // the fabric must implement the same function either way.
     let src = fpga_framework::circuits::vhdl_counter(4);
     let rtl = fpga_framework::synth::diviner::synthesize(&src).unwrap();
-    let (mapped, _) =
-        fpga_framework::synth::map_to_luts(&rtl, Default::default()).unwrap();
+    let (mapped, _) = fpga_framework::synth::map_to_luts(&rtl, Default::default()).unwrap();
     let blif = fpga_framework::netlist::blif::write(&mapped).unwrap();
     let art = run_blif(&blif, &FlowOptions::default()).expect("BLIF flow");
     assert!(art.report.stages.iter().any(|s| s.stage.contains("fabric")));
@@ -101,7 +106,6 @@ fn alternative_architectures_flow() {
         .iter()
         .any(|s| s.stage.contains("fabric") && s.ok));
 }
-
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]

@@ -45,7 +45,10 @@ fn fault_detected(art: &FlowArtifacts, mutate: impl FnOnce(&mut Bitstream)) -> b
 #[test]
 fn pristine_bitstream_verifies() {
     let art = flow_artifacts();
-    assert!(!fault_detected(&art, |_| ()), "unmutated bitstream must pass");
+    assert!(
+        !fault_detected(&art, |_| ()),
+        "unmutated bitstream must pass"
+    );
 }
 
 #[test]
@@ -180,7 +183,8 @@ fn shorted_nets_are_reported_as_contention() {
     }
     assert!(
         fault_detected(&art, |bs| {
-            bs.sb_switches.insert(if a0 < b0 { (a0, b0) } else { (b0, a0) });
+            bs.sb_switches
+                .insert(if a0 < b0 { (a0, b0) } else { (b0, a0) });
         }),
         "shorting two driven nets must be caught"
     );
@@ -191,7 +195,10 @@ fn disabled_clb_clock_is_caught() {
     let art = flow_artifacts();
     for ci in 0..art.bitstream.clbs.len() {
         if art.bitstream.clbs[ci].clock_enable
-            && art.bitstream.clbs[ci].bles.iter().any(|b| b.used && b.registered)
+            && art.bitstream.clbs[ci]
+                .bles
+                .iter()
+                .any(|b| b.used && b.registered)
         {
             assert!(
                 fault_detected(&art, |bs| {

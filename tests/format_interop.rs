@@ -27,9 +27,8 @@ fn net_file_matches_clustering() {
     let nl = fpga_framework::circuits::ripple_adder(8);
     let (mut mapped, _) = map_to_luts(&nl, MapOptions::default()).unwrap();
     fpga_framework::pack::prepare(&mut mapped).unwrap();
-    let c =
-        fpga_framework::pack::pack(&mapped, &fpga_framework::arch::ClbArch::paper_default())
-            .unwrap();
+    let c = fpga_framework::pack::pack(&mapped, &fpga_framework::arch::ClbArch::paper_default())
+        .unwrap();
     let text = fpga_framework::pack::netformat::write_net(&c);
     let summary = fpga_framework::pack::netformat::summarize_net(&text);
     assert_eq!(summary.clbs, c.clusters.len());
@@ -42,8 +41,7 @@ fn arch_text_and_json_agree() {
     let arch = fpga_framework::arch::Architecture::paper_default();
     let text = fpga_framework::arch::write_arch_text(&arch);
     let from_text = fpga_framework::arch::parse_arch_text(&text).unwrap();
-    let from_json =
-        fpga_framework::arch::Architecture::from_json(&arch.to_json()).unwrap();
+    let from_json = fpga_framework::arch::Architecture::from_json(&arch.to_json()).unwrap();
     assert_eq!(from_text, from_json);
 }
 

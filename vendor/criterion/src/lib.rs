@@ -1,0 +1,102 @@
+//! Offline stand-in for `criterion`, sized for this workspace: the
+//! `criterion_group!`/`criterion_main!` harness, benchmark groups, and
+//! `Bencher::iter`. Reports mean/min/max wall time per benchmark to
+//! stdout; no statistical analysis or HTML output.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("benchmark group '{name}'");
+        BenchmarkGroup { sample_size: 20 }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_bench(name, 20, f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup {
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_bench(name, self.sample_size, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+    let mut b = Bencher {
+        samples,
+        times: Vec::with_capacity(samples),
+    };
+    f(&mut b);
+    if b.times.is_empty() {
+        println!("  {name}: no samples");
+        return;
+    }
+    let total: Duration = b.times.iter().sum();
+    let mean = total / b.times.len() as u32;
+    let min = b.times.iter().min().unwrap();
+    let max = b.times.iter().max().unwrap();
+    println!(
+        "  {name}: mean {:?}  min {:?}  max {:?}  ({} samples)",
+        mean,
+        min,
+        max,
+        b.times.len()
+    );
+}
+
+pub struct Bencher {
+    samples: usize,
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // One warmup, then timed samples.
+        black_box(f());
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            black_box(f());
+            self.times.push(t.elapsed());
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

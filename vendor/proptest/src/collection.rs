@@ -1,0 +1,60 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::rng::TestRng;
+use crate::Strategy;
+
+/// Size specification for collection strategies.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    pub min: usize,
+    /// Inclusive.
+    pub max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// `vec(strategy, 1..8)`: vectors whose length is drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let span = self.size.max - self.size.min + 1;
+        let len = self.size.min + rng.below(span);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

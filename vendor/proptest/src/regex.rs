@@ -1,0 +1,178 @@
+//! Generate strings from a small regex subset: literal characters,
+//! character classes (`[01-]`, `[a-z]`, negation unsupported), `.`, and
+//! bounded repetition `{n}` / `{m,n}` / `?` / `*` / `+` (star and plus
+//! capped at 8). Enough for the patterns this workspace's properties use
+//! (e.g. `"[01-]{4}"`).
+
+use crate::rng::TestRng;
+
+enum Atom {
+    Literal(char),
+    Class(Vec<char>),
+    Any,
+}
+
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for p in &pieces {
+        let n = if p.min == p.max {
+            p.min
+        } else {
+            p.min + rng.below(p.max - p.min + 1)
+        };
+        for _ in 0..n {
+            match &p.atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(chars) => out.push(chars[rng.below(chars.len())]),
+                Atom::Any => {
+                    const PRINTABLE: &[u8] =
+                        b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_- ";
+                    out.push(PRINTABLE[rng.below(PRINTABLE.len())] as char);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let end = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed class in pattern '{pattern}'"));
+                let members = expand_class(&chars[i + 1..end], pattern);
+                i = end + 1;
+                Atom::Class(members)
+            }
+            '.' => {
+                i += 1;
+                Atom::Any
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling escape in pattern '{pattern}'"));
+                i += 1;
+                match c {
+                    'd' => Atom::Class(('0'..='9').collect()),
+                    'w' => {
+                        let mut m: Vec<char> = ('a'..='z').collect();
+                        m.extend('A'..='Z');
+                        m.extend('0'..='9');
+                        m.push('_');
+                        Atom::Class(m)
+                    }
+                    other => Atom::Literal(other),
+                }
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Repetition suffix.
+        let (min, max) = match chars.get(i) {
+            Some('{') => {
+                let end = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed repetition in pattern '{pattern}'"));
+                let spec: String = chars[i + 1..end].iter().collect();
+                i = end + 1;
+                match spec.split_once(',') {
+                    None => {
+                        let n: usize = spec.trim().parse().expect("repetition count");
+                        (n, n)
+                    }
+                    Some((lo, hi)) => {
+                        let lo: usize = lo.trim().parse().expect("repetition min");
+                        let hi: usize = if hi.trim().is_empty() {
+                            lo + 8
+                        } else {
+                            hi.trim().parse().expect("repetition max")
+                        };
+                        (lo, hi)
+                    }
+                }
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn expand_class(body: &[char], pattern: &str) -> Vec<char> {
+    assert!(!body.is_empty(), "empty class in pattern '{pattern}'");
+    let mut members = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        // `a-z` range (a `-` at the ends is a literal).
+        if i + 2 < body.len() && body[i + 1] == '-' {
+            let (lo, hi) = (body[i], body[i + 2]);
+            assert!(lo <= hi, "inverted range in class of '{pattern}'");
+            for c in lo..=hi {
+                members.push(c);
+            }
+            i += 3;
+        } else {
+            members.push(body[i]);
+            i += 1;
+        }
+    }
+    members
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::TestRng;
+
+    #[test]
+    fn class_repetition() {
+        let mut rng = TestRng::seed_from(5);
+        for _ in 0..50 {
+            let s = generate("[01-]{4}", &mut rng);
+            assert_eq!(s.len(), 4);
+            assert!(s.chars().all(|c| matches!(c, '0' | '1' | '-')), "{s}");
+        }
+    }
+
+    #[test]
+    fn ranges_and_literals() {
+        let mut rng = TestRng::seed_from(9);
+        let s = generate("x[a-c]{2,4}y", &mut rng);
+        assert!(s.starts_with('x') && s.ends_with('y'));
+        let inner = &s[1..s.len() - 1];
+        assert!((2..=4).contains(&inner.len()));
+        assert!(inner.chars().all(|c| matches!(c, 'a' | 'b' | 'c')));
+    }
+}

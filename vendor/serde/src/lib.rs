@@ -1,0 +1,322 @@
+//! Offline stand-in for `serde`, sized for this workspace.
+//!
+//! The build environment has no access to a crates registry, so the real
+//! `serde` cannot be fetched. This crate reimplements the subset the
+//! workspace relies on: `#[derive(Serialize, Deserialize)]` on plain
+//! structs and enums, routed through a small self-describing data model
+//! ([`Content`]) instead of serde's visitor machinery. `serde_json` (the
+//! sibling stand-in) converts `Content` to and from JSON text.
+//!
+//! Representation choices match serde's defaults so any JSON written by
+//! the real crate parses identically here:
+//! * structs -> maps keyed by field name (`#[serde(skip)]` supported);
+//! * newtype structs -> their inner value;
+//! * unit enum variants -> the variant name as a string;
+//! * data-carrying variants -> externally tagged (`{"Variant": ...}`).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data model every [`Serialize`] type lowers to.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    /// Insertion-ordered map (JSON objects preserve field order).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Content::U64(v) => Some(v),
+            Content::I64(v) if v >= 0 => Some(v as u64),
+            Content::F64(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => {
+                Some(v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Content::I64(v) => Some(v),
+            Content::U64(v) if v <= i64::MAX as u64 => Some(v as i64),
+            Content::F64(v) if v.fract() == 0.0 && v.abs() <= i64::MAX as f64 => Some(v as i64),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Content::F64(v) => Some(v),
+            Content::U64(v) => Some(v as f64),
+            Content::I64(v) => Some(v as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Content::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+}
+
+/// Look up a key in a [`Content::Map`] payload (generated code helper).
+pub fn content_get<'a>(map: &'a [(String, Content)], key: &str) -> Option<&'a Content> {
+    map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Types that can lower themselves into the [`Content`] data model.
+pub trait Serialize {
+    fn to_content(&self) -> Content;
+}
+
+/// Types that can be rebuilt from the [`Content`] data model.
+pub trait Deserialize: Sized {
+    fn from_content(c: &Content) -> Result<Self, String>;
+
+    /// Value to use when a struct field is absent from the input map.
+    /// Errors by default; `Option` overrides this to `None`, matching
+    /// serde's treatment of optional fields.
+    fn missing(field: &'static str) -> Result<Self, String> {
+        Err(format!("missing field '{field}'"))
+    }
+}
+
+// --- Serialize impls for primitives and std containers. ---
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::U64(*self as u64) }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::I64(*self as i64) }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self as f64)
+    }
+}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_content(&self) -> Content {
+        Content::Seq(vec![self.0.to_content(), self.1.to_content()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_content(&self) -> Content {
+        Content::Seq(vec![
+            self.0.to_content(),
+            self.1.to_content(),
+            self.2.to_content(),
+        ])
+    }
+}
+
+// --- Deserialize impls. ---
+
+macro_rules! de_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, String> {
+                let v = c.as_u64().ok_or_else(|| {
+                    format!("expected unsigned integer, got {c:?}")
+                })?;
+                <$t>::try_from(v).map_err(|_| format!("integer {v} out of range"))
+            }
+        }
+    )*};
+}
+de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, String> {
+                let v = c.as_i64().ok_or_else(|| {
+                    format!("expected integer, got {c:?}")
+                })?;
+                <$t>::try_from(v).map_err(|_| format!("integer {v} out of range"))
+            }
+        }
+    )*};
+}
+de_int!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f32 {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        c.as_f64()
+            .map(|v| v as f32)
+            .ok_or_else(|| format!("expected number, got {c:?}"))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        c.as_f64()
+            .ok_or_else(|| format!("expected number, got {c:?}"))
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        c.as_bool()
+            .ok_or_else(|| format!("expected bool, got {c:?}"))
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        c.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| format!("expected string, got {c:?}"))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        c.as_seq()
+            .ok_or_else(|| format!("expected sequence, got {c:?}"))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+
+    fn missing(_field: &'static str) -> Result<Self, String> {
+        Ok(None)
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        let s = c
+            .as_seq()
+            .ok_or_else(|| format!("expected 2-tuple, got {c:?}"))?;
+        if s.len() != 2 {
+            return Err(format!("expected 2-tuple, got {} elements", s.len()));
+        }
+        Ok((A::from_content(&s[0])?, B::from_content(&s[1])?))
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        let s = c
+            .as_seq()
+            .ok_or_else(|| format!("expected 3-tuple, got {c:?}"))?;
+        if s.len() != 3 {
+            return Err(format!("expected 3-tuple, got {} elements", s.len()));
+        }
+        Ok((
+            A::from_content(&s[0])?,
+            B::from_content(&s[1])?,
+            C::from_content(&s[2])?,
+        ))
+    }
+}

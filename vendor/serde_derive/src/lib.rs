@@ -1,0 +1,510 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde stand-in.
+//!
+//! The registry sandbox has no syn/quote, so this crate parses the item
+//! directly from the `proc_macro` token API. Supported shapes are exactly
+//! what the workspace uses: non-generic structs (named, tuple, unit) and
+//! enums (unit, tuple, struct variants), plus `#[serde(skip)]` on named
+//! struct fields. Anything else produces a `compile_error!`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    ty: String,
+    skip: bool,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(Vec<String>),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        types: Vec<String>,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item).parse().expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// --- Parsing. ---
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            toks: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == ch {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if let Some(TokenTree::Ident(i)) = self.peek() {
+            if i.to_string() == word {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Consume attributes (`# [ ... ]`), returning true if any carried
+    /// `serde(skip)`.
+    fn eat_attrs_check_skip(&mut self) -> bool {
+        let mut skip = false;
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.pos += 1;
+            if let Some(TokenTree::Group(g)) = self.next() {
+                if attr_is_serde_skip(g.stream()) {
+                    skip = true;
+                }
+            }
+        }
+        skip
+    }
+
+    /// Consume `pub`, `pub(...)`.
+    fn eat_vis(&mut self) {
+        if self.eat_ident("pub") {
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    /// Collect a type: tokens until a top-level comma (or the end).
+    /// Puncts are joined tightly so `::` and `<...>` re-parse correctly;
+    /// adjacent words get a separating space.
+    fn take_type(&mut self) -> String {
+        let mut depth = 0i32;
+        let mut out = String::new();
+        let mut prev_word = false;
+        while let Some(t) = self.peek() {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            let is_word = !matches!(t, TokenTree::Punct(_));
+            if prev_word && is_word {
+                out.push(' ');
+            }
+            out.push_str(&t.to_string());
+            prev_word = is_word;
+            self.pos += 1;
+        }
+        out
+    }
+}
+
+fn attr_is_serde_skip(attr: TokenStream) -> bool {
+    let mut c = Cursor::new(attr);
+    if !c.eat_ident("serde") {
+        return false;
+    }
+    if let Some(TokenTree::Group(g)) = c.next() {
+        let mut inner = Cursor::new(g.stream());
+        return inner.eat_ident("skip");
+    }
+    false
+}
+
+fn ident_name(t: &TokenTree) -> Option<String> {
+    match t {
+        TokenTree::Ident(i) => {
+            let s = i.to_string();
+            Some(s.strip_prefix("r#").unwrap_or(&s).to_string())
+        }
+        _ => None,
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut c = Cursor::new(input);
+    c.eat_attrs_check_skip();
+    c.eat_vis();
+    let is_struct = if c.eat_ident("struct") {
+        true
+    } else if c.eat_ident("enum") {
+        false
+    } else {
+        return Err("serde stand-in derive: expected struct or enum".into());
+    };
+    let name = c
+        .next()
+        .as_ref()
+        .and_then(ident_name)
+        .ok_or("serde stand-in derive: expected item name")?;
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde stand-in derive: generic type '{name}' is not supported"
+            ));
+        }
+    }
+    if is_struct {
+        match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::NamedStruct {
+                    name,
+                    fields: parse_named_fields(g.stream())?,
+                })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Item::TupleStruct {
+                    name,
+                    types: parse_type_list(g.stream()),
+                })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct { name }),
+            _ => Err(format!("serde stand-in derive: malformed struct '{name}'")),
+        }
+    } else {
+        match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Enum {
+                name,
+                variants: parse_variants(g.stream())?,
+            }),
+            _ => Err(format!("serde stand-in derive: malformed enum '{name}'")),
+        }
+    }
+}
+
+fn parse_named_fields(ts: TokenStream) -> Result<Vec<Field>, String> {
+    let mut c = Cursor::new(ts);
+    let mut fields = Vec::new();
+    while c.peek().is_some() {
+        let skip = c.eat_attrs_check_skip();
+        c.eat_vis();
+        let name = c
+            .next()
+            .as_ref()
+            .and_then(ident_name)
+            .ok_or("serde stand-in derive: expected field name")?;
+        if !c.eat_punct(':') {
+            return Err(format!(
+                "serde stand-in derive: expected ':' after field '{name}'"
+            ));
+        }
+        let ty = c.take_type();
+        fields.push(Field { name, ty, skip });
+        c.eat_punct(',');
+    }
+    Ok(fields)
+}
+
+fn parse_type_list(ts: TokenStream) -> Vec<String> {
+    let mut c = Cursor::new(ts);
+    let mut types = Vec::new();
+    while c.peek().is_some() {
+        // Tuple fields may carry a visibility (e.g. `pub u32`).
+        c.eat_attrs_check_skip();
+        c.eat_vis();
+        let ty = c.take_type();
+        if !ty.is_empty() {
+            types.push(ty);
+        }
+        c.eat_punct(',');
+    }
+    types
+}
+
+fn parse_variants(ts: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut c = Cursor::new(ts);
+    let mut variants = Vec::new();
+    while c.peek().is_some() {
+        c.eat_attrs_check_skip();
+        let name = c
+            .next()
+            .as_ref()
+            .and_then(ident_name)
+            .ok_or("serde stand-in derive: expected variant name")?;
+        let shape = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let tys = parse_type_list(g.stream());
+                c.pos += 1;
+                VariantShape::Tuple(tys)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                c.pos += 1;
+                VariantShape::Struct(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        variants.push(Variant { name, shape });
+        c.eat_punct(',');
+    }
+    Ok(variants)
+}
+
+// --- Code generation: Serialize. ---
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::NamedStruct { name, fields } => {
+            let mut b = String::from("let mut m: Vec<(String, ::serde::Content)> = Vec::new();\n");
+            for f in fields.iter().filter(|f| !f.skip) {
+                b.push_str(&format!(
+                    "m.push((\"{n}\".to_string(), ::serde::Serialize::to_content(&self.{n})));\n",
+                    n = f.name
+                ));
+            }
+            b.push_str("::serde::Content::Map(m)");
+            (name, b)
+        }
+        Item::TupleStruct { name, types } => {
+            let b = if types.len() == 1 {
+                "::serde::Serialize::to_content(&self.0)".to_string()
+            } else {
+                let elems: Vec<String> = (0..types.len())
+                    .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                    .collect();
+                format!("::serde::Content::Seq(vec![{}])", elems.join(", "))
+            };
+            (name, b)
+        }
+        Item::UnitStruct { name } => (name, "::serde::Content::Null".to_string()),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Content::Str(\"{v}\".to_string()),\n",
+                        v = v.name
+                    )),
+                    VariantShape::Tuple(tys) => {
+                        let binds: Vec<String> = (0..tys.len()).map(|i| format!("f{i}")).collect();
+                        let inner = if tys.len() == 1 {
+                            "::serde::Serialize::to_content(f0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_content({b})"))
+                                .collect();
+                            format!("::serde::Content::Seq(vec![{}])", elems.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{v}({bl}) => ::serde::Content::Map(vec![(\"{v}\".to_string(), {inner})]),\n",
+                            v = v.name,
+                            bl = binds.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let mut inner = String::from(
+                            "{ let mut im: Vec<(String, ::serde::Content)> = Vec::new();\n",
+                        );
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            inner.push_str(&format!(
+                                "im.push((\"{n}\".to_string(), ::serde::Serialize::to_content({n})));\n",
+                                n = f.name
+                            ));
+                        }
+                        inner.push_str("::serde::Content::Map(im) }");
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {bl} }} => ::serde::Content::Map(vec![(\"{v}\".to_string(), {inner})]),\n",
+                            v = v.name,
+                            bl = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            (name, format!("match self {{\n{arms}\n}}"))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_content(&self) -> ::serde::Content {{\n{body}\n}}\n}}\n"
+    )
+}
+
+// --- Code generation: Deserialize. ---
+
+fn named_fields_ctor(owner: &str, path: &str, fields: &[Field], map_expr: &str) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        if f.skip {
+            inits.push_str(&format!(
+                "{}: ::std::default::Default::default(),\n",
+                f.name
+            ));
+        } else {
+            inits.push_str(&format!(
+                "{n}: match ::serde::content_get({m}, \"{n}\") {{\n\
+                 Some(v) => <{t} as ::serde::Deserialize>::from_content(v)\
+                 .map_err(|e| format!(\"{owner}.{n}: {{e}}\"))?,\n\
+                 None => <{t} as ::serde::Deserialize>::missing(\"{n}\")?,\n}},\n",
+                n = f.name,
+                t = f.ty,
+                m = map_expr,
+            ));
+        }
+    }
+    format!("{path} {{\n{inits}}}")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::NamedStruct { name, fields } => {
+            let ctor = named_fields_ctor(name, name, fields, "m");
+            let b = format!(
+                "let m = c.as_map().ok_or_else(|| format!(\"expected map for {name}, got {{c:?}}\"))?;\n\
+                 Ok({ctor})"
+            );
+            (name, b)
+        }
+        Item::TupleStruct { name, types } => {
+            let b = if types.len() == 1 {
+                format!(
+                    "Ok({name}(<{t} as ::serde::Deserialize>::from_content(c)?))",
+                    t = types[0]
+                )
+            } else {
+                let n = types.len();
+                let elems: Vec<String> = types
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| format!("<{t} as ::serde::Deserialize>::from_content(&s[{i}])?"))
+                    .collect();
+                format!(
+                    "let s = c.as_seq().ok_or_else(|| format!(\"expected sequence for {name}\"))?;\n\
+                     if s.len() != {n} {{ return Err(format!(\"expected {n} elements for {name}, got {{}}\", s.len())); }}\n\
+                     Ok({name}({elems}))",
+                    elems = elems.join(", ")
+                )
+            };
+            (name, b)
+        }
+        Item::UnitStruct { name } => (name, format!("Ok({name})")),
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                match &v.shape {
+                    VariantShape::Unit => unit_arms
+                        .push_str(&format!("\"{v}\" => return Ok({name}::{v}),\n", v = v.name)),
+                    VariantShape::Tuple(tys) => {
+                        let build = if tys.len() == 1 {
+                            format!(
+                                "return Ok({name}::{v}(<{t} as ::serde::Deserialize>::from_content(v)?));",
+                                v = v.name,
+                                t = tys[0]
+                            )
+                        } else {
+                            let n = tys.len();
+                            let elems: Vec<String> = tys
+                                .iter()
+                                .enumerate()
+                                .map(|(i, t)| {
+                                    format!("<{t} as ::serde::Deserialize>::from_content(&s[{i}])?")
+                                })
+                                .collect();
+                            format!(
+                                "let s = v.as_seq().ok_or_else(|| format!(\"expected sequence for {name}::{vn}\"))?;\n\
+                                 if s.len() != {n} {{ return Err(format!(\"wrong arity for {name}::{vn}\")); }}\n\
+                                 return Ok({name}::{vn}({elems}));",
+                                vn = v.name,
+                                elems = elems.join(", ")
+                            )
+                        };
+                        data_arms.push_str(&format!("\"{v}\" => {{ {build} }}\n", v = v.name));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let ctor =
+                            named_fields_ctor(name, &format!("{name}::{}", v.name), fields, "im");
+                        data_arms.push_str(&format!(
+                            "\"{v}\" => {{\n\
+                             let im = v.as_map().ok_or_else(|| format!(\"expected map for {name}::{v}\"))?;\n\
+                             return Ok({ctor});\n}}\n",
+                            v = v.name
+                        ));
+                    }
+                }
+            }
+            let b = format!(
+                "if let Some(s) = c.as_str() {{\n\
+                 match s {{\n{unit_arms}_ => {{}}\n}}\n}}\n\
+                 if let Some(m) = c.as_map() {{\n\
+                 if m.len() == 1 {{\n\
+                 let (k, v) = &m[0];\n\
+                 let _ = v;\n\
+                 match k.as_str() {{\n{data_arms}_ => {{}}\n}}\n}}\n}}\n\
+                 Err(format!(\"no variant of {name} matches {{c:?}}\"))"
+            );
+            (name, b)
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_content(c: &::serde::Content) -> ::std::result::Result<Self, String> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}

@@ -1,0 +1,385 @@
+//! Offline stand-in for `serde_json`, sized for this workspace.
+//!
+//! Provides [`Value`], the [`json!`] macro (flat objects/arrays; nest by
+//! calling `json!` explicitly), [`to_string`], [`to_string_pretty`],
+//! [`from_str`], and [`to_value`]/[`from_value`], all routed through the
+//! serde stand-in's `Content` data model. Object key order is insertion
+//! order, so serialization is deterministic — a property the flow's
+//! content-addressed cache keys rely on.
+
+use serde::{Content, Deserialize, Serialize};
+
+mod read;
+mod write;
+
+pub use read::from_str_value;
+
+/// A JSON number. Integers keep their integer identity (like serde_json).
+#[derive(Clone, Copy, Debug)]
+pub enum Number {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+}
+
+impl Number {
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::U64(v) => v as f64,
+            Number::I64(v) => v as f64,
+            Number::F64(v) => v,
+        }
+    }
+}
+
+/// Like serde_json, equal integers compare equal across the signed and
+/// unsigned variants; floats only ever equal floats.
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        use Number::*;
+        match (*self, *other) {
+            (U64(a), U64(b)) => a == b,
+            (I64(a), I64(b)) => a == b,
+            (F64(a), F64(b)) => a == b,
+            (U64(a), I64(b)) | (I64(b), U64(a)) => b >= 0 && a == b as u64,
+            _ => false,
+        }
+    }
+}
+
+impl std::fmt::Display for Number {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Number::U64(v) => write!(f, "{v}"),
+            Number::I64(v) => write!(f, "{v}"),
+            Number::F64(v) => {
+                if v.is_finite() {
+                    if v == v.trunc() && v.abs() < 1e15 {
+                        // Keep a fractional marker so the value reparses as
+                        // a float (serde_json prints 1.0 as "1.0").
+                        write!(f, "{v:.1}")
+                    } else {
+                        write!(f, "{v}")
+                    }
+                } else {
+                    // JSON has no NaN/inf; serde_json emits null.
+                    write!(f, "null")
+                }
+            }
+        }
+    }
+}
+
+/// Insertion-ordered string map (the payload of [`Value::Object`]).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Map<K, V> {
+    entries: Vec<(K, V)>,
+}
+
+impl<V> Map<String, V> {
+    pub fn new() -> Self {
+        Map {
+            entries: Vec::new(),
+        }
+    }
+
+    pub fn from_pairs(entries: Vec<(String, V)>) -> Self {
+        let mut m = Map::new();
+        for (k, v) in entries {
+            m.insert(k, v);
+        }
+        m
+    }
+
+    /// Insert, replacing any existing entry with the same key in place.
+    pub fn insert(&mut self, key: String, value: V) -> Option<V> {
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    pub fn get(&self, key: &str) -> Option<&V> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &V)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl<V> IntoIterator for Map<String, V> {
+    type Item = (String, V);
+    type IntoIter = std::vec::IntoIter<(String, V)>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+/// A parsed JSON document.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub enum Value {
+    #[default]
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    Object(Map<String, Value>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::Number(Number::U64(v)) => Some(v),
+            Value::Number(Number::I64(v)) if v >= 0 => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Number(Number::I64(v)) => Some(v),
+            Value::Number(Number::U64(v)) if v <= i64::MAX as u64 => Some(v as i64),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(i).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+/// Compact JSON rendering (serde_json's `Display` behaviour).
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&write::compact(self))
+    }
+}
+
+// --- Bridges to the serde stand-in's data model. ---
+
+fn content_to_value(c: &Content) -> Value {
+    match c {
+        Content::Null => Value::Null,
+        Content::Bool(b) => Value::Bool(*b),
+        Content::U64(v) => Value::Number(Number::U64(*v)),
+        Content::I64(v) => Value::Number(Number::I64(*v)),
+        Content::F64(v) => Value::Number(Number::F64(*v)),
+        Content::Str(s) => Value::String(s.clone()),
+        Content::Seq(s) => Value::Array(s.iter().map(content_to_value).collect()),
+        Content::Map(m) => Value::Object(Map::from_pairs(
+            m.iter()
+                .map(|(k, v)| (k.clone(), content_to_value(v)))
+                .collect(),
+        )),
+    }
+}
+
+fn value_to_content(v: &Value) -> Content {
+    match v {
+        Value::Null => Content::Null,
+        Value::Bool(b) => Content::Bool(*b),
+        Value::Number(Number::U64(n)) => Content::U64(*n),
+        Value::Number(Number::I64(n)) => Content::I64(*n),
+        Value::Number(Number::F64(n)) => Content::F64(*n),
+        Value::String(s) => Content::Str(s.clone()),
+        Value::Array(a) => Content::Seq(a.iter().map(value_to_content).collect()),
+        Value::Object(m) => Content::Map(
+            m.iter()
+                .map(|(k, v)| (k.clone(), value_to_content(v)))
+                .collect(),
+        ),
+    }
+}
+
+impl Serialize for Value {
+    fn to_content(&self) -> Content {
+        value_to_content(self)
+    }
+}
+
+impl Deserialize for Value {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        Ok(content_to_value(c))
+    }
+
+    fn missing(_field: &'static str) -> Result<Self, String> {
+        Ok(Value::Null)
+    }
+}
+
+/// Parse/serialize errors.
+#[derive(Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+// --- Top-level API. ---
+
+pub fn to_value<T: Serialize>(v: &T) -> Value {
+    content_to_value(&v.to_content())
+}
+
+pub fn from_value<T: Deserialize>(v: &Value) -> Result<T, Error> {
+    T::from_content(&value_to_content(v)).map_err(Error::new)
+}
+
+pub fn to_string<T: Serialize>(v: &T) -> Result<String, Error> {
+    Ok(write::compact(&to_value(v)))
+}
+
+pub fn to_string_pretty<T: Serialize>(v: &T) -> Result<String, Error> {
+    Ok(write::pretty(&to_value(v)))
+}
+
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let value = read::from_str_value(text)?;
+    from_value(&value)
+}
+
+/// Build a [`Value`] literal. Objects take `"key": expr` pairs and arrays
+/// take expressions; nested literals must call `json!` explicitly
+/// (`"k": json!({...})`), which covers every use in this workspace.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($v:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::to_value(&$v) ),* ])
+    };
+    ({ $($k:literal : $v:expr),* $(,)? }) => {
+        $crate::Value::Object($crate::Map::from_pairs(vec![
+            $( ($k.to_string(), $crate::to_value(&$v)) ),*
+        ]))
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_and_roundtrip() {
+        let v = json!({"cells": 42u32, "util": 0.9, "ok": true, "name": "demo"});
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, r#"{"cells":42,"util":0.9,"ok":true,"name":"demo"}"#);
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(back["cells"].as_u64(), Some(42));
+        assert_eq!(back["util"].as_f64(), Some(0.9));
+        assert_eq!(back["name"].as_str(), Some("demo"));
+    }
+
+    #[test]
+    fn escapes_and_nesting() {
+        let v = json!({"msg": "a\"b\\c\nd"});
+        let s = to_string(&v).unwrap();
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(back["msg"].as_str(), Some("a\"b\\c\nd"));
+        let nested: Value = from_str(r#"{"a": {"b": [1, 2.5, null, "x"]}}"#).unwrap();
+        assert_eq!(nested["a"]["b"][1].as_f64(), Some(2.5));
+        assert!(nested["a"]["b"][2].is_null());
+    }
+
+    #[test]
+    fn pretty_reparses() {
+        let v = json!({"a": 1u8, "b": [true, false]});
+        let p = to_string_pretty(&v).unwrap();
+        let back: Value = from_str(&p).unwrap();
+        assert_eq!(back, v);
+    }
+}
