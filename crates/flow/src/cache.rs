@@ -18,7 +18,7 @@
 use std::any::Any;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Instant;
 
 use serde_json::Value;
@@ -114,19 +114,32 @@ impl StageCache {
         Self::default()
     }
 
+    /// Lock the slot map, recovering from poisoning: the map's invariants
+    /// hold between statements (a panicking holder can at worst leave an
+    /// in-flight marker, which [`StageCache::get_or_compute`] cleans up),
+    /// so a poisoned lock must not cascade into every later job.
+    fn lock_slots(&self) -> MutexGuard<'_, HashMap<String, Slot>> {
+        self.slots
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
     /// Look up `key`; on a miss, run `compute` (once, even under
     /// contention) and remember its output. Returns the typed output, the
     /// stage metrics, and whether this lookup was a hit.
     ///
     /// Failed computations are not cached: the in-flight marker is
     /// removed and the error propagates, so a later retry recomputes.
+    /// Likewise a *panicking* computation: the marker is removed before
+    /// the unwind continues, so waiters on the same key never hang on a
+    /// slot whose computing thread died.
     pub fn get_or_compute<T: Any + Send + Sync>(
         &self,
         stage: StageId,
         key: &str,
         compute: impl FnOnce() -> Result<(T, Value)>,
     ) -> Result<(Arc<T>, Value, bool)> {
-        let mut slots = self.slots.lock().expect("cache lock");
+        let mut slots = self.lock_slots();
         loop {
             match slots.get(key) {
                 Some(Slot::Ready(v, m)) => {
@@ -140,7 +153,10 @@ impl StageCache {
                     return Ok((out, metrics, true));
                 }
                 Some(Slot::InFlight) => {
-                    slots = self.ready.wait(slots).expect("cache lock");
+                    slots = self
+                        .ready
+                        .wait(slots)
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
                 }
                 None => {
                     slots.insert(key.to_string(), Slot::InFlight);
@@ -151,10 +167,21 @@ impl StageCache {
         drop(slots);
 
         let t = Instant::now();
-        let computed = compute();
+        let computed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(compute));
         let elapsed = t.elapsed().as_nanos() as u64;
 
-        let mut slots = self.slots.lock().expect("cache lock");
+        let computed = match computed {
+            Ok(result) => result,
+            Err(payload) => {
+                let mut slots = self.lock_slots();
+                slots.remove(key);
+                drop(slots);
+                self.ready.notify_all();
+                std::panic::resume_unwind(payload);
+            }
+        };
+
+        let mut slots = self.lock_slots();
         match computed {
             Ok((value, metrics)) => {
                 let value = Arc::new(value);
@@ -209,9 +236,7 @@ impl StageCache {
 
     /// Number of ready entries (in-flight markers excluded).
     pub fn len(&self) -> usize {
-        self.slots
-            .lock()
-            .expect("cache lock")
+        self.lock_slots()
             .values()
             .filter(|s| matches!(s, Slot::Ready(..)))
             .count()
@@ -298,6 +323,28 @@ mod tests {
             .get_or_compute(StageId::Route, &key, || Ok((9usize, Value::Null)))
             .unwrap();
         assert_eq!((*v, hit), (9, false));
+    }
+
+    #[test]
+    fn panicking_computation_releases_the_slot() {
+        let cache = Arc::new(StageCache::new());
+        let key = stage_key(StageId::Pack, &["panics"]);
+        let panicked = {
+            let cache = Arc::clone(&cache);
+            let key = key.clone();
+            std::thread::spawn(move || {
+                cache.get_or_compute::<usize>(StageId::Pack, &key, || panic!("stage blew up"))
+            })
+        };
+        assert!(panicked.join().is_err(), "panic propagates to the caller");
+        // The in-flight marker is gone: a later lookup computes fresh
+        // instead of waiting forever.
+        let (v, _, hit) = cache
+            .get_or_compute(StageId::Pack, &key, || Ok((11usize, Value::Null)))
+            .unwrap();
+        assert_eq!((*v, hit), (11, false));
+        let s = cache.stats(StageId::Pack);
+        assert_eq!((s.misses, s.hits), (1, 0), "the panic counted nothing");
     }
 
     #[test]

@@ -21,6 +21,7 @@
 
 pub mod cache;
 pub mod cli;
+pub mod fault;
 pub mod hash;
 pub mod pipeline;
 pub mod report;
@@ -28,6 +29,7 @@ pub mod stages;
 pub mod svg;
 
 pub use cache::{StageCache, StageId, StageStats};
+pub use fault::{CancelReason, CancelToken, FaultAction, FaultPlan, FaultRule, Gate};
 pub use pipeline::{
     run_blif, run_blif_ctx, run_netlist, run_netlist_ctx, run_vhdl, run_vhdl_ctx, FlowArtifacts,
     FlowCtx, FlowOptions,

@@ -17,10 +17,11 @@ use fpga_power::{PowerOptions, PowerReport};
 use fpga_route::rrgraph::RrGraph;
 use fpga_route::RouteResult;
 
-use crate::cache::StageCache;
+use crate::cache::{StageCache, StageId};
+use crate::fault::{CancelReason, CancelToken, FaultPlan};
 use crate::report::{FlowReport, StageReport};
 use crate::stages::{self, Staged};
-use crate::Result;
+use crate::{FlowError, Result};
 
 /// Flow configuration.
 #[derive(Clone, Debug)]
@@ -58,14 +59,42 @@ pub struct FlowCtx<'a> {
     /// Called after each stage completes (hit or miss) with its report
     /// entry; the flow server streams these to the submitting client.
     pub observer: Option<&'a (dyn Fn(&StageReport) + Send + Sync)>,
+    /// Cooperative cancellation: checked at every stage boundary, so a
+    /// cancelled or deadline-exceeded job stops before its next stage.
+    pub cancel: Option<&'a CancelToken>,
+    /// Deterministic fault injection for tests; fires in the stage gate,
+    /// before the stage's cache lookup.
+    pub fault: Option<&'a FaultPlan>,
 }
 
 impl<'a> FlowCtx<'a> {
     pub fn with_cache(cache: &'a StageCache) -> Self {
         FlowCtx {
             cache: Some(cache),
-            observer: None,
+            ..FlowCtx::default()
         }
+    }
+
+    /// The gate every stage step passes before doing work: observe
+    /// cancellation (deadline or explicit), then fire any injected fault.
+    /// Faults run outside the stage cache, so an injected panic cannot
+    /// strand an in-flight cache entry.
+    pub fn stage_gate(&self, stage: StageId) -> Result<()> {
+        if let Some(reason) = self.cancel.and_then(CancelToken::status) {
+            return Err(FlowError {
+                stage: "cancelled",
+                message: match reason {
+                    CancelReason::Cancelled => "job cancelled".to_string(),
+                    CancelReason::DeadlineExceeded => {
+                        format!("deadline exceeded before stage '{}'", stage.name())
+                    }
+                },
+            });
+        }
+        if let Some(plan) = self.fault {
+            plan.before_stage(stage.name(), self.cancel)?;
+        }
+        Ok(())
     }
 }
 
@@ -104,7 +133,7 @@ pub fn run_netlist(rtl: Netlist, opts: &FlowOptions) -> Result<FlowArtifacts> {
 /// [`run_vhdl`] with a cache/observer context.
 pub fn run_vhdl_ctx(source: &str, opts: &FlowOptions, ctx: FlowCtx) -> Result<FlowArtifacts> {
     let t = Instant::now();
-    let rtl = stages::synthesize_vhdl(source, ctx.cache)?;
+    let rtl = stages::synthesize_vhdl(source, ctx)?;
     let mut report = FlowReport {
         design: rtl.value.name.clone(),
         ..Default::default()
@@ -122,7 +151,7 @@ pub fn run_vhdl_ctx(source: &str, opts: &FlowOptions, ctx: FlowCtx) -> Result<Fl
 /// [`run_blif`] with a cache/observer context.
 pub fn run_blif_ctx(text: &str, opts: &FlowOptions, ctx: FlowCtx) -> Result<FlowArtifacts> {
     let t = Instant::now();
-    let rtl = stages::parse_blif(text, ctx.cache)?;
+    let rtl = stages::parse_blif(text, ctx)?;
     let mut report = FlowReport {
         design: rtl.value.name.clone(),
         ..Default::default()
@@ -171,32 +200,32 @@ fn run_from_rtl(
     mut report: FlowReport,
 ) -> Result<FlowArtifacts> {
     let t = Instant::now();
-    let mapped = stages::lut_map(&rtl, opts, ctx.cache)?;
+    let mapped = stages::lut_map(&rtl, opts, ctx)?;
     record(&mut report, &ctx, "lut mapping (SIS)", &mapped, t);
 
     let t = Instant::now();
-    let clustering = stages::pack(&mapped, &opts.arch, ctx.cache)?;
+    let clustering = stages::pack(&mapped, &opts.arch, ctx)?;
     record(&mut report, &ctx, "packing (T-VPack)", &clustering, t);
 
     let t = Instant::now();
-    let placement = stages::place(&clustering, opts, ctx.cache)?;
+    let placement = stages::place(&clustering, opts, ctx)?;
     record(&mut report, &ctx, "placement (VPR)", &placement, t);
 
     let t = Instant::now();
-    let routed = stages::route(&clustering, &placement, opts, ctx.cache)?;
+    let routed = stages::route(&clustering, &placement, opts, ctx)?;
     record(&mut report, &ctx, "routing (VPR)", &routed, t);
 
     let t = Instant::now();
-    let power = stages::power(&clustering, &routed, opts, ctx.cache)?;
+    let power = stages::power(&clustering, &routed, opts, ctx)?;
     record(&mut report, &ctx, "power (PowerModel)", &power, t);
 
     let t = Instant::now();
-    let bits = stages::bitstream(&clustering, &placement, &routed, ctx.cache)?;
+    let bits = stages::bitstream(&clustering, &placement, &routed, ctx)?;
     record(&mut report, &ctx, "bitstream (DAGGER)", &bits, t);
 
     if opts.verify_cycles > 0 {
         let t = Instant::now();
-        let verified = stages::verify(&bits, &mapped, opts.verify_cycles, ctx.cache)?;
+        let verified = stages::verify(&bits, &mapped, opts.verify_cycles, ctx)?;
         record(&mut report, &ctx, "verify (fabric emulation)", &verified, t);
     }
 
@@ -292,6 +321,85 @@ mod tests {
             .stages
             .iter()
             .all(|s| s.metrics["cache"] == serde_json::json!("hit")));
+    }
+
+    #[test]
+    fn cancelled_token_stops_at_the_next_stage_boundary() {
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let ctx = FlowCtx {
+            cancel: Some(&cancel),
+            ..FlowCtx::default()
+        };
+        let src = fpga_circuits::vhdl_counter(3);
+        let err = expect_err(run_vhdl_ctx(&src, &FlowOptions::default(), ctx));
+        assert_eq!(err.stage, "cancelled");
+    }
+
+    fn expect_err(r: Result<FlowArtifacts>) -> crate::FlowError {
+        match r {
+            Err(e) => e,
+            Ok(_) => panic!("flow unexpectedly succeeded"),
+        }
+    }
+
+    #[test]
+    fn expired_deadline_reports_the_blocked_stage() {
+        let cancel = CancelToken::with_deadline(std::time::Duration::from_millis(0));
+        let ctx = FlowCtx {
+            cancel: Some(&cancel),
+            ..FlowCtx::default()
+        };
+        let src = fpga_circuits::vhdl_counter(3);
+        let err = expect_err(run_vhdl_ctx(&src, &FlowOptions::default(), ctx));
+        assert_eq!(err.stage, "cancelled");
+        assert!(err.message.contains("deadline exceeded"), "{}", err.message);
+        assert!(err.message.contains("synthesis"), "{}", err.message);
+    }
+
+    #[test]
+    fn injected_failure_surfaces_as_flow_error_and_later_runs_recover() {
+        let cache = StageCache::new();
+        let plan = crate::fault::FaultPlan::new().on(
+            "place",
+            1,
+            crate::fault::FaultAction::Fail("chaos".into()),
+        );
+        let ctx = FlowCtx {
+            cache: Some(&cache),
+            fault: Some(&plan),
+            ..FlowCtx::default()
+        };
+        let src = fpga_circuits::vhdl_counter(3);
+        let err = expect_err(run_vhdl_ctx(&src, &FlowOptions::default(), ctx));
+        assert_eq!(err.stage, "fault");
+        assert!(err.message.contains("chaos"), "{}", err.message);
+        // The rule fired once; the same plan lets the retry through, and
+        // the front-end stages it completed are served from cache.
+        let art = run_vhdl_ctx(&src, &FlowOptions::default(), ctx).unwrap();
+        assert!(art.bitstream_bytes.len() > 64);
+        let synth = cache.stats(StageId::Synthesis);
+        assert_eq!((synth.misses, synth.hits), (1, 1));
+    }
+
+    #[test]
+    fn injected_panic_does_not_strand_the_cache() {
+        let cache = StageCache::new();
+        let plan =
+            crate::fault::FaultPlan::new().on("lut_map", 1, crate::fault::FaultAction::Panic);
+        let src = fpga_circuits::vhdl_counter(3);
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let ctx = FlowCtx {
+                cache: Some(&cache),
+                fault: Some(&plan),
+                ..FlowCtx::default()
+            };
+            run_vhdl_ctx(&src, &FlowOptions::default(), ctx)
+        }));
+        assert!(panicked.is_err());
+        // No in-flight marker left behind: a clean run completes.
+        let art = run_vhdl_ctx(&src, &FlowOptions::default(), FlowCtx::with_cache(&cache)).unwrap();
+        assert!(art.bitstream_bytes.len() > 64);
     }
 
     #[test]

@@ -1,13 +1,18 @@
 //! The pipeline, decomposed into resumable, individually-cacheable stage
 //! steps.
 //!
-//! Each step takes its typed inputs plus an optional [`StageCache`] and
+//! Each step takes its typed inputs plus the run's [`FlowCtx`] and
 //! returns a [`Staged`] output: the value (shared via `Arc` so cached
 //! entries are never deep-copied on a hit), the stage's content-address
 //! key, the metrics it reported, and whether the cache served it. Keys
 //! chain: a step's key digests its upstream step's key plus its own
 //! options, so content addressing holds transitively — see
 //! [`crate::cache`] for the scheme.
+//!
+//! Every step first passes [`FlowCtx::stage_gate`]: cancellation
+//! (deadline or client hang-up) and injected faults are observed at stage
+//! granularity, *before* the cache lookup — so even standalone step
+//! drivers get the same fault-tolerance behavior as the full pipeline.
 //!
 //! [`crate::pipeline`] composes these steps into the classic end-to-end
 //! runs; the flow server (`fpga-server`) drives them with a shared cache
@@ -32,7 +37,7 @@ use fpga_synth::{map_to_luts, MapOptions};
 use serde_json::Value;
 
 use crate::cache::{stage_key, StageCache, StageId};
-use crate::pipeline::FlowOptions;
+use crate::pipeline::{FlowCtx, FlowOptions};
 use crate::{stage_err, FlowError, Result};
 
 /// One stage step's output.
@@ -92,9 +97,10 @@ fn run_step<T: Any + Send + Sync>(
 
 /// Synthesis: VHDL source to a gate-level netlist (VHDL Parser +
 /// DIVINER). Keyed on the source text itself.
-pub fn synthesize_vhdl(source: &str, cache: Option<&StageCache>) -> Result<Staged<Netlist>> {
+pub fn synthesize_vhdl(source: &str, ctx: FlowCtx) -> Result<Staged<Netlist>> {
+    ctx.stage_gate(StageId::Synthesis)?;
     let key = stage_key(StageId::Synthesis, &["vhdl", source]);
-    run_step(cache, StageId::Synthesis, key, || {
+    run_step(ctx.cache, StageId::Synthesis, key, || {
         let rtl = fpga_synth::diviner::synthesize(source).map_err(stage_err("synthesis"))?;
         let metrics = serde_json::json!({
             "cells": rtl.cells.len(),
@@ -107,9 +113,10 @@ pub fn synthesize_vhdl(source: &str, cache: Option<&StageCache>) -> Result<Stage
 
 /// BLIF upload: parse + validate (the paper's E2FMT hand-off entry).
 /// Shares the synthesis counters — it is the flow's front door.
-pub fn parse_blif(text: &str, cache: Option<&StageCache>) -> Result<Staged<Netlist>> {
+pub fn parse_blif(text: &str, ctx: FlowCtx) -> Result<Staged<Netlist>> {
+    ctx.stage_gate(StageId::Synthesis)?;
     let key = stage_key(StageId::Synthesis, &["blif", text]);
-    run_step(cache, StageId::Synthesis, key, || {
+    run_step(ctx.cache, StageId::Synthesis, key, || {
         let rtl = fpga_netlist::blif::parse(text).map_err(stage_err("blif"))?;
         rtl.validate().map_err(stage_err("blif"))?;
         let metrics = serde_json::json!({"cells": rtl.cells.len()});
@@ -133,11 +140,8 @@ pub fn adopt_rtl(rtl: Netlist) -> Staged<Netlist> {
 /// netlist text — not the upstream key — so equivalent logic reaching
 /// this point from different front doors (VHDL, BLIF, in-memory) shares
 /// cache entries from here down.
-pub fn lut_map(
-    rtl: &Staged<Netlist>,
-    opts: &FlowOptions,
-    cache: Option<&StageCache>,
-) -> Result<Staged<Netlist>> {
+pub fn lut_map(rtl: &Staged<Netlist>, opts: &FlowOptions, ctx: FlowCtx) -> Result<Staged<Netlist>> {
+    ctx.stage_gate(StageId::LutMap)?;
     let map_opts = MapOptions {
         k: opts.arch.clb.lut_k,
         cut_limit: 10,
@@ -148,7 +152,7 @@ pub fn lut_map(
         &[&canonical_text(&rtl.value), &fingerprint],
     );
     let rtl = Arc::clone(&rtl.value);
-    run_step(cache, StageId::LutMap, key, move || {
+    run_step(ctx.cache, StageId::LutMap, key, move || {
         let (mut mapped, map_report) =
             map_to_luts(&rtl, map_opts).map_err(stage_err("lut mapping (SIS)"))?;
         fpga_pack::absorb_constants(&mut mapped);
@@ -165,12 +169,13 @@ pub fn lut_map(
 pub fn pack(
     mapped: &Staged<Netlist>,
     arch: &Architecture,
-    cache: Option<&StageCache>,
+    ctx: FlowCtx,
 ) -> Result<Staged<Clustering>> {
+    ctx.stage_gate(StageId::Pack)?;
     let key = stage_key(StageId::Pack, &[&mapped.key, &arch.canonical_text()]);
     let mapped = Arc::clone(&mapped.value);
     let clb = arch.clb.clone();
-    run_step(cache, StageId::Pack, key, move || {
+    run_step(ctx.cache, StageId::Pack, key, move || {
         let clustering = fpga_pack::pack(&mapped, &clb).map_err(stage_err("packing (T-VPack)"))?;
         let metrics = serde_json::json!({
             "bles": clustering.bles.len(),
@@ -185,8 +190,9 @@ pub fn pack(
 pub fn place(
     clustering: &Staged<Clustering>,
     opts: &FlowOptions,
-    cache: Option<&StageCache>,
+    ctx: FlowCtx,
 ) -> Result<Staged<Placement>> {
+    ctx.stage_gate(StageId::Place)?;
     let fingerprint = format!("seed={} inner_num={}", opts.place_seed, opts.place_effort);
     let key = stage_key(
         StageId::Place,
@@ -198,7 +204,7 @@ pub fn place(
         seed: opts.place_seed,
         inner_num: opts.place_effort,
     };
-    run_step(cache, StageId::Place, key, move || {
+    run_step(ctx.cache, StageId::Place, key, move || {
         let nl = &clustering.netlist;
         let io_count = nl.inputs.len() + nl.outputs.len() + 1;
         let device = Device::sized_for(arch, clustering.clusters.len(), io_count);
@@ -219,14 +225,15 @@ pub fn route(
     clustering: &Staged<Clustering>,
     placement: &Staged<Placement>,
     opts: &FlowOptions,
-    cache: Option<&StageCache>,
+    ctx: FlowCtx,
 ) -> Result<Staged<RoutedDesign>> {
+    ctx.stage_gate(StageId::Route)?;
     let fingerprint = format!("channel_width={:?}", opts.channel_width);
     let key = stage_key(StageId::Route, &[&placement.key, &fingerprint]);
     let clustering = Arc::clone(&clustering.value);
     let placement = Arc::clone(&placement.value);
     let channel_width = opts.channel_width;
-    run_step(cache, StageId::Route, key, move || {
+    run_step(ctx.cache, StageId::Route, key, move || {
         let route_opts = RouteOptions::default();
         let (graph, routing) = match channel_width {
             Some(w) => {
@@ -271,15 +278,16 @@ pub fn power(
     clustering: &Staged<Clustering>,
     routed: &Staged<RoutedDesign>,
     opts: &FlowOptions,
-    cache: Option<&StageCache>,
+    ctx: FlowCtx,
 ) -> Result<Staged<PowerReport>> {
+    ctx.stage_gate(StageId::Power)?;
     // PowerOptions is a plain value struct: its Debug form spells out
     // every field, which is all a process-local key needs.
     let key = stage_key(StageId::Power, &[&routed.key, &format!("{:?}", opts.power)]);
     let clustering = Arc::clone(&clustering.value);
     let routed = Arc::clone(&routed.value);
     let power_opts = opts.power.clone();
-    run_step(cache, StageId::Power, key, move || {
+    run_step(ctx.cache, StageId::Power, key, move || {
         let tech = Tech::stm018();
         let caps = ClbCaps::from_designs(&tech);
         let power = fpga_power::estimate(
@@ -306,13 +314,14 @@ pub fn bitstream(
     clustering: &Staged<Clustering>,
     placement: &Staged<Placement>,
     routed: &Staged<RoutedDesign>,
-    cache: Option<&StageCache>,
+    ctx: FlowCtx,
 ) -> Result<Staged<GeneratedBitstream>> {
+    ctx.stage_gate(StageId::Bitstream)?;
     let key = stage_key(StageId::Bitstream, &[&routed.key]);
     let clustering = Arc::clone(&clustering.value);
     let placement = Arc::clone(&placement.value);
     let routed = Arc::clone(&routed.value);
-    run_step(cache, StageId::Bitstream, key, move || {
+    run_step(ctx.cache, StageId::Bitstream, key, move || {
         let bitstream =
             fpga_bitstream::generate(&clustering, &placement, &routed.routing, &routed.graph)
                 .map_err(stage_err("bitstream (DAGGER)"))?;
@@ -333,15 +342,16 @@ pub fn verify(
     bits: &Staged<GeneratedBitstream>,
     mapped: &Staged<Netlist>,
     cycles: usize,
-    cache: Option<&StageCache>,
+    ctx: FlowCtx,
 ) -> Result<Staged<()>> {
+    ctx.stage_gate(StageId::Verify)?;
     let key = stage_key(
         StageId::Verify,
         &[&bits.key, &mapped.key, &format!("cycles={cycles}")],
     );
     let bits = Arc::clone(&bits.value);
     let mapped = Arc::clone(&mapped.value);
-    run_step(cache, StageId::Verify, key, move || {
+    run_step(ctx.cache, StageId::Verify, key, move || {
         let parsed =
             fpga_bitstream::frames::parse(&bits.bytes).map_err(stage_err("verify (fabric)"))?;
         let mut fabric = Fabric::new(parsed).map_err(stage_err("verify (fabric)"))?;

@@ -3,37 +3,44 @@
 //! ```text
 //! flowc [--tcp HOST:PORT | --unix PATH] compile design.vhd [--blif]
 //!       [--seed N] [--effort F] [--width W] [--cycles N]
+//!       [--deadline MS] [--retries N]
 //!       [-o design.bit] [--report report.json]
 //! flowc [...] stats | ping | shutdown
 //! ```
+//!
+//! When the daemon is saturated (queue full or connection cap hit) it
+//! answers with a `retry_after_ms` hint; `flowc` retries on a fresh
+//! connection with jittered exponential backoff, never sooner than the
+//! hint (`--retries 1` disables this).
 
-use std::io::Write;
+use std::io::{self, Write};
 
 use fpga_flow::cli;
-use fpga_server::FlowClient;
+use fpga_server::{compile_with_retry, FlowClient, RetryPolicy};
 use serde_json::Value;
 
-fn connect(args: &cli::Args) -> FlowClient {
+fn try_connect(args: &cli::Args) -> io::Result<FlowClient> {
     if let Some(path) = args.options.get("unix") {
-        match FlowClient::connect_unix(path) {
-            Ok(c) => return c,
-            Err(e) => cli::die("flowc", format!("cannot connect to unix:{path}: {e}")),
-        }
+        return FlowClient::connect_unix(path);
     }
     let addr = args
         .options
         .get("tcp")
         .cloned()
         .unwrap_or_else(|| "127.0.0.1:7171".to_string());
-    match FlowClient::connect_tcp(addr.as_str()) {
+    FlowClient::connect_tcp(addr.as_str())
+}
+
+fn connect(args: &cli::Args) -> FlowClient {
+    match try_connect(args) {
         Ok(c) => c,
-        Err(e) => cli::die("flowc", format!("cannot connect to tcp://{addr}: {e}")),
+        Err(e) => cli::die("flowc", format!("cannot connect to flowd: {e}")),
     }
 }
 
 fn main() {
     let args = cli::parse_args(&[
-        "tcp", "unix", "seed", "effort", "width", "cycles", "o", "report",
+        "tcp", "unix", "seed", "effort", "width", "cycles", "deadline", "retries", "o", "report",
     ]);
     cli::handle_version("flowc", &args);
 
@@ -41,29 +48,28 @@ fn main() {
         eprintln!("usage: flowc [--tcp HOST:PORT | --unix PATH] <compile|stats|ping|shutdown> ...");
         std::process::exit(2);
     };
-    let mut client = connect(&args);
     match cmd {
-        "ping" => match client.ping() {
+        "ping" => match connect(&args).ping() {
             Ok(v) => println!("{v}"),
             Err(e) => cli::die("flowc", e),
         },
-        "stats" => match client.stats() {
+        "stats" => match connect(&args).stats() {
             Ok(v) => println!(
                 "{}",
                 serde_json::to_string_pretty(&v).expect("stats render")
             ),
             Err(e) => cli::die("flowc", e),
         },
-        "shutdown" => match client.shutdown_server() {
+        "shutdown" => match connect(&args).shutdown_server() {
             Ok(_) => println!("flowd acknowledged shutdown"),
             Err(e) => cli::die("flowc", e),
         },
-        "compile" => compile(&args, &mut client),
+        "compile" => compile(&args),
         other => cli::die("flowc", format!("unknown command '{other}'")),
     }
 }
 
-fn compile(args: &cli::Args, client: &mut FlowClient) {
+fn compile(args: &cli::Args) {
     let Some(path) = args.positionals.get(1) else {
         eprintln!("usage: flowc compile <design.vhd|design.blif> [--blif] [--seed N] ...");
         std::process::exit(2);
@@ -102,7 +108,29 @@ fn compile(args: &cli::Args, client: &mut FlowClient) {
         Value::Object(options)
     };
 
-    let outcome = match client.compile(format, &source, options) {
+    let deadline_ms = args.options.get("deadline").map(|raw| match raw.parse() {
+        Ok(ms) => ms,
+        Err(_) => cli::die("flowc", format!("bad --deadline '{raw}'")),
+    });
+    let mut policy = RetryPolicy::default();
+    if let Some(raw) = args.options.get("retries") {
+        match raw.parse() {
+            Ok(n) if n > 0 => policy.max_attempts = n,
+            _ => cli::die("flowc", format!("bad --retries '{raw}'")),
+        }
+    }
+
+    let outcome = match compile_with_retry(
+        || try_connect(args),
+        format,
+        &source,
+        &options,
+        deadline_ms,
+        &policy,
+        |attempt, err, backoff_ms| {
+            eprintln!("flowc: attempt {attempt} failed ({err}); retrying in {backoff_ms} ms");
+        },
+    ) {
         Ok(o) => o,
         Err(e) => cli::die("flowc", e),
     };

@@ -1,12 +1,35 @@
 //! `flowd` — the compile-service daemon (the paper's web-server front
 //! end, Fig. 12). Serves newline-delimited JSON over TCP and/or a Unix
 //! socket; see `fpga-server`'s crate docs for the protocol.
+//!
+//! Robustness knobs (all optional; see README "Operating flowd"):
+//! `--max-deadline MS` caps/defaults per-job deadlines, `--idle-timeout
+//! MS` drops silent connections, `--max-line BYTES` bounds request
+//! lines, `--max-conns N` caps concurrent connections, and
+//! `--retry-after MS` tunes the backoff hint sent with rejections.
 
 use fpga_flow::cli;
 use fpga_server::{Server, ServerConfig};
 
+fn parse_u64(args: &cli::Args, flag: &str) -> Option<u64> {
+    args.options.get(flag).map(|raw| match raw.parse() {
+        Ok(n) => n,
+        Err(_) => cli::die("flowd", format!("bad --{flag} '{raw}'")),
+    })
+}
+
 fn main() {
-    let args = cli::parse_args(&["tcp", "unix", "workers", "queue"]);
+    let args = cli::parse_args(&[
+        "tcp",
+        "unix",
+        "workers",
+        "queue",
+        "max-deadline",
+        "idle-timeout",
+        "max-line",
+        "max-conns",
+        "retry-after",
+    ]);
     cli::handle_version("flowd", &args);
 
     let mut config = ServerConfig::default();
@@ -32,6 +55,28 @@ fn main() {
             _ => cli::die("flowd", format!("bad --queue '{q}'")),
         }
     }
+    // 0 disables the corresponding guard.
+    if let Some(ms) = parse_u64(&args, "max-deadline") {
+        config.max_deadline_ms = (ms > 0).then_some(ms);
+    }
+    if let Some(ms) = parse_u64(&args, "idle-timeout") {
+        config.idle_timeout_ms = (ms > 0).then_some(ms);
+    }
+    if let Some(bytes) = parse_u64(&args, "max-line") {
+        if bytes == 0 {
+            cli::die("flowd", "bad --max-line '0'");
+        }
+        config.max_line_bytes = bytes as usize;
+    }
+    if let Some(n) = parse_u64(&args, "max-conns") {
+        if n == 0 {
+            cli::die("flowd", "bad --max-conns '0'");
+        }
+        config.max_connections = n as usize;
+    }
+    if let Some(ms) = parse_u64(&args, "retry-after") {
+        config.retry_after_ms = ms;
+    }
 
     let server = match Server::start(config.clone()) {
         Ok(s) => s,
@@ -47,6 +92,17 @@ fn main() {
     eprintln!(
         "flowd {} workers, queue depth {} (stop with: flowc shutdown)",
         config.workers, config.queue_capacity
+    );
+    eprintln!(
+        "flowd guards: deadline cap {}, idle timeout {}, max line {} B, max conns {}",
+        config
+            .max_deadline_ms
+            .map_or("off".to_string(), |ms| format!("{ms} ms")),
+        config
+            .idle_timeout_ms
+            .map_or("off".to_string(), |ms| format!("{ms} ms")),
+        config.max_line_bytes,
+        config.max_connections
     );
     server.wait();
     eprintln!("flowd drained and stopped");

@@ -1,10 +1,20 @@
 //! `flowc`'s library half: a blocking client for the flowd protocol.
+//!
+//! Two levels of API:
+//!
+//! * [`FlowClient::compile`] — the original interface; every failure is
+//!   an `io::Error` with the server's message.
+//! * [`FlowClient::compile_detailed`] plus [`compile_with_retry`] — the
+//!   hardened path: failures come back as a typed [`CompileError`], and
+//!   the retry helper turns the daemon's `retry_after_ms` hints into
+//!   jittered exponential backoff across fresh connections.
 
 use std::io::{self, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 #[cfg(unix)]
 use std::os::unix::net::UnixStream;
 use std::path::Path;
+use std::time::Duration;
 
 use serde_json::Value;
 
@@ -66,6 +76,89 @@ pub struct CompileOutcome {
     pub report: Value,
     /// Decoded bitstream bytes.
     pub bitstream: Vec<u8>,
+}
+
+/// Why a compile submission did not produce a bitstream.
+#[derive(Debug)]
+pub enum CompileError {
+    /// The daemon refused to take the job (queue full, too many
+    /// connections, shutting down). `retry_after_ms` is the server's
+    /// backoff hint when it gave one.
+    Rejected {
+        reason: String,
+        retry_after_ms: Option<u64>,
+    },
+    /// The flow itself failed: an ordinary stage error, or a stage
+    /// panic / lost worker (`kind` distinguishes them).
+    Failed {
+        stage: String,
+        message: String,
+        kind: Option<String>,
+    },
+    /// The job's deadline elapsed; `completed_stages` is how far it got.
+    TimedOut {
+        deadline_ms: Option<u64>,
+        completed_stages: Vec<String>,
+    },
+    /// Transport-level trouble (connect, read, protocol violation).
+    Io(io::Error),
+}
+
+impl CompileError {
+    /// Whether trying again on a fresh connection can plausibly succeed:
+    /// saturation rejections and transport errors are transient; flow
+    /// failures, timeouts, and shutdown refusals are not.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            CompileError::Rejected { reason, .. } => reason != "shutting down",
+            CompileError::Io(_) => true,
+            CompileError::Failed { .. } | CompileError::TimedOut { .. } => false,
+        }
+    }
+
+    /// The server's minimum-backoff hint, if it sent one.
+    pub fn retry_after_ms(&self) -> Option<u64> {
+        match self {
+            CompileError::Rejected { retry_after_ms, .. } => *retry_after_ms,
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Rejected { reason, .. } => write!(f, "job rejected: {reason}"),
+            CompileError::Failed { stage, message, .. } => write!(f, "[{stage}] {message}"),
+            CompileError::TimedOut {
+                deadline_ms,
+                completed_stages,
+            } => write!(
+                f,
+                "timeout after {}ms ({} stage(s) completed)",
+                deadline_ms.unwrap_or(0),
+                completed_stages.len()
+            ),
+            CompileError::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<io::Error> for CompileError {
+    fn from(e: io::Error) -> Self {
+        CompileError::Io(e)
+    }
+}
+
+impl From<CompileError> for io::Error {
+    fn from(e: CompileError) -> io::Error {
+        match e {
+            CompileError::Io(e) => e,
+            other => io::Error::other(other.to_string()),
+        }
+    }
 }
 
 /// A connected client. One request/response exchange at a time.
@@ -141,12 +234,29 @@ impl FlowClient {
         source: &str,
         options: Value,
     ) -> io::Result<CompileOutcome> {
+        self.compile_detailed(format, source, options, None)
+            .map_err(io::Error::from)
+    }
+
+    /// Like [`FlowClient::compile`], but with a per-job deadline and a
+    /// typed error that distinguishes rejection / failure / timeout —
+    /// what [`compile_with_retry`] needs to decide whether to retry.
+    pub fn compile_detailed(
+        &mut self,
+        format: &str,
+        source: &str,
+        options: Value,
+        deadline_ms: Option<u64>,
+    ) -> Result<CompileOutcome, CompileError> {
         let mut req = serde_json::Map::new();
         req.insert("cmd".to_string(), serde_json::json!("compile"));
         req.insert("format".to_string(), serde_json::json!(format));
         req.insert("source".to_string(), serde_json::json!(source));
         if !options.is_null() {
             req.insert("options".to_string(), options);
+        }
+        if let Some(ms) = deadline_ms {
+            req.insert("deadline_ms".to_string(), serde_json::json!(ms));
         }
         self.send(&Value::Object(req))?;
 
@@ -164,8 +274,9 @@ impl FlowClient {
                         .get("bitstream_hex")
                         .and_then(Value::as_str)
                         .unwrap_or_default();
-                    let bitstream =
-                        from_hex(hex).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+                    let bitstream = from_hex(hex).map_err(|e| {
+                        CompileError::Io(io::Error::new(io::ErrorKind::InvalidData, e))
+                    })?;
                     let report = event.get("report").cloned().unwrap_or(Value::Null);
                     return Ok(CompileOutcome {
                         job,
@@ -175,25 +286,205 @@ impl FlowClient {
                     });
                 }
                 Some("rejected") => {
-                    let reason = event
-                        .get("reason")
-                        .and_then(Value::as_str)
-                        .unwrap_or("rejected")
-                        .to_string();
-                    return Err(io::Error::other(format!("job rejected: {reason}")));
+                    return Err(CompileError::Rejected {
+                        reason: event
+                            .get("reason")
+                            .and_then(Value::as_str)
+                            .unwrap_or("rejected")
+                            .to_string(),
+                        retry_after_ms: event.get("retry_after_ms").and_then(Value::as_u64),
+                    });
+                }
+                Some("timeout") => {
+                    return Err(CompileError::TimedOut {
+                        deadline_ms: event.get("deadline_ms").and_then(Value::as_u64),
+                        completed_stages: event
+                            .get("completed_stages")
+                            .and_then(Value::as_array)
+                            .map(|a| {
+                                a.iter()
+                                    .filter_map(Value::as_str)
+                                    .map(str::to_string)
+                                    .collect()
+                            })
+                            .unwrap_or_default(),
+                    });
                 }
                 Some("error") => {
-                    let stage = event.get("stage").and_then(Value::as_str).unwrap_or("?");
-                    let message = event.get("message").and_then(Value::as_str).unwrap_or("");
-                    return Err(io::Error::other(format!("[{stage}] {message}")));
+                    let kind = event.get("kind").and_then(Value::as_str);
+                    let message = event
+                        .get("message")
+                        .and_then(Value::as_str)
+                        .unwrap_or("")
+                        .to_string();
+                    // Saturation errors (connection cap) are rejections
+                    // in spirit: same retry treatment as a full queue.
+                    if kind == Some("overloaded") {
+                        return Err(CompileError::Rejected {
+                            reason: message,
+                            retry_after_ms: event.get("retry_after_ms").and_then(Value::as_u64),
+                        });
+                    }
+                    return Err(CompileError::Failed {
+                        stage: event
+                            .get("stage")
+                            .and_then(Value::as_str)
+                            .unwrap_or("?")
+                            .to_string(),
+                        message,
+                        kind: kind.map(str::to_string),
+                    });
                 }
                 other => {
-                    return Err(io::Error::new(
+                    return Err(CompileError::Io(io::Error::new(
                         io::ErrorKind::InvalidData,
                         format!("unexpected event {other:?}"),
-                    ));
+                    )));
                 }
             }
         }
+    }
+}
+
+/// Backoff shape for [`compile_with_retry`]. Deterministic: the jitter
+/// comes from `jitter_seed`, so a fixed seed gives a fixed schedule.
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (so `1` means "no retries").
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per attempt after that.
+    pub base_ms: u64,
+    /// Upper bound on any single backoff.
+    pub max_backoff_ms: u64,
+    /// Seed for the jitter PRNG.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            base_ms: 50,
+            max_backoff_ms: 2_000,
+            jitter_seed: 0x5eed_f10d,
+        }
+    }
+}
+
+/// xorshift64 — enough randomness to de-synchronize retrying clients,
+/// with no dependency and full determinism under a fixed seed.
+fn xorshift64(state: &mut u64) -> u64 {
+    let mut x = *state | 1;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Submit with retries: each attempt opens a fresh connection via
+/// `connect` (the previous one may have been closed by an overload
+/// rejection), and retryable failures back off exponentially with
+/// jitter, never less than the server's `retry_after_ms` hint.
+/// `on_retry(attempt, error, backoff_ms)` fires before each backoff —
+/// `flowc` logs from it; tests use it as a deterministic hook.
+pub fn compile_with_retry(
+    mut connect: impl FnMut() -> io::Result<FlowClient>,
+    format: &str,
+    source: &str,
+    options: &Value,
+    deadline_ms: Option<u64>,
+    policy: &RetryPolicy,
+    mut on_retry: impl FnMut(u32, &CompileError, u64),
+) -> Result<CompileOutcome, CompileError> {
+    let attempts = policy.max_attempts.max(1);
+    let mut rng = policy.jitter_seed;
+    let mut backoff = policy.base_ms.max(1);
+    for attempt in 1..=attempts {
+        let err = match connect() {
+            Ok(mut client) => {
+                match client.compile_detailed(format, source, options.clone(), deadline_ms) {
+                    Ok(outcome) => return Ok(outcome),
+                    Err(e) => e,
+                }
+            }
+            Err(e) => CompileError::Io(e),
+        };
+        if attempt == attempts || !err.is_retryable() {
+            return Err(err);
+        }
+        // Full jitter over [backoff/2, backoff], floored by the hint.
+        let jittered = backoff / 2 + xorshift64(&mut rng) % (backoff / 2 + 1);
+        let sleep_ms = jittered.max(err.retry_after_ms().unwrap_or(0));
+        on_retry(attempt, &err, sleep_ms);
+        std::thread::sleep(Duration::from_millis(sleep_ms));
+        backoff = (backoff * 2).min(policy.max_backoff_ms.max(1));
+    }
+    unreachable!("loop always returns")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryability_is_by_kind() {
+        let full = CompileError::Rejected {
+            reason: "queue full".to_string(),
+            retry_after_ms: Some(100),
+        };
+        assert!(full.is_retryable());
+        assert_eq!(full.retry_after_ms(), Some(100));
+        let down = CompileError::Rejected {
+            reason: "shutting down".to_string(),
+            retry_after_ms: None,
+        };
+        assert!(!down.is_retryable());
+        let failed = CompileError::Failed {
+            stage: "route".to_string(),
+            message: "unroutable".to_string(),
+            kind: None,
+        };
+        assert!(!failed.is_retryable());
+        let timed_out = CompileError::TimedOut {
+            deadline_ms: Some(5),
+            completed_stages: vec![],
+        };
+        assert!(!timed_out.is_retryable());
+        assert!(CompileError::Io(io::Error::other("refused")).is_retryable());
+    }
+
+    #[test]
+    fn jitter_is_deterministic_under_a_fixed_seed() {
+        let mut a = 42u64;
+        let mut b = 42u64;
+        let seq_a: Vec<u64> = (0..8).map(|_| xorshift64(&mut a) % 1000).collect();
+        let seq_b: Vec<u64> = (0..8).map(|_| xorshift64(&mut b) % 1000).collect();
+        assert_eq!(seq_a, seq_b);
+    }
+
+    #[test]
+    fn retry_gives_up_on_non_retryable_errors_immediately() {
+        let mut calls = 0u32;
+        let result = compile_with_retry(
+            || {
+                calls += 1;
+                Err(io::Error::new(io::ErrorKind::Unsupported, "no server"))
+            },
+            "vhdl",
+            "entity e is end e;",
+            &Value::Null,
+            None,
+            &RetryPolicy {
+                max_attempts: 3,
+                base_ms: 1,
+                max_backoff_ms: 2,
+                jitter_seed: 7,
+            },
+            |_, _, _| {},
+        );
+        // Io errors ARE retryable: all three attempts run.
+        assert!(matches!(result, Err(CompileError::Io(_))));
+        assert_eq!(calls, 3);
     }
 }

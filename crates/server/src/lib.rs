@@ -26,13 +26,31 @@
 //! plus `{"cmd":"ping"}`, `{"cmd":"stats"}` (job counters and per-stage
 //! cache hit/miss/wall-time metrics) and `{"cmd":"shutdown"}` (graceful:
 //! new jobs are rejected, queued jobs drain, then the daemon exits).
+//!
+//! ## Fault tolerance
+//!
+//! The daemon is hardened against misbehaving jobs and clients:
+//!
+//! * a panicking stage answers with `{"event":"error","kind":"panic"}`
+//!   and the worker keeps serving; a worker thread that dies outright is
+//!   respawned by a supervisor, so the pool never shrinks;
+//! * every job runs under a deadline (`deadline_ms` on the request,
+//!   clamped to the server's `--max-deadline` cap); overruns answer with
+//!   `{"event":"timeout","completed_stages":[...]}` and a client that
+//!   hangs up cancels its job at the next stage boundary;
+//! * connections are guarded: an idle read timeout, a cap on concurrent
+//!   connections, and a byte limit on request lines. Queue-full and
+//!   overload rejections carry a `retry_after_ms` hint that
+//!   [`client::compile_with_retry`] honors with jittered exponential
+//!   backoff.
 
 pub mod client;
 pub mod proto;
 pub mod queue;
 pub mod service;
+mod supervisor;
 
-pub use client::{CompileOutcome, FlowClient};
-pub use proto::{CompileRequest, Request, SourceFormat};
+pub use client::{compile_with_retry, CompileError, CompileOutcome, FlowClient, RetryPolicy};
+pub use proto::{CompileRequest, ReadLineError, Request, SourceFormat};
 pub use queue::{JobQueue, SubmitError};
 pub use service::{Server, ServerConfig};

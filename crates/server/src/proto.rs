@@ -32,6 +32,9 @@ pub struct CompileRequest {
     pub format: SourceFormat,
     pub source: String,
     pub options: FlowOptions,
+    /// Client-requested job deadline in milliseconds, measured from
+    /// submission. The server clamps it to its own cap.
+    pub deadline_ms: Option<u64>,
 }
 
 /// Everything a client can ask.
@@ -46,6 +49,13 @@ pub enum Request {
 /// Parse one request line.
 pub fn parse_request(line: &str) -> Result<Request, String> {
     let v: Value = serde_json::from_str(line).map_err(|e| format!("bad JSON: {e}"))?;
+    parse_request_value(&v)
+}
+
+/// Parse a request from an already-decoded [`Value`] — the daemon's
+/// connection loop decodes each line exactly once and parses from that,
+/// with no re-serialization round trip.
+pub fn parse_request_value(v: &Value) -> Result<Request, String> {
     let cmd = v
         .get("cmd")
         .and_then(Value::as_str)
@@ -66,10 +76,18 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 .ok_or_else(|| "missing 'source'".to_string())?
                 .to_string();
             let options = parse_options(v.get("options"))?;
+            let deadline_ms = match v.get("deadline_ms") {
+                None | Some(Value::Null) => None,
+                Some(d) => Some(
+                    d.as_u64()
+                        .ok_or_else(|| "deadline_ms must be an integer".to_string())?,
+                ),
+            };
             Ok(Request::Compile(Box::new(CompileRequest {
                 format,
                 source,
                 options,
+                deadline_ms,
             })))
         }
         other => Err(format!("unknown cmd '{other}'")),
@@ -134,20 +152,56 @@ pub fn write_line(w: &mut impl Write, v: &Value) -> io::Result<()> {
     w.flush()
 }
 
-/// Read the next line as JSON. `Ok(None)` on clean EOF.
-pub fn read_line(r: &mut impl BufRead) -> io::Result<Option<Value>> {
+/// Why [`read_line_limited`] could not produce a request.
+#[derive(Debug)]
+pub enum ReadLineError {
+    /// The line exceeded the byte limit. The reader stopped consuming at
+    /// `limit + 1` bytes, so a hostile or broken client cannot balloon
+    /// the daemon's memory; the connection must be dropped (the rest of
+    /// the oversized line has not been consumed).
+    TooLong { limit: usize },
+    /// The line was not valid JSON.
+    BadJson(String),
+    /// Transport error; `WouldBlock`/`TimedOut` kinds mean the
+    /// connection's read timeout elapsed.
+    Io(io::Error),
+}
+
+/// Read the next line as JSON, never buffering more than `limit` bytes.
+/// `Ok(None)` on clean EOF; blank lines are skipped.
+pub fn read_line_limited(
+    r: &mut impl BufRead,
+    limit: usize,
+) -> Result<Option<Value>, ReadLineError> {
     let mut line = String::new();
     loop {
         line.clear();
-        if r.read_line(&mut line)? == 0 {
+        let mut bounded = io::Read::take(&mut *r, limit as u64 + 1);
+        let n = bounded.read_line(&mut line).map_err(ReadLineError::Io)?;
+        if n == 0 {
             return Ok(None);
+        }
+        if n > limit {
+            return Err(ReadLineError::TooLong { limit });
         }
         if line.trim().is_empty() {
             continue;
         }
         return serde_json::from_str(line.trim())
             .map(Some)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()));
+            .map_err(|e| ReadLineError::BadJson(e.to_string()));
+    }
+}
+
+/// Read the next line as JSON with no practical size limit (the client
+/// side trusts its server: `done` events carry whole bitstreams).
+/// `Ok(None)` on clean EOF.
+pub fn read_line(r: &mut impl BufRead) -> io::Result<Option<Value>> {
+    match read_line_limited(r, usize::MAX - 1) {
+        Ok(v) => Ok(v),
+        Err(ReadLineError::Io(e)) => Err(e),
+        Err(ReadLineError::BadJson(m)) => Err(io::Error::new(io::ErrorKind::InvalidData, m)),
+        Err(ReadLineError::TooLong { .. }) => unreachable!("effectively unlimited"),
     }
 }
 
@@ -198,6 +252,45 @@ mod tests {
     fn rejects_unknown_cmd_and_option() {
         assert!(parse_request(r#"{"cmd":"fly"}"#).is_err());
         assert!(parse_request(r#"{"cmd":"compile","source":"x","options":{"speed":9}}"#).is_err());
+    }
+
+    #[test]
+    fn parses_deadline_ms() {
+        let req =
+            parse_request(r#"{"cmd":"compile","source":".model m","deadline_ms":1500}"#).unwrap();
+        let Request::Compile(c) = req else {
+            panic!("not compile")
+        };
+        assert_eq!(c.deadline_ms, Some(1500));
+        assert!(parse_request(r#"{"cmd":"compile","source":"x","deadline_ms":"soon"}"#).is_err());
+        let req = parse_request(r#"{"cmd":"compile","source":"x","deadline_ms":null}"#).unwrap();
+        let Request::Compile(c) = req else {
+            panic!("not compile")
+        };
+        assert_eq!(c.deadline_ms, None);
+    }
+
+    #[test]
+    fn read_line_limited_rejects_oversized_without_buffering_them() {
+        let line = format!("{{\"cmd\":\"ping\",\"pad\":\"{}\"}}\n", "x".repeat(256));
+        let mut r = std::io::BufReader::new(line.as_bytes());
+        match read_line_limited(&mut r, 64) {
+            Err(ReadLineError::TooLong { limit }) => assert_eq!(limit, 64),
+            other => panic!("expected TooLong, got {other:?}"),
+        }
+        // Under the limit the same line parses fine.
+        let mut r = std::io::BufReader::new(line.as_bytes());
+        let v = read_line_limited(&mut r, 8 * 1024).unwrap().unwrap();
+        assert_eq!(v["cmd"], serde_json::json!("ping"));
+    }
+
+    #[test]
+    fn read_line_limited_accepts_lines_at_the_limit() {
+        let line = "{\"cmd\":\"ping\"}\n";
+        let mut r = std::io::BufReader::new(line.as_bytes());
+        let v = read_line_limited(&mut r, line.len()).unwrap().unwrap();
+        assert_eq!(v["cmd"], serde_json::json!("ping"));
+        assert!(read_line_limited(&mut r, line.len()).unwrap().is_none());
     }
 
     #[test]

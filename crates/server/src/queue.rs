@@ -8,7 +8,7 @@
 //! them with `None`.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard};
 
 /// Why a submission was refused.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -53,9 +53,18 @@ impl<T> JobQueue<T> {
         }
     }
 
+    /// Lock the state, recovering from poisoning: every mutation keeps
+    /// the deque valid between statements, so a panicking holder must
+    /// not take the whole daemon's queue down with it.
+    fn lock_state(&self) -> MutexGuard<'_, State<T>> {
+        self.state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
     /// Enqueue, or reject with the reason.
     pub fn submit(&self, item: T) -> Result<(), SubmitError> {
-        let mut s = self.state.lock().expect("queue lock");
+        let mut s = self.lock_state();
         if s.draining {
             return Err(SubmitError::ShuttingDown);
         }
@@ -71,7 +80,7 @@ impl<T> JobQueue<T> {
     /// Block until an item is available. `None` means the queue is
     /// draining and empty — the worker should exit.
     pub fn next(&self) -> Option<T> {
-        let mut s = self.state.lock().expect("queue lock");
+        let mut s = self.lock_state();
         loop {
             if let Some(item) = s.items.pop_front() {
                 return Some(item);
@@ -79,19 +88,22 @@ impl<T> JobQueue<T> {
             if s.draining {
                 return None;
             }
-            s = self.available.wait(s).expect("queue lock");
+            s = self
+                .available
+                .wait(s)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
         }
     }
 
     /// Stop accepting work; queued items still run, then workers drain
     /// out through `next() == None`.
     pub fn drain(&self) {
-        self.state.lock().expect("queue lock").draining = true;
+        self.lock_state().draining = true;
         self.available.notify_all();
     }
 
     pub fn len(&self) -> usize {
-        self.state.lock().expect("queue lock").items.len()
+        self.lock_state().items.len()
     }
 
     pub fn is_empty(&self) -> bool {

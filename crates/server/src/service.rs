@@ -1,4 +1,22 @@
 //! The daemon: listeners, worker pool, job lifecycle, graceful shutdown.
+//!
+//! Fault-tolerance model (every path here is exercised by the chaos
+//! suite in `tests/`):
+//!
+//! * **Supervised workers** — each job runs under `catch_unwind`, so a
+//!   panicking stage becomes a structured `{"event":"error","kind":
+//!   "panic"}` terminal event and the worker keeps serving; if a worker
+//!   thread dies anyway, the supervisor respawns it (see
+//!   [`crate::supervisor`]), so the pool never shrinks.
+//! * **Deadlines & cancellation** — every job carries a
+//!   [`CancelToken`]; the flow checks it between stages. Deadline
+//!   overruns answer with a `timeout` event naming the stages that did
+//!   complete; a client hang-up cancels its job at the next stage
+//!   boundary instead of burning the worker.
+//! * **Connection guards** — an idle read timeout on every stream, a
+//!   cap on concurrent connections, and a byte limit on request lines;
+//!   rejections carry a `retry_after_ms` hint that `flowc` honors with
+//!   jittered exponential backoff.
 
 use std::io::{BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -8,13 +26,16 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 use std::{fmt, io};
 
+use fpga_flow::fault::{CancelToken, FaultPlan, KILL_WORKER_PANIC};
 use fpga_flow::{FlowCtx, StageCache};
 use serde_json::Value;
 
-use crate::proto::{self, CompileRequest, Request, SourceFormat};
+use crate::proto::{self, CompileRequest, ReadLineError, Request, SourceFormat};
 use crate::queue::JobQueue;
+use crate::supervisor;
 
 /// Where and how the daemon runs.
 #[derive(Clone, Debug)]
@@ -28,6 +49,27 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Bounded queue depth; submissions beyond it are rejected.
     pub queue_capacity: usize,
+    /// Default *and* cap for per-job deadlines, in milliseconds: a job
+    /// that doesn't ask for a deadline gets this one, and a job that
+    /// asks for more is clamped to it. `None` disables deadlines for
+    /// jobs that don't request one.
+    pub max_deadline_ms: Option<u64>,
+    /// Read timeout while waiting for a client's next request; a
+    /// connection idle longer is told so and closed. `None` waits
+    /// forever (the pre-hardening behavior).
+    pub idle_timeout_ms: Option<u64>,
+    /// Maximum bytes in one request line; longer lines are rejected
+    /// with a structured error instead of buffered without bound.
+    pub max_line_bytes: usize,
+    /// Maximum concurrently-served connections; excess connections get
+    /// an `overloaded` error (with `retry_after_ms`) and are closed.
+    pub max_connections: usize,
+    /// Backoff hint attached to `overloaded` and queue-full rejections.
+    pub retry_after_ms: u64,
+    /// Deterministic fault injection for tests: makes named stages
+    /// panic/fail/stall on their K-th execution. Never set in
+    /// production configs.
+    pub fault: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServerConfig {
@@ -37,48 +79,64 @@ impl Default for ServerConfig {
             unix_path: None,
             workers: 2,
             queue_capacity: 32,
+            max_deadline_ms: Some(300_000),
+            idle_timeout_ms: Some(300_000),
+            max_line_bytes: 8 * 1024 * 1024,
+            max_connections: 256,
+            retry_after_ms: 200,
+            fault: None,
         }
     }
 }
 
 /// One queued compile job: the request plus the channel its events flow
-/// back through (the submitting connection forwards them to the client).
+/// back through (the submitting connection forwards them to the client)
+/// and the cancellation handle both sides share.
 struct Job {
     id: u64,
     req: CompileRequest,
     events: mpsc::Sender<Value>,
+    cancel: CancelToken,
+    deadline_ms: Option<u64>,
 }
 
 struct Shared {
     cache: StageCache,
     queue: JobQueue<Job>,
+    config: ServerConfig,
     shutting_down: AtomicBool,
     jobs_submitted: AtomicU64,
     jobs_completed: AtomicU64,
     jobs_failed: AtomicU64,
     jobs_rejected: AtomicU64,
+    jobs_panicked: AtomicU64,
+    jobs_timed_out: AtomicU64,
+    jobs_cancelled: AtomicU64,
+    /// `Arc`ed separately so the supervisor can count respawns without
+    /// holding the whole shared state.
+    workers_respawned: Arc<AtomicU64>,
+    open_connections: AtomicU64,
+    connections_rejected: AtomicU64,
     next_job_id: AtomicU64,
 }
 
 impl Shared {
     fn stats_json(&self) -> Value {
         let mut jobs = serde_json::Map::new();
-        jobs.insert(
-            "submitted".to_string(),
-            serde_json::json!(self.jobs_submitted.load(Ordering::Relaxed)),
-        );
-        jobs.insert(
-            "completed".to_string(),
-            serde_json::json!(self.jobs_completed.load(Ordering::Relaxed)),
-        );
-        jobs.insert(
-            "failed".to_string(),
-            serde_json::json!(self.jobs_failed.load(Ordering::Relaxed)),
-        );
-        jobs.insert(
-            "rejected".to_string(),
-            serde_json::json!(self.jobs_rejected.load(Ordering::Relaxed)),
-        );
+        for (name, counter) in [
+            ("submitted", &self.jobs_submitted),
+            ("completed", &self.jobs_completed),
+            ("failed", &self.jobs_failed),
+            ("rejected", &self.jobs_rejected),
+            ("panicked", &self.jobs_panicked),
+            ("timed_out", &self.jobs_timed_out),
+            ("cancelled", &self.jobs_cancelled),
+        ] {
+            jobs.insert(
+                name.to_string(),
+                serde_json::json!(counter.load(Ordering::Relaxed)),
+            );
+        }
         jobs.insert(
             "queued".to_string(),
             serde_json::json!(self.queue.len() as u64),
@@ -90,8 +148,46 @@ impl Shared {
             serde_json::json!(fpga_flow::FLOW_VERSION),
         );
         root.insert("jobs".to_string(), Value::Object(jobs));
+        root.insert(
+            "workers".to_string(),
+            serde_json::json!({
+                "configured": self.config.workers.max(1) as u64,
+                "respawned": self.workers_respawned.load(Ordering::Relaxed),
+            }),
+        );
+        root.insert(
+            "connections".to_string(),
+            serde_json::json!({
+                "open": self.open_connections.load(Ordering::Relaxed),
+                "rejected": self.connections_rejected.load(Ordering::Relaxed),
+                "limit": self.config.max_connections as u64,
+            }),
+        );
+        root.insert(
+            "limits".to_string(),
+            serde_json::json!({
+                "max_deadline_ms": self.config.max_deadline_ms,
+                "idle_timeout_ms": self.config.idle_timeout_ms,
+                "max_line_bytes": self.config.max_line_bytes as u64,
+                "retry_after_ms": self.config.retry_after_ms,
+            }),
+        );
         root.insert("cache".to_string(), self.cache.stats_json());
         Value::Object(root)
+    }
+
+    fn retry_after(&self) -> u64 {
+        self.config.retry_after_ms
+    }
+}
+
+/// Decrements the open-connection gauge when a connection thread ends,
+/// however it ends (including by panic).
+struct ConnGuard(Arc<Shared>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.open_connections.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -115,7 +211,8 @@ impl fmt::Debug for Server {
 }
 
 impl Server {
-    /// Bind the configured listeners and start the worker pool.
+    /// Bind the configured listeners and start the supervised worker
+    /// pool.
     pub fn start(config: ServerConfig) -> io::Result<Server> {
         if config.tcp_addr.is_none() && config.unix_path.is_none() {
             return Err(io::Error::new(
@@ -123,28 +220,38 @@ impl Server {
                 "flowd needs at least one of --tcp / --unix",
             ));
         }
+        let workers = config.workers.max(1);
+        let queue_capacity = config.queue_capacity.max(1);
         let shared = Arc::new(Shared {
             cache: StageCache::new(),
-            queue: JobQueue::new(config.queue_capacity.max(1)),
+            queue: JobQueue::new(queue_capacity),
+            config,
             shutting_down: AtomicBool::new(false),
             jobs_submitted: AtomicU64::new(0),
             jobs_completed: AtomicU64::new(0),
             jobs_failed: AtomicU64::new(0),
             jobs_rejected: AtomicU64::new(0),
+            jobs_panicked: AtomicU64::new(0),
+            jobs_timed_out: AtomicU64::new(0),
+            jobs_cancelled: AtomicU64::new(0),
+            workers_respawned: Arc::new(AtomicU64::new(0)),
+            open_connections: AtomicU64::new(0),
+            connections_rejected: AtomicU64::new(0),
             next_job_id: AtomicU64::new(1),
         });
 
         let mut threads = Vec::new();
-        for i in 0..config.workers.max(1) {
-            let shared = Arc::clone(&shared);
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("flowd-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))?,
-            );
+        {
+            let worker_shared = Arc::clone(&shared);
+            threads.push(supervisor::supervise_workers(
+                "flowd-worker",
+                workers,
+                Arc::clone(&shared.workers_respawned),
+                move || worker_loop(&worker_shared),
+            )?);
         }
 
-        let tcp_addr = match &config.tcp_addr {
+        let tcp_addr = match &shared.config.tcp_addr {
             Some(addr) => {
                 let listener = TcpListener::bind(addr.as_str())?;
                 let local = listener.local_addr()?;
@@ -160,13 +267,12 @@ impl Server {
         };
 
         #[cfg(unix)]
-        let unix_path = match &config.unix_path {
+        let unix_path = match shared.config.unix_path.clone() {
             Some(path) => {
                 // A previous daemon's socket file would make bind fail.
-                let _ = std::fs::remove_file(path);
-                let listener = UnixListener::bind(path)?;
+                let _ = std::fs::remove_file(&path);
+                let listener = UnixListener::bind(&path)?;
                 let shared = Arc::clone(&shared);
-                let path = path.clone();
                 let thread_path = path.clone();
                 threads.push(
                     std::thread::Builder::new()
@@ -179,7 +285,7 @@ impl Server {
         };
         #[cfg(not(unix))]
         let unix_path = {
-            if config.unix_path.is_some() {
+            if shared.config.unix_path.is_some() {
                 return Err(io::Error::new(
                     io::ErrorKind::Unsupported,
                     "unix sockets are not available on this platform",
@@ -262,18 +368,77 @@ fn trigger_shutdown(
     let _ = unix_path;
 }
 
+/// Admission control shared by both accept loops. Returns the connection
+/// guard when the connection should be served; `None` when it was
+/// answered (shutdown notice / overload rejection) and must be dropped,
+/// or when the whole accept loop should stop.
+enum Admission {
+    Serve(ConnGuard),
+    Reject,
+    StopAccepting,
+}
+
+fn admit(stream: &mut impl Write, shared: &Arc<Shared>) -> Admission {
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        // A real client racing shutdown deserves a reason, not a
+        // wordless hangup. (The shutdown self-poke also lands here; it
+        // never reads, so the write is harmless.)
+        let _ = proto::write_line(
+            stream,
+            &serde_json::json!({
+                "event": "error",
+                "kind": "shutting-down",
+                "message": "shutting down",
+            }),
+        );
+        return Admission::StopAccepting;
+    }
+    let open = shared.open_connections.fetch_add(1, Ordering::SeqCst);
+    if open >= shared.config.max_connections as u64 {
+        shared.open_connections.fetch_sub(1, Ordering::SeqCst);
+        shared.connections_rejected.fetch_add(1, Ordering::SeqCst);
+        let _ = proto::write_line(
+            stream,
+            &serde_json::json!({
+                "event": "error",
+                "kind": "overloaded",
+                "message": format!(
+                    "too many connections ({} open)",
+                    shared.config.max_connections
+                ),
+                "retry_after_ms": shared.retry_after(),
+            }),
+        );
+        return Admission::Reject;
+    }
+    Admission::Serve(ConnGuard(Arc::clone(shared)))
+}
+
+fn idle_timeout(shared: &Shared) -> Option<Duration> {
+    shared
+        .config
+        .idle_timeout_ms
+        .map(|ms| Duration::from_millis(ms.max(1)))
+}
+
 fn tcp_accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
     loop {
         match listener.accept() {
-            Ok((stream, _)) => {
-                if shared.shutting_down.load(Ordering::SeqCst) {
-                    return;
-                }
+            Ok((mut stream, _)) => {
+                let guard = match admit(&mut stream, shared) {
+                    Admission::Serve(guard) => guard,
+                    Admission::Reject => continue,
+                    Admission::StopAccepting => return,
+                };
+                let _ = stream.set_read_timeout(idle_timeout(shared));
                 let shared = Arc::clone(shared);
                 let addr = listener.local_addr().ok();
                 let _ = std::thread::Builder::new()
                     .name("flowd-conn".to_string())
-                    .spawn(move || serve_connection(stream, &shared, addr, None));
+                    .spawn(move || {
+                        let _guard = guard;
+                        serve_connection(stream, &shared, addr, None);
+                    });
             }
             Err(_) => {
                 if shared.shutting_down.load(Ordering::SeqCst) {
@@ -288,15 +453,21 @@ fn tcp_accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
 fn unix_accept_loop(listener: UnixListener, shared: &Arc<Shared>, path: &std::path::Path) {
     loop {
         match listener.accept() {
-            Ok((stream, _)) => {
-                if shared.shutting_down.load(Ordering::SeqCst) {
-                    return;
-                }
+            Ok((mut stream, _)) => {
+                let guard = match admit(&mut stream, shared) {
+                    Admission::Serve(guard) => guard,
+                    Admission::Reject => continue,
+                    Admission::StopAccepting => return,
+                };
+                let _ = stream.set_read_timeout(idle_timeout(shared));
                 let shared = Arc::clone(shared);
                 let path = path.to_path_buf();
                 let _ = std::thread::Builder::new()
                     .name("flowd-conn".to_string())
-                    .spawn(move || serve_connection(stream, &shared, None, Some(path)));
+                    .spawn(move || {
+                        let _guard = guard;
+                        serve_connection(stream, &shared, None, Some(path));
+                    });
             }
             Err(_) => {
                 if shared.shutting_down.load(Ordering::SeqCst) {
@@ -320,10 +491,49 @@ fn serve_connection<S: Read + Write + TryCloneStream>(
     };
     let mut reader = BufReader::new(stream);
     loop {
-        let line = match proto::read_line(&mut reader) {
+        let line = match proto::read_line_limited(&mut reader, shared.config.max_line_bytes) {
             Ok(Some(v)) => v,
             Ok(None) => return, // client hung up
-            Err(e) => {
+            Err(ReadLineError::TooLong { limit }) => {
+                // The rest of the oversized line was never buffered;
+                // framing is lost, so answer and close.
+                let _ = proto::write_line(
+                    &mut writer,
+                    &serde_json::json!({
+                        "event": "error",
+                        "kind": "oversized",
+                        "message": format!("request line exceeds {limit} bytes"),
+                    }),
+                );
+                return;
+            }
+            Err(ReadLineError::BadJson(message)) => {
+                let _ = proto::write_line(
+                    &mut writer,
+                    &serde_json::json!({
+                        "event": "error",
+                        "message": format!("bad JSON: {message}"),
+                    }),
+                );
+                return;
+            }
+            Err(ReadLineError::Io(e))
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                let _ = proto::write_line(
+                    &mut writer,
+                    &serde_json::json!({
+                        "event": "error",
+                        "kind": "idle-timeout",
+                        "message": "connection idle too long",
+                    }),
+                );
+                return;
+            }
+            Err(ReadLineError::Io(e)) => {
                 let _ = proto::write_line(
                     &mut writer,
                     &serde_json::json!({"event": "error", "message": e.to_string()}),
@@ -331,7 +541,7 @@ fn serve_connection<S: Read + Write + TryCloneStream>(
                 return;
             }
         };
-        let req = match parse_value_request(&line) {
+        let req = match proto::parse_request_value(&line) {
             Ok(req) => req,
             Err(message) => {
                 let _ = proto::write_line(
@@ -369,15 +579,33 @@ fn serve_connection<S: Read + Write + TryCloneStream>(
     }
 }
 
+/// The job's effective deadline: the client's wish clamped to the
+/// server's cap, or the cap itself when the client didn't ask.
+fn effective_deadline_ms(requested: Option<u64>, cap: Option<u64>) -> Option<u64> {
+    match (requested, cap) {
+        (Some(r), Some(c)) => Some(r.min(c)),
+        (Some(r), None) => Some(r),
+        (None, cap) => cap,
+    }
+}
+
 /// Submit one compile job and forward its event stream to the client.
-/// Returns `false` when the client connection broke.
-fn handle_compile(req: CompileRequest, shared: &Arc<Shared>, writer: &mut impl Write) -> bool {
+/// Returns `false` when the client connection broke (which also cancels
+/// the job, so it stops at its next stage boundary).
+fn handle_compile(mut req: CompileRequest, shared: &Arc<Shared>, writer: &mut impl Write) -> bool {
     let id = shared.next_job_id.fetch_add(1, Ordering::Relaxed);
+    let deadline_ms = effective_deadline_ms(req.deadline_ms.take(), shared.config.max_deadline_ms);
+    let cancel = match deadline_ms {
+        Some(ms) => CancelToken::with_deadline(Duration::from_millis(ms)),
+        None => CancelToken::new(),
+    };
     let (tx, rx) = mpsc::channel::<Value>();
     match shared.queue.submit(Job {
         id,
         req,
         events: tx,
+        cancel: cancel.clone(),
+        deadline_ms,
     }) {
         Err(reason) => {
             shared.jobs_rejected.fetch_add(1, Ordering::Relaxed);
@@ -387,6 +615,7 @@ fn handle_compile(req: CompileRequest, shared: &Arc<Shared>, writer: &mut impl W
                     "event": "rejected",
                     "job": id,
                     "reason": reason.to_string(),
+                    "retry_after_ms": shared.retry_after(),
                 }),
             )
             .is_ok()
@@ -396,45 +625,91 @@ fn handle_compile(req: CompileRequest, shared: &Arc<Shared>, writer: &mut impl W
             if proto::write_line(writer, &serde_json::json!({"event": "queued", "job": id}))
                 .is_err()
             {
-                // Keep draining the channel so the worker never blocks —
-                // mpsc senders don't block, so just drop the receiver.
+                // Client left before the ack: stop the job at its next
+                // stage boundary instead of computing for nobody.
+                cancel.cancel();
                 return false;
             }
             // Forward until the worker's terminal event.
+            let mut saw_terminal = false;
             for event in rx {
                 let terminal = matches!(
                     event.get("event").and_then(Value::as_str),
-                    Some("done") | Some("error")
+                    Some("done") | Some("error") | Some("timeout")
                 );
                 if proto::write_line(writer, &event).is_err() {
+                    cancel.cancel();
                     return false;
                 }
                 if terminal {
+                    saw_terminal = true;
                     break;
                 }
+            }
+            if !saw_terminal {
+                // The worker died mid-job (its event sender dropped
+                // without a terminal event). The supervisor is already
+                // respawning it; tell the client what happened.
+                return proto::write_line(
+                    writer,
+                    &serde_json::json!({
+                        "event": "error",
+                        "kind": "worker-lost",
+                        "job": id,
+                        "message": "worker died while running this job",
+                    }),
+                )
+                .is_ok();
             }
             true
         }
     }
 }
 
-/// `Request` parsing from an already-decoded `Value` (the connection
-/// reads JSON once; re-serializing for [`proto::parse_request`] would be
-/// wasteful).
-fn parse_value_request(v: &Value) -> Result<Request, String> {
-    // Round-trip through the text parser: requests are tiny, and one
-    // parser beats two drifting copies of the field logic.
-    proto::parse_request(&serde_json::to_string(v).map_err(|e| e.to_string())?)
-}
-
 fn worker_loop(shared: &Arc<Shared>) {
     while let Some(job) = shared.queue.next() {
-        let Job { id, req, events } = job;
-        // Stream per-stage progress as it happens. The sender side never
-        // blocks; if the client left, sends fail and are ignored.
-        let tx = Mutex::new(events.clone());
-        let observer = move |s: &fpga_flow::StageReport| {
-            let _ = tx.lock().expect("observer lock").send(serde_json::json!({
+        run_job(shared, job);
+    }
+}
+
+/// Best-effort panic payload rendering for the structured `panic` event.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "stage panicked (non-string payload)".to_string()
+    }
+}
+
+/// Run one job under the panic guard and classify its ending: `done`,
+/// flow `error`, structured `panic`, `timeout` (with the completed-stage
+/// list), or silent cancellation after a client hang-up.
+fn run_job(shared: &Arc<Shared>, job: Job) {
+    let Job {
+        id,
+        req,
+        events,
+        cancel,
+        deadline_ms,
+    } = job;
+    // Stream per-stage progress as it happens, and remember which stages
+    // finished so a timeout can report how far the job got. The sender
+    // side never blocks; if the client left, sends fail and are ignored.
+    let completed = Mutex::new(Vec::<String>::new());
+    let tx = Mutex::new(events.clone());
+    let observer = |s: &fpga_flow::StageReport| {
+        if s.ok {
+            completed
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .push(s.stage.clone());
+        }
+        let _ = tx
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .send(serde_json::json!({
                 "event": "stage",
                 "job": id,
                 "stage": s.stage.clone(),
@@ -442,28 +717,75 @@ fn worker_loop(shared: &Arc<Shared>) {
                 "elapsed_ms": s.elapsed_ms,
                 "metrics": s.metrics.clone(),
             }));
-        };
+    };
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         let ctx = FlowCtx {
             cache: Some(&shared.cache),
             observer: Some(&observer),
+            cancel: Some(&cancel),
+            fault: shared.config.fault.as_deref(),
         };
-        let result = match req.format {
+        match req.format {
             SourceFormat::Vhdl => fpga_flow::run_vhdl_ctx(&req.source, &req.options, ctx),
             SourceFormat::Blif => fpga_flow::run_blif_ctx(&req.source, &req.options, ctx),
-        };
-        match result {
-            Ok(art) => {
-                shared.jobs_completed.fetch_add(1, Ordering::Relaxed);
-                let report = serde_json::to_value(&art.report);
-                let _ = events.send(serde_json::json!({
-                    "event": "done",
-                    "job": id,
-                    "design": art.report.design.clone(),
-                    "report": report,
-                    "bitstream_hex": proto::to_hex(&art.bitstream_bytes),
-                }));
+        }
+    }));
+    match result {
+        Err(payload) => {
+            if payload.downcast_ref::<&str>() == Some(&KILL_WORKER_PANIC) {
+                // Fault-injection asked for a dead worker: let the
+                // unwind continue so the supervisor's respawn path runs.
+                // The job's channel drops without a terminal event; the
+                // connection answers with `worker-lost`.
+                std::panic::resume_unwind(payload);
             }
-            Err(e) => {
+            shared.jobs_panicked.fetch_add(1, Ordering::Relaxed);
+            let _ = events.send(serde_json::json!({
+                "event": "error",
+                "kind": "panic",
+                "job": id,
+                "message": panic_message(payload.as_ref()),
+            }));
+        }
+        Ok(Ok(art)) => {
+            shared.jobs_completed.fetch_add(1, Ordering::Relaxed);
+            let report = serde_json::to_value(&art.report);
+            let _ = events.send(serde_json::json!({
+                "event": "done",
+                "job": id,
+                "design": art.report.design.clone(),
+                "report": report,
+                "bitstream_hex": proto::to_hex(&art.bitstream_bytes),
+            }));
+        }
+        Ok(Err(e)) => {
+            let completed = completed
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            if cancel.cancelled() {
+                // The client hung up; nobody is listening, but the event
+                // documents the ending for any late reader.
+                shared.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+                let _ = events.send(serde_json::json!({
+                    "event": "error",
+                    "kind": "cancelled",
+                    "job": id,
+                    "message": "job cancelled (client disconnected)",
+                }));
+            } else if cancel.timed_out() {
+                shared.jobs_timed_out.fetch_add(1, Ordering::Relaxed);
+                let _ = events.send(serde_json::json!({
+                    "event": "timeout",
+                    "job": id,
+                    "deadline_ms": deadline_ms,
+                    "completed_stages": &*completed,
+                    "message": format!(
+                        "deadline of {}ms exceeded after {} completed stage(s)",
+                        deadline_ms.unwrap_or(0),
+                        completed.len()
+                    ),
+                }));
+            } else {
                 shared.jobs_failed.fetch_add(1, Ordering::Relaxed);
                 let _ = events.send(serde_json::json!({
                     "event": "error",
@@ -495,5 +817,19 @@ impl TryCloneStream for UnixStream {
     type Writer = UnixStream;
     fn try_clone_stream(&self) -> io::Result<UnixStream> {
         self.try_clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadline_clamping() {
+        assert_eq!(effective_deadline_ms(None, None), None);
+        assert_eq!(effective_deadline_ms(None, Some(100)), Some(100));
+        assert_eq!(effective_deadline_ms(Some(50), Some(100)), Some(50));
+        assert_eq!(effective_deadline_ms(Some(500), Some(100)), Some(100));
+        assert_eq!(effective_deadline_ms(Some(500), None), Some(500));
     }
 }

@@ -1,0 +1,191 @@
+//! Worker-pool supervision: the pool never shrinks.
+//!
+//! Workers already run each job under `catch_unwind`, so a panicking
+//! stage normally becomes a structured error event and the worker keeps
+//! serving. The supervisor is the layer below that: if a worker thread
+//! nevertheless *dies* — a panic outside the job guard, or a deliberate
+//! kill in the fault-injection tests — it is respawned immediately, so a
+//! daemon configured for N workers always has N workers.
+//!
+//! Mechanism: every worker thread carries a [`ExitNotice`] guard whose
+//! `Drop` reports how the thread ended over a channel — `Drop` runs even
+//! during an unwind, so death cannot go unnoticed. The supervisor thread
+//! blocks on that channel (no polling): graceful exits (the worker's
+//! loop returned, i.e. the queue is draining) count the pool down;
+//! deaths trigger a respawn. When the last worker leaves gracefully the
+//! supervisor joins them all and exits, which is what `Server::shutdown`
+//! waits on.
+
+use std::collections::HashMap;
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+/// How a supervised worker thread ended.
+enum Exit {
+    /// The worker's loop returned: the daemon is draining.
+    Graceful(u64),
+    /// The worker thread unwound without returning.
+    Died(u64),
+}
+
+/// Drop guard reporting a worker's end to the supervisor.
+struct ExitNotice {
+    id: u64,
+    tx: mpsc::Sender<Exit>,
+    graceful: bool,
+}
+
+impl Drop for ExitNotice {
+    fn drop(&mut self) {
+        let exit = if self.graceful {
+            Exit::Graceful(self.id)
+        } else {
+            Exit::Died(self.id)
+        };
+        // The supervisor outlives every worker it watches; if it is
+        // somehow gone (process teardown), there is nothing left to tell.
+        let _ = self.tx.send(exit);
+    }
+}
+
+/// Spawn `count` worker threads each running `work()` plus the
+/// supervisor thread that respawns any of them that dies. Returns the
+/// supervisor's handle; joining it joins the whole (final) pool.
+/// `respawned` is incremented once per replacement worker.
+pub(crate) fn supervise_workers<F>(
+    name_prefix: &str,
+    count: usize,
+    respawned: Arc<AtomicU64>,
+    work: F,
+) -> io::Result<JoinHandle<()>>
+where
+    F: Fn() + Send + Sync + Clone + 'static,
+{
+    let (tx, rx) = mpsc::channel::<Exit>();
+    let mut handles: HashMap<u64, JoinHandle<()>> = HashMap::new();
+    for id in 0..count as u64 {
+        handles.insert(
+            id,
+            spawn_worker(&format!("{name_prefix}-{id}"), id, tx.clone(), work.clone())?,
+        );
+    }
+
+    let name_prefix = name_prefix.to_string();
+    std::thread::Builder::new()
+        .name(format!("{name_prefix}-supervisor"))
+        .spawn(move || {
+            let mut live = handles.len();
+            let mut next_id = live as u64;
+            while live > 0 {
+                // `tx` is held by this thread for respawns, so the only
+                // way recv fails is catastrophic teardown — then there is
+                // nothing left to supervise.
+                let Ok(exit) = rx.recv() else { break };
+                match exit {
+                    Exit::Graceful(id) => {
+                        if let Some(h) = handles.remove(&id) {
+                            let _ = h.join();
+                        }
+                        live -= 1;
+                    }
+                    Exit::Died(id) => {
+                        if let Some(h) = handles.remove(&id) {
+                            let _ = h.join();
+                        }
+                        respawned.fetch_add(1, Ordering::Relaxed);
+                        let id = next_id;
+                        next_id += 1;
+                        match spawn_worker(
+                            &format!("{name_prefix}-r{id}"),
+                            id,
+                            tx.clone(),
+                            work.clone(),
+                        ) {
+                            Ok(h) => {
+                                handles.insert(id, h);
+                            }
+                            // Out of threads: keep supervising the rest
+                            // rather than silently deadlocking the pool.
+                            Err(_) => live -= 1,
+                        }
+                    }
+                }
+            }
+            for (_, h) in handles {
+                let _ = h.join();
+            }
+        })
+}
+
+fn spawn_worker<F>(
+    name: &str,
+    id: u64,
+    tx: mpsc::Sender<Exit>,
+    work: F,
+) -> io::Result<JoinHandle<()>>
+where
+    F: Fn() + Send + 'static,
+{
+    std::thread::Builder::new()
+        .name(name.to_string())
+        .spawn(move || {
+            let mut notice = ExitNotice {
+                id,
+                tx,
+                graceful: false,
+            };
+            work();
+            notice.graceful = true;
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Mutex;
+
+    #[test]
+    fn graceful_exits_wind_the_pool_down() {
+        let respawned = Arc::new(AtomicU64::new(0));
+        let ran = Arc::new(AtomicUsize::new(0));
+        let sup = {
+            let ran = Arc::clone(&ran);
+            supervise_workers("t-graceful", 3, Arc::clone(&respawned), move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap()
+        };
+        sup.join().unwrap();
+        assert_eq!(ran.load(Ordering::SeqCst), 3);
+        assert_eq!(respawned.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn dead_workers_are_replaced_until_they_exit_gracefully() {
+        // Each logical worker panics on its first run; its replacement
+        // pops the marker and exits gracefully.
+        let respawned = Arc::new(AtomicU64::new(0));
+        let deaths_left = Arc::new(Mutex::new(2usize));
+        let runs = Arc::new(AtomicUsize::new(0));
+        let sup = {
+            let deaths_left = Arc::clone(&deaths_left);
+            let runs = Arc::clone(&runs);
+            supervise_workers("t-respawn", 2, Arc::clone(&respawned), move || {
+                runs.fetch_add(1, Ordering::SeqCst);
+                let mut left = deaths_left.lock().unwrap_or_else(|p| p.into_inner());
+                if *left > 0 {
+                    *left -= 1;
+                    drop(left);
+                    panic!("injected worker death");
+                }
+            })
+            .unwrap()
+        };
+        sup.join().unwrap();
+        assert_eq!(respawned.load(Ordering::SeqCst), 2, "both deaths replaced");
+        assert_eq!(runs.load(Ordering::SeqCst), 4, "2 deaths + 2 graceful");
+    }
+}

@@ -1,0 +1,321 @@
+//! The chaos acceptance test: one daemon lifetime, four injected
+//! failure scenarios, zero sleeps-as-synchronization.
+//!
+//! In a single in-process flowd (1 worker, queue depth 1) this
+//! demonstrates, in order:
+//!
+//! 1. a stage panic answered with a structured `kind:"panic"` error
+//!    while the *same* worker completes the very next job;
+//! 2. a deadline-exceeded job answered with a `timeout` event whose
+//!    `completed_stages` names exactly the stages that streamed `ok`;
+//! 3. an oversized request line rejected with `kind:"oversized"`
+//!    without the daemon buffering it;
+//! 4. a queue-full rejection (with `retry_after_ms`) that
+//!    `compile_with_retry` turns into an eventual success once the
+//!    worker un-jams.
+//!
+//! Determinism: the worker pool has one thread, so stage execution
+//! counts advance in submission order and every `FaultPlan` rule fires
+//! at a known point; rendezvous uses protocol events (`queued`, `stage`)
+//! and a [`Gate`], never timing.
+
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use fpga_flow::fault::{FaultAction, FaultPlan, Gate};
+use fpga_server::client::CompileError;
+use fpga_server::{compile_with_retry, FlowClient, RetryPolicy, Server, ServerConfig};
+use serde_json::Value;
+
+/// A protocol-level connection for the scenarios that need to observe
+/// individual events (the typed client hides the stream).
+struct RawConn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl RawConn {
+    fn connect(server: &Server) -> RawConn {
+        let stream = TcpStream::connect(server.tcp_addr().expect("tcp enabled")).expect("connect");
+        RawConn {
+            writer: stream.try_clone().expect("clone"),
+            reader: BufReader::new(stream),
+        }
+    }
+
+    fn send(&mut self, v: &Value) {
+        writeln!(self.writer, "{v}").expect("send");
+        self.writer.flush().expect("flush");
+    }
+
+    fn recv(&mut self) -> Value {
+        fpga_server::proto::read_line(&mut self.reader)
+            .expect("read event")
+            .expect("server closed the connection")
+    }
+}
+
+fn compile_req(source: &str, deadline_ms: Option<u64>) -> Value {
+    let mut req = serde_json::Map::new();
+    req.insert("cmd".to_string(), serde_json::json!("compile"));
+    req.insert("format".to_string(), serde_json::json!("vhdl"));
+    req.insert("source".to_string(), serde_json::json!(source));
+    if let Some(ms) = deadline_ms {
+        req.insert("deadline_ms".to_string(), serde_json::json!(ms));
+    }
+    Value::Object(req)
+}
+
+#[test]
+fn one_daemon_survives_panic_timeout_oversize_and_overload() {
+    let gate = Gate::new();
+    // Stage executions are counted across the daemon's whole life;
+    // with one worker they advance in submission order:
+    //   synthesis: A=1(panic) B=2 C=3 D=4 E=5 G=6
+    //   place:           B=1 C=2(sleep past deadline) ...
+    //   lut_map:         B=1 C=2 D=3(hold for scenario 4) ...
+    let plan = FaultPlan::new()
+        .on("synthesis", 1, FaultAction::Panic)
+        .on("place", 2, FaultAction::SleepMs(60_000))
+        .on("lut_map", 3, FaultAction::Hold(gate.clone()));
+    let server = Server::start(ServerConfig {
+        tcp_addr: Some("127.0.0.1:0".to_string()),
+        unix_path: None,
+        workers: 1,
+        queue_capacity: 1,
+        max_line_bytes: 64 * 1024,
+        retry_after_ms: 5,
+        fault: Some(Arc::new(plan)),
+        ..ServerConfig::default()
+    })
+    .expect("bind in-process flowd");
+    let addr = server.tcp_addr().expect("tcp enabled");
+
+    // --- 1: injected panic becomes a structured error; the worker
+    // (there is only one) then completes the identical job B.
+    let src_ab = design_src(4);
+    let mut client = FlowClient::connect_tcp(addr).expect("connect");
+    let err = client
+        .compile_detailed("vhdl", &src_ab, Value::Null, None)
+        .expect_err("job A must panic");
+    match err {
+        CompileError::Failed { kind, message, .. } => {
+            assert_eq!(kind.as_deref(), Some("panic"));
+            assert!(
+                message.contains("injected panic at stage 'synthesis'"),
+                "panic payload surfaced: {message}"
+            );
+        }
+        other => panic!("expected a panic error, got {other}"),
+    }
+    let outcome = client
+        .compile_detailed("vhdl", &src_ab, Value::Null, None)
+        .expect("job B completes on the surviving worker");
+    assert_eq!(outcome.stage_events.len(), 8, "one event per stage");
+
+    // --- 2: deadline exceeded mid-flow; the timeout names exactly the
+    // stages that streamed ok before the clock ran out. The injected
+    // sleep is cancel-aware, so the job ends at the deadline, not 60s.
+    let mut raw = RawConn::connect(&server);
+    raw.send(&compile_req(&design_src(5), Some(250)));
+    assert_eq!(raw.recv()["event"], serde_json::json!("queued"));
+    let mut streamed_ok = Vec::new();
+    let timeout = loop {
+        let ev = raw.recv();
+        match ev["event"].as_str() {
+            Some("stage") => {
+                assert_eq!(ev["ok"], serde_json::json!(true));
+                streamed_ok.push(ev["stage"].as_str().expect("stage name").to_string());
+            }
+            Some("timeout") => break ev,
+            other => panic!("unexpected event {other:?} while waiting for timeout"),
+        }
+    };
+    assert_eq!(timeout["deadline_ms"], serde_json::json!(250u64));
+    let completed: Vec<String> = timeout["completed_stages"]
+        .as_array()
+        .expect("completed_stages")
+        .iter()
+        .map(|v| v.as_str().expect("stage name").to_string())
+        .collect();
+    assert_eq!(
+        completed, streamed_ok,
+        "timeout names exactly the streamed ok stages"
+    );
+    // The sleep fires at place's gate; place itself still completes
+    // (the gate had already passed), and route's gate stops the job.
+    assert!(
+        completed.iter().any(|s| s.contains("place")),
+        "the slept-through stage still completed: {completed:?}"
+    );
+    assert!(
+        !completed.iter().any(|s| s.contains("route")),
+        "nothing past the deadline ran: {completed:?}"
+    );
+
+    // --- 3: an oversized request line is refused with a structured
+    // error; the daemon read at most max_line_bytes + 1 of it.
+    let huge = format!(
+        "{{\"cmd\":\"compile\",\"source\":\"{}\"}}",
+        "x".repeat(128 * 1024)
+    );
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    writeln!(stream, "{huge}").expect("send oversized line");
+    stream.flush().expect("flush");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let ev = fpga_server::proto::read_line(&mut reader)
+        .expect("read")
+        .expect("an answer, not a silent drop");
+    assert_eq!(ev["event"], serde_json::json!("error"));
+    assert_eq!(ev["kind"], serde_json::json!("oversized"));
+
+    // --- 4: jam the only worker behind the gate, fill the queue, get
+    // rejected, and let compile_with_retry win once the gate opens.
+    let mut conn_d = RawConn::connect(&server);
+    conn_d.send(&compile_req(&design_src(6), None));
+    assert_eq!(conn_d.recv()["event"], serde_json::json!("queued"));
+    // D's synthesis event proves it was dequeued (the queue is empty);
+    // D then parks at lut_map's gate.
+    assert_eq!(conn_d.recv()["event"], serde_json::json!("stage"));
+
+    let mut conn_e = RawConn::connect(&server);
+    conn_e.send(&compile_req(&design_src(7), None));
+    assert_eq!(
+        conn_e.recv()["event"],
+        serde_json::json!("queued"),
+        "E fills the queue"
+    );
+
+    let mut client_f = FlowClient::connect_tcp(addr).expect("connect");
+    let err = client_f
+        .compile_detailed("vhdl", &design_src(8), Value::Null, None)
+        .expect_err("F must be rejected: the queue is full");
+    assert!(err.is_retryable(), "queue-full is retryable: {err}");
+    assert_eq!(err.retry_after_ms(), Some(5), "server's backoff hint");
+
+    let gate_for_retry = gate.clone();
+    let outcome = compile_with_retry(
+        || FlowClient::connect_tcp(addr),
+        "vhdl",
+        &design_src(8),
+        &Value::Null,
+        None,
+        &RetryPolicy {
+            max_attempts: 40,
+            base_ms: 2,
+            max_backoff_ms: 50,
+            // scripts/chaos.sh pins this for reproducible runs; any seed
+            // must pass — the jitter schedule may differ, the outcome
+            // must not.
+            jitter_seed: std::env::var("CHAOS_SEED")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0xC0FFEE),
+        },
+        // Opening the gate (idempotent) un-jams the worker: D finishes,
+        // E drains, and a later attempt finds room.
+        move |_attempt, err, _backoff| {
+            assert!(err.is_retryable());
+            gate_for_retry.open();
+        },
+    )
+    .expect("G eventually compiles after backoff");
+    assert_eq!(outcome.stage_events.len(), 8);
+
+    // D and E finish normally behind the gate.
+    loop {
+        let ev = conn_d.recv();
+        if ev["event"] == serde_json::json!("done") {
+            break;
+        }
+        assert_eq!(ev["event"], serde_json::json!("stage"));
+    }
+    loop {
+        let ev = conn_e.recv();
+        if ev["event"] == serde_json::json!("done") {
+            break;
+        }
+        assert_eq!(ev["event"], serde_json::json!("stage"));
+    }
+
+    // --- The ledger: every scenario left its mark, and the pool never
+    // needed a respawn (panics are absorbed above the thread).
+    let stats = server.stats_json();
+    assert_eq!(
+        stats["jobs"]["completed"],
+        serde_json::json!(4u64),
+        "B, D, E, G"
+    );
+    assert_eq!(stats["jobs"]["panicked"], serde_json::json!(1u64), "A");
+    assert_eq!(stats["jobs"]["timed_out"], serde_json::json!(1u64), "C");
+    assert_eq!(stats["jobs"]["failed"], serde_json::json!(0u64));
+    assert!(
+        stats["jobs"]["rejected"].as_u64().expect("rejected") >= 2,
+        "F plus at least one of G's early attempts"
+    );
+    assert_eq!(stats["workers"]["configured"], serde_json::json!(1u64));
+    assert_eq!(stats["workers"]["respawned"], serde_json::json!(0u64));
+    server.shutdown();
+}
+
+/// Distinct sources per job keep the content-addressed cache from
+/// coupling the scenarios to each other.
+fn design_src(bits: usize) -> String {
+    fpga_circuits::vhdl_counter(bits)
+}
+
+#[test]
+fn connection_guards_cap_and_idle_timeout() {
+    let server = Server::start(ServerConfig {
+        tcp_addr: Some("127.0.0.1:0".to_string()),
+        unix_path: None,
+        workers: 1,
+        queue_capacity: 4,
+        max_connections: 1,
+        idle_timeout_ms: Some(50),
+        retry_after_ms: 7,
+        ..ServerConfig::default()
+    })
+    .expect("bind in-process flowd");
+    let addr = server.tcp_addr().expect("tcp enabled");
+
+    // The first connection occupies the whole (size-1) admission slot...
+    let mut first = RawConn::connect(&server);
+    first.send(&serde_json::json!({"cmd": "ping"}));
+    assert_eq!(
+        first.recv()["event"],
+        serde_json::json!("pong"),
+        "the admitted connection is served"
+    );
+
+    // ...so the second is told it is one too many, with a backoff hint.
+    let second = TcpStream::connect(addr).expect("tcp connect always succeeds");
+    let mut reader = BufReader::new(second.try_clone().expect("clone"));
+    let ev = fpga_server::proto::read_line(&mut reader)
+        .expect("read")
+        .expect("a structured rejection, not a silent drop");
+    assert_eq!(ev["event"], serde_json::json!("error"));
+    assert_eq!(ev["kind"], serde_json::json!("overloaded"));
+    assert_eq!(ev["retry_after_ms"], serde_json::json!(7u64));
+    drop(reader);
+    drop(second);
+
+    // An admitted connection that goes quiet is told so and closed: send
+    // nothing and block on the next read — it yields the daemon's idle
+    // notice (after the 50ms budget) and then EOF.
+    let ev = first.recv();
+    assert_eq!(ev["event"], serde_json::json!("error"));
+    assert_eq!(ev["kind"], serde_json::json!("idle-timeout"));
+    assert!(
+        fpga_server::proto::read_line(&mut first.reader)
+            .expect("read")
+            .is_none(),
+        "the daemon closed the idle connection"
+    );
+
+    let stats = server.stats_json();
+    assert_eq!(stats["connections"]["rejected"], serde_json::json!(1u64));
+    assert_eq!(stats["connections"]["limit"], serde_json::json!(1u64));
+    server.shutdown();
+}

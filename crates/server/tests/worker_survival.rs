@@ -1,0 +1,128 @@
+//! Supervisor-level fault tolerance: dead worker threads are replaced,
+//! and a storm of panicking jobs cannot shrink the pool or wedge the
+//! daemon.
+
+use std::sync::{Arc, Barrier};
+
+use fpga_flow::fault::{FaultAction, FaultPlan};
+use fpga_server::client::CompileError;
+use fpga_server::{FlowClient, Server, ServerConfig};
+use serde_json::Value;
+
+fn start(workers: usize, queue: usize, plan: FaultPlan) -> Server {
+    Server::start(ServerConfig {
+        tcp_addr: Some("127.0.0.1:0".to_string()),
+        unix_path: None,
+        workers,
+        queue_capacity: queue,
+        fault: Some(Arc::new(plan)),
+        ..ServerConfig::default()
+    })
+    .expect("bind in-process flowd")
+}
+
+fn connect(server: &Server) -> FlowClient {
+    FlowClient::connect_tcp(server.tcp_addr().expect("tcp enabled")).expect("connect")
+}
+
+#[test]
+fn a_killed_worker_is_respawned_and_the_next_job_completes() {
+    // KillWorker escapes the per-job panic guard on purpose: the worker
+    // thread itself dies. The client is told the worker was lost; the
+    // supervisor replaces the thread; the next job runs on the
+    // replacement — same daemon, still one configured worker.
+    let server = start(
+        1,
+        4,
+        FaultPlan::new().on("synthesis", 1, FaultAction::KillWorker),
+    );
+    let src = fpga_circuits::vhdl_counter(4);
+
+    let mut client = connect(&server);
+    let err = client
+        .compile_detailed("vhdl", &src, Value::Null, None)
+        .expect_err("the worker died under this job");
+    match err {
+        CompileError::Failed { kind, .. } => assert_eq!(kind.as_deref(), Some("worker-lost")),
+        other => panic!("expected worker-lost, got {other}"),
+    }
+
+    let outcome = client
+        .compile_detailed("vhdl", &src, Value::Null, None)
+        .expect("the respawned worker serves the next job");
+    assert_eq!(outcome.stage_events.len(), 8);
+
+    let stats = server.stats_json();
+    assert_eq!(stats["workers"]["configured"], serde_json::json!(1u64));
+    assert_eq!(stats["workers"]["respawned"], serde_json::json!(1u64));
+    assert_eq!(stats["jobs"]["completed"], serde_json::json!(1u64));
+    assert_eq!(stats["jobs"]["panicked"], serde_json::json!(0u64));
+    server.shutdown();
+}
+
+#[test]
+fn a_storm_of_panics_interleaved_with_good_jobs_leaves_the_pool_intact() {
+    // 17 clients race 17 distinct designs into a 3-worker pool while
+    // the fault plan panics the 2nd, 5th, 9th, 13th, and 16th synthesis
+    // execution. Each job enters synthesis exactly once, so exactly 5
+    // jobs draw a panic — which 5 depends on scheduling, but the counts
+    // cannot: 12 complete, 5 answer with structured panic errors, and
+    // the pool never loses a thread.
+    const JOBS: usize = 17;
+    const PANICS: [u64; 5] = [2, 5, 9, 13, 16];
+    let mut plan = FaultPlan::new();
+    for k in PANICS {
+        plan = plan.on("synthesis", k, FaultAction::Panic);
+    }
+    let server = start(3, JOBS, plan);
+
+    let barrier = Arc::new(Barrier::new(JOBS));
+    let mut handles = Vec::new();
+    for i in 0..JOBS {
+        let mut client = connect(&server);
+        let src = fpga_circuits::vhdl_counter(2 + i);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            client.compile_detailed("vhdl", &src, Value::Null, None)
+        }));
+    }
+
+    let mut done = 0usize;
+    let mut panicked = 0usize;
+    for h in handles {
+        match h.join().expect("client thread") {
+            Ok(outcome) => {
+                assert_eq!(outcome.stage_events.len(), 8);
+                done += 1;
+            }
+            Err(CompileError::Failed { kind, message, .. }) => {
+                assert_eq!(
+                    kind.as_deref(),
+                    Some("panic"),
+                    "unexpected failure: {message}"
+                );
+                assert!(message.contains("injected panic at stage 'synthesis'"));
+                panicked += 1;
+            }
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+    }
+    assert_eq!(done, JOBS - PANICS.len());
+    assert_eq!(panicked, PANICS.len());
+
+    let stats = server.stats_json();
+    assert_eq!(stats["jobs"]["submitted"], serde_json::json!(JOBS as u64));
+    assert_eq!(
+        stats["jobs"]["completed"],
+        serde_json::json!((JOBS - PANICS.len()) as u64)
+    );
+    assert_eq!(
+        stats["jobs"]["panicked"],
+        serde_json::json!(PANICS.len() as u64)
+    );
+    assert_eq!(stats["jobs"]["rejected"], serde_json::json!(0u64));
+    assert_eq!(stats["workers"]["configured"], serde_json::json!(3u64));
+    assert_eq!(stats["workers"]["respawned"], serde_json::json!(0u64));
+    server.shutdown();
+}

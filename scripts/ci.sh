@@ -14,4 +14,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q"
 cargo test -q --workspace
 
+echo "==> scripts/chaos.sh (fault-injection suites, pinned seed)"
+sh scripts/chaos.sh
+
 echo "CI gate passed."

@@ -23,6 +23,7 @@ fn start_server(workers: usize) -> Server {
         unix_path: None,
         workers,
         queue_capacity: 16,
+        ..ServerConfig::default()
     })
     .expect("bind in-process flowd")
 }
