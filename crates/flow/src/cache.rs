@@ -9,11 +9,17 @@
 //! every descendant key changes with it.
 //!
 //! The cache is process-local and in-memory (the daemon owns one for its
-//! lifetime). Lookups are *single-flight*: when two jobs race on the same
-//! key, one computes while the others block on a condition variable and
-//! then take the hit path — so N concurrent submissions of the same
-//! design cost exactly one computation per stage and count as one miss
-//! plus N-1 hits in the metrics.
+//! lifetime), optionally backed by a durable [`DiskStore`]: a memory miss
+//! falls through to disk before computing, and every computed artifact is
+//! persisted best-effort, so a restarted daemon warms back up from its
+//! previous life. Memory is bounded by an optional entry cap with LRU
+//! eviction — an evicted entry costs a disk read, not a recompute.
+//!
+//! Lookups are *single-flight*: when two jobs race on the same key, one
+//! computes while the others block on a condition variable and then take
+//! the hit path — so N concurrent submissions of the same design cost
+//! exactly one computation per stage and count as one miss plus N-1 hits
+//! in the metrics.
 
 use std::any::Any;
 use std::collections::HashMap;
@@ -23,6 +29,8 @@ use std::time::Instant;
 
 use serde_json::Value;
 
+use crate::artifact::Artifact;
+use crate::store::DiskStore;
 use crate::Result;
 
 /// The cacheable pipeline stages, in flow order.
@@ -74,9 +82,9 @@ impl StageId {
 }
 
 /// Per-stage counters. `misses` counts actual computations, `hits` counts
-/// lookups served from a ready entry (including threads that waited out
-/// another job's in-flight computation), `wall_nanos` accumulates compute
-/// time spent on misses.
+/// lookups served without computing — from a ready entry, from waiting
+/// out another job's in-flight computation, or from a verified disk
+/// entry. `wall_nanos` accumulates compute time spent on misses.
 #[derive(Default)]
 pub struct StageCounters {
     pub hits: AtomicU64,
@@ -93,11 +101,18 @@ pub struct StageStats {
     pub wall_nanos: u64,
 }
 
+struct ReadyEntry {
+    value: Arc<dyn Any + Send + Sync>,
+    metrics: Value,
+    /// Monotonic recency tick; the smallest tick is the LRU victim.
+    last_used: u64,
+}
+
 enum Slot {
     /// Another thread is computing this key; wait on the condvar.
     InFlight,
     /// Ready: the stage's typed output plus the metrics it reported.
-    Ready(Arc<dyn Any + Send + Sync>, Value),
+    Ready(ReadyEntry),
 }
 
 /// The cache proper. Cheap to share: the daemon wraps it in an [`Arc`]
@@ -107,6 +122,57 @@ pub struct StageCache {
     slots: Mutex<HashMap<String, Slot>>,
     ready: Condvar,
     counters: [StageCounters; STAGES.len()],
+    clock: AtomicU64,
+    capacity: Option<usize>,
+    store: Option<Arc<DiskStore>>,
+    memory_evicted: AtomicU64,
+}
+
+/// Exclusive right to compute one key, handed out by [`StageCache::claim`].
+/// Dropping the guard without fulfilling it (error or panic in the
+/// computation) removes the in-flight marker and wakes waiters, so a dead
+/// computing thread can never strand a slot.
+struct ClaimGuard<'a> {
+    cache: &'a StageCache,
+    key: String,
+    armed: bool,
+}
+
+impl ClaimGuard<'_> {
+    fn fulfill(mut self, value: Arc<dyn Any + Send + Sync>, metrics: Value) {
+        let tick = self.cache.tick();
+        {
+            let mut slots = self.cache.lock_slots();
+            slots.insert(
+                self.key.clone(),
+                Slot::Ready(ReadyEntry {
+                    value,
+                    metrics,
+                    last_used: tick,
+                }),
+            );
+            self.cache.evict_over_capacity(&mut slots, &self.key);
+        }
+        self.cache.ready.notify_all();
+        self.armed = false;
+    }
+}
+
+impl Drop for ClaimGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.cache.lock_slots().remove(&self.key);
+            self.cache.ready.notify_all();
+        }
+    }
+}
+
+enum Claim<'a> {
+    /// Served from memory (possibly after waiting out an in-flight
+    /// computation). The stage hit counter has already been bumped.
+    Hit(Arc<dyn Any + Send + Sync>, Value),
+    /// This thread owns the computation for the key.
+    Miss(ClaimGuard<'a>),
 }
 
 impl StageCache {
@@ -114,14 +180,107 @@ impl StageCache {
         Self::default()
     }
 
+    /// Attach a durable store: memory misses fall through to it, computed
+    /// artifacts are persisted to it.
+    pub fn with_store(mut self, store: Arc<DiskStore>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Bound memory to at most `cap` ready entries, evicting the least
+    /// recently used beyond that. With a store attached, eviction is
+    /// cheap: the entry stays reachable on disk.
+    pub fn with_capacity(mut self, cap: usize) -> Self {
+        self.capacity = Some(cap.max(1));
+        self
+    }
+
+    /// The attached durable store, if any.
+    pub fn store(&self) -> Option<&Arc<DiskStore>> {
+        self.store.as_ref()
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
     /// Lock the slot map, recovering from poisoning: the map's invariants
     /// hold between statements (a panicking holder can at worst leave an
-    /// in-flight marker, which [`StageCache::get_or_compute`] cleans up),
-    /// so a poisoned lock must not cascade into every later job.
+    /// in-flight marker, which the claim guard cleans up), so a poisoned
+    /// lock must not cascade into every later job.
     fn lock_slots(&self) -> MutexGuard<'_, HashMap<String, Slot>> {
         self.slots
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Resolve `key` to a ready value or the exclusive right to compute
+    /// it, waiting out any in-flight computation by another thread.
+    fn claim(&self, stage: StageId, key: &str) -> Claim<'_> {
+        let mut slots = self.lock_slots();
+        loop {
+            match slots.get_mut(key) {
+                Some(Slot::Ready(entry)) => {
+                    entry.last_used = self.tick();
+                    let out = Arc::clone(&entry.value);
+                    let metrics = entry.metrics.clone();
+                    self.counters[stage.index()]
+                        .hits
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Claim::Hit(out, metrics);
+                }
+                Some(Slot::InFlight) => {
+                    slots = self
+                        .ready
+                        .wait(slots)
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
+                }
+                None => {
+                    slots.insert(key.to_string(), Slot::InFlight);
+                    return Claim::Miss(ClaimGuard {
+                        cache: self,
+                        key: key.to_string(),
+                        armed: true,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Evict LRU ready entries until the count is within capacity,
+    /// sparing `keep` (the entry just inserted). In-flight markers are
+    /// never touched.
+    fn evict_over_capacity(&self, slots: &mut HashMap<String, Slot>, keep: &str) {
+        let Some(cap) = self.capacity else {
+            return;
+        };
+        loop {
+            let ready = slots
+                .values()
+                .filter(|s| matches!(s, Slot::Ready(..)))
+                .count();
+            if ready <= cap {
+                return;
+            }
+            let victim = slots
+                .iter()
+                .filter_map(|(k, s)| match s {
+                    Slot::Ready(e) if k != keep => Some((e.last_used, k.clone())),
+                    _ => None,
+                })
+                .min();
+            let Some((_, key)) = victim else {
+                return;
+            };
+            slots.remove(&key);
+            self.memory_evicted.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn downcast<T: Any + Send + Sync>(value: Arc<dyn Any + Send + Sync>) -> Arc<T> {
+        value
+            .downcast::<T>()
+            .expect("stage key maps to one output type")
     }
 
     /// Look up `key`; on a miss, run `compute` (once, even under
@@ -139,73 +298,87 @@ impl StageCache {
         key: &str,
         compute: impl FnOnce() -> Result<(T, Value)>,
     ) -> Result<(Arc<T>, Value, bool)> {
-        let mut slots = self.lock_slots();
-        loop {
-            match slots.get(key) {
-                Some(Slot::Ready(v, m)) => {
-                    let out = Arc::clone(v)
-                        .downcast::<T>()
-                        .expect("stage key maps to one output type");
-                    let metrics = m.clone();
-                    self.counters[stage.index()]
-                        .hits
-                        .fetch_add(1, Ordering::Relaxed);
-                    return Ok((out, metrics, true));
-                }
-                Some(Slot::InFlight) => {
-                    slots = self
-                        .ready
-                        .wait(slots)
-                        .unwrap_or_else(|poisoned| poisoned.into_inner());
-                }
-                None => {
-                    slots.insert(key.to_string(), Slot::InFlight);
-                    break;
-                }
-            }
-        }
-        drop(slots);
+        let guard = match self.claim(stage, key) {
+            Claim::Hit(value, metrics) => return Ok((Self::downcast(value), metrics, true)),
+            Claim::Miss(guard) => guard,
+        };
+        self.compute_into(stage, guard, compute)
+    }
 
-        let t = Instant::now();
-        let computed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(compute));
-        let elapsed = t.elapsed().as_nanos() as u64;
-
-        let computed = match computed {
-            Ok(result) => result,
-            Err(payload) => {
-                let mut slots = self.lock_slots();
-                slots.remove(key);
-                drop(slots);
-                self.ready.notify_all();
-                std::panic::resume_unwind(payload);
-            }
+    /// [`StageCache::get_or_compute`] with durable-store fall-through:
+    /// a memory miss first tries the attached [`DiskStore`]. A verified,
+    /// decodable disk entry counts as a hit (the job skipped the
+    /// computation — that is what the counter means); a corrupt or
+    /// undecodable one is quarantined and the stage recomputes, so a bad
+    /// disk entry can never fail a job. Computed artifacts are persisted
+    /// best-effort before being published to memory.
+    pub fn get_or_compute_artifact<T: Artifact>(
+        &self,
+        stage: StageId,
+        key: &str,
+        compute: impl FnOnce() -> Result<(T, Value)>,
+    ) -> Result<(Arc<T>, Value, bool)> {
+        let guard = match self.claim(stage, key) {
+            Claim::Hit(value, metrics) => return Ok((Self::downcast(value), metrics, true)),
+            Claim::Miss(guard) => guard,
         };
 
-        let mut slots = self.lock_slots();
-        match computed {
-            Ok((value, metrics)) => {
-                let value = Arc::new(value);
-                slots.insert(
-                    key.to_string(),
-                    Slot::Ready(
-                        Arc::clone(&value) as Arc<dyn Any + Send + Sync>,
-                        metrics.clone(),
-                    ),
-                );
-                let c = &self.counters[stage.index()];
-                c.misses.fetch_add(1, Ordering::Relaxed);
-                c.wall_nanos.fetch_add(elapsed, Ordering::Relaxed);
-                drop(slots);
-                self.ready.notify_all();
-                Ok((value, metrics, false))
-            }
-            Err(e) => {
-                slots.remove(key);
-                drop(slots);
-                self.ready.notify_all();
-                Err(e)
+        if let Some(store) = &self.store {
+            if let Ok((payload, metrics_text)) = store.load(stage, key, T::KIND) {
+                match T::from_bytes(&payload) {
+                    Ok(value) => {
+                        let metrics = serde_json::from_str::<Value>(&metrics_text)
+                            .unwrap_or_else(|_| serde_json::json!({}));
+                        let value = Arc::new(value);
+                        guard.fulfill(
+                            Arc::clone(&value) as Arc<dyn Any + Send + Sync>,
+                            metrics.clone(),
+                        );
+                        self.counters[stage.index()]
+                            .hits
+                            .fetch_add(1, Ordering::Relaxed);
+                        return Ok((value, metrics, true));
+                    }
+                    Err(e) => {
+                        // Structurally sound on disk but semantically
+                        // rotten; retire it and fall through to compute.
+                        store.quarantine(key, &format!("artifact decode failed: {e}"));
+                    }
+                }
             }
         }
+
+        self.compute_into(stage, guard, || {
+            let (value, metrics) = compute()?;
+            if let Some(store) = &self.store {
+                let metrics_text = metrics.to_string();
+                let _ = store.put(stage, key, T::KIND, &metrics_text, &value.to_bytes());
+            }
+            Ok((value, metrics))
+        })
+    }
+
+    fn compute_into<T: Any + Send + Sync>(
+        &self,
+        stage: StageId,
+        guard: ClaimGuard<'_>,
+        compute: impl FnOnce() -> Result<(T, Value)>,
+    ) -> Result<(Arc<T>, Value, bool)> {
+        let t = Instant::now();
+        // On `Err` (or panic) the guard drops here: marker removed,
+        // waiters woken, nothing counted.
+        let (value, metrics) = compute()?;
+        let elapsed = t.elapsed().as_nanos() as u64;
+
+        let value = Arc::new(value);
+        guard.fulfill(
+            Arc::clone(&value) as Arc<dyn Any + Send + Sync>,
+            metrics.clone(),
+        );
+        let c = &self.counters[stage.index()];
+        c.misses.fetch_add(1, Ordering::Relaxed);
+        c.wall_nanos.fetch_add(elapsed, Ordering::Relaxed);
+        Ok((value, metrics, false))
     }
 
     /// Snapshot one stage's counters.
@@ -246,6 +419,11 @@ impl StageCache {
         self.len() == 0
     }
 
+    /// Entries evicted from memory by the capacity bound.
+    pub fn memory_evicted(&self) -> u64 {
+        self.memory_evicted.load(Ordering::Relaxed)
+    }
+
     /// Metrics as JSON, shaped for `flowc stats`.
     pub fn stats_json(&self) -> Value {
         let mut stages = serde_json::Map::new();
@@ -264,7 +442,14 @@ impl StageCache {
         root.insert("entries".to_string(), serde_json::json!(self.len() as u64));
         root.insert("hits".to_string(), serde_json::json!(hits));
         root.insert("misses".to_string(), serde_json::json!(misses));
+        root.insert(
+            "memory_evicted".to_string(),
+            serde_json::json!(self.memory_evicted()),
+        );
         root.insert("stages".to_string(), Value::Object(stages));
+        if let Some(store) = &self.store {
+            root.insert("disk".to_string(), store.stats_json());
+        }
         Value::Object(root)
     }
 }
@@ -389,5 +574,103 @@ mod tests {
         assert_ne!(a, b);
         assert_ne!(a, c);
         assert_eq!(a.len(), 64);
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used_entry() {
+        let cache = StageCache::new().with_capacity(2);
+        let keys: Vec<String> = (0..3)
+            .map(|i| stage_key(StageId::Pack, &[&format!("cap{i}")]))
+            .collect();
+        cache
+            .get_or_compute(StageId::Pack, &keys[0], || Ok((0usize, Value::Null)))
+            .unwrap();
+        cache
+            .get_or_compute(StageId::Pack, &keys[1], || Ok((1usize, Value::Null)))
+            .unwrap();
+        // Touch keys[0] so keys[1] is the LRU victim when keys[2] lands.
+        let (_, _, hit) = cache
+            .get_or_compute(StageId::Pack, &keys[0], || Ok((99usize, Value::Null)))
+            .unwrap();
+        assert!(hit);
+        cache
+            .get_or_compute(StageId::Pack, &keys[2], || Ok((2usize, Value::Null)))
+            .unwrap();
+
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.memory_evicted(), 1);
+        let (_, _, hit0) = cache
+            .get_or_compute(StageId::Pack, &keys[0], || Ok((0usize, Value::Null)))
+            .unwrap();
+        assert!(hit0, "recently used entry survived");
+        let (_, _, hit1) = cache
+            .get_or_compute(StageId::Pack, &keys[1], || Ok((1usize, Value::Null)))
+            .unwrap();
+        assert!(!hit1, "LRU entry was evicted");
+    }
+
+    #[test]
+    fn artifact_lookup_falls_through_to_disk_and_back() {
+        let root = std::env::temp_dir().join(format!(
+            "ifdf-cache-disk-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let store = Arc::new(DiskStore::open(&root, None).unwrap());
+        let key = stage_key(StageId::Verify, &["disk"]);
+
+        // First life: compute once, persisting to disk.
+        let cache = StageCache::new().with_store(Arc::clone(&store));
+        let (_, _, hit) = cache
+            .get_or_compute_artifact(StageId::Verify, &key, || {
+                Ok(((), serde_json::json!({"ok": true})))
+            })
+            .unwrap();
+        assert!(!hit);
+
+        // Second life: fresh memory, same store — served from disk, no
+        // recompute, counted as a hit.
+        let cache = StageCache::new().with_store(Arc::clone(&store));
+        let (_, metrics, hit) = cache
+            .get_or_compute_artifact::<()>(StageId::Verify, &key, || panic!("must not recompute"))
+            .unwrap();
+        assert!(hit);
+        assert_eq!(metrics["ok"], serde_json::json!(true));
+        assert_eq!(cache.stats(StageId::Verify).hits, 1);
+        assert_eq!(store.counters().disk_hits, 1);
+
+        // Third lookup on the same cache: plain memory hit, disk untouched.
+        let (_, _, hit) = cache
+            .get_or_compute_artifact::<()>(StageId::Verify, &key, || panic!("must not recompute"))
+            .unwrap();
+        assert!(hit);
+        assert_eq!(store.counters().disk_hits, 1);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn undecodable_disk_entry_is_quarantined_and_recomputed() {
+        let root = std::env::temp_dir().join(format!(
+            "ifdf-cache-rot-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let store = Arc::new(DiskStore::open(&root, None).unwrap());
+        let key = stage_key(StageId::Verify, &["rot"]);
+        // A verified-and-digest-valid entry whose *payload* the artifact
+        // decoder rejects (the () artifact requires an empty payload).
+        store
+            .put(StageId::Verify, &key, "verified", "{}", b"not empty")
+            .unwrap();
+
+        let cache = StageCache::new().with_store(Arc::clone(&store));
+        let (_, _, hit) = cache
+            .get_or_compute_artifact(StageId::Verify, &key, || Ok(((), Value::Null)))
+            .unwrap();
+        assert!(!hit, "rotten entry recomputed, job unharmed");
+        assert_eq!(store.counters().quarantined, 1);
+        std::fs::remove_dir_all(&root).unwrap();
     }
 }

@@ -19,6 +19,7 @@
 //! modularity requirement states; `flowctl` is the CLI stand-in for the
 //! web GUI.
 
+pub mod artifact;
 pub mod cache;
 pub mod cli;
 pub mod fault;
@@ -26,8 +27,10 @@ pub mod hash;
 pub mod pipeline;
 pub mod report;
 pub mod stages;
+pub mod store;
 pub mod svg;
 
+pub use artifact::Artifact;
 pub use cache::{StageCache, StageId, StageStats};
 pub use fault::{CancelReason, CancelToken, FaultAction, FaultPlan, FaultRule, Gate};
 pub use pipeline::{
@@ -35,6 +38,7 @@ pub use pipeline::{
     FlowCtx, FlowOptions,
 };
 pub use report::{FlowReport, StageReport};
+pub use store::{DiskStore, LoadMiss, StoreCounters};
 
 /// Single source of truth for the toolset's version, folded into every
 /// stage-cache key (a flow upgrade invalidates all cached stages) and

@@ -18,7 +18,6 @@
 //! runs; the flow server (`fpga-server`) drives them with a shared cache
 //! and a per-stage observer.
 
-use std::any::Any;
 use std::sync::Arc;
 
 use fpga_arch::device::Device;
@@ -36,6 +35,7 @@ use fpga_route::{RouteOptions, RouteResult};
 use fpga_synth::{map_to_luts, MapOptions};
 use serde_json::Value;
 
+use crate::artifact::Artifact;
 use crate::cache::{stage_key, StageCache, StageId};
 use crate::pipeline::{FlowCtx, FlowOptions};
 use crate::{stage_err, FlowError, Result};
@@ -53,6 +53,9 @@ pub struct Staged<T> {
 
 /// Routing's bundled output: the stage is only meaningful as a whole.
 pub struct RoutedDesign {
+    /// The device the design was routed on — carried so the durable form
+    /// can rebuild [`RrGraph`] on load instead of serializing it.
+    pub device: Device,
     pub graph: RrGraph,
     pub routing: RouteResult,
     /// Nets on the reported critical path (from the STA), source first.
@@ -66,8 +69,10 @@ pub struct GeneratedBitstream {
 }
 
 /// Run `compute` through the cache when one is present, directly
-/// otherwise.
-fn run_step<T: Any + Send + Sync>(
+/// otherwise. Every staged type is an [`Artifact`], so a cache backed by
+/// a durable store transparently serves misses from disk and persists
+/// fresh computations.
+fn run_step<T: Artifact>(
     cache: Option<&StageCache>,
     stage: StageId,
     key: String,
@@ -75,7 +80,7 @@ fn run_step<T: Any + Send + Sync>(
 ) -> Result<Staged<T>> {
     match cache {
         Some(c) => {
-            let (value, metrics, cache_hit) = c.get_or_compute(stage, &key, compute)?;
+            let (value, metrics, cache_hit) = c.get_or_compute_artifact(stage, &key, compute)?;
             Ok(Staged {
                 value,
                 key,
@@ -265,6 +270,7 @@ pub fn route(
             "fmax_mhz": sta.fmax() / 1e6,
         });
         let routed = RoutedDesign {
+            device: placement.device.clone(),
             graph,
             routing,
             critical_nets: sta.critical_path.clone(),

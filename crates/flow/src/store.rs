@@ -1,0 +1,749 @@
+//! Crash-safe on-disk artifact store behind the in-memory [`StageCache`].
+//!
+//! Layout under the store root:
+//!
+//! ```text
+//! root/
+//!   ab/ab34…ef      one file per entry, named by its 64-hex stage key,
+//!                   sharded by the first two hex digits
+//!   ab/.1234-7.tmp  in-flight write (unique per pid × counter); renamed
+//!                   into place once fsynced, scrubbed at startup
+//!   quarantine/     entries that failed verification, kept for autopsy
+//!                   until the next startup scrub
+//! ```
+//!
+//! Entry format (all multi-byte values little-endian, strings and the
+//! payload length-prefixed, matching the artifact codecs):
+//!
+//! ```text
+//! magic "IFDFSTOR" | header version u32 | flow version | stage name
+//! | stage key | artifact kind | digest (hex, over metrics + payload)
+//! | metrics JSON | payload
+//! ```
+//!
+//! Durability rules:
+//!
+//! * Writes are atomic: temp file in the destination shard, `fsync`,
+//!   `rename`, best-effort directory `fsync`. A reader never observes a
+//!   half-written entry under its final name; a crash leaves only a
+//!   `.tmp` file that the next startup removes.
+//! * Loads are paranoid: magic, versions, stage, key, kind and the
+//!   recomputed payload digest must all match. Any mismatch — truncation,
+//!   bit rot, format drift — quarantines the entry (renamed aside and
+//!   counted) and reports a miss, so a bad disk entry can never fail a
+//!   job, only slow it down by one recompute.
+//! * The store is bounded: an optional byte budget is enforced by
+//!   LRU eviction. Recency is tracked in memory (monotonic ticks) and
+//!   seeded from file access times at startup, so a warm restart evicts
+//!   cold entries first.
+//!
+//! [`StageCache`]: crate::cache::StageCache
+
+use std::collections::HashMap;
+use std::fs::{self, File};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::UNIX_EPOCH;
+
+use fpga_netlist::codec::{ByteReader, ByteWriter};
+
+use crate::cache::StageId;
+use crate::hash::digest_hex;
+use crate::FLOW_VERSION;
+
+const MAGIC: &[u8; 8] = b"IFDFSTOR";
+const HEADER_VERSION: u32 = 1;
+const QUARANTINE_DIR: &str = "quarantine";
+
+/// Why a load did not return a payload. Distinguishes "never stored"
+/// from "stored but failed verification" for the stats counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoadMiss {
+    /// No entry under this key.
+    Absent,
+    /// An entry existed but failed verification and was quarantined.
+    Quarantined(String),
+}
+
+#[derive(Clone, Copy)]
+struct EntryMeta {
+    size: u64,
+    tick: u64,
+}
+
+struct Index {
+    entries: HashMap<String, EntryMeta>,
+    total_bytes: u64,
+}
+
+/// Counters exposed through [`DiskStore::stats_json`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StoreCounters {
+    pub disk_hits: u64,
+    pub disk_misses: u64,
+    pub quarantined: u64,
+    pub evicted: u64,
+    pub writes: u64,
+    pub write_errors: u64,
+    pub scrubbed: u64,
+}
+
+/// A durable, digest-verified, size-bounded store of stage artifacts.
+pub struct DiskStore {
+    root: PathBuf,
+    budget_bytes: Option<u64>,
+    index: Mutex<Index>,
+    clock: AtomicU64,
+    temp_seq: AtomicU64,
+    disk_hits: AtomicU64,
+    disk_misses: AtomicU64,
+    quarantined: AtomicU64,
+    evicted: AtomicU64,
+    writes: AtomicU64,
+    write_errors: AtomicU64,
+    scrubbed: AtomicU64,
+}
+
+fn is_hex_key(name: &str) -> bool {
+    name.len() == 64 && name.bytes().all(|b| b.is_ascii_hexdigit())
+}
+
+fn atime_rank(path: &Path) -> u64 {
+    // Best-effort recency seed: atime where the filesystem tracks it,
+    // mtime otherwise. Only the relative order matters.
+    let Ok(meta) = fs::metadata(path) else {
+        return 0;
+    };
+    let stamp = meta.accessed().or_else(|_| meta.modified());
+    match stamp {
+        Ok(t) => t
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0),
+        Err(_) => 0,
+    }
+}
+
+impl DiskStore {
+    /// Open (creating if needed) a store rooted at `root`, scrub stale
+    /// temp files and quarantined entries, and index what survives.
+    pub fn open(root: impl Into<PathBuf>, budget_bytes: Option<u64>) -> io::Result<DiskStore> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        fs::create_dir_all(root.join(QUARANTINE_DIR))?;
+
+        let store = DiskStore {
+            root,
+            budget_bytes,
+            index: Mutex::new(Index {
+                entries: HashMap::new(),
+                total_bytes: 0,
+            }),
+            clock: AtomicU64::new(0),
+            temp_seq: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            disk_misses: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            write_errors: AtomicU64::new(0),
+            scrubbed: AtomicU64::new(0),
+        };
+        store.scrub_and_index()?;
+        store.enforce_budget();
+        Ok(store)
+    }
+
+    /// The store root (for diagnostics and tests).
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Final on-disk path for a key (exposed so tests and the crash
+    /// harness can corrupt entries deliberately).
+    pub fn entry_path(&self, key: &str) -> PathBuf {
+        let shard = if key.len() >= 2 { &key[..2] } else { "xx" };
+        self.root.join(shard).join(key)
+    }
+
+    fn quarantine_path(&self, key: &str) -> PathBuf {
+        let n = self.temp_seq.fetch_add(1, Ordering::Relaxed);
+        self.root
+            .join(QUARANTINE_DIR)
+            .join(format!("{key}.{}-{n}", std::process::id()))
+    }
+
+    fn scrub_and_index(&self) -> io::Result<()> {
+        // Remove everything in quarantine/ — it was kept for one
+        // process lifetime of autopsy and is dead weight after that.
+        let qdir = self.root.join(QUARANTINE_DIR);
+        if let Ok(entries) = fs::read_dir(&qdir) {
+            for entry in entries.flatten() {
+                if fs::remove_file(entry.path()).is_ok() {
+                    self.scrubbed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+
+        let mut found: Vec<(String, u64, u64)> = Vec::new();
+        for shard in fs::read_dir(&self.root)? {
+            let shard = shard?;
+            if !shard.file_type()?.is_dir() {
+                // Stray files directly under the root (including crashed
+                // pre-shard temp files from older layouts) are stale.
+                if fs::remove_file(shard.path()).is_ok() {
+                    self.scrubbed.fetch_add(1, Ordering::Relaxed);
+                }
+                continue;
+            }
+            let dir_name = shard.file_name().to_string_lossy().into_owned();
+            if dir_name == QUARANTINE_DIR {
+                continue;
+            }
+            for entry in fs::read_dir(shard.path())?.flatten() {
+                let path = entry.path();
+                let name = entry.file_name().to_string_lossy().into_owned();
+                if is_hex_key(&name) {
+                    let size = entry.metadata().map(|m| m.len()).unwrap_or(0);
+                    found.push((name, size, atime_rank(&path)));
+                } else {
+                    // Temp files from interrupted writes, or anything
+                    // else that is not an entry.
+                    if fs::remove_file(&path).is_ok() {
+                        self.scrubbed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+
+        // Seed in-memory recency from on-disk access order.
+        found.sort_by_key(|(_, _, rank)| *rank);
+        let mut index = self.index.lock().unwrap_or_else(|e| e.into_inner());
+        for (key, size, _) in found {
+            let tick = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+            index.total_bytes += size;
+            index.entries.insert(key, EntryMeta { size, tick });
+        }
+        Ok(())
+    }
+
+    fn touch(&self, key: &str) {
+        let tick = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut index = self.index.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(meta) = index.entries.get_mut(key) {
+            meta.tick = tick;
+        }
+    }
+
+    fn forget(&self, key: &str) -> Option<u64> {
+        let mut index = self.index.lock().unwrap_or_else(|e| e.into_inner());
+        let meta = index.entries.remove(key)?;
+        index.total_bytes = index.total_bytes.saturating_sub(meta.size);
+        Some(meta.size)
+    }
+
+    fn enforce_budget(&self) {
+        let Some(budget) = self.budget_bytes else {
+            return;
+        };
+        loop {
+            let victim = {
+                let index = self.index.lock().unwrap_or_else(|e| e.into_inner());
+                if index.total_bytes <= budget {
+                    return;
+                }
+                index
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, meta)| meta.tick)
+                    .map(|(key, _)| key.clone())
+            };
+            let Some(key) = victim else {
+                return;
+            };
+            if self.forget(&key).is_some() {
+                let _ = fs::remove_file(self.entry_path(&key));
+                self.evicted.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Atomically persist one entry. Errors are reported (and counted)
+    /// but callers treat persistence as best-effort: a failed write
+    /// costs a future recompute, nothing more.
+    pub fn put(
+        &self,
+        stage: StageId,
+        key: &str,
+        kind: &str,
+        metrics_json: &str,
+        payload: &[u8],
+    ) -> io::Result<()> {
+        let result = self.put_inner(stage, key, kind, metrics_json, payload);
+        match &result {
+            Ok(()) => {
+                self.writes.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.write_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        result
+    }
+
+    fn put_inner(
+        &self,
+        stage: StageId,
+        key: &str,
+        kind: &str,
+        metrics_json: &str,
+        payload: &[u8],
+    ) -> io::Result<()> {
+        let mut w = ByteWriter::new();
+        w.raw(MAGIC);
+        w.u32(HEADER_VERSION);
+        w.str(FLOW_VERSION);
+        w.str(stage.name());
+        w.str(key);
+        w.str(kind);
+        w.str(&digest_hex(&[metrics_json.as_bytes(), payload]));
+        w.str(metrics_json);
+        w.bytes(payload);
+        let encoded = w.into_bytes();
+
+        let final_path = self.entry_path(key);
+        let shard = final_path.parent().expect("entry path has a shard dir");
+        fs::create_dir_all(shard)?;
+
+        let n = self.temp_seq.fetch_add(1, Ordering::Relaxed);
+        let tmp = shard.join(format!(".{}-{n}.tmp", std::process::id()));
+        let write = (|| {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&encoded)?;
+            f.sync_all()?;
+            fs::rename(&tmp, &final_path)?;
+            // Make the rename itself durable where the platform allows
+            // opening directories; failure only weakens crash-freshness.
+            if let Ok(dir) = File::open(shard) {
+                let _ = dir.sync_all();
+            }
+            Ok(())
+        })();
+        if write.is_err() {
+            let _ = fs::remove_file(&tmp);
+            return write;
+        }
+
+        let size = encoded.len() as u64;
+        let tick = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        {
+            let mut index = self.index.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(old) = index
+                .entries
+                .insert(key.to_string(), EntryMeta { size, tick })
+            {
+                index.total_bytes = index.total_bytes.saturating_sub(old.size);
+            }
+            index.total_bytes += size;
+        }
+        self.enforce_budget();
+        Ok(())
+    }
+
+    /// Load and verify an entry. `Ok((payload, metrics_json))` only if
+    /// every header field and the payload digest check out; any defect
+    /// quarantines the entry and reports the reason.
+    pub fn load(
+        &self,
+        stage: StageId,
+        key: &str,
+        kind: &str,
+    ) -> Result<(Vec<u8>, String), LoadMiss> {
+        let path = self.entry_path(key);
+        let mut raw = Vec::new();
+        match File::open(&path).and_then(|mut f| f.read_to_end(&mut raw)) {
+            Ok(_) => {}
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                self.disk_misses.fetch_add(1, Ordering::Relaxed);
+                return Err(LoadMiss::Absent);
+            }
+            Err(e) => {
+                self.disk_misses.fetch_add(1, Ordering::Relaxed);
+                return Err(self.quarantine(key, &format!("unreadable: {e}")));
+            }
+        }
+
+        match verify(&raw, stage, key, kind) {
+            Ok(ok) => {
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                self.touch(key);
+                // Reads don't reliably update atime (relatime/noatime
+                // mounts), so stamp it by hand — recency must survive a
+                // restart for the LRU seed to mean anything.
+                let _ = File::options().write(true).open(&path).and_then(|f| {
+                    f.set_times(fs::FileTimes::new().set_accessed(std::time::SystemTime::now()))
+                });
+                Ok(ok)
+            }
+            Err(reason) => {
+                self.disk_misses.fetch_add(1, Ordering::Relaxed);
+                Err(self.quarantine(key, &reason))
+            }
+        }
+    }
+
+    /// Move an entry aside (it decoded structurally but failed a later
+    /// check, e.g. the artifact decoder rejected the payload) so it is
+    /// never consulted again, and count it.
+    pub fn quarantine(&self, key: &str, reason: &str) -> LoadMiss {
+        let from = self.entry_path(key);
+        let to = self.quarantine_path(key);
+        // Rename preferred (keeps the evidence); deletion is an
+        // acceptable fallback — the point is it stops matching the key.
+        if fs::rename(&from, &to).is_err() {
+            let _ = fs::remove_file(&from);
+        }
+        self.forget(key);
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
+        LoadMiss::Quarantined(reason.to_string())
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.index
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .entries
+            .len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total bytes of live entries.
+    pub fn total_bytes(&self) -> u64 {
+        self.index
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .total_bytes
+    }
+
+    pub fn counters(&self) -> StoreCounters {
+        StoreCounters {
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            disk_misses: self.disk_misses.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            write_errors: self.write_errors.load(Ordering::Relaxed),
+            scrubbed: self.scrubbed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Store health as a JSON object (embedded in the cache stats).
+    pub fn stats_json(&self) -> serde_json::Value {
+        let c = self.counters();
+        let budget = match self.budget_bytes {
+            Some(b) => serde_json::json!(b),
+            None => serde_json::Value::Null,
+        };
+        serde_json::json!({
+            "entries": self.len() as u64,
+            "bytes": self.total_bytes(),
+            "budget_bytes": budget,
+            "disk_hits": c.disk_hits,
+            "disk_misses": c.disk_misses,
+            "quarantined": c.quarantined,
+            "evicted": c.evicted,
+            "writes": c.writes,
+            "write_errors": c.write_errors,
+            "scrubbed": c.scrubbed,
+        })
+    }
+}
+
+/// Verify a raw entry against what the caller expects. Pure so it can be
+/// tested without touching a filesystem.
+fn verify(raw: &[u8], stage: StageId, key: &str, kind: &str) -> Result<(Vec<u8>, String), String> {
+    let mut r = ByteReader::new(raw);
+    let parse = (|| {
+        let magic = r.take(MAGIC.len())?;
+        if magic != MAGIC {
+            return Err(fpga_netlist::CodecError("bad magic".into()));
+        }
+        let header_version = r.u32()?;
+        let flow_version = r.str()?;
+        let stage_name = r.str()?;
+        let stored_key = r.str()?;
+        let stored_kind = r.str()?;
+        let digest = r.str()?;
+        let metrics = r.str()?;
+        let payload = r.bytes()?.to_vec();
+        r.finish()?;
+        Ok((
+            header_version,
+            flow_version,
+            stage_name,
+            stored_key,
+            stored_kind,
+            digest,
+            metrics,
+            payload,
+        ))
+    })();
+    let (
+        header_version,
+        flow_version,
+        stage_name,
+        stored_key,
+        stored_kind,
+        digest,
+        metrics,
+        payload,
+    ) = parse.map_err(|e| format!("malformed entry: {e}"))?;
+
+    if header_version != HEADER_VERSION {
+        return Err(format!(
+            "header version {header_version} != {HEADER_VERSION}"
+        ));
+    }
+    if flow_version != FLOW_VERSION {
+        return Err(format!("flow version {flow_version:?} != {FLOW_VERSION:?}"));
+    }
+    if stage_name != stage.name() {
+        return Err(format!("stage {stage_name:?} != {:?}", stage.name()));
+    }
+    if stored_key != key {
+        return Err("key mismatch".into());
+    }
+    if stored_kind != kind {
+        return Err(format!("artifact kind {stored_kind:?} != {kind:?}"));
+    }
+    let actual = digest_hex(&[metrics.as_bytes(), &payload]);
+    if digest != actual {
+        return Err("payload digest mismatch".into());
+    }
+    Ok((payload, metrics))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::stage_key;
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ifdf-store-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn key_for(stage: StageId, tag: &str) -> String {
+        stage_key(stage, &[tag])
+    }
+
+    #[test]
+    fn round_trips_and_counts_hits() {
+        let root = tmp_root("roundtrip");
+        let store = DiskStore::open(&root, None).unwrap();
+        let key = key_for(StageId::Pack, "a");
+        store
+            .put(StageId::Pack, &key, "clustering", "{\"n\":1}", b"payload")
+            .unwrap();
+        let (payload, metrics) = store.load(StageId::Pack, &key, "clustering").unwrap();
+        assert_eq!(payload, b"payload");
+        assert_eq!(metrics, "{\"n\":1}");
+        let c = store.counters();
+        assert_eq!((c.disk_hits, c.disk_misses, c.writes), (1, 0, 1));
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn absent_key_is_a_plain_miss() {
+        let root = tmp_root("absent");
+        let store = DiskStore::open(&root, None).unwrap();
+        let key = key_for(StageId::Place, "nope");
+        assert_eq!(
+            store.load(StageId::Place, &key, "placement"),
+            Err(LoadMiss::Absent)
+        );
+        assert_eq!(store.counters().disk_misses, 1);
+        assert_eq!(store.counters().quarantined, 0);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn survives_reopen() {
+        let root = tmp_root("reopen");
+        let key = key_for(StageId::Route, "r");
+        {
+            let store = DiskStore::open(&root, None).unwrap();
+            store
+                .put(StageId::Route, &key, "routed-design", "{}", b"tree")
+                .unwrap();
+        }
+        let store = DiskStore::open(&root, None).unwrap();
+        assert_eq!(store.len(), 1);
+        let (payload, _) = store.load(StageId::Route, &key, "routed-design").unwrap();
+        assert_eq!(payload, b"tree");
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_quarantined() {
+        let root = tmp_root("bitflip");
+        let key = key_for(StageId::Power, "p");
+        let store = DiskStore::open(&root, None).unwrap();
+        store
+            .put(StageId::Power, &key, "power-report", "{}", b"wattage")
+            .unwrap();
+        let path = store.entry_path(&key);
+        let pristine = fs::read(&path).unwrap();
+        for i in 0..pristine.len() {
+            let mut bad = pristine.clone();
+            bad[i] ^= 0x40;
+            fs::write(&path, &bad).unwrap();
+            match store.load(StageId::Power, &key, "power-report") {
+                Err(LoadMiss::Quarantined(_)) => {}
+                other => panic!("flip at byte {i} not quarantined: {other:?}"),
+            }
+            // Re-seed for the next flip (quarantine moved the file).
+            store
+                .put(StageId::Power, &key, "power-report", "{}", b"wattage")
+                .unwrap();
+        }
+        assert_eq!(store.counters().quarantined as usize, pristine.len());
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn truncation_is_quarantined() {
+        let root = tmp_root("trunc");
+        let key = key_for(StageId::Bitstream, "b");
+        let store = DiskStore::open(&root, None).unwrap();
+        store
+            .put(StageId::Bitstream, &key, "bitstream", "{}", b"framesframes")
+            .unwrap();
+        let path = store.entry_path(&key);
+        let full = fs::read(&path).unwrap();
+        fs::write(&path, &full[..full.len() - 3]).unwrap();
+        assert!(matches!(
+            store.load(StageId::Bitstream, &key, "bitstream"),
+            Err(LoadMiss::Quarantined(_))
+        ));
+        // The entry no longer matches its key: next load is a clean miss.
+        assert_eq!(
+            store.load(StageId::Bitstream, &key, "bitstream"),
+            Err(LoadMiss::Absent)
+        );
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn wrong_stage_kind_or_version_rejected() {
+        let root = tmp_root("headers");
+        let key = key_for(StageId::Pack, "h");
+        let store = DiskStore::open(&root, None).unwrap();
+        store
+            .put(StageId::Pack, &key, "clustering", "{}", b"x")
+            .unwrap();
+        assert!(matches!(
+            store.load(StageId::Place, &key, "clustering"),
+            Err(LoadMiss::Quarantined(_))
+        ));
+        store
+            .put(StageId::Pack, &key, "clustering", "{}", b"x")
+            .unwrap();
+        assert!(matches!(
+            store.load(StageId::Pack, &key, "netlist"),
+            Err(LoadMiss::Quarantined(_))
+        ));
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn startup_scrub_removes_temp_and_quarantine() {
+        let root = tmp_root("scrub");
+        let key = key_for(StageId::Synthesis, "s");
+        {
+            let store = DiskStore::open(&root, None).unwrap();
+            store
+                .put(StageId::Synthesis, &key, "netlist", "{}", b"nl")
+                .unwrap();
+            // Simulate a crash mid-write and a prior quarantine.
+            let shard = store.entry_path(&key);
+            fs::write(shard.parent().unwrap().join(".999-0.tmp"), b"partial").unwrap();
+            fs::write(root.join(QUARANTINE_DIR).join("oldbad"), b"junk").unwrap();
+        }
+        let store = DiskStore::open(&root, None).unwrap();
+        assert_eq!(store.len(), 1);
+        assert!(store.counters().scrubbed >= 2);
+        assert!(store.load(StageId::Synthesis, &key, "netlist").is_ok());
+        let leftovers: Vec<_> = fs::read_dir(root.join(QUARANTINE_DIR)).unwrap().collect();
+        assert!(leftovers.is_empty());
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn budget_evicts_least_recently_used() {
+        let root = tmp_root("lru");
+        let store = DiskStore::open(&root, None).unwrap();
+        let keys: Vec<String> = (0..4)
+            .map(|i| key_for(StageId::LutMap, &format!("k{i}")))
+            .collect();
+        for key in &keys {
+            store
+                .put(StageId::LutMap, key, "netlist", "{}", &[0u8; 64])
+                .unwrap();
+            // Space out creation stamps: the reopen seeds recency from
+            // file times, which may have coarse granularity.
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        let entry_size = store.total_bytes() / 4;
+        // Touch k0 so k1 becomes the LRU victim.
+        store.load(StageId::LutMap, &keys[0], "netlist").unwrap();
+        drop(store);
+
+        // Reopen with room for three entries.
+        let store = DiskStore::open(&root, Some(entry_size * 3 + 1)).unwrap();
+        assert_eq!(store.len(), 3);
+        assert!(store.counters().evicted >= 1);
+        assert!(store.load(StageId::LutMap, &keys[0], "netlist").is_ok());
+        assert_eq!(
+            store.load(StageId::LutMap, &keys[1], "netlist"),
+            Err(LoadMiss::Absent)
+        );
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn put_over_budget_evicts_immediately() {
+        let root = tmp_root("putbudget");
+        let probe = DiskStore::open(&root, None).unwrap();
+        let k = key_for(StageId::Verify, "probe");
+        probe
+            .put(StageId::Verify, &k, "verified", "{}", &[])
+            .unwrap();
+        let one = probe.total_bytes();
+        drop(probe);
+        let _ = fs::remove_dir_all(&root);
+
+        let store = DiskStore::open(&root, Some(one * 2)).unwrap();
+        for i in 0..5 {
+            let key = key_for(StageId::Verify, &format!("v{i}"));
+            store
+                .put(StageId::Verify, &key, "verified", "{}", &[])
+                .unwrap();
+        }
+        assert!(store.len() <= 2);
+        assert!(store.total_bytes() <= one * 2);
+        assert_eq!(store.counters().evicted, 3);
+        fs::remove_dir_all(&root).unwrap();
+    }
+}

@@ -20,6 +20,7 @@
 
 pub mod blif;
 pub mod canonical;
+pub mod codec;
 pub mod edif;
 pub mod ir;
 pub mod sim;
@@ -27,6 +28,7 @@ pub mod sop;
 pub mod stats;
 
 pub use canonical::canonical_text;
+pub use codec::{ByteReader, ByteWriter, CodecError, CodecResult};
 pub use ir::{Cell, CellId, CellKind, Net, NetId, Netlist};
 pub use sop::{Cube, SopCover};
 

@@ -19,7 +19,10 @@
 //! DAGGER encodes into the bitstream; [`netformat`] serializes it in the
 //! `.net` text format.
 
+pub mod codec;
 pub mod netformat;
+
+pub use codec::{clustering_from_bytes, clustering_to_bytes};
 
 use std::collections::{HashMap, HashSet};
 

@@ -1,0 +1,195 @@
+//! Binary wire codec for [`Placement`] — the placed-design artifact the
+//! flow server persists between runs.
+//!
+//! Two wrinkles against the other codecs:
+//!
+//! * The block→slot map is a `HashMap`, whose iteration order is not
+//!   stable; entries are written sorted by block identity so equal
+//!   placements always encode byte-identically.
+//! * The device's [`Architecture`] already has a canonical, stable JSON
+//!   form (it is what the stage-cache keys digest), so that existing
+//!   machinery is reused verbatim rather than re-encoded field by field.
+
+use fpga_arch::device::{Device, GridLoc};
+use fpga_arch::Architecture;
+use fpga_netlist::codec::{ByteReader, ByteWriter, CodecError, CodecResult};
+use fpga_netlist::NetId;
+use fpga_pack::ClusterId;
+
+use crate::cost::PlacedNet;
+use crate::{BlockRef, Placement, Slot};
+
+/// Stable ordering key for map serialization: variant tag, then index.
+fn block_sort_key(b: &BlockRef) -> (u8, u32) {
+    match b {
+        BlockRef::Cluster(c) => (0, c.0),
+        BlockRef::InputPad(n) => (1, n.0),
+        BlockRef::OutputPad(n) => (2, n.0),
+    }
+}
+
+fn write_block_ref(w: &mut ByteWriter, b: &BlockRef) {
+    let (tag, index) = block_sort_key(b);
+    w.u8(tag);
+    w.u32(index);
+}
+
+fn read_block_ref(r: &mut ByteReader) -> CodecResult<BlockRef> {
+    let tag = r.u8()?;
+    let index = r.u32()?;
+    Ok(match tag {
+        0 => BlockRef::Cluster(ClusterId(index)),
+        1 => BlockRef::InputPad(NetId(index)),
+        2 => BlockRef::OutputPad(NetId(index)),
+        other => return Err(CodecError(format!("bad block-ref tag {other}"))),
+    })
+}
+
+/// Serialize a device: the architecture's canonical JSON plus the grid.
+pub fn write_device(w: &mut ByteWriter, d: &Device) {
+    w.str(&d.arch.canonical_text());
+    w.usize(d.width);
+    w.usize(d.height);
+}
+
+/// Inverse of [`write_device`].
+pub fn read_device(r: &mut ByteReader) -> CodecResult<Device> {
+    let arch = Architecture::from_json(&r.str()?)
+        .map_err(|e| CodecError(format!("bad architecture JSON: {e}")))?;
+    Ok(Device {
+        arch,
+        width: r.usize()?,
+        height: r.usize()?,
+    })
+}
+
+/// Serialize a placement (device, sorted slot map, cost, placed nets).
+pub fn placement_to_bytes(p: &Placement) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    write_device(&mut w, &p.device);
+    let mut slots: Vec<(&BlockRef, &Slot)> = p.slots.iter().collect();
+    slots.sort_by_key(|(b, _)| block_sort_key(b));
+    w.seq(&slots, |w, (block, slot)| {
+        write_block_ref(w, block);
+        w.u32(slot.loc.x);
+        w.u32(slot.loc.y);
+        w.u32(slot.sub);
+    });
+    w.f64(p.cost);
+    w.seq(&p.nets, |w, net: &PlacedNet| {
+        w.u32(net.net.0);
+        w.seq(&net.terminals, write_block_ref);
+    });
+    w.into_bytes()
+}
+
+/// Inverse of [`placement_to_bytes`].
+pub fn placement_from_bytes(bytes: &[u8]) -> CodecResult<Placement> {
+    let mut r = ByteReader::new(bytes);
+    let device = read_device(&mut r)?;
+    let slots = r
+        .seq(|r| {
+            let block = read_block_ref(r)?;
+            let slot = Slot {
+                loc: GridLoc {
+                    x: r.u32()?,
+                    y: r.u32()?,
+                },
+                sub: r.u32()?,
+            };
+            Ok((block, slot))
+        })?
+        .into_iter()
+        .collect();
+    let cost = r.f64()?;
+    let nets = r.seq(|r| {
+        Ok(PlacedNet {
+            net: NetId(r.u32()?),
+            terminals: r.seq(read_block_ref)?,
+        })
+    })?;
+    r.finish()?;
+    Ok(Placement {
+        device,
+        slots,
+        cost,
+        nets,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn sample() -> Placement {
+        let device = Device::new(Architecture::paper_default(), 2, 2);
+        let mut slots = HashMap::new();
+        slots.insert(
+            BlockRef::Cluster(ClusterId(0)),
+            Slot {
+                loc: GridLoc::new(1, 1),
+                sub: 0,
+            },
+        );
+        slots.insert(
+            BlockRef::InputPad(NetId(3)),
+            Slot {
+                loc: GridLoc::new(0, 1),
+                sub: 1,
+            },
+        );
+        slots.insert(
+            BlockRef::OutputPad(NetId(4)),
+            Slot {
+                loc: GridLoc::new(3, 2),
+                sub: 0,
+            },
+        );
+        Placement {
+            device,
+            slots,
+            cost: 1.25,
+            nets: vec![PlacedNet {
+                net: NetId(3),
+                terminals: vec![
+                    BlockRef::InputPad(NetId(3)),
+                    BlockRef::Cluster(ClusterId(0)),
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn placement_round_trips_exactly() {
+        let p = sample();
+        let bytes = placement_to_bytes(&p);
+        let back = placement_from_bytes(&bytes).unwrap();
+        assert_eq!(placement_to_bytes(&back), bytes);
+        assert_eq!(back.slots, p.slots);
+        assert_eq!(back.cost, p.cost);
+        assert_eq!(back.device.arch, p.device.arch);
+        assert_eq!((back.device.width, back.device.height), (2, 2));
+    }
+
+    #[test]
+    fn encoding_is_stable_despite_hashmap_order() {
+        // Two structurally equal placements built in different insertion
+        // orders must produce identical bytes (sorted map entries).
+        let a = sample();
+        let mut b = sample();
+        let entries: Vec<_> = b.slots.drain().collect();
+        for (k, v) in entries.into_iter().rev() {
+            b.slots.insert(k, v);
+        }
+        assert_eq!(placement_to_bytes(&a), placement_to_bytes(&b));
+    }
+
+    #[test]
+    fn bad_tags_are_rejected() {
+        let mut bytes = placement_to_bytes(&sample());
+        // Corrupt the architecture JSON length so the decode fails cleanly.
+        bytes[0] ^= 0xff;
+        assert!(placement_from_bytes(&bytes).is_err());
+    }
+}

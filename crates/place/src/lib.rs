@@ -13,9 +13,11 @@
 //!   chosen from the acceptance rate, and a shrinking move-range limit —
 //!   VPR's adaptive schedule.
 
+pub mod codec;
 pub mod cost;
 pub mod sa;
 
+pub use codec::{placement_from_bytes, placement_to_bytes};
 pub use cost::{net_terminals, PlacedNet};
 pub use sa::{place, PlaceOptions, Placement};
 

@@ -88,6 +88,32 @@ impl PowerReport {
             self.total() * mw
         )
     }
+
+    /// Exact binary form (IEEE-754 bit patterns, never float text) for
+    /// the flow server's durable artifact store.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = fpga_netlist::ByteWriter::new();
+        w.f64(self.logic_dynamic);
+        w.f64(self.routing_dynamic);
+        w.f64(self.clock_dynamic);
+        w.f64(self.short_circuit);
+        w.f64(self.leakage);
+        w.into_bytes()
+    }
+
+    /// Inverse of [`PowerReport::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> fpga_netlist::CodecResult<PowerReport> {
+        let mut r = fpga_netlist::ByteReader::new(bytes);
+        let report = PowerReport {
+            logic_dynamic: r.f64()?,
+            routing_dynamic: r.f64()?,
+            clock_dynamic: r.f64()?,
+            short_circuit: r.f64()?,
+            leakage: r.f64()?,
+        };
+        r.finish()?;
+        Ok(report)
+    }
 }
 
 /// Estimate power for a packed + routed design.

@@ -15,11 +15,13 @@
 //! `find_min_channel_width` runs the binary search VPR uses to report the
 //! minimum channel width a netlist needs on the architecture.
 
+pub mod codec;
 pub mod pathfinder;
 pub mod rrgraph;
 pub mod sta;
 pub mod timing;
 
+pub use codec::{route_result_from_bytes, route_result_to_bytes};
 pub use pathfinder::{find_min_channel_width, route, RouteOptions, RouteResult, RoutedNet};
 pub use rrgraph::{RrGraph, RrKind, RrNodeId};
 pub use sta::{analyze_paths, LogicDelays, StaResult};

@@ -12,12 +12,50 @@
 //! answers with a `retry_after_ms` hint; `flowc` retries on a fresh
 //! connection with jittered exponential backoff, never sooner than the
 //! hint (`--retries 1` disables this).
+//!
+//! Exit codes distinguish *where* a failure happened (see `--help`):
+//! scripts branch on them — retry a deploy on 3, file a bug on 4, raise
+//! the deadline on 5.
 
 use std::io::{self, Write};
 
 use fpga_flow::cli;
-use fpga_server::{compile_with_retry, FlowClient, RetryPolicy};
+use fpga_server::{compile_with_retry, CompileError, FlowClient, RetryPolicy};
 use serde_json::Value;
+
+/// Exit codes, the contract scripts rely on.
+const EXIT_USAGE: i32 = 2;
+/// Could not reach or talk to the daemon (connect/read/protocol).
+const EXIT_TRANSPORT: i32 = 3;
+/// The daemon answered and reported the compile failed or was refused.
+const EXIT_COMPILE: i32 = 4;
+/// The job's deadline elapsed before the flow finished.
+const EXIT_DEADLINE: i32 = 5;
+
+const HELP: &str = "\
+flowc — command-line client for flowd
+
+usage:
+  flowc [--tcp HOST:PORT | --unix PATH] compile <design.vhd|design.blif>
+        [--blif] [--seed N] [--effort F] [--width W] [--cycles N]
+        [--deadline MS] [--retries N] [-o design.bit] [--report report.json]
+  flowc [--tcp HOST:PORT | --unix PATH] stats | ping | shutdown
+  flowc --help | --version
+
+exit codes:
+  0  success
+  1  local error (unreadable input, unwritable output, ...)
+  2  usage error
+  3  transport failure: could not connect to flowd, or the connection
+     broke mid-stream (retryable — the daemon may just be restarting)
+  4  compile failed or was refused: the daemon answered and reported a
+     stage error, panic, lost worker, or rejection
+  5  deadline exceeded: the job's time budget elapsed mid-flow";
+
+fn fail(code: i32, msg: impl std::fmt::Display) -> ! {
+    eprintln!("flowc: {msg}");
+    std::process::exit(code);
+}
 
 fn try_connect(args: &cli::Args) -> io::Result<FlowClient> {
     if let Some(path) = args.options.get("unix") {
@@ -34,7 +72,7 @@ fn try_connect(args: &cli::Args) -> io::Result<FlowClient> {
 fn connect(args: &cli::Args) -> FlowClient {
     match try_connect(args) {
         Ok(c) => c,
-        Err(e) => cli::die("flowc", format!("cannot connect to flowd: {e}")),
+        Err(e) => fail(EXIT_TRANSPORT, format!("cannot connect to flowd: {e}")),
     }
 }
 
@@ -43,26 +81,31 @@ fn main() {
         "tcp", "unix", "seed", "effort", "width", "cycles", "deadline", "retries", "o", "report",
     ]);
     cli::handle_version("flowc", &args);
+    if args.flags.iter().any(|f| f == "help") {
+        println!("{HELP}");
+        return;
+    }
 
     let Some(cmd) = args.positionals.first().map(String::as_str) else {
         eprintln!("usage: flowc [--tcp HOST:PORT | --unix PATH] <compile|stats|ping|shutdown> ...");
-        std::process::exit(2);
+        eprintln!("       (see flowc --help for options and exit codes)");
+        std::process::exit(EXIT_USAGE);
     };
     match cmd {
         "ping" => match connect(&args).ping() {
             Ok(v) => println!("{v}"),
-            Err(e) => cli::die("flowc", e),
+            Err(e) => fail(EXIT_TRANSPORT, e),
         },
         "stats" => match connect(&args).stats() {
             Ok(v) => println!(
                 "{}",
                 serde_json::to_string_pretty(&v).expect("stats render")
             ),
-            Err(e) => cli::die("flowc", e),
+            Err(e) => fail(EXIT_TRANSPORT, e),
         },
         "shutdown" => match connect(&args).shutdown_server() {
             Ok(_) => println!("flowd acknowledged shutdown"),
-            Err(e) => cli::die("flowc", e),
+            Err(e) => fail(EXIT_TRANSPORT, e),
         },
         "compile" => compile(&args),
         other => cli::die("flowc", format!("unknown command '{other}'")),
@@ -72,7 +115,7 @@ fn main() {
 fn compile(args: &cli::Args) {
     let Some(path) = args.positionals.get(1) else {
         eprintln!("usage: flowc compile <design.vhd|design.blif> [--blif] [--seed N] ...");
-        std::process::exit(2);
+        std::process::exit(EXIT_USAGE);
     };
     let source = match std::fs::read_to_string(path) {
         Ok(s) => s,
@@ -132,7 +175,13 @@ fn compile(args: &cli::Args) {
         },
     ) {
         Ok(o) => o,
-        Err(e) => cli::die("flowc", e),
+        // The typed error decides the exit code; the message is the same
+        // either way.
+        Err(e @ CompileError::Io(_)) => fail(EXIT_TRANSPORT, e),
+        Err(e @ CompileError::TimedOut { .. }) => fail(EXIT_DEADLINE, e),
+        Err(e @ (CompileError::Failed { .. } | CompileError::Rejected { .. })) => {
+            fail(EXIT_COMPILE, e)
+        }
     };
     for ev in &outcome.stage_events {
         let stage = ev.get("stage").and_then(Value::as_str).unwrap_or("?");

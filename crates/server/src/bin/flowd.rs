@@ -7,8 +7,23 @@
 //! MS` drops silent connections, `--max-line BYTES` bounds request
 //! lines, `--max-conns N` caps concurrent connections, and
 //! `--retry-after MS` tunes the backoff hint sent with rejections.
+//!
+//! Durable cache knobs: `--cache-dir DIR` persists completed stage
+//! artifacts on disk so they survive restarts (and crashes),
+//! `--cache-budget-mb N` bounds that store with LRU eviction, and
+//! `--cache-entries N` caps the in-memory cache (evictees stay
+//! reachable on disk).
+//!
+//! Test-only: `--fault STAGE:K:ACTION[:ARG][,...]` injects a
+//! deterministic fault on a stage's K-th execution — `panic`, `kill`
+//! (dead worker), `fail:MSG`, or `sleep:MS`. Used by the crash-recovery
+//! harness (`scripts/crash.sh`) to stall a pipeline long enough to
+//! `kill -9` it; never set in production.
+
+use std::sync::Arc;
 
 use fpga_flow::cli;
+use fpga_flow::fault::{FaultAction, FaultPlan};
 use fpga_server::{Server, ServerConfig};
 
 fn parse_u64(args: &cli::Args, flag: &str) -> Option<u64> {
@@ -16,6 +31,38 @@ fn parse_u64(args: &cli::Args, flag: &str) -> Option<u64> {
         Ok(n) => n,
         Err(_) => cli::die("flowd", format!("bad --{flag} '{raw}'")),
     })
+}
+
+/// Parse a comma-separated fault spec, e.g.
+/// `route:1:sleep:5000,pack:2:panic`.
+fn parse_fault_plan(spec: &str) -> Result<FaultPlan, String> {
+    let mut plan = FaultPlan::new();
+    for rule in spec.split(',').filter(|s| !s.is_empty()) {
+        let mut parts = rule.splitn(3, ':');
+        let stage = parts
+            .next()
+            .filter(|s| !s.is_empty())
+            .ok_or_else(|| format!("missing stage in '{rule}'"))?;
+        let k: u64 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("bad execution count in '{rule}'"))?;
+        let action = match parts.next() {
+            Some("panic") => FaultAction::Panic,
+            Some("kill") => FaultAction::KillWorker,
+            Some(rest) => match rest.split_once(':') {
+                Some(("fail", msg)) => FaultAction::Fail(msg.to_string()),
+                Some(("sleep", ms)) => FaultAction::SleepMs(
+                    ms.parse()
+                        .map_err(|_| format!("bad sleep duration in '{rule}'"))?,
+                ),
+                _ => return Err(format!("unknown action in '{rule}'")),
+            },
+            None => return Err(format!("missing action in '{rule}'")),
+        };
+        plan = plan.on(stage, k, action);
+    }
+    Ok(plan)
 }
 
 fn main() {
@@ -29,6 +76,10 @@ fn main() {
         "max-line",
         "max-conns",
         "retry-after",
+        "cache-dir",
+        "cache-budget-mb",
+        "cache-entries",
+        "fault",
     ]);
     cli::handle_version("flowd", &args);
 
@@ -77,6 +128,27 @@ fn main() {
     if let Some(ms) = parse_u64(&args, "retry-after") {
         config.retry_after_ms = ms;
     }
+    if let Some(dir) = args.options.get("cache-dir") {
+        config.cache_dir = Some(dir.into());
+    }
+    if let Some(mb) = parse_u64(&args, "cache-budget-mb") {
+        if config.cache_dir.is_none() {
+            cli::die("flowd", "--cache-budget-mb needs --cache-dir");
+        }
+        config.cache_budget_mb = Some(mb);
+    }
+    if let Some(n) = parse_u64(&args, "cache-entries") {
+        if n == 0 {
+            cli::die("flowd", "bad --cache-entries '0'");
+        }
+        config.cache_entries = Some(n as usize);
+    }
+    if let Some(spec) = args.options.get("fault") {
+        match parse_fault_plan(spec) {
+            Ok(plan) => config.fault = Some(Arc::new(plan)),
+            Err(e) => cli::die("flowd", format!("bad --fault: {e}")),
+        }
+    }
 
     let server = match Server::start(config.clone()) {
         Ok(s) => s,
@@ -104,6 +176,22 @@ fn main() {
         config.max_line_bytes,
         config.max_connections
     );
+    match &config.cache_dir {
+        Some(dir) => eprintln!(
+            "flowd durable cache: {} (budget {}, memory cap {})",
+            dir.display(),
+            config
+                .cache_budget_mb
+                .map_or("unbounded".to_string(), |mb| format!("{mb} MiB")),
+            config
+                .cache_entries
+                .map_or("unbounded".to_string(), |n| format!("{n} entries")),
+        ),
+        None => eprintln!("flowd durable cache: off (memory only)"),
+    }
+    if config.fault.is_some() {
+        eprintln!("flowd FAULT INJECTION ACTIVE (test mode)");
+    }
     server.wait();
     eprintln!("flowd drained and stopped");
 }

@@ -155,10 +155,11 @@ pub fn write_line(w: &mut impl Write, v: &Value) -> io::Result<()> {
 /// Why [`read_line_limited`] could not produce a request.
 #[derive(Debug)]
 pub enum ReadLineError {
-    /// The line exceeded the byte limit. The reader stopped consuming at
-    /// `limit + 1` bytes, so a hostile or broken client cannot balloon
-    /// the daemon's memory; the connection must be dropped (the rest of
-    /// the oversized line has not been consumed).
+    /// The line exceeded the byte limit. At most `limit + 1` bytes were
+    /// ever buffered, so a hostile or broken client cannot balloon the
+    /// daemon's memory; the remainder of the line was *drained* (read
+    /// and discarded up to its newline), so the stream is still framed
+    /// and the connection can keep serving subsequent requests.
     TooLong { limit: usize },
     /// The line was not valid JSON.
     BadJson(String),
@@ -167,8 +168,32 @@ pub enum ReadLineError {
     Io(io::Error),
 }
 
-/// Read the next line as JSON, never buffering more than `limit` bytes.
-/// `Ok(None)` on clean EOF; blank lines are skipped.
+/// Discard the rest of the current line (through its newline, or EOF)
+/// without accumulating it: only the reader's internal buffer is used.
+fn drain_line(r: &mut impl BufRead) -> io::Result<()> {
+    loop {
+        let buf = r.fill_buf()?;
+        if buf.is_empty() {
+            return Ok(()); // EOF mid-line
+        }
+        match buf.iter().position(|&b| b == b'\n') {
+            Some(i) => {
+                r.consume(i + 1);
+                return Ok(());
+            }
+            None => {
+                let len = buf.len();
+                r.consume(len);
+            }
+        }
+    }
+}
+
+/// Read the next line as JSON, never buffering more than `limit + 1`
+/// bytes. `Ok(None)` on clean EOF; blank lines are skipped; a final line
+/// without a trailing newline still parses. An oversized line is drained
+/// to its newline before returning [`ReadLineError::TooLong`], so the
+/// next call reads the next request, not the tail of the rejected one.
 pub fn read_line_limited(
     r: &mut impl BufRead,
     limit: usize,
@@ -182,6 +207,9 @@ pub fn read_line_limited(
             return Ok(None);
         }
         if n > limit {
+            if !line.ends_with('\n') {
+                drain_line(r).map_err(ReadLineError::Io)?;
+            }
             return Err(ReadLineError::TooLong { limit });
         }
         if line.trim().is_empty() {
@@ -291,6 +319,66 @@ mod tests {
         let v = read_line_limited(&mut r, line.len()).unwrap().unwrap();
         assert_eq!(v["cmd"], serde_json::json!("ping"));
         assert!(read_line_limited(&mut r, line.len()).unwrap().is_none());
+        // One byte under the limit fails; the boundary is exact.
+        let mut r = std::io::BufReader::new(line.as_bytes());
+        assert!(matches!(
+            read_line_limited(&mut r, line.len() - 1),
+            Err(ReadLineError::TooLong { .. })
+        ));
+    }
+
+    #[test]
+    fn read_line_limited_handles_crlf() {
+        let input = "{\"cmd\":\"ping\"}\r\n{\"cmd\":\"stats\"}\r\n";
+        let mut r = std::io::BufReader::new(input.as_bytes());
+        let v = read_line_limited(&mut r, 64).unwrap().unwrap();
+        assert_eq!(v["cmd"], serde_json::json!("ping"));
+        let v = read_line_limited(&mut r, 64).unwrap().unwrap();
+        assert_eq!(v["cmd"], serde_json::json!("stats"));
+        assert!(read_line_limited(&mut r, 64).unwrap().is_none());
+    }
+
+    #[test]
+    fn read_line_limited_parses_final_line_without_newline() {
+        let input = "{\"cmd\":\"ping\"}"; // EOF mid-line
+        let mut r = std::io::BufReader::new(input.as_bytes());
+        let v = read_line_limited(&mut r, 64).unwrap().unwrap();
+        assert_eq!(v["cmd"], serde_json::json!("ping"));
+        assert!(read_line_limited(&mut r, 64).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_line_is_drained_and_the_next_request_still_parses() {
+        let input = format!(
+            "{{\"cmd\":\"compile\",\"source\":\"{}\"}}\n{{\"cmd\":\"ping\"}}\n",
+            "x".repeat(100_000)
+        );
+        // A tiny internal buffer forces drain_line through many refills.
+        let mut r = std::io::BufReader::with_capacity(16, input.as_bytes());
+        assert!(matches!(
+            read_line_limited(&mut r, 64),
+            Err(ReadLineError::TooLong { limit: 64 })
+        ));
+        let v = read_line_limited(&mut r, 64).unwrap().unwrap();
+        assert_eq!(v["cmd"], serde_json::json!("ping"));
+        assert!(read_line_limited(&mut r, 64).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_line_ending_within_the_probe_does_not_eat_the_next() {
+        // The line is limit+1 bytes *including* its newline: too long,
+        // but fully consumed by the probe read — the drain must not then
+        // swallow the following request.
+        let limit = 16;
+        let first = format!("{}\n", "y".repeat(limit)); // limit+1 bytes with \n
+        let input = format!("{first}{{\"cmd\":\"ping\"}}\n");
+        let mut r = std::io::BufReader::with_capacity(8, input.as_bytes());
+        assert!(matches!(
+            read_line_limited(&mut r, limit),
+            Err(ReadLineError::TooLong { .. })
+        ));
+        let v = read_line_limited(&mut r, limit).unwrap().unwrap();
+        assert_eq!(v["cmd"], serde_json::json!("ping"));
     }
 
     #[test]

@@ -30,7 +30,7 @@ use std::time::Duration;
 use std::{fmt, io};
 
 use fpga_flow::fault::{CancelToken, FaultPlan, KILL_WORKER_PANIC};
-use fpga_flow::{FlowCtx, StageCache};
+use fpga_flow::{DiskStore, FlowCtx, StageCache};
 use serde_json::Value;
 
 use crate::proto::{self, CompileRequest, ReadLineError, Request, SourceFormat};
@@ -66,6 +66,20 @@ pub struct ServerConfig {
     pub max_connections: usize,
     /// Backoff hint attached to `overloaded` and queue-full rejections.
     pub retry_after_ms: u64,
+    /// Durable stage-artifact store root. When set, completed stages
+    /// survive daemon restarts (and crashes): a fresh daemon pointed at
+    /// the same directory serves them as disk hits instead of
+    /// recomputing. `None` keeps the cache memory-only.
+    pub cache_dir: Option<PathBuf>,
+    /// Byte budget for the durable store, in mebibytes; beyond it the
+    /// least-recently-used entries are evicted. `None` means unbounded.
+    /// Ignored without `cache_dir`.
+    pub cache_budget_mb: Option<u64>,
+    /// Entry cap for the *in-memory* cache; beyond it the
+    /// least-recently-used entries are evicted from memory (they remain
+    /// reachable from the durable store when one is configured). `None`
+    /// means unbounded.
+    pub cache_entries: Option<usize>,
     /// Deterministic fault injection for tests: makes named stages
     /// panic/fail/stall on their K-th execution. Never set in
     /// production configs.
@@ -84,6 +98,9 @@ impl Default for ServerConfig {
             max_line_bytes: 8 * 1024 * 1024,
             max_connections: 256,
             retry_after_ms: 200,
+            cache_dir: None,
+            cache_budget_mb: None,
+            cache_entries: None,
             fault: None,
         }
     }
@@ -222,8 +239,17 @@ impl Server {
         }
         let workers = config.workers.max(1);
         let queue_capacity = config.queue_capacity.max(1);
+        let mut cache = StageCache::new();
+        if let Some(dir) = &config.cache_dir {
+            let budget = config.cache_budget_mb.map(|mb| mb * 1024 * 1024);
+            let store = DiskStore::open(dir, budget)?;
+            cache = cache.with_store(Arc::new(store));
+        }
+        if let Some(cap) = config.cache_entries {
+            cache = cache.with_capacity(cap);
+        }
         let shared = Arc::new(Shared {
-            cache: StageCache::new(),
+            cache,
             queue: JobQueue::new(queue_capacity),
             config,
             shutting_down: AtomicBool::new(false),
@@ -495,17 +521,22 @@ fn serve_connection<S: Read + Write + TryCloneStream>(
             Ok(Some(v)) => v,
             Ok(None) => return, // client hung up
             Err(ReadLineError::TooLong { limit }) => {
-                // The rest of the oversized line was never buffered;
-                // framing is lost, so answer and close.
-                let _ = proto::write_line(
+                // The oversized line was drained (never buffered beyond
+                // the limit), so framing is intact: answer and keep
+                // serving this connection.
+                if proto::write_line(
                     &mut writer,
                     &serde_json::json!({
                         "event": "error",
                         "kind": "oversized",
                         "message": format!("request line exceeds {limit} bytes"),
                     }),
-                );
-                return;
+                )
+                .is_err()
+                {
+                    return;
+                }
+                continue;
             }
             Err(ReadLineError::BadJson(message)) => {
                 let _ = proto::write_line(

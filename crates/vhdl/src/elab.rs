@@ -475,9 +475,16 @@ impl<'d> Elab<'d> {
                             Some(cexpr) => {
                                 let sel = self.eval_bit(cexpr, *line)?;
                                 // Bits written in either branch get a mux.
+                                // Sorted + deduped: HashMap order would make
+                                // mux cell/net numbering (and so the netlist's
+                                // canonical text, which stage cache keys hash)
+                                // vary run to run, and a bit in both envs
+                                // would get a second, orphaned mux.
                                 let mut merged = HashMap::new();
-                                let keys: Vec<NetId> =
+                                let mut keys: Vec<NetId> =
                                     branch_env.keys().chain(result.keys()).copied().collect();
+                                keys.sort_unstable_by_key(|n| n.0);
+                                keys.dedup();
                                 for q in keys {
                                     let tv = branch_env.get(&q).copied().unwrap_or(q);
                                     let fv = result.get(&q).copied().unwrap_or(q);

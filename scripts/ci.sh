@@ -17,4 +17,7 @@ cargo test -q --workspace
 echo "==> scripts/chaos.sh (fault-injection suites, pinned seed)"
 sh scripts/chaos.sh
 
+echo "==> scripts/crash.sh (SIGKILL recovery over the durable cache)"
+sh scripts/crash.sh
+
 echo "CI gate passed."

@@ -1,0 +1,139 @@
+//! Properties of the durable-store layer (`flow::artifact` +
+//! `flow::store`):
+//!
+//! 1. every staged artifact type round-trips through its canonical
+//!    bytes *exactly* — decode(encode(x)) re-encodes to the same bytes;
+//! 2. a single flipped payload byte is always detected: the store
+//!    quarantines the entry instead of serving it, at any flip offset.
+//!
+//! The artifacts come from real flow runs over random logic, so the
+//! encoders face realistic shapes (LUT cones, carry of FFs, multi-net
+//! clusters), not hand-picked minima.
+
+use std::fs;
+use std::path::PathBuf;
+
+use fpga_framework::circuits::{random_logic, RandomLogicParams};
+use fpga_framework::flow::stages::{GeneratedBitstream, RoutedDesign};
+use fpga_framework::flow::{run_netlist, Artifact, DiskStore, FlowOptions, LoadMiss, StageId};
+use proptest::prelude::*;
+
+/// Run the full flow over a small random netlist and return every
+/// staged artifact as its canonical byte form, tagged with its stage.
+fn staged_payloads(seed: u64, n_gates: usize) -> Vec<(StageId, &'static str, Vec<u8>)> {
+    let rtl = random_logic(&RandomLogicParams {
+        n_gates,
+        n_inputs: 6,
+        n_outputs: 4,
+        window: 12,
+        seed,
+        ..RandomLogicParams::default()
+    });
+    let art = run_netlist(rtl, &FlowOptions::default()).expect("flow over random logic");
+    let routed = RoutedDesign {
+        device: art.placement.device.clone(),
+        graph: art.graph,
+        routing: art.routing,
+        critical_nets: art.critical_nets,
+    };
+    let generated = GeneratedBitstream {
+        bitstream: art.bitstream,
+        bytes: art.bitstream_bytes,
+    };
+    vec![
+        (StageId::Synthesis, "netlist", art.rtl.to_bytes()),
+        (StageId::LutMap, "netlist", art.mapped.to_bytes()),
+        (StageId::Pack, "clustering", art.clustering.to_bytes()),
+        (StageId::Place, "placement", art.placement.to_bytes()),
+        (StageId::Route, "routed-design", routed.to_bytes()),
+        (StageId::Power, "power-report", art.power.to_bytes()),
+        (StageId::Bitstream, "bitstream", generated.to_bytes()),
+    ]
+}
+
+/// decode(encode(x)) must re-encode byte-identically (the types are not
+/// all `PartialEq`, but canonical bytes are a total fingerprint).
+fn assert_reencodes<T: Artifact>(bytes: &[u8]) {
+    let back = T::from_bytes(bytes).unwrap_or_else(|e| panic!("{} decodes: {e}", T::KIND));
+    assert_eq!(
+        back.to_bytes(),
+        bytes,
+        "{} round-trip is not the identity",
+        T::KIND
+    );
+}
+
+fn temp_store_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "ifdf-roundtrip-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Round-trip identity for every artifact type, across seeds.
+    #[test]
+    fn every_artifact_type_round_trips_exactly(seed in 0u64..1000, n_gates in 20usize..60) {
+        for (_, kind, bytes) in staged_payloads(seed, n_gates) {
+            match kind {
+                "netlist" => assert_reencodes::<fpga_framework::netlist::Netlist>(&bytes),
+                "clustering" => assert_reencodes::<fpga_framework::pack::Clustering>(&bytes),
+                "placement" => assert_reencodes::<fpga_framework::place::Placement>(&bytes),
+                "routed-design" => assert_reencodes::<RoutedDesign>(&bytes),
+                "power-report" => assert_reencodes::<fpga_framework::power::PowerReport>(&bytes),
+                "bitstream" => assert_reencodes::<GeneratedBitstream>(&bytes),
+                other => panic!("unknown kind {other}"),
+            }
+        }
+    }
+
+    /// A single flipped payload byte — any artifact, any offset, any
+    /// bit — is always caught by the store's digest check: the load
+    /// quarantines instead of serving, then reports the key absent.
+    #[test]
+    fn any_single_payload_byte_flip_is_detected(
+        seed in 0u64..1000,
+        offset_frac in 0.0f64..1.0,
+        bit in 0u32..8,
+    ) {
+        let dir = temp_store_dir("flip");
+        let store = DiskStore::open(&dir, None).expect("open store");
+        for (i, (stage, kind, bytes)) in staged_payloads(seed, 24).into_iter().enumerate() {
+            let key = format!("{:064x}", (seed as u128) << 8 | i as u128);
+            store.put(stage, &key, kind, "{}", &bytes).expect("persist");
+
+            // Flip one bit of the *payload* region (the tail of the
+            // entry file — everything before it is header).
+            let path = store.entry_path(&key);
+            let mut raw = fs::read(&path).expect("read entry");
+            let payload_start = raw.len() - bytes.len();
+            let offset = payload_start
+                + ((offset_frac * bytes.len() as f64) as usize).min(bytes.len() - 1);
+            raw[offset] ^= 1 << bit;
+            fs::write(&path, &raw).expect("rewrite entry");
+
+            match store.load(stage, &key, kind) {
+                Err(LoadMiss::Quarantined(reason)) => {
+                    prop_assert!(
+                        reason.contains("digest"),
+                        "flip at {offset} bit {bit} of {kind}: {reason}"
+                    );
+                }
+                Ok(_) => return Err(TestCaseError::fail(format!(
+                    "flip at {offset} bit {bit} of {kind} went undetected"
+                ))),
+                Err(LoadMiss::Absent) => return Err(TestCaseError::fail(format!(
+                    "corrupt {kind} entry vanished instead of quarantining"
+                ))),
+            }
+            prop_assert_eq!(store.load(stage, &key, kind), Err(LoadMiss::Absent));
+        }
+        prop_assert_eq!(store.counters().quarantined, 7);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
