@@ -81,14 +81,46 @@ impl StageId {
     }
 }
 
+/// How a cache lookup resolved — the attribution every trace span and
+/// metrics counter hangs off.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Miss everywhere; the stage ran its computation.
+    Computed,
+    /// Served from the in-memory slot map (possibly after waiting out
+    /// another job's in-flight computation).
+    MemoryHit,
+    /// Served from the durable [`DiskStore`] after a memory miss.
+    DiskHit,
+}
+
+impl CacheOutcome {
+    /// Any kind of hit: the job skipped the computation.
+    pub fn is_hit(self) -> bool {
+        !matches!(self, CacheOutcome::Computed)
+    }
+
+    /// Short stable label used in metrics and trace attribution.
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheOutcome::Computed => "computed",
+            CacheOutcome::MemoryHit => "memory-hit",
+            CacheOutcome::DiskHit => "disk-hit",
+        }
+    }
+}
+
 /// Per-stage counters. `misses` counts actual computations, `hits` counts
 /// lookups served without computing — from a ready entry, from waiting
 /// out another job's in-flight computation, or from a verified disk
-/// entry. `wall_nanos` accumulates compute time spent on misses.
+/// entry. `disk_hits` attributes the subset of `hits` that came from the
+/// durable store (memory hits = `hits - disk_hits`). `wall_nanos`
+/// accumulates compute time spent on misses.
 #[derive(Default)]
 pub struct StageCounters {
     pub hits: AtomicU64,
     pub misses: AtomicU64,
+    pub disk_hits: AtomicU64,
     pub wall_nanos: AtomicU64,
 }
 
@@ -98,7 +130,15 @@ pub struct StageCounters {
 pub struct StageStats {
     pub hits: u64,
     pub misses: u64,
+    pub disk_hits: u64,
     pub wall_nanos: u64,
+}
+
+impl StageStats {
+    /// Hits served straight from the in-memory slot map.
+    pub fn memory_hits(&self) -> u64 {
+        self.hits - self.disk_hits
+    }
 }
 
 struct ReadyEntry {
@@ -285,7 +325,7 @@ impl StageCache {
 
     /// Look up `key`; on a miss, run `compute` (once, even under
     /// contention) and remember its output. Returns the typed output, the
-    /// stage metrics, and whether this lookup was a hit.
+    /// stage metrics, and the [`CacheOutcome`] attribution of the lookup.
     ///
     /// Failed computations are not cached: the in-flight marker is
     /// removed and the error propagates, so a later retry recomputes.
@@ -297,9 +337,11 @@ impl StageCache {
         stage: StageId,
         key: &str,
         compute: impl FnOnce() -> Result<(T, Value)>,
-    ) -> Result<(Arc<T>, Value, bool)> {
+    ) -> Result<(Arc<T>, Value, CacheOutcome)> {
         let guard = match self.claim(stage, key) {
-            Claim::Hit(value, metrics) => return Ok((Self::downcast(value), metrics, true)),
+            Claim::Hit(value, metrics) => {
+                return Ok((Self::downcast(value), metrics, CacheOutcome::MemoryHit))
+            }
             Claim::Miss(guard) => guard,
         };
         self.compute_into(stage, guard, compute)
@@ -317,9 +359,11 @@ impl StageCache {
         stage: StageId,
         key: &str,
         compute: impl FnOnce() -> Result<(T, Value)>,
-    ) -> Result<(Arc<T>, Value, bool)> {
+    ) -> Result<(Arc<T>, Value, CacheOutcome)> {
         let guard = match self.claim(stage, key) {
-            Claim::Hit(value, metrics) => return Ok((Self::downcast(value), metrics, true)),
+            Claim::Hit(value, metrics) => {
+                return Ok((Self::downcast(value), metrics, CacheOutcome::MemoryHit))
+            }
             Claim::Miss(guard) => guard,
         };
 
@@ -334,10 +378,10 @@ impl StageCache {
                             Arc::clone(&value) as Arc<dyn Any + Send + Sync>,
                             metrics.clone(),
                         );
-                        self.counters[stage.index()]
-                            .hits
-                            .fetch_add(1, Ordering::Relaxed);
-                        return Ok((value, metrics, true));
+                        let c = &self.counters[stage.index()];
+                        c.hits.fetch_add(1, Ordering::Relaxed);
+                        c.disk_hits.fetch_add(1, Ordering::Relaxed);
+                        return Ok((value, metrics, CacheOutcome::DiskHit));
                     }
                     Err(e) => {
                         // Structurally sound on disk but semantically
@@ -363,7 +407,7 @@ impl StageCache {
         stage: StageId,
         guard: ClaimGuard<'_>,
         compute: impl FnOnce() -> Result<(T, Value)>,
-    ) -> Result<(Arc<T>, Value, bool)> {
+    ) -> Result<(Arc<T>, Value, CacheOutcome)> {
         let t = Instant::now();
         // On `Err` (or panic) the guard drops here: marker removed,
         // waiters woken, nothing counted.
@@ -378,7 +422,7 @@ impl StageCache {
         let c = &self.counters[stage.index()];
         c.misses.fetch_add(1, Ordering::Relaxed);
         c.wall_nanos.fetch_add(elapsed, Ordering::Relaxed);
-        Ok((value, metrics, false))
+        Ok((value, metrics, CacheOutcome::Computed))
     }
 
     /// Snapshot one stage's counters.
@@ -387,6 +431,7 @@ impl StageCache {
         StageStats {
             hits: c.hits.load(Ordering::Relaxed),
             misses: c.misses.load(Ordering::Relaxed),
+            disk_hits: c.disk_hits.load(Ordering::Relaxed),
             wall_nanos: c.wall_nanos.load(Ordering::Relaxed),
         }
     }
@@ -433,6 +478,7 @@ impl StageCache {
                 serde_json::json!({
                     "hits": s.hits,
                     "misses": s.misses,
+                    "disk_hits": s.disk_hits,
                     "wall_ms": s.wall_nanos / 1_000_000,
                 }),
             );
@@ -477,7 +523,7 @@ mod tests {
         let key = stage_key(StageId::Pack, &["k"]);
         let computed = AtomicUsize::new(0);
         for round in 0..3 {
-            let (v, m, hit) = cache
+            let (v, m, outcome) = cache
                 .get_or_compute(StageId::Pack, &key, || {
                     computed.fetch_add(1, Ordering::SeqCst);
                     Ok((41usize + 1, serde_json::json!({"n": 7})))
@@ -485,7 +531,7 @@ mod tests {
                 .unwrap();
             assert_eq!(*v, 42);
             assert_eq!(m["n"], serde_json::json!(7u64));
-            assert_eq!(hit, round > 0);
+            assert_eq!(outcome.is_hit(), round > 0);
         }
         assert_eq!(computed.load(Ordering::SeqCst), 1);
         let s = cache.stats(StageId::Pack);
@@ -504,10 +550,10 @@ mod tests {
         });
         assert!(r.is_err());
         assert_eq!(cache.len(), 0);
-        let (v, _, hit) = cache
+        let (v, _, outcome) = cache
             .get_or_compute(StageId::Route, &key, || Ok((9usize, Value::Null)))
             .unwrap();
-        assert_eq!((*v, hit), (9, false));
+        assert_eq!((*v, outcome), (9, CacheOutcome::Computed));
     }
 
     #[test]
@@ -524,10 +570,10 @@ mod tests {
         assert!(panicked.join().is_err(), "panic propagates to the caller");
         // The in-flight marker is gone: a later lookup computes fresh
         // instead of waiting forever.
-        let (v, _, hit) = cache
+        let (v, _, outcome) = cache
             .get_or_compute(StageId::Pack, &key, || Ok((11usize, Value::Null)))
             .unwrap();
-        assert_eq!((*v, hit), (11, false));
+        assert_eq!((*v, outcome), (11, CacheOutcome::Computed));
         let s = cache.stats(StageId::Pack);
         assert_eq!((s.misses, s.hits), (1, 0), "the panic counted nothing");
     }
@@ -589,24 +635,24 @@ mod tests {
             .get_or_compute(StageId::Pack, &keys[1], || Ok((1usize, Value::Null)))
             .unwrap();
         // Touch keys[0] so keys[1] is the LRU victim when keys[2] lands.
-        let (_, _, hit) = cache
+        let (_, _, outcome) = cache
             .get_or_compute(StageId::Pack, &keys[0], || Ok((99usize, Value::Null)))
             .unwrap();
-        assert!(hit);
+        assert!(outcome.is_hit());
         cache
             .get_or_compute(StageId::Pack, &keys[2], || Ok((2usize, Value::Null)))
             .unwrap();
 
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.memory_evicted(), 1);
-        let (_, _, hit0) = cache
+        let (_, _, o0) = cache
             .get_or_compute(StageId::Pack, &keys[0], || Ok((0usize, Value::Null)))
             .unwrap();
-        assert!(hit0, "recently used entry survived");
-        let (_, _, hit1) = cache
+        assert!(o0.is_hit(), "recently used entry survived");
+        let (_, _, o1) = cache
             .get_or_compute(StageId::Pack, &keys[1], || Ok((1usize, Value::Null)))
             .unwrap();
-        assert!(!hit1, "LRU entry was evicted");
+        assert!(!o1.is_hit(), "LRU entry was evicted");
     }
 
     #[test]
@@ -622,29 +668,32 @@ mod tests {
 
         // First life: compute once, persisting to disk.
         let cache = StageCache::new().with_store(Arc::clone(&store));
-        let (_, _, hit) = cache
+        let (_, _, outcome) = cache
             .get_or_compute_artifact(StageId::Verify, &key, || {
                 Ok(((), serde_json::json!({"ok": true})))
             })
             .unwrap();
-        assert!(!hit);
+        assert_eq!(outcome, CacheOutcome::Computed);
 
         // Second life: fresh memory, same store — served from disk, no
-        // recompute, counted as a hit.
+        // recompute, counted as a hit attributed to the disk tier.
         let cache = StageCache::new().with_store(Arc::clone(&store));
-        let (_, metrics, hit) = cache
+        let (_, metrics, outcome) = cache
             .get_or_compute_artifact::<()>(StageId::Verify, &key, || panic!("must not recompute"))
             .unwrap();
-        assert!(hit);
+        assert_eq!(outcome, CacheOutcome::DiskHit);
         assert_eq!(metrics["ok"], serde_json::json!(true));
-        assert_eq!(cache.stats(StageId::Verify).hits, 1);
+        let s = cache.stats(StageId::Verify);
+        assert_eq!((s.hits, s.disk_hits, s.memory_hits()), (1, 1, 0));
         assert_eq!(store.counters().disk_hits, 1);
 
         // Third lookup on the same cache: plain memory hit, disk untouched.
-        let (_, _, hit) = cache
+        let (_, _, outcome) = cache
             .get_or_compute_artifact::<()>(StageId::Verify, &key, || panic!("must not recompute"))
             .unwrap();
-        assert!(hit);
+        assert_eq!(outcome, CacheOutcome::MemoryHit);
+        let s = cache.stats(StageId::Verify);
+        assert_eq!((s.hits, s.disk_hits, s.memory_hits()), (2, 1, 1));
         assert_eq!(store.counters().disk_hits, 1);
         std::fs::remove_dir_all(&root).unwrap();
     }
@@ -666,10 +715,14 @@ mod tests {
             .unwrap();
 
         let cache = StageCache::new().with_store(Arc::clone(&store));
-        let (_, _, hit) = cache
+        let (_, _, outcome) = cache
             .get_or_compute_artifact(StageId::Verify, &key, || Ok(((), Value::Null)))
             .unwrap();
-        assert!(!hit, "rotten entry recomputed, job unharmed");
+        assert_eq!(
+            outcome,
+            CacheOutcome::Computed,
+            "rotten entry recomputed, job unharmed"
+        );
         assert_eq!(store.counters().quarantined, 1);
         std::fs::remove_dir_all(&root).unwrap();
     }

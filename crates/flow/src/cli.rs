@@ -90,3 +90,89 @@ pub fn handle_version(tool: &str, args: &Args) {
         std::process::exit(0);
     }
 }
+
+/// Parse a human duration into milliseconds. Accepts a bare number
+/// (milliseconds) or a number with an `ms`/`s`/`m`/`h` suffix:
+/// `"250"` = `"250ms"`, `"30s"` = 30 000, `"5m"`, `"1h"`. Fractions are
+/// allowed with suffixes (`"1.5s"` = 1500). Both `flowd` and `flowc` use
+/// this for every deadline/timeout flag, so the two binaries accept the
+/// same spellings.
+pub fn parse_duration_ms(text: &str) -> Result<u64, String> {
+    let text = text.trim();
+    let (number, scale) = if let Some(n) = text.strip_suffix("ms") {
+        (n, 1.0)
+    } else if let Some(n) = text.strip_suffix('s') {
+        (n, 1e3)
+    } else if let Some(n) = text.strip_suffix('m') {
+        (n, 60e3)
+    } else if let Some(n) = text.strip_suffix('h') {
+        (n, 3600e3)
+    } else {
+        (text, 1.0)
+    };
+    let value: f64 = number
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad duration '{text}' (try 250ms, 30s, 5m, 1h)"))?;
+    if !value.is_finite() || value < 0.0 || value > u64::MAX as f64 / 3600e3 {
+        return Err(format!("duration '{text}' out of range"));
+    }
+    Ok((value * scale).round() as u64)
+}
+
+/// Parse a human size into bytes. Accepts a bare number (bytes) or a
+/// number with a `k`/`m`/`g` (or `kb`/`mb`/`gb`) suffix, powers of 1024:
+/// `"512"`, `"64k"`, `"8m"`, `"2gb"`. Shared by `flowd` and `flowc` for
+/// every size flag.
+pub fn parse_size_bytes(text: &str) -> Result<u64, String> {
+    let lower = text.trim().to_ascii_lowercase();
+    let stripped = lower.strip_suffix('b').unwrap_or(&lower);
+    let (number, scale) = if let Some(n) = stripped.strip_suffix('k') {
+        (n, 1u64 << 10)
+    } else if let Some(n) = stripped.strip_suffix('m') {
+        (n, 1u64 << 20)
+    } else if let Some(n) = stripped.strip_suffix('g') {
+        (n, 1u64 << 30)
+    } else {
+        (stripped, 1u64)
+    };
+    let value: f64 = number
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad size '{text}' (try 512, 64k, 8m, 2g)"))?;
+    if !value.is_finite() || value < 0.0 || value * scale as f64 > u64::MAX as f64 {
+        return Err(format!("size '{text}' out of range"));
+    }
+    Ok((value * scale as f64).round() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durations_accept_bare_ms_and_suffixes() {
+        assert_eq!(parse_duration_ms("250"), Ok(250));
+        assert_eq!(parse_duration_ms("250ms"), Ok(250));
+        assert_eq!(parse_duration_ms("30s"), Ok(30_000));
+        assert_eq!(parse_duration_ms("1.5s"), Ok(1_500));
+        assert_eq!(parse_duration_ms("5m"), Ok(300_000));
+        assert_eq!(parse_duration_ms("1h"), Ok(3_600_000));
+        assert_eq!(parse_duration_ms(" 10s "), Ok(10_000));
+        assert!(parse_duration_ms("fast").is_err());
+        assert!(parse_duration_ms("-3s").is_err());
+        assert!(parse_duration_ms("").is_err());
+    }
+
+    #[test]
+    fn sizes_accept_bare_bytes_and_binary_suffixes() {
+        assert_eq!(parse_size_bytes("512"), Ok(512));
+        assert_eq!(parse_size_bytes("64k"), Ok(64 * 1024));
+        assert_eq!(parse_size_bytes("64kb"), Ok(64 * 1024));
+        assert_eq!(parse_size_bytes("8m"), Ok(8 * 1024 * 1024));
+        assert_eq!(parse_size_bytes("2G"), Ok(2 * 1024 * 1024 * 1024));
+        assert_eq!(parse_size_bytes("1.5k"), Ok(1536));
+        assert!(parse_size_bytes("big").is_err());
+        assert!(parse_size_bytes("-1m").is_err());
+    }
+}

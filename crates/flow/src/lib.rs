@@ -29,16 +29,20 @@ pub mod report;
 pub mod stages;
 pub mod store;
 pub mod svg;
+pub mod trace;
 
 pub use artifact::Artifact;
-pub use cache::{StageCache, StageId, StageStats};
+pub use cache::{CacheOutcome, StageCache, StageId, StageStats};
 pub use fault::{CancelReason, CancelToken, FaultAction, FaultPlan, FaultRule, Gate};
 pub use pipeline::{
     run_blif, run_blif_ctx, run_netlist, run_netlist_ctx, run_vhdl, run_vhdl_ctx, FlowArtifacts,
-    FlowCtx, FlowOptions,
+    FlowCtx, FlowCtxBuilder, FlowOptions, FlowOptionsBuilder,
 };
 pub use report::{FlowReport, StageReport};
 pub use store::{DiskStore, LoadMiss, StoreCounters};
+pub use trace::{
+    render_waterfall, spans_from_value, SpanId, SpanOutcome, TraceEvent, TraceLog, TraceSpan,
+};
 
 /// Single source of truth for the toolset's version, folded into every
 /// stage-cache key (a flow upgrade invalidates all cached stages) and

@@ -21,6 +21,7 @@ use crate::cache::{StageCache, StageId};
 use crate::fault::{CancelReason, CancelToken, FaultPlan};
 use crate::report::{FlowReport, StageReport};
 use crate::stages::{self, Staged};
+use crate::trace::TraceLog;
 use crate::{FlowError, Result};
 
 /// Flow configuration.
@@ -50,7 +51,64 @@ impl Default for FlowOptions {
     }
 }
 
+impl FlowOptions {
+    /// Start from the defaults and override selectively:
+    /// `FlowOptions::builder().place_seed(7).channel_width(14).build()`.
+    pub fn builder() -> FlowOptionsBuilder {
+        FlowOptionsBuilder::default()
+    }
+}
+
+/// Builder for [`FlowOptions`]; every setter overrides one default.
+#[derive(Clone, Debug, Default)]
+pub struct FlowOptionsBuilder {
+    opts: FlowOptions,
+}
+
+impl FlowOptionsBuilder {
+    pub fn arch(mut self, arch: Architecture) -> Self {
+        self.opts.arch = arch;
+        self
+    }
+
+    pub fn place_seed(mut self, seed: u64) -> Self {
+        self.opts.place_seed = seed;
+        self
+    }
+
+    pub fn place_effort(mut self, inner_num: f64) -> Self {
+        self.opts.place_effort = inner_num;
+        self
+    }
+
+    /// Fix the routing channel width (the default binary-searches the
+    /// minimum).
+    pub fn channel_width(mut self, width: usize) -> Self {
+        self.opts.channel_width = Some(width);
+        self
+    }
+
+    pub fn power(mut self, power: PowerOptions) -> Self {
+        self.opts.power = power;
+        self
+    }
+
+    /// Random-simulation cycles for bitstream verification (0 disables
+    /// the verify stage).
+    pub fn verify_cycles(mut self, cycles: usize) -> Self {
+        self.opts.verify_cycles = cycles;
+        self
+    }
+
+    pub fn build(self) -> FlowOptions {
+        self.opts
+    }
+}
+
 /// Per-run context: options plus the optional cross-job machinery.
+/// Construct through [`FlowCtx::builder`] (the fields stay public for
+/// pattern matching, but builder construction is the supported path —
+/// new observability hooks land as new builder setters, not breakage).
 #[derive(Clone, Copy, Default)]
 pub struct FlowCtx<'a> {
     /// Content-addressed stage cache shared across jobs, or `None` to
@@ -65,14 +123,19 @@ pub struct FlowCtx<'a> {
     /// Deterministic fault injection for tests; fires in the stage gate,
     /// before the stage's cache lookup.
     pub fault: Option<&'a FaultPlan>,
+    /// Per-job trace log: every stage step records one span into it
+    /// (start/finish, cache-vs-compute attribution, faults).
+    pub trace: Option<&'a TraceLog>,
 }
 
 impl<'a> FlowCtx<'a> {
+    /// `FlowCtx::builder().cache(&cache).cancel(&token).build()`.
+    pub fn builder() -> FlowCtxBuilder<'a> {
+        FlowCtxBuilder::default()
+    }
+
     pub fn with_cache(cache: &'a StageCache) -> Self {
-        FlowCtx {
-            cache: Some(cache),
-            ..FlowCtx::default()
-        }
+        FlowCtx::builder().cache(cache).build()
     }
 
     /// The gate every stage step passes before doing work: observe
@@ -95,6 +158,43 @@ impl<'a> FlowCtx<'a> {
             plan.before_stage(stage.name(), self.cancel)?;
         }
         Ok(())
+    }
+}
+
+/// Builder for [`FlowCtx`]; each setter attaches one borrowed hook.
+#[derive(Clone, Copy, Default)]
+pub struct FlowCtxBuilder<'a> {
+    ctx: FlowCtx<'a>,
+}
+
+impl<'a> FlowCtxBuilder<'a> {
+    pub fn cache(mut self, cache: &'a StageCache) -> Self {
+        self.ctx.cache = Some(cache);
+        self
+    }
+
+    pub fn observer(mut self, observer: &'a (dyn Fn(&StageReport) + Send + Sync)) -> Self {
+        self.ctx.observer = Some(observer);
+        self
+    }
+
+    pub fn cancel(mut self, cancel: &'a CancelToken) -> Self {
+        self.ctx.cancel = Some(cancel);
+        self
+    }
+
+    pub fn fault(mut self, fault: &'a FaultPlan) -> Self {
+        self.ctx.fault = Some(fault);
+        self
+    }
+
+    pub fn trace(mut self, trace: &'a TraceLog) -> Self {
+        self.ctx.trace = Some(trace);
+        self
+    }
+
+    pub fn build(self) -> FlowCtx<'a> {
+        self.ctx
     }
 }
 
@@ -169,8 +269,8 @@ pub fn run_netlist_ctx(rtl: Netlist, opts: &FlowOptions, ctx: FlowCtx) -> Result
     run_from_rtl(stages::adopt_rtl(rtl), opts, ctx, report)
 }
 
-/// Append a stage's report entry (tagging cache hits) and notify the
-/// observer.
+/// Append a stage's report entry (tagging cache hits and their tier) and
+/// notify the observer.
 fn record<T>(
     report: &mut FlowReport,
     ctx: &FlowCtx,
@@ -179,15 +279,19 @@ fn record<T>(
     started: Instant,
 ) {
     let mut metrics = staged.metrics.clone();
-    if staged.cache_hit {
+    if staged.cache_hit() {
         if let serde_json::Value::Object(m) = &mut metrics {
             m.insert(
                 "cache".to_string(),
                 serde_json::Value::String("hit".to_string()),
             );
+            m.insert(
+                "cache_tier".to_string(),
+                serde_json::Value::String(staged.outcome.label().to_string()),
+            );
         }
     }
-    report.push(name, metrics, started);
+    report.push_with_id(Some(staged.stage.name()), name, metrics, started);
     if let Some(observe) = ctx.observer {
         observe(report.stages.last().expect("just pushed"));
     }
@@ -282,10 +386,7 @@ mod tests {
     #[test]
     fn netlist_flow_with_fixed_channel() {
         let nl = fpga_circuits::ripple_adder(4);
-        let opts = FlowOptions {
-            channel_width: Some(14),
-            ..FlowOptions::default()
-        };
+        let opts = FlowOptions::builder().channel_width(14).build();
         let art = run_netlist(nl, &opts).unwrap();
         assert_eq!(art.routing.channel_width, 14);
     }
@@ -327,10 +428,7 @@ mod tests {
     fn cancelled_token_stops_at_the_next_stage_boundary() {
         let cancel = CancelToken::new();
         cancel.cancel();
-        let ctx = FlowCtx {
-            cancel: Some(&cancel),
-            ..FlowCtx::default()
-        };
+        let ctx = FlowCtx::builder().cancel(&cancel).build();
         let src = fpga_circuits::vhdl_counter(3);
         let err = expect_err(run_vhdl_ctx(&src, &FlowOptions::default(), ctx));
         assert_eq!(err.stage, "cancelled");
@@ -346,10 +444,7 @@ mod tests {
     #[test]
     fn expired_deadline_reports_the_blocked_stage() {
         let cancel = CancelToken::with_deadline(std::time::Duration::from_millis(0));
-        let ctx = FlowCtx {
-            cancel: Some(&cancel),
-            ..FlowCtx::default()
-        };
+        let ctx = FlowCtx::builder().cancel(&cancel).build();
         let src = fpga_circuits::vhdl_counter(3);
         let err = expect_err(run_vhdl_ctx(&src, &FlowOptions::default(), ctx));
         assert_eq!(err.stage, "cancelled");
@@ -365,11 +460,7 @@ mod tests {
             1,
             crate::fault::FaultAction::Fail("chaos".into()),
         );
-        let ctx = FlowCtx {
-            cache: Some(&cache),
-            fault: Some(&plan),
-            ..FlowCtx::default()
-        };
+        let ctx = FlowCtx::builder().cache(&cache).fault(&plan).build();
         let src = fpga_circuits::vhdl_counter(3);
         let err = expect_err(run_vhdl_ctx(&src, &FlowOptions::default(), ctx));
         assert_eq!(err.stage, "fault");
@@ -389,11 +480,7 @@ mod tests {
             crate::fault::FaultPlan::new().on("lut_map", 1, crate::fault::FaultAction::Panic);
         let src = fpga_circuits::vhdl_counter(3);
         let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let ctx = FlowCtx {
-                cache: Some(&cache),
-                fault: Some(&plan),
-                ..FlowCtx::default()
-            };
+            let ctx = FlowCtx::builder().cache(&cache).fault(&plan).build();
             run_vhdl_ctx(&src, &FlowOptions::default(), ctx)
         }));
         assert!(panicked.is_err());
@@ -403,14 +490,85 @@ mod tests {
     }
 
     #[test]
+    fn every_entered_stage_emits_one_span_pair_even_under_fault() {
+        use crate::trace::{SpanOutcome, TraceLog};
+
+        let cache = StageCache::new();
+        let plan = crate::fault::FaultPlan::new().on(
+            "place",
+            1,
+            crate::fault::FaultAction::Fail("injected".into()),
+        );
+        let src = fpga_circuits::vhdl_counter(3);
+
+        // Faulted run: every entered stage — including the one the fault
+        // stopped — closes its span exactly once.
+        let log = TraceLog::new();
+        let ctx = FlowCtx::builder()
+            .cache(&cache)
+            .fault(&plan)
+            .trace(&log)
+            .build();
+        expect_err(run_vhdl_ctx(&src, &FlowOptions::default(), ctx));
+        let spans = log.spans();
+        let names: Vec<&str> = spans.iter().map(|s| s.stage.as_str()).collect();
+        assert_eq!(names, ["synthesis", "lut_map", "pack", "place"]);
+        for s in &spans {
+            assert!(s.end_us.is_some(), "span '{}' closed", s.stage);
+            let starts = s.events.iter().filter(|e| e.kind == "start").count();
+            let finishes = s.events.iter().filter(|e| e.kind == "finish").count();
+            assert_eq!((starts, finishes), (1, 1), "stage '{}'", s.stage);
+        }
+        assert_eq!(spans[3].outcome, SpanOutcome::Fault);
+        assert!(spans[3].detail.as_deref().unwrap().contains("injected"));
+
+        // Clean retry on the same cache: all 8 stages span-paired, the
+        // fault-survivor stages attributed to the memory cache.
+        let log = TraceLog::new();
+        let ctx = FlowCtx::builder().cache(&cache).trace(&log).build();
+        run_vhdl_ctx(&src, &FlowOptions::default(), ctx).unwrap();
+        let spans = log.spans();
+        assert_eq!(spans.len(), 8);
+        for (i, s) in spans.iter().enumerate() {
+            assert!(s.end_us.is_some(), "span '{}' closed", s.stage);
+            let starts = s.events.iter().filter(|e| e.kind == "start").count();
+            let finishes = s.events.iter().filter(|e| e.kind == "finish").count();
+            assert_eq!((starts, finishes), (1, 1), "stage '{}'", s.stage);
+            let expected = if i < 3 {
+                SpanOutcome::MemoryHit // completed before the fault
+            } else {
+                SpanOutcome::Computed
+            };
+            assert_eq!(s.outcome, expected, "stage '{}'", s.stage);
+        }
+    }
+
+    #[test]
+    fn builders_compose_options_and_ctx() {
+        let opts = FlowOptions::builder()
+            .place_seed(9)
+            .place_effort(1.0)
+            .channel_width(12)
+            .verify_cycles(0)
+            .build();
+        assert_eq!(opts.place_seed, 9);
+        assert_eq!(opts.channel_width, Some(12));
+        assert_eq!(opts.verify_cycles, 0);
+
+        let cache = StageCache::new();
+        let log = crate::trace::TraceLog::new();
+        let ctx = FlowCtx::builder().cache(&cache).trace(&log).build();
+        assert!(ctx.cache.is_some());
+        assert!(ctx.trace.is_some());
+        assert!(ctx.cancel.is_none());
+    }
+
+    #[test]
     fn cache_shares_backend_stages_across_seeds() {
         let cache = StageCache::new();
         let src = fpga_circuits::vhdl_counter(3);
         let a = FlowOptions::default();
-        let b = FlowOptions {
-            place_seed: 99,
-            ..FlowOptions::default()
-        };
+        let b = FlowOptions::builder().place_seed(99).build();
         run_vhdl_ctx(&src, &a, FlowCtx::with_cache(&cache)).unwrap();
         run_vhdl_ctx(&src, &b, FlowCtx::with_cache(&cache)).unwrap();
         // Front end (synth/map/pack) is seed-independent: shared.

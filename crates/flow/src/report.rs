@@ -6,6 +6,11 @@ use serde::{Deserialize, Serialize};
 /// One stage's report.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct StageReport {
+    /// Short stable stage id ([`StageId::name`](crate::StageId::name)),
+    /// the key metrics registries and traces aggregate on. `None` for
+    /// reports produced before ids existed (or by ad-hoc pushes).
+    pub id: Option<String>,
+    /// Human-readable stage title ("synthesis (VHDL Parser + DIVINER)").
     pub stage: String,
     pub ok: bool,
     /// Stage-specific metrics (cells, LUTs, wirelength, ...).
@@ -22,7 +27,20 @@ pub struct FlowReport {
 
 impl FlowReport {
     pub fn push(&mut self, stage: &str, metrics: serde_json::Value, started: std::time::Instant) {
+        self.push_with_id(None, stage, metrics, started);
+    }
+
+    /// [`FlowReport::push`] carrying the short stable stage id alongside
+    /// the human-readable title.
+    pub fn push_with_id(
+        &mut self,
+        id: Option<&str>,
+        stage: &str,
+        metrics: serde_json::Value,
+        started: std::time::Instant,
+    ) {
         self.stages.push(StageReport {
+            id: id.map(str::to_string),
             stage: stage.to_string(),
             ok: true,
             metrics,
@@ -72,11 +90,18 @@ mod tests {
         };
         let t = std::time::Instant::now();
         r.push("synthesis", serde_json::json!({"cells": 42}), t);
-        r.push("pack", serde_json::json!({"clbs": 7, "util": 0.9}), t);
+        r.push_with_id(
+            Some("pack"),
+            "packing (T-VPack)",
+            serde_json::json!({"clbs": 7}),
+            t,
+        );
         let js = r.to_json();
         let back: FlowReport = serde_json::from_str(&js).unwrap();
         assert_eq!(back.stages.len(), 2);
         assert_eq!(back.design, "demo");
+        assert_eq!(back.stages[0].id, None);
+        assert_eq!(back.stages[1].id.as_deref(), Some("pack"));
         let s = r.summary();
         assert!(s.contains("synthesis"));
         assert!(s.contains("cells=42"));

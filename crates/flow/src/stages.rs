@@ -4,15 +4,20 @@
 //! Each step takes its typed inputs plus the run's [`FlowCtx`] and
 //! returns a [`Staged`] output: the value (shared via `Arc` so cached
 //! entries are never deep-copied on a hit), the stage's content-address
-//! key, the metrics it reported, and whether the cache served it. Keys
-//! chain: a step's key digests its upstream step's key plus its own
+//! key, the metrics it reported, and the [`CacheOutcome`] that served it.
+//! Keys chain: a step's key digests its upstream step's key plus its own
 //! options, so content addressing holds transitively — see
 //! [`crate::cache`] for the scheme.
 //!
-//! Every step first passes [`FlowCtx::stage_gate`]: cancellation
-//! (deadline or client hang-up) and injected faults are observed at stage
-//! granularity, *before* the cache lookup — so even standalone step
-//! drivers get the same fault-tolerance behavior as the full pipeline.
+//! Every step runs through one funnel, [`run_step`]: it opens a trace
+//! span (when the context carries a [`TraceLog`](crate::TraceLog)),
+//! passes [`FlowCtx::stage_gate`] — cancellation (deadline or client
+//! hang-up) and injected faults are observed at stage granularity,
+//! *before* the cache lookup — resolves the work through the cache, and
+//! closes the span with the outcome (computed / memory-hit / disk-hit /
+//! fault / cancelled / error). Standalone step drivers therefore get the
+//! same fault-tolerance *and* observability behavior as the full
+//! pipeline.
 //!
 //! [`crate::pipeline`] composes these steps into the classic end-to-end
 //! runs; the flow server (`fpga-server`) drives them with a shared cache
@@ -36,19 +41,29 @@ use fpga_synth::{map_to_luts, MapOptions};
 use serde_json::Value;
 
 use crate::artifact::Artifact;
-use crate::cache::{stage_key, StageCache, StageId};
+use crate::cache::{stage_key, CacheOutcome, StageId};
 use crate::pipeline::{FlowCtx, FlowOptions};
+use crate::trace::SpanOutcome;
 use crate::{stage_err, FlowError, Result};
 
 /// One stage step's output.
 pub struct Staged<T> {
     pub value: Arc<T>,
+    /// Which pipeline stage produced this.
+    pub stage: StageId,
     /// Content-address of this output (chains the upstream stage's key).
     pub key: String,
     /// The metrics the stage reported when it (first) ran.
     pub metrics: Value,
-    /// Whether this invocation was served from the cache.
-    pub cache_hit: bool,
+    /// How the lookup resolved: computed, or served from which cache tier.
+    pub outcome: CacheOutcome,
+}
+
+impl<T> Staged<T> {
+    /// Whether this invocation was served from a cache tier.
+    pub fn cache_hit(&self) -> bool {
+        self.outcome.is_hit()
+    }
 }
 
 /// Routing's bundled output: the stage is only meaningful as a whole.
@@ -68,33 +83,62 @@ pub struct GeneratedBitstream {
     pub bytes: Vec<u8>,
 }
 
-/// Run `compute` through the cache when one is present, directly
-/// otherwise. Every staged type is an [`Artifact`], so a cache backed by
-/// a durable store transparently serves misses from disk and persists
-/// fresh computations.
+/// The single funnel every stage step passes through: open a trace span,
+/// pass the stage gate (cancellation, injected faults), resolve `compute`
+/// through the cache when one is present (directly otherwise), and close
+/// the span with the attribution. Every staged type is an [`Artifact`],
+/// so a cache backed by a durable store transparently serves misses from
+/// disk and persists fresh computations.
+///
+/// The span is closed on both success and error, so a traced run sees
+/// exactly one start/finish pair per entered stage — including stages
+/// stopped by a fault, a deadline, or a flow error. The one exception is
+/// a *panicking* stage (injected `Panic`/`KillWorker` faults): the unwind
+/// skips the finish, leaving the span `Pending` — which is itself the
+/// signal, and the flow server's worker guard owns that path.
 fn run_step<T: Artifact>(
-    cache: Option<&StageCache>,
+    ctx: FlowCtx,
     stage: StageId,
     key: String,
     compute: impl FnOnce() -> Result<(T, Value)>,
 ) -> Result<Staged<T>> {
-    match cache {
+    let span = ctx.trace.map(|t| t.start(stage.name()));
+    let result = gated_step(ctx, stage, key, compute);
+    if let (Some(log), Some(id)) = (ctx.trace, span) {
+        match &result {
+            Ok(staged) => log.finish(id, staged.outcome.into(), None),
+            Err(e) => log.finish(id, SpanOutcome::from_flow_error(e), Some(e.message.clone())),
+        }
+    }
+    result
+}
+
+fn gated_step<T: Artifact>(
+    ctx: FlowCtx,
+    stage: StageId,
+    key: String,
+    compute: impl FnOnce() -> Result<(T, Value)>,
+) -> Result<Staged<T>> {
+    ctx.stage_gate(stage)?;
+    match ctx.cache {
         Some(c) => {
-            let (value, metrics, cache_hit) = c.get_or_compute_artifact(stage, &key, compute)?;
+            let (value, metrics, outcome) = c.get_or_compute_artifact(stage, &key, compute)?;
             Ok(Staged {
                 value,
+                stage,
                 key,
                 metrics,
-                cache_hit,
+                outcome,
             })
         }
         None => {
             let (value, metrics) = compute()?;
             Ok(Staged {
                 value: Arc::new(value),
+                stage,
                 key,
                 metrics,
-                cache_hit: false,
+                outcome: CacheOutcome::Computed,
             })
         }
     }
@@ -103,9 +147,8 @@ fn run_step<T: Artifact>(
 /// Synthesis: VHDL source to a gate-level netlist (VHDL Parser +
 /// DIVINER). Keyed on the source text itself.
 pub fn synthesize_vhdl(source: &str, ctx: FlowCtx) -> Result<Staged<Netlist>> {
-    ctx.stage_gate(StageId::Synthesis)?;
     let key = stage_key(StageId::Synthesis, &["vhdl", source]);
-    run_step(ctx.cache, StageId::Synthesis, key, || {
+    run_step(ctx, StageId::Synthesis, key, || {
         let rtl = fpga_synth::diviner::synthesize(source).map_err(stage_err("synthesis"))?;
         let metrics = serde_json::json!({
             "cells": rtl.cells.len(),
@@ -119,9 +162,8 @@ pub fn synthesize_vhdl(source: &str, ctx: FlowCtx) -> Result<Staged<Netlist>> {
 /// BLIF upload: parse + validate (the paper's E2FMT hand-off entry).
 /// Shares the synthesis counters — it is the flow's front door.
 pub fn parse_blif(text: &str, ctx: FlowCtx) -> Result<Staged<Netlist>> {
-    ctx.stage_gate(StageId::Synthesis)?;
     let key = stage_key(StageId::Synthesis, &["blif", text]);
-    run_step(ctx.cache, StageId::Synthesis, key, || {
+    run_step(ctx, StageId::Synthesis, key, || {
         let rtl = fpga_netlist::blif::parse(text).map_err(stage_err("blif"))?;
         rtl.validate().map_err(stage_err("blif"))?;
         let metrics = serde_json::json!({"cells": rtl.cells.len()});
@@ -135,9 +177,10 @@ pub fn adopt_rtl(rtl: Netlist) -> Staged<Netlist> {
     let key = stage_key(StageId::Synthesis, &["netlist", &canonical_text(&rtl)]);
     Staged {
         value: Arc::new(rtl),
+        stage: StageId::Synthesis,
         key,
         metrics: Value::Null,
-        cache_hit: false,
+        outcome: CacheOutcome::Computed,
     }
 }
 
@@ -146,7 +189,6 @@ pub fn adopt_rtl(rtl: Netlist) -> Staged<Netlist> {
 /// this point from different front doors (VHDL, BLIF, in-memory) shares
 /// cache entries from here down.
 pub fn lut_map(rtl: &Staged<Netlist>, opts: &FlowOptions, ctx: FlowCtx) -> Result<Staged<Netlist>> {
-    ctx.stage_gate(StageId::LutMap)?;
     let map_opts = MapOptions {
         k: opts.arch.clb.lut_k,
         cut_limit: 10,
@@ -157,7 +199,7 @@ pub fn lut_map(rtl: &Staged<Netlist>, opts: &FlowOptions, ctx: FlowCtx) -> Resul
         &[&canonical_text(&rtl.value), &fingerprint],
     );
     let rtl = Arc::clone(&rtl.value);
-    run_step(ctx.cache, StageId::LutMap, key, move || {
+    run_step(ctx, StageId::LutMap, key, move || {
         let (mut mapped, map_report) =
             map_to_luts(&rtl, map_opts).map_err(stage_err("lut mapping (SIS)"))?;
         fpga_pack::absorb_constants(&mut mapped);
@@ -176,11 +218,10 @@ pub fn pack(
     arch: &Architecture,
     ctx: FlowCtx,
 ) -> Result<Staged<Clustering>> {
-    ctx.stage_gate(StageId::Pack)?;
     let key = stage_key(StageId::Pack, &[&mapped.key, &arch.canonical_text()]);
     let mapped = Arc::clone(&mapped.value);
     let clb = arch.clb.clone();
-    run_step(ctx.cache, StageId::Pack, key, move || {
+    run_step(ctx, StageId::Pack, key, move || {
         let clustering = fpga_pack::pack(&mapped, &clb).map_err(stage_err("packing (T-VPack)"))?;
         let metrics = serde_json::json!({
             "bles": clustering.bles.len(),
@@ -197,7 +238,6 @@ pub fn place(
     opts: &FlowOptions,
     ctx: FlowCtx,
 ) -> Result<Staged<Placement>> {
-    ctx.stage_gate(StageId::Place)?;
     let fingerprint = format!("seed={} inner_num={}", opts.place_seed, opts.place_effort);
     let key = stage_key(
         StageId::Place,
@@ -209,7 +249,7 @@ pub fn place(
         seed: opts.place_seed,
         inner_num: opts.place_effort,
     };
-    run_step(ctx.cache, StageId::Place, key, move || {
+    run_step(ctx, StageId::Place, key, move || {
         let nl = &clustering.netlist;
         let io_count = nl.inputs.len() + nl.outputs.len() + 1;
         let device = Device::sized_for(arch, clustering.clusters.len(), io_count);
@@ -232,13 +272,12 @@ pub fn route(
     opts: &FlowOptions,
     ctx: FlowCtx,
 ) -> Result<Staged<RoutedDesign>> {
-    ctx.stage_gate(StageId::Route)?;
     let fingerprint = format!("channel_width={:?}", opts.channel_width);
     let key = stage_key(StageId::Route, &[&placement.key, &fingerprint]);
     let clustering = Arc::clone(&clustering.value);
     let placement = Arc::clone(&placement.value);
     let channel_width = opts.channel_width;
-    run_step(ctx.cache, StageId::Route, key, move || {
+    run_step(ctx, StageId::Route, key, move || {
         let route_opts = RouteOptions::default();
         let (graph, routing) = match channel_width {
             Some(w) => {
@@ -286,14 +325,13 @@ pub fn power(
     opts: &FlowOptions,
     ctx: FlowCtx,
 ) -> Result<Staged<PowerReport>> {
-    ctx.stage_gate(StageId::Power)?;
     // PowerOptions is a plain value struct: its Debug form spells out
     // every field, which is all a process-local key needs.
     let key = stage_key(StageId::Power, &[&routed.key, &format!("{:?}", opts.power)]);
     let clustering = Arc::clone(&clustering.value);
     let routed = Arc::clone(&routed.value);
     let power_opts = opts.power.clone();
-    run_step(ctx.cache, StageId::Power, key, move || {
+    run_step(ctx, StageId::Power, key, move || {
         let tech = Tech::stm018();
         let caps = ClbCaps::from_designs(&tech);
         let power = fpga_power::estimate(
@@ -322,12 +360,11 @@ pub fn bitstream(
     routed: &Staged<RoutedDesign>,
     ctx: FlowCtx,
 ) -> Result<Staged<GeneratedBitstream>> {
-    ctx.stage_gate(StageId::Bitstream)?;
     let key = stage_key(StageId::Bitstream, &[&routed.key]);
     let clustering = Arc::clone(&clustering.value);
     let placement = Arc::clone(&placement.value);
     let routed = Arc::clone(&routed.value);
-    run_step(ctx.cache, StageId::Bitstream, key, move || {
+    run_step(ctx, StageId::Bitstream, key, move || {
         let bitstream =
             fpga_bitstream::generate(&clustering, &placement, &routed.routing, &routed.graph)
                 .map_err(stage_err("bitstream (DAGGER)"))?;
@@ -350,14 +387,13 @@ pub fn verify(
     cycles: usize,
     ctx: FlowCtx,
 ) -> Result<Staged<()>> {
-    ctx.stage_gate(StageId::Verify)?;
     let key = stage_key(
         StageId::Verify,
         &[&bits.key, &mapped.key, &format!("cycles={cycles}")],
     );
     let bits = Arc::clone(&bits.value);
     let mapped = Arc::clone(&mapped.value);
-    run_step(ctx.cache, StageId::Verify, key, move || {
+    run_step(ctx, StageId::Verify, key, move || {
         let parsed =
             fpga_bitstream::frames::parse(&bits.bytes).map_err(stage_err("verify (fabric)"))?;
         let mut fabric = Fabric::new(parsed).map_err(stage_err("verify (fabric)"))?;

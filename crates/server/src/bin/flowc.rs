@@ -3,15 +3,22 @@
 //! ```text
 //! flowc [--tcp HOST:PORT | --unix PATH] compile design.vhd [--blif]
 //!       [--seed N] [--effort F] [--width W] [--cycles N]
-//!       [--deadline MS] [--retries N]
+//!       [--deadline DUR] [--retries N] [--trace]
 //!       [-o design.bit] [--report report.json]
-//! flowc [...] stats | ping | shutdown
+//! flowc [...] metrics [--text] | stats | ping | shutdown
 //! ```
 //!
 //! When the daemon is saturated (queue full or connection cap hit) it
 //! answers with a `retry_after_ms` hint; `flowc` retries on a fresh
 //! connection with jittered exponential backoff, never sooner than the
 //! hint (`--retries 1` disables this).
+//!
+//! `--trace` asks the daemon to record a per-stage span tree
+//! ([`fpga_flow::TraceLog`]) for the job and renders it as a waterfall
+//! on stderr, with cache hits attributed to their tier. `metrics`
+//! fetches the daemon-wide registry — per-stage latency histograms and
+//! cache memory/disk hit counters — as JSON, or as a Prometheus-style
+//! text exposition with `--text`.
 //!
 //! Exit codes distinguish *where* a failure happened (see `--help`):
 //! scripts branch on them — retry a deploy on 3, file a bug on 4, raise
@@ -20,7 +27,10 @@
 use std::io::{self, Write};
 
 use fpga_flow::cli;
-use fpga_server::{compile_with_retry, CompileError, FlowClient, RetryPolicy};
+use fpga_flow::trace::spans_from_value;
+use fpga_server::{
+    compile_with_retry, CompileError, CompileRequest, FlowClient, RetryPolicy, SourceFormat,
+};
 use serde_json::Value;
 
 /// Exit codes, the contract scripts rely on.
@@ -38,9 +48,19 @@ flowc — command-line client for flowd
 usage:
   flowc [--tcp HOST:PORT | --unix PATH] compile <design.vhd|design.blif>
         [--blif] [--seed N] [--effort F] [--width W] [--cycles N]
-        [--deadline MS] [--retries N] [-o design.bit] [--report report.json]
+        [--deadline DUR] [--retries N] [--trace]
+        [-o design.bit] [--report report.json]
+  flowc [--tcp HOST:PORT | --unix PATH] metrics [--text]
   flowc [--tcp HOST:PORT | --unix PATH] stats | ping | shutdown
   flowc --help | --version
+
+durations (DUR) take 250 / 250ms / 30s / 5m / 1h — the same spellings
+flowd accepts for its --max-deadline / --idle-timeout / --retry-after.
+
+  --trace   record a per-stage span tree for this job and print it as a
+            waterfall (stderr), cache hits attributed to their tier
+  metrics   fetch flowd's per-stage latency histograms and cache
+            memory/disk hit counters as JSON (--text: Prometheus-style)
 
 exit codes:
   0  success
@@ -103,6 +123,22 @@ fn main() {
             ),
             Err(e) => fail(EXIT_TRANSPORT, e),
         },
+        "metrics" => {
+            let text = args.flags.iter().any(|f| f == "text");
+            match connect(&args).metrics(text) {
+                // In text mode the exposition rides in a "text" field;
+                // print it raw so the output pipes straight to a scraper.
+                Ok(v) if text => match v.get("text").and_then(Value::as_str) {
+                    Some(body) => print!("{body}"),
+                    None => fail(EXIT_TRANSPORT, "metrics reply missing text body"),
+                },
+                Ok(v) => println!(
+                    "{}",
+                    serde_json::to_string_pretty(&v).expect("metrics render")
+                ),
+                Err(e) => fail(EXIT_TRANSPORT, e),
+            }
+        }
         "shutdown" => match connect(&args).shutdown_server() {
             Ok(_) => println!("flowd acknowledged shutdown"),
             Err(e) => fail(EXIT_TRANSPORT, e),
@@ -122,9 +158,9 @@ fn compile(args: &cli::Args) {
         Err(e) => cli::die("flowc", format!("cannot read '{path}': {e}")),
     };
     let format = if args.flags.iter().any(|f| f == "blif") || path.ends_with(".blif") {
-        "blif"
+        SourceFormat::Blif
     } else {
-        "vhdl"
+        SourceFormat::Vhdl
     };
 
     let mut options = serde_json::Map::new();
@@ -151,9 +187,9 @@ fn compile(args: &cli::Args) {
         Value::Object(options)
     };
 
-    let deadline_ms = args.options.get("deadline").map(|raw| match raw.parse() {
-        Ok(ms) => ms,
-        Err(_) => cli::die("flowc", format!("bad --deadline '{raw}'")),
+    let deadline_ms = args.options.get("deadline").map(|raw| {
+        cli::parse_duration_ms(raw)
+            .unwrap_or_else(|e| cli::die("flowc", format!("bad --deadline: {e}")))
     });
     let mut policy = RetryPolicy::default();
     if let Some(raw) = args.options.get("retries") {
@@ -163,12 +199,16 @@ fn compile(args: &cli::Args) {
         }
     }
 
+    let mut req = match CompileRequest::new(format, source).with_options(options) {
+        Ok(r) => r,
+        Err(e) => cli::die("flowc", e),
+    };
+    req.deadline_ms = deadline_ms;
+    req.trace = args.flags.iter().any(|f| f == "trace");
+
     let outcome = match compile_with_retry(
         || try_connect(args),
-        format,
-        &source,
-        &options,
-        deadline_ms,
+        &req,
         &policy,
         |attempt, err, backoff_ms| {
             eprintln!("flowc: attempt {attempt} failed ({err}); retrying in {backoff_ms} ms");
@@ -183,6 +223,11 @@ fn compile(args: &cli::Args) {
             fail(EXIT_COMPILE, e)
         }
     };
+    // A newer daemon may stream event kinds this client does not know;
+    // they are skipped, but say so (CI treats these warnings as failures).
+    for name in &outcome.unknown_events {
+        eprintln!("flowc: warning: unknown event '{name}' (daemon newer than this client?)");
+    }
     for ev in &outcome.stage_events {
         let stage = ev.get("stage").and_then(Value::as_str).unwrap_or("?");
         let ms = ev.get("elapsed_ms").and_then(Value::as_f64).unwrap_or(0.0);
@@ -193,6 +238,16 @@ fn compile(args: &cli::Args) {
             .map(|c| format!(" [cache {c}]"))
             .unwrap_or_default();
         eprintln!("job {} | {stage:<28} {ms:>9.2} ms{cached}", outcome.job);
+    }
+    if req.trace {
+        match outcome.trace.as_ref().map(spans_from_value) {
+            Some(Ok(spans)) => eprint!(
+                "{}",
+                fpga_flow::render_waterfall(&format!("job {}", outcome.job), &spans)
+            ),
+            Some(Err(e)) => eprintln!("flowc: warning: unreadable trace in reply: {e}"),
+            None => eprintln!("flowc: warning: daemon sent no trace (older flowd?)"),
+        }
     }
     if let Some(report_path) = args.options.get("report") {
         let text = serde_json::to_string_pretty(&outcome.report).expect("report renders");

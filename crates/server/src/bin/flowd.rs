@@ -3,16 +3,23 @@
 //! socket; see `fpga-server`'s crate docs for the protocol.
 //!
 //! Robustness knobs (all optional; see README "Operating flowd"):
-//! `--max-deadline MS` caps/defaults per-job deadlines, `--idle-timeout
-//! MS` drops silent connections, `--max-line BYTES` bounds request
+//! `--max-deadline DUR` caps/defaults per-job deadlines, `--idle-timeout
+//! DUR` drops silent connections, `--max-line SIZE` bounds request
 //! lines, `--max-conns N` caps concurrent connections, and
-//! `--retry-after MS` tunes the backoff hint sent with rejections.
+//! `--retry-after DUR` tunes the backoff hint sent with rejections.
+//! Durations and sizes use the same spellings `flowc` accepts (`30s`,
+//! `5m`, `64k`, `8m`; see `fpga_flow::cli`).
 //!
 //! Durable cache knobs: `--cache-dir DIR` persists completed stage
 //! artifacts on disk so they survive restarts (and crashes),
 //! `--cache-budget-mb N` bounds that store with LRU eviction, and
 //! `--cache-entries N` caps the in-memory cache (evictees stay
 //! reachable on disk).
+//!
+//! Observability: the `metrics` protocol verb (see `flowc metrics`)
+//! reports per-stage latency histograms and cache tiers while running;
+//! `--metrics-dump` prints the final Prometheus-style exposition to
+//! stdout after a graceful shutdown.
 //!
 //! Test-only: `--fault STAGE:K:ACTION[:ARG][,...]` injects a
 //! deterministic fault on a stage's K-th execution — `panic`, `kill`
@@ -26,10 +33,49 @@ use fpga_flow::cli;
 use fpga_flow::fault::{FaultAction, FaultPlan};
 use fpga_server::{Server, ServerConfig};
 
+const HELP: &str = "\
+flowd — the flow compile-service daemon
+
+usage:
+  flowd [--tcp HOST:PORT] [--unix PATH] [--workers N] [--queue N]
+        [--max-deadline DUR] [--idle-timeout DUR] [--max-line SIZE]
+        [--max-conns N] [--retry-after DUR]
+        [--cache-dir DIR] [--cache-budget-mb N] [--cache-entries N]
+        [--metrics-dump] [--fault SPEC]
+  flowd --help | --version
+
+durations (DUR) take 250 / 250ms / 30s / 5m / 1h; sizes (SIZE) take
+512 / 64k / 8m / 2g — the same spellings flowc accepts. A DUR of 0
+disables that guard.
+
+  --metrics-dump   after a graceful shutdown, print the final metrics
+                   snapshot (Prometheus text exposition) to stdout
+  --fault SPEC     test-only deterministic fault injection,
+                   STAGE:K:ACTION[:ARG][,...] with panic | kill |
+                   fail:MSG | sleep:MS
+
+observe a running daemon with: flowc metrics [--text] | flowc stats";
+
 fn parse_u64(args: &cli::Args, flag: &str) -> Option<u64> {
     args.options.get(flag).map(|raw| match raw.parse() {
         Ok(n) => n,
         Err(_) => cli::die("flowd", format!("bad --{flag} '{raw}'")),
+    })
+}
+
+/// Parse a `--flag DUR` duration option (shared spellings with flowc).
+fn parse_duration(args: &cli::Args, flag: &str) -> Option<u64> {
+    args.options.get(flag).map(|raw| {
+        cli::parse_duration_ms(raw)
+            .unwrap_or_else(|e| cli::die("flowd", format!("bad --{flag}: {e}")))
+    })
+}
+
+/// Parse a `--flag SIZE` size option (shared spellings with flowc).
+fn parse_size(args: &cli::Args, flag: &str) -> Option<u64> {
+    args.options.get(flag).map(|raw| {
+        cli::parse_size_bytes(raw)
+            .unwrap_or_else(|e| cli::die("flowd", format!("bad --{flag}: {e}")))
     })
 }
 
@@ -82,6 +128,10 @@ fn main() {
         "fault",
     ]);
     cli::handle_version("flowd", &args);
+    if args.flags.iter().any(|f| f == "help" || f == "h") {
+        println!("{HELP}");
+        return;
+    }
 
     let mut config = ServerConfig::default();
     if let Some(addr) = args.options.get("tcp") {
@@ -107,13 +157,13 @@ fn main() {
         }
     }
     // 0 disables the corresponding guard.
-    if let Some(ms) = parse_u64(&args, "max-deadline") {
+    if let Some(ms) = parse_duration(&args, "max-deadline") {
         config.max_deadline_ms = (ms > 0).then_some(ms);
     }
-    if let Some(ms) = parse_u64(&args, "idle-timeout") {
+    if let Some(ms) = parse_duration(&args, "idle-timeout") {
         config.idle_timeout_ms = (ms > 0).then_some(ms);
     }
-    if let Some(bytes) = parse_u64(&args, "max-line") {
+    if let Some(bytes) = parse_size(&args, "max-line") {
         if bytes == 0 {
             cli::die("flowd", "bad --max-line '0'");
         }
@@ -125,7 +175,7 @@ fn main() {
         }
         config.max_connections = n as usize;
     }
-    if let Some(ms) = parse_u64(&args, "retry-after") {
+    if let Some(ms) = parse_duration(&args, "retry-after") {
         config.retry_after_ms = ms;
     }
     if let Some(dir) = args.options.get("cache-dir") {
@@ -150,7 +200,7 @@ fn main() {
         }
     }
 
-    let server = match Server::start(config.clone()) {
+    let mut server = match Server::start(config.clone()) {
         Ok(s) => s,
         Err(e) => cli::die("flowd", e),
     };
@@ -194,4 +244,8 @@ fn main() {
     }
     server.wait();
     eprintln!("flowd drained and stopped");
+    if args.flags.iter().any(|f| f == "metrics-dump") {
+        // Final observability snapshot for scrapers and CI smoke tests.
+        print!("{}", server.metrics_text());
+    }
 }

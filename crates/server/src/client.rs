@@ -18,7 +18,9 @@ use std::time::Duration;
 
 use serde_json::Value;
 
-use crate::proto::{self, from_hex};
+use crate::proto::{
+    self, from_hex, parse_event, CompileRequest, Event, EventParseError, Request, SourceFormat,
+};
 
 /// Either transport, behind one blocking interface.
 enum Conn {
@@ -70,12 +72,18 @@ impl Write for Conn {
 pub struct CompileOutcome {
     /// Server-assigned job id.
     pub job: u64,
-    /// The streamed `stage` events, in arrival order.
+    /// The streamed `stage` events, in arrival order (wire form).
     pub stage_events: Vec<Value>,
     /// The flow report from the `done` event.
     pub report: Value,
     /// Decoded bitstream bytes.
     pub bitstream: Vec<u8>,
+    /// The span tree from the `done` event, when the request set
+    /// `trace` (decode with [`fpga_flow::trace::spans_from_value`]).
+    pub trace: Option<Value>,
+    /// Names of events this client did not recognize and skipped — a
+    /// newer server. `flowc` surfaces these as warnings.
+    pub unknown_events: Vec<String>,
 }
 
 /// Why a compile submission did not produce a bitstream.
@@ -203,21 +211,30 @@ impl FlowClient {
         })
     }
 
-    /// `ping` — returns the `pong` event (carries the server version).
+    /// `ping` — returns the `pong` event (carries the server's flow and
+    /// protocol versions).
     pub fn ping(&mut self) -> io::Result<Value> {
-        self.send(&serde_json::json!({"cmd": "ping"}))?;
+        self.send(&Request::Ping.to_value())?;
         self.recv()
     }
 
     /// `stats` — job counters plus per-stage cache metrics.
     pub fn stats(&mut self) -> io::Result<Value> {
-        self.send(&serde_json::json!({"cmd": "stats"}))?;
+        self.send(&Request::Stats.to_value())?;
+        self.recv()
+    }
+
+    /// `metrics` — per-stage latency histograms, cache tiers, queue
+    /// high-water mark. With `text`, the body carries a Prometheus-style
+    /// exposition under `"text"` instead of structured fields.
+    pub fn metrics(&mut self, text: bool) -> io::Result<Value> {
+        self.send(&Request::Metrics { text }.to_value())?;
         self.recv()
     }
 
     /// `shutdown` — ask the daemon to drain and exit.
     pub fn shutdown_server(&mut self) -> io::Result<Value> {
-        self.send(&serde_json::json!({"cmd": "shutdown"}))?;
+        self.send(&Request::Shutdown.to_value())?;
         self.recv()
     }
 
@@ -248,101 +265,127 @@ impl FlowClient {
         options: Value,
         deadline_ms: Option<u64>,
     ) -> Result<CompileOutcome, CompileError> {
-        let mut req = serde_json::Map::new();
-        req.insert("cmd".to_string(), serde_json::json!("compile"));
-        req.insert("format".to_string(), serde_json::json!(format));
-        req.insert("source".to_string(), serde_json::json!(source));
-        if !options.is_null() {
-            req.insert("options".to_string(), options);
-        }
-        if let Some(ms) = deadline_ms {
-            req.insert("deadline_ms".to_string(), serde_json::json!(ms));
-        }
-        self.send(&Value::Object(req))?;
+        let format = source_format(format)?;
+        let mut req = CompileRequest::new(format, source)
+            .with_options(options)
+            .map_err(|e| CompileError::Io(io::Error::new(io::ErrorKind::InvalidInput, e)))?;
+        req.deadline_ms = deadline_ms;
+        self.compile_request(&req)
+    }
+
+    /// The fully-typed submission path: send a [`CompileRequest`]
+    /// (including its `trace` flag) and fold the event stream into a
+    /// [`CompileOutcome`]. Every known event is matched exhaustively;
+    /// unknown event names are collected, not fatal.
+    pub fn compile_request(
+        &mut self,
+        req: &CompileRequest,
+    ) -> Result<CompileOutcome, CompileError> {
+        self.send(&Request::Compile(Box::new(req.clone())).to_value())?;
 
         let mut job = 0u64;
         let mut stage_events = Vec::new();
+        let mut unknown_events = Vec::new();
         loop {
-            let event = self.recv()?;
-            match event.get("event").and_then(Value::as_str) {
-                Some("queued") => {
-                    job = event.get("job").and_then(Value::as_u64).unwrap_or(0);
+            let raw = self.recv()?;
+            let event = match parse_event(&raw) {
+                Ok(event) => event,
+                Err(EventParseError::Unknown(name)) => {
+                    // A newer server sent something we don't know yet;
+                    // skipping keeps the session alive, recording it
+                    // lets flowc warn.
+                    unknown_events.push(name);
+                    continue;
                 }
-                Some("stage") => stage_events.push(event),
-                Some("done") => {
-                    let hex = event
-                        .get("bitstream_hex")
-                        .and_then(Value::as_str)
-                        .unwrap_or_default();
-                    let bitstream = from_hex(hex).map_err(|e| {
+                Err(e @ EventParseError::Malformed(_)) => {
+                    return Err(CompileError::Io(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        e.to_string(),
+                    )));
+                }
+            };
+            match event {
+                Event::Queued { job: id } => job = id,
+                Event::Stage { .. } => stage_events.push(raw),
+                Event::Done {
+                    bitstream_hex,
+                    report,
+                    trace,
+                    ..
+                } => {
+                    let bitstream = from_hex(&bitstream_hex).map_err(|e| {
                         CompileError::Io(io::Error::new(io::ErrorKind::InvalidData, e))
                     })?;
-                    let report = event.get("report").cloned().unwrap_or(Value::Null);
                     return Ok(CompileOutcome {
                         job,
                         stage_events,
                         report,
                         bitstream,
+                        trace,
+                        unknown_events,
                     });
                 }
-                Some("rejected") => {
+                Event::Rejected {
+                    reason,
+                    retry_after_ms,
+                    ..
+                } => {
                     return Err(CompileError::Rejected {
-                        reason: event
-                            .get("reason")
-                            .and_then(Value::as_str)
-                            .unwrap_or("rejected")
-                            .to_string(),
-                        retry_after_ms: event.get("retry_after_ms").and_then(Value::as_u64),
+                        reason,
+                        retry_after_ms,
                     });
                 }
-                Some("timeout") => {
+                Event::Timeout {
+                    deadline_ms,
+                    completed_stages,
+                    ..
+                } => {
                     return Err(CompileError::TimedOut {
-                        deadline_ms: event.get("deadline_ms").and_then(Value::as_u64),
-                        completed_stages: event
-                            .get("completed_stages")
-                            .and_then(Value::as_array)
-                            .map(|a| {
-                                a.iter()
-                                    .filter_map(Value::as_str)
-                                    .map(str::to_string)
-                                    .collect()
-                            })
-                            .unwrap_or_default(),
+                        deadline_ms,
+                        completed_stages,
                     });
                 }
-                Some("error") => {
-                    let kind = event.get("kind").and_then(Value::as_str);
-                    let message = event
-                        .get("message")
-                        .and_then(Value::as_str)
-                        .unwrap_or("")
-                        .to_string();
+                Event::Error {
+                    kind,
+                    stage,
+                    message,
+                    retry_after_ms,
+                    ..
+                } => {
                     // Saturation errors (connection cap) are rejections
                     // in spirit: same retry treatment as a full queue.
-                    if kind == Some("overloaded") {
+                    if kind.as_deref() == Some("overloaded") {
                         return Err(CompileError::Rejected {
                             reason: message,
-                            retry_after_ms: event.get("retry_after_ms").and_then(Value::as_u64),
+                            retry_after_ms,
                         });
                     }
                     return Err(CompileError::Failed {
-                        stage: event
-                            .get("stage")
-                            .and_then(Value::as_str)
-                            .unwrap_or("?")
-                            .to_string(),
+                        stage: stage.unwrap_or_else(|| "?".to_string()),
                         message,
-                        kind: kind.map(str::to_string),
+                        kind,
                     });
                 }
-                other => {
+                Event::Pong { .. } | Event::Stats(_) | Event::Metrics(_) | Event::ShuttingDown => {
                     return Err(CompileError::Io(io::Error::new(
                         io::ErrorKind::InvalidData,
-                        format!("unexpected event {other:?}"),
+                        format!("event out of place in a compile stream: {}", raw),
                     )));
                 }
             }
         }
+    }
+}
+
+/// Map a wire format name to [`SourceFormat`].
+fn source_format(name: &str) -> Result<SourceFormat, CompileError> {
+    match name {
+        "vhdl" => Ok(SourceFormat::Vhdl),
+        "blif" => Ok(SourceFormat::Blif),
+        other => Err(CompileError::Io(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("unknown format '{other}'"),
+        ))),
     }
 }
 
@@ -390,10 +433,7 @@ fn xorshift64(state: &mut u64) -> u64 {
 /// `flowc` logs from it; tests use it as a deterministic hook.
 pub fn compile_with_retry(
     mut connect: impl FnMut() -> io::Result<FlowClient>,
-    format: &str,
-    source: &str,
-    options: &Value,
-    deadline_ms: Option<u64>,
+    req: &CompileRequest,
     policy: &RetryPolicy,
     mut on_retry: impl FnMut(u32, &CompileError, u64),
 ) -> Result<CompileOutcome, CompileError> {
@@ -402,12 +442,10 @@ pub fn compile_with_retry(
     let mut backoff = policy.base_ms.max(1);
     for attempt in 1..=attempts {
         let err = match connect() {
-            Ok(mut client) => {
-                match client.compile_detailed(format, source, options.clone(), deadline_ms) {
-                    Ok(outcome) => return Ok(outcome),
-                    Err(e) => e,
-                }
-            }
+            Ok(mut client) => match client.compile_request(req) {
+                Ok(outcome) => return Ok(outcome),
+                Err(e) => e,
+            },
             Err(e) => CompileError::Io(e),
         };
         if attempt == attempts || !err.is_retryable() {
@@ -471,10 +509,7 @@ mod tests {
                 calls += 1;
                 Err(io::Error::new(io::ErrorKind::Unsupported, "no server"))
             },
-            "vhdl",
-            "entity e is end e;",
-            &Value::Null,
-            None,
+            &CompileRequest::new(SourceFormat::Vhdl, "entity e is end e;"),
             &RetryPolicy {
                 max_attempts: 3,
                 base_ms: 1,

@@ -23,9 +23,21 @@
 //! <- {"event":"done","job":1,"report":{...},"bitstream_hex":"..."}
 //! ```
 //!
-//! plus `{"cmd":"ping"}`, `{"cmd":"stats"}` (job counters and per-stage
-//! cache hit/miss/wall-time metrics) and `{"cmd":"shutdown"}` (graceful:
-//! new jobs are rejected, queued jobs drain, then the daemon exits).
+//! plus `{"cmd":"ping"}` (the hello — both sides exchange
+//! [`proto::PROTO_VERSION`] here), `{"cmd":"stats"}` (job counters and
+//! per-stage cache hit/miss/wall-time metrics), `{"cmd":"metrics"}`
+//! (per-stage latency histograms, cache memory/disk hit tiers, and the
+//! queue high-water mark — ask with `"format":"text"` for a
+//! Prometheus-style exposition) and `{"cmd":"shutdown"}` (graceful: new
+//! jobs are rejected, queued jobs drain, then the daemon exits).
+//!
+//! Both sides speak through the *typed* layer in [`proto`]:
+//! [`proto::Request`] and [`proto::Event`] round-trip through the JSON
+//! shapes above, so matching is exhaustive — a new verb or event is a
+//! compile error until every consumer handles it. Compile requests may
+//! set `"trace": true` to receive the per-stage span tree
+//! ([`fpga_flow::TraceLog`]) in the `done` event; `flowc --trace`
+//! renders it as a waterfall.
 //!
 //! ## Fault tolerance
 //!
@@ -45,12 +57,16 @@
 //!   backoff.
 
 pub mod client;
+pub mod metrics;
 pub mod proto;
 pub mod queue;
 pub mod service;
 mod supervisor;
 
 pub use client::{compile_with_retry, CompileError, CompileOutcome, FlowClient, RetryPolicy};
-pub use proto::{CompileRequest, ReadLineError, Request, SourceFormat};
+pub use metrics::{Histogram, HistogramSnapshot, Metrics, MetricsSnapshot};
+pub use proto::{
+    CompileRequest, Event, EventParseError, ReadLineError, Request, SourceFormat, PROTO_VERSION,
+};
 pub use queue::{JobQueue, SubmitError};
 pub use service::{Server, ServerConfig};

@@ -1,0 +1,514 @@
+//! Process-wide metrics for `flowd`: per-stage latency histograms plus
+//! the counters the rest of the daemon already keeps (job outcomes,
+//! queue depth, worker restarts, cache tiers), gathered into one
+//! snapshot for the `metrics` protocol verb.
+//!
+//! Histograms use fixed millisecond bucket bounds (the classic
+//! log-ish ladder 1..5000 ms plus `+Inf`), so two snapshots can be
+//! subtracted and exports stay mergeable across restarts. Everything is
+//! atomics — `observe` on the hot path is a couple of relaxed
+//! `fetch_add`s, no locks.
+//!
+//! Two renderings:
+//!
+//! * [`MetricsSnapshot::to_json`] — the structured body of the
+//!   `{"cmd":"metrics"}` response;
+//! * [`MetricsSnapshot::to_prometheus_text`] — a Prometheus-style text
+//!   exposition (`flowd_*` families) for `flowc metrics --text` and
+//!   `flowd --metrics-dump`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use fpga_flow::cache::STAGES;
+use serde_json::Value;
+
+/// Upper bounds (milliseconds, inclusive) of the latency buckets; an
+/// implicit `+Inf` bucket follows. Chosen to straddle the stand-in
+/// pipeline's stage times (sub-millisecond to seconds under `--fault
+/// sleep`).
+pub const BUCKET_BOUNDS_MS: [u64; 12] = [1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000];
+
+/// A fixed-bucket latency histogram. Cheap to observe, lock-free.
+#[derive(Default)]
+pub struct Histogram {
+    /// One slot per bound in [`BUCKET_BOUNDS_MS`] plus the `+Inf` slot.
+    buckets: [AtomicU64; BUCKET_BOUNDS_MS.len() + 1],
+    count: AtomicU64,
+    /// Sum in microseconds: integer atomics, converted to ms on export.
+    sum_us: AtomicU64,
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observation, in milliseconds.
+    pub fn observe_ms(&self, ms: f64) {
+        let ms = if ms.is_finite() && ms > 0.0 { ms } else { 0.0 };
+        let slot = BUCKET_BOUNDS_MS
+            .iter()
+            .position(|&bound| ms <= bound as f64)
+            .unwrap_or(BUCKET_BOUNDS_MS.len());
+        self.buckets[slot].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us
+            .fetch_add((ms * 1e3).round() as u64, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum_ms: self.sum_us.load(Ordering::Relaxed) as f64 / 1e3,
+        }
+    }
+}
+
+/// A point-in-time copy of one histogram.
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts, same order as [`BUCKET_BOUNDS_MS`] with the
+    /// trailing `+Inf` slot. *Not* cumulative; rendering accumulates.
+    pub buckets: Vec<u64>,
+    pub count: u64,
+    pub sum_ms: f64,
+}
+
+impl HistogramSnapshot {
+    /// JSON form: cumulative `le` buckets, Prometheus-style.
+    pub fn to_json(&self) -> Value {
+        let mut buckets = Vec::with_capacity(self.buckets.len());
+        let mut cumulative = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            let le = match BUCKET_BOUNDS_MS.get(i) {
+                Some(bound) => Value::from(*bound),
+                None => Value::from("+Inf"),
+            };
+            buckets.push(serde_json::json!({"le": le, "count": cumulative}));
+        }
+        serde_json::json!({
+            "count": self.count,
+            "sum_ms": self.sum_ms,
+            "buckets": Value::Array(buckets),
+        })
+    }
+}
+
+/// The registry: one latency histogram per pipeline stage, keyed by the
+/// stage's short stable id (`"synthesis"`, `"lut_map"`, ...). Job and
+/// queue counters live with the daemon's `Shared` state; the service
+/// folds both into a [`MetricsSnapshot`] when a client asks.
+#[derive(Default)]
+pub struct Metrics {
+    stage_latency: [Histogram; STAGES.len()],
+    /// Stage events whose id the registry did not recognize — should
+    /// stay zero; nonzero means a flow/daemon version skew.
+    unknown_stage_events: AtomicU64,
+}
+
+impl Metrics {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a completed stage execution (cache hits included: a hit is
+    /// a real, observable service latency, it is just a fast one).
+    pub fn observe_stage(&self, stage_id: &str, elapsed_ms: f64) {
+        match STAGES.iter().position(|s| s.name() == stage_id) {
+            Some(i) => self.stage_latency[i].observe_ms(elapsed_ms),
+            None => {
+                self.unknown_stage_events.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    pub fn unknown_stage_events(&self) -> u64 {
+        self.unknown_stage_events.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot every stage histogram, in flow order.
+    pub fn stage_snapshots(&self) -> Vec<(&'static str, HistogramSnapshot)> {
+        STAGES
+            .iter()
+            .zip(self.stage_latency.iter())
+            .map(|(s, h)| (s.name(), h.snapshot()))
+            .collect()
+    }
+}
+
+/// Scalar counters the service contributes to a snapshot (already
+/// tracked elsewhere in the daemon; gathered here so the two renderings
+/// agree on names).
+#[derive(Clone, Debug, Default)]
+pub struct ServiceCounters {
+    pub jobs_submitted: u64,
+    pub jobs_completed: u64,
+    pub jobs_failed: u64,
+    pub jobs_rejected: u64,
+    pub jobs_panicked: u64,
+    pub jobs_timed_out: u64,
+    pub jobs_cancelled: u64,
+    pub queue_depth: u64,
+    pub queue_peak: u64,
+    pub workers_configured: u64,
+    pub workers_respawned: u64,
+    pub connections_open: u64,
+    pub connections_rejected: u64,
+}
+
+/// Per-stage cache tier counts folded into a snapshot.
+#[derive(Clone, Debug, Default)]
+pub struct StageCacheCounters {
+    pub memory_hits: u64,
+    pub disk_hits: u64,
+    pub misses: u64,
+    pub wall_ms: u64,
+}
+
+/// Everything the `metrics` verb reports, assembled by the service.
+#[derive(Default)]
+pub struct MetricsSnapshot {
+    pub service: ServiceCounters,
+    /// `(stage_id, latency, cache)` in flow order.
+    pub stages: Vec<(&'static str, HistogramSnapshot, StageCacheCounters)>,
+    pub cache_entries: u64,
+    pub cache_memory_evicted: u64,
+    /// Durable-store counters, when `--cache-dir` is configured:
+    /// `(disk_hits, disk_misses, quarantined, evicted, writes)`.
+    pub store: Option<(u64, u64, u64, u64, u64)>,
+    pub unknown_stage_events: u64,
+}
+
+impl MetricsSnapshot {
+    fn totals(&self) -> (u64, u64, u64) {
+        let mut memory = 0;
+        let mut disk = 0;
+        let mut misses = 0;
+        for (_, _, c) in &self.stages {
+            memory += c.memory_hits;
+            disk += c.disk_hits;
+            misses += c.misses;
+        }
+        (memory, disk, misses)
+    }
+
+    /// The structured body of the `{"cmd":"metrics"}` response. Field
+    /// names are part of the wire protocol (see DESIGN.md).
+    pub fn to_json(&self) -> Value {
+        let mut stages = serde_json::Map::new();
+        for (name, hist, cache) in &self.stages {
+            stages.insert(
+                name.to_string(),
+                serde_json::json!({
+                    "latency": hist.to_json(),
+                    "memory_hits": cache.memory_hits,
+                    "disk_hits": cache.disk_hits,
+                    "misses": cache.misses,
+                    "wall_ms": cache.wall_ms,
+                }),
+            );
+        }
+        let (memory_hits, disk_hits, misses) = self.totals();
+        let s = &self.service;
+        let mut root = serde_json::Map::new();
+        root.insert(
+            "jobs".into(),
+            serde_json::json!({
+                "submitted": s.jobs_submitted,
+                "completed": s.jobs_completed,
+                "failed": s.jobs_failed,
+                "rejected": s.jobs_rejected,
+                "panicked": s.jobs_panicked,
+                "timed_out": s.jobs_timed_out,
+                "cancelled": s.jobs_cancelled,
+            }),
+        );
+        root.insert(
+            "queue".into(),
+            serde_json::json!({"depth": s.queue_depth, "peak": s.queue_peak}),
+        );
+        root.insert(
+            "workers".into(),
+            serde_json::json!({"configured": s.workers_configured, "respawned": s.workers_respawned}),
+        );
+        root.insert(
+            "connections".into(),
+            serde_json::json!({"open": s.connections_open, "rejected": s.connections_rejected}),
+        );
+        let mut cache = serde_json::Map::new();
+        cache.insert("memory_hits".into(), memory_hits.into());
+        cache.insert("disk_hits".into(), disk_hits.into());
+        cache.insert("misses".into(), misses.into());
+        cache.insert("entries".into(), self.cache_entries.into());
+        cache.insert("memory_evicted".into(), self.cache_memory_evicted.into());
+        if let Some((dh, dm, q, ev, w)) = self.store {
+            cache.insert(
+                "store".into(),
+                serde_json::json!({
+                    "disk_hits": dh,
+                    "disk_misses": dm,
+                    "quarantined": q,
+                    "evicted": ev,
+                    "writes": w,
+                }),
+            );
+        }
+        root.insert("cache".into(), Value::Object(cache));
+        root.insert("stages".into(), Value::Object(stages));
+        root.insert(
+            "unknown_stage_events".into(),
+            self.unknown_stage_events.into(),
+        );
+        Value::Object(root)
+    }
+
+    /// Prometheus-style text exposition (`flowd --metrics-dump`,
+    /// `flowc metrics --text`).
+    pub fn to_prometheus_text(&self) -> String {
+        let mut out = String::new();
+        let s = &self.service;
+        let push = |out: &mut String, line: String| {
+            out.push_str(&line);
+            out.push('\n');
+        };
+
+        push(
+            &mut out,
+            "# HELP flowd_jobs_total Jobs by terminal state.".into(),
+        );
+        push(&mut out, "# TYPE flowd_jobs_total counter".into());
+        for (state, n) in [
+            ("submitted", s.jobs_submitted),
+            ("completed", s.jobs_completed),
+            ("failed", s.jobs_failed),
+            ("rejected", s.jobs_rejected),
+            ("panicked", s.jobs_panicked),
+            ("timed_out", s.jobs_timed_out),
+            ("cancelled", s.jobs_cancelled),
+        ] {
+            push(
+                &mut out,
+                format!("flowd_jobs_total{{state=\"{state}\"}} {n}"),
+            );
+        }
+
+        push(&mut out, "# TYPE flowd_queue_depth gauge".into());
+        push(&mut out, format!("flowd_queue_depth {}", s.queue_depth));
+        push(&mut out, "# TYPE flowd_queue_depth_peak gauge".into());
+        push(&mut out, format!("flowd_queue_depth_peak {}", s.queue_peak));
+        push(&mut out, "# TYPE flowd_workers_configured gauge".into());
+        push(
+            &mut out,
+            format!("flowd_workers_configured {}", s.workers_configured),
+        );
+        push(
+            &mut out,
+            "# TYPE flowd_workers_respawned_total counter".into(),
+        );
+        push(
+            &mut out,
+            format!("flowd_workers_respawned_total {}", s.workers_respawned),
+        );
+        push(&mut out, "# TYPE flowd_connections_open gauge".into());
+        push(
+            &mut out,
+            format!("flowd_connections_open {}", s.connections_open),
+        );
+        push(
+            &mut out,
+            "# TYPE flowd_connections_rejected_total counter".into(),
+        );
+        push(
+            &mut out,
+            format!(
+                "flowd_connections_rejected_total {}",
+                s.connections_rejected
+            ),
+        );
+
+        let (memory_hits, disk_hits, misses) = self.totals();
+        push(
+            &mut out,
+            "# HELP flowd_cache_hits_total Stage-cache hits by tier.".into(),
+        );
+        push(&mut out, "# TYPE flowd_cache_hits_total counter".into());
+        push(
+            &mut out,
+            format!("flowd_cache_hits_total{{tier=\"memory\"}} {memory_hits}"),
+        );
+        push(
+            &mut out,
+            format!("flowd_cache_hits_total{{tier=\"disk\"}} {disk_hits}"),
+        );
+        push(&mut out, "# TYPE flowd_cache_misses_total counter".into());
+        push(&mut out, format!("flowd_cache_misses_total {misses}"));
+        push(&mut out, "# TYPE flowd_cache_entries gauge".into());
+        push(
+            &mut out,
+            format!("flowd_cache_entries {}", self.cache_entries),
+        );
+        push(
+            &mut out,
+            "# TYPE flowd_cache_memory_evicted_total counter".into(),
+        );
+        push(
+            &mut out,
+            format!(
+                "flowd_cache_memory_evicted_total {}",
+                self.cache_memory_evicted
+            ),
+        );
+        if let Some((dh, dm, q, ev, w)) = self.store {
+            push(
+                &mut out,
+                "# TYPE flowd_store_disk_hits_total counter".into(),
+            );
+            push(&mut out, format!("flowd_store_disk_hits_total {dh}"));
+            push(
+                &mut out,
+                "# TYPE flowd_store_disk_misses_total counter".into(),
+            );
+            push(&mut out, format!("flowd_store_disk_misses_total {dm}"));
+            push(
+                &mut out,
+                "# TYPE flowd_store_quarantined_total counter".into(),
+            );
+            push(&mut out, format!("flowd_store_quarantined_total {q}"));
+            push(&mut out, "# TYPE flowd_store_evicted_total counter".into());
+            push(&mut out, format!("flowd_store_evicted_total {ev}"));
+            push(&mut out, "# TYPE flowd_store_writes_total counter".into());
+            push(&mut out, format!("flowd_store_writes_total {w}"));
+        }
+
+        push(
+            &mut out,
+            "# HELP flowd_stage_duration_ms Per-stage service latency (cache hits included)."
+                .into(),
+        );
+        push(&mut out, "# TYPE flowd_stage_duration_ms histogram".into());
+        for (stage, hist, _) in &self.stages {
+            let mut cumulative = 0u64;
+            for (i, n) in hist.buckets.iter().enumerate() {
+                cumulative += n;
+                let le = match BUCKET_BOUNDS_MS.get(i) {
+                    Some(bound) => bound.to_string(),
+                    None => "+Inf".to_string(),
+                };
+                push(
+                    &mut out,
+                    format!(
+                        "flowd_stage_duration_ms_bucket{{stage=\"{stage}\",le=\"{le}\"}} {cumulative}"
+                    ),
+                );
+            }
+            push(
+                &mut out,
+                format!(
+                    "flowd_stage_duration_ms_sum{{stage=\"{stage}\"}} {}",
+                    hist.sum_ms
+                ),
+            );
+            push(
+                &mut out,
+                format!(
+                    "flowd_stage_duration_ms_count{{stage=\"{stage}\"}} {}",
+                    hist.count
+                ),
+            );
+        }
+
+        push(
+            &mut out,
+            "# TYPE flowd_unknown_stage_events_total counter".into(),
+        );
+        push(
+            &mut out,
+            format!(
+                "flowd_unknown_stage_events_total {}",
+                self.unknown_stage_events
+            ),
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_observations_by_bound() {
+        let h = Histogram::new();
+        h.observe_ms(0.4); // le=1
+        h.observe_ms(1.0); // le=1 (inclusive bound)
+        h.observe_ms(7.0); // le=10
+        h.observe_ms(9999.0); // +Inf
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 4);
+        assert_eq!(snap.buckets[0], 2);
+        assert_eq!(snap.buckets[3], 1, "7ms lands in the le=10 bucket");
+        assert_eq!(*snap.buckets.last().unwrap(), 1, "overflow lands in +Inf");
+        assert!((snap.sum_ms - 10007.4).abs() < 0.01);
+
+        let js = snap.to_json();
+        let buckets = js["buckets"].as_array().unwrap();
+        assert_eq!(buckets.len(), BUCKET_BOUNDS_MS.len() + 1);
+        // Cumulative: the +Inf bucket always equals the total count.
+        assert_eq!(buckets.last().unwrap()["count"].as_u64(), Some(4));
+        assert_eq!(buckets.last().unwrap()["le"].as_str(), Some("+Inf"));
+    }
+
+    #[test]
+    fn registry_routes_by_stage_id_and_flags_unknowns() {
+        let m = Metrics::new();
+        m.observe_stage("synthesis", 3.0);
+        m.observe_stage("route", 42.0);
+        m.observe_stage("not_a_stage", 1.0);
+        let stages = m.stage_snapshots();
+        let synth = &stages.iter().find(|(n, _)| *n == "synthesis").unwrap().1;
+        assert_eq!(synth.count, 1);
+        let route = &stages.iter().find(|(n, _)| *n == "route").unwrap().1;
+        assert_eq!(route.count, 1);
+        assert_eq!(m.unknown_stage_events(), 1);
+    }
+
+    #[test]
+    fn prometheus_text_has_expected_families() {
+        let m = Metrics::new();
+        m.observe_stage("pack", 12.0);
+        let snap = MetricsSnapshot {
+            service: ServiceCounters {
+                jobs_completed: 3,
+                queue_peak: 2,
+                ..Default::default()
+            },
+            stages: m
+                .stage_snapshots()
+                .into_iter()
+                .map(|(n, h)| (n, h, StageCacheCounters::default()))
+                .collect(),
+            store: Some((8, 1, 0, 0, 9)),
+            ..Default::default()
+        };
+        let text = snap.to_prometheus_text();
+        assert!(text.contains("flowd_jobs_total{state=\"completed\"} 3"));
+        assert!(text.contains("flowd_queue_depth_peak 2"));
+        assert!(text.contains("flowd_stage_duration_ms_bucket{stage=\"pack\",le=\"20\"} 1"));
+        assert!(text.contains("flowd_stage_duration_ms_count{stage=\"pack\"} 1"));
+        assert!(text.contains("flowd_store_disk_hits_total 8"));
+        assert!(text.contains("flowd_cache_hits_total{tier=\"memory\"} 0"));
+        // Every line is a comment or `name{labels} value`.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.split(' ').count() == 2,
+                "malformed exposition line: {line}"
+            );
+        }
+    }
+}

@@ -1,14 +1,30 @@
 //! Wire protocol: newline-delimited JSON, one object per line.
 //!
-//! Requests and events are plain JSON objects rather than derived enum
-//! encodings — the protocol is the contract here, so it is parsed and
-//! emitted explicitly, field by field.
+//! Both directions are *typed*: clients build a [`Request`], servers
+//! answer with [`Event`]s, and each side round-trips through
+//! [`Request::to_value`] / [`parse_request`] and [`Event::to_value`] /
+//! [`parse_event`]. The JSON shapes themselves are the contract — they
+//! are parsed and emitted explicitly, field by field, never by derived
+//! enum encodings — so the wire stays compatible with version-1 peers
+//! that matched on raw `"cmd"` / `"event"` strings.
+//!
+//! [`PROTO_VERSION`] is carried in the `ping`/`pong` hello: clients send
+//! theirs, servers echo their own in the ack, and either side may treat
+//! a missing field as version 1.
 
 use std::io::{self, BufRead, Write};
 
 use fpga_arch::Architecture;
 use fpga_flow::FlowOptions;
 use serde_json::Value;
+
+/// Version of the request/event schema this build speaks. Bumped when a
+/// verb or event changes shape; absent on the wire means 1.
+///
+/// * 1 — `ping`/`stats`/`shutdown`/`compile`, stringly matched.
+/// * 2 — typed enums; adds the `metrics` verb, `trace` on compile
+///   requests (spans in the `done` event), and `proto_version` itself.
+pub const PROTO_VERSION: u64 = 2;
 
 /// Source language of a submitted design.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -31,10 +47,47 @@ impl SourceFormat {
 pub struct CompileRequest {
     pub format: SourceFormat,
     pub source: String,
-    pub options: FlowOptions,
+    /// Flow options exactly as they appear on the wire (`Value::Null`
+    /// for "all defaults"). Validated eagerly at parse/build time, so a
+    /// stored request is always convertible via
+    /// [`CompileRequest::flow_options`].
+    pub options: Value,
     /// Client-requested job deadline in milliseconds, measured from
     /// submission. The server clamps it to its own cap.
     pub deadline_ms: Option<u64>,
+    /// Ask the server to record a per-stage trace and attach the span
+    /// tree to the `done` event.
+    pub trace: bool,
+}
+
+impl CompileRequest {
+    /// A request for `source` with default options, no deadline, no
+    /// trace.
+    pub fn new(format: SourceFormat, source: impl Into<String>) -> Self {
+        CompileRequest {
+            format,
+            source: source.into(),
+            options: Value::Null,
+            deadline_ms: None,
+            trace: false,
+        }
+    }
+
+    /// Set the wire options, validating them now rather than at run
+    /// time.
+    pub fn with_options(mut self, options: Value) -> Result<Self, String> {
+        parse_options(Some(&options))?;
+        self.options = match options {
+            Value::Object(o) if o.is_empty() => Value::Null,
+            other => other,
+        };
+        Ok(self)
+    }
+
+    /// Materialize [`FlowOptions`] from the stored wire options.
+    pub fn flow_options(&self) -> Result<FlowOptions, String> {
+        parse_options(Some(&self.options))
+    }
 }
 
 /// Everything a client can ask.
@@ -42,8 +95,53 @@ pub struct CompileRequest {
 pub enum Request {
     Ping,
     Stats,
+    /// Latency histograms + counters; `text` asks for the
+    /// Prometheus-style exposition instead of JSON.
+    Metrics {
+        text: bool,
+    },
     Shutdown,
     Compile(Box<CompileRequest>),
+}
+
+impl Request {
+    /// The wire form. Inverse of [`parse_request_value`].
+    pub fn to_value(&self) -> Value {
+        let mut obj = serde_json::Map::new();
+        match self {
+            Request::Ping => {
+                obj.insert("cmd".into(), "ping".into());
+                obj.insert("proto_version".into(), PROTO_VERSION.into());
+            }
+            Request::Stats => {
+                obj.insert("cmd".into(), "stats".into());
+            }
+            Request::Metrics { text } => {
+                obj.insert("cmd".into(), "metrics".into());
+                if *text {
+                    obj.insert("format".into(), "text".into());
+                }
+            }
+            Request::Shutdown => {
+                obj.insert("cmd".into(), "shutdown".into());
+            }
+            Request::Compile(c) => {
+                obj.insert("cmd".into(), "compile".into());
+                obj.insert("format".into(), c.format.name().into());
+                obj.insert("source".into(), c.source.clone().into());
+                if !c.options.is_null() {
+                    obj.insert("options".into(), c.options.clone());
+                }
+                if let Some(ms) = c.deadline_ms {
+                    obj.insert("deadline_ms".into(), ms.into());
+                }
+                if c.trace {
+                    obj.insert("trace".into(), true.into());
+                }
+            }
+        }
+        Value::Object(obj)
+    }
 }
 
 /// Parse one request line.
@@ -63,6 +161,14 @@ pub fn parse_request_value(v: &Value) -> Result<Request, String> {
     match cmd {
         "ping" => Ok(Request::Ping),
         "stats" => Ok(Request::Stats),
+        "metrics" => {
+            let text = match v.get("format").and_then(Value::as_str) {
+                None | Some("json") => false,
+                Some("text") => true,
+                Some(other) => return Err(format!("unknown metrics format '{other}'")),
+            };
+            Ok(Request::Metrics { text })
+        }
         "shutdown" => Ok(Request::Shutdown),
         "compile" => {
             let format = match v.get("format").and_then(Value::as_str) {
@@ -75,7 +181,9 @@ pub fn parse_request_value(v: &Value) -> Result<Request, String> {
                 .and_then(Value::as_str)
                 .ok_or_else(|| "missing 'source'".to_string())?
                 .to_string();
-            let options = parse_options(v.get("options"))?;
+            // Validate now: a stored request is always convertible.
+            parse_options(v.get("options"))?;
+            let options = v.get("options").cloned().unwrap_or(Value::Null);
             let deadline_ms = match v.get("deadline_ms") {
                 None | Some(Value::Null) => None,
                 Some(d) => Some(
@@ -83,11 +191,18 @@ pub fn parse_request_value(v: &Value) -> Result<Request, String> {
                         .ok_or_else(|| "deadline_ms must be an integer".to_string())?,
                 ),
             };
+            let trace = match v.get("trace") {
+                None | Some(Value::Null) => false,
+                Some(t) => t
+                    .as_bool()
+                    .ok_or_else(|| "trace must be a boolean".to_string())?,
+            };
             Ok(Request::Compile(Box::new(CompileRequest {
                 format,
                 source,
                 options,
                 deadline_ms,
+                trace,
             })))
         }
         other => Err(format!("unknown cmd '{other}'")),
@@ -144,6 +259,313 @@ fn parse_options(v: Option<&Value>) -> Result<FlowOptions, String> {
         }
     }
     Ok(opts)
+}
+
+/// Everything a server can answer. One JSON object per line on the
+/// wire; [`Event::to_value`] and [`parse_event`] are inverses.
+///
+/// The `Stats` and `Metrics` payloads stay opaque [`Value`]s: their
+/// bodies are assembled by the service from live counters and rendered
+/// verbatim — the protocol layer only frames them.
+#[derive(Clone, Debug)]
+pub enum Event {
+    /// Ack of `ping`; carries the server's flow version and
+    /// [`PROTO_VERSION`] (absent from version-1 servers — parsed as 1).
+    Pong { version: String, proto_version: u64 },
+    /// Full stats body, including its `"event":"stats"` marker.
+    Stats(Value),
+    /// Full metrics body (JSON or `{"format":"text","text":...}`),
+    /// including its `"event":"metrics"` marker.
+    Metrics(Value),
+    /// Ack of `shutdown`: the queue is already draining.
+    ShuttingDown,
+    /// Compile accepted; stage events for `job` follow.
+    Queued { job: u64 },
+    /// Compile refused (queue full / shutting down).
+    Rejected {
+        job: u64,
+        reason: String,
+        retry_after_ms: Option<u64>,
+    },
+    /// One pipeline stage finished. `id` is the short stable stage id
+    /// (`"synthesis"`); `stage` the human-readable title.
+    Stage {
+        job: u64,
+        id: Option<String>,
+        stage: String,
+        ok: bool,
+        elapsed_ms: f64,
+        metrics: Value,
+    },
+    /// Terminal success. `trace` carries the span tree when the request
+    /// asked for one.
+    Done {
+        job: u64,
+        design: String,
+        report: Value,
+        bitstream_hex: String,
+        trace: Option<Value>,
+    },
+    /// Terminal deadline overrun.
+    Timeout {
+        job: u64,
+        deadline_ms: Option<u64>,
+        completed_stages: Vec<String>,
+        message: String,
+    },
+    /// Terminal failure, or a connection-level complaint (no `job`).
+    /// `kind` distinguishes panics, rejections under load, etc.
+    Error {
+        job: Option<u64>,
+        kind: Option<String>,
+        stage: Option<String>,
+        message: String,
+        retry_after_ms: Option<u64>,
+    },
+}
+
+impl Event {
+    /// The wire form. Inverse of [`parse_event`]; field names and
+    /// shapes match what version-1 clients already string-matched on.
+    pub fn to_value(&self) -> Value {
+        let mut obj = serde_json::Map::new();
+        match self {
+            Event::Pong {
+                version,
+                proto_version,
+            } => {
+                obj.insert("event".into(), "pong".into());
+                obj.insert("version".into(), version.clone().into());
+                obj.insert("proto_version".into(), (*proto_version).into());
+            }
+            Event::Stats(body) | Event::Metrics(body) => {
+                let marker = if matches!(self, Event::Stats(_)) {
+                    "stats"
+                } else {
+                    "metrics"
+                };
+                match body {
+                    Value::Object(map) => {
+                        for (k, v) in map.iter() {
+                            obj.insert(k.clone(), v.clone());
+                        }
+                    }
+                    other => {
+                        obj.insert("body".into(), other.clone());
+                    }
+                }
+                obj.insert("event".into(), marker.into());
+            }
+            Event::ShuttingDown => {
+                obj.insert("event".into(), "shutting_down".into());
+            }
+            Event::Queued { job } => {
+                obj.insert("event".into(), "queued".into());
+                obj.insert("job".into(), (*job).into());
+            }
+            Event::Rejected {
+                job,
+                reason,
+                retry_after_ms,
+            } => {
+                obj.insert("event".into(), "rejected".into());
+                obj.insert("job".into(), (*job).into());
+                obj.insert("reason".into(), reason.clone().into());
+                if let Some(ms) = retry_after_ms {
+                    obj.insert("retry_after_ms".into(), (*ms).into());
+                }
+            }
+            Event::Stage {
+                job,
+                id,
+                stage,
+                ok,
+                elapsed_ms,
+                metrics,
+            } => {
+                obj.insert("event".into(), "stage".into());
+                obj.insert("job".into(), (*job).into());
+                if let Some(id) = id {
+                    obj.insert("id".into(), id.clone().into());
+                }
+                obj.insert("stage".into(), stage.clone().into());
+                obj.insert("ok".into(), (*ok).into());
+                obj.insert("elapsed_ms".into(), (*elapsed_ms).into());
+                obj.insert("metrics".into(), metrics.clone());
+            }
+            Event::Done {
+                job,
+                design,
+                report,
+                bitstream_hex,
+                trace,
+            } => {
+                obj.insert("event".into(), "done".into());
+                obj.insert("job".into(), (*job).into());
+                obj.insert("design".into(), design.clone().into());
+                obj.insert("report".into(), report.clone());
+                obj.insert("bitstream_hex".into(), bitstream_hex.clone().into());
+                if let Some(trace) = trace {
+                    obj.insert("trace".into(), trace.clone());
+                }
+            }
+            Event::Timeout {
+                job,
+                deadline_ms,
+                completed_stages,
+                message,
+            } => {
+                obj.insert("event".into(), "timeout".into());
+                obj.insert("job".into(), (*job).into());
+                obj.insert(
+                    "deadline_ms".into(),
+                    deadline_ms.map(Value::from).unwrap_or(Value::Null),
+                );
+                obj.insert(
+                    "completed_stages".into(),
+                    Value::Array(completed_stages.iter().map(|s| s.clone().into()).collect()),
+                );
+                obj.insert("message".into(), message.clone().into());
+            }
+            Event::Error {
+                job,
+                kind,
+                stage,
+                message,
+                retry_after_ms,
+            } => {
+                obj.insert("event".into(), "error".into());
+                if let Some(kind) = kind {
+                    obj.insert("kind".into(), kind.clone().into());
+                }
+                if let Some(job) = job {
+                    obj.insert("job".into(), (*job).into());
+                }
+                if let Some(stage) = stage {
+                    obj.insert("stage".into(), stage.clone().into());
+                }
+                obj.insert("message".into(), message.clone().into());
+                if let Some(ms) = retry_after_ms {
+                    obj.insert("retry_after_ms".into(), (*ms).into());
+                }
+            }
+        }
+        Value::Object(obj)
+    }
+}
+
+/// Why [`parse_event`] could not produce an [`Event`].
+#[derive(Clone, Debug)]
+pub enum EventParseError {
+    /// The event name is not one this build knows — a newer (or older)
+    /// peer. Clients should warn and skip, not die: unknown events are
+    /// the protocol's forward-compatibility escape hatch.
+    Unknown(String),
+    /// A known event arrived with missing/mistyped fields.
+    Malformed(String),
+}
+
+impl std::fmt::Display for EventParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EventParseError::Unknown(name) => write!(f, "unknown event '{name}'"),
+            EventParseError::Malformed(msg) => write!(f, "malformed event: {msg}"),
+        }
+    }
+}
+
+/// Parse a server event from its decoded wire form.
+pub fn parse_event(v: &Value) -> Result<Event, EventParseError> {
+    use EventParseError::Malformed;
+    let name = v
+        .get("event")
+        .and_then(Value::as_str)
+        .ok_or_else(|| Malformed("missing 'event'".into()))?;
+    let job = |v: &Value| -> Result<u64, EventParseError> {
+        v.get("job")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| Malformed(format!("'{name}' missing numeric 'job'")))
+    };
+    let message = |v: &Value| {
+        v.get("message")
+            .and_then(Value::as_str)
+            .unwrap_or("")
+            .to_string()
+    };
+    match name {
+        "pong" => Ok(Event::Pong {
+            version: v
+                .get("version")
+                .and_then(Value::as_str)
+                .unwrap_or("")
+                .to_string(),
+            // Absent = a version-1 server.
+            proto_version: v.get("proto_version").and_then(Value::as_u64).unwrap_or(1),
+        }),
+        "stats" => Ok(Event::Stats(v.clone())),
+        "metrics" => Ok(Event::Metrics(v.clone())),
+        "shutting_down" => Ok(Event::ShuttingDown),
+        "queued" => Ok(Event::Queued { job: job(v)? }),
+        "rejected" => Ok(Event::Rejected {
+            job: job(v)?,
+            reason: v
+                .get("reason")
+                .and_then(Value::as_str)
+                .unwrap_or("rejected")
+                .to_string(),
+            retry_after_ms: v.get("retry_after_ms").and_then(Value::as_u64),
+        }),
+        "stage" => Ok(Event::Stage {
+            job: job(v)?,
+            id: v.get("id").and_then(Value::as_str).map(str::to_string),
+            stage: v
+                .get("stage")
+                .and_then(Value::as_str)
+                .ok_or_else(|| Malformed("'stage' missing 'stage'".into()))?
+                .to_string(),
+            ok: v.get("ok").and_then(Value::as_bool).unwrap_or(true),
+            elapsed_ms: v.get("elapsed_ms").and_then(Value::as_f64).unwrap_or(0.0),
+            metrics: v.get("metrics").cloned().unwrap_or(Value::Null),
+        }),
+        "done" => Ok(Event::Done {
+            job: job(v)?,
+            design: v
+                .get("design")
+                .and_then(Value::as_str)
+                .unwrap_or("")
+                .to_string(),
+            report: v.get("report").cloned().unwrap_or(Value::Null),
+            bitstream_hex: v
+                .get("bitstream_hex")
+                .and_then(Value::as_str)
+                .ok_or_else(|| Malformed("'done' missing 'bitstream_hex'".into()))?
+                .to_string(),
+            trace: v.get("trace").filter(|t| !t.is_null()).cloned(),
+        }),
+        "timeout" => Ok(Event::Timeout {
+            job: job(v)?,
+            deadline_ms: v.get("deadline_ms").and_then(Value::as_u64),
+            completed_stages: v
+                .get("completed_stages")
+                .and_then(Value::as_array)
+                .map(|a| {
+                    a.iter()
+                        .filter_map(Value::as_str)
+                        .map(str::to_string)
+                        .collect()
+                })
+                .unwrap_or_default(),
+            message: message(v),
+        }),
+        "error" => Ok(Event::Error {
+            job: v.get("job").and_then(Value::as_u64),
+            kind: v.get("kind").and_then(Value::as_str).map(str::to_string),
+            stage: v.get("stage").and_then(Value::as_str).map(str::to_string),
+            message: message(v),
+            retry_after_ms: v.get("retry_after_ms").and_then(Value::as_u64),
+        }),
+        other => Err(EventParseError::Unknown(other.to_string())),
+    }
 }
 
 /// Write one event line and flush (clients block on complete lines).
@@ -269,17 +691,119 @@ mod tests {
             panic!("not compile")
         };
         assert_eq!(c.format, SourceFormat::Blif);
-        assert_eq!(c.options.place_seed, 9);
-        assert_eq!(c.options.channel_width, Some(12));
-        assert_eq!(c.options.verify_cycles, 0);
+        assert!(!c.trace);
+        let opts = c.flow_options().unwrap();
+        assert_eq!(opts.place_seed, 9);
+        assert_eq!(opts.channel_width, Some(12));
+        assert_eq!(opts.verify_cycles, 0);
         // Untouched fields keep defaults.
-        assert_eq!(c.options.place_effort, FlowOptions::default().place_effort);
+        assert_eq!(opts.place_effort, FlowOptions::default().place_effort);
     }
 
     #[test]
     fn rejects_unknown_cmd_and_option() {
         assert!(parse_request(r#"{"cmd":"fly"}"#).is_err());
+        // Bad options are rejected at parse time, not first use.
         assert!(parse_request(r#"{"cmd":"compile","source":"x","options":{"speed":9}}"#).is_err());
+        assert!(parse_request(r#"{"cmd":"metrics","format":"xml"}"#).is_err());
+    }
+
+    #[test]
+    fn requests_round_trip_through_to_value() {
+        let reqs = [
+            Request::Ping,
+            Request::Stats,
+            Request::Metrics { text: true },
+            Request::Metrics { text: false },
+            Request::Shutdown,
+            Request::Compile(Box::new({
+                let mut c = CompileRequest::new(SourceFormat::Blif, ".model m")
+                    .with_options(serde_json::json!({"place_seed": 3}))
+                    .unwrap();
+                c.deadline_ms = Some(900);
+                c.trace = true;
+                c
+            })),
+        ];
+        for req in reqs {
+            let v = req.to_value();
+            let back = parse_request_value(&v).unwrap();
+            assert_eq!(back.to_value(), v, "round trip changed {v}");
+        }
+        // The hello carries our protocol version.
+        assert_eq!(
+            Request::Ping.to_value()["proto_version"].as_u64(),
+            Some(PROTO_VERSION)
+        );
+    }
+
+    #[test]
+    fn events_round_trip_through_to_value() {
+        let events = [
+            Event::Pong {
+                version: "1.0".into(),
+                proto_version: PROTO_VERSION,
+            },
+            Event::ShuttingDown,
+            Event::Queued { job: 7 },
+            Event::Rejected {
+                job: 7,
+                reason: "queue full".into(),
+                retry_after_ms: Some(250),
+            },
+            Event::Stage {
+                job: 7,
+                id: Some("pack".into()),
+                stage: "packing (T-VPack)".into(),
+                ok: true,
+                elapsed_ms: 1.25,
+                metrics: serde_json::json!({"clbs": 4, "cache": "hit"}),
+            },
+            Event::Done {
+                job: 7,
+                design: "counter".into(),
+                report: serde_json::json!({"stages": Vec::<Value>::new()}),
+                bitstream_hex: "a0b1".into(),
+                trace: Some(serde_json::json!({"spans": Vec::<Value>::new()})),
+            },
+            Event::Timeout {
+                job: 7,
+                deadline_ms: Some(100),
+                completed_stages: vec!["synthesis".into()],
+                message: "deadline of 100ms exceeded".into(),
+            },
+            Event::Error {
+                job: Some(7),
+                kind: Some("panic".into()),
+                stage: None,
+                message: "boom".into(),
+                retry_after_ms: None,
+            },
+        ];
+        for ev in events {
+            let v = ev.to_value();
+            let back = parse_event(&v).unwrap();
+            assert_eq!(back.to_value(), v, "round trip changed {v}");
+        }
+    }
+
+    #[test]
+    fn unknown_events_are_flagged_not_fatal() {
+        let v = serde_json::json!({"event": "hologram", "job": 1});
+        match parse_event(&v) {
+            Err(EventParseError::Unknown(name)) => assert_eq!(name, "hologram"),
+            other => panic!("expected Unknown, got {other:?}"),
+        }
+        // A version-1 pong (no proto_version) parses as protocol 1.
+        let v = serde_json::json!({"event": "pong", "version": "0.9"});
+        match parse_event(&v) {
+            Ok(Event::Pong { proto_version, .. }) => assert_eq!(proto_version, 1),
+            other => panic!("expected Pong, got {other:?}"),
+        }
+        assert!(matches!(
+            parse_event(&serde_json::json!({"event": "queued"})),
+            Err(EventParseError::Malformed(_))
+        ));
     }
 
     #[test]

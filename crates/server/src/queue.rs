@@ -31,6 +31,9 @@ impl std::fmt::Display for SubmitError {
 struct State<T> {
     items: VecDeque<T>,
     draining: bool,
+    /// Deepest the queue has ever been — the saturation high-water mark
+    /// the metrics registry reports.
+    peak: usize,
 }
 
 /// The queue. Shared by reference (the server wraps it in an `Arc`).
@@ -47,6 +50,7 @@ impl<T> JobQueue<T> {
             state: Mutex::new(State {
                 items: VecDeque::new(),
                 draining: false,
+                peak: 0,
             }),
             available: Condvar::new(),
             capacity,
@@ -72,6 +76,7 @@ impl<T> JobQueue<T> {
             return Err(SubmitError::Full);
         }
         s.items.push_back(item);
+        s.peak = s.peak.max(s.items.len());
         drop(s);
         self.available.notify_one();
         Ok(())
@@ -106,6 +111,11 @@ impl<T> JobQueue<T> {
         self.lock_state().items.len()
     }
 
+    /// Deepest the queue has ever been.
+    pub fn peak(&self) -> usize {
+        self.lock_state().peak
+    }
+
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -130,6 +140,7 @@ mod tests {
         assert_eq!(q.next(), Some(2));
         assert_eq!(q.next(), Some(3));
         assert_eq!(q.next(), None);
+        assert_eq!(q.peak(), 2, "high-water mark survives the drain");
     }
 
     #[test]

@@ -25,15 +25,18 @@ use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
-use std::thread::JoinHandle;
-use std::time::Duration;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
 use std::{fmt, io};
 
 use fpga_flow::fault::{CancelToken, FaultPlan, KILL_WORKER_PANIC};
-use fpga_flow::{DiskStore, FlowCtx, StageCache};
+use fpga_flow::{DiskStore, FlowCtx, StageCache, TraceLog};
 use serde_json::Value;
 
-use crate::proto::{self, CompileRequest, ReadLineError, Request, SourceFormat};
+use crate::metrics::{Metrics, MetricsSnapshot, ServiceCounters, StageCacheCounters};
+use crate::proto::{
+    self, CompileRequest, Event, ReadLineError, Request, SourceFormat, PROTO_VERSION,
+};
 use crate::queue::JobQueue;
 use crate::supervisor;
 
@@ -112,7 +115,7 @@ impl Default for ServerConfig {
 struct Job {
     id: u64,
     req: CompileRequest,
-    events: mpsc::Sender<Value>,
+    events: mpsc::Sender<Event>,
     cancel: CancelToken,
     deadline_ms: Option<u64>,
 }
@@ -121,6 +124,8 @@ struct Shared {
     cache: StageCache,
     queue: JobQueue<Job>,
     config: ServerConfig,
+    /// Per-stage latency histograms (and the unknown-stage-id tripwire).
+    metrics: Metrics,
     shutting_down: AtomicBool,
     jobs_submitted: AtomicU64,
     jobs_completed: AtomicU64,
@@ -193,6 +198,82 @@ impl Shared {
         Value::Object(root)
     }
 
+    /// Gather every live counter into one [`MetricsSnapshot`] — the
+    /// single source both the JSON and Prometheus-text renderings of the
+    /// `metrics` verb draw from.
+    fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let service = ServiceCounters {
+            jobs_submitted: self.jobs_submitted.load(Ordering::Relaxed),
+            jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
+            jobs_failed: self.jobs_failed.load(Ordering::Relaxed),
+            jobs_rejected: self.jobs_rejected.load(Ordering::Relaxed),
+            jobs_panicked: self.jobs_panicked.load(Ordering::Relaxed),
+            jobs_timed_out: self.jobs_timed_out.load(Ordering::Relaxed),
+            jobs_cancelled: self.jobs_cancelled.load(Ordering::Relaxed),
+            queue_depth: self.queue.len() as u64,
+            queue_peak: self.queue.peak() as u64,
+            workers_configured: self.config.workers.max(1) as u64,
+            workers_respawned: self.workers_respawned.load(Ordering::Relaxed),
+            connections_open: self.open_connections.load(Ordering::Relaxed),
+            connections_rejected: self.connections_rejected.load(Ordering::Relaxed),
+        };
+        let stages = self
+            .metrics
+            .stage_snapshots()
+            .into_iter()
+            .zip(self.cache.all_stats())
+            .map(|((name, hist), (_, c))| {
+                let cache = StageCacheCounters {
+                    memory_hits: c.memory_hits(),
+                    disk_hits: c.disk_hits,
+                    misses: c.misses,
+                    wall_ms: c.wall_nanos / 1_000_000,
+                };
+                (name, hist, cache)
+            })
+            .collect();
+        let store = self.cache.store().map(|s| {
+            let c = s.counters();
+            (
+                c.disk_hits,
+                c.disk_misses,
+                c.quarantined,
+                c.evicted,
+                c.writes,
+            )
+        });
+        MetricsSnapshot {
+            service,
+            stages,
+            cache_entries: self.cache.len() as u64,
+            cache_memory_evicted: self.cache.memory_evicted(),
+            store,
+            unknown_stage_events: self.metrics.unknown_stage_events(),
+        }
+    }
+
+    /// The `metrics` verb's JSON body, framed and versioned.
+    fn metrics_json(&self) -> Value {
+        let mut body = match self.metrics_snapshot().to_json() {
+            Value::Object(map) => map,
+            other => {
+                let mut map = serde_json::Map::new();
+                map.insert("body".to_string(), other);
+                map
+            }
+        };
+        body.insert("event".to_string(), serde_json::json!("metrics"));
+        body.insert(
+            "version".to_string(),
+            serde_json::json!(fpga_flow::FLOW_VERSION),
+        );
+        body.insert(
+            "proto_version".to_string(),
+            serde_json::json!(PROTO_VERSION),
+        );
+        Value::Object(body)
+    }
+
     fn retry_after(&self) -> u64 {
         self.config.retry_after_ms
     }
@@ -252,6 +333,7 @@ impl Server {
             cache,
             queue: JobQueue::new(queue_capacity),
             config,
+            metrics: Metrics::new(),
             shutting_down: AtomicBool::new(false),
             jobs_submitted: AtomicU64::new(0),
             jobs_completed: AtomicU64::new(0),
@@ -348,6 +430,18 @@ impl Server {
         self.shared.stats_json()
     }
 
+    /// The `metrics` verb's JSON body (histograms, cache tiers, queue
+    /// high-water mark); what a client sees for `{"cmd":"metrics"}`.
+    pub fn metrics_json(&self) -> Value {
+        self.shared.metrics_json()
+    }
+
+    /// Prometheus-style text exposition of the same snapshot
+    /// (`flowd --metrics-dump` prints this at exit).
+    pub fn metrics_text(&self) -> String {
+        self.shared.metrics_snapshot().to_prometheus_text()
+    }
+
     /// Graceful shutdown: reject new jobs, drain the queue, stop the
     /// listeners, join every daemon thread.
     pub fn shutdown(mut self) {
@@ -355,20 +449,36 @@ impl Server {
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
+        drain_connections(&self.shared);
         if let Some(path) = &self.unix_path {
             let _ = std::fs::remove_file(path);
         }
     }
 
     /// Block until a client's `shutdown` command stops the daemon (what
-    /// `flowd` does after printing its banner).
-    pub fn wait(mut self) {
+    /// `flowd` does after printing its banner). Takes `&mut self` so the
+    /// caller can still read final metrics afterwards
+    /// (`--metrics-dump`); calling it twice is a no-op.
+    pub fn wait(&mut self) {
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
+        drain_connections(&self.shared);
         if let Some(path) = &self.unix_path {
             let _ = std::fs::remove_file(path);
         }
+    }
+}
+
+/// Connection threads are detached, so joining the listener and worker
+/// threads does not prove the last ack left the building — in particular
+/// the `shutting_down` reply to the client that requested the shutdown.
+/// Give in-flight connections a bounded grace period to finish their
+/// final write before the process tears the sockets down.
+fn drain_connections(shared: &Shared) {
+    let deadline = Instant::now() + Duration::from_secs(2);
+    while shared.open_connections.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+        thread::sleep(Duration::from_millis(5));
     }
 }
 
@@ -394,6 +504,22 @@ fn trigger_shutdown(
     let _ = unix_path;
 }
 
+/// Wire form of a connection-level complaint (no job attached).
+fn conn_error(
+    kind: Option<&str>,
+    message: impl Into<String>,
+    retry_after_ms: Option<u64>,
+) -> Value {
+    Event::Error {
+        job: None,
+        kind: kind.map(str::to_string),
+        stage: None,
+        message: message.into(),
+        retry_after_ms,
+    }
+    .to_value()
+}
+
 /// Admission control shared by both accept loops. Returns the connection
 /// guard when the connection should be served; `None` when it was
 /// answered (shutdown notice / overload rejection) and must be dropped,
@@ -411,11 +537,7 @@ fn admit(stream: &mut impl Write, shared: &Arc<Shared>) -> Admission {
         // never reads, so the write is harmless.)
         let _ = proto::write_line(
             stream,
-            &serde_json::json!({
-                "event": "error",
-                "kind": "shutting-down",
-                "message": "shutting down",
-            }),
+            &conn_error(Some("shutting-down"), "shutting down", None),
         );
         return Admission::StopAccepting;
     }
@@ -425,15 +547,14 @@ fn admit(stream: &mut impl Write, shared: &Arc<Shared>) -> Admission {
         shared.connections_rejected.fetch_add(1, Ordering::SeqCst);
         let _ = proto::write_line(
             stream,
-            &serde_json::json!({
-                "event": "error",
-                "kind": "overloaded",
-                "message": format!(
+            &conn_error(
+                Some("overloaded"),
+                format!(
                     "too many connections ({} open)",
                     shared.config.max_connections
                 ),
-                "retry_after_ms": shared.retry_after(),
-            }),
+                Some(shared.retry_after()),
+            ),
         );
         return Admission::Reject;
     }
@@ -526,11 +647,11 @@ fn serve_connection<S: Read + Write + TryCloneStream>(
                 // serving this connection.
                 if proto::write_line(
                     &mut writer,
-                    &serde_json::json!({
-                        "event": "error",
-                        "kind": "oversized",
-                        "message": format!("request line exceeds {limit} bytes"),
-                    }),
+                    &conn_error(
+                        Some("oversized"),
+                        format!("request line exceeds {limit} bytes"),
+                        None,
+                    ),
                 )
                 .is_err()
                 {
@@ -541,10 +662,7 @@ fn serve_connection<S: Read + Write + TryCloneStream>(
             Err(ReadLineError::BadJson(message)) => {
                 let _ = proto::write_line(
                     &mut writer,
-                    &serde_json::json!({
-                        "event": "error",
-                        "message": format!("bad JSON: {message}"),
-                    }),
+                    &conn_error(None, format!("bad JSON: {message}"), None),
                 );
                 return;
             }
@@ -556,49 +674,53 @@ fn serve_connection<S: Read + Write + TryCloneStream>(
             {
                 let _ = proto::write_line(
                     &mut writer,
-                    &serde_json::json!({
-                        "event": "error",
-                        "kind": "idle-timeout",
-                        "message": "connection idle too long",
-                    }),
+                    &conn_error(Some("idle-timeout"), "connection idle too long", None),
                 );
                 return;
             }
             Err(ReadLineError::Io(e)) => {
-                let _ = proto::write_line(
-                    &mut writer,
-                    &serde_json::json!({"event": "error", "message": e.to_string()}),
-                );
+                let _ = proto::write_line(&mut writer, &conn_error(None, e.to_string(), None));
                 return;
             }
         };
         let req = match proto::parse_request_value(&line) {
             Ok(req) => req,
             Err(message) => {
-                let _ = proto::write_line(
-                    &mut writer,
-                    &serde_json::json!({"event": "error", "message": message}),
-                );
+                let _ = proto::write_line(&mut writer, &conn_error(None, message, None));
                 continue;
             }
         };
+        // Exhaustive: a new verb fails to compile until it is answered.
         match req {
             Request::Ping => {
-                let _ = proto::write_line(
-                    &mut writer,
-                    &serde_json::json!({"event": "pong", "version": fpga_flow::FLOW_VERSION}),
-                );
+                let pong = Event::Pong {
+                    version: fpga_flow::FLOW_VERSION.to_string(),
+                    proto_version: PROTO_VERSION,
+                };
+                let _ = proto::write_line(&mut writer, &pong.to_value());
             }
             Request::Stats => {
-                let _ = proto::write_line(&mut writer, &shared.stats_json());
+                let _ =
+                    proto::write_line(&mut writer, &Event::Stats(shared.stats_json()).to_value());
+            }
+            Request::Metrics { text } => {
+                let body = if text {
+                    serde_json::json!({
+                        "event": "metrics",
+                        "format": "text",
+                        "text": shared.metrics_snapshot().to_prometheus_text(),
+                    })
+                } else {
+                    shared.metrics_json()
+                };
+                let _ = proto::write_line(&mut writer, &Event::Metrics(body).to_value());
             }
             Request::Shutdown => {
                 // Trigger BEFORE acknowledging: once the client reads the
                 // ack, the queue is already draining, so nothing submitted
                 // afterwards can slip in and be served.
                 trigger_shutdown(shared, tcp_addr, unix_path.as_deref());
-                let _ =
-                    proto::write_line(&mut writer, &serde_json::json!({"event": "shutting_down"}));
+                let _ = proto::write_line(&mut writer, &Event::ShuttingDown.to_value());
                 return;
             }
             Request::Compile(req) => {
@@ -630,7 +752,7 @@ fn handle_compile(mut req: CompileRequest, shared: &Arc<Shared>, writer: &mut im
         Some(ms) => CancelToken::with_deadline(Duration::from_millis(ms)),
         None => CancelToken::new(),
     };
-    let (tx, rx) = mpsc::channel::<Value>();
+    let (tx, rx) = mpsc::channel::<Event>();
     match shared.queue.submit(Job {
         id,
         req,
@@ -640,22 +762,16 @@ fn handle_compile(mut req: CompileRequest, shared: &Arc<Shared>, writer: &mut im
     }) {
         Err(reason) => {
             shared.jobs_rejected.fetch_add(1, Ordering::Relaxed);
-            proto::write_line(
-                writer,
-                &serde_json::json!({
-                    "event": "rejected",
-                    "job": id,
-                    "reason": reason.to_string(),
-                    "retry_after_ms": shared.retry_after(),
-                }),
-            )
-            .is_ok()
+            let rejected = Event::Rejected {
+                job: id,
+                reason: reason.to_string(),
+                retry_after_ms: Some(shared.retry_after()),
+            };
+            proto::write_line(writer, &rejected.to_value()).is_ok()
         }
         Ok(()) => {
             shared.jobs_submitted.fetch_add(1, Ordering::Relaxed);
-            if proto::write_line(writer, &serde_json::json!({"event": "queued", "job": id}))
-                .is_err()
-            {
+            if proto::write_line(writer, &Event::Queued { job: id }.to_value()).is_err() {
                 // Client left before the ack: stop the job at its next
                 // stage boundary instead of computing for nobody.
                 cancel.cancel();
@@ -665,10 +781,10 @@ fn handle_compile(mut req: CompileRequest, shared: &Arc<Shared>, writer: &mut im
             let mut saw_terminal = false;
             for event in rx {
                 let terminal = matches!(
-                    event.get("event").and_then(Value::as_str),
-                    Some("done") | Some("error") | Some("timeout")
+                    event,
+                    Event::Done { .. } | Event::Error { .. } | Event::Timeout { .. }
                 );
-                if proto::write_line(writer, &event).is_err() {
+                if proto::write_line(writer, &event.to_value()).is_err() {
                     cancel.cancel();
                     return false;
                 }
@@ -681,16 +797,14 @@ fn handle_compile(mut req: CompileRequest, shared: &Arc<Shared>, writer: &mut im
                 // The worker died mid-job (its event sender dropped
                 // without a terminal event). The supervisor is already
                 // respawning it; tell the client what happened.
-                return proto::write_line(
-                    writer,
-                    &serde_json::json!({
-                        "event": "error",
-                        "kind": "worker-lost",
-                        "job": id,
-                        "message": "worker died while running this job",
-                    }),
-                )
-                .is_ok();
+                let lost = Event::Error {
+                    job: Some(id),
+                    kind: Some("worker-lost".into()),
+                    stage: None,
+                    message: "worker died while running this job".into(),
+                    retry_after_ms: None,
+                };
+                return proto::write_line(writer, &lost.to_value()).is_ok();
             }
             true
         }
@@ -725,9 +839,26 @@ fn run_job(shared: &Arc<Shared>, job: Job) {
         cancel,
         deadline_ms,
     } = job;
-    // Stream per-stage progress as it happens, and remember which stages
-    // finished so a timeout can report how far the job got. The sender
-    // side never blocks; if the client left, sends fail and are ignored.
+    let options = match req.flow_options() {
+        Ok(opts) => opts,
+        Err(message) => {
+            // Unreachable in practice: options were validated at parse
+            // time. Kept as a structured error, not a panic.
+            shared.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            let _ = events.send(Event::Error {
+                job: Some(id),
+                kind: None,
+                stage: Some("options".into()),
+                message,
+                retry_after_ms: None,
+            });
+            return;
+        }
+    };
+    // Stream per-stage progress as it happens (feeding the latency
+    // histograms on the way out), and remember which stages finished so
+    // a timeout can report how far the job got. The sender side never
+    // blocks; if the client left, sends fail and are ignored.
     let completed = Mutex::new(Vec::<String>::new());
     let tx = Mutex::new(events.clone());
     let observer = |s: &fpga_flow::StageReport| {
@@ -737,28 +868,37 @@ fn run_job(shared: &Arc<Shared>, job: Job) {
                 .unwrap_or_else(|poisoned| poisoned.into_inner())
                 .push(s.stage.clone());
         }
+        if let Some(stage_id) = &s.id {
+            shared.metrics.observe_stage(stage_id, s.elapsed_ms);
+        }
         let _ = tx
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner())
-            .send(serde_json::json!({
-                "event": "stage",
-                "job": id,
-                "stage": s.stage.clone(),
-                "ok": s.ok,
-                "elapsed_ms": s.elapsed_ms,
-                "metrics": s.metrics.clone(),
-            }));
+            .send(Event::Stage {
+                job: id,
+                id: s.id.clone(),
+                stage: s.stage.clone(),
+                ok: s.ok,
+                elapsed_ms: s.elapsed_ms,
+                metrics: s.metrics.clone(),
+            });
     };
+    let trace = req.trace.then(TraceLog::new);
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        let ctx = FlowCtx {
-            cache: Some(&shared.cache),
-            observer: Some(&observer),
-            cancel: Some(&cancel),
-            fault: shared.config.fault.as_deref(),
-        };
+        let mut builder = FlowCtx::builder()
+            .cache(&shared.cache)
+            .observer(&observer)
+            .cancel(&cancel);
+        if let Some(fault) = shared.config.fault.as_deref() {
+            builder = builder.fault(fault);
+        }
+        if let Some(trace) = &trace {
+            builder = builder.trace(trace);
+        }
+        let ctx = builder.build();
         match req.format {
-            SourceFormat::Vhdl => fpga_flow::run_vhdl_ctx(&req.source, &req.options, ctx),
-            SourceFormat::Blif => fpga_flow::run_blif_ctx(&req.source, &req.options, ctx),
+            SourceFormat::Vhdl => fpga_flow::run_vhdl_ctx(&req.source, &options, ctx),
+            SourceFormat::Blif => fpga_flow::run_blif_ctx(&req.source, &options, ctx),
         }
     }));
     match result {
@@ -771,23 +911,23 @@ fn run_job(shared: &Arc<Shared>, job: Job) {
                 std::panic::resume_unwind(payload);
             }
             shared.jobs_panicked.fetch_add(1, Ordering::Relaxed);
-            let _ = events.send(serde_json::json!({
-                "event": "error",
-                "kind": "panic",
-                "job": id,
-                "message": panic_message(payload.as_ref()),
-            }));
+            let _ = events.send(Event::Error {
+                job: Some(id),
+                kind: Some("panic".into()),
+                stage: None,
+                message: panic_message(payload.as_ref()),
+                retry_after_ms: None,
+            });
         }
         Ok(Ok(art)) => {
             shared.jobs_completed.fetch_add(1, Ordering::Relaxed);
-            let report = serde_json::to_value(&art.report);
-            let _ = events.send(serde_json::json!({
-                "event": "done",
-                "job": id,
-                "design": art.report.design.clone(),
-                "report": report,
-                "bitstream_hex": proto::to_hex(&art.bitstream_bytes),
-            }));
+            let _ = events.send(Event::Done {
+                job: id,
+                design: art.report.design.clone(),
+                report: serde_json::to_value(&art.report),
+                bitstream_hex: proto::to_hex(&art.bitstream_bytes),
+                trace: trace.as_ref().map(TraceLog::to_value),
+            });
         }
         Ok(Err(e)) => {
             let completed = completed
@@ -797,33 +937,34 @@ fn run_job(shared: &Arc<Shared>, job: Job) {
                 // The client hung up; nobody is listening, but the event
                 // documents the ending for any late reader.
                 shared.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
-                let _ = events.send(serde_json::json!({
-                    "event": "error",
-                    "kind": "cancelled",
-                    "job": id,
-                    "message": "job cancelled (client disconnected)",
-                }));
+                let _ = events.send(Event::Error {
+                    job: Some(id),
+                    kind: Some("cancelled".into()),
+                    stage: None,
+                    message: "job cancelled (client disconnected)".into(),
+                    retry_after_ms: None,
+                });
             } else if cancel.timed_out() {
                 shared.jobs_timed_out.fetch_add(1, Ordering::Relaxed);
-                let _ = events.send(serde_json::json!({
-                    "event": "timeout",
-                    "job": id,
-                    "deadline_ms": deadline_ms,
-                    "completed_stages": &*completed,
-                    "message": format!(
+                let _ = events.send(Event::Timeout {
+                    job: id,
+                    deadline_ms,
+                    message: format!(
                         "deadline of {}ms exceeded after {} completed stage(s)",
                         deadline_ms.unwrap_or(0),
                         completed.len()
                     ),
-                }));
+                    completed_stages: completed.clone(),
+                });
             } else {
                 shared.jobs_failed.fetch_add(1, Ordering::Relaxed);
-                let _ = events.send(serde_json::json!({
-                    "event": "error",
-                    "job": id,
-                    "stage": e.stage,
-                    "message": e.message.clone(),
-                }));
+                let _ = events.send(Event::Error {
+                    job: Some(id),
+                    kind: None,
+                    stage: Some(e.stage.to_string()),
+                    message: e.message.clone(),
+                    retry_after_ms: None,
+                });
             }
         }
     }

@@ -25,7 +25,9 @@ use std::sync::Arc;
 
 use fpga_flow::fault::{FaultAction, FaultPlan, Gate};
 use fpga_server::client::CompileError;
-use fpga_server::{compile_with_retry, FlowClient, RetryPolicy, Server, ServerConfig};
+use fpga_server::{
+    compile_with_retry, CompileRequest, FlowClient, RetryPolicy, Server, ServerConfig, SourceFormat,
+};
 use serde_json::Value;
 
 /// A protocol-level connection for the scenarios that need to observe
@@ -195,12 +197,10 @@ fn one_daemon_survives_panic_timeout_oversize_and_overload() {
     assert_eq!(err.retry_after_ms(), Some(5), "server's backoff hint");
 
     let gate_for_retry = gate.clone();
+    let retry_req = CompileRequest::new(SourceFormat::Vhdl, design_src(8));
     let outcome = compile_with_retry(
         || FlowClient::connect_tcp(addr),
-        "vhdl",
-        &design_src(8),
-        &Value::Null,
-        None,
+        &retry_req,
         &RetryPolicy {
             max_attempts: 40,
             base_ms: 2,

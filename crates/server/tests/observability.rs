@@ -1,0 +1,191 @@
+//! Observability acceptance tests: the `metrics` verb reports per-stage
+//! latency histograms with cold-vs-warm attribution, cache tiers split
+//! memory from disk across a restart, and `"trace": true` round-trips a
+//! per-stage span tree whose attributions match the cache tier that
+//! actually served each stage.
+//!
+//! Workers=1 and a single client keep every count deterministic.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use fpga_flow::trace::{spans_from_value, SpanOutcome};
+use fpga_flow::{cache::STAGES, render_waterfall};
+use fpga_server::{CompileRequest, FlowClient, Server, ServerConfig, SourceFormat, PROTO_VERSION};
+use serde_json::Value;
+
+fn temp_cache_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "ifdf-observability-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn server_on(dir: &Path) -> Server {
+    Server::start(ServerConfig {
+        tcp_addr: Some("127.0.0.1:0".to_string()),
+        unix_path: None,
+        workers: 1,
+        queue_capacity: 4,
+        cache_dir: Some(dir.to_path_buf()),
+        ..ServerConfig::default()
+    })
+    .expect("bind in-process flowd")
+}
+
+fn client(server: &Server) -> FlowClient {
+    FlowClient::connect_tcp(server.tcp_addr().expect("tcp enabled")).expect("connect")
+}
+
+fn compile_traced(server: &Server, source: &str) -> fpga_server::CompileOutcome {
+    let mut req = CompileRequest::new(SourceFormat::Vhdl, source);
+    req.trace = true;
+    client(server)
+        .compile_request(&req)
+        .expect("compile succeeds")
+}
+
+/// One stage's block from the metrics JSON body.
+fn stage_metrics(metrics: &Value, stage: &str) -> Value {
+    metrics["stages"][stage].clone()
+}
+
+#[test]
+fn histograms_and_cache_tiers_split_cold_warm_and_disk() {
+    let dir = temp_cache_dir("histograms");
+    let src = fpga_circuits::vhdl_counter(4);
+
+    // Lifetime 1: one cold run (all stages computed), one warm run (all
+    // stages from the in-memory cache).
+    let first = server_on(&dir);
+    compile_traced(&first, &src);
+    compile_traced(&first, &src);
+
+    let metrics = client(&first).metrics(false).expect("metrics verb");
+    assert_eq!(metrics["event"], serde_json::json!("metrics"));
+    assert_eq!(metrics["proto_version"].as_u64(), Some(PROTO_VERSION));
+    assert_eq!(metrics["jobs"]["completed"].as_u64(), Some(2));
+    assert_eq!(metrics["unknown_stage_events"].as_u64(), Some(0));
+
+    for stage in STAGES {
+        let m = stage_metrics(&metrics, stage.name());
+        // Both runs entered every stage, so each histogram saw exactly
+        // two observations — the cold compute and the warm hit.
+        assert_eq!(
+            m["latency"]["count"].as_u64(),
+            Some(2),
+            "{}: two observations",
+            stage.name()
+        );
+        let buckets = m["latency"]["buckets"].as_array().expect("buckets");
+        assert_eq!(
+            buckets.last().unwrap()["count"].as_u64(),
+            Some(2),
+            "{}: cumulative +Inf bucket equals count",
+            stage.name()
+        );
+        assert_eq!(m["misses"].as_u64(), Some(1), "{}: one miss", stage.name());
+        assert_eq!(
+            m["memory_hits"].as_u64(),
+            Some(1),
+            "{}: one memory hit",
+            stage.name()
+        );
+        assert_eq!(m["disk_hits"].as_u64(), Some(0), "{}", stage.name());
+    }
+    let stage_count = STAGES.len() as u64;
+    assert_eq!(metrics["cache"]["memory_hits"].as_u64(), Some(stage_count));
+    assert_eq!(metrics["cache"]["misses"].as_u64(), Some(stage_count));
+    assert_eq!(metrics["cache"]["disk_hits"].as_u64(), Some(0));
+
+    // The text exposition agrees with the JSON body.
+    let text_reply = client(&first).metrics(true).expect("metrics --text");
+    assert_eq!(text_reply["format"], serde_json::json!("text"));
+    let text = text_reply["text"].as_str().expect("text body");
+    assert!(text.contains(&format!(
+        "flowd_cache_hits_total{{tier=\"memory\"}} {stage_count}"
+    )));
+    assert!(text.contains("flowd_cache_hits_total{tier=\"disk\"} 0"));
+    assert!(text.contains(&format!("flowd_cache_misses_total {stage_count}")));
+    assert!(text.contains("flowd_jobs_total{state=\"completed\"} 2"));
+    assert!(text.contains("flowd_stage_duration_ms_count{stage=\"route\"} 2"));
+    assert!(text.contains("flowd_unknown_stage_events_total 0"));
+    first.shutdown();
+
+    // Lifetime 2: a fresh daemon (empty memory cache) on the same dir
+    // serves the identical job from disk — the *disk* tier must own the
+    // hits now, and each histogram restarts at one observation.
+    let second = server_on(&dir);
+    compile_traced(&second, &src);
+    let metrics = client(&second)
+        .metrics(false)
+        .expect("metrics after restart");
+    assert_eq!(metrics["cache"]["disk_hits"].as_u64(), Some(stage_count));
+    assert_eq!(metrics["cache"]["memory_hits"].as_u64(), Some(0));
+    for stage in STAGES {
+        let m = stage_metrics(&metrics, stage.name());
+        assert_eq!(m["latency"]["count"].as_u64(), Some(1), "{}", stage.name());
+        assert_eq!(m["disk_hits"].as_u64(), Some(1), "{}", stage.name());
+    }
+    assert_eq!(
+        metrics["cache"]["store"]["disk_hits"].as_u64(),
+        Some(stage_count)
+    );
+    assert_eq!(metrics["cache"]["store"]["quarantined"].as_u64(), Some(0));
+    second.shutdown();
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn trace_spans_attribute_each_stage_to_its_cache_tier() {
+    let dir = temp_cache_dir("trace");
+    let src = fpga_circuits::vhdl_counter(3);
+    let server = server_on(&dir);
+
+    // Cold job: every span is a computation, one start/finish pair each.
+    let cold = compile_traced(&server, &src);
+    let spans = spans_from_value(cold.trace.as_ref().expect("trace attached")).expect("parses");
+    assert_eq!(spans.len(), STAGES.len(), "one span per stage");
+    for (span, stage) in spans.iter().zip(STAGES) {
+        assert_eq!(span.stage, stage.name(), "spans arrive in flow order");
+        assert_eq!(span.outcome, SpanOutcome::Computed);
+        assert!(span.end_us.is_some(), "{}: span closed", span.stage);
+        let starts = span.events.iter().filter(|e| e.kind == "start").count();
+        let finishes = span.events.iter().filter(|e| e.kind == "finish").count();
+        assert_eq!((starts, finishes), (1, 1), "{}", span.stage);
+    }
+
+    // Warm job: same spans, now attributed to the memory tier.
+    let warm = compile_traced(&server, &src);
+    let spans = spans_from_value(warm.trace.as_ref().expect("trace attached")).expect("parses");
+    assert!(spans
+        .iter()
+        .all(|s| s.outcome == SpanOutcome::MemoryHit && s.end_us.is_some()));
+    assert!(spans
+        .iter()
+        .all(|s| s.events.iter().any(|e| e.kind == "cache-memory-hit")));
+
+    // The waterfall renders one labelled row per span (what
+    // `flowc --trace` prints).
+    let waterfall = render_waterfall("warm job", &spans);
+    for stage in STAGES {
+        assert!(waterfall.contains(stage.name()), "{}", stage.name());
+    }
+    assert_eq!(
+        waterfall.matches("memory-hit").count(),
+        STAGES.len(),
+        "every row carries its tier:\n{waterfall}"
+    );
+
+    // A job that does not ask for a trace does not pay for one.
+    let untraced = client(&server)
+        .compile_request(&CompileRequest::new(SourceFormat::Vhdl, src.as_str()))
+        .expect("compile succeeds");
+    assert!(untraced.trace.is_none(), "trace is strictly opt-in");
+    assert!(untraced.unknown_events.is_empty());
+    server.shutdown();
+    let _ = fs::remove_dir_all(&dir);
+}

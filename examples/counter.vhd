@@ -1,0 +1,25 @@
+-- generated: 8-bit counter
+library ieee;
+use ieee.std_logic_1164.all;
+
+entity counter8 is
+  port ( clk : in std_logic;
+         rst : in std_logic;
+         q   : out std_logic_vector(7 downto 0) );
+end counter8;
+
+architecture rtl of counter8 is
+  signal cnt : std_logic_vector(7 downto 0);
+begin
+  process (clk)
+  begin
+    if rising_edge(clk) then
+      if rst = '1' then
+        cnt <= "00000000";
+      else
+        cnt <= cnt + 1;
+      end if;
+    end if;
+  end process;
+  q <= cnt;
+end rtl;

@@ -20,4 +20,7 @@ sh scripts/chaos.sh
 echo "==> scripts/crash.sh (SIGKILL recovery over the durable cache)"
 sh scripts/crash.sh
 
+echo "==> scripts/metrics.sh (observability smoke: metrics verb + trace)"
+sh scripts/metrics.sh
+
 echo "CI gate passed."

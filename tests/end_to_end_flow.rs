@@ -60,10 +60,7 @@ fn flow_is_deterministic_for_fixed_seed() {
         "same seed, same bitstream"
     );
     // A different placement seed almost surely gives a different bitstream.
-    let opts = FlowOptions {
-        place_seed: 99,
-        ..FlowOptions::default()
-    };
+    let opts = FlowOptions::builder().place_seed(99).build();
     let c = run_vhdl(&src, &opts).unwrap();
     assert_ne!(a.bitstream_bytes, c.bitstream_bytes);
 }
@@ -126,11 +123,10 @@ proptest! {
                 seed,
             },
         );
-        let opts = FlowOptions {
-            place_effort: 1.0,
-            verify_cycles: 32,
-            ..FlowOptions::default()
-        };
+        let opts = FlowOptions::builder()
+            .place_effort(1.0)
+            .verify_cycles(32)
+            .build();
         let art = run_netlist(nl, &opts)
             .map_err(|e| TestCaseError::fail(format!("seed {seed}: {e}")))?;
         prop_assert!(art
