@@ -125,7 +125,9 @@ fn interactive(initial: Option<String>) {
                         }
                     }
                 }
-                let art = artifacts.as_ref().unwrap();
+                let Some(art) = artifacts.as_ref() else {
+                    continue; // flow failed above; message already printed
+                };
                 match choice {
                     "2" => {
                         for s in &art.report.stages {

@@ -1,0 +1,163 @@
+//! Offline deep lint: drive a design through the flow's stages purely to
+//! *check* it, collecting every design-rule finding instead of stopping
+//! at the first.
+//!
+//! This is what `flowc lint` and the standalone `fpga-lint` binary run.
+//! Unlike a compile with [`FlowOptions::lint`] = `Deny` — which fails at
+//! the first denied gate — the deep lint keeps going as far as the
+//! design allows: a netlist with deny-severity findings stops before
+//! mapping (a broken netlist cannot be mapped meaningfully), anything
+//! else runs through bitstream generation so the packing, placement,
+//! routing, and bitstream rules all get their say. Power estimation and
+//! fabric verification are skipped: they measure, they don't check
+//! structure.
+//!
+//! The stage steps run through the normal [`crate::stages`] funnel, so a
+//! shared cache, cancellation deadline, and trace log all behave exactly
+//! as they do for a compile.
+
+use fpga_lint::{Diagnostic, Severity};
+use fpga_netlist::Netlist;
+
+use crate::pipeline::{FlowCtx, FlowOptions};
+use crate::stages::{self, Staged};
+use crate::{stage_err, Result};
+
+/// The outcome of a deep lint: every finding, plus how far the check got.
+#[derive(Debug)]
+pub struct LintReport {
+    pub design: String,
+    pub diagnostics: Vec<Diagnostic>,
+    /// The last lint point reached (`netlist`, `mapped`, `pack`, `place`,
+    /// `route`, `bitstream`).
+    pub reached: &'static str,
+}
+
+impl LintReport {
+    /// Whether the design passed: no deny-severity findings.
+    pub fn clean(&self) -> bool {
+        self.deny_count() == 0
+    }
+
+    pub fn deny_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Deny)
+            .count()
+    }
+}
+
+/// Deep-lint VHDL source (synthesizes first; a synthesis error is a flow
+/// error, not a finding).
+pub fn lint_vhdl(source: &str, opts: &FlowOptions, ctx: FlowCtx) -> Result<LintReport> {
+    let rtl = stages::synthesize_vhdl(source, ctx)?;
+    deep_lint(rtl, opts, ctx)
+}
+
+/// Deep-lint a BLIF design. The text is parsed *without* the upload
+/// stage's validation, so structurally broken designs — the very thing a
+/// lint exists for — still produce findings instead of a parse-stage
+/// error.
+pub fn lint_blif(text: &str, opts: &FlowOptions, ctx: FlowCtx) -> Result<LintReport> {
+    let rtl = fpga_netlist::blif::parse(text).map_err(stage_err("blif"))?;
+    deep_lint(stages::adopt_rtl(rtl), opts, ctx)
+}
+
+/// Deep-lint an in-memory netlist.
+pub fn lint_rtl(rtl: Netlist, opts: &FlowOptions, ctx: FlowCtx) -> Result<LintReport> {
+    deep_lint(stages::adopt_rtl(rtl), opts, ctx)
+}
+
+fn deep_lint(rtl: Staged<Netlist>, opts: &FlowOptions, ctx: FlowCtx) -> Result<LintReport> {
+    let design = rtl.value.name.clone();
+    let mut report = LintReport {
+        design,
+        diagnostics: fpga_lint::lint_netlist(&rtl.value),
+        reached: "netlist",
+    };
+    if !report.clean() {
+        // Mapping a netlist with loops or double drivers would either
+        // fail or silently "fix" the design; the netlist findings are
+        // the whole story.
+        return Ok(report);
+    }
+
+    let mapped = stages::lut_map(&rtl, opts, ctx)?;
+    report.reached = "mapped";
+    report
+        .diagnostics
+        .extend(fpga_lint::lint_netlist(&mapped.value));
+
+    let clustering = stages::pack(&mapped, &opts.arch, ctx)?;
+    report.reached = "pack";
+    report
+        .diagnostics
+        .extend(fpga_lint::lint_clustering(&clustering.value));
+
+    let placement = stages::place(&clustering, opts, ctx)?;
+    report.reached = "place";
+    report.diagnostics.extend(fpga_lint::lint_placement(
+        &clustering.value,
+        &placement.value,
+    ));
+
+    let routed = stages::route(&clustering, &placement, opts, ctx)?;
+    report.reached = "route";
+    report.diagnostics.extend(fpga_lint::lint_routing(
+        &clustering.value.netlist,
+        &routed.value.graph,
+        &routed.value.routing,
+    ));
+
+    let bits = stages::bitstream(&clustering, &placement, &routed, ctx)?;
+    report.reached = "bitstream";
+    report.diagnostics.extend(fpga_lint::lint_bitstream(
+        &clustering.value.netlist,
+        &routed.value.device,
+        &routed.value.graph,
+        &routed.value.routing,
+        &bits.value.bitstream,
+    ));
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_vhdl_counter_lints_clean_through_bitstream() {
+        let src = fpga_circuits::vhdl_counter(3);
+        let report = lint_vhdl(&src, &FlowOptions::default(), FlowCtx::default()).unwrap();
+        assert_eq!(report.reached, "bitstream");
+        assert!(report.clean(), "{:?}", report.diagnostics);
+    }
+
+    #[test]
+    fn cyclic_blif_reports_nl001_and_stops_at_netlist() {
+        let blif = "
+.model loopy
+.inputs a
+.outputs y
+.names a y w
+11 1
+.names w y
+0 1
+.end";
+        let report = lint_blif(blif, &FlowOptions::default(), FlowCtx::default()).unwrap();
+        assert_eq!(report.reached, "netlist");
+        assert!(!report.clean());
+        assert!(
+            report.diagnostics.iter().any(|d| d.code == "NL001"),
+            "{:?}",
+            report.diagnostics
+        );
+    }
+
+    #[test]
+    fn unparseable_blif_is_a_flow_error_not_a_finding() {
+        let err = lint_blif("not a blif", &FlowOptions::default(), FlowCtx::default())
+            .expect_err("parse must fail");
+        assert_eq!(err.stage, "blif");
+    }
+}

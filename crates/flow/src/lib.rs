@@ -21,6 +21,7 @@
 
 pub mod artifact;
 pub mod cache;
+pub mod check;
 pub mod cli;
 pub mod fault;
 pub mod hash;
@@ -33,6 +34,7 @@ pub mod trace;
 
 pub use artifact::Artifact;
 pub use cache::{CacheOutcome, StageCache, StageId, StageStats};
+pub use check::{lint_blif, lint_rtl, lint_vhdl, LintReport};
 pub use fault::{CancelReason, CancelToken, FaultAction, FaultPlan, FaultRule, Gate};
 pub use pipeline::{
     run_blif, run_blif_ctx, run_netlist, run_netlist_ctx, run_vhdl, run_vhdl_ctx, FlowArtifacts,

@@ -10,6 +10,7 @@ use std::time::Instant;
 
 use fpga_arch::Architecture;
 use fpga_bitstream::Bitstream;
+use fpga_lint::{DiagSink, Diagnostic, LintMode, Severity};
 use fpga_netlist::{NetId, Netlist};
 use fpga_pack::Clustering;
 use fpga_place::Placement;
@@ -36,6 +37,11 @@ pub struct FlowOptions {
     /// Random-simulation cycles used to verify the bitstream against the
     /// mapped netlist (0 disables verification).
     pub verify_cycles: usize,
+    /// Design-rule lint gate at every stage boundary: `Off` (default —
+    /// today's behavior, byte for byte, including cache keys), `Warn`
+    /// (run the passes, report, proceed), or `Deny` (any deny-severity
+    /// finding fails the job with the diagnostics attached).
+    pub lint: LintMode,
 }
 
 impl Default for FlowOptions {
@@ -47,6 +53,7 @@ impl Default for FlowOptions {
             channel_width: None,
             power: PowerOptions::default(),
             verify_cycles: 48,
+            lint: LintMode::Off,
         }
     }
 }
@@ -100,6 +107,12 @@ impl FlowOptionsBuilder {
         self
     }
 
+    /// Design-rule lint gate mode (see [`FlowOptions::lint`]).
+    pub fn lint(mut self, mode: LintMode) -> Self {
+        self.opts.lint = mode;
+        self
+    }
+
     pub fn build(self) -> FlowOptions {
         self.opts
     }
@@ -126,6 +139,11 @@ pub struct FlowCtx<'a> {
     /// Per-job trace log: every stage step records one span into it
     /// (start/finish, cache-vs-compute attribution, faults).
     pub trace: Option<&'a TraceLog>,
+    /// Collector for design-rule diagnostics. The lint gates (active when
+    /// [`FlowOptions::lint`] is not `Off`) push every finding here, so a
+    /// denied job still hands its diagnostics to the caller — the flow
+    /// server drains the sink into the structured error event.
+    pub lint: Option<&'a DiagSink>,
 }
 
 impl<'a> FlowCtx<'a> {
@@ -193,6 +211,11 @@ impl<'a> FlowCtxBuilder<'a> {
         self
     }
 
+    pub fn lint_sink(mut self, sink: &'a DiagSink) -> Self {
+        self.ctx.lint = Some(sink);
+        self
+    }
+
     pub fn build(self) -> FlowCtx<'a> {
         self.ctx
     }
@@ -212,6 +235,9 @@ pub struct FlowArtifacts {
     pub bitstream: Bitstream,
     pub bitstream_bytes: Vec<u8>,
     pub report: FlowReport,
+    /// Design-rule findings from the lint gates (empty when
+    /// [`FlowOptions::lint`] is `Off`).
+    pub lint: Vec<Diagnostic>,
 }
 
 /// Run the full flow from VHDL source.
@@ -245,11 +271,29 @@ pub fn run_vhdl_ctx(source: &str, opts: &FlowOptions, ctx: FlowCtx) -> Result<Fl
         &rtl,
         t,
     );
-    run_from_rtl(rtl, opts, ctx, report)
+    let mut lint = Vec::new();
+    lint_point(&ctx, opts, "netlist", &mut lint, || {
+        fpga_lint::lint_netlist(&rtl.value)
+    })?;
+    run_from_rtl(rtl, opts, ctx, report, lint)
 }
 
 /// [`run_blif`] with a cache/observer context.
 pub fn run_blif_ctx(text: &str, opts: &FlowOptions, ctx: FlowCtx) -> Result<FlowArtifacts> {
+    // When linting, pre-gate on a *raw* parse before the cached upload
+    // stage: a structurally broken BLIF (combinational loop, double
+    // driver) then fails with its precise diagnostics instead of the
+    // stage's first-error validate message — and without ever writing a
+    // cache entry. Parse errors fall through to the stage, which owns
+    // error reporting for unreadable input.
+    let mut lint = Vec::new();
+    if opts.lint.enabled() {
+        if let Ok(raw) = fpga_netlist::blif::parse(text) {
+            lint_point(&ctx, opts, "netlist", &mut lint, || {
+                fpga_lint::lint_netlist(&raw)
+            })?;
+        }
+    }
     let t = Instant::now();
     let rtl = stages::parse_blif(text, ctx)?;
     let mut report = FlowReport {
@@ -257,7 +301,7 @@ pub fn run_blif_ctx(text: &str, opts: &FlowOptions, ctx: FlowCtx) -> Result<Flow
         ..Default::default()
     };
     record(&mut report, &ctx, "file upload (BLIF)", &rtl, t);
-    run_from_rtl(rtl, opts, ctx, report)
+    run_from_rtl(rtl, opts, ctx, report, lint)
 }
 
 /// [`run_netlist`] with a cache/observer context.
@@ -266,7 +310,12 @@ pub fn run_netlist_ctx(rtl: Netlist, opts: &FlowOptions, ctx: FlowCtx) -> Result
         design: rtl.name.clone(),
         ..Default::default()
     };
-    run_from_rtl(stages::adopt_rtl(rtl), opts, ctx, report)
+    let rtl = stages::adopt_rtl(rtl);
+    let mut lint = Vec::new();
+    lint_point(&ctx, opts, "netlist", &mut lint, || {
+        fpga_lint::lint_netlist(&rtl.value)
+    })?;
+    run_from_rtl(rtl, opts, ctx, report, lint)
 }
 
 /// Append a stage's report entry (tagging cache hits and their tier) and
@@ -297,27 +346,98 @@ fn record<T>(
     }
 }
 
+/// One lint gate: run the passes for a boundary, record the findings
+/// (trace span, sink, the run's accumulator), and — under
+/// [`LintMode::Deny`] — fail the flow when any deny-severity finding
+/// exists. `Off` short-circuits before doing any work, so the default
+/// flow is untouched.
+fn lint_point(
+    ctx: &FlowCtx,
+    opts: &FlowOptions,
+    point: &'static str,
+    collected: &mut Vec<Diagnostic>,
+    run: impl FnOnce() -> Vec<Diagnostic>,
+) -> Result<()> {
+    if !opts.lint.enabled() {
+        return Ok(());
+    }
+    let span = ctx.trace.map(|t| t.start(&format!("lint:{point}")));
+    let diags = run();
+    let denied = opts.lint == LintMode::Deny && diags.iter().any(|d| d.severity == Severity::Deny);
+    if let (Some(log), Some(id)) = (ctx.trace, span) {
+        let (outcome, detail) = if denied {
+            (
+                crate::trace::SpanOutcome::Error,
+                Some(fpga_lint::summarize(&diags)),
+            )
+        } else {
+            (crate::trace::SpanOutcome::Computed, None)
+        };
+        log.finish(id, outcome, detail);
+    }
+    if let Some(sink) = ctx.lint {
+        sink.extend(diags.iter().cloned());
+    }
+    collected.extend(diags);
+    if denied {
+        let denies: Vec<&Diagnostic> = collected
+            .iter()
+            .filter(|d| d.severity == Severity::Deny)
+            .collect();
+        let first = denies.first().expect("denied implies a deny finding");
+        return Err(FlowError {
+            stage: "lint",
+            message: format!(
+                "design-rule check failed at '{point}': {} ({} deny finding{}; first: [{}] {})",
+                fpga_lint::summarize(collected),
+                denies.len(),
+                if denies.len() == 1 { "" } else { "s" },
+                first.code,
+                first.message
+            ),
+        });
+    }
+    Ok(())
+}
+
 fn run_from_rtl(
     rtl: Staged<Netlist>,
     opts: &FlowOptions,
     ctx: FlowCtx,
     mut report: FlowReport,
+    mut lint: Vec<Diagnostic>,
 ) -> Result<FlowArtifacts> {
     let t = Instant::now();
     let mapped = stages::lut_map(&rtl, opts, ctx)?;
     record(&mut report, &ctx, "lut mapping (SIS)", &mapped, t);
+    lint_point(&ctx, opts, "mapped", &mut lint, || {
+        fpga_lint::lint_netlist(&mapped.value)
+    })?;
 
     let t = Instant::now();
     let clustering = stages::pack(&mapped, &opts.arch, ctx)?;
     record(&mut report, &ctx, "packing (T-VPack)", &clustering, t);
+    lint_point(&ctx, opts, "pack", &mut lint, || {
+        fpga_lint::lint_clustering(&clustering.value)
+    })?;
 
     let t = Instant::now();
     let placement = stages::place(&clustering, opts, ctx)?;
     record(&mut report, &ctx, "placement (VPR)", &placement, t);
+    lint_point(&ctx, opts, "place", &mut lint, || {
+        fpga_lint::lint_placement(&clustering.value, &placement.value)
+    })?;
 
     let t = Instant::now();
     let routed = stages::route(&clustering, &placement, opts, ctx)?;
     record(&mut report, &ctx, "routing (VPR)", &routed, t);
+    lint_point(&ctx, opts, "route", &mut lint, || {
+        fpga_lint::lint_routing(
+            &clustering.value.netlist,
+            &routed.value.graph,
+            &routed.value.routing,
+        )
+    })?;
 
     let t = Instant::now();
     let power = stages::power(&clustering, &routed, opts, ctx)?;
@@ -326,6 +446,15 @@ fn run_from_rtl(
     let t = Instant::now();
     let bits = stages::bitstream(&clustering, &placement, &routed, ctx)?;
     record(&mut report, &ctx, "bitstream (DAGGER)", &bits, t);
+    lint_point(&ctx, opts, "bitstream", &mut lint, || {
+        fpga_lint::lint_bitstream(
+            &clustering.value.netlist,
+            &routed.value.device,
+            &routed.value.graph,
+            &routed.value.routing,
+            &bits.value.bitstream,
+        )
+    })?;
 
     if opts.verify_cycles > 0 {
         let t = Instant::now();
@@ -345,6 +474,7 @@ fn run_from_rtl(
         bitstream: bits.value.bitstream.clone(),
         bitstream_bytes: bits.value.bytes.clone(),
         report,
+        lint,
     })
 }
 
@@ -561,6 +691,100 @@ mod tests {
         assert!(ctx.cache.is_some());
         assert!(ctx.trace.is_some());
         assert!(ctx.cancel.is_none());
+    }
+
+    #[test]
+    fn lint_deny_fails_cyclic_netlist_with_nl001_in_the_sink() {
+        use fpga_netlist::ir::CellKind;
+        let mut nl = Netlist::new("loopy");
+        let x = nl.net("x");
+        let y = nl.net("y");
+        nl.add_output(x);
+        nl.add_cell("g1", CellKind::Not, vec![x], y);
+        nl.add_cell("g2", CellKind::Not, vec![y], x);
+
+        let sink = DiagSink::new();
+        let ctx = FlowCtx::builder().lint_sink(&sink).build();
+        let opts = FlowOptions::builder().lint(LintMode::Deny).build();
+        let err = expect_err(run_netlist_ctx(nl.clone(), &opts, ctx));
+        assert_eq!(err.stage, "lint");
+        assert!(err.message.contains("NL001"), "{}", err.message);
+        let diags = sink.drain();
+        assert!(diags.iter().any(|d| d.code == "NL001"), "{diags:?}");
+
+        // Off preserves today's behavior: the failure comes from the
+        // mapping stage tripping over the cycle, not from a lint gate.
+        let err = expect_err(run_netlist(nl, &FlowOptions::default()));
+        assert_ne!(err.stage, "lint");
+    }
+
+    #[test]
+    fn lint_warn_reports_but_does_not_fail() {
+        let src = fpga_circuits::vhdl_counter(3);
+        let opts = FlowOptions::builder().lint(LintMode::Warn).build();
+        let art = run_vhdl(&src, &opts).unwrap();
+        assert!(
+            art.lint.iter().all(|d| d.severity != Severity::Deny),
+            "{:?}",
+            art.lint
+        );
+        // Off mode collects nothing.
+        let art = run_vhdl(&src, &FlowOptions::default()).unwrap();
+        assert!(art.lint.is_empty());
+    }
+
+    #[test]
+    fn lint_deny_on_cyclic_blif_stops_before_the_upload_stage_cache() {
+        let blif = "
+.model loopy
+.inputs a
+.outputs y
+.names a y w
+11 1
+.names w y
+0 1
+.end";
+        let cache = StageCache::new();
+        let opts = FlowOptions::builder().lint(LintMode::Deny).build();
+        let err = expect_err(run_blif_ctx(blif, &opts, FlowCtx::with_cache(&cache)));
+        assert_eq!(err.stage, "lint");
+        // The deny fired before the cached upload stage ever ran.
+        let s = cache.stats(StageId::Synthesis);
+        assert_eq!((s.misses, s.hits), (0, 0));
+    }
+
+    #[test]
+    fn lint_mode_does_not_change_cache_keys() {
+        let cache = StageCache::new();
+        let src = fpga_circuits::vhdl_counter(3);
+        let off = FlowOptions::default();
+        let warn = FlowOptions::builder().lint(LintMode::Warn).build();
+        run_vhdl_ctx(&src, &off, FlowCtx::with_cache(&cache)).unwrap();
+        // Same design with lint on: every stage is a memory hit — the
+        // lint gate lives outside the content-addressed keys.
+        run_vhdl_ctx(&src, &warn, FlowCtx::with_cache(&cache)).unwrap();
+        for stage in STAGES {
+            let s = cache.stats(stage);
+            assert_eq!((s.misses, s.hits), (1, 1), "{}", stage.name());
+        }
+    }
+
+    #[test]
+    fn lint_gates_emit_their_own_trace_spans() {
+        let src = fpga_circuits::vhdl_counter(3);
+        let log = crate::trace::TraceLog::new();
+        let ctx = FlowCtx::builder().trace(&log).build();
+        let opts = FlowOptions::builder().lint(LintMode::Warn).build();
+        run_vhdl_ctx(&src, &opts, ctx).unwrap();
+        let names: Vec<String> = log.spans().iter().map(|s| s.stage.clone()).collect();
+        for point in ["lint:netlist", "lint:pack", "lint:route", "lint:bitstream"] {
+            assert!(names.iter().any(|n| n == point), "{names:?}");
+        }
+        // Default (Off) runs keep the exact 8-stage span shape.
+        let log = crate::trace::TraceLog::new();
+        let ctx = FlowCtx::builder().trace(&log).build();
+        run_vhdl_ctx(&src, &FlowOptions::default(), ctx).unwrap();
+        assert_eq!(log.spans().len(), 8);
     }
 
     #[test]

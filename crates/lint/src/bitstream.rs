@@ -1,0 +1,198 @@
+//! Bitstream design rules: `BS001` — configuration frames inconsistent
+//! with the routed design they claim to implement (wrong geometry, or a
+//! routed switch whose configuration bit is not set).
+
+use fpga_arch::Device;
+use fpga_bitstream::Bitstream;
+use fpga_netlist::ir::Netlist;
+use fpga_route::rrgraph::RrGraph;
+use fpga_route::RouteResult;
+
+use crate::diag::{Diagnostic, Severity};
+use crate::route::rr_name;
+
+const STAGE: &str = "bitstream";
+
+fn deny(subject: &str, message: String) -> Diagnostic {
+    Diagnostic::new("BS001", Severity::Deny, STAGE, subject, message)
+}
+
+/// Run all bitstream rules against the routed design.
+pub fn lint_bitstream(
+    nl: &Netlist,
+    device: &Device,
+    g: &RrGraph,
+    r: &RouteResult,
+    bs: &Bitstream,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    if (bs.width, bs.height) != (device.width, device.height) {
+        out.push(deny(
+            "frame header",
+            format!(
+                "bitstream is for a {}x{} grid but the design was placed on {}x{}",
+                bs.width, bs.height, device.width, device.height
+            ),
+        ));
+    }
+    if bs.channel_width != r.channel_width {
+        out.push(deny(
+            "frame header",
+            format!(
+                "bitstream encodes channel width {} but the design routed at {}",
+                bs.channel_width, r.channel_width
+            ),
+        ));
+    }
+    let clb = &device.arch.clb;
+    if (bs.lut_k, bs.cluster_size, bs.clb_inputs) != (clb.lut_k, clb.cluster_size, clb.inputs) {
+        out.push(deny(
+            "frame header",
+            format!(
+                "bitstream CLB shape (K={}, N={}, I={}) does not match the architecture \
+                 (K={}, N={}, I={})",
+                bs.lut_k, bs.cluster_size, bs.clb_inputs, clb.lut_k, clb.cluster_size, clb.inputs
+            ),
+        ));
+    }
+
+    // Every wire-to-wire hop a routed net takes must have its switch-box
+    // bit set; a cleared bit means the fabric will not realize the route.
+    for net in &r.nets {
+        for &(node, parent) in &net.tree {
+            let Some(parent) = parent else { continue };
+            let (a, b) = (g.kind(parent), g.kind(node));
+            if !(a.is_wire() && b.is_wire()) {
+                continue;
+            }
+            if !bs.sb_switches.contains(&(a, b)) && !bs.sb_switches.contains(&(b, a)) {
+                out.push(
+                    deny(
+                        &rr_name(b),
+                        format!(
+                            "routed switch {} -> {} has no closed switch-box bit",
+                            rr_name(a),
+                            rr_name(b)
+                        ),
+                    )
+                    .with_note(format!("carried net: '{}'", nl.net_name(net.net))),
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpga_arch::Architecture;
+    use fpga_place::PlaceOptions;
+    use fpga_route::RouteOptions;
+
+    fn full_stack() -> (Netlist, Device, RrGraph, RouteResult, Bitstream) {
+        use fpga_netlist::ir::{CellKind, Netlist};
+        let mut n = Netlist::new("two_bits");
+        let clk = n.net("clk");
+        n.add_clock(clk);
+        for i in 0..2 {
+            let a = n.net(&format!("a{i}"));
+            let d = n.net(&format!("d{i}"));
+            let q = n.net(&format!("q{i}"));
+            n.add_input(a);
+            n.add_output(q);
+            n.add_cell(
+                &format!("lut{i}"),
+                CellKind::Lut { k: 1, truth: 0b01 },
+                vec![a],
+                d,
+            );
+            n.add_cell(
+                &format!("ff{i}"),
+                CellKind::Dff {
+                    clock: clk,
+                    init: false,
+                },
+                vec![d],
+                q,
+            );
+        }
+        let arch = Architecture::paper_default();
+        let clustering = fpga_pack::pack(&n, &arch.clb).unwrap();
+        let device = Device::sized_for(
+            arch,
+            clustering.clusters.len(),
+            n.inputs.len() + n.outputs.len() + 1,
+        );
+        let placement = fpga_place::place(
+            &clustering,
+            device,
+            PlaceOptions {
+                seed: 1,
+                inner_num: 1.0,
+            },
+        )
+        .unwrap();
+        let g = RrGraph::build(&placement.device, 12);
+        let r = fpga_route::route(&clustering, &placement, &g, &RouteOptions::default()).unwrap();
+        let bs = fpga_bitstream::generate(&clustering, &placement, &r, &g).unwrap();
+        let device = placement.device.clone();
+        (clustering.netlist.clone(), device, g, r, bs)
+    }
+
+    #[test]
+    fn generated_bitstream_is_clean() {
+        let (nl, device, g, r, bs) = full_stack();
+        let diags = lint_bitstream(&nl, &device, &g, &r, &bs);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn geometry_mismatch_reports_bs001() {
+        let (nl, device, g, r, mut bs) = full_stack();
+        bs.width += 1;
+        bs.channel_width += 2;
+        bs.lut_k = 6;
+        let diags = lint_bitstream(&nl, &device, &g, &r, &bs);
+        assert!(
+            diags.iter().any(|d| d.message.contains("grid")),
+            "{diags:?}"
+        );
+        assert!(
+            diags.iter().any(|d| d.message.contains("channel width")),
+            "{diags:?}"
+        );
+        assert!(
+            diags.iter().any(|d| d.message.contains("CLB shape")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn cleared_switch_bit_reports_bs001() {
+        let (nl, device, g, r, mut bs) = full_stack();
+        // Find a wire-to-wire hop some net takes and clear its bit.
+        let hop = r
+            .nets
+            .iter()
+            .flat_map(|net| net.tree.iter())
+            .find_map(|&(node, parent)| {
+                let p = parent?;
+                let (a, b) = (g.kind(p), g.kind(node));
+                (a.is_wire() && b.is_wire()).then_some((a, b))
+            });
+        let Some((a, b)) = hop else {
+            return; // design so small no switch box is crossed
+        };
+        bs.sb_switches.remove(&(a, b));
+        bs.sb_switches.remove(&(b, a));
+        let diags = lint_bitstream(&nl, &device, &g, &r, &bs);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == "BS001" && d.message.contains("switch-box")),
+            "{diags:?}"
+        );
+    }
+}

@@ -1,0 +1,245 @@
+//! Placement design rules: `PL001` — overlapping, out-of-bounds, or
+//! missing block placements.
+
+use std::collections::HashMap;
+
+use fpga_arch::device::BlockKind;
+use fpga_pack::{ClusterId, Clustering};
+use fpga_place::{BlockRef, Placement, Slot};
+
+use crate::diag::{Diagnostic, Severity};
+
+const STAGE: &str = "place";
+
+fn deny(subject: String, message: String) -> Diagnostic {
+    Diagnostic::new("PL001", Severity::Deny, STAGE, subject, message)
+}
+
+fn block_name(c: &Clustering, b: BlockRef) -> String {
+    match b {
+        BlockRef::Cluster(id) => format!("cluster {}", id.0),
+        BlockRef::InputPad(n) => format!("input pad '{}'", c.netlist.net_name(n)),
+        BlockRef::OutputPad(n) => format!("output pad '{}'", c.netlist.net_name(n)),
+    }
+}
+
+/// Run all placement rules.
+pub fn lint_placement(c: &Clustering, p: &Placement) -> Vec<Diagnostic> {
+    let device = &p.device;
+    let mut out = Vec::new();
+
+    for ci in 0..c.clusters.len() {
+        let id = ClusterId(ci as u32);
+        if !p.slots.contains_key(&BlockRef::Cluster(id)) {
+            out.push(deny(
+                format!("cluster {ci}"),
+                format!("cluster {ci} has no placed location"),
+            ));
+        }
+    }
+
+    let mut occupied: HashMap<Slot, BlockRef> = HashMap::new();
+    // Deterministic report order regardless of hash-map iteration.
+    let mut blocks: Vec<(&BlockRef, &Slot)> = p.slots.iter().collect();
+    blocks.sort_by_key(|(_, s)| **s);
+    for (&block, &slot) in blocks {
+        let subject = block_name(c, block);
+        let at = format!("({}, {})", slot.loc.x, slot.loc.y);
+        match (device.block_at(slot.loc), block.is_io()) {
+            (BlockKind::Clb, false) => {
+                if slot.sub != 0 {
+                    out.push(deny(
+                        subject.clone(),
+                        format!(
+                            "{subject} uses sub-slot {} of single-cluster CLB tile {at}",
+                            slot.sub
+                        ),
+                    ));
+                }
+            }
+            (BlockKind::Io, true) => {
+                let cap = device.arch.io_per_tile;
+                if slot.sub as usize >= cap {
+                    out.push(deny(
+                        subject.clone(),
+                        format!(
+                            "{subject} uses pad {} of IO tile {at}, which holds {cap} pads",
+                            slot.sub
+                        ),
+                    ));
+                }
+            }
+            (BlockKind::Empty, _) => out.push(deny(
+                subject.clone(),
+                format!("{subject} is placed outside the fabric at {at}"),
+            )),
+            (kind, _) => out.push(deny(
+                subject.clone(),
+                format!("{subject} is placed on a {kind:?} tile at {at}"),
+            )),
+        }
+        if let Some(&first) = occupied.get(&slot) {
+            out.push(deny(
+                subject.clone(),
+                format!(
+                    "{subject} overlaps {} at {at} sub-slot {}",
+                    block_name(c, first),
+                    slot.sub
+                ),
+            ));
+        } else {
+            occupied.insert(slot, block);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpga_arch::device::GridLoc;
+    use fpga_arch::Architecture;
+    use fpga_place::PlaceOptions;
+
+    fn placed() -> (Clustering, Placement) {
+        let nl = fpga_circuits_stub();
+        let arch = Architecture::paper_default();
+        let clustering = fpga_pack::pack(&nl, &arch.clb).unwrap();
+        let device = fpga_arch::Device::sized_for(
+            arch,
+            clustering.clusters.len(),
+            nl.inputs.len() + nl.outputs.len() + 1,
+        );
+        let placement = fpga_place::place(
+            &clustering,
+            device,
+            PlaceOptions {
+                seed: 1,
+                inner_num: 1.0,
+            },
+        )
+        .unwrap();
+        (clustering, placement)
+    }
+
+    /// A small mapped netlist (a couple of LUT+FF bits) without pulling
+    /// in the circuits crate.
+    fn fpga_circuits_stub() -> fpga_netlist::ir::Netlist {
+        use fpga_netlist::ir::{CellKind, Netlist};
+        let mut n = Netlist::new("two_bits");
+        let clk = n.net("clk");
+        n.add_clock(clk);
+        for i in 0..2 {
+            let a = n.net(&format!("a{i}"));
+            let d = n.net(&format!("d{i}"));
+            let q = n.net(&format!("q{i}"));
+            n.add_input(a);
+            n.add_output(q);
+            n.add_cell(
+                &format!("lut{i}"),
+                CellKind::Lut { k: 1, truth: 0b01 },
+                vec![a],
+                d,
+            );
+            n.add_cell(
+                &format!("ff{i}"),
+                CellKind::Dff {
+                    clock: clk,
+                    init: false,
+                },
+                vec![d],
+                q,
+            );
+        }
+        n
+    }
+
+    #[test]
+    fn real_placement_is_clean() {
+        let (c, p) = placed();
+        assert!(lint_placement(&c, &p).is_empty());
+    }
+
+    #[test]
+    fn overlap_reports_pl001() {
+        let (c, mut p) = placed();
+        // Move every cluster onto the first cluster's slot.
+        let target = *p.slots.get(&BlockRef::Cluster(ClusterId(0))).unwrap();
+        for (_, slot) in p.slots.iter_mut().filter(|(b, _)| !b.is_io()) {
+            *slot = target;
+        }
+        let diags = lint_placement(&c, &p);
+        if c.clusters.len() > 1 {
+            assert!(
+                diags.iter().any(|d| d.message.contains("overlaps")),
+                "{diags:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_and_wrong_tile_report_pl001() {
+        let (c, mut p) = placed();
+        let block = BlockRef::Cluster(ClusterId(0));
+        // A corner is Empty; (0, y) mid-edge is an IO tile.
+        p.slots.insert(
+            block,
+            Slot {
+                loc: GridLoc::new(0, 0),
+                sub: 0,
+            },
+        );
+        let diags = lint_placement(&c, &p);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.message.contains("outside the fabric")),
+            "{diags:?}"
+        );
+
+        p.slots.insert(
+            block,
+            Slot {
+                loc: GridLoc::new(0, 1),
+                sub: 0,
+            },
+        );
+        let diags = lint_placement(&c, &p);
+        assert!(
+            diags.iter().any(|d| d.message.contains("Io tile")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn missing_cluster_reports_pl001() {
+        let (c, mut p) = placed();
+        p.slots.remove(&BlockRef::Cluster(ClusterId(0)));
+        let diags = lint_placement(&c, &p);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.message.contains("no placed location")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn io_pad_past_tile_capacity_reports_pl001() {
+        let (c, mut p) = placed();
+        let io = *p.slots.keys().find(|b| b.is_io()).expect("some pad exists");
+        let slot = p.slots[&io];
+        p.slots.insert(
+            io,
+            Slot {
+                loc: slot.loc,
+                sub: p.device.arch.io_per_tile as u32 + 1,
+            },
+        );
+        let diags = lint_placement(&c, &p);
+        assert!(
+            diags.iter().any(|d| d.message.contains("pads")),
+            "{diags:?}"
+        );
+    }
+}

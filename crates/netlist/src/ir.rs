@@ -317,6 +317,32 @@ impl Netlist {
                     c.inputs.len()
                 )));
             }
+            // Self-driving cells: a combinational cell feeding its own
+            // input can never stabilize — name it here instead of leaving
+            // it to `topo_order`'s generic cycle count. A DFF whose D is
+            // its own Q is a legal hold/toggle register, but a DFF
+            // *clocked* by its own output is a ring oscillator.
+            match &c.kind {
+                CellKind::Dff { clock, .. } => {
+                    if *clock == c.output {
+                        return Err(NetlistError::Validate(format!(
+                            "flip-flop '{}' is clocked by its own output '{}'",
+                            c.name,
+                            self.net_name(c.output)
+                        )));
+                    }
+                }
+                _ => {
+                    if c.inputs.contains(&c.output) {
+                        return Err(NetlistError::Validate(format!(
+                            "cell '{}' ({}) drives its own input '{}'",
+                            c.name,
+                            c.kind.mnemonic(),
+                            self.net_name(c.output)
+                        )));
+                    }
+                }
+            }
         }
         for &input in &self.inputs {
             if driver_count[input.index()] != 0 {
@@ -498,6 +524,58 @@ mod tests {
         let clk = n.find_net("clk").unwrap();
         let sinks = n.sinks();
         assert_eq!(sinks[clk.index()].len(), 1);
+    }
+
+    #[test]
+    fn self_driving_cell_rejected_by_name() {
+        let mut n = Netlist::new("selfloop");
+        let x = n.net("x");
+        n.add_output(x);
+        n.add_cell("g", CellKind::Buf, vec![x], x);
+        let err = n.validate().unwrap_err().to_string();
+        assert!(err.contains("'g'"), "{err}");
+        assert!(err.contains("drives its own input"), "{err}");
+    }
+
+    #[test]
+    fn self_clocked_ff_rejected() {
+        let mut n = Netlist::new("ringosc");
+        let d = n.net("d");
+        let q = n.net("q");
+        n.add_input(d);
+        n.add_output(q);
+        n.add_cell(
+            "ff",
+            CellKind::Dff {
+                clock: q,
+                init: false,
+            },
+            vec![d],
+            q,
+        );
+        let err = n.validate().unwrap_err().to_string();
+        assert!(err.contains("clocked by its own output"), "{err}");
+    }
+
+    #[test]
+    fn ff_feeding_its_own_d_is_legal() {
+        // A hold register: q feeds back into d. Sequential feedback is
+        // exactly what the FF is for.
+        let mut n = Netlist::new("hold");
+        let clk = n.net("clk");
+        let q = n.net("q");
+        n.add_clock(clk);
+        n.add_output(q);
+        n.add_cell(
+            "ff",
+            CellKind::Dff {
+                clock: clk,
+                init: false,
+            },
+            vec![q],
+            q,
+        );
+        n.validate().unwrap();
     }
 
     #[test]

@@ -41,15 +41,21 @@ const EXIT_TRANSPORT: i32 = 3;
 const EXIT_COMPILE: i32 = 4;
 /// The job's deadline elapsed before the flow finished.
 const EXIT_DEADLINE: i32 = 5;
+/// Design-rule findings at deny severity (same code `fpga-lint` uses).
+const EXIT_LINT: i32 = 6;
 
-const HELP: &str = "\
+fn help() -> String {
+    format!(
+        "\
 flowc — command-line client for flowd
 
 usage:
   flowc [--tcp HOST:PORT | --unix PATH] compile <design.vhd|design.blif>
         [--blif] [--seed N] [--effort F] [--width W] [--cycles N]
-        [--deadline DUR] [--retries N] [--trace]
+        [--lint off|warn|deny] [--deadline DUR] [--retries N] [--trace]
         [-o design.bit] [--report report.json]
+  flowc [--tcp HOST:PORT | --unix PATH] lint <design.vhd|design.blif>
+        [--blif] [--json] [--quiet] [--deadline DUR]
   flowc [--tcp HOST:PORT | --unix PATH] metrics [--text]
   flowc [--tcp HOST:PORT | --unix PATH] stats | ping | shutdown
   flowc --help | --version
@@ -59,9 +65,15 @@ flowd accepts for its --max-deadline / --idle-timeout / --retry-after.
 
   --trace   record a per-stage span tree for this job and print it as a
             waterfall (stderr), cache hits attributed to their tier
-  metrics   fetch flowd's per-stage latency histograms and cache
-            memory/disk hit counters as JSON (--text: Prometheus-style)
+  --lint    design-rule gates during compile: warn reports findings,
+            deny fails the job on deny-severity findings (default: off)
+  lint      run the deep design-rule check on the daemon: every rule
+            below, through as much of the flow as the design survives
+  metrics   fetch flowd's per-stage latency histograms, cache
+            memory/disk hit counters, and per-rule lint counters as
+            JSON (--text: Prometheus-style)
 
+{}
 exit codes:
   0  success
   1  local error (unreadable input, unwritable output, ...)
@@ -70,7 +82,12 @@ exit codes:
      broke mid-stream (retryable — the daemon may just be restarting)
   4  compile failed or was refused: the daemon answered and reported a
      stage error, panic, lost worker, or rejection
-  5  deadline exceeded: the job's time budget elapsed mid-flow";
+  5  deadline exceeded: the job's time budget elapsed mid-flow
+  6  design-rule check found deny-severity problems (lint subcommand,
+     or compile with --lint deny)",
+        fpga_lint::catalogue_text()
+    )
+}
 
 fn fail(code: i32, msg: impl std::fmt::Display) -> ! {
     eprintln!("flowc: {msg}");
@@ -98,17 +115,20 @@ fn connect(args: &cli::Args) -> FlowClient {
 
 fn main() {
     let args = cli::parse_args(&[
-        "tcp", "unix", "seed", "effort", "width", "cycles", "deadline", "retries", "o", "report",
+        "tcp", "unix", "seed", "effort", "width", "cycles", "lint", "deadline", "retries", "o",
+        "report",
     ]);
     cli::handle_version("flowc", &args);
     if args.flags.iter().any(|f| f == "help") {
-        println!("{HELP}");
+        println!("{}", help());
         return;
     }
 
     let Some(cmd) = args.positionals.first().map(String::as_str) else {
-        eprintln!("usage: flowc [--tcp HOST:PORT | --unix PATH] <compile|stats|ping|shutdown> ...");
-        eprintln!("       (see flowc --help for options and exit codes)");
+        eprintln!(
+            "usage: flowc [--tcp HOST:PORT | --unix PATH] <compile|lint|stats|ping|shutdown> ..."
+        );
+        eprintln!("       (see flowc --help for options, rule codes, and exit codes)");
         std::process::exit(EXIT_USAGE);
     };
     match cmd {
@@ -144,6 +164,7 @@ fn main() {
             Err(e) => fail(EXIT_TRANSPORT, e),
         },
         "compile" => compile(&args),
+        "lint" => lint(&args),
         other => cli::die("flowc", format!("unknown command '{other}'")),
     }
 }
@@ -181,6 +202,9 @@ fn compile(args: &cli::Args) {
     numeric("effort", "place_effort");
     numeric("width", "channel_width");
     numeric("cycles", "verify_cycles");
+    if let Some(mode) = args.options.get("lint") {
+        options.insert("lint".to_string(), serde_json::json!(mode));
+    }
     let options = if options.is_empty() {
         Value::Null
     } else {
@@ -219,14 +243,36 @@ fn compile(args: &cli::Args) {
         // either way.
         Err(e @ CompileError::Io(_)) => fail(EXIT_TRANSPORT, e),
         Err(e @ CompileError::TimedOut { .. }) => fail(EXIT_DEADLINE, e),
-        Err(e @ (CompileError::Failed { .. } | CompileError::Rejected { .. })) => {
-            fail(EXIT_COMPILE, e)
+        Err(CompileError::Failed {
+            stage,
+            message,
+            kind,
+            diagnostics,
+        }) => {
+            // A design-rule denial prints its structured findings and
+            // exits with the lint code so scripts can tell "your design
+            // breaks the rules" from "the flow broke".
+            for d in &diagnostics {
+                eprintln!("{d}");
+            }
+            let code = if stage == "lint" {
+                EXIT_LINT
+            } else {
+                EXIT_COMPILE
+            };
+            let _ = kind;
+            fail(code, format!("[{stage}] {message}"))
         }
+        Err(e @ CompileError::Rejected { .. }) => fail(EXIT_COMPILE, e),
     };
     // A newer daemon may stream event kinds this client does not know;
     // they are skipped, but say so (CI treats these warnings as failures).
     for name in &outcome.unknown_events {
         eprintln!("flowc: warning: unknown event '{name}' (daemon newer than this client?)");
+    }
+    // Warn/info findings from `--lint warn|deny` runs.
+    for d in &outcome.lint {
+        eprintln!("{d}");
     }
     for ev in &outcome.stage_events {
         let stage = ev.get("stage").and_then(Value::as_str).unwrap_or("?");
@@ -276,4 +322,64 @@ fn compile(args: &cli::Args) {
         outcome.job,
         outcome.bitstream.len()
     );
+}
+
+/// `flowc lint <design>` — run the deep design-rule check on the daemon
+/// and print the findings. Deny-severity findings exit with
+/// [`EXIT_LINT`]; flow errors (a design the checker cannot even parse)
+/// exit like a failed compile.
+fn lint(args: &cli::Args) {
+    let Some(path) = args.positionals.get(1) else {
+        eprintln!("usage: flowc lint <design.vhd|design.blif> [--blif] [--json] [--quiet]");
+        eprintln!("       (see flowc --help for the rule catalogue)");
+        std::process::exit(EXIT_USAGE);
+    };
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => cli::die("flowc", format!("cannot read '{path}': {e}")),
+    };
+    let format = if args.flags.iter().any(|f| f == "blif") || path.ends_with(".blif") {
+        SourceFormat::Blif
+    } else {
+        SourceFormat::Vhdl
+    };
+    let mut req = CompileRequest::new(format, source);
+    req.deadline_ms = args.options.get("deadline").map(|raw| {
+        cli::parse_duration_ms(raw)
+            .unwrap_or_else(|e| cli::die("flowc", format!("bad --deadline: {e}")))
+    });
+
+    let outcome = match connect(args).lint_request(&req) {
+        Ok(o) => o,
+        Err(e @ CompileError::Io(_)) => fail(EXIT_TRANSPORT, e),
+        Err(e @ CompileError::TimedOut { .. }) => fail(EXIT_DEADLINE, e),
+        Err(e @ (CompileError::Failed { .. } | CompileError::Rejected { .. })) => {
+            fail(EXIT_COMPILE, e)
+        }
+    };
+    for name in &outcome.unknown_events {
+        eprintln!("flowc: warning: unknown event '{name}' (daemon newer than this client?)");
+    }
+    let quiet = args.flags.iter().any(|f| f == "quiet");
+    if args.flags.iter().any(|f| f == "json") {
+        let body = fpga_lint::diagnostics_to_value(&outcome.diagnostics);
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&body).expect("findings render")
+        );
+    } else if !quiet {
+        for d in &outcome.diagnostics {
+            println!("{d}");
+        }
+    }
+    eprintln!(
+        "job {}: {}: checked through '{}': {}",
+        outcome.job,
+        outcome.design,
+        outcome.reached,
+        fpga_lint::summarize(&outcome.diagnostics)
+    );
+    if fpga_lint::worst(&outcome.diagnostics) == Some(fpga_lint::Severity::Deny) {
+        std::process::exit(EXIT_LINT);
+    }
 }

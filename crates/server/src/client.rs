@@ -16,6 +16,7 @@ use std::os::unix::net::UnixStream;
 use std::path::Path;
 use std::time::Duration;
 
+use fpga_lint::Diagnostic;
 use serde_json::Value;
 
 use crate::proto::{
@@ -81,8 +82,29 @@ pub struct CompileOutcome {
     /// The span tree from the `done` event, when the request set
     /// `trace` (decode with [`fpga_flow::trace::spans_from_value`]).
     pub trace: Option<Value>,
+    /// Warn/info design-rule findings from the `done` event (present
+    /// when the compile ran with the `lint` option on).
+    pub lint: Vec<Diagnostic>,
     /// Names of events this client did not recognize and skipped — a
     /// newer server. `flowc` surfaces these as warnings.
+    pub unknown_events: Vec<String>,
+}
+
+/// The final state of one `lint` submission.
+#[derive(Debug)]
+pub struct LintOutcome {
+    /// Server-assigned job id.
+    pub job: u64,
+    /// Design name from the report.
+    pub design: String,
+    /// The last lint point the deep check reached (`"netlist"` ...
+    /// `"bitstream"`).
+    pub reached: String,
+    /// Every finding, in flow order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// The streamed `stage` events, in arrival order (wire form).
+    pub stage_events: Vec<Value>,
+    /// Unknown event names skipped along the way.
     pub unknown_events: Vec<String>,
 }
 
@@ -97,11 +119,14 @@ pub enum CompileError {
         retry_after_ms: Option<u64>,
     },
     /// The flow itself failed: an ordinary stage error, or a stage
-    /// panic / lost worker (`kind` distinguishes them).
+    /// panic / lost worker (`kind` distinguishes them). When the failure
+    /// was a design-rule denial (stage `"lint"`), `diagnostics` carries
+    /// the structured findings.
     Failed {
         stage: String,
         message: String,
         kind: Option<String>,
+        diagnostics: Vec<Diagnostic>,
     },
     /// The job's deadline elapsed; `completed_stages` is how far it got.
     TimedOut {
@@ -311,6 +336,7 @@ impl FlowClient {
                     bitstream_hex,
                     report,
                     trace,
+                    lint,
                     ..
                 } => {
                     let bitstream = from_hex(&bitstream_hex).map_err(|e| {
@@ -322,6 +348,7 @@ impl FlowClient {
                         report,
                         bitstream,
                         trace,
+                        lint,
                         unknown_events,
                     });
                 }
@@ -350,6 +377,7 @@ impl FlowClient {
                     stage,
                     message,
                     retry_after_ms,
+                    diagnostics,
                     ..
                 } => {
                     // Saturation errors (connection cap) are rejections
@@ -364,12 +392,116 @@ impl FlowClient {
                         stage: stage.unwrap_or_else(|| "?".to_string()),
                         message,
                         kind,
+                        diagnostics,
                     });
                 }
-                Event::Pong { .. } | Event::Stats(_) | Event::Metrics(_) | Event::ShuttingDown => {
+                Event::Pong { .. }
+                | Event::Stats(_)
+                | Event::Metrics(_)
+                | Event::ShuttingDown
+                | Event::LintReport { .. } => {
                     return Err(CompileError::Io(io::Error::new(
                         io::ErrorKind::InvalidData,
                         format!("event out of place in a compile stream: {}", raw),
+                    )));
+                }
+            }
+        }
+    }
+
+    /// Submit a design for a deep design-rule check (`lint` verb) and
+    /// block until its `lint_report` arrives. The same rejection /
+    /// failure / timeout errors as a compile apply; deny-severity
+    /// findings are NOT an error — they ride back in the outcome for the
+    /// caller to judge.
+    pub fn lint_request(&mut self, req: &CompileRequest) -> Result<LintOutcome, CompileError> {
+        self.send(&Request::Lint(Box::new(req.clone())).to_value())?;
+
+        let mut job = 0u64;
+        let mut stage_events = Vec::new();
+        let mut unknown_events = Vec::new();
+        loop {
+            let raw = self.recv()?;
+            let event = match parse_event(&raw) {
+                Ok(event) => event,
+                Err(EventParseError::Unknown(name)) => {
+                    unknown_events.push(name);
+                    continue;
+                }
+                Err(e @ EventParseError::Malformed(_)) => {
+                    return Err(CompileError::Io(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        e.to_string(),
+                    )));
+                }
+            };
+            match event {
+                Event::Queued { job: id } => job = id,
+                Event::Stage { .. } => stage_events.push(raw),
+                Event::LintReport {
+                    design,
+                    reached,
+                    diagnostics,
+                    ..
+                } => {
+                    return Ok(LintOutcome {
+                        job,
+                        design,
+                        reached,
+                        diagnostics,
+                        stage_events,
+                        unknown_events,
+                    });
+                }
+                Event::Rejected {
+                    reason,
+                    retry_after_ms,
+                    ..
+                } => {
+                    return Err(CompileError::Rejected {
+                        reason,
+                        retry_after_ms,
+                    });
+                }
+                Event::Timeout {
+                    deadline_ms,
+                    completed_stages,
+                    ..
+                } => {
+                    return Err(CompileError::TimedOut {
+                        deadline_ms,
+                        completed_stages,
+                    });
+                }
+                Event::Error {
+                    kind,
+                    stage,
+                    message,
+                    retry_after_ms,
+                    diagnostics,
+                    ..
+                } => {
+                    if kind.as_deref() == Some("overloaded") {
+                        return Err(CompileError::Rejected {
+                            reason: message,
+                            retry_after_ms,
+                        });
+                    }
+                    return Err(CompileError::Failed {
+                        stage: stage.unwrap_or_else(|| "?".to_string()),
+                        message,
+                        kind,
+                        diagnostics,
+                    });
+                }
+                Event::Pong { .. }
+                | Event::Stats(_)
+                | Event::Metrics(_)
+                | Event::ShuttingDown
+                | Event::Done { .. } => {
+                    return Err(CompileError::Io(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("event out of place in a lint stream: {}", raw),
                     )));
                 }
             }
@@ -482,6 +614,7 @@ mod tests {
             stage: "route".to_string(),
             message: "unroutable".to_string(),
             kind: None,
+            diagnostics: Vec::new(),
         };
         assert!(!failed.is_retryable());
         let timed_out = CompileError::TimedOut {

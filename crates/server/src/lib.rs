@@ -26,10 +26,13 @@
 //! plus `{"cmd":"ping"}` (the hello — both sides exchange
 //! [`proto::PROTO_VERSION`] here), `{"cmd":"stats"}` (job counters and
 //! per-stage cache hit/miss/wall-time metrics), `{"cmd":"metrics"}`
-//! (per-stage latency histograms, cache memory/disk hit tiers, and the
-//! queue high-water mark — ask with `"format":"text"` for a
-//! Prometheus-style exposition) and `{"cmd":"shutdown"}` (graceful: new
-//! jobs are rejected, queued jobs drain, then the daemon exits).
+//! (per-stage latency histograms, cache memory/disk hit tiers, the
+//! queue high-water mark, and per-rule lint counters — ask with
+//! `"format":"text"` for a Prometheus-style exposition),
+//! `{"cmd":"lint"}` (same shape as `compile`; runs the deep design-rule
+//! check and answers with a terminal `{"event":"lint_report"}` carrying
+//! typed diagnostics) and `{"cmd":"shutdown"}` (graceful: new jobs are
+//! rejected, queued jobs drain, then the daemon exits).
 //!
 //! Both sides speak through the *typed* layer in [`proto`]:
 //! [`proto::Request`] and [`proto::Event`] round-trip through the JSON
@@ -63,7 +66,9 @@ pub mod queue;
 pub mod service;
 mod supervisor;
 
-pub use client::{compile_with_retry, CompileError, CompileOutcome, FlowClient, RetryPolicy};
+pub use client::{
+    compile_with_retry, CompileError, CompileOutcome, FlowClient, LintOutcome, RetryPolicy,
+};
 pub use metrics::{Histogram, HistogramSnapshot, Metrics, MetricsSnapshot};
 pub use proto::{
     CompileRequest, Event, EventParseError, ReadLineError, Request, SourceFormat, PROTO_VERSION,

@@ -20,6 +20,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use fpga_flow::cache::STAGES;
+use fpga_lint::RULES;
 use serde_json::Value;
 
 /// Upper bounds (milliseconds, inclusive) of the latency buckets; an
@@ -110,6 +111,11 @@ pub struct Metrics {
     /// Stage events whose id the registry did not recognize — should
     /// stay zero; nonzero means a flow/daemon version skew.
     unknown_stage_events: AtomicU64,
+    /// Design-rule findings by rule code, in [`RULES`] order.
+    lint_rule_hits: [AtomicU64; RULES.len()],
+    /// Findings whose code the catalogue does not list — the lint
+    /// analogue of `unknown_stage_events`; nonzero means version skew.
+    unknown_lint_rules: AtomicU64,
 }
 
 impl Metrics {
@@ -130,6 +136,31 @@ impl Metrics {
 
     pub fn unknown_stage_events(&self) -> u64 {
         self.unknown_stage_events.load(Ordering::Relaxed)
+    }
+
+    /// Record one design-rule finding by its code (`"NL001"`, ...).
+    pub fn observe_lint_rule(&self, code: &str) {
+        match RULES.iter().position(|r| r.code == code) {
+            Some(i) => {
+                self.lint_rule_hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+            None => {
+                self.unknown_lint_rules.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Per-rule finding counts, in catalogue order.
+    pub fn lint_rule_snapshots(&self) -> Vec<(&'static str, u64)> {
+        RULES
+            .iter()
+            .zip(self.lint_rule_hits.iter())
+            .map(|(r, n)| (r.code, n.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    pub fn unknown_lint_rules(&self) -> u64 {
+        self.unknown_lint_rules.load(Ordering::Relaxed)
     }
 
     /// Snapshot every stage histogram, in flow order.
@@ -183,6 +214,9 @@ pub struct MetricsSnapshot {
     /// `(disk_hits, disk_misses, quarantined, evicted, writes)`.
     pub store: Option<(u64, u64, u64, u64, u64)>,
     pub unknown_stage_events: u64,
+    /// `(rule_code, findings)` in catalogue order.
+    pub lint_rules: Vec<(&'static str, u64)>,
+    pub unknown_lint_rules: u64,
 }
 
 impl MetricsSnapshot {
@@ -265,6 +299,12 @@ impl MetricsSnapshot {
             "unknown_stage_events".into(),
             self.unknown_stage_events.into(),
         );
+        let mut lint = serde_json::Map::new();
+        for (code, n) in &self.lint_rules {
+            lint.insert(code.to_string(), (*n).into());
+        }
+        lint.insert("unknown".into(), self.unknown_lint_rules.into());
+        root.insert("lint_rules".into(), Value::Object(lint));
         Value::Object(root)
     }
 
@@ -434,6 +474,26 @@ impl MetricsSnapshot {
                 self.unknown_stage_events
             ),
         );
+
+        push(
+            &mut out,
+            "# HELP flowd_lint_rule_hits_total Design-rule findings by rule code.".into(),
+        );
+        push(&mut out, "# TYPE flowd_lint_rule_hits_total counter".into());
+        for (code, n) in &self.lint_rules {
+            push(
+                &mut out,
+                format!("flowd_lint_rule_hits_total{{rule=\"{code}\"}} {n}"),
+            );
+        }
+        push(
+            &mut out,
+            "# TYPE flowd_unknown_lint_rules_total counter".into(),
+        );
+        push(
+            &mut out,
+            format!("flowd_unknown_lint_rules_total {}", self.unknown_lint_rules),
+        );
         out
     }
 }
@@ -476,6 +536,39 @@ mod tests {
         let route = &stages.iter().find(|(n, _)| *n == "route").unwrap().1;
         assert_eq!(route.count, 1);
         assert_eq!(m.unknown_stage_events(), 1);
+    }
+
+    #[test]
+    fn lint_rule_counters_route_by_code_and_flag_unknowns() {
+        let m = Metrics::new();
+        m.observe_lint_rule("NL001");
+        m.observe_lint_rule("NL001");
+        m.observe_lint_rule("RT002");
+        m.observe_lint_rule("XX999");
+        let snap = m.lint_rule_snapshots();
+        assert_eq!(snap.len(), RULES.len());
+        assert_eq!(
+            snap.iter().find(|(c, _)| *c == "NL001"),
+            Some(&("NL001", 2))
+        );
+        assert_eq!(
+            snap.iter().find(|(c, _)| *c == "RT002"),
+            Some(&("RT002", 1))
+        );
+        assert_eq!(m.unknown_lint_rules(), 1);
+
+        let rendered = MetricsSnapshot {
+            lint_rules: snap,
+            unknown_lint_rules: m.unknown_lint_rules(),
+            ..Default::default()
+        };
+        let text = rendered.to_prometheus_text();
+        assert!(text.contains("flowd_lint_rule_hits_total{rule=\"NL001\"} 2"));
+        assert!(text.contains("flowd_lint_rule_hits_total{rule=\"PK001\"} 0"));
+        assert!(text.contains("flowd_unknown_lint_rules_total 1"));
+        let js = rendered.to_json();
+        assert_eq!(js["lint_rules"]["NL001"].as_u64(), Some(2));
+        assert_eq!(js["lint_rules"]["unknown"].as_u64(), Some(1));
     }
 
     #[test]

@@ -16,6 +16,7 @@ use std::io::{self, BufRead, Write};
 
 use fpga_arch::Architecture;
 use fpga_flow::FlowOptions;
+use fpga_lint::{diagnostics_from_value, diagnostics_to_value, Diagnostic, LintMode};
 use serde_json::Value;
 
 /// Version of the request/event schema this build speaks. Bumped when a
@@ -24,7 +25,12 @@ use serde_json::Value;
 /// * 1 — `ping`/`stats`/`shutdown`/`compile`, stringly matched.
 /// * 2 — typed enums; adds the `metrics` verb, `trace` on compile
 ///   requests (spans in the `done` event), and `proto_version` itself.
-pub const PROTO_VERSION: u64 = 2;
+/// * 3 — design-rule lint: the `lint` verb and its terminal
+///   `lint_report` event, the `lint` flow option (`off`/`warn`/`deny`),
+///   and typed `diagnostics` riding `done` and `error` events. All
+///   additions are optional fields or new verbs, so version-2 peers
+///   interoperate unchanged.
+pub const PROTO_VERSION: u64 = 3;
 
 /// Source language of a submitted design.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -102,6 +108,11 @@ pub enum Request {
     },
     Shutdown,
     Compile(Box<CompileRequest>),
+    /// Deep design-rule check: same submission shape as `compile`
+    /// (source, options, deadline), but the job runs the lint driver —
+    /// no power, no verification, no bitstream in the reply — and
+    /// terminates with a `lint_report` event.
+    Lint(Box<CompileRequest>),
 }
 
 impl Request {
@@ -125,8 +136,13 @@ impl Request {
             Request::Shutdown => {
                 obj.insert("cmd".into(), "shutdown".into());
             }
-            Request::Compile(c) => {
-                obj.insert("cmd".into(), "compile".into());
+            Request::Compile(c) | Request::Lint(c) => {
+                let cmd = if matches!(self, Request::Compile(_)) {
+                    "compile"
+                } else {
+                    "lint"
+                };
+                obj.insert("cmd".into(), cmd.into());
                 obj.insert("format".into(), c.format.name().into());
                 obj.insert("source".into(), c.source.clone().into());
                 if !c.options.is_null() {
@@ -170,7 +186,7 @@ pub fn parse_request_value(v: &Value) -> Result<Request, String> {
             Ok(Request::Metrics { text })
         }
         "shutdown" => Ok(Request::Shutdown),
-        "compile" => {
+        "compile" | "lint" => {
             let format = match v.get("format").and_then(Value::as_str) {
                 Some("vhdl") | None => SourceFormat::Vhdl,
                 Some("blif") => SourceFormat::Blif,
@@ -197,13 +213,18 @@ pub fn parse_request_value(v: &Value) -> Result<Request, String> {
                     .as_bool()
                     .ok_or_else(|| "trace must be a boolean".to_string())?,
             };
-            Ok(Request::Compile(Box::new(CompileRequest {
+            let req = Box::new(CompileRequest {
                 format,
                 source,
                 options,
                 deadline_ms,
                 trace,
-            })))
+            });
+            Ok(if cmd == "lint" {
+                Request::Lint(req)
+            } else {
+                Request::Compile(req)
+            })
         }
         other => Err(format!("unknown cmd '{other}'")),
     }
@@ -255,6 +276,13 @@ fn parse_options(v: Option<&Value>) -> Result<FlowOptions, String> {
                 opts.arch =
                     Architecture::from_json(&text).map_err(|e| format!("bad 'arch': {e}"))?;
             }
+            "lint" => {
+                let name = val
+                    .as_str()
+                    .ok_or_else(|| "lint must be a string".to_string())?;
+                opts.lint = LintMode::parse(name)
+                    .ok_or_else(|| format!("unknown lint mode '{name}' (off/warn/deny)"))?;
+            }
             other => return Err(format!("unknown option '{other}'")),
         }
     }
@@ -298,13 +326,24 @@ pub enum Event {
         metrics: Value,
     },
     /// Terminal success. `trace` carries the span tree when the request
-    /// asked for one.
+    /// asked for one; `lint` any warn/info findings when the compile ran
+    /// with design-rule checks enabled (absent on the wire when empty).
     Done {
         job: u64,
         design: String,
         report: Value,
         bitstream_hex: String,
         trace: Option<Value>,
+        lint: Vec<Diagnostic>,
+    },
+    /// Terminal reply to a `lint` request: every finding the deep check
+    /// produced, plus how far the flow got (`reached` is the last stage
+    /// whose artifact was linted, e.g. `"netlist"` or `"bitstream"`).
+    LintReport {
+        job: u64,
+        design: String,
+        reached: String,
+        diagnostics: Vec<Diagnostic>,
     },
     /// Terminal deadline overrun.
     Timeout {
@@ -315,12 +354,16 @@ pub enum Event {
     },
     /// Terminal failure, or a connection-level complaint (no `job`).
     /// `kind` distinguishes panics, rejections under load, etc.
+    /// `diagnostics` carries the structured findings when the failure
+    /// came from a design-rule gate (stage `"lint"`); empty otherwise
+    /// and absent on the wire.
     Error {
         job: Option<u64>,
         kind: Option<String>,
         stage: Option<String>,
         message: String,
         retry_after_ms: Option<u64>,
+        diagnostics: Vec<Diagnostic>,
     },
 }
 
@@ -399,6 +442,7 @@ impl Event {
                 report,
                 bitstream_hex,
                 trace,
+                lint,
             } => {
                 obj.insert("event".into(), "done".into());
                 obj.insert("job".into(), (*job).into());
@@ -408,6 +452,21 @@ impl Event {
                 if let Some(trace) = trace {
                     obj.insert("trace".into(), trace.clone());
                 }
+                if !lint.is_empty() {
+                    obj.insert("lint".into(), diagnostics_to_value(lint));
+                }
+            }
+            Event::LintReport {
+                job,
+                design,
+                reached,
+                diagnostics,
+            } => {
+                obj.insert("event".into(), "lint_report".into());
+                obj.insert("job".into(), (*job).into());
+                obj.insert("design".into(), design.clone().into());
+                obj.insert("reached".into(), reached.clone().into());
+                obj.insert("diagnostics".into(), diagnostics_to_value(diagnostics));
             }
             Event::Timeout {
                 job,
@@ -433,6 +492,7 @@ impl Event {
                 stage,
                 message,
                 retry_after_ms,
+                diagnostics,
             } => {
                 obj.insert("event".into(), "error".into());
                 if let Some(kind) = kind {
@@ -447,6 +507,9 @@ impl Event {
                 obj.insert("message".into(), message.clone().into());
                 if let Some(ms) = retry_after_ms {
                     obj.insert("retry_after_ms".into(), (*ms).into());
+                }
+                if !diagnostics.is_empty() {
+                    obj.insert("diagnostics".into(), diagnostics_to_value(diagnostics));
                 }
             }
         }
@@ -541,6 +604,23 @@ pub fn parse_event(v: &Value) -> Result<Event, EventParseError> {
                 .ok_or_else(|| Malformed("'done' missing 'bitstream_hex'".into()))?
                 .to_string(),
             trace: v.get("trace").filter(|t| !t.is_null()).cloned(),
+            lint: diagnostics_from_value(v.get("lint").unwrap_or(&Value::Null))
+                .map_err(|e| Malformed(format!("'done' lint findings: {e}")))?,
+        }),
+        "lint_report" => Ok(Event::LintReport {
+            job: job(v)?,
+            design: v
+                .get("design")
+                .and_then(Value::as_str)
+                .unwrap_or("")
+                .to_string(),
+            reached: v
+                .get("reached")
+                .and_then(Value::as_str)
+                .unwrap_or("")
+                .to_string(),
+            diagnostics: diagnostics_from_value(v.get("diagnostics").unwrap_or(&Value::Null))
+                .map_err(|e| Malformed(format!("'lint_report' diagnostics: {e}")))?,
         }),
         "timeout" => Ok(Event::Timeout {
             job: job(v)?,
@@ -563,6 +643,8 @@ pub fn parse_event(v: &Value) -> Result<Event, EventParseError> {
             stage: v.get("stage").and_then(Value::as_str).map(str::to_string),
             message: message(v),
             retry_after_ms: v.get("retry_after_ms").and_then(Value::as_u64),
+            diagnostics: diagnostics_from_value(v.get("diagnostics").unwrap_or(&Value::Null))
+                .map_err(|e| Malformed(format!("'error' diagnostics: {e}")))?,
         }),
         other => Err(EventParseError::Unknown(other.to_string())),
     }
@@ -724,6 +806,11 @@ mod tests {
                 c.trace = true;
                 c
             })),
+            Request::Lint(Box::new(
+                CompileRequest::new(SourceFormat::Vhdl, "entity e is end;")
+                    .with_options(serde_json::json!({"lint": "deny"}))
+                    .unwrap(),
+            )),
         ];
         for req in reqs {
             let v = req.to_value();
@@ -765,6 +852,34 @@ mod tests {
                 report: serde_json::json!({"stages": Vec::<Value>::new()}),
                 bitstream_hex: "a0b1".into(),
                 trace: Some(serde_json::json!({"spans": Vec::<Value>::new()})),
+                lint: Vec::new(),
+            },
+            Event::Done {
+                job: 8,
+                design: "counter".into(),
+                report: Value::Null,
+                bitstream_hex: "".into(),
+                trace: None,
+                lint: vec![Diagnostic::new(
+                    "NL003",
+                    fpga_lint::Severity::Warn,
+                    "netlist",
+                    "net 'spare'",
+                    "net 'spare' is driven but never read",
+                )],
+            },
+            Event::LintReport {
+                job: 9,
+                design: "loopy".into(),
+                reached: "netlist".into(),
+                diagnostics: vec![Diagnostic::new(
+                    "NL001",
+                    fpga_lint::Severity::Deny,
+                    "netlist",
+                    "cell 'g1'",
+                    "combinational loop",
+                )
+                .with_note("a -> b -> a")],
             },
             Event::Timeout {
                 job: 7,
@@ -778,6 +893,21 @@ mod tests {
                 stage: None,
                 message: "boom".into(),
                 retry_after_ms: None,
+                diagnostics: Vec::new(),
+            },
+            Event::Error {
+                job: Some(7),
+                kind: None,
+                stage: Some("lint".into()),
+                message: "design-rule check failed".into(),
+                retry_after_ms: None,
+                diagnostics: vec![Diagnostic::new(
+                    "PK001",
+                    fpga_lint::Severity::Deny,
+                    "pack",
+                    "cluster 0",
+                    "cluster 0 holds 6 BLEs but the architecture allows 5",
+                )],
             },
         ];
         for ev in events {
@@ -785,6 +915,87 @@ mod tests {
             let back = parse_event(&v).unwrap();
             assert_eq!(back.to_value(), v, "round trip changed {v}");
         }
+    }
+
+    #[test]
+    fn diagnostics_survive_the_wire_intact() {
+        // Satellite check for the lint protocol: a finding serialized
+        // into a lint_report, written as a line, read back, and parsed
+        // keeps its code, severity, subject, and notes.
+        let ev = Event::LintReport {
+            job: 3,
+            design: "mux".into(),
+            reached: "route".into(),
+            diagnostics: vec![
+                Diagnostic::new(
+                    "RT001",
+                    fpga_lint::Severity::Deny,
+                    "route",
+                    "rr node 42",
+                    "routing resource used by 2 nets",
+                )
+                .with_note("nets: a, b"),
+                Diagnostic::new(
+                    "NL003",
+                    fpga_lint::Severity::Info,
+                    "netlist",
+                    "net 'nc'",
+                    "net 'nc' is never driven and never read",
+                ),
+            ],
+        };
+        let mut wire = Vec::new();
+        write_line(&mut wire, &ev.to_value()).unwrap();
+        let mut r = std::io::BufReader::new(wire.as_slice());
+        let line = read_line(&mut r).unwrap().unwrap();
+        let Event::LintReport {
+            diagnostics,
+            reached,
+            ..
+        } = parse_event(&line).unwrap()
+        else {
+            panic!("not a lint_report");
+        };
+        assert_eq!(reached, "route");
+        assert_eq!(diagnostics.len(), 2);
+        assert_eq!(diagnostics[0].code, "RT001");
+        assert_eq!(diagnostics[0].severity, fpga_lint::Severity::Deny);
+        assert_eq!(diagnostics[0].subject, "rr node 42");
+        assert_eq!(diagnostics[0].notes, vec!["nets: a, b".to_string()]);
+        assert_eq!(diagnostics[1].code, "NL003");
+        assert_eq!(diagnostics[1].severity, fpga_lint::Severity::Info);
+
+        // Mangled severities are a malformed event, not a silent default.
+        let bad: Value = serde_json::from_str(
+            r#"{"event":"lint_report","job":3,"design":"mux","reached":"route",
+                "diagnostics":[{"code":"RT001","severity":"fatal","stage":"route",
+                "subject":"rr node 42","message":"m","notes":[]}]}"#,
+        )
+        .unwrap();
+        assert!(matches!(
+            parse_event(&bad),
+            Err(EventParseError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn parses_lint_option_and_rejects_bad_modes() {
+        let req = parse_request(
+            r#"{"cmd":"compile","source":".model m","format":"blif",
+                "options":{"lint":"warn"}}"#,
+        )
+        .unwrap();
+        let Request::Compile(c) = req else {
+            panic!("not compile")
+        };
+        assert_eq!(c.flow_options().unwrap().lint, LintMode::Warn);
+        // Default stays Off: absent option means no behavior change.
+        let opts = parse_options(None).unwrap();
+        assert_eq!(opts.lint, LintMode::Off);
+        assert!(
+            parse_request(r#"{"cmd":"lint","source":"x","options":{"lint":"strict"}}"#).is_err()
+        );
+        assert!(parse_request(r#"{"cmd":"lint","source":"x","options":{"lint":7}}"#).is_err());
     }
 
     #[test]

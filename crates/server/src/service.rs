@@ -30,7 +30,8 @@ use std::time::{Duration, Instant};
 use std::{fmt, io};
 
 use fpga_flow::fault::{CancelToken, FaultPlan, KILL_WORKER_PANIC};
-use fpga_flow::{DiskStore, FlowCtx, StageCache, TraceLog};
+use fpga_flow::{check, DiskStore, FlowCtx, StageCache, TraceLog};
+use fpga_lint::{DiagSink, Diagnostic};
 use serde_json::Value;
 
 use crate::metrics::{Metrics, MetricsSnapshot, ServiceCounters, StageCacheCounters};
@@ -109,11 +110,20 @@ impl Default for ServerConfig {
     }
 }
 
-/// One queued compile job: the request plus the channel its events flow
+/// What a queued job does with its request: run the full compile flow,
+/// or only the deep design-rule check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum JobKind {
+    Compile,
+    Lint,
+}
+
+/// One queued job: the request plus the channel its events flow
 /// back through (the submitting connection forwards them to the client)
 /// and the cancellation handle both sides share.
 struct Job {
     id: u64,
+    kind: JobKind,
     req: CompileRequest,
     events: mpsc::Sender<Event>,
     cancel: CancelToken,
@@ -249,6 +259,8 @@ impl Shared {
             cache_memory_evicted: self.cache.memory_evicted(),
             store,
             unknown_stage_events: self.metrics.unknown_stage_events(),
+            lint_rules: self.metrics.lint_rule_snapshots(),
+            unknown_lint_rules: self.metrics.unknown_lint_rules(),
         }
     }
 
@@ -516,6 +528,7 @@ fn conn_error(
         stage: None,
         message: message.into(),
         retry_after_ms,
+        diagnostics: Vec::new(),
     }
     .to_value()
 }
@@ -724,8 +737,13 @@ fn serve_connection<S: Read + Write + TryCloneStream>(
                 return;
             }
             Request::Compile(req) => {
-                if !handle_compile(*req, shared, &mut writer) {
+                if !handle_submit(JobKind::Compile, *req, shared, &mut writer) {
                     return; // client gone mid-stream
+                }
+            }
+            Request::Lint(req) => {
+                if !handle_submit(JobKind::Lint, *req, shared, &mut writer) {
+                    return;
                 }
             }
         }
@@ -742,10 +760,15 @@ fn effective_deadline_ms(requested: Option<u64>, cap: Option<u64>) -> Option<u64
     }
 }
 
-/// Submit one compile job and forward its event stream to the client.
-/// Returns `false` when the client connection broke (which also cancels
-/// the job, so it stops at its next stage boundary).
-fn handle_compile(mut req: CompileRequest, shared: &Arc<Shared>, writer: &mut impl Write) -> bool {
+/// Submit one compile or lint job and forward its event stream to the
+/// client. Returns `false` when the client connection broke (which also
+/// cancels the job, so it stops at its next stage boundary).
+fn handle_submit(
+    kind: JobKind,
+    mut req: CompileRequest,
+    shared: &Arc<Shared>,
+    writer: &mut impl Write,
+) -> bool {
     let id = shared.next_job_id.fetch_add(1, Ordering::Relaxed);
     let deadline_ms = effective_deadline_ms(req.deadline_ms.take(), shared.config.max_deadline_ms);
     let cancel = match deadline_ms {
@@ -755,6 +778,7 @@ fn handle_compile(mut req: CompileRequest, shared: &Arc<Shared>, writer: &mut im
     let (tx, rx) = mpsc::channel::<Event>();
     match shared.queue.submit(Job {
         id,
+        kind,
         req,
         events: tx,
         cancel: cancel.clone(),
@@ -782,7 +806,10 @@ fn handle_compile(mut req: CompileRequest, shared: &Arc<Shared>, writer: &mut im
             for event in rx {
                 let terminal = matches!(
                     event,
-                    Event::Done { .. } | Event::Error { .. } | Event::Timeout { .. }
+                    Event::Done { .. }
+                        | Event::LintReport { .. }
+                        | Event::Error { .. }
+                        | Event::Timeout { .. }
                 );
                 if proto::write_line(writer, &event.to_value()).is_err() {
                     cancel.cancel();
@@ -803,6 +830,7 @@ fn handle_compile(mut req: CompileRequest, shared: &Arc<Shared>, writer: &mut im
                     stage: None,
                     message: "worker died while running this job".into(),
                     retry_after_ms: None,
+                    diagnostics: Vec::new(),
                 };
                 return proto::write_line(writer, &lost.to_value()).is_ok();
             }
@@ -828,12 +856,19 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// Run one job under the panic guard and classify its ending: `done`,
-/// flow `error`, structured `panic`, `timeout` (with the completed-stage
-/// list), or silent cancellation after a client hang-up.
+/// What a job's flow produced when it ran to completion.
+enum Finished {
+    Compiled(Box<fpga_flow::FlowArtifacts>),
+    Linted(fpga_flow::LintReport),
+}
+
+/// Run one job under the panic guard and classify its ending: `done` or
+/// `lint_report`, flow `error`, structured `panic`, `timeout` (with the
+/// completed-stage list), or silent cancellation after a client hang-up.
 fn run_job(shared: &Arc<Shared>, job: Job) {
     let Job {
         id,
+        kind,
         req,
         events,
         cancel,
@@ -851,6 +886,7 @@ fn run_job(shared: &Arc<Shared>, job: Job) {
                 stage: Some("options".into()),
                 message,
                 retry_after_ms: None,
+                diagnostics: Vec::new(),
             });
             return;
         }
@@ -884,6 +920,9 @@ fn run_job(shared: &Arc<Shared>, job: Job) {
             });
     };
     let trace = req.trace.then(TraceLog::new);
+    // Collects gate findings so a lint-denied compile can attach them to
+    // its error event; only wired in when the compile runs with lint on.
+    let lint_sink = DiagSink::new();
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         let mut builder = FlowCtx::builder()
             .cache(&shared.cache)
@@ -895,12 +934,32 @@ fn run_job(shared: &Arc<Shared>, job: Job) {
         if let Some(trace) = &trace {
             builder = builder.trace(trace);
         }
+        if kind == JobKind::Compile && options.lint.enabled() {
+            builder = builder.lint_sink(&lint_sink);
+        }
         let ctx = builder.build();
-        match req.format {
-            SourceFormat::Vhdl => fpga_flow::run_vhdl_ctx(&req.source, &options, ctx),
-            SourceFormat::Blif => fpga_flow::run_blif_ctx(&req.source, &options, ctx),
+        match (kind, req.format) {
+            (JobKind::Compile, SourceFormat::Vhdl) => {
+                fpga_flow::run_vhdl_ctx(&req.source, &options, ctx)
+                    .map(|art| Finished::Compiled(Box::new(art)))
+            }
+            (JobKind::Compile, SourceFormat::Blif) => {
+                fpga_flow::run_blif_ctx(&req.source, &options, ctx)
+                    .map(|art| Finished::Compiled(Box::new(art)))
+            }
+            (JobKind::Lint, SourceFormat::Vhdl) => {
+                check::lint_vhdl(&req.source, &options, ctx).map(Finished::Linted)
+            }
+            (JobKind::Lint, SourceFormat::Blif) => {
+                check::lint_blif(&req.source, &options, ctx).map(Finished::Linted)
+            }
         }
     }));
+    let count_rules = |diags: &[Diagnostic]| {
+        for d in diags {
+            shared.metrics.observe_lint_rule(&d.code);
+        }
+    };
     match result {
         Err(payload) => {
             if payload.downcast_ref::<&str>() == Some(&KILL_WORKER_PANIC) {
@@ -917,16 +976,31 @@ fn run_job(shared: &Arc<Shared>, job: Job) {
                 stage: None,
                 message: panic_message(payload.as_ref()),
                 retry_after_ms: None,
+                diagnostics: Vec::new(),
             });
         }
-        Ok(Ok(art)) => {
+        Ok(Ok(Finished::Compiled(art))) => {
             shared.jobs_completed.fetch_add(1, Ordering::Relaxed);
+            count_rules(&art.lint);
             let _ = events.send(Event::Done {
                 job: id,
                 design: art.report.design.clone(),
                 report: serde_json::to_value(&art.report),
                 bitstream_hex: proto::to_hex(&art.bitstream_bytes),
                 trace: trace.as_ref().map(TraceLog::to_value),
+                lint: art.lint.clone(),
+            });
+        }
+        Ok(Ok(Finished::Linted(report))) => {
+            // A lint job "completes" whatever it found; severity is the
+            // client's verdict to act on, carried in the diagnostics.
+            shared.jobs_completed.fetch_add(1, Ordering::Relaxed);
+            count_rules(&report.diagnostics);
+            let _ = events.send(Event::LintReport {
+                job: id,
+                design: report.design.clone(),
+                reached: report.reached.to_string(),
+                diagnostics: report.diagnostics,
             });
         }
         Ok(Err(e)) => {
@@ -943,6 +1017,7 @@ fn run_job(shared: &Arc<Shared>, job: Job) {
                     stage: None,
                     message: "job cancelled (client disconnected)".into(),
                     retry_after_ms: None,
+                    diagnostics: Vec::new(),
                 });
             } else if cancel.timed_out() {
                 shared.jobs_timed_out.fetch_add(1, Ordering::Relaxed);
@@ -958,12 +1033,23 @@ fn run_job(shared: &Arc<Shared>, job: Job) {
                 });
             } else {
                 shared.jobs_failed.fetch_add(1, Ordering::Relaxed);
+                // A design-rule denial carries its findings; other
+                // failures leave the sink's partial findings behind
+                // (they described a design that never finished).
+                let diagnostics = if e.stage == "lint" {
+                    let diags = lint_sink.drain();
+                    count_rules(&diags);
+                    diags
+                } else {
+                    Vec::new()
+                };
                 let _ = events.send(Event::Error {
                     job: Some(id),
                     kind: None,
                     stage: Some(e.stage.to_string()),
                     message: e.message.clone(),
                     retry_after_ms: None,
+                    diagnostics,
                 });
             }
         }

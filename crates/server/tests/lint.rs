@@ -1,0 +1,200 @@
+//! Lint-protocol acceptance tests: the `lint` verb end to end, the
+//! `--lint deny` compile gate with structured diagnostics on the error
+//! event, and the per-rule metrics counters — all against one in-process
+//! daemon over real sockets.
+
+use fpga_server::client::CompileError;
+use fpga_server::{CompileRequest, FlowClient, Request, Server, ServerConfig, SourceFormat};
+use serde_json::Value;
+
+/// A BLIF design with a combinational cycle (y depends on w, w on y)
+/// that the parser accepts syntactically but the netlist rules must
+/// reject with NL001.
+const CYCLIC_BLIF: &str = "\
+.model loopy
+.inputs a
+.outputs y
+.names a w y
+11 1
+.names y w
+1 1
+.end
+";
+
+fn start_server() -> Server {
+    Server::start(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    })
+    .expect("server starts")
+}
+
+fn client(server: &Server) -> FlowClient {
+    FlowClient::connect_tcp(server.tcp_addr().expect("tcp enabled")).expect("connect")
+}
+
+#[test]
+fn lint_verb_checks_a_clean_design_through_the_whole_flow() {
+    let server = start_server();
+    let src = fpga_circuits::vhdl_counter(3);
+    let req = CompileRequest::new(SourceFormat::Vhdl, src.as_str());
+    let outcome = client(&server).lint_request(&req).expect("lint runs");
+    assert_eq!(outcome.reached, "bitstream", "clean design checks fully");
+    assert!(
+        !outcome
+            .diagnostics
+            .iter()
+            .any(|d| d.severity == fpga_lint::Severity::Deny),
+        "counter has no deny findings: {:?}",
+        outcome.diagnostics
+    );
+    server.shutdown();
+}
+
+#[test]
+fn lint_verb_flags_a_combinational_loop_and_feeds_the_rule_counters() {
+    let server = start_server();
+    let mut req = CompileRequest::new(SourceFormat::Blif, CYCLIC_BLIF);
+    let outcome = client(&server).lint_request(&req).expect("lint runs");
+    assert_eq!(outcome.reached, "netlist", "a broken netlist stops early");
+    let nl001 = outcome
+        .diagnostics
+        .iter()
+        .find(|d| d.code == "NL001")
+        .expect("combinational loop is reported");
+    assert_eq!(nl001.severity, fpga_lint::Severity::Deny);
+    assert!(
+        nl001.message.contains("loop") || nl001.message.contains("drives its own"),
+        "message names the problem: {}",
+        nl001.message
+    );
+
+    // The finding registered in the daemon-wide per-rule counters, in
+    // both renderings of the metrics verb.
+    let metrics = client(&server).metrics(false).expect("metrics");
+    assert!(
+        metrics["lint_rules"]["NL001"].as_u64().unwrap_or(0) >= 1,
+        "JSON metrics count the rule hit: {metrics}"
+    );
+    let text_reply = client(&server).metrics(true).expect("metrics text");
+    let text = text_reply["text"].as_str().expect("text body");
+    assert!(text.contains("flowd_lint_rule_hits_total{rule=\"NL001\"}"));
+    assert!(
+        text.contains("flowd_unknown_stage_events_total 0"),
+        "lint events must not register as unknown stages"
+    );
+    assert!(text.contains("flowd_unknown_lint_rules_total 0"));
+
+    // The lint verb round-trips through the typed request layer too.
+    req.trace = false;
+    let v = Request::Lint(Box::new(req)).to_value();
+    assert_eq!(v["cmd"].as_str(), Some("lint"));
+    server.shutdown();
+}
+
+#[test]
+fn compile_gate_denies_with_diagnostics_and_off_stays_off() {
+    let server = start_server();
+
+    // lint=deny: the job fails at the lint stage and the error event
+    // carries the structured findings.
+    let deny_req = CompileRequest::new(SourceFormat::Blif, CYCLIC_BLIF)
+        .with_options(serde_json::json!({"lint": "deny"}))
+        .expect("valid options");
+    match client(&server).compile_request(&deny_req) {
+        Err(CompileError::Failed {
+            stage,
+            message,
+            diagnostics,
+            ..
+        }) => {
+            assert_eq!(stage, "lint");
+            assert!(
+                message.contains("NL001"),
+                "message cites the rule: {message}"
+            );
+            assert!(
+                diagnostics.iter().any(|d| d.code == "NL001"),
+                "structured findings ride the error event: {diagnostics:?}"
+            );
+        }
+        other => panic!("expected a lint denial, got {other:?}"),
+    }
+
+    // Default (lint off): the same design still fails — the netlist is
+    // genuinely broken — but NOT at the lint stage, and with no
+    // diagnostics attached: today's behavior, untouched.
+    let off_req = CompileRequest::new(SourceFormat::Blif, CYCLIC_BLIF);
+    match client(&server).compile_request(&off_req) {
+        Err(CompileError::Failed {
+            stage, diagnostics, ..
+        }) => {
+            assert_ne!(stage, "lint", "lint off means no lint gate ran");
+            assert!(diagnostics.is_empty());
+        }
+        other => panic!("expected a flow failure, got {other:?}"),
+    }
+
+    // lint=warn on a clean design: compiles fine, findings (if any)
+    // arrive on the done event instead of failing the job.
+    let src = fpga_circuits::vhdl_counter(3);
+    let warn_req = CompileRequest::new(SourceFormat::Vhdl, src.as_str())
+        .with_options(serde_json::json!({"lint": "warn"}))
+        .expect("valid options");
+    let outcome = client(&server)
+        .compile_request(&warn_req)
+        .expect("warn mode never fails a compile");
+    assert!(
+        !outcome.bitstream.is_empty(),
+        "warn mode still produces the bitstream"
+    );
+    assert!(
+        outcome
+            .lint
+            .iter()
+            .all(|d| d.severity != fpga_lint::Severity::Deny),
+        "a clean design has no deny findings: {:?}",
+        outcome.lint
+    );
+    server.shutdown();
+}
+
+#[test]
+fn raw_lint_request_speaks_version_1_json() {
+    // A stringly-typed client (no typed layer) can use the verb too:
+    // plain JSON in, `lint_report` event out.
+    use std::io::{BufReader, Write};
+    use std::net::TcpStream;
+
+    let server = start_server();
+    let stream = TcpStream::connect(server.tcp_addr().expect("tcp")).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+
+    let mut req = serde_json::Map::new();
+    req.insert("cmd".to_string(), serde_json::json!("lint"));
+    req.insert("format".to_string(), serde_json::json!("blif"));
+    req.insert("source".to_string(), serde_json::json!(CYCLIC_BLIF));
+    writeln!(writer, "{}", Value::Object(req)).expect("send");
+    writer.flush().expect("flush");
+
+    let report = loop {
+        let event = fpga_server::proto::read_line(&mut reader)
+            .expect("read")
+            .expect("open stream");
+        match event["event"].as_str() {
+            Some("lint_report") => break event,
+            Some("queued") | Some("stage") => continue,
+            other => panic!("unexpected event {other:?}: {event}"),
+        }
+    };
+    assert_eq!(report["reached"].as_str(), Some("netlist"));
+    let diags = report["diagnostics"].as_array().expect("diagnostics array");
+    assert!(
+        diags
+            .iter()
+            .any(|d| d["code"].as_str() == Some("NL001") && d["severity"].as_str() == Some("deny")),
+        "wire-form diagnostics carry code and severity: {report}"
+    );
+    server.shutdown();
+}

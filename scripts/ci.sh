@@ -5,6 +5,25 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "==> source lint: no unwrap()/expect( outside tests and the allowlist"
+# Scan non-test code (everything above the first #[cfg(test)]) in the
+# flow and server crates. Justified sites live in
+# scripts/lint-allowlist.txt as `<file>: <trimmed line>`; anything else
+# is a new panic path and fails the gate.
+UNWRAPS=$(
+    for f in crates/server/src/*.rs crates/server/src/bin/*.rs \
+             crates/flow/src/*.rs crates/flow/src/bin/*.rs; do
+        awk -v file="$f" '/#\[cfg\(test\)\]/{exit}
+            /\.unwrap\(\)|\.expect\(/{ sub(/^[ \t]+/, ""); print file": "$0 }' "$f"
+    done | grep -vFf scripts/lint-allowlist.txt || true
+)
+if [ -n "$UNWRAPS" ]; then
+    echo "FAIL: unallowlisted unwrap()/expect( in non-test code:" >&2
+    echo "$UNWRAPS" >&2
+    echo "(handle the error, or justify and add to scripts/lint-allowlist.txt)" >&2
+    exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
@@ -22,5 +41,8 @@ sh scripts/crash.sh
 
 echo "==> scripts/metrics.sh (observability smoke: metrics verb + trace)"
 sh scripts/metrics.sh
+
+echo "==> scripts/lint.sh (design-rule gate over examples/, seeded fault)"
+sh scripts/lint.sh
 
 echo "CI gate passed."

@@ -1,0 +1,131 @@
+#!/usr/bin/env sh
+# Design-rule lint gate: every example design must lint clean, offline
+# and over the wire, and a seeded fault must be caught.
+#
+#   1. run the standalone `fpga-lint` binary over every design in
+#      examples/ (VHDL and BLIF) — each must exit 0 with no deny
+#      findings;
+#   2. start a real flowd and repeat through `flowc lint`, exercising
+#      the `lint` protocol verb and the `lint_report` event;
+#   3. seeded fault: a BLIF with a deliberate combinational loop must
+#      make both binaries exit 6 (the deny exit code) and cite NL001;
+#   4. a compile with `--lint deny` on the broken design must fail at
+#      the lint stage, while the default (lint off) path still compiles
+#      the clean examples.
+#
+# Any `flowc: warning: unknown event` line fails the run, same promise
+# as scripts/metrics.sh.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+PORT=$((19000 + $$ % 1000))
+ADDR="127.0.0.1:$PORT"
+WORK="${TMPDIR:-/tmp}/ifdf-lint-$$"
+DAEMON_PID=""
+
+cleanup() {
+    [ -n "$DAEMON_PID" ] && kill -9 "$DAEMON_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+mkdir -p "$WORK"
+
+echo "==> building flowd + flowc + fpga-lint"
+cargo build -q -p fpga-server -p fpga-flow --bins
+FLOWD=target/debug/flowd
+FLOWC=target/debug/flowc
+LINT=target/debug/fpga-lint
+
+wait_for() {
+    _tries=150
+    while ! "$@" >/dev/null 2>&1; do
+        _tries=$((_tries - 1))
+        [ "$_tries" -gt 0 ] || { echo "timed out waiting for: $*" >&2; exit 1; }
+        sleep 0.1
+    done
+}
+
+# A design the BLIF parser accepts but the netlist rules must reject:
+# y and w drive each other combinationally (NL001).
+cat > "$WORK/loop.blif" <<'EOF'
+.model loopy
+.inputs a
+.outputs y
+.names a w y
+11 1
+.names y w
+1 1
+.end
+EOF
+
+echo "==> leg 1: offline fpga-lint over examples/"
+for design in examples/*.vhd examples/*.blif; do
+    [ -e "$design" ] || continue
+    case "$design" in
+        *.blif) set -- --blif ;;
+        *) set -- ;;
+    esac
+    if ! "$LINT" "$@" --quiet "$design" 2> "$WORK/offline.log"; then
+        echo "FAIL: fpga-lint rejected $design" >&2
+        cat "$WORK/offline.log" >&2
+        exit 1
+    fi
+    grep -q "checked through 'bitstream'" "$WORK/offline.log" \
+        || { echo "FAIL: $design did not lint through the whole flow" >&2; cat "$WORK/offline.log" >&2; exit 1; }
+done
+
+echo "==> leg 2: flowc lint over examples/ against a live flowd"
+"$FLOWD" --tcp "$ADDR" --workers 1 2> "$WORK/flowd.log" &
+DAEMON_PID=$!
+wait_for "$FLOWC" --tcp "$ADDR" ping
+for design in examples/*.vhd examples/*.blif; do
+    [ -e "$design" ] || continue
+    if ! "$FLOWC" --tcp "$ADDR" lint --quiet "$design" 2> "$WORK/wire.log"; then
+        echo "FAIL: flowc lint rejected $design" >&2
+        cat "$WORK/wire.log" >&2
+        exit 1
+    fi
+    grep -q "checked through 'bitstream'" "$WORK/wire.log" \
+        || { echo "FAIL: $design did not lint through the whole flow over the wire" >&2; cat "$WORK/wire.log" >&2; exit 1; }
+done
+
+echo "==> leg 3: seeded combinational loop is denied with NL001, exit 6"
+for tool in offline wire; do
+    if [ "$tool" = offline ]; then
+        set +e; "$LINT" --blif "$WORK/loop.blif" > "$WORK/deny.log" 2>&1; RC=$?; set -e
+    else
+        set +e; "$FLOWC" --tcp "$ADDR" lint "$WORK/loop.blif" > "$WORK/deny.log" 2>&1; RC=$?; set -e
+    fi
+    [ "$RC" -eq 6 ] \
+        || { echo "FAIL: $tool lint of the loop exited $RC, want 6" >&2; cat "$WORK/deny.log" >&2; exit 1; }
+    grep -q 'NL001' "$WORK/deny.log" \
+        || { echo "FAIL: $tool lint did not cite NL001" >&2; cat "$WORK/deny.log" >&2; exit 1; }
+done
+
+echo "==> leg 4: compile --lint deny fails at the lint stage, exit 6"
+set +e
+"$FLOWC" --tcp "$ADDR" compile --blif "$WORK/loop.blif" --lint deny \
+    -o /dev/null > "$WORK/gate.log" 2>&1
+RC=$?
+set -e
+[ "$RC" -eq 6 ] \
+    || { echo "FAIL: compile --lint deny exited $RC, want 6" >&2; cat "$WORK/gate.log" >&2; exit 1; }
+grep -q '\[lint\]' "$WORK/gate.log" \
+    || { echo "FAIL: denial was not attributed to the lint stage" >&2; cat "$WORK/gate.log" >&2; exit 1; }
+"$FLOWC" --tcp "$ADDR" compile examples/counter.vhd -o /dev/null \
+    2> "$WORK/off.log" \
+    || { echo "FAIL: default compile (lint off) broke" >&2; cat "$WORK/off.log" >&2; exit 1; }
+
+"$FLOWC" --tcp "$ADDR" shutdown
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=""
+
+if grep -q 'warning: unknown event' "$WORK"/*.log; then
+    echo "FAIL: flowc warned about unknown events" >&2
+    grep 'warning: unknown event' "$WORK"/*.log >&2
+    exit 1
+fi
+
+echo "Lint gate passed."
