@@ -22,6 +22,8 @@ use fpga_arch::{clb_inputs_eq1, ClbArch};
 use fpga_netlist::Netlist;
 use fpga_synth::{map_to_luts, MapOptions};
 
+pub mod qor;
+
 /// Map a gate-level benchmark for a given LUT size (shared by ablations).
 pub fn map_benchmark(netlist: &Netlist, k: usize) -> (Netlist, fpga_synth::MapReport) {
     map_to_luts(netlist, MapOptions { k, cut_limit: 10 }).expect("benchmark circuits are mappable")

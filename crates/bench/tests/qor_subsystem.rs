@@ -1,0 +1,107 @@
+//! Integration tests for the QoR benchmark subsystem: cross-process
+//! generator determinism (the property warm-bench numbers stand on) and
+//! the end-to-end diff-gate behavior of the two binaries.
+
+use std::process::Command;
+
+fn qor_bench(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_qor_bench"))
+        .args(args)
+        .output()
+        .expect("qor_bench runs")
+}
+
+fn bench_diff(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_bench-diff"))
+        .args(args)
+        .output()
+        .expect("bench-diff runs")
+}
+
+/// Two *separate processes* generating the same suite design must print
+/// byte-identical canonical text — process-level determinism is what
+/// makes stage-cache keys (and therefore every warm benchmark number)
+/// stable across daemon restarts. Covers one design per generator
+/// family; the full sweep would cost minutes on the big rent points.
+#[test]
+fn suite_generators_are_deterministic_across_processes() {
+    for name in ["add32", "mult8", "crc16", "fsm_chain_4x8", "rent_500"] {
+        let a = qor_bench(&["--canon", name]);
+        let b = qor_bench(&["--canon", name]);
+        assert!(a.status.success(), "{name}: {:?}", a);
+        assert!(!a.stdout.is_empty(), "{name} emits canonical text");
+        assert_eq!(
+            a.stdout, b.stdout,
+            "{name}: canonical text differs across processes"
+        );
+    }
+}
+
+#[test]
+fn list_names_every_registered_design() {
+    let out = qor_bench(&["--list"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    for e in fpga_circuits::qor_suite() {
+        assert!(text.contains(e.name), "--list is missing {}", e.name);
+    }
+}
+
+#[test]
+fn unknown_design_and_bad_args_exit_2() {
+    let out = qor_bench(&["--canon", "no_such_design"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = qor_bench(&["--tier", "bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = bench_diff(&["only_one.json"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+/// The full gate, through the real binaries: a doctored report with a
+/// worse QoR row must fail with exit 1 and name the regression; the
+/// identity diff passes.
+#[test]
+fn bench_diff_gate_passes_identity_and_fails_regressions() {
+    use fpga_bench::qor::{BenchConfig, BenchReport};
+
+    // One tiny design is enough to exercise the whole emit/load/diff
+    // path without benchmark-scale runtime.
+    let entry = fpga_circuits::suite_entry("alu8").unwrap();
+    let cfg = BenchConfig::default();
+    let row = fpga_bench::qor::run_design(&entry, &cfg).unwrap();
+    let mut report = fpga_bench::qor::assemble(&cfg, false, vec![row]);
+    report.git_rev = "test".into();
+
+    let dir = std::env::temp_dir().join(format!("ifdf-bench-diff-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let base_path = dir.join("base.json");
+    let cur_path = dir.join("cur.json");
+    report.save(&base_path).unwrap();
+
+    // Identity: passes, exit 0.
+    report.save(&cur_path).unwrap();
+    let out = bench_diff(&[base_path.to_str().unwrap(), cur_path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{:?}", out);
+    assert!(String::from_utf8_lossy(&out.stdout).contains("PASS"));
+
+    // Doctor a 30% LUT regression: fails, exit 1, names the metric.
+    let mut worse = BenchReport::from_json(&report.to_json()).unwrap();
+    worse.rows[0].qor.luts = (worse.rows[0].qor.luts as f64 * 1.3) as u64;
+    worse.save(&cur_path).unwrap();
+    let out = bench_diff(&[base_path.to_str().unwrap(), cur_path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{:?}", out);
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("REGRESSION"), "{text}");
+    assert!(text.contains("luts"), "{text}");
+
+    // The same doctored report passes under a widened threshold.
+    let out = bench_diff(&[
+        base_path.to_str().unwrap(),
+        cur_path.to_str().unwrap(),
+        "--max-qor-regress",
+        "50",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{:?}", out);
+
+    std::fs::remove_dir_all(&dir).ok();
+}

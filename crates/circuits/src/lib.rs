@@ -280,9 +280,11 @@ pub fn fsm(states: usize) -> Netlist {
 
 /// Array multiplier: `prod = a * b` (unsigned), built from AND partial
 /// products reduced by ripple-carry rows — the classic arithmetic-heavy
-/// benchmark family.
+/// benchmark family. Scales to wide operands (`mult32` is a ~12k-gate
+/// benchmark-suite point); the structure is identical at every width, so
+/// the netlist is a pure function of `width`.
 pub fn multiplier(width: usize) -> Netlist {
-    assert!((2..=8).contains(&width));
+    assert!((2..=64).contains(&width));
     let mut nl = Netlist::new(&format!("mult{width}"));
     let a: Vec<NetId> = (0..width).map(|i| nl.net(&format!("a{i}"))).collect();
     let b: Vec<NetId> = (0..width).map(|i| nl.net(&format!("b{i}"))).collect();
@@ -432,6 +434,346 @@ pub fn random_logic(p: &RandomLogicParams) -> Netlist {
         nl.add_cell(&format!("po{k}"), CellKind::Buf, vec![sig], o);
     }
     nl
+}
+
+/// An adder reduction tree: sums `leaves` `width`-bit inputs pairwise,
+/// operand width growing by one bit per level — the wide-datapath
+/// arithmetic benchmark family (filter taps, popcount/accumulate cores).
+pub fn adder_tree(width: usize, leaves: usize) -> Netlist {
+    assert!(width >= 1);
+    assert!(leaves >= 2 && leaves.is_power_of_two());
+    let mut nl = Netlist::new(&format!("addtree{leaves}x{width}"));
+    // Leaf operands are primary inputs.
+    let mut level: Vec<Vec<NetId>> = (0..leaves)
+        .map(|l| {
+            (0..width)
+                .map(|i| {
+                    let n = nl.net(&format!("in{l}_{i}"));
+                    nl.add_input(n);
+                    n
+                })
+                .collect()
+        })
+        .collect();
+    // Each tree level ripple-adds operand pairs; the sum keeps the carry
+    // as its new MSB, so no overflow is ever dropped.
+    let mut depth = 0usize;
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len() / 2);
+        for (pair, ops) in level.chunks(2).enumerate() {
+            let (a, b) = (&ops[0], &ops[1]);
+            let w = a.len();
+            let tag = format!("l{depth}n{pair}");
+            let mut sum = Vec::with_capacity(w + 1);
+            let mut carry: Option<NetId> = None;
+            for i in 0..w {
+                let axb = nl.net(&format!("{tag}_axb{i}"));
+                nl.add_cell(
+                    &format!("{tag}_x1_{i}"),
+                    CellKind::Xor,
+                    vec![a[i], b[i]],
+                    axb,
+                );
+                match carry {
+                    None => {
+                        sum.push(axb);
+                        let c = nl.net(&format!("{tag}_c{i}"));
+                        nl.add_cell(&format!("{tag}_a1_{i}"), CellKind::And, vec![a[i], b[i]], c);
+                        carry = Some(c);
+                    }
+                    Some(cin) => {
+                        let s = nl.net(&format!("{tag}_s{i}"));
+                        nl.add_cell(&format!("{tag}_x2_{i}"), CellKind::Xor, vec![axb, cin], s);
+                        sum.push(s);
+                        let g = nl.net(&format!("{tag}_g{i}"));
+                        let p = nl.net(&format!("{tag}_p{i}"));
+                        let c = nl.net(&format!("{tag}_cc{i}"));
+                        nl.add_cell(&format!("{tag}_a2_{i}"), CellKind::And, vec![a[i], b[i]], g);
+                        nl.add_cell(&format!("{tag}_a3_{i}"), CellKind::And, vec![axb, cin], p);
+                        nl.add_cell(&format!("{tag}_o1_{i}"), CellKind::Or, vec![g, p], c);
+                        carry = Some(c);
+                    }
+                }
+            }
+            sum.push(carry.expect("width >= 1 always produces a carry"));
+            next.push(sum);
+        }
+        level = next;
+        depth += 1;
+    }
+    for (i, &bit) in level[0].iter().enumerate() {
+        let o = nl.net(&format!("sum{i}"));
+        nl.add_output(o);
+        nl.add_cell(&format!("po{i}"), CellKind::Buf, vec![bit], o);
+    }
+    nl
+}
+
+/// A chain of `segments` one-hot FSMs, each steered by the previous
+/// segment's state-0 wire (the first by a primary input) — the deep
+/// sequential-control benchmark family: long state-dependent paths with
+/// dense feedback, the opposite locality profile of the datapath trees.
+pub fn fsm_chain(segments: usize, states: usize) -> Netlist {
+    assert!(segments >= 1);
+    assert!(states >= 2);
+    let mut nl = Netlist::new(&format!("fsmchain{segments}x{states}"));
+    let clk = nl.net("clk");
+    nl.add_clock(clk);
+    let dir0 = nl.net("dir");
+    nl.add_input(dir0);
+    let mut dir = dir0;
+    for seg in 0..segments {
+        let s: Vec<NetId> = (0..states)
+            .map(|i| nl.net(&format!("k{seg}_s{i}")))
+            .collect();
+        let ndir = nl.net(&format!("k{seg}_ndir"));
+        nl.add_cell(&format!("k{seg}_ndir"), CellKind::Not, vec![dir], ndir);
+        for i in 0..states {
+            let from_prev = s[(i + states - 1) % states];
+            let from_next = s[(i + 1) % states];
+            let fwd = nl.net(&format!("k{seg}_fwd{i}"));
+            let bwd = nl.net(&format!("k{seg}_bwd{i}"));
+            let d = nl.net(&format!("k{seg}_d{i}"));
+            nl.add_cell(
+                &format!("k{seg}_af{i}"),
+                CellKind::And,
+                vec![from_prev, dir],
+                fwd,
+            );
+            nl.add_cell(
+                &format!("k{seg}_ab{i}"),
+                CellKind::And,
+                vec![from_next, ndir],
+                bwd,
+            );
+            nl.add_cell(&format!("k{seg}_od{i}"), CellKind::Or, vec![fwd, bwd], d);
+            nl.add_cell(
+                &format!("k{seg}_f{i}"),
+                CellKind::Dff {
+                    clock: clk,
+                    init: i == 0,
+                },
+                vec![d],
+                s[i],
+            );
+        }
+        // The next segment walks whenever this one sits in state 0.
+        dir = s[0];
+    }
+    // Decoded outputs come from the last segment.
+    let last = segments - 1;
+    for i in 0..states {
+        let hot = nl
+            .find_net(&format!("k{last}_s{i}"))
+            .expect("last segment states exist");
+        let o = nl.net(&format!("state{i}"));
+        nl.add_output(o);
+        nl.add_cell(&format!("o{i}"), CellKind::Buf, vec![hot], o);
+    }
+    nl
+}
+
+/// Rent's-rule random logic: a 2-input gate network whose wiring
+/// locality follows `window(i) ~ i^p` for Rent exponent `p`, with a
+/// small fraction of global (whole-pool) picks for the long-wire tail.
+/// `target_luts` is the nominal post-mapping 4-LUT count; the generator
+/// overshoots slightly so a `rent_10k` sweep point maps to >= 10k LUTs.
+///
+/// Deterministic: the netlist is a pure function of the three parameters
+/// (the RNG is seeded, names are sequential), so canonical text — and
+/// therefore every stage-cache key — is byte-identical across runs.
+pub fn rent_logic(target_luts: usize, rent_exponent: f64, seed: u64) -> Netlist {
+    assert!(target_luts >= 16);
+    assert!((0.0..=1.0).contains(&rent_exponent));
+    let n_gates = target_luts * 2;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut nl = Netlist::new(&format!(
+        "rent{}p{}s{}",
+        target_luts,
+        (rent_exponent * 100.0).round() as u64,
+        seed
+    ));
+    let clk = nl.net("clk");
+    nl.add_clock(clk);
+    // External I/O follows Rent with t = 4 terminals per gate, clamped to
+    // a realistic pad budget.
+    let n_inputs = ((4.0 * (n_gates as f64).powf(rent_exponent)) as usize).clamp(16, 256);
+    let n_outputs = (n_inputs / 2).max(8);
+    let mut pool: Vec<NetId> = (0..n_inputs)
+        .map(|i| {
+            let n = nl.net(&format!("in{i}"));
+            nl.add_input(n);
+            n
+        })
+        .collect();
+    let kinds = [
+        CellKind::And,
+        CellKind::Or,
+        CellKind::Xor,
+        CellKind::Nand,
+        CellKind::Nor,
+    ];
+    for g in 0..n_gates {
+        // Locality window grows as pool^p; one pick in twenty is global,
+        // producing the long-wire tail real netlists exhibit.
+        let window = ((pool.len() as f64).powf(rent_exponent) as usize).max(8);
+        let lo = pool.len().saturating_sub(window);
+        let pick = |rng: &mut SmallRng| {
+            if rng.gen_range(0..20usize) == 0 {
+                rng.gen_range(0..pool.len())
+            } else {
+                rng.gen_range(lo..pool.len())
+            }
+        };
+        let i1 = pick(&mut rng);
+        let mut i2 = pick(&mut rng);
+        if i2 == i1 {
+            i2 = rng.gen_range(0..pool.len());
+        }
+        let kind = kinds[rng.gen_range(0..kinds.len())].clone();
+        let w = nl.net(&format!("w{g}"));
+        nl.add_cell(&format!("g{g}"), kind, vec![pool[i1], pool[i2]], w);
+        // A fifth of the gates are registered, like the seed generator.
+        let out = if rng.gen_range(0..5usize) == 0 {
+            let q = nl.net(&format!("r{g}"));
+            nl.add_cell(
+                &format!("ff{g}"),
+                CellKind::Dff {
+                    clock: clk,
+                    init: false,
+                },
+                vec![w],
+                q,
+            );
+            q
+        } else {
+            w
+        };
+        pool.push(out);
+    }
+    for (k, &sig) in pool.iter().rev().take(n_outputs).enumerate() {
+        let o = nl.net(&format!("out{k}"));
+        nl.add_output(o);
+        nl.add_cell(&format!("po{k}"), CellKind::Buf, vec![sig], o);
+    }
+    nl
+}
+
+/// Which benchmark runs a suite design belongs to. `Smoke` is the
+/// seconds-scale tier CI runs on every change; `Full` adds the scaled
+/// sweep points (tens of thousands of LUTs) behind `BENCH_<n>.json`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SuiteTier {
+    Smoke,
+    Full,
+}
+
+/// One registered suite design: a stable row name (benchmark trajectories
+/// compare rows across PRs by this key), its tier, the routing policy,
+/// and the deterministic generator behind it.
+#[derive(Clone)]
+pub struct SuiteEntry {
+    /// Stable row name (`rent_1k`, `mult32`, ...). Never rename — the
+    /// `BENCH_*.json` trajectory and `bench-diff` join on it.
+    pub name: &'static str,
+    pub tier: SuiteTier,
+    /// Fixed routing channel width for designs too large for the min-W
+    /// binary search; `None` searches (reporting minimum W as QoR).
+    pub channel_width: Option<usize>,
+    pub build: fn() -> Netlist,
+}
+
+/// The QoR/speed benchmark suite registry. Names are append-only: new
+/// sweep points may be added, existing ones must keep their generator
+/// parameters (a changed generator silently invalidates every historical
+/// `BENCH_*.json` row it produced).
+pub fn qor_suite() -> Vec<SuiteEntry> {
+    use SuiteTier::*;
+    vec![
+        SuiteEntry {
+            name: "add32",
+            tier: Smoke,
+            channel_width: None,
+            build: || ripple_adder(32),
+        },
+        SuiteEntry {
+            name: "alu8",
+            tier: Smoke,
+            channel_width: None,
+            build: || alu(8),
+        },
+        SuiteEntry {
+            name: "mult8",
+            tier: Smoke,
+            channel_width: None,
+            build: || multiplier(8),
+        },
+        SuiteEntry {
+            name: "crc16",
+            tier: Smoke,
+            channel_width: None,
+            build: || crc(16, 0x1021),
+        },
+        SuiteEntry {
+            name: "fsm_chain_4x8",
+            tier: Smoke,
+            channel_width: None,
+            build: || fsm_chain(4, 8),
+        },
+        SuiteEntry {
+            name: "rent_500",
+            tier: Smoke,
+            channel_width: Some(28),
+            build: || rent_logic(500, 0.62, 17),
+        },
+        SuiteEntry {
+            name: "rent_1k",
+            tier: Smoke,
+            channel_width: Some(32),
+            build: || rent_logic(1_000, 0.62, 17),
+        },
+        SuiteEntry {
+            name: "add_tree_8x16",
+            tier: Full,
+            channel_width: None,
+            build: || adder_tree(16, 8),
+        },
+        SuiteEntry {
+            name: "mult16",
+            tier: Full,
+            channel_width: Some(28),
+            build: || multiplier(16),
+        },
+        SuiteEntry {
+            name: "mult32",
+            tier: Full,
+            channel_width: Some(40),
+            build: || multiplier(32),
+        },
+        SuiteEntry {
+            name: "rent_2k",
+            tier: Full,
+            channel_width: Some(36),
+            build: || rent_logic(2_000, 0.62, 17),
+        },
+        SuiteEntry {
+            name: "rent_4k",
+            tier: Full,
+            channel_width: Some(44),
+            build: || rent_logic(4_000, 0.62, 17),
+        },
+        SuiteEntry {
+            name: "rent_10k",
+            tier: Full,
+            channel_width: Some(80),
+            build: || rent_logic(10_000, 0.62, 17),
+        },
+    ]
+}
+
+/// Look up one suite design by its stable row name.
+pub fn suite_entry(name: &str) -> Option<SuiteEntry> {
+    qor_suite().into_iter().find(|e| e.name == name)
 }
 
 /// The benchmark suite used by the flow experiments: a spread of circuit
@@ -643,6 +985,81 @@ mod tests {
         fpga_vhdl::check(&d).unwrap();
         let nl = fpga_vhdl::elaborate(&d).unwrap();
         assert_eq!(nl.cell_counts().1, 5, "five flip-flops");
+    }
+
+    #[test]
+    fn adder_tree_sums_leaves() {
+        let nl = adder_tree(4, 4);
+        nl.validate().unwrap();
+        let mut sim = Simulator::new(&nl).unwrap();
+        let leaves = [3u32, 9, 15, 6];
+        for (l, v) in leaves.iter().enumerate() {
+            for i in 0..4 {
+                sim.set_input_by_name(&format!("in{l}_{i}"), v >> i & 1 == 1)
+                    .unwrap();
+            }
+        }
+        sim.propagate();
+        let mut sum = 0u32;
+        for i in 0..6 {
+            if sim.value(nl.find_net(&format!("sum{i}")).unwrap()) {
+                sum |= 1 << i;
+            }
+        }
+        assert_eq!(sum, leaves.iter().sum::<u32>());
+    }
+
+    #[test]
+    fn fsm_chain_walks_the_first_segment() {
+        let nl = fsm_chain(3, 5);
+        nl.validate().unwrap();
+        let mut sim = Simulator::new(&nl).unwrap();
+        let clk = nl.clocks[0];
+        sim.set_input_by_name("dir", true).unwrap();
+        sim.propagate();
+        for step in 0..5 {
+            let hot: Vec<usize> = (0..5)
+                .filter(|i| sim.value(nl.find_net(&format!("k0_s{i}")).unwrap()))
+                .collect();
+            assert_eq!(hot, vec![step % 5], "segment 0 is one-hot");
+            sim.tick(clk);
+        }
+    }
+
+    #[test]
+    fn rent_logic_is_deterministic_and_scales() {
+        let a = rent_logic(500, 0.62, 17);
+        let b = rent_logic(500, 0.62, 17);
+        a.validate().unwrap();
+        assert_eq!(
+            fpga_netlist::canonical_text(&a),
+            fpga_netlist::canonical_text(&b),
+            "same parameters, byte-identical canonical text"
+        );
+        let c = rent_logic(500, 0.62, 18);
+        assert_ne!(
+            fpga_netlist::canonical_text(&a),
+            fpga_netlist::canonical_text(&c),
+            "different seed, different circuit"
+        );
+        // Bigger target, strictly bigger circuit.
+        let d = rent_logic(1_000, 0.62, 17);
+        assert!(d.cells.len() > a.cells.len());
+    }
+
+    #[test]
+    fn qor_suite_names_are_stable_and_unique() {
+        let suite = qor_suite();
+        let smoke = suite.iter().filter(|e| e.tier == SuiteTier::Smoke).count();
+        assert!(smoke >= 5, "smoke tier stays meaningful");
+        assert!(suite.len() >= 8, "full suite has >= 8 designs");
+        let mut names = std::collections::HashSet::new();
+        for e in &suite {
+            assert!(names.insert(e.name), "duplicate suite name {}", e.name);
+            assert!(suite_entry(e.name).is_some(), "lookup finds {}", e.name);
+        }
+        assert!(suite_entry("rent_10k").is_some(), "the 10k sweep point");
+        assert!(suite_entry("nope").is_none());
     }
 
     #[test]

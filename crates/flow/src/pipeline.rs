@@ -462,6 +462,29 @@ fn run_from_rtl(
         record(&mut report, &ctx, "verify (fabric emulation)", &verified, t);
     }
 
+    // Typed QoR summary. Everything comes from the artifacts except the
+    // STA numbers, which ride in the routing stage's metrics (they are
+    // preserved verbatim across cache tiers, so a fully-warm run reports
+    // the same QoR as the run that computed it).
+    let luts = mapped
+        .value
+        .cells
+        .iter()
+        .filter(|c| matches!(c.kind, fpga_netlist::CellKind::Lut { .. }))
+        .count() as u64;
+    report.qor = Some(crate::report::QorSummary {
+        luts,
+        ffs: mapped.value.cell_counts().1 as u64,
+        clbs: clustering.value.clusters.len() as u64,
+        grid_w: placement.value.device.width as u64,
+        grid_h: placement.value.device.height as u64,
+        channel_width: routed.value.routing.channel_width as u64,
+        wirelength: routed.value.routing.wirelength as u64,
+        critical_path_ns: routed.metrics["critical_ns"].as_f64().unwrap_or(0.0),
+        fmax_mhz: routed.metrics["fmax_mhz"].as_f64().unwrap_or(0.0),
+        power_mw: power.value.total() * 1e3,
+    });
+
     Ok(FlowArtifacts {
         rtl: (*rtl.value).clone(),
         mapped: (*mapped.value).clone(),

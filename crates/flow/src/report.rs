@@ -18,11 +18,42 @@ pub struct StageReport {
     pub elapsed_ms: f64,
 }
 
+/// Machine-readable quality-of-results summary for one compiled design:
+/// the numbers every benchmark row, regression diff, and downstream
+/// optimization claim is judged on. Typed fields, not display strings —
+/// `BENCH_*.json` and `bench-diff` consume these directly.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct QorSummary {
+    /// Post-mapping K-LUT count.
+    pub luts: u64,
+    /// Flip-flop count in the mapped netlist.
+    pub ffs: u64,
+    /// Packed CLB count.
+    pub clbs: u64,
+    /// Placement grid dimensions.
+    pub grid_w: u64,
+    pub grid_h: u64,
+    /// Routed channel width (the searched minimum, or the fixed width
+    /// the run was pinned to).
+    pub channel_width: u64,
+    /// Total routed wirelength in segments.
+    pub wirelength: u64,
+    /// Critical-path delay from the post-route STA, in nanoseconds.
+    pub critical_path_ns: f64,
+    /// Maximum clock frequency implied by the critical path, in MHz.
+    pub fmax_mhz: f64,
+    /// Estimated total power, in milliwatts.
+    pub power_mw: f64,
+}
+
 /// The whole flow's report.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct FlowReport {
     pub design: String,
     pub stages: Vec<StageReport>,
+    /// Typed QoR summary, populated when the flow ran to completion
+    /// (absent in reports from older servers or failed runs).
+    pub qor: Option<QorSummary>,
 }
 
 impl FlowReport {
@@ -63,7 +94,18 @@ impl FlowReport {
                 compact(&s.metrics)
             ));
         }
+        if let Some(q) = &self.qor {
+            out.push_str(&format!(
+                "  QoR: {} LUTs, {} CLBs, W={}, {:.2} ns critical ({:.1} MHz), {:.2} mW\n",
+                q.luts, q.clbs, q.channel_width, q.critical_path_ns, q.fmax_mhz, q.power_mw
+            ));
+        }
         out
+    }
+
+    /// Total wall-clock across all recorded stages, in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.stages.iter().map(|s| s.elapsed_ms).sum()
     }
 }
 
@@ -105,5 +147,36 @@ mod tests {
         let s = r.summary();
         assert!(s.contains("synthesis"));
         assert!(s.contains("cells=42"));
+    }
+
+    #[test]
+    fn qor_summary_round_trips_through_json() {
+        let mut r = FlowReport {
+            design: "demo".into(),
+            ..Default::default()
+        };
+        r.qor = Some(QorSummary {
+            luts: 128,
+            ffs: 32,
+            clbs: 26,
+            grid_w: 8,
+            grid_h: 8,
+            channel_width: 12,
+            wirelength: 940,
+            critical_path_ns: 14.25,
+            fmax_mhz: 70.17,
+            power_mw: 3.5,
+        });
+        let back: FlowReport = serde_json::from_str(&r.to_json()).unwrap();
+        assert_eq!(back.qor, r.qor);
+        assert!((r.total_ms() - 0.0).abs() < f64::EPSILON);
+        let s = r.summary();
+        assert!(s.contains("128 LUTs"), "{s}");
+        assert!(s.contains("W=12"), "{s}");
+
+        // Reports from before the field existed still parse.
+        let legacy = r#"{"design":"old","stages":[]}"#;
+        let old: FlowReport = serde_json::from_str(legacy).unwrap();
+        assert!(old.qor.is_none());
     }
 }

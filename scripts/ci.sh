@@ -45,4 +45,7 @@ sh scripts/metrics.sh
 echo "==> scripts/lint.sh (design-rule gate over examples/, seeded fault)"
 sh scripts/lint.sh
 
+echo "==> scripts/bench.sh (QoR + speed gate: smoke tier vs BENCH_baseline.json)"
+sh scripts/bench.sh
+
 echo "CI gate passed."
