@@ -9,7 +9,8 @@
 //!   ab/.1234-7.tmp  in-flight write (unique per pid × counter); renamed
 //!                   into place once fsynced, scrubbed at startup
 //!   quarantine/     entries that failed verification, kept for autopsy
-//!                   until the next startup scrub
+//!                   under an age/size cap ([`QuarantineLimits`]) —
+//!                   trimmed at startup and whenever a new entry arrives
 //! ```
 //!
 //! Entry format (all multi-byte values little-endian, strings and the
@@ -45,7 +46,7 @@ use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
-use std::time::UNIX_EPOCH;
+use std::time::{SystemTime, UNIX_EPOCH};
 
 use fpga_netlist::codec::{ByteReader, ByteWriter};
 
@@ -56,6 +57,28 @@ use crate::FLOW_VERSION;
 const MAGIC: &[u8; 8] = b"IFDFSTOR";
 const HEADER_VERSION: u32 = 1;
 const QUARANTINE_DIR: &str = "quarantine";
+
+/// Caps on the `quarantine/` holding area. Quarantined entries are
+/// evidence, not data — they exist so an operator can autopsy a
+/// corruption, and they must never grow without bound on a daemon that
+/// runs for months against a flaky disk. Entries older than
+/// `max_age_ms` are purged; the remainder is trimmed newest-first to
+/// `max_bytes`. Enforced at startup scrub and after every new
+/// quarantine.
+#[derive(Clone, Copy, Debug)]
+pub struct QuarantineLimits {
+    pub max_bytes: u64,
+    pub max_age_ms: u64,
+}
+
+impl Default for QuarantineLimits {
+    fn default() -> Self {
+        QuarantineLimits {
+            max_bytes: 32 * 1024 * 1024,
+            max_age_ms: 24 * 60 * 60 * 1_000,
+        }
+    }
+}
 
 /// Why a load did not return a payload. Distinguishes "never stored"
 /// from "stored but failed verification" for the stats counters.
@@ -94,6 +117,7 @@ pub struct StoreCounters {
 pub struct DiskStore {
     root: PathBuf,
     budget_bytes: Option<u64>,
+    quarantine_limits: QuarantineLimits,
     index: Mutex<Index>,
     clock: AtomicU64,
     temp_seq: AtomicU64,
@@ -128,8 +152,18 @@ fn atime_rank(path: &Path) -> u64 {
 
 impl DiskStore {
     /// Open (creating if needed) a store rooted at `root`, scrub stale
-    /// temp files and quarantined entries, and index what survives.
+    /// temp files and over-cap quarantined entries, and index what
+    /// survives. Uses the default [`QuarantineLimits`].
     pub fn open(root: impl Into<PathBuf>, budget_bytes: Option<u64>) -> io::Result<DiskStore> {
+        DiskStore::open_with_limits(root, budget_bytes, QuarantineLimits::default())
+    }
+
+    /// [`DiskStore::open`] with explicit quarantine caps.
+    pub fn open_with_limits(
+        root: impl Into<PathBuf>,
+        budget_bytes: Option<u64>,
+        quarantine_limits: QuarantineLimits,
+    ) -> io::Result<DiskStore> {
         let root = root.into();
         fs::create_dir_all(&root)?;
         fs::create_dir_all(root.join(QUARANTINE_DIR))?;
@@ -137,6 +171,7 @@ impl DiskStore {
         let store = DiskStore {
             root,
             budget_bytes,
+            quarantine_limits,
             index: Mutex::new(Index {
                 entries: HashMap::new(),
                 total_bytes: 0,
@@ -176,16 +211,10 @@ impl DiskStore {
     }
 
     fn scrub_and_index(&self) -> io::Result<()> {
-        // Remove everything in quarantine/ — it was kept for one
-        // process lifetime of autopsy and is dead weight after that.
-        let qdir = self.root.join(QUARANTINE_DIR);
-        if let Ok(entries) = fs::read_dir(&qdir) {
-            for entry in entries.flatten() {
-                if fs::remove_file(entry.path()).is_ok() {
-                    self.scrubbed.fetch_add(1, Ordering::Relaxed);
-                }
-            }
-        }
+        // Quarantined entries are kept for autopsy, but only under the
+        // age/size caps — an unbounded quarantine would let a decaying
+        // disk fill itself with its own evidence.
+        self.trim_quarantine();
 
         let mut found: Vec<(String, u64, u64)> = Vec::new();
         for shard in fs::read_dir(&self.root)? {
@@ -227,6 +256,47 @@ impl DiskStore {
             index.entries.insert(key, EntryMeta { size, tick });
         }
         Ok(())
+    }
+
+    /// Enforce [`QuarantineLimits`]: purge entries past the age cap,
+    /// then trim newest-first to the byte cap. Removals count as
+    /// `scrubbed`.
+    fn trim_quarantine(&self) {
+        let qdir = self.root.join(QUARANTINE_DIR);
+        let Ok(entries) = fs::read_dir(&qdir) else {
+            return;
+        };
+        let now = SystemTime::now();
+        // (path, size, modified) for entries young enough to keep.
+        let mut kept: Vec<(PathBuf, u64, SystemTime)> = Vec::new();
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let Ok(meta) = entry.metadata() else {
+                continue;
+            };
+            let modified = meta.modified().unwrap_or(UNIX_EPOCH);
+            let age_ms = now
+                .duration_since(modified)
+                .map(|d| d.as_millis() as u64)
+                .unwrap_or(0);
+            if age_ms > self.quarantine_limits.max_age_ms {
+                if fs::remove_file(&path).is_ok() {
+                    self.scrubbed.fetch_add(1, Ordering::Relaxed);
+                }
+                continue;
+            }
+            kept.push((path, meta.len(), modified));
+        }
+        // Newest evidence is the most likely to still matter; the tail
+        // past the byte cap goes.
+        kept.sort_by_key(|entry| std::cmp::Reverse(entry.2));
+        let mut total: u64 = 0;
+        for (path, size, _) in kept {
+            total = total.saturating_add(size);
+            if total > self.quarantine_limits.max_bytes && fs::remove_file(&path).is_ok() {
+                self.scrubbed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 
     fn touch(&self, key: &str) {
@@ -407,6 +477,9 @@ impl DiskStore {
         }
         self.forget(key);
         self.quarantined.fetch_add(1, Ordering::Relaxed);
+        // Keep the holding area bounded even within one long process
+        // lifetime (a decaying disk can quarantine entries for months).
+        self.trim_quarantine();
         LoadMiss::Quarantined(reason.to_string())
     }
 
@@ -667,8 +740,18 @@ mod tests {
         fs::remove_dir_all(&root).unwrap();
     }
 
+    /// Backdate a file's mtime by `age_ms` so age-cap tests don't sleep.
+    fn backdate(path: &Path, age_ms: u64) {
+        let then = SystemTime::now() - std::time::Duration::from_millis(age_ms);
+        File::options()
+            .write(true)
+            .open(path)
+            .and_then(|f| f.set_times(fs::FileTimes::new().set_modified(then)))
+            .unwrap();
+    }
+
     #[test]
-    fn startup_scrub_removes_temp_and_quarantine() {
+    fn startup_scrub_removes_temp_and_stale_quarantine() {
         let root = tmp_root("scrub");
         let key = key_for(StageId::Synthesis, "s");
         {
@@ -676,17 +759,86 @@ mod tests {
             store
                 .put(StageId::Synthesis, &key, "netlist", "{}", b"nl")
                 .unwrap();
-            // Simulate a crash mid-write and a prior quarantine.
+            // Simulate a crash mid-write, an old quarantine past the age
+            // cap, and a fresh quarantine still worth an autopsy.
             let shard = store.entry_path(&key);
             fs::write(shard.parent().unwrap().join(".999-0.tmp"), b"partial").unwrap();
-            fs::write(root.join(QUARANTINE_DIR).join("oldbad"), b"junk").unwrap();
+            let stale = root.join(QUARANTINE_DIR).join("oldbad");
+            fs::write(&stale, b"junk").unwrap();
+            backdate(&stale, 48 * 60 * 60 * 1_000);
+            fs::write(root.join(QUARANTINE_DIR).join("freshbad"), b"junk").unwrap();
         }
         let store = DiskStore::open(&root, None).unwrap();
         assert_eq!(store.len(), 1);
         assert!(store.counters().scrubbed >= 2);
         assert!(store.load(StageId::Synthesis, &key, "netlist").is_ok());
-        let leftovers: Vec<_> = fs::read_dir(root.join(QUARANTINE_DIR)).unwrap().collect();
-        assert!(leftovers.is_empty());
+        let leftovers: Vec<_> = fs::read_dir(root.join(QUARANTINE_DIR))
+            .unwrap()
+            .flatten()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(leftovers, vec!["freshbad"], "young evidence is kept");
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn quarantine_byte_cap_keeps_newest_evidence() {
+        let root = tmp_root("qcap");
+        let limits = QuarantineLimits {
+            max_bytes: 25,
+            max_age_ms: u64::MAX / 2,
+        };
+        {
+            let store = DiskStore::open(&root, None).unwrap();
+            drop(store);
+            // Four 10-byte casualties, oldest first; a 25-byte cap keeps
+            // the newest two.
+            for (i, age_ms) in [4_000u64, 3_000, 2_000, 1_000].iter().enumerate() {
+                let path = root.join(QUARANTINE_DIR).join(format!("bad{i}"));
+                fs::write(&path, [0u8; 10]).unwrap();
+                backdate(&path, *age_ms);
+            }
+        }
+        let _store = DiskStore::open_with_limits(&root, None, limits).unwrap();
+        let mut left: Vec<String> = fs::read_dir(root.join(QUARANTINE_DIR))
+            .unwrap()
+            .flatten()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        left.sort();
+        assert_eq!(left, vec!["bad2", "bad3"], "newest two under the cap");
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn runtime_quarantine_trims_as_it_grows() {
+        let root = tmp_root("qlive");
+        let limits = QuarantineLimits {
+            max_bytes: 1, // every prior casualty is over-cap immediately
+            max_age_ms: u64::MAX / 2,
+        };
+        let store = DiskStore::open_with_limits(&root, None, limits).unwrap();
+        let key = key_for(StageId::Pack, "live");
+        for _ in 0..5 {
+            store
+                .put(StageId::Pack, &key, "clustering", "{}", b"payload")
+                .unwrap();
+            let path = store.entry_path(&key);
+            let mut raw = fs::read(&path).unwrap();
+            let last = raw.len() - 1;
+            raw[last] ^= 0xff;
+            fs::write(&path, &raw).unwrap();
+            assert!(matches!(
+                store.load(StageId::Pack, &key, "clustering"),
+                Err(LoadMiss::Quarantined(_))
+            ));
+        }
+        assert_eq!(store.counters().quarantined, 5);
+        let survivors = fs::read_dir(root.join(QUARANTINE_DIR)).unwrap().count();
+        assert!(
+            survivors <= 1,
+            "quarantine grew past its cap mid-run: {survivors} files"
+        );
         fs::remove_dir_all(&root).unwrap();
     }
 

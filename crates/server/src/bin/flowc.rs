@@ -57,7 +57,7 @@ usage:
   flowc [--tcp HOST:PORT | --unix PATH] lint <design.vhd|design.blif>
         [--blif] [--json] [--quiet] [--deadline DUR]
   flowc [--tcp HOST:PORT | --unix PATH] metrics [--text]
-  flowc [--tcp HOST:PORT | --unix PATH] stats | ping | shutdown
+  flowc [--tcp HOST:PORT | --unix PATH] status | stats | ping | shutdown
   flowc --help | --version
 
 durations (DUR) take 250 / 250ms / 30s / 5m / 1h — the same spellings
@@ -72,6 +72,11 @@ flowd accepts for its --max-deadline / --idle-timeout / --retry-after.
   metrics   fetch flowd's per-stage latency histograms, cache
             memory/disk hit counters, and per-rule lint counters as
             JSON (--text: Prometheus-style)
+  status    fetch the server's health summary; against a flow-gateway
+            this is the per-backend health/breaker/failover table and
+            per-tenant admission counters
+  --tenant  tag compile/lint jobs with a tenant id for the gateway's
+            per-tenant fair-share quotas (proto v4; flowd ignores it)
 
 {}
 exit codes:
@@ -116,7 +121,7 @@ fn connect(args: &cli::Args) -> FlowClient {
 fn main() {
     let args = cli::parse_args(&[
         "tcp", "unix", "seed", "effort", "width", "cycles", "lint", "deadline", "retries", "o",
-        "report",
+        "report", "tenant",
     ]);
     cli::handle_version("flowc", &args);
     if args.flags.iter().any(|f| f == "help") {
@@ -134,6 +139,13 @@ fn main() {
     match cmd {
         "ping" => match connect(&args).ping() {
             Ok(v) => println!("{v}"),
+            Err(e) => fail(EXIT_TRANSPORT, e),
+        },
+        "status" => match connect(&args).status() {
+            Ok(v) => println!(
+                "{}",
+                serde_json::to_string_pretty(&v).expect("status render")
+            ),
             Err(e) => fail(EXIT_TRANSPORT, e),
         },
         "stats" => match connect(&args).stats() {
@@ -229,6 +241,7 @@ fn compile(args: &cli::Args) {
     };
     req.deadline_ms = deadline_ms;
     req.trace = args.flags.iter().any(|f| f == "trace");
+    req.tenant = args.options.get("tenant").cloned();
 
     let outcome = match compile_with_retry(
         || try_connect(args),
@@ -348,6 +361,7 @@ fn lint(args: &cli::Args) {
         cli::parse_duration_ms(raw)
             .unwrap_or_else(|e| cli::die("flowc", format!("bad --deadline: {e}")))
     });
+    req.tenant = args.options.get("tenant").cloned();
 
     let outcome = match connect(args).lint_request(&req) {
         Ok(o) => o,

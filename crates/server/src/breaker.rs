@@ -1,0 +1,237 @@
+//! Per-backend circuit breaker for the gateway.
+//!
+//! Classic three-state machine, kept *pure*: every transition takes the
+//! caller's clock (`now_ms`) instead of reading one, so tests drive it
+//! with a fake clock and the schedule is fully deterministic under a
+//! fixed jitter seed.
+//!
+//! ```text
+//!            failures >= threshold
+//!   Closed ──────────────────────────▶ Open
+//!     ▲                                 │ now >= reopen_at
+//!     │ probe succeeds                  ▼ (jittered)
+//!     └────────────────────────── HalfOpen ── probe fails ──▶ Open
+//! ```
+//!
+//! While `Open`, every request is refused until the jittered reopen
+//! deadline passes; the first `allow` after that *is* the half-open
+//! probe (exactly one in flight — further `allow`s refuse until the
+//! probe reports back). A failed probe re-opens with a fresh jittered
+//! deadline; a success snaps the breaker closed and clears the failure
+//! count.
+
+/// Where the breaker is in its cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: requests flow, consecutive failures are counted.
+    Closed,
+    /// Tripped: requests are refused until the reopen deadline.
+    Open,
+    /// One probe is in flight; its outcome decides the next state.
+    HalfOpen,
+}
+
+impl BreakerState {
+    pub fn name(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+/// Lifetime transition counters — the metrics family's
+/// `breaker_transitions_total{to=...}` series.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BreakerCounters {
+    pub opened: u64,
+    pub half_opened: u64,
+    pub closed: u64,
+}
+
+/// The state machine. One per backend, behind the gateway's lock.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    state: BreakerState,
+    /// Consecutive failures while `Closed`; trips at `threshold`.
+    consecutive_failures: u32,
+    threshold: u32,
+    /// Base quiet period after tripping; the actual deadline adds up to
+    /// 50% jitter so a fleet of breakers doesn't reprobe in lockstep.
+    reopen_after_ms: u64,
+    /// Absolute (caller-clock) time the next probe may go out.
+    reopen_at_ms: u64,
+    rng: u64,
+    counters: BreakerCounters,
+}
+
+impl CircuitBreaker {
+    /// `threshold` consecutive failures trip the breaker;
+    /// `reopen_after_ms` is the base quiet period before a probe.
+    pub fn new(threshold: u32, reopen_after_ms: u64, jitter_seed: u64) -> Self {
+        CircuitBreaker {
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            threshold: threshold.max(1),
+            reopen_after_ms,
+            reopen_at_ms: 0,
+            // Seed 0 would lock xorshift at 0; the |1 below also guards.
+            rng: jitter_seed,
+            counters: BreakerCounters::default(),
+        }
+    }
+
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    pub fn counters(&self) -> BreakerCounters {
+        self.counters
+    }
+
+    /// May a request go to this backend right now? Crossing the reopen
+    /// deadline flips `Open` to `HalfOpen` and grants the caller the
+    /// single probe slot.
+    pub fn allow(&mut self, now_ms: u64) -> bool {
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => {
+                if now_ms >= self.reopen_at_ms {
+                    self.state = BreakerState::HalfOpen;
+                    self.counters.half_opened += 1;
+                    true // the caller is the probe
+                } else {
+                    false
+                }
+            }
+            // The probe is already out; hold everything else back.
+            BreakerState::HalfOpen => false,
+        }
+    }
+
+    /// A request (or health probe) against this backend succeeded.
+    pub fn on_success(&mut self) {
+        if self.state != BreakerState::Closed {
+            self.counters.closed += 1;
+        }
+        self.state = BreakerState::Closed;
+        self.consecutive_failures = 0;
+    }
+
+    /// A request (or health probe) against this backend failed.
+    pub fn on_failure(&mut self, now_ms: u64) {
+        match self.state {
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.threshold {
+                    self.trip(now_ms);
+                }
+            }
+            // A failed probe goes straight back to Open with a fresh
+            // jittered deadline; extra failures while Open (stragglers
+            // from already-in-flight jobs) just refresh it.
+            BreakerState::HalfOpen | BreakerState::Open => self.trip(now_ms),
+        }
+    }
+
+    fn trip(&mut self, now_ms: u64) {
+        if self.state != BreakerState::Open {
+            self.counters.opened += 1;
+        }
+        self.state = BreakerState::Open;
+        self.consecutive_failures = 0;
+        // Full deadline = base + jitter in [0, base/2]: deterministic
+        // under a fixed seed, desynchronized across distinct seeds.
+        let jitter = xorshift64(&mut self.rng) % (self.reopen_after_ms / 2 + 1);
+        self.reopen_at_ms = now_ms + self.reopen_after_ms + jitter;
+    }
+}
+
+/// Same tiny PRNG the retry backoff uses: deterministic, dependency-free.
+fn xorshift64(state: &mut u64) -> u64 {
+    let mut x = *state | 1;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_after_threshold_consecutive_failures() {
+        let mut b = CircuitBreaker::new(3, 1_000, 42);
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.on_failure(0);
+        b.on_failure(1);
+        assert!(b.allow(2), "two failures stay under a threshold of 3");
+        b.on_failure(2);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow(3));
+        assert_eq!(b.counters().opened, 1);
+    }
+
+    #[test]
+    fn success_resets_the_failure_count() {
+        let mut b = CircuitBreaker::new(3, 1_000, 42);
+        b.on_failure(0);
+        b.on_failure(1);
+        b.on_success();
+        b.on_failure(2);
+        b.on_failure(3);
+        assert_eq!(b.state(), BreakerState::Closed, "counter was reset");
+    }
+
+    #[test]
+    fn half_open_grants_exactly_one_probe() {
+        let mut b = CircuitBreaker::new(1, 100, 42);
+        b.on_failure(0);
+        assert_eq!(b.state(), BreakerState::Open);
+        // Jitter is bounded by base/2, so base*2 is always past it.
+        assert!(!b.allow(50), "still inside the quiet period");
+        assert!(b.allow(200), "first caller past the deadline is the probe");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(!b.allow(201), "only one probe at a time");
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allow(202));
+        let c = b.counters();
+        assert_eq!((c.opened, c.half_opened, c.closed), (1, 1, 1));
+    }
+
+    #[test]
+    fn failed_probe_reopens_with_a_fresh_deadline() {
+        let mut b = CircuitBreaker::new(1, 100, 42);
+        b.on_failure(0);
+        assert!(b.allow(200));
+        b.on_failure(200);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(
+            !b.allow(250),
+            "new quiet period runs from the probe failure"
+        );
+        assert!(b.allow(400));
+        assert_eq!(b.counters().opened, 2);
+    }
+
+    #[test]
+    fn reopen_jitter_is_deterministic_and_bounded() {
+        let deadline = |seed: u64| {
+            let mut b = CircuitBreaker::new(1, 1_000, seed);
+            b.on_failure(0);
+            // The deadline is observable through allow(): binary-search
+            // the first now_ms that flips the probe open.
+            (0..=1_501).find(|&t| b.allow(t)).unwrap_or(u64::MAX)
+        };
+        let a = deadline(7);
+        assert_eq!(a, deadline(7), "same seed, same schedule");
+        for seed in [1, 2, 3, 99] {
+            let d = deadline(seed);
+            assert!((1_000..=1_500).contains(&d), "jitter out of range: {d}");
+        }
+    }
+}

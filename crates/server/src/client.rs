@@ -263,6 +263,13 @@ impl FlowClient {
         self.recv()
     }
 
+    /// `status` — node health: queue depth and worker state on `flowd`,
+    /// the per-backend health/breaker/queue table on `flow-gateway`.
+    pub fn status(&mut self) -> io::Result<Value> {
+        self.send(&Request::Status.to_value())?;
+        self.recv()
+    }
+
     /// Submit a design and block until it finishes, collecting the
     /// streamed stage events along the way. `options` uses the wire
     /// option names (`place_seed`, `place_effort`, `channel_width`,
@@ -398,6 +405,7 @@ impl FlowClient {
                 Event::Pong { .. }
                 | Event::Stats(_)
                 | Event::Metrics(_)
+                | Event::Status(_)
                 | Event::ShuttingDown
                 | Event::LintReport { .. } => {
                     return Err(CompileError::Io(io::Error::new(
@@ -497,6 +505,7 @@ impl FlowClient {
                 Event::Pong { .. }
                 | Event::Stats(_)
                 | Event::Metrics(_)
+                | Event::Status(_)
                 | Event::ShuttingDown
                 | Event::Done { .. } => {
                     return Err(CompileError::Io(io::Error::new(
@@ -563,6 +572,12 @@ fn xorshift64(state: &mut u64) -> u64 {
 /// jitter, never less than the server's `retry_after_ms` hint.
 /// `on_retry(attempt, error, backoff_ms)` fires before each backoff —
 /// `flowc` logs from it; tests use it as a deterministic hook.
+///
+/// The request's `deadline_ms` is a *total* budget measured from the
+/// first attempt: each reattempt carries only the remaining budget, and
+/// a backoff that would sleep past the deadline gives up with the last
+/// error instead — cumulative backoff plus reattempts never exceed the
+/// caller's deadline.
 pub fn compile_with_retry(
     mut connect: impl FnMut() -> io::Result<FlowClient>,
     req: &CompileRequest,
@@ -572,9 +587,18 @@ pub fn compile_with_retry(
     let attempts = policy.max_attempts.max(1);
     let mut rng = policy.jitter_seed;
     let mut backoff = policy.base_ms.max(1);
+    let started = std::time::Instant::now();
+    let mut attempt_req = req.clone();
     for attempt in 1..=attempts {
+        if let Some(total) = req.deadline_ms {
+            // Hand the server only what is left of the budget (floored
+            // at 1 ms so the attempt still reaches the deadline path
+            // server-side rather than turning into "no deadline").
+            let elapsed = started.elapsed().as_millis() as u64;
+            attempt_req.deadline_ms = Some(total.saturating_sub(elapsed).max(1));
+        }
         let err = match connect() {
-            Ok(mut client) => match client.compile_request(req) {
+            Ok(mut client) => match client.compile_request(&attempt_req) {
                 Ok(outcome) => return Ok(outcome),
                 Err(e) => e,
             },
@@ -586,6 +610,14 @@ pub fn compile_with_retry(
         // Full jitter over [backoff/2, backoff], floored by the hint.
         let jittered = backoff / 2 + xorshift64(&mut rng) % (backoff / 2 + 1);
         let sleep_ms = jittered.max(err.retry_after_ms().unwrap_or(0));
+        if let Some(total) = req.deadline_ms {
+            let elapsed = started.elapsed().as_millis() as u64;
+            if elapsed.saturating_add(sleep_ms) >= total {
+                // Backing off would sleep past the caller's deadline —
+                // retrying is pointless, surface the last error now.
+                return Err(err);
+            }
+        }
         on_retry(attempt, &err, sleep_ms);
         std::thread::sleep(Duration::from_millis(sleep_ms));
         backoff = (backoff * 2).min(policy.max_backoff_ms.max(1));
@@ -654,5 +686,38 @@ mod tests {
         // Io errors ARE retryable: all three attempts run.
         assert!(matches!(result, Err(CompileError::Io(_))));
         assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn retry_budget_is_capped_by_the_request_deadline() {
+        // A 50 ms total budget with a >=500 ms first backoff: the helper
+        // must give up after the first attempt instead of sleeping past
+        // the deadline, and must never invoke the retry hook.
+        let mut req = CompileRequest::new(SourceFormat::Vhdl, "entity e is end e;");
+        req.deadline_ms = Some(50);
+        let mut calls = 0u32;
+        let mut retries = 0u32;
+        let started = std::time::Instant::now();
+        let result = compile_with_retry(
+            || {
+                calls += 1;
+                Err(io::Error::new(io::ErrorKind::ConnectionRefused, "down"))
+            },
+            &req,
+            &RetryPolicy {
+                max_attempts: 5,
+                base_ms: 1_000,
+                max_backoff_ms: 2_000,
+                jitter_seed: 7,
+            },
+            |_, _, _| retries += 1,
+        );
+        assert!(matches!(result, Err(CompileError::Io(_))));
+        assert_eq!(calls, 1, "no budget for a second attempt");
+        assert_eq!(retries, 0, "gave up before any backoff");
+        assert!(
+            started.elapsed() < Duration::from_millis(400),
+            "must not have slept a full backoff"
+        );
     }
 }

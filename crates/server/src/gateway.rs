@@ -1,0 +1,1041 @@
+//! `flow-gateway` — the farm's front door.
+//!
+//! A gateway sits in front of N `flowd` backends and gives clients one
+//! address that survives node death and overload:
+//!
+//! * **Affinity sharding.** Jobs are routed by rendezvous hashing over
+//!   the stage-cache key material (format + source + options), so
+//!   resubmissions of the same design land on the backend that already
+//!   holds its cached stage artifacts — the shared-cache win without a
+//!   shared disk.
+//! * **Health checks + circuit breakers.** A background prober pings
+//!   every backend (`proto_version` hello) on an interval; probe and job
+//!   failures feed a per-backend [`CircuitBreaker`], so a dead node is
+//!   cut off after a few failures and re-probed with a jittered backoff
+//!   instead of hammering it in lockstep.
+//! * **Mid-job failover.** If a backend dies mid-pipeline (connection
+//!   drop, read timeout, SIGKILL), the gateway replays the job on the
+//!   next-best healthy peer, carrying only the *remaining* deadline
+//!   budget. The client sees one `queued` and exactly one terminal
+//!   event; stage events may repeat across attempts (the peer re-runs
+//!   the pipeline, cache-accelerated), terminals never do.
+//! * **Tenant fair-share.** Admission runs through the
+//!   [`TenantGovernor`]: token-bucket quotas per tenant (the optional
+//!   `tenant` request field, proto v4) and weighted fair queuing, with
+//!   bounded waiting — overload sheds with a `retry_after_ms` hint
+//!   instead of queueing without limit.
+//!
+//! The gateway speaks the same typed protocol as `flowd` (`ping`,
+//! `status`, `metrics`, `stats`, `compile`, `lint`, `shutdown`), so
+//! `flowc` and `qor_bench --via-daemon` work against either unchanged.
+
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use fpga_flow::hash::digest_hex;
+use serde_json::Value;
+
+use crate::breaker::{BreakerState, CircuitBreaker};
+use crate::metrics::{BackendSnapshot, GatewayJobCounters, GatewaySnapshot};
+use crate::proto::{self, CompileRequest, Event, ReadLineError, Request, PROTO_VERSION};
+use crate::tenancy::{AdmitOutcome, GovernorConfig, TenantGovernor};
+
+/// Gateway tuning. Durations are milliseconds, like [`super::ServerConfig`].
+#[derive(Clone, Debug)]
+pub struct GatewayConfig {
+    /// Listen address (`host:port`; port 0 picks a free one).
+    pub tcp_addr: String,
+    /// Backend `flowd` addresses, in priority-independent order.
+    pub backends: Vec<String>,
+    /// Health-probe period.
+    pub health_interval_ms: u64,
+    /// Connect/read timeout for probes, backend connects, and scrapes.
+    pub probe_timeout_ms: u64,
+    /// Consecutive failures that trip a backend's breaker.
+    pub breaker_threshold: u32,
+    /// Base quiet period before a tripped breaker half-opens.
+    pub breaker_reopen_ms: u64,
+    /// Seed for breaker reopen jitter (pin for deterministic chaos runs).
+    pub jitter_seed: u64,
+    /// Admission policy (quotas, fair-queue weights, bounds).
+    pub governor: GovernorConfig,
+    /// Client-side guards, mirroring the daemon's.
+    pub idle_timeout_ms: Option<u64>,
+    pub max_line_bytes: usize,
+    pub max_connections: usize,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            tcp_addr: "127.0.0.1:0".to_string(),
+            backends: Vec::new(),
+            health_interval_ms: 500,
+            probe_timeout_ms: 1_000,
+            breaker_threshold: 3,
+            breaker_reopen_ms: 5_000,
+            jitter_seed: 0x5eed_f10d,
+            governor: GovernorConfig::default(),
+            idle_timeout_ms: Some(300_000),
+            max_line_bytes: 8 * 1024 * 1024,
+            max_connections: 256,
+        }
+    }
+}
+
+/// Rendezvous order: backends ranked by `digest(key ‖ addr)` descending.
+/// Deterministic, uniform, and stable under fleet changes — removing one
+/// backend only moves the jobs that hashed to it.
+pub fn affinity_order(key: &str, addrs: &[String]) -> Vec<usize> {
+    let mut scored: Vec<(String, usize)> = addrs
+        .iter()
+        .enumerate()
+        .map(|(i, addr)| (digest_hex(&[key.as_bytes(), addr.as_bytes()]), i))
+        .collect();
+    scored.sort_by(|a, b| b.0.cmp(&a.0));
+    scored.into_iter().map(|(_, i)| i).collect()
+}
+
+/// The affinity key for a job: exactly the request material that
+/// determines the stage-cache key on a backend, so identical
+/// resubmissions rendezvous on the same node. `kind` is the wire verb
+/// (`"compile"` / `"lint"`). Public so tests can predict routing.
+pub fn affinity_key(kind: &str, req: &CompileRequest) -> String {
+    format!(
+        "{}\u{1f}{}\u{1f}{}\u{1f}{}",
+        kind,
+        req.format.name(),
+        req.source,
+        req.options
+    )
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum JobKind {
+    Compile,
+    Lint,
+}
+
+/// Live per-backend state.
+struct Backend {
+    addr: String,
+    breaker: Mutex<CircuitBreaker>,
+    /// Last health probe succeeded.
+    probe_ok: AtomicBool,
+    in_flight: AtomicU64,
+    requests: AtomicU64,
+    failures: AtomicU64,
+    failovers: AtomicU64,
+}
+
+impl Backend {
+    fn lock_breaker(&self) -> MutexGuard<'_, CircuitBreaker> {
+        self.breaker
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn snapshot(&self) -> BackendSnapshot {
+        let breaker = self.lock_breaker();
+        BackendSnapshot {
+            addr: self.addr.clone(),
+            healthy: self.probe_ok.load(Ordering::Relaxed) && breaker.state() != BreakerState::Open,
+            breaker: breaker.state().name(),
+            breaker_transitions: breaker.counters(),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            failures: self.failures.load(Ordering::Relaxed),
+            failovers: self.failovers.load(Ordering::Relaxed),
+        }
+    }
+}
+
+struct Shared {
+    config: GatewayConfig,
+    backends: Vec<Arc<Backend>>,
+    governor: Arc<TenantGovernor>,
+    jobs_submitted: AtomicU64,
+    jobs_completed: AtomicU64,
+    jobs_failed: AtomicU64,
+    jobs_shed: AtomicU64,
+    jobs_timed_out: AtomicU64,
+    next_job_id: AtomicU64,
+    open_connections: AtomicU64,
+    connections_rejected: AtomicU64,
+    shutting_down: AtomicBool,
+    /// Breaker clock epoch: breakers take ms-since-start.
+    epoch: Instant,
+}
+
+impl Shared {
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    fn snapshot(&self, cache: Option<(u64, u64, u64)>) -> GatewaySnapshot {
+        let (inflight, queued) = self.governor.depths();
+        let gov = self.governor.config();
+        GatewaySnapshot {
+            jobs: GatewayJobCounters {
+                submitted: self.jobs_submitted.load(Ordering::Relaxed),
+                completed: self.jobs_completed.load(Ordering::Relaxed),
+                failed: self.jobs_failed.load(Ordering::Relaxed),
+                shed: self.jobs_shed.load(Ordering::Relaxed),
+                timed_out: self.jobs_timed_out.load(Ordering::Relaxed),
+            },
+            backends: self.backends.iter().map(|b| b.snapshot()).collect(),
+            tenants: self.governor.tenant_snapshots(),
+            admission_inflight: inflight as u64,
+            admission_queued: queued as u64,
+            max_inflight: gov.max_inflight as u64,
+            queue_bound: gov.queue_bound as u64,
+            cache,
+        }
+    }
+
+    /// The `status` verb body: the per-backend health/breaker table.
+    fn status_json(&self) -> Value {
+        let snap = self.snapshot(None);
+        let mut body = match snap.to_json() {
+            Value::Object(map) => map,
+            other => {
+                let mut map = serde_json::Map::new();
+                map.insert("body".into(), other);
+                map
+            }
+        };
+        body.insert("event".into(), "status".into());
+        body.insert("role".into(), "gateway".into());
+        body.insert("version".into(), fpga_flow::FLOW_VERSION.into());
+        body.insert("proto_version".into(), PROTO_VERSION.into());
+        body.insert(
+            "shutting_down".into(),
+            self.shutting_down.load(Ordering::SeqCst).into(),
+        );
+        Value::Object(body)
+    }
+
+    /// Aggregate the `cache` object across reachable backends so
+    /// cache-aware clients see one farm-wide view.
+    fn scrape_backend_caches(&self) -> Option<(u64, u64, u64)> {
+        let timeout = Duration::from_millis(self.config.probe_timeout_ms.max(1));
+        let mut total = (0u64, 0u64, 0u64);
+        let mut any = false;
+        for backend in &self.backends {
+            let Ok(body) = backend_verb(&backend.addr, &Request::Metrics { text: false }, timeout)
+            else {
+                continue;
+            };
+            let cache = &body["cache"];
+            let get = |k: &str| cache[k].as_u64().unwrap_or(0);
+            total.0 += get("memory_hits");
+            total.1 += get("disk_hits");
+            total.2 += get("misses");
+            any = true;
+        }
+        any.then_some(total)
+    }
+}
+
+/// One short request/response exchange with a backend (probe, scrape).
+fn backend_verb(addr: &str, req: &Request, timeout: Duration) -> io::Result<Value> {
+    let sock = resolve(addr)?;
+    let stream = TcpStream::connect_timeout(&sock, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    proto::write_line(&mut writer, &req.to_value())?;
+    proto::read_line(&mut reader)?
+        .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "backend closed"))
+}
+
+fn resolve(addr: &str) -> io::Result<SocketAddr> {
+    addr.to_socket_addrs()?.next().ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::AddrNotAvailable,
+            "address resolves to nothing",
+        )
+    })
+}
+
+/// A running gateway (mirrors [`super::Server`]'s lifecycle).
+pub struct Gateway {
+    shared: Arc<Shared>,
+    tcp_addr: SocketAddr,
+    threads: Vec<thread::JoinHandle<()>>,
+}
+
+impl Gateway {
+    pub fn start(config: GatewayConfig) -> Result<Gateway, String> {
+        if config.backends.is_empty() {
+            return Err("gateway needs at least one --backend".to_string());
+        }
+        let listener = TcpListener::bind(&config.tcp_addr)
+            .map_err(|e| format!("bind {}: {e}", config.tcp_addr))?;
+        let tcp_addr = listener
+            .local_addr()
+            .map_err(|e| format!("local_addr: {e}"))?;
+        let backends: Vec<Arc<Backend>> = config
+            .backends
+            .iter()
+            .enumerate()
+            .map(|(i, addr)| {
+                Arc::new(Backend {
+                    addr: addr.clone(),
+                    breaker: Mutex::new(CircuitBreaker::new(
+                        config.breaker_threshold,
+                        config.breaker_reopen_ms,
+                        // Distinct seed per backend: no lockstep reprobes.
+                        config.jitter_seed.wrapping_add(i as u64 + 1),
+                    )),
+                    probe_ok: AtomicBool::new(true),
+                    in_flight: AtomicU64::new(0),
+                    requests: AtomicU64::new(0),
+                    failures: AtomicU64::new(0),
+                    failovers: AtomicU64::new(0),
+                })
+            })
+            .collect();
+        let governor = TenantGovernor::new(config.governor.clone());
+        let shared = Arc::new(Shared {
+            config,
+            backends,
+            governor,
+            jobs_submitted: AtomicU64::new(0),
+            jobs_completed: AtomicU64::new(0),
+            jobs_failed: AtomicU64::new(0),
+            jobs_shed: AtomicU64::new(0),
+            jobs_timed_out: AtomicU64::new(0),
+            next_job_id: AtomicU64::new(1),
+            open_connections: AtomicU64::new(0),
+            connections_rejected: AtomicU64::new(0),
+            shutting_down: AtomicBool::new(false),
+            epoch: Instant::now(),
+        });
+
+        let mut threads = Vec::new();
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                thread::Builder::new()
+                    .name("gw-accept".to_string())
+                    .spawn(move || accept_loop(listener, &shared))
+                    .map_err(|e| format!("spawn accept loop: {e}"))?,
+            );
+        }
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                thread::Builder::new()
+                    .name("gw-health".to_string())
+                    .spawn(move || health_loop(&shared))
+                    .map_err(|e| format!("spawn health loop: {e}"))?,
+            );
+        }
+        Ok(Gateway {
+            shared,
+            tcp_addr,
+            threads,
+        })
+    }
+
+    pub fn tcp_addr(&self) -> SocketAddr {
+        self.tcp_addr
+    }
+
+    /// The `status` verb's body.
+    pub fn status_json(&self) -> Value {
+        self.shared.status_json()
+    }
+
+    /// The `metrics` verb's JSON body (without backend cache scrape).
+    pub fn metrics_json(&self) -> Value {
+        self.shared.snapshot(None).to_json()
+    }
+
+    /// Prometheus text exposition of the gateway family.
+    pub fn metrics_text(&self) -> String {
+        self.shared.snapshot(None).to_prometheus_text()
+    }
+
+    /// Stop accepting, poke the listener awake, join the daemon threads.
+    pub fn shutdown(mut self) {
+        trigger_shutdown(&self.shared, self.tcp_addr);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        drain_connections(&self.shared);
+    }
+
+    /// Block until a client's `shutdown` verb stops the gateway.
+    pub fn wait(&mut self) {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        drain_connections(&self.shared);
+    }
+}
+
+fn trigger_shutdown(shared: &Arc<Shared>, tcp_addr: SocketAddr) {
+    if shared.shutting_down.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    // Poke the blocking accept() so the loop observes the flag.
+    let _ = TcpStream::connect_timeout(&tcp_addr, Duration::from_millis(250));
+}
+
+/// Bounded grace for in-flight connection threads to finish final writes.
+fn drain_connections(shared: &Arc<Shared>) {
+    let deadline = Instant::now() + Duration::from_secs(2);
+    while shared.open_connections.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+        thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let open = shared.open_connections.fetch_add(1, Ordering::SeqCst) + 1;
+        if open > shared.config.max_connections as u64 {
+            shared.open_connections.fetch_sub(1, Ordering::SeqCst);
+            shared.connections_rejected.fetch_add(1, Ordering::Relaxed);
+            let mut writer = stream;
+            let _ = proto::write_line(
+                &mut writer,
+                &Event::Error {
+                    job: None,
+                    kind: Some("overloaded".to_string()),
+                    stage: None,
+                    message: "too many connections".to_string(),
+                    retry_after_ms: Some(shared.config.governor.retry_after_ms),
+                    diagnostics: Vec::new(),
+                }
+                .to_value(),
+            );
+            continue;
+        }
+        let conn_shared = Arc::clone(shared);
+        let spawned = thread::Builder::new()
+            .name("gw-conn".to_string())
+            .spawn(move || {
+                serve_connection(stream, &conn_shared);
+                conn_shared.open_connections.fetch_sub(1, Ordering::SeqCst);
+            });
+        if spawned.is_err() {
+            shared.open_connections.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Probe every backend on the configured interval, feeding breakers.
+fn health_loop(shared: &Arc<Shared>) {
+    let interval = Duration::from_millis(shared.config.health_interval_ms.max(10));
+    let timeout = Duration::from_millis(shared.config.probe_timeout_ms.max(1));
+    while !shared.shutting_down.load(Ordering::SeqCst) {
+        for backend in &shared.backends {
+            if shared.shutting_down.load(Ordering::SeqCst) {
+                return;
+            }
+            // Respect the breaker: while open, no probes until the
+            // jittered reopen deadline grants the half-open slot.
+            if !backend.lock_breaker().allow(shared.now_ms()) {
+                continue;
+            }
+            let ok = matches!(
+                backend_verb(&backend.addr, &Request::Ping, timeout),
+                Ok(ref v) if v["event"].as_str() == Some("pong")
+            );
+            backend.probe_ok.store(ok, Ordering::Relaxed);
+            let mut breaker = backend.lock_breaker();
+            if ok {
+                breaker.on_success();
+            } else {
+                breaker.on_failure(shared.now_ms());
+            }
+        }
+        // Sleep in small steps so shutdown is prompt.
+        let mut slept = Duration::ZERO;
+        while slept < interval && !shared.shutting_down.load(Ordering::SeqCst) {
+            let step = Duration::from_millis(20).min(interval - slept);
+            thread::sleep(step);
+            slept += step;
+        }
+    }
+}
+
+fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    if let Some(ms) = shared.config.idle_timeout_ms {
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(ms.max(1))));
+    }
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let line = match proto::read_line_limited(&mut reader, shared.config.max_line_bytes) {
+            Ok(Some(v)) => v,
+            Ok(None) => return,
+            Err(ReadLineError::TooLong { limit }) => {
+                if proto::write_line(
+                    &mut writer,
+                    &conn_error(
+                        Some("oversized"),
+                        format!("request line exceeds {limit} bytes"),
+                    ),
+                )
+                .is_err()
+                {
+                    return;
+                }
+                continue;
+            }
+            Err(ReadLineError::BadJson(message)) => {
+                let _ = proto::write_line(
+                    &mut writer,
+                    &conn_error(None, format!("bad JSON: {message}")),
+                );
+                return;
+            }
+            Err(ReadLineError::Io(e))
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                let _ = proto::write_line(
+                    &mut writer,
+                    &conn_error(Some("idle-timeout"), "connection idle too long".to_string()),
+                );
+                return;
+            }
+            Err(ReadLineError::Io(_)) => return,
+        };
+        let req = match proto::parse_request_value(&line) {
+            Ok(req) => req,
+            Err(message) => {
+                let _ = proto::write_line(&mut writer, &conn_error(None, message));
+                continue;
+            }
+        };
+        // Exhaustive, like the daemon: new verbs must be answered here.
+        match req {
+            Request::Ping => {
+                let pong = Event::Pong {
+                    version: fpga_flow::FLOW_VERSION.to_string(),
+                    proto_version: PROTO_VERSION,
+                };
+                let _ = proto::write_line(&mut writer, &pong.to_value());
+            }
+            Request::Stats => {
+                let snap = shared.snapshot(None);
+                let mut body = match snap.to_json() {
+                    Value::Object(map) => map,
+                    _ => serde_json::Map::new(),
+                };
+                body.insert("event".into(), "stats".into());
+                body.insert("version".into(), fpga_flow::FLOW_VERSION.into());
+                let _ =
+                    proto::write_line(&mut writer, &Event::Stats(Value::Object(body)).to_value());
+            }
+            Request::Metrics { text } => {
+                let snap = shared.snapshot(shared.scrape_backend_caches());
+                let body = if text {
+                    serde_json::json!({
+                        "event": "metrics",
+                        "format": "text",
+                        "text": snap.to_prometheus_text(),
+                    })
+                } else {
+                    snap.to_json()
+                };
+                let _ = proto::write_line(&mut writer, &Event::Metrics(body).to_value());
+            }
+            Request::Status => {
+                let _ =
+                    proto::write_line(&mut writer, &Event::Status(shared.status_json()).to_value());
+            }
+            Request::Shutdown => {
+                // The gateway stops; backends keep running (they have
+                // their own shutdown verb).
+                let tcp_addr = writer.local_addr().ok();
+                let _ = proto::write_line(&mut writer, &Event::ShuttingDown.to_value());
+                if let Some(addr) = tcp_addr {
+                    trigger_shutdown(shared, addr);
+                }
+                return;
+            }
+            Request::Compile(req) => {
+                if !handle_job(JobKind::Compile, *req, shared, &mut writer) {
+                    return; // client gone mid-stream
+                }
+            }
+            Request::Lint(req) => {
+                if !handle_job(JobKind::Lint, *req, shared, &mut writer) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn conn_error(kind: Option<&str>, message: String) -> Value {
+    Event::Error {
+        job: None,
+        kind: kind.map(str::to_string),
+        stage: None,
+        message,
+        retry_after_ms: None,
+        diagnostics: Vec::new(),
+    }
+    .to_value()
+}
+
+/// How one attempt against one backend ended.
+enum Attempt {
+    /// A terminal event was forwarded to the client; the job is over.
+    Terminal(Terminal),
+    /// The client connection broke; the job is abandoned.
+    ClientGone,
+    /// The backend failed mid-job (connect, drop, lost worker) — a
+    /// breaker failure; retry on a peer.
+    Transient(String),
+    /// The backend refused the job (queue full / shutting down) — not a
+    /// breaker failure; try a peer.
+    Saturated { retry_after_ms: Option<u64> },
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Terminal {
+    Completed,
+    Failed,
+    TimedOut,
+}
+
+/// Run one job through admission, affinity routing, and failover.
+/// Returns `false` when the client connection broke.
+fn handle_job(
+    kind: JobKind,
+    req: CompileRequest,
+    shared: &Arc<Shared>,
+    writer: &mut TcpStream,
+) -> bool {
+    let started = Instant::now();
+    let job_id = shared.next_job_id.fetch_add(1, Ordering::SeqCst);
+    shared.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+    let total_deadline_ms = req.deadline_ms;
+    let deadline = total_deadline_ms.map(|ms| started + Duration::from_millis(ms));
+    let tenant = req.tenant.clone().unwrap_or_else(|| "anon".to_string());
+
+    // Admission first: quota + fair queue + bounded wait.
+    let permit = match shared.governor.admit(&tenant, deadline) {
+        AdmitOutcome::Admitted(permit) => permit,
+        AdmitOutcome::Shed { retry_after_ms } => {
+            shared.jobs_shed.fetch_add(1, Ordering::Relaxed);
+            return proto::write_line(
+                writer,
+                &Event::Rejected {
+                    job: job_id,
+                    reason: format!(
+                        "gateway saturated: tenant '{tenant}' over quota or queue full"
+                    ),
+                    retry_after_ms: Some(retry_after_ms),
+                }
+                .to_value(),
+            )
+            .is_ok();
+        }
+        AdmitOutcome::Expired => {
+            shared.jobs_timed_out.fetch_add(1, Ordering::Relaxed);
+            return proto::write_line(
+                writer,
+                &Event::Timeout {
+                    job: job_id,
+                    deadline_ms: total_deadline_ms,
+                    completed_stages: Vec::new(),
+                    message: "deadline elapsed while queued at the gateway".to_string(),
+                }
+                .to_value(),
+            )
+            .is_ok();
+        }
+    };
+    // The permit lives for the rest of the job; dropping it (any return
+    // path) releases the slot and pumps the next waiter.
+    let _permit = permit;
+
+    // The client hears `queued` from the gateway exactly once, before
+    // the first attempt; backend `queued` events are swallowed.
+    if proto::write_line(writer, &Event::Queued { job: job_id }.to_value()).is_err() {
+        return false;
+    }
+
+    let verb = match kind {
+        JobKind::Compile => "compile",
+        JobKind::Lint => "lint",
+    };
+    let order = affinity_order(&affinity_key(verb, &req), &shared.config.backends);
+    let mut tried = vec![false; shared.backends.len()];
+    let mut completed_stages: Vec<String> = Vec::new();
+    let mut last_saturated: Option<Option<u64>> = None;
+    let mut last_transient: Option<String> = None;
+    let mut prior_failure = false;
+
+    loop {
+        // Remaining deadline budget, or a timeout terminal if spent.
+        let remaining_ms = match total_deadline_ms {
+            None => None,
+            Some(total) => {
+                let elapsed = started.elapsed().as_millis() as u64;
+                let left = total.saturating_sub(elapsed);
+                if left == 0 {
+                    shared.jobs_timed_out.fetch_add(1, Ordering::Relaxed);
+                    return proto::write_line(
+                        writer,
+                        &Event::Timeout {
+                            job: job_id,
+                            deadline_ms: total_deadline_ms,
+                            completed_stages: completed_stages.clone(),
+                            message: format!(
+                                "deadline of {total}ms exhausted across {} attempt(s)",
+                                tried.iter().filter(|t| **t).count()
+                            ),
+                        }
+                        .to_value(),
+                    )
+                    .is_ok();
+                }
+                Some(left)
+            }
+        };
+
+        // Next-best untried backend whose breaker admits a request.
+        let now = shared.now_ms();
+        let pick = order
+            .iter()
+            .copied()
+            .find(|&i| !tried[i] && shared.backends[i].lock_breaker().allow(now));
+        let Some(index) = pick else {
+            // Nobody left: shed with the best hint we have. Retryable
+            // from the client's point of view (it is a `rejected`).
+            shared.jobs_shed.fetch_add(1, Ordering::Relaxed);
+            let (reason, retry_after_ms) = match (&last_saturated, &last_transient) {
+                (Some(hint), _) => (
+                    "all backends saturated".to_string(),
+                    hint.or(Some(shared.config.governor.retry_after_ms)),
+                ),
+                (None, Some(err)) => (
+                    format!("no healthy backend: {err}"),
+                    Some(shared.config.breaker_reopen_ms),
+                ),
+                (None, None) => (
+                    "no healthy backend available".to_string(),
+                    Some(shared.config.breaker_reopen_ms),
+                ),
+            };
+            return proto::write_line(
+                writer,
+                &Event::Rejected {
+                    job: job_id,
+                    reason,
+                    retry_after_ms,
+                }
+                .to_value(),
+            )
+            .is_ok();
+        };
+
+        tried[index] = true;
+        let backend = &shared.backends[index];
+        backend.requests.fetch_add(1, Ordering::Relaxed);
+        if prior_failure {
+            // This attempt exists because a peer died mid-job.
+            backend.failovers.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut attempt_req = req.clone();
+        attempt_req.deadline_ms = remaining_ms;
+        match run_attempt(
+            kind,
+            &attempt_req,
+            backend,
+            shared,
+            writer,
+            job_id,
+            &mut completed_stages,
+        ) {
+            Attempt::Terminal(terminal) => {
+                backend.lock_breaker().on_success();
+                match terminal {
+                    Terminal::Completed => {
+                        shared.jobs_completed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Terminal::Failed => {
+                        shared.jobs_failed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Terminal::TimedOut => {
+                        shared.jobs_timed_out.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                return true;
+            }
+            Attempt::ClientGone => {
+                // Not the backend's fault; dropping our backend
+                // connection cancels the job at its next stage boundary.
+                backend.lock_breaker().on_success();
+                return false;
+            }
+            Attempt::Transient(message) => {
+                backend.failures.fetch_add(1, Ordering::Relaxed);
+                backend.lock_breaker().on_failure(shared.now_ms());
+                last_transient = Some(message);
+                prior_failure = true;
+                // Loop: the next-best peer picks the job up with the
+                // remaining budget.
+            }
+            Attempt::Saturated { retry_after_ms } => {
+                // Backpressure, not death: no breaker penalty.
+                last_saturated = Some(retry_after_ms);
+                prior_failure = false;
+            }
+        }
+    }
+}
+
+/// Forward one attempt's event stream. Swallows `queued`, rewrites the
+/// `job` field to the gateway's id on everything it forwards, and keeps
+/// terminal events exactly-once by construction (only the attempt that
+/// produced one forwards it, and a forwarded terminal ends the job).
+fn run_attempt(
+    kind: JobKind,
+    req: &CompileRequest,
+    backend: &Backend,
+    shared: &Arc<Shared>,
+    writer: &mut TcpStream,
+    job_id: u64,
+    completed_stages: &mut Vec<String>,
+) -> Attempt {
+    let connect_timeout = Duration::from_millis(shared.config.probe_timeout_ms.max(1));
+    let sock = match resolve(&backend.addr) {
+        Ok(s) => s,
+        Err(e) => return Attempt::Transient(format!("resolve {}: {e}", backend.addr)),
+    };
+    let stream = match TcpStream::connect_timeout(&sock, connect_timeout) {
+        Ok(s) => s,
+        Err(e) => return Attempt::Transient(format!("connect {}: {e}", backend.addr)),
+    };
+    // Reads block until the backend's next event; bound them by the
+    // job's remaining deadline (plus slack for the backend to notice and
+    // emit its own timeout event) so a silently dead backend cannot hang
+    // the client forever.
+    let read_timeout = req
+        .deadline_ms
+        .map(|ms| ms.saturating_add(10_000))
+        .unwrap_or(330_000);
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(read_timeout.max(1))))
+        .is_err()
+    {
+        return Attempt::Transient("set_read_timeout failed".to_string());
+    }
+    let mut backend_writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(e) => return Attempt::Transient(format!("clone stream: {e}")),
+    };
+    let mut backend_reader = BufReader::new(stream);
+    let request = match kind {
+        JobKind::Compile => Request::Compile(Box::new(req.clone())),
+        JobKind::Lint => Request::Lint(Box::new(req.clone())),
+    };
+    if let Err(e) = proto::write_line(&mut backend_writer, &request.to_value()) {
+        return Attempt::Transient(format!("send to {}: {e}", backend.addr));
+    }
+
+    backend.in_flight.fetch_add(1, Ordering::Relaxed);
+    let result = forward_events(
+        backend,
+        writer,
+        &mut backend_reader,
+        job_id,
+        completed_stages,
+    );
+    backend.in_flight.fetch_sub(1, Ordering::Relaxed);
+    result
+}
+
+fn forward_events(
+    backend: &Backend,
+    writer: &mut TcpStream,
+    backend_reader: &mut BufReader<TcpStream>,
+    job_id: u64,
+    completed_stages: &mut Vec<String>,
+) -> Attempt {
+    loop {
+        let raw = match proto::read_line(backend_reader) {
+            Ok(Some(v)) => v,
+            Ok(None) => {
+                return Attempt::Transient(format!("{} closed mid-job", backend.addr));
+            }
+            Err(e) => {
+                return Attempt::Transient(format!("read from {}: {e}", backend.addr));
+            }
+        };
+        let event = match proto::parse_event(&raw) {
+            Ok(event) => event,
+            Err(proto::EventParseError::Unknown(_)) => {
+                // Forward-compat passthrough: a newer backend's event the
+                // gateway doesn't know rides through untouched (job id
+                // rewritten) for the client to judge.
+                if proto::write_line(writer, &rewrite_job(raw, job_id)).is_err() {
+                    return Attempt::ClientGone;
+                }
+                continue;
+            }
+            Err(e @ proto::EventParseError::Malformed(_)) => {
+                return Attempt::Transient(format!("{}: {e}", backend.addr));
+            }
+        };
+        match event {
+            // The gateway already announced the job under its own id.
+            Event::Queued { .. } => continue,
+            Event::Stage {
+                ok,
+                ref id,
+                ref stage,
+                ..
+            } => {
+                if ok {
+                    let name = id.clone().unwrap_or_else(|| stage.clone());
+                    if !completed_stages.contains(&name) {
+                        completed_stages.push(name);
+                    }
+                }
+                if proto::write_line(writer, &rewrite_job(raw, job_id)).is_err() {
+                    return Attempt::ClientGone;
+                }
+            }
+            Event::Rejected { retry_after_ms, .. } => {
+                return Attempt::Saturated { retry_after_ms };
+            }
+            Event::Error {
+                ref kind,
+                ref retry_after_ms,
+                ref message,
+                ..
+            } => {
+                match kind.as_deref() {
+                    // The backend's worker died under the job; a peer
+                    // can still complete it (the compile is pure).
+                    Some("worker-lost") => {
+                        return Attempt::Transient(format!("{}: {message}", backend.addr));
+                    }
+                    // Connection-cap backpressure: same as a rejection.
+                    Some("overloaded") => {
+                        return Attempt::Saturated {
+                            retry_after_ms: *retry_after_ms,
+                        };
+                    }
+                    // Real flow failures (including panics and lint
+                    // denials) are deterministic: failing over would
+                    // just fail again. Forward as the terminal.
+                    _ => {
+                        if proto::write_line(writer, &rewrite_job(raw, job_id)).is_err() {
+                            return Attempt::ClientGone;
+                        }
+                        return Attempt::Terminal(Terminal::Failed);
+                    }
+                }
+            }
+            Event::Timeout { .. } => {
+                if proto::write_line(writer, &rewrite_job(raw, job_id)).is_err() {
+                    return Attempt::ClientGone;
+                }
+                return Attempt::Terminal(Terminal::TimedOut);
+            }
+            Event::Done { .. } | Event::LintReport { .. } => {
+                if proto::write_line(writer, &rewrite_job(raw, job_id)).is_err() {
+                    return Attempt::ClientGone;
+                }
+                return Attempt::Terminal(Terminal::Completed);
+            }
+            Event::Pong { .. }
+            | Event::Stats(_)
+            | Event::Metrics(_)
+            | Event::Status(_)
+            | Event::ShuttingDown => {
+                return Attempt::Transient(format!(
+                    "{} sent an out-of-place event mid-job",
+                    backend.addr
+                ));
+            }
+        }
+    }
+}
+
+/// Rewrite the `job` field to the gateway's id before forwarding.
+fn rewrite_job(raw: Value, job_id: u64) -> Value {
+    match raw {
+        Value::Object(mut map) => {
+            map.insert("job".to_string(), job_id.into());
+            Value::Object(map)
+        }
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn affinity_order_is_deterministic_and_complete() {
+        let addrs: Vec<String> = (0..4).map(|i| format!("127.0.0.1:910{i}")).collect();
+        let a = affinity_order("key-1", &addrs);
+        assert_eq!(a, affinity_order("key-1", &addrs));
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3], "a permutation of all backends");
+    }
+
+    #[test]
+    fn affinity_spreads_distinct_keys() {
+        let addrs: Vec<String> = (0..3).map(|i| format!("127.0.0.1:910{i}")).collect();
+        let firsts: std::collections::HashSet<usize> = (0..32)
+            .map(|i| affinity_order(&format!("design-{i}"), &addrs)[0])
+            .collect();
+        assert!(
+            firsts.len() > 1,
+            "32 keys all hashed to one backend: {firsts:?}"
+        );
+    }
+
+    #[test]
+    fn removing_a_backend_only_moves_its_own_keys() {
+        let full: Vec<String> = (0..3).map(|i| format!("127.0.0.1:910{i}")).collect();
+        let reduced: Vec<String> = full[..2].to_vec();
+        for i in 0..16 {
+            let key = format!("design-{i}");
+            let first_full = affinity_order(&key, &full)[0];
+            let first_reduced = affinity_order(&key, &reduced)[0];
+            if first_full < 2 {
+                // Keys not on the removed backend keep their placement —
+                // the rendezvous-hash stability property.
+                assert_eq!(first_full, first_reduced, "key {key} moved needlessly");
+            }
+        }
+    }
+
+    #[test]
+    fn rewrite_job_overwrites_the_backend_id() {
+        let raw = serde_json::json!({"event": "stage", "job": 42u64, "stage": "route"});
+        let out = rewrite_job(raw, 7);
+        assert_eq!(out["job"].as_u64(), Some(7));
+        assert_eq!(out["stage"].as_str(), Some("route"));
+    }
+}

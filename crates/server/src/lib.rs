@@ -59,19 +59,25 @@
 //!   [`client::compile_with_retry`] honors with jittered exponential
 //!   backoff.
 
+pub mod breaker;
 pub mod client;
+pub mod gateway;
 pub mod metrics;
 pub mod proto;
 pub mod queue;
 pub mod service;
 mod supervisor;
+pub mod tenancy;
 
+pub use breaker::{BreakerCounters, BreakerState, CircuitBreaker};
 pub use client::{
     compile_with_retry, CompileError, CompileOutcome, FlowClient, LintOutcome, RetryPolicy,
 };
+pub use gateway::{Gateway, GatewayConfig};
 pub use metrics::{Histogram, HistogramSnapshot, Metrics, MetricsSnapshot};
 pub use proto::{
     CompileRequest, Event, EventParseError, ReadLineError, Request, SourceFormat, PROTO_VERSION,
 };
-pub use queue::{JobQueue, SubmitError};
+pub use queue::{FairQueue, JobQueue, SubmitError};
 pub use service::{Server, ServerConfig};
+pub use tenancy::{AdmitOutcome, GovernorConfig, TenantGovernor};

@@ -23,6 +23,9 @@ use fpga_flow::cache::STAGES;
 use fpga_lint::RULES;
 use serde_json::Value;
 
+use crate::breaker::BreakerCounters;
+use crate::tenancy::TenantCounters;
+
 /// Upper bounds (milliseconds, inclusive) of the latency buckets; an
 /// implicit `+Inf` bucket follows. Chosen to straddle the stand-in
 /// pipeline's stage times (sub-millisecond to seconds under `--fault
@@ -498,6 +501,318 @@ impl MetricsSnapshot {
     }
 }
 
+/// One backend's row in a [`GatewaySnapshot`].
+#[derive(Clone, Debug)]
+pub struct BackendSnapshot {
+    pub addr: String,
+    /// Last health probe succeeded and the breaker is not open.
+    pub healthy: bool,
+    /// Breaker state name: `closed` / `open` / `half-open`.
+    pub breaker: &'static str,
+    pub breaker_transitions: BreakerCounters,
+    pub in_flight: u64,
+    /// Job attempts routed to this backend (including failed ones).
+    pub requests: u64,
+    /// Attempts that ended in a transport failure or lost worker.
+    pub failures: u64,
+    /// Attempts re-routed here *from* a failed peer attempt.
+    pub failovers: u64,
+}
+
+/// Gateway-level job terminals.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GatewayJobCounters {
+    pub submitted: u64,
+    pub completed: u64,
+    pub failed: u64,
+    /// Shed at admission (tenant quota / queue bound) or because every
+    /// backend was saturated or broken.
+    pub shed: u64,
+    pub timed_out: u64,
+}
+
+/// Everything `flow-gateway`'s `metrics` verb reports — the gateway
+/// family the issue asks for, rendered in the same two shapes as the
+/// daemon's snapshot (JSON body + `flowgw_*` Prometheus text).
+#[derive(Clone, Debug, Default)]
+pub struct GatewaySnapshot {
+    pub jobs: GatewayJobCounters,
+    pub backends: Vec<BackendSnapshot>,
+    /// `(tenant, counters)` sorted by tenant name.
+    pub tenants: Vec<(String, TenantCounters)>,
+    pub admission_inflight: u64,
+    pub admission_queued: u64,
+    pub max_inflight: u64,
+    pub queue_bound: u64,
+    /// Aggregated `(memory_hits, disk_hits, misses)` scraped from the
+    /// healthy backends at snapshot time — lets cache-aware clients
+    /// (`qor_bench --via-daemon`) read one `cache` object through the
+    /// gateway exactly as they would from a single daemon.
+    pub cache: Option<(u64, u64, u64)>,
+}
+
+impl GatewaySnapshot {
+    /// Total failovers across backends (the headline counter the chaos
+    /// harness asserts on).
+    pub fn failover_total(&self) -> u64 {
+        self.backends.iter().map(|b| b.failovers).sum()
+    }
+
+    /// The structured body of the gateway's `{"cmd":"metrics"}` reply.
+    pub fn to_json(&self) -> Value {
+        let j = &self.jobs;
+        let mut root = serde_json::Map::new();
+        root.insert("role".into(), "gateway".into());
+        root.insert(
+            "jobs".into(),
+            serde_json::json!({
+                "submitted": j.submitted,
+                "completed": j.completed,
+                "failed": j.failed,
+                "shed": j.shed,
+                "timed_out": j.timed_out,
+                "failovers": self.failover_total(),
+            }),
+        );
+        let backends: Vec<Value> = self
+            .backends
+            .iter()
+            .map(|b| {
+                serde_json::json!({
+                    "addr": b.addr.clone(),
+                    "healthy": b.healthy,
+                    "breaker": b.breaker,
+                    "breaker_transitions": serde_json::json!({
+                        "opened": b.breaker_transitions.opened,
+                        "half_opened": b.breaker_transitions.half_opened,
+                        "closed": b.breaker_transitions.closed,
+                    }),
+                    "in_flight": b.in_flight,
+                    "requests": b.requests,
+                    "failures": b.failures,
+                    "failovers": b.failovers,
+                })
+            })
+            .collect();
+        root.insert("backends".into(), Value::Array(backends));
+        let mut tenants = serde_json::Map::new();
+        for (name, c) in &self.tenants {
+            tenants.insert(
+                name.clone(),
+                serde_json::json!({
+                    "admitted": c.admitted,
+                    "queued": c.queued,
+                    "shed": c.shed,
+                }),
+            );
+        }
+        root.insert("tenants".into(), Value::Object(tenants));
+        root.insert(
+            "admission".into(),
+            serde_json::json!({
+                "inflight": self.admission_inflight,
+                "queued": self.admission_queued,
+                "max_inflight": self.max_inflight,
+                "queue_bound": self.queue_bound,
+            }),
+        );
+        if let Some((memory_hits, disk_hits, misses)) = self.cache {
+            root.insert(
+                "cache".into(),
+                serde_json::json!({
+                    "memory_hits": memory_hits,
+                    "disk_hits": disk_hits,
+                    "misses": misses,
+                }),
+            );
+        }
+        Value::Object(root)
+    }
+
+    /// Prometheus-style text exposition (`flowgw_*` families).
+    pub fn to_prometheus_text(&self) -> String {
+        let mut out = String::new();
+        let push = |out: &mut String, line: String| {
+            out.push_str(&line);
+            out.push('\n');
+        };
+        let j = &self.jobs;
+        push(
+            &mut out,
+            "# HELP flowgw_jobs_total Gateway jobs by terminal state.".into(),
+        );
+        push(&mut out, "# TYPE flowgw_jobs_total counter".into());
+        for (state, n) in [
+            ("submitted", j.submitted),
+            ("completed", j.completed),
+            ("failed", j.failed),
+            ("shed", j.shed),
+            ("timed_out", j.timed_out),
+        ] {
+            push(
+                &mut out,
+                format!("flowgw_jobs_total{{state=\"{state}\"}} {n}"),
+            );
+        }
+        push(
+            &mut out,
+            "# HELP flowgw_backend_requests_total Job attempts per backend.".into(),
+        );
+        push(
+            &mut out,
+            "# TYPE flowgw_backend_requests_total counter".into(),
+        );
+        for b in &self.backends {
+            push(
+                &mut out,
+                format!(
+                    "flowgw_backend_requests_total{{backend=\"{}\"}} {}",
+                    b.addr, b.requests
+                ),
+            );
+        }
+        push(
+            &mut out,
+            "# TYPE flowgw_backend_failures_total counter".into(),
+        );
+        for b in &self.backends {
+            push(
+                &mut out,
+                format!(
+                    "flowgw_backend_failures_total{{backend=\"{}\"}} {}",
+                    b.addr, b.failures
+                ),
+            );
+        }
+        push(
+            &mut out,
+            "# HELP flowgw_backend_failovers_total Attempts re-routed here from a dead peer."
+                .into(),
+        );
+        push(
+            &mut out,
+            "# TYPE flowgw_backend_failovers_total counter".into(),
+        );
+        for b in &self.backends {
+            push(
+                &mut out,
+                format!(
+                    "flowgw_backend_failovers_total{{backend=\"{}\"}} {}",
+                    b.addr, b.failovers
+                ),
+            );
+        }
+        push(&mut out, "# TYPE flowgw_backend_in_flight gauge".into());
+        for b in &self.backends {
+            push(
+                &mut out,
+                format!(
+                    "flowgw_backend_in_flight{{backend=\"{}\"}} {}",
+                    b.addr, b.in_flight
+                ),
+            );
+        }
+        push(
+            &mut out,
+            "# HELP flowgw_backend_healthy Last probe ok and breaker not open.".into(),
+        );
+        push(&mut out, "# TYPE flowgw_backend_healthy gauge".into());
+        for b in &self.backends {
+            push(
+                &mut out,
+                format!(
+                    "flowgw_backend_healthy{{backend=\"{}\"}} {}",
+                    b.addr,
+                    u64::from(b.healthy)
+                ),
+            );
+        }
+        push(
+            &mut out,
+            "# HELP flowgw_breaker_state 0=closed 1=half-open 2=open.".into(),
+        );
+        push(&mut out, "# TYPE flowgw_breaker_state gauge".into());
+        for b in &self.backends {
+            let code = match b.breaker {
+                "closed" => 0,
+                "half-open" => 1,
+                _ => 2,
+            };
+            push(
+                &mut out,
+                format!("flowgw_breaker_state{{backend=\"{}\"}} {code}", b.addr),
+            );
+        }
+        push(
+            &mut out,
+            "# TYPE flowgw_breaker_transitions_total counter".into(),
+        );
+        for b in &self.backends {
+            for (to, n) in [
+                ("open", b.breaker_transitions.opened),
+                ("half-open", b.breaker_transitions.half_opened),
+                ("closed", b.breaker_transitions.closed),
+            ] {
+                push(
+                    &mut out,
+                    format!(
+                        "flowgw_breaker_transitions_total{{backend=\"{}\",to=\"{to}\"}} {n}",
+                        b.addr
+                    ),
+                );
+            }
+        }
+        push(
+            &mut out,
+            "# HELP flowgw_tenant_jobs_total Per-tenant admission outcomes.".into(),
+        );
+        push(&mut out, "# TYPE flowgw_tenant_jobs_total counter".into());
+        for (tenant, c) in &self.tenants {
+            for (state, n) in [
+                ("admitted", c.admitted),
+                ("queued", c.queued),
+                ("shed", c.shed),
+            ] {
+                push(
+                    &mut out,
+                    format!(
+                        "flowgw_tenant_jobs_total{{tenant=\"{tenant}\",state=\"{state}\"}} {n}"
+                    ),
+                );
+            }
+        }
+        push(&mut out, "# TYPE flowgw_admission_inflight gauge".into());
+        push(
+            &mut out,
+            format!("flowgw_admission_inflight {}", self.admission_inflight),
+        );
+        push(&mut out, "# TYPE flowgw_admission_queued gauge".into());
+        push(
+            &mut out,
+            format!("flowgw_admission_queued {}", self.admission_queued),
+        );
+        if let Some((memory_hits, disk_hits, misses)) = self.cache {
+            push(
+                &mut out,
+                "# HELP flowgw_cache_hits_total Backend stage-cache hits by tier (aggregated)."
+                    .into(),
+            );
+            push(&mut out, "# TYPE flowgw_cache_hits_total counter".into());
+            push(
+                &mut out,
+                format!("flowgw_cache_hits_total{{tier=\"memory\"}} {memory_hits}"),
+            );
+            push(
+                &mut out,
+                format!("flowgw_cache_hits_total{{tier=\"disk\"}} {disk_hits}"),
+            );
+            push(&mut out, "# TYPE flowgw_cache_misses_total counter".into());
+            push(&mut out, format!("flowgw_cache_misses_total {misses}"));
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -597,6 +912,92 @@ mod tests {
         assert!(text.contains("flowd_store_disk_hits_total 8"));
         assert!(text.contains("flowd_cache_hits_total{tier=\"memory\"} 0"));
         // Every line is a comment or `name{labels} value`.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.split(' ').count() == 2,
+                "malformed exposition line: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn gateway_snapshot_renders_both_shapes() {
+        let snap = GatewaySnapshot {
+            jobs: GatewayJobCounters {
+                submitted: 5,
+                completed: 4,
+                failed: 0,
+                shed: 1,
+                timed_out: 0,
+            },
+            backends: vec![
+                BackendSnapshot {
+                    addr: "127.0.0.1:9101".into(),
+                    healthy: true,
+                    breaker: "closed",
+                    breaker_transitions: BreakerCounters::default(),
+                    in_flight: 1,
+                    requests: 3,
+                    failures: 0,
+                    failovers: 0,
+                },
+                BackendSnapshot {
+                    addr: "127.0.0.1:9102".into(),
+                    healthy: false,
+                    breaker: "open",
+                    breaker_transitions: BreakerCounters {
+                        opened: 1,
+                        half_opened: 0,
+                        closed: 0,
+                    },
+                    in_flight: 0,
+                    requests: 2,
+                    failures: 1,
+                    failovers: 1,
+                },
+            ],
+            tenants: vec![(
+                "acme".to_string(),
+                TenantCounters {
+                    admitted: 4,
+                    queued: 2,
+                    shed: 1,
+                },
+            )],
+            admission_inflight: 1,
+            admission_queued: 0,
+            max_inflight: 8,
+            queue_bound: 16,
+            cache: Some((10, 2, 3)),
+        };
+        assert_eq!(snap.failover_total(), 1);
+
+        let js = snap.to_json();
+        assert_eq!(js["role"].as_str(), Some("gateway"));
+        assert_eq!(js["jobs"]["failovers"].as_u64(), Some(1));
+        assert_eq!(js["backends"][1]["breaker"].as_str(), Some("open"));
+        assert_eq!(
+            js["backends"][1]["breaker_transitions"]["opened"].as_u64(),
+            Some(1)
+        );
+        assert_eq!(js["tenants"]["acme"]["shed"].as_u64(), Some(1));
+        // The aggregated cache object matches the daemon's field names,
+        // so cache-aware clients work unchanged through the gateway.
+        assert_eq!(js["cache"]["memory_hits"].as_u64(), Some(10));
+        assert_eq!(js["cache"]["disk_hits"].as_u64(), Some(2));
+        assert_eq!(js["cache"]["misses"].as_u64(), Some(3));
+
+        let text = snap.to_prometheus_text();
+        assert!(text.contains("flowgw_jobs_total{state=\"shed\"} 1"));
+        assert!(text.contains("flowgw_backend_failovers_total{backend=\"127.0.0.1:9102\"} 1"));
+        assert!(text.contains("flowgw_breaker_state{backend=\"127.0.0.1:9102\"} 2"));
+        assert!(text.contains(
+            "flowgw_breaker_transitions_total{backend=\"127.0.0.1:9102\",to=\"open\"} 1"
+        ));
+        assert!(text.contains("flowgw_tenant_jobs_total{tenant=\"acme\",state=\"admitted\"} 4"));
+        assert!(text.contains("flowgw_backend_healthy{backend=\"127.0.0.1:9101\"} 1"));
+        assert!(text.contains("flowgw_cache_hits_total{tier=\"memory\"} 10"));
+        // Same exposition-format invariant as the daemon family.
         for line in text.lines() {
             assert!(
                 line.starts_with('#') || line.split(' ').count() == 2,

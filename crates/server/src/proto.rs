@@ -30,7 +30,12 @@ use serde_json::Value;
 ///   and typed `diagnostics` riding `done` and `error` events. All
 ///   additions are optional fields or new verbs, so version-2 peers
 ///   interoperate unchanged.
-pub const PROTO_VERSION: u64 = 3;
+/// * 4 — compile farm: optional `tenant` on `compile`/`lint` (fair-share
+///   accounting at the gateway; version-3 daemons ignore the unknown
+///   field), and the `status` verb + event (node health — on `flowd` its
+///   queue/worker state, on `flow-gateway` the per-backend breaker
+///   table). Wire-compatible with version 3 in both directions.
+pub const PROTO_VERSION: u64 = 4;
 
 /// Source language of a submitted design.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -64,6 +69,10 @@ pub struct CompileRequest {
     /// Ask the server to record a per-stage trace and attach the span
     /// tree to the `done` event.
     pub trace: bool,
+    /// Who is asking, for fair-share accounting at the gateway. Optional
+    /// and advisory: `flowd` itself ignores it, and version-3 peers drop
+    /// it as an unknown field (proto 4).
+    pub tenant: Option<String>,
 }
 
 impl CompileRequest {
@@ -76,6 +85,7 @@ impl CompileRequest {
             options: Value::Null,
             deadline_ms: None,
             trace: false,
+            tenant: None,
         }
     }
 
@@ -107,6 +117,9 @@ pub enum Request {
         text: bool,
     },
     Shutdown,
+    /// Node health: on `flowd`, queue depth and worker state; on
+    /// `flow-gateway`, the per-backend health/breaker/queue table.
+    Status,
     Compile(Box<CompileRequest>),
     /// Deep design-rule check: same submission shape as `compile`
     /// (source, options, deadline), but the job runs the lint driver —
@@ -136,6 +149,9 @@ impl Request {
             Request::Shutdown => {
                 obj.insert("cmd".into(), "shutdown".into());
             }
+            Request::Status => {
+                obj.insert("cmd".into(), "status".into());
+            }
             Request::Compile(c) | Request::Lint(c) => {
                 let cmd = if matches!(self, Request::Compile(_)) {
                     "compile"
@@ -153,6 +169,9 @@ impl Request {
                 }
                 if c.trace {
                     obj.insert("trace".into(), true.into());
+                }
+                if let Some(tenant) = &c.tenant {
+                    obj.insert("tenant".into(), tenant.clone().into());
                 }
             }
         }
@@ -186,6 +205,7 @@ pub fn parse_request_value(v: &Value) -> Result<Request, String> {
             Ok(Request::Metrics { text })
         }
         "shutdown" => Ok(Request::Shutdown),
+        "status" => Ok(Request::Status),
         "compile" | "lint" => {
             let format = match v.get("format").and_then(Value::as_str) {
                 Some("vhdl") | None => SourceFormat::Vhdl,
@@ -213,12 +233,21 @@ pub fn parse_request_value(v: &Value) -> Result<Request, String> {
                     .as_bool()
                     .ok_or_else(|| "trace must be a boolean".to_string())?,
             };
+            let tenant = match v.get("tenant") {
+                None | Some(Value::Null) => None,
+                Some(t) => Some(
+                    t.as_str()
+                        .ok_or_else(|| "tenant must be a string".to_string())?
+                        .to_string(),
+                ),
+            };
             let req = Box::new(CompileRequest {
                 format,
                 source,
                 options,
                 deadline_ms,
                 trace,
+                tenant,
             });
             Ok(if cmd == "lint" {
                 Request::Lint(req)
@@ -305,6 +334,10 @@ pub enum Event {
     /// Full metrics body (JSON or `{"format":"text","text":...}`),
     /// including its `"event":"metrics"` marker.
     Metrics(Value),
+    /// Full status body (node health), including its `"event":"status"`
+    /// marker. Opaque like `Stats`/`Metrics`: the serving node assembles
+    /// it from live state, the protocol layer only frames it.
+    Status(Value),
     /// Ack of `shutdown`: the queue is already draining.
     ShuttingDown,
     /// Compile accepted; stage events for `job` follow.
@@ -381,11 +414,11 @@ impl Event {
                 obj.insert("version".into(), version.clone().into());
                 obj.insert("proto_version".into(), (*proto_version).into());
             }
-            Event::Stats(body) | Event::Metrics(body) => {
-                let marker = if matches!(self, Event::Stats(_)) {
-                    "stats"
-                } else {
-                    "metrics"
+            Event::Stats(body) | Event::Metrics(body) | Event::Status(body) => {
+                let marker = match self {
+                    Event::Stats(_) => "stats",
+                    Event::Metrics(_) => "metrics",
+                    _ => "status",
                 };
                 match body {
                     Value::Object(map) => {
@@ -567,6 +600,7 @@ pub fn parse_event(v: &Value) -> Result<Event, EventParseError> {
         }),
         "stats" => Ok(Event::Stats(v.clone())),
         "metrics" => Ok(Event::Metrics(v.clone())),
+        "status" => Ok(Event::Status(v.clone())),
         "shutting_down" => Ok(Event::ShuttingDown),
         "queued" => Ok(Event::Queued { job: job(v)? }),
         "rejected" => Ok(Event::Rejected {
@@ -798,12 +832,14 @@ mod tests {
             Request::Metrics { text: true },
             Request::Metrics { text: false },
             Request::Shutdown,
+            Request::Status,
             Request::Compile(Box::new({
                 let mut c = CompileRequest::new(SourceFormat::Blif, ".model m")
                     .with_options(serde_json::json!({"place_seed": 3}))
                     .unwrap();
                 c.deadline_ms = Some(900);
                 c.trace = true;
+                c.tenant = Some("acme".into());
                 c
             })),
             Request::Lint(Box::new(
@@ -1015,6 +1051,49 @@ mod tests {
             parse_event(&serde_json::json!({"event": "queued"})),
             Err(EventParseError::Malformed(_))
         ));
+    }
+
+    #[test]
+    fn tenant_field_is_optional_and_v3_compatible() {
+        // A version-3 line (no tenant) parses with tenant = None …
+        let req = parse_request(r#"{"cmd":"compile","source":".model m"}"#).unwrap();
+        let Request::Compile(c) = req else {
+            panic!("not compile")
+        };
+        assert_eq!(c.tenant, None);
+        // … and its wire form carries no tenant key at all.
+        assert!(Request::Compile(c).to_value().get("tenant").is_none());
+        // Explicit null is the same as absent; a non-string is rejected.
+        let req = parse_request(r#"{"cmd":"lint","source":".model m","tenant":null}"#).unwrap();
+        let Request::Lint(c) = req else {
+            panic!("not lint")
+        };
+        assert_eq!(c.tenant, None);
+        assert!(parse_request(r#"{"cmd":"compile","source":"x","tenant":7}"#).is_err());
+        // Present tenant survives the round trip.
+        let req = parse_request(r#"{"cmd":"compile","source":"x","tenant":"acme"}"#).unwrap();
+        let Request::Compile(c) = req else {
+            panic!("not compile")
+        };
+        assert_eq!(c.tenant.as_deref(), Some("acme"));
+    }
+
+    #[test]
+    fn status_events_frame_their_body_like_stats() {
+        let body = serde_json::json!({
+            "event": "status", "role": "gateway",
+            "backends": serde_json::json!([
+                serde_json::json!({"addr": "127.0.0.1:9", "breaker": "open"})
+            ]),
+        });
+        let ev = Event::Status(body.clone());
+        let v = ev.to_value();
+        assert_eq!(v["event"], serde_json::json!("status"));
+        assert_eq!(v["role"], serde_json::json!("gateway"));
+        let Event::Status(back) = parse_event(&v).unwrap() else {
+            panic!("not status")
+        };
+        assert_eq!(back, v);
     }
 
     #[test]

@@ -208,6 +208,32 @@ impl Shared {
         Value::Object(root)
     }
 
+    /// The `status` verb body: a lightweight health probe — queue and
+    /// worker state without the full stats/metrics payloads. Shaped for
+    /// `flow-gateway`, which folds it into its per-backend table.
+    fn status_json(&self) -> Value {
+        serde_json::json!({
+            "event": "status",
+            "role": "flowd",
+            "version": fpga_flow::FLOW_VERSION,
+            "proto_version": PROTO_VERSION,
+            "shutting_down": self.shutting_down.load(Ordering::SeqCst),
+            "queue": serde_json::json!({
+                "depth": self.queue.len() as u64,
+                "capacity": self.config.queue_capacity as u64,
+                "peak": self.queue.peak() as u64,
+            }),
+            "workers": serde_json::json!({
+                "configured": self.config.workers.max(1) as u64,
+                "respawned": self.workers_respawned.load(Ordering::Relaxed),
+            }),
+            "connections": serde_json::json!({
+                "open": self.open_connections.load(Ordering::Relaxed),
+                "limit": self.config.max_connections as u64,
+            }),
+        })
+    }
+
     /// Gather every live counter into one [`MetricsSnapshot`] — the
     /// single source both the JSON and Prometheus-text renderings of the
     /// `metrics` verb draw from.
@@ -440,6 +466,11 @@ impl Server {
     /// Current job + cache statistics.
     pub fn stats_json(&self) -> Value {
         self.shared.stats_json()
+    }
+
+    /// The `status` verb's body: the daemon's lightweight health probe.
+    pub fn status_json(&self) -> Value {
+        self.shared.status_json()
     }
 
     /// The `metrics` verb's JSON body (histograms, cache tiers, queue
@@ -727,6 +758,10 @@ fn serve_connection<S: Read + Write + TryCloneStream>(
                     shared.metrics_json()
                 };
                 let _ = proto::write_line(&mut writer, &Event::Metrics(body).to_value());
+            }
+            Request::Status => {
+                let _ =
+                    proto::write_line(&mut writer, &Event::Status(shared.status_json()).to_value());
             }
             Request::Shutdown => {
                 // Trigger BEFORE acknowledging: once the client reads the

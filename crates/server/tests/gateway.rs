@@ -1,0 +1,316 @@
+//! Gateway integration tests: mid-job failover with an exactly-once
+//! terminal event, circuit-breaker isolation of a dead backend, and
+//! per-tenant quota shedding — all in-process, no subprocesses, no
+//! sleeps-as-synchronization (polling loops rendezvous on observable
+//! state with generous ceilings).
+
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use fpga_server::client::CompileError;
+use fpga_server::gateway::{affinity_key, affinity_order};
+use fpga_server::{
+    CompileRequest, FlowClient, Gateway, GatewayConfig, GovernorConfig, Server, ServerConfig,
+    SourceFormat,
+};
+use serde_json::Value;
+
+/// Raw protocol connection, for counting individual events.
+struct RawConn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl RawConn {
+    fn connect(addr: SocketAddr) -> RawConn {
+        let stream = TcpStream::connect(addr).expect("connect");
+        RawConn {
+            writer: stream.try_clone().expect("clone"),
+            reader: BufReader::new(stream),
+        }
+    }
+
+    fn send(&mut self, v: &Value) {
+        writeln!(self.writer, "{v}").expect("send");
+        self.writer.flush().expect("flush");
+    }
+
+    fn recv(&mut self) -> Value {
+        fpga_server::proto::read_line(&mut self.reader)
+            .expect("read event")
+            .expect("peer closed the connection")
+    }
+}
+
+fn start_flowd() -> Server {
+    Server::start(ServerConfig {
+        tcp_addr: Some("127.0.0.1:0".to_string()),
+        unix_path: None,
+        workers: 1,
+        queue_capacity: 4,
+        ..ServerConfig::default()
+    })
+    .expect("bind in-process flowd")
+}
+
+/// A backend that answers health pings but dies (drops the connection)
+/// right after streaming `queued` + one stage event of any job — the
+/// in-process stand-in for SIGKILL mid-pipeline.
+fn start_dying_backend() -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind fake backend");
+    let addr = listener.local_addr().expect("addr");
+    thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { break };
+            let Ok(mut writer) = stream.try_clone() else {
+                continue;
+            };
+            let mut reader = BufReader::new(stream);
+            let Ok(Some(req)) = fpga_server::proto::read_line(&mut reader) else {
+                continue;
+            };
+            match req.get("cmd").and_then(Value::as_str) {
+                Some("ping") => {
+                    let _ = writeln!(
+                        writer,
+                        "{}",
+                        serde_json::json!({
+                            "event": "pong",
+                            "version": "fake",
+                            "proto_version": fpga_server::PROTO_VERSION,
+                        })
+                    );
+                }
+                Some("compile") | Some("lint") => {
+                    let _ = writeln!(
+                        writer,
+                        "{}",
+                        serde_json::json!({"event": "queued", "job": 999u64})
+                    );
+                    let _ = writeln!(
+                        writer,
+                        "{}",
+                        serde_json::json!({
+                            "event": "stage",
+                            "job": 999u64,
+                            "id": "synthesis",
+                            "stage": "synthesis (fake)",
+                            "ok": true,
+                            "elapsed_ms": 0.1,
+                            "metrics": serde_json::json!({}),
+                        })
+                    );
+                    // ...and dies. Connection drops here.
+                }
+                _ => {}
+            }
+        }
+    });
+    addr
+}
+
+/// Find a design the rendezvous hash routes to `want_first` among
+/// `backends`, so failover tests start on the doomed node by
+/// construction instead of by luck.
+fn design_routed_to(backends: &[String], want_first: usize) -> String {
+    for bits in 2..32usize {
+        let source = fpga_circuits::vhdl_counter(bits);
+        let req = CompileRequest::new(SourceFormat::Vhdl, source.clone());
+        if affinity_order(&affinity_key("compile", &req), backends)[0] == want_first {
+            return source;
+        }
+    }
+    panic!("no counter design hashed to backend {want_first}");
+}
+
+#[test]
+fn mid_job_backend_death_fails_over_with_exactly_one_done() {
+    let dying = start_dying_backend();
+    let healthy = start_flowd();
+    let healthy_addr = healthy.tcp_addr().expect("tcp enabled");
+    let backends = vec![dying.to_string(), healthy_addr.to_string()];
+    let source = design_routed_to(&backends, 0);
+
+    let gateway = Gateway::start(GatewayConfig {
+        backends: backends.clone(),
+        health_interval_ms: 50,
+        ..GatewayConfig::default()
+    })
+    .expect("start gateway");
+
+    let mut conn = RawConn::connect(gateway.tcp_addr());
+    let req = CompileRequest::new(SourceFormat::Vhdl, source);
+    conn.send(&fpga_server::Request::Compile(Box::new(req)).to_value());
+
+    // Exactly one queued, exactly one terminal `done`; stage events may
+    // repeat across the failover (first attempt's partial progress, then
+    // the peer's full run).
+    let first = conn.recv();
+    assert_eq!(first.get("event").and_then(Value::as_str), Some("queued"));
+    let gateway_job = first.get("job").and_then(Value::as_u64).expect("job id");
+    let mut dones = 0;
+    let mut stages = 0;
+    loop {
+        let ev = conn.recv();
+        assert_eq!(
+            ev.get("job").and_then(Value::as_u64),
+            Some(gateway_job),
+            "every forwarded event carries the gateway's job id: {ev}"
+        );
+        match ev.get("event").and_then(Value::as_str) {
+            Some("stage") => stages += 1,
+            Some("done") => {
+                dones += 1;
+                break;
+            }
+            other => panic!("unexpected event {other:?}: {ev}"),
+        }
+    }
+    assert_eq!(dones, 1);
+    assert!(
+        stages >= 9,
+        "one fake stage + the peer's full 8-stage run, got {stages}"
+    );
+    // The stream is silent after the terminal: a ping answers next, so
+    // no second `done` (or any stray event) is queued behind it.
+    conn.send(&serde_json::json!({"cmd": "ping"}));
+    let after = conn.recv();
+    assert_eq!(
+        after.get("event").and_then(Value::as_str),
+        Some("pong"),
+        "stray event after the terminal: {after}"
+    );
+
+    let metrics = gateway.metrics_json();
+    assert_eq!(metrics["jobs"]["completed"].as_u64(), Some(1));
+    assert!(
+        metrics["jobs"]["failovers"].as_u64() >= Some(1),
+        "failover counted: {metrics}"
+    );
+    let by_addr = |addr: &str| -> &Value {
+        metrics["backends"]
+            .as_array()
+            .expect("backends array")
+            .iter()
+            .find(|b| b["addr"].as_str() == Some(addr))
+            .expect("backend row")
+    };
+    assert!(by_addr(&backends[0])["failures"].as_u64() >= Some(1));
+    assert!(by_addr(&backends[1])["failovers"].as_u64() >= Some(1));
+
+    gateway.shutdown();
+    healthy.shutdown();
+}
+
+#[test]
+fn dead_backend_opens_its_breaker_and_jobs_shed_fast() {
+    // A bound-then-dropped listener: connecting to it refuses.
+    let dead_addr = {
+        let l = TcpListener::bind("127.0.0.1:0").expect("bind");
+        l.local_addr().expect("addr").to_string()
+    };
+    let gateway = Gateway::start(GatewayConfig {
+        backends: vec![dead_addr.clone()],
+        health_interval_ms: 25,
+        probe_timeout_ms: 200,
+        breaker_threshold: 1,
+        breaker_reopen_ms: 120_000, // stays open for the whole test
+        ..GatewayConfig::default()
+    })
+    .expect("start gateway");
+
+    // Health probes trip the breaker without any job traffic.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let status = gateway.status_json();
+        if status["backends"][0]["breaker"].as_str() == Some("open") {
+            assert_eq!(status["backends"][0]["healthy"].as_bool(), Some(false));
+            break;
+        }
+        assert!(Instant::now() < deadline, "breaker never opened: {status}");
+        thread::sleep(Duration::from_millis(10));
+    }
+
+    // With the only backend isolated, a job sheds instead of hanging.
+    let mut conn = RawConn::connect(gateway.tcp_addr());
+    let req = CompileRequest::new(SourceFormat::Vhdl, fpga_circuits::vhdl_counter(2));
+    conn.send(&fpga_server::Request::Compile(Box::new(req)).to_value());
+    assert_eq!(
+        conn.recv().get("event").and_then(Value::as_str),
+        Some("queued")
+    );
+    let verdict = conn.recv();
+    assert_eq!(
+        verdict.get("event").and_then(Value::as_str),
+        Some("rejected"),
+        "shed, not hung: {verdict}"
+    );
+    assert!(
+        verdict
+            .get("retry_after_ms")
+            .and_then(Value::as_u64)
+            .is_some(),
+        "shed responses carry a retry hint: {verdict}"
+    );
+
+    let metrics = gateway.metrics_json();
+    assert!(metrics["jobs"]["shed"].as_u64() >= Some(1));
+    assert!(
+        metrics["backends"][0]["breaker_transitions"]["opened"].as_u64() >= Some(1),
+        "breaker transition counted: {metrics}"
+    );
+    gateway.shutdown();
+}
+
+#[test]
+fn tenant_quotas_shed_the_hog_but_not_the_neighbor() {
+    let backend = start_flowd();
+    let backend_addr = backend.tcp_addr().expect("tcp enabled");
+    let gateway = Gateway::start(GatewayConfig {
+        backends: vec![backend_addr.to_string()],
+        governor: GovernorConfig {
+            max_inflight: 4,
+            queue_bound: 0,               // no waiting room: over-quota sheds now
+            tenant_burst: 1,              // one token per tenant...
+            tenant_refill_milli_per_s: 0, // ...and no refill
+            retry_after_ms: 123,
+            weights: Vec::new(),
+        },
+        ..GatewayConfig::default()
+    })
+    .expect("start gateway");
+
+    let compile = |tenant: &str| -> Result<u64, CompileError> {
+        let mut client = FlowClient::connect_tcp(gateway.tcp_addr()).expect("connect");
+        let mut req = CompileRequest::new(SourceFormat::Vhdl, fpga_circuits::vhdl_counter(2));
+        req.tenant = Some(tenant.to_string());
+        client.compile_request(&req).map(|outcome| outcome.job)
+    };
+
+    compile("heavy").expect("first job spends heavy's only token");
+    match compile("heavy") {
+        Err(CompileError::Rejected { .. }) => {}
+        other => panic!("hog's second job must shed, got {other:?}"),
+    }
+    compile("light").expect("a different tenant has its own bucket");
+
+    let metrics = gateway.metrics_json();
+    assert_eq!(metrics["tenants"]["heavy"]["admitted"].as_u64(), Some(1));
+    assert_eq!(metrics["tenants"]["heavy"]["shed"].as_u64(), Some(1));
+    assert_eq!(metrics["tenants"]["light"]["admitted"].as_u64(), Some(1));
+    assert_eq!(metrics["tenants"]["light"]["shed"].as_u64(), Some(0));
+
+    // The gateway's status verb reports the same through the wire.
+    let mut client = FlowClient::connect_tcp(gateway.tcp_addr()).expect("connect");
+    let status = client.status().expect("status verb");
+    assert_eq!(status["role"].as_str(), Some("gateway"));
+    assert_eq!(
+        status["backends"][0]["addr"].as_str(),
+        Some(backend_addr.to_string().as_str())
+    );
+
+    gateway.shutdown();
+    backend.shutdown();
+}
