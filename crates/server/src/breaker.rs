@@ -119,6 +119,20 @@ impl CircuitBreaker {
         self.consecutive_failures = 0;
     }
 
+    /// The backend answered, but with backpressure (a queue-full
+    /// `rejected` or an `overloaded` error). It is alive, so a
+    /// half-open probe closes the breaker — otherwise the probe slot
+    /// would be held forever and the backend never retried. In any
+    /// other state this is a no-op: saturation neither counts toward
+    /// the trip threshold nor clears failures already accumulated.
+    pub fn on_saturated(&mut self) {
+        if self.state == BreakerState::HalfOpen {
+            self.counters.closed += 1;
+            self.state = BreakerState::Closed;
+            self.consecutive_failures = 0;
+        }
+    }
+
     /// A request (or health probe) against this backend failed.
     pub fn on_failure(&mut self, now_ms: u64) {
         match self.state {
@@ -201,6 +215,37 @@ mod tests {
         assert!(b.allow(202));
         let c = b.counters();
         assert_eq!((c.opened, c.half_opened, c.closed), (1, 1, 1));
+    }
+
+    #[test]
+    fn saturated_probe_releases_the_half_open_slot() {
+        let mut b = CircuitBreaker::new(1, 100, 42);
+        b.on_failure(0);
+        assert!(b.allow(200), "caller takes the probe slot");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // The backend answered `rejected`/overloaded: alive, so the
+        // breaker must close rather than camp in HalfOpen forever.
+        b.on_saturated();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allow(201), "backend is routable again");
+        assert_eq!(b.counters().closed, 1);
+    }
+
+    #[test]
+    fn saturation_is_neutral_outside_half_open() {
+        let mut b = CircuitBreaker::new(2, 100, 42);
+        b.on_failure(0);
+        b.on_saturated();
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.on_failure(1);
+        assert_eq!(
+            b.state(),
+            BreakerState::Open,
+            "saturation must not reset the failure count"
+        );
+        b.on_saturated();
+        assert_eq!(b.state(), BreakerState::Open, "no-op while Open");
+        assert!(!b.allow(50), "quiet period still holds");
     }
 
     #[test]

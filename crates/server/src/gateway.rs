@@ -63,7 +63,9 @@ pub struct GatewayConfig {
     pub jitter_seed: u64,
     /// Admission policy (quotas, fair-queue weights, bounds).
     pub governor: GovernorConfig,
-    /// Client-side guards, mirroring the daemon's.
+    /// Client-side guards, mirroring the daemon's. `idle_timeout_ms`
+    /// also bounds (plus slack) per-event backend reads for jobs with
+    /// no deadline; `None` disables both.
     pub idle_timeout_ms: Option<u64>,
     pub max_line_bytes: usize,
     pub max_connections: usize,
@@ -800,7 +802,12 @@ fn handle_job(
                 // remaining budget.
             }
             Attempt::Saturated { retry_after_ms } => {
-                // Backpressure, not death: no breaker penalty.
+                // Backpressure, not death: no breaker penalty — but the
+                // backend did answer, so if this attempt held the
+                // half-open probe slot it must be released, or the
+                // breaker camps in HalfOpen and the backend is never
+                // routed to (or probed) again.
+                backend.lock_breaker().on_saturated();
                 last_saturated = Some(retry_after_ms);
                 prior_failure = false;
             }
@@ -833,13 +840,19 @@ fn run_attempt(
     // Reads block until the backend's next event; bound them by the
     // job's remaining deadline (plus slack for the backend to notice and
     // emit its own timeout event) so a silently dead backend cannot hang
-    // the client forever.
-    let read_timeout = req
-        .deadline_ms
-        .map(|ms| ms.saturating_add(10_000))
-        .unwrap_or(330_000);
+    // the client forever. Deadline-free jobs fall back to the operator's
+    // `--idle-timeout` (plus larger slack, since a long pipeline stage
+    // legitimately emits nothing while it runs); with idle timeouts
+    // disabled, deadline-free reads are unbounded by choice.
+    let read_timeout = match req.deadline_ms {
+        Some(ms) => Some(ms.saturating_add(10_000)),
+        None => shared
+            .config
+            .idle_timeout_ms
+            .map(|ms| ms.saturating_add(30_000)),
+    };
     if stream
-        .set_read_timeout(Some(Duration::from_millis(read_timeout.max(1))))
+        .set_read_timeout(read_timeout.map(|ms| Duration::from_millis(ms.max(1))))
         .is_err()
     {
         return Attempt::Transient("set_read_timeout failed".to_string());

@@ -134,13 +134,15 @@ impl GovernorCore {
         self.next_ticket += 1;
         match self.waiters.push(tenant, ticket) {
             Ok(()) => {
-                let state = self.tenant_mut(tenant, now_ms);
-                state.counters.queued += 1;
                 // The freed slot may already be ours.
                 self.pump(now_ms);
                 if self.ready.remove(&ticket) {
                     Admission::Admitted
                 } else {
+                    // Count only jobs that actually wait — a ticket the
+                    // pump admitted in the same call never queued from
+                    // the caller's point of view.
+                    self.tenant_mut(tenant, now_ms).counters.queued += 1;
                     Admission::Queued(ticket)
                 }
             }
@@ -422,6 +424,28 @@ mod tests {
                 admitted: 1,
                 queued: 1,
                 shed: 1
+            }
+        );
+    }
+
+    #[test]
+    fn queue_transit_admission_does_not_count_as_queued() {
+        // "a" drains its bucket and parks a waiter; "b" then submits
+        // with a full bucket and free slots. The fair queue isn't
+        // empty, so "b" transits it, but the same call's pump admits
+        // the ticket — it never waited, so it must not count as queued.
+        let mut g = GovernorCore::new(config(8, 8, 1, 0));
+        assert_eq!(g.submit("a", 0), Admission::Admitted);
+        assert!(matches!(g.submit("a", 0), Admission::Queued(_)));
+        assert_eq!(g.submit("b", 0), Admission::Admitted);
+        let rows = g.tenant_snapshots();
+        let b = rows.iter().find(|(name, _)| name == "b").unwrap();
+        assert_eq!(
+            b.1,
+            TenantCounters {
+                admitted: 1,
+                queued: 0,
+                shed: 0
             }
         );
     }
