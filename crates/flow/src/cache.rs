@@ -92,6 +92,9 @@ pub enum CacheOutcome {
     MemoryHit,
     /// Served from the durable [`DiskStore`] after a memory miss.
     DiskHit,
+    /// Served from a peer's store via the remote artifact tier
+    /// ([`RemoteTier`]) after both memory and disk missed.
+    RemoteHit,
 }
 
 impl CacheOutcome {
@@ -106,21 +109,45 @@ impl CacheOutcome {
             CacheOutcome::Computed => "computed",
             CacheOutcome::MemoryHit => "memory-hit",
             CacheOutcome::DiskHit => "disk-hit",
+            CacheOutcome::RemoteHit => "remote-hit",
         }
     }
 }
 
+/// A remote source of verified stage artifacts — the farm's shared
+/// artifact tier. The cache consults it only after memory *and* disk
+/// miss, and treats it as strictly best-effort: `fetch` returning `None`
+/// (not found, transport trouble, breaker open, corrupt transfer) simply
+/// falls through to a local recompute. Implementations must therefore be
+/// *bounded* — a fetch may be slow, but never unboundedly so — and must
+/// never panic; they own their own timeouts, retries, and breakers.
+///
+/// `fetch` returns the peer's raw on-disk entry bytes (the self-verifying
+/// [`DiskStore`] format); the cache re-verifies the digest before trusting
+/// a single byte. `publish` offers a locally computed entry to the tier;
+/// it is fire-and-forget.
+pub trait RemoteTier: Send + Sync {
+    /// Fetch the raw store entry for `key`, or `None` on any miss or
+    /// failure.
+    fn fetch(&self, stage: &'static str, key: &str, kind: &'static str) -> Option<Vec<u8>>;
+
+    /// Offer a freshly computed entry to the tier (best-effort).
+    fn publish(&self, stage: &'static str, key: &str, kind: &'static str, raw: &[u8]);
+}
+
 /// Per-stage counters. `misses` counts actual computations, `hits` counts
 /// lookups served without computing — from a ready entry, from waiting
-/// out another job's in-flight computation, or from a verified disk
-/// entry. `disk_hits` attributes the subset of `hits` that came from the
-/// durable store (memory hits = `hits - disk_hits`). `wall_nanos`
-/// accumulates compute time spent on misses.
+/// out another job's in-flight computation, from a verified disk entry,
+/// or from a verified remote fetch. `disk_hits` and `remote_hits`
+/// attribute the subsets of `hits` that came from the durable store and
+/// the remote tier (memory hits = `hits - disk_hits - remote_hits`).
+/// `wall_nanos` accumulates compute time spent on misses.
 #[derive(Default)]
 pub struct StageCounters {
     pub hits: AtomicU64,
     pub misses: AtomicU64,
     pub disk_hits: AtomicU64,
+    pub remote_hits: AtomicU64,
     pub wall_nanos: AtomicU64,
 }
 
@@ -131,13 +158,14 @@ pub struct StageStats {
     pub hits: u64,
     pub misses: u64,
     pub disk_hits: u64,
+    pub remote_hits: u64,
     pub wall_nanos: u64,
 }
 
 impl StageStats {
     /// Hits served straight from the in-memory slot map.
     pub fn memory_hits(&self) -> u64 {
-        self.hits - self.disk_hits
+        self.hits - self.disk_hits - self.remote_hits
     }
 }
 
@@ -165,6 +193,7 @@ pub struct StageCache {
     clock: AtomicU64,
     capacity: Option<usize>,
     store: Option<Arc<DiskStore>>,
+    remote: Option<Arc<dyn RemoteTier>>,
     memory_evicted: AtomicU64,
 }
 
@@ -232,6 +261,15 @@ impl StageCache {
     /// cheap: the entry stays reachable on disk.
     pub fn with_capacity(mut self, cap: usize) -> Self {
         self.capacity = Some(cap.max(1));
+        self
+    }
+
+    /// Attach a remote artifact tier: a miss that also misses disk asks
+    /// peers before computing, and computed artifacts are offered back.
+    /// Requires a store ([`StageCache::with_store`]) — remote bytes are
+    /// verified and installed through it, never trusted directly.
+    pub fn with_remote(mut self, remote: Arc<dyn RemoteTier>) -> Self {
+        self.remote = Some(remote);
         self
     }
 
@@ -390,13 +428,54 @@ impl StageCache {
                     }
                 }
             }
+
+            // Disk missed too: ask the remote tier, if one is attached.
+            // Every failure mode — no peer has it, transport trouble,
+            // corrupt bytes (admit_raw quarantines them), undecodable
+            // payload — falls through to a local recompute; the remote
+            // tier can slow a job down by one bounded fetch, never fail
+            // it.
+            if let Some(remote) = &self.remote {
+                if let Some(raw) = remote.fetch(stage.name(), key, T::KIND) {
+                    if let Ok((payload, metrics_text)) = store.admit_raw(stage, key, T::KIND, &raw)
+                    {
+                        if let Ok(value) = T::from_bytes(&payload) {
+                            let metrics = serde_json::from_str::<Value>(&metrics_text)
+                                .unwrap_or_else(|_| serde_json::json!({}));
+                            let value = Arc::new(value);
+                            guard.fulfill(
+                                Arc::clone(&value) as Arc<dyn Any + Send + Sync>,
+                                metrics.clone(),
+                            );
+                            let c = &self.counters[stage.index()];
+                            c.hits.fetch_add(1, Ordering::Relaxed);
+                            c.remote_hits.fetch_add(1, Ordering::Relaxed);
+                            return Ok((value, metrics, CacheOutcome::RemoteHit));
+                        }
+                        store.quarantine(key, "remote artifact decode failed");
+                    }
+                }
+            }
         }
 
         self.compute_into(stage, guard, || {
             let (value, metrics) = compute()?;
             if let Some(store) = &self.store {
                 let metrics_text = metrics.to_string();
-                let _ = store.put(stage, key, T::KIND, &metrics_text, &value.to_bytes());
+                if store
+                    .put(stage, key, T::KIND, &metrics_text, &value.to_bytes())
+                    .is_ok()
+                {
+                    // Offer the freshly persisted entry to the farm so a
+                    // peer that inherits this job's keys finds them warm.
+                    // Reading the entry back hands the tier the exact
+                    // self-verifying bytes a fetcher would re-check.
+                    if let Some(remote) = &self.remote {
+                        if let Some(raw) = store.raw_entry(stage, key, T::KIND) {
+                            remote.publish(stage.name(), key, T::KIND, &raw);
+                        }
+                    }
+                }
             }
             Ok((value, metrics))
         })
@@ -432,6 +511,7 @@ impl StageCache {
             hits: c.hits.load(Ordering::Relaxed),
             misses: c.misses.load(Ordering::Relaxed),
             disk_hits: c.disk_hits.load(Ordering::Relaxed),
+            remote_hits: c.remote_hits.load(Ordering::Relaxed),
             wall_nanos: c.wall_nanos.load(Ordering::Relaxed),
         }
     }
@@ -479,6 +559,7 @@ impl StageCache {
                     "hits": s.hits,
                     "misses": s.misses,
                     "disk_hits": s.disk_hits,
+                    "remote_hits": s.remote_hits,
                     "wall_ms": s.wall_nanos / 1_000_000,
                 }),
             );
@@ -725,5 +806,132 @@ mod tests {
         );
         assert_eq!(store.counters().quarantined, 1);
         std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    /// An in-memory [`RemoteTier`] for tests: a shared map of raw entry
+    /// bytes, optionally corrupting everything it serves.
+    struct MapTier {
+        entries: Mutex<HashMap<String, Vec<u8>>>,
+        corrupt: bool,
+    }
+
+    impl MapTier {
+        fn new(corrupt: bool) -> Arc<Self> {
+            Arc::new(MapTier {
+                entries: Mutex::new(HashMap::new()),
+                corrupt,
+            })
+        }
+    }
+
+    impl RemoteTier for MapTier {
+        fn fetch(&self, _stage: &'static str, key: &str, _kind: &'static str) -> Option<Vec<u8>> {
+            let mut raw = self.entries.lock().unwrap().get(key).cloned()?;
+            if self.corrupt {
+                raw[0] ^= 0xff;
+            }
+            Some(raw)
+        }
+
+        fn publish(&self, _stage: &'static str, key: &str, _kind: &'static str, raw: &[u8]) {
+            self.entries
+                .lock()
+                .unwrap()
+                .insert(key.to_string(), raw.to_vec());
+        }
+    }
+
+    #[test]
+    fn remote_tier_serves_published_entries_as_remote_hits() {
+        let root_a = std::env::temp_dir().join(format!(
+            "ifdf-cache-remote-a-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let root_b = std::env::temp_dir().join(format!(
+            "ifdf-cache-remote-b-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&root_a);
+        let _ = std::fs::remove_dir_all(&root_b);
+        let tier = MapTier::new(false);
+        let key = stage_key(StageId::Verify, &["remote"]);
+
+        // Node A computes; the artifact is published to the tier.
+        let store_a = Arc::new(DiskStore::open(&root_a, None).unwrap());
+        let cache_a = StageCache::new()
+            .with_store(store_a)
+            .with_remote(Arc::clone(&tier) as Arc<dyn RemoteTier>);
+        let (_, _, outcome) = cache_a
+            .get_or_compute_artifact(StageId::Verify, &key, || {
+                Ok(((), serde_json::json!({"ok": true})))
+            })
+            .unwrap();
+        assert_eq!(outcome, CacheOutcome::Computed);
+        assert_eq!(tier.entries.lock().unwrap().len(), 1, "publish happened");
+
+        // Node B (fresh memory, fresh disk) is served remotely, no
+        // recompute; the fetched entry is installed in B's own store.
+        let store_b = Arc::new(DiskStore::open(&root_b, None).unwrap());
+        let cache_b = StageCache::new()
+            .with_store(Arc::clone(&store_b))
+            .with_remote(Arc::clone(&tier) as Arc<dyn RemoteTier>);
+        let (_, metrics, outcome) = cache_b
+            .get_or_compute_artifact::<()>(StageId::Verify, &key, || panic!("must not recompute"))
+            .unwrap();
+        assert_eq!(outcome, CacheOutcome::RemoteHit);
+        assert_eq!(metrics["ok"], serde_json::json!(true));
+        let s = cache_b.stats(StageId::Verify);
+        assert_eq!((s.hits, s.remote_hits, s.memory_hits()), (1, 1, 0));
+        assert_eq!(store_b.len(), 1, "remote hit installed locally");
+        std::fs::remove_dir_all(&root_a).unwrap();
+        std::fs::remove_dir_all(&root_b).unwrap();
+    }
+
+    #[test]
+    fn corrupt_remote_transfer_is_quarantined_and_recomputed() {
+        let root_a = std::env::temp_dir().join(format!(
+            "ifdf-cache-remote-rot-a-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let root_b = std::env::temp_dir().join(format!(
+            "ifdf-cache-remote-rot-b-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&root_a);
+        let _ = std::fs::remove_dir_all(&root_b);
+        let tier = MapTier::new(true); // serves flipped bytes
+        let key = stage_key(StageId::Verify, &["remote-rot"]);
+
+        let store_a = Arc::new(DiskStore::open(&root_a, None).unwrap());
+        let cache_a = StageCache::new()
+            .with_store(store_a)
+            .with_remote(Arc::clone(&tier) as Arc<dyn RemoteTier>);
+        cache_a
+            .get_or_compute_artifact(StageId::Verify, &key, || Ok(((), Value::Null)))
+            .unwrap();
+
+        let store_b = Arc::new(DiskStore::open(&root_b, None).unwrap());
+        let cache_b = StageCache::new()
+            .with_store(Arc::clone(&store_b))
+            .with_remote(Arc::clone(&tier) as Arc<dyn RemoteTier>);
+        let (_, _, outcome) = cache_b
+            .get_or_compute_artifact(StageId::Verify, &key, || Ok(((), Value::Null)))
+            .unwrap();
+        assert_eq!(
+            outcome,
+            CacheOutcome::Computed,
+            "corrupt transfer degrades to recompute, never an error"
+        );
+        assert_eq!(
+            store_b.counters().quarantined,
+            1,
+            "corrupt bytes were quarantined as evidence"
+        );
+        std::fs::remove_dir_all(&root_a).unwrap();
+        std::fs::remove_dir_all(&root_b).unwrap();
     }
 }

@@ -33,7 +33,7 @@ pub mod svg;
 pub mod trace;
 
 pub use artifact::Artifact;
-pub use cache::{CacheOutcome, StageCache, StageId, StageStats};
+pub use cache::{CacheOutcome, RemoteTier, StageCache, StageId, StageStats};
 pub use check::{lint_blif, lint_rtl, lint_vhdl, LintReport};
 pub use fault::{CancelReason, CancelToken, FaultAction, FaultPlan, FaultRule, Gate};
 pub use pipeline::{
@@ -41,7 +41,7 @@ pub use pipeline::{
     FlowCtx, FlowCtxBuilder, FlowOptions, FlowOptionsBuilder,
 };
 pub use report::{FlowReport, StageReport};
-pub use store::{DiskStore, LoadMiss, StoreCounters};
+pub use store::{verify_entry, DiskStore, LoadMiss, StoreCounters};
 pub use trace::{
     render_waterfall, spans_from_value, SpanId, SpanOutcome, TraceEvent, TraceLog, TraceSpan,
 };

@@ -135,19 +135,21 @@ fn is_hex_key(name: &str) -> bool {
 }
 
 fn atime_rank(path: &Path) -> u64 {
-    // Best-effort recency seed: atime where the filesystem tracks it,
-    // mtime otherwise. Only the relative order matters.
+    // Best-effort recency seed. On `noatime` mounts the access time is
+    // frozen at creation (or earlier), which would make eviction order
+    // arbitrary; the max of atime and mtime degrades to oldest-written-
+    // first there, which is the right LRU approximation. Only the
+    // relative order matters.
     let Ok(meta) = fs::metadata(path) else {
         return 0;
     };
-    let stamp = meta.accessed().or_else(|_| meta.modified());
-    match stamp {
-        Ok(t) => t
-            .duration_since(UNIX_EPOCH)
+    let as_nanos = |t: Result<SystemTime, io::Error>| {
+        t.ok()
+            .and_then(|t| t.duration_since(UNIX_EPOCH).ok())
             .map(|d| d.as_nanos() as u64)
-            .unwrap_or(0),
-        Err(_) => 0,
-    }
+            .unwrap_or(0)
+    };
+    as_nanos(meta.accessed()).max(as_nanos(meta.modified()))
 }
 
 impl DiskStore {
@@ -445,7 +447,7 @@ impl DiskStore {
             }
         }
 
-        match verify(&raw, stage, key, kind) {
+        match verify_entry(&raw, stage, key, kind) {
             Ok(ok) => {
                 self.disk_hits.fetch_add(1, Ordering::Relaxed);
                 self.touch(key);
@@ -460,6 +462,59 @@ impl DiskStore {
             Err(reason) => {
                 self.disk_misses.fetch_add(1, Ordering::Relaxed);
                 Err(self.quarantine(key, &reason))
+            }
+        }
+    }
+
+    /// Read the raw, self-verifying entry bytes for `key` — the exact
+    /// payload the remote artifact tier ships between nodes. The entry
+    /// is re-verified before it is served: a corrupt entry is
+    /// quarantined and reported as `None`, so a node can never hand a
+    /// peer bytes it would not trust itself.
+    pub fn raw_entry(&self, stage: StageId, key: &str, kind: &str) -> Option<Vec<u8>> {
+        let path = self.entry_path(key);
+        let mut raw = Vec::new();
+        File::open(&path)
+            .and_then(|mut f| f.read_to_end(&mut raw))
+            .ok()?;
+        match verify_entry(&raw, stage, key, kind) {
+            Ok(_) => {
+                self.touch(key);
+                Some(raw)
+            }
+            Err(reason) => {
+                self.quarantine(key, &reason);
+                None
+            }
+        }
+    }
+
+    /// Verify raw entry bytes received from a peer and, on success,
+    /// install them locally (atomic, best-effort — an install failure
+    /// still returns the verified payload). On verification failure the
+    /// bytes are written to quarantine as evidence and counted, and the
+    /// reason is returned — the caller treats that as a miss, never an
+    /// error.
+    pub fn admit_raw(
+        &self,
+        stage: StageId,
+        key: &str,
+        kind: &str,
+        raw: &[u8],
+    ) -> Result<(Vec<u8>, String), String> {
+        match verify_entry(raw, stage, key, kind) {
+            Ok((payload, metrics)) => {
+                // Re-encoding from the verified parts is deterministic,
+                // so the installed entry is byte-identical to `raw`.
+                let _ = self.put(stage, key, kind, &metrics, &payload);
+                Ok((payload, metrics))
+            }
+            Err(reason) => {
+                let to = self.quarantine_path(key);
+                let _ = fs::write(&to, raw);
+                self.quarantined.fetch_add(1, Ordering::Relaxed);
+                self.trim_quarantine();
+                Err(reason)
             }
         }
     }
@@ -538,9 +593,17 @@ impl DiskStore {
     }
 }
 
-/// Verify a raw entry against what the caller expects. Pure so it can be
-/// tested without touching a filesystem.
-fn verify(raw: &[u8], stage: StageId, key: &str, kind: &str) -> Result<(Vec<u8>, String), String> {
+/// Verify a raw entry against what the caller expects: magic, header and
+/// flow versions, stage, key, kind, and the recomputed payload digest
+/// must all match. Pure so it can be tested without touching a
+/// filesystem — and public so the remote artifact tier can re-verify
+/// fetched bytes before trusting them.
+pub fn verify_entry(
+    raw: &[u8],
+    stage: StageId,
+    key: &str,
+    kind: &str,
+) -> Result<(Vec<u8>, String), String> {
     let mut r = ByteReader::new(raw);
     let parse = (|| {
         let magic = r.take(MAGIC.len())?;
@@ -840,6 +903,74 @@ mod tests {
             "quarantine grew past its cap mid-run: {survivors} files"
         );
         fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn raw_entry_round_trips_through_admit_raw() {
+        let root_a = tmp_root("rawa");
+        let root_b = tmp_root("rawb");
+        let a = DiskStore::open(&root_a, None).unwrap();
+        let b = DiskStore::open(&root_b, None).unwrap();
+        let key = key_for(StageId::Route, "ship");
+        a.put(StageId::Route, &key, "routed-design", "{\"w\":9}", b"tree")
+            .unwrap();
+
+        let raw = a.raw_entry(StageId::Route, &key, "routed-design").unwrap();
+        let (payload, metrics) = b
+            .admit_raw(StageId::Route, &key, "routed-design", &raw)
+            .unwrap();
+        assert_eq!(payload, b"tree");
+        assert_eq!(metrics, "{\"w\":9}");
+        // The admitted entry is a first-class local entry now.
+        let (payload, _) = b.load(StageId::Route, &key, "routed-design").unwrap();
+        assert_eq!(payload, b"tree");
+        // And byte-identical to the original (deterministic encoding).
+        assert_eq!(
+            b.raw_entry(StageId::Route, &key, "routed-design").unwrap(),
+            raw
+        );
+        fs::remove_dir_all(&root_a).unwrap();
+        fs::remove_dir_all(&root_b).unwrap();
+    }
+
+    #[test]
+    fn corrupt_admit_raw_is_refused_and_quarantined() {
+        let root_a = tmp_root("rawrot-a");
+        let root_b = tmp_root("rawrot-b");
+        let a = DiskStore::open(&root_a, None).unwrap();
+        let b = DiskStore::open(&root_b, None).unwrap();
+        let key = key_for(StageId::Bitstream, "rot");
+        a.put(StageId::Bitstream, &key, "bitstream", "{}", b"frames")
+            .unwrap();
+        let pristine = a.raw_entry(StageId::Bitstream, &key, "bitstream").unwrap();
+
+        // Every single-byte flip of the transfer is caught.
+        for i in [0, pristine.len() / 2, pristine.len() - 1] {
+            let mut bad = pristine.clone();
+            bad[i] ^= 0x01;
+            assert!(
+                b.admit_raw(StageId::Bitstream, &key, "bitstream", &bad)
+                    .is_err(),
+                "flip at byte {i} admitted"
+            );
+        }
+        // A truncated transfer too.
+        assert!(b
+            .admit_raw(
+                StageId::Bitstream,
+                &key,
+                "bitstream",
+                &pristine[..pristine.len() - 2]
+            )
+            .is_err());
+        assert_eq!(b.counters().quarantined, 4, "evidence kept and counted");
+        assert_eq!(b.len(), 0, "nothing was installed");
+        assert_eq!(
+            b.load(StageId::Bitstream, &key, "bitstream"),
+            Err(LoadMiss::Absent)
+        );
+        fs::remove_dir_all(&root_a).unwrap();
+        fs::remove_dir_all(&root_b).unwrap();
     }
 
     #[test]

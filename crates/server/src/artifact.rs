@@ -1,0 +1,329 @@
+//! Daemon-side client for the farm's shared artifact tier.
+//!
+//! When `flowd` runs with `--artifact-gateway`, its stage cache gets a
+//! [`RemoteTierClient`] as its [`RemoteTier`]: on a local miss the cache
+//! asks the gateway (`artifact_get`) whether an affinity peer already
+//! holds the stage's raw store entry, and after a local compute it
+//! offers the fresh entry back (`artifact_put`).
+//!
+//! The tier is strictly best-effort, and every failure path degrades to
+//! a local recompute — never a job error:
+//!
+//! * each exchange is bounded by a connect/read/write timeout;
+//! * a fetch makes at most [`FETCH_ATTEMPTS`] attempts with capped,
+//!   jittered backoff between them;
+//! * failures feed a [`CircuitBreaker`], so while the gateway is down
+//!   fetches are skipped outright (a counter, not a stall);
+//! * fetched bytes are *not* trusted here — the cache re-verifies the
+//!   entry's digest via `DiskStore::admit_raw`, and a corrupt or
+//!   truncated transfer is quarantined and treated as a miss.
+//!
+//! Worst case, a fetch costs `FETCH_ATTEMPTS` timed-out exchanges plus
+//! one capped backoff sleep — a few seconds at the default 1s timeout —
+//! after which the stage computes locally inside whatever deadline the
+//! job still has. The deadline check runs at stage boundaries either
+//! way, so the artifact tier can delay a job, never wedge it.
+
+use std::io::{self, BufReader};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use fpga_flow::RemoteTier;
+use serde_json::Value;
+
+use crate::breaker::CircuitBreaker;
+use crate::metrics::RemoteTierCounters;
+use crate::proto::{self, ReadLineError, Request};
+
+/// Attempts per fetch (1 initial + 1 retry). Publishes never retry.
+pub const FETCH_ATTEMPTS: u32 = 2;
+/// First inter-attempt backoff; doubled (and jittered) up to the cap.
+const BACKOFF_BASE_MS: u64 = 50;
+const BACKOFF_CAP_MS: u64 = 250;
+/// Consecutive failures that open the breaker.
+const BREAKER_THRESHOLD: u32 = 3;
+/// Quiet period before the breaker half-opens for one probe fetch.
+const BREAKER_REOPEN_MS: u64 = 2_000;
+
+/// [`RemoteTier`] implementation speaking the proto-5 artifact verbs to
+/// a `flow-gateway`.
+pub struct RemoteTierClient {
+    gateway: String,
+    timeout: Duration,
+    max_line_bytes: usize,
+    breaker: Mutex<CircuitBreaker>,
+    rng: Mutex<u64>,
+    /// Breaker clock epoch (breakers take ms-since-start).
+    epoch: Instant,
+    fetch_hits: AtomicU64,
+    fetch_misses: AtomicU64,
+    fetch_failures: AtomicU64,
+    bytes_fetched: AtomicU64,
+    published: AtomicU64,
+    publish_failures: AtomicU64,
+    breaker_skips: AtomicU64,
+}
+
+impl RemoteTierClient {
+    pub fn new(gateway: String, timeout_ms: u64, max_line_bytes: usize) -> Self {
+        RemoteTierClient {
+            gateway,
+            timeout: Duration::from_millis(timeout_ms.max(1)),
+            max_line_bytes,
+            breaker: Mutex::new(CircuitBreaker::new(
+                BREAKER_THRESHOLD,
+                BREAKER_REOPEN_MS,
+                0x5eed_a57e,
+            )),
+            rng: Mutex::new(0x5eed_a57e),
+            epoch: Instant::now(),
+            fetch_hits: AtomicU64::new(0),
+            fetch_misses: AtomicU64::new(0),
+            fetch_failures: AtomicU64::new(0),
+            bytes_fetched: AtomicU64::new(0),
+            published: AtomicU64::new(0),
+            publish_failures: AtomicU64::new(0),
+            breaker_skips: AtomicU64::new(0),
+        }
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    fn lock_breaker(&self) -> MutexGuard<'_, CircuitBreaker> {
+        self.breaker
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn next_rand(&self) -> u64 {
+        let mut state = self
+            .rng
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let mut x = *state | 1;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *state = x;
+        x
+    }
+
+    /// One timed request/reply exchange with the gateway.
+    fn exchange(&self, req: &Request) -> io::Result<Value> {
+        let sock = self.gateway.to_socket_addrs()?.next().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::AddrNotAvailable,
+                "gateway resolves to nothing",
+            )
+        })?;
+        let stream = TcpStream::connect_timeout(&sock, self.timeout)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        let mut writer = stream.try_clone()?;
+        let mut reader = BufReader::new(stream);
+        proto::write_line(&mut writer, &req.to_value())?;
+        match proto::read_line_limited(&mut reader, self.max_line_bytes) {
+            Ok(Some(v)) => Ok(v),
+            Ok(None) => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "gateway closed",
+            )),
+            Err(ReadLineError::TooLong { limit }) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("gateway reply exceeds {limit} bytes"),
+            )),
+            Err(ReadLineError::BadJson(message)) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("gateway sent bad JSON: {message}"),
+            )),
+            Err(ReadLineError::Io(e)) => Err(e),
+        }
+    }
+
+    /// Snapshot for the daemon's `metrics` verb.
+    pub fn counters(&self) -> RemoteTierCounters {
+        RemoteTierCounters {
+            fetch_hits: self.fetch_hits.load(Ordering::Relaxed),
+            fetch_misses: self.fetch_misses.load(Ordering::Relaxed),
+            fetch_failures: self.fetch_failures.load(Ordering::Relaxed),
+            bytes_fetched: self.bytes_fetched.load(Ordering::Relaxed),
+            published: self.published.load(Ordering::Relaxed),
+            publish_failures: self.publish_failures.load(Ordering::Relaxed),
+            breaker_skips: self.breaker_skips.load(Ordering::Relaxed),
+            breaker: self.lock_breaker().state().name(),
+        }
+    }
+}
+
+/// Extract a hit's payload. Anything else — a miss, a v4 daemon's
+/// "unknown cmd" error, garbled hex — is a miss, never an error.
+fn artifact_payload(body: &Value) -> Option<Vec<u8>> {
+    if body["event"].as_str() != Some("artifact") || body["hit"].as_bool() != Some(true) {
+        return None;
+    }
+    proto::from_hex(body["data_hex"].as_str()?).ok()
+}
+
+impl RemoteTier for RemoteTierClient {
+    fn fetch(&self, stage: &'static str, key: &str, kind: &'static str) -> Option<Vec<u8>> {
+        if !self.lock_breaker().allow(self.now_ms()) {
+            self.breaker_skips.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let req = Request::ArtifactGet {
+            stage: stage.to_string(),
+            key: key.to_string(),
+            kind: kind.to_string(),
+        };
+        let mut backoff = BACKOFF_BASE_MS;
+        for attempt in 0..FETCH_ATTEMPTS {
+            if attempt > 0 {
+                let jitter = backoff / 2 + self.next_rand() % (backoff / 2 + 1);
+                std::thread::sleep(Duration::from_millis(jitter.min(BACKOFF_CAP_MS)));
+                backoff = (backoff * 2).min(BACKOFF_CAP_MS);
+                if !self.lock_breaker().allow(self.now_ms()) {
+                    break;
+                }
+            }
+            match self.exchange(&req) {
+                Ok(body) => {
+                    self.lock_breaker().on_success();
+                    if let Some(raw) = artifact_payload(&body) {
+                        self.fetch_hits.fetch_add(1, Ordering::Relaxed);
+                        self.bytes_fetched
+                            .fetch_add(raw.len() as u64, Ordering::Relaxed);
+                        return Some(raw);
+                    }
+                    self.fetch_misses.fetch_add(1, Ordering::Relaxed);
+                    return None;
+                }
+                Err(_) => {
+                    self.lock_breaker().on_failure(self.now_ms());
+                }
+            }
+        }
+        self.fetch_failures.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    fn publish(&self, stage: &'static str, key: &str, kind: &'static str, raw: &[u8]) {
+        if !self.lock_breaker().allow(self.now_ms()) {
+            self.breaker_skips.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let req = Request::ArtifactPut {
+            stage: stage.to_string(),
+            key: key.to_string(),
+            kind: kind.to_string(),
+            data_hex: proto::to_hex(raw),
+        };
+        match self.exchange(&req) {
+            Ok(body) => {
+                self.lock_breaker().on_success();
+                if body["event"].as_str() == Some("artifact_ack")
+                    && body["stored"].as_bool() == Some(true)
+                {
+                    self.published.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.publish_failures.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(_) => {
+                self.lock_breaker().on_failure(self.now_ms());
+                self.publish_failures.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::Event;
+    use std::net::TcpListener;
+
+    /// A one-shot fake gateway: accepts one connection, reads one
+    /// request line, answers with the given event, closes.
+    fn fake_gateway(reply: Event) -> String {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        std::thread::spawn(move || {
+            if let Ok((stream, _)) = listener.accept() {
+                let mut writer = stream.try_clone().expect("clone");
+                let mut reader = BufReader::new(stream);
+                let _ = proto::read_line_limited(&mut reader, 1 << 20);
+                let _ = proto::write_line(&mut writer, &reply.to_value());
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn fetch_returns_a_hit_payload_and_counts_bytes() {
+        let payload = b"raw store entry bytes".to_vec();
+        let addr = fake_gateway(Event::Artifact {
+            stage: "synthesis".into(),
+            key: "k".into(),
+            hit: true,
+            data_hex: Some(proto::to_hex(&payload)),
+        });
+        let client = RemoteTierClient::new(addr, 2_000, 1 << 20);
+        assert_eq!(client.fetch("synthesis", "k", "netlist"), Some(payload));
+        let c = client.counters();
+        assert_eq!(c.fetch_hits, 1);
+        assert_eq!(c.bytes_fetched, 21);
+        assert_eq!(c.breaker, "closed");
+    }
+
+    #[test]
+    fn fetch_treats_a_miss_reply_as_none() {
+        let addr = fake_gateway(Event::Artifact {
+            stage: "synthesis".into(),
+            key: "k".into(),
+            hit: false,
+            data_hex: None,
+        });
+        let client = RemoteTierClient::new(addr, 2_000, 1 << 20);
+        assert_eq!(client.fetch("synthesis", "k", "netlist"), None);
+        assert_eq!(client.counters().fetch_misses, 1);
+        assert_eq!(client.counters().fetch_failures, 0);
+    }
+
+    #[test]
+    fn fetch_degrades_when_the_gateway_is_down_and_breaker_opens() {
+        // Nothing listens here; connects are refused immediately.
+        let dead = {
+            let l = TcpListener::bind("127.0.0.1:0").expect("bind");
+            l.local_addr().expect("addr").to_string()
+            // listener dropped: the port is closed again
+        };
+        let client = RemoteTierClient::new(dead, 200, 1 << 20);
+        assert_eq!(client.fetch("synthesis", "k", "netlist"), None);
+        assert_eq!(client.fetch("synthesis", "k", "netlist"), None);
+        let c = client.counters();
+        assert!(c.fetch_failures >= 1, "errors counted: {c:?}");
+        // 2 attempts per fetch and a threshold of 3: by now it's open,
+        // and the next fetch is a skip, not a stall.
+        assert_eq!(c.breaker, "open");
+        assert_eq!(client.fetch("synthesis", "k", "netlist"), None);
+        assert!(client.counters().breaker_skips >= 1);
+    }
+
+    #[test]
+    fn publish_counts_ack_outcomes() {
+        let addr = fake_gateway(Event::ArtifactAck {
+            stored: true,
+            message: None,
+        });
+        let client = RemoteTierClient::new(addr, 2_000, 1 << 20);
+        client.publish("synthesis", "k", "netlist", b"bytes");
+        assert_eq!(client.counters().published, 1);
+        // Second publish hits a dead port (the fake served once).
+        client.publish("synthesis", "k", "netlist", b"bytes");
+        assert_eq!(client.counters().publish_failures, 1);
+    }
+}

@@ -21,6 +21,7 @@ usage:
                [--tenant-weight TENANT=W[,TENANT=W...]]
                [--retry-after DUR] [--idle-timeout DUR]
                [--max-line SIZE] [--max-conns N]
+               [--no-steal] [--corrupt-artifacts]
   flow-gateway --help | --version
 
 routing:
@@ -36,6 +37,12 @@ routing:
                         half-opens; actual adds up to 50% jitter
                         (default 5s)
   --jitter-seed N       pin breaker jitter for deterministic chaos runs
+  --no-steal            disable work stealing (by default an idle backend
+                        may take a queued job from a busy affinity pick
+                        so the farm's artifact tier can warm it remotely)
+  --corrupt-artifacts   test-only: flip one hex digit in every artifact
+                        payload served, to exercise the digest-verified
+                        quarantine path; never set in production
 
 admission (per-tenant fair share; tenant = request's `tenant` field,
 defaulting to \"anon\"):
@@ -190,10 +197,17 @@ fn main() {
         }
         config.max_connections = n as usize;
     }
+    if args.flags.iter().any(|f| f == "no-steal") {
+        config.steal = false;
+    }
+    if args.flags.iter().any(|f| f == "corrupt-artifacts") {
+        config.corrupt_artifacts = true;
+    }
 
     let backends = config.backends.clone();
     let gov = config.governor.clone();
     let (threshold, reopen) = (config.breaker_threshold, config.breaker_reopen_ms);
+    let (steal, corrupt) = (config.steal, config.corrupt_artifacts);
     let mut gateway = match Gateway::start(config) {
         Ok(g) => g,
         Err(e) => cli::die("flow-gateway", e),
@@ -213,6 +227,13 @@ fn main() {
         gov.tenant_burst,
         gov.tenant_refill_milli_per_s / 1_000
     );
+    eprintln!(
+        "flow-gateway artifact tier: serving peer fetches (work stealing {})",
+        if steal { "on" } else { "off" }
+    );
+    if corrupt {
+        eprintln!("flow-gateway CORRUPTING ARTIFACT TRANSFERS (test mode)");
+    }
     gateway.wait();
     eprintln!("flow-gateway stopped");
 }

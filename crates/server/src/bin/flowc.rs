@@ -283,6 +283,12 @@ fn compile(args: &cli::Args) {
     for name in &outcome.unknown_events {
         eprintln!("flowc: warning: unknown event '{name}' (daemon newer than this client?)");
     }
+    if outcome.unknown_events_dropped > 0 {
+        eprintln!(
+            "flowc: warning: {} more unknown event kinds not recorded",
+            outcome.unknown_events_dropped
+        );
+    }
     // Warn/info findings from `--lint warn|deny` runs.
     for d in &outcome.lint {
         eprintln!("{d}");
@@ -373,6 +379,12 @@ fn lint(args: &cli::Args) {
     };
     for name in &outcome.unknown_events {
         eprintln!("flowc: warning: unknown event '{name}' (daemon newer than this client?)");
+    }
+    if outcome.unknown_events_dropped > 0 {
+        eprintln!(
+            "flowc: warning: {} more unknown event kinds not recorded",
+            outcome.unknown_events_dropped
+        );
     }
     let quiet = args.flags.iter().any(|f| f == "quiet");
     if args.flags.iter().any(|f| f == "json") {

@@ -41,6 +41,7 @@ usage:
         [--max-deadline DUR] [--idle-timeout DUR] [--max-line SIZE]
         [--max-conns N] [--retry-after DUR]
         [--cache-dir DIR] [--cache-budget-mb N] [--cache-entries N]
+        [--artifact-gateway HOST:PORT] [--artifact-timeout DUR]
         [--metrics-dump] [--fault SPEC]
   flowd --help | --version
 
@@ -48,6 +49,13 @@ durations (DUR) take 250 / 250ms / 30s / 5m / 1h; sizes (SIZE) take
 512 / 64k / 8m / 2g — the same spellings flowc accepts. A DUR of 0
 disables that guard.
 
+  --artifact-gateway HOST:PORT
+                   fetch missing stage artifacts from farm peers through
+                   this gateway before recomputing (needs --cache-dir);
+                   best-effort — any remote failure degrades to local
+                   recompute within the job's deadline
+  --artifact-timeout DUR
+                   per-fetch timeout for the artifact tier (default 1s)
   --metrics-dump   after a graceful shutdown, print the final metrics
                    snapshot (Prometheus text exposition) to stdout
   --fault SPEC     test-only deterministic fault injection,
@@ -125,6 +133,8 @@ fn main() {
         "cache-dir",
         "cache-budget-mb",
         "cache-entries",
+        "artifact-gateway",
+        "artifact-timeout",
         "fault",
     ]);
     cli::handle_version("flowd", &args);
@@ -193,6 +203,21 @@ fn main() {
         }
         config.cache_entries = Some(n as usize);
     }
+    if let Some(gw) = args.options.get("artifact-gateway") {
+        if config.cache_dir.is_none() {
+            cli::die("flowd", "--artifact-gateway needs --cache-dir");
+        }
+        config.artifact_gateway = Some(gw.clone());
+    }
+    if let Some(ms) = parse_duration(&args, "artifact-timeout") {
+        if ms == 0 {
+            cli::die("flowd", "bad --artifact-timeout '0'");
+        }
+        if config.artifact_gateway.is_none() {
+            cli::die("flowd", "--artifact-timeout needs --artifact-gateway");
+        }
+        config.artifact_timeout_ms = ms;
+    }
     if let Some(spec) = args.options.get("fault") {
         match parse_fault_plan(spec) {
             Ok(plan) => config.fault = Some(Arc::new(plan)),
@@ -238,6 +263,13 @@ fn main() {
                 .map_or("unbounded".to_string(), |n| format!("{n} entries")),
         ),
         None => eprintln!("flowd durable cache: off (memory only)"),
+    }
+    match &config.artifact_gateway {
+        Some(gw) => eprintln!(
+            "flowd artifact tier: fetch via {} (timeout {} ms, best-effort)",
+            gw, config.artifact_timeout_ms
+        ),
+        None => eprintln!("flowd artifact tier: off (local cache only)"),
     }
     if config.fault.is_some() {
         eprintln!("flowd FAULT INJECTION ACTIVE (test mode)");

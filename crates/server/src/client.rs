@@ -86,8 +86,12 @@ pub struct CompileOutcome {
     /// when the compile ran with the `lint` option on).
     pub lint: Vec<Diagnostic>,
     /// Names of events this client did not recognize and skipped — a
-    /// newer server. `flowc` surfaces these as warnings.
+    /// newer server. `flowc` surfaces these as warnings. Capped at
+    /// [`MAX_UNKNOWN_EVENTS`]; the overflow is counted, not stored, so
+    /// a chatty future-version peer cannot grow client memory.
     pub unknown_events: Vec<String>,
+    /// Unknown events past the cap (skipped but not recorded by name).
+    pub unknown_events_dropped: u64,
 }
 
 /// The final state of one `lint` submission.
@@ -104,8 +108,26 @@ pub struct LintOutcome {
     pub diagnostics: Vec<Diagnostic>,
     /// The streamed `stage` events, in arrival order (wire form).
     pub stage_events: Vec<Value>,
-    /// Unknown event names skipped along the way.
+    /// Unknown event names skipped along the way (capped at
+    /// [`MAX_UNKNOWN_EVENTS`], overflow counted in
+    /// `unknown_events_dropped`).
     pub unknown_events: Vec<String>,
+    /// Unknown events past the cap (skipped but not recorded by name).
+    pub unknown_events_dropped: u64,
+}
+
+/// How many distinct unknown-event names an outcome records before it
+/// starts counting instead of storing — a misbehaving or far-future peer
+/// streaming novel events must not grow client memory without bound.
+pub const MAX_UNKNOWN_EVENTS: usize = 32;
+
+/// Record an unknown event name under the cap; past it, only count.
+fn note_unknown(names: &mut Vec<String>, dropped: &mut u64, name: String) {
+    if names.len() < MAX_UNKNOWN_EVENTS {
+        names.push(name);
+    } else {
+        *dropped += 1;
+    }
 }
 
 /// Why a compile submission did not produce a bitstream.
@@ -318,6 +340,7 @@ impl FlowClient {
         let mut job = 0u64;
         let mut stage_events = Vec::new();
         let mut unknown_events = Vec::new();
+        let mut unknown_events_dropped = 0u64;
         loop {
             let raw = self.recv()?;
             let event = match parse_event(&raw) {
@@ -326,7 +349,7 @@ impl FlowClient {
                     // A newer server sent something we don't know yet;
                     // skipping keeps the session alive, recording it
                     // lets flowc warn.
-                    unknown_events.push(name);
+                    note_unknown(&mut unknown_events, &mut unknown_events_dropped, name);
                     continue;
                 }
                 Err(e @ EventParseError::Malformed(_)) => {
@@ -357,6 +380,7 @@ impl FlowClient {
                         trace,
                         lint,
                         unknown_events,
+                        unknown_events_dropped,
                     });
                 }
                 Event::Rejected {
@@ -407,6 +431,8 @@ impl FlowClient {
                 | Event::Metrics(_)
                 | Event::Status(_)
                 | Event::ShuttingDown
+                | Event::Artifact { .. }
+                | Event::ArtifactAck { .. }
                 | Event::LintReport { .. } => {
                     return Err(CompileError::Io(io::Error::new(
                         io::ErrorKind::InvalidData,
@@ -428,12 +454,13 @@ impl FlowClient {
         let mut job = 0u64;
         let mut stage_events = Vec::new();
         let mut unknown_events = Vec::new();
+        let mut unknown_events_dropped = 0u64;
         loop {
             let raw = self.recv()?;
             let event = match parse_event(&raw) {
                 Ok(event) => event,
                 Err(EventParseError::Unknown(name)) => {
-                    unknown_events.push(name);
+                    note_unknown(&mut unknown_events, &mut unknown_events_dropped, name);
                     continue;
                 }
                 Err(e @ EventParseError::Malformed(_)) => {
@@ -459,6 +486,7 @@ impl FlowClient {
                         diagnostics,
                         stage_events,
                         unknown_events,
+                        unknown_events_dropped,
                     });
                 }
                 Event::Rejected {
@@ -507,6 +535,8 @@ impl FlowClient {
                 | Event::Metrics(_)
                 | Event::Status(_)
                 | Event::ShuttingDown
+                | Event::Artifact { .. }
+                | Event::ArtifactAck { .. }
                 | Event::Done { .. } => {
                     return Err(CompileError::Io(io::Error::new(
                         io::ErrorKind::InvalidData,

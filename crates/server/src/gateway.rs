@@ -40,7 +40,9 @@ use fpga_flow::hash::digest_hex;
 use serde_json::Value;
 
 use crate::breaker::{BreakerState, CircuitBreaker};
-use crate::metrics::{BackendSnapshot, GatewayJobCounters, GatewaySnapshot};
+use crate::metrics::{
+    BackendSnapshot, GatewayArtifactCounters, GatewayJobCounters, GatewaySnapshot,
+};
 use crate::proto::{self, CompileRequest, Event, ReadLineError, Request, PROTO_VERSION};
 use crate::tenancy::{AdmitOutcome, GovernorConfig, TenantGovernor};
 
@@ -69,6 +71,13 @@ pub struct GatewayConfig {
     pub idle_timeout_ms: Option<u64>,
     pub max_line_bytes: usize,
     pub max_connections: usize,
+    /// Route a job to an idle peer when its affinity backend is busy.
+    /// The artifact tier keeps the steal cheap: the idle peer fetches
+    /// the job's warm stage prefix remotely instead of recomputing it.
+    pub steal: bool,
+    /// Chaos hook: flip one byte of every artifact payload served
+    /// through the gateway, so receivers must quarantine and recompute.
+    pub corrupt_artifacts: bool,
 }
 
 impl Default for GatewayConfig {
@@ -85,6 +94,8 @@ impl Default for GatewayConfig {
             idle_timeout_ms: Some(300_000),
             max_line_bytes: 8 * 1024 * 1024,
             max_connections: 256,
+            steal: true,
+            corrupt_artifacts: false,
         }
     }
 }
@@ -126,17 +137,27 @@ enum JobKind {
 struct Backend {
     addr: String,
     breaker: Mutex<CircuitBreaker>,
+    /// Separate breaker for artifact fetch/put exchanges: a flaky
+    /// artifact path must never stop job routing, and vice versa.
+    fetch_breaker: Mutex<CircuitBreaker>,
     /// Last health probe succeeded.
     probe_ok: AtomicBool,
     in_flight: AtomicU64,
     requests: AtomicU64,
     failures: AtomicU64,
     failovers: AtomicU64,
+    steals: AtomicU64,
 }
 
 impl Backend {
     fn lock_breaker(&self) -> MutexGuard<'_, CircuitBreaker> {
         self.breaker
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn lock_fetch_breaker(&self) -> MutexGuard<'_, CircuitBreaker> {
+        self.fetch_breaker
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
@@ -152,6 +173,39 @@ impl Backend {
             requests: self.requests.load(Ordering::Relaxed),
             failures: self.failures.load(Ordering::Relaxed),
             failovers: self.failovers.load(Ordering::Relaxed),
+            fetch_breaker: self.lock_fetch_breaker().state().name(),
+            steals: self.steals.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Gateway-side artifact-tier traffic counters (atomics; snapshotted
+/// into [`GatewayArtifactCounters`]).
+#[derive(Default)]
+struct ArtifactStats {
+    gets: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    fetch_failures: AtomicU64,
+    puts: AtomicU64,
+    put_failures: AtomicU64,
+    bytes_served: AtomicU64,
+    bytes_stored: AtomicU64,
+    corrupted: AtomicU64,
+}
+
+impl ArtifactStats {
+    fn snapshot(&self) -> GatewayArtifactCounters {
+        GatewayArtifactCounters {
+            gets: self.gets.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            fetch_failures: self.fetch_failures.load(Ordering::Relaxed),
+            puts: self.puts.load(Ordering::Relaxed),
+            put_failures: self.put_failures.load(Ordering::Relaxed),
+            bytes_served: self.bytes_served.load(Ordering::Relaxed),
+            bytes_stored: self.bytes_stored.load(Ordering::Relaxed),
+            corrupted: self.corrupted.load(Ordering::Relaxed),
         }
     }
 }
@@ -160,6 +214,7 @@ struct Shared {
     config: GatewayConfig,
     backends: Vec<Arc<Backend>>,
     governor: Arc<TenantGovernor>,
+    artifacts: ArtifactStats,
     jobs_submitted: AtomicU64,
     jobs_completed: AtomicU64,
     jobs_failed: AtomicU64,
@@ -178,7 +233,7 @@ impl Shared {
         self.epoch.elapsed().as_millis() as u64
     }
 
-    fn snapshot(&self, cache: Option<(u64, u64, u64)>) -> GatewaySnapshot {
+    fn snapshot(&self, cache: Option<(u64, u64, u64, u64)>) -> GatewaySnapshot {
         let (inflight, queued) = self.governor.depths();
         let gov = self.governor.config();
         GatewaySnapshot {
@@ -195,6 +250,7 @@ impl Shared {
             admission_queued: queued as u64,
             max_inflight: gov.max_inflight as u64,
             queue_bound: gov.queue_bound as u64,
+            artifacts: self.artifacts.snapshot(),
             cache,
         }
     }
@@ -223,28 +279,41 @@ impl Shared {
 
     /// Aggregate the `cache` object across reachable backends so
     /// cache-aware clients see one farm-wide view.
-    fn scrape_backend_caches(&self) -> Option<(u64, u64, u64)> {
+    fn scrape_backend_caches(&self) -> Option<(u64, u64, u64, u64)> {
         let timeout = Duration::from_millis(self.config.probe_timeout_ms.max(1));
-        let mut total = (0u64, 0u64, 0u64);
+        let mut total = (0u64, 0u64, 0u64, 0u64);
         let mut any = false;
         for backend in &self.backends {
-            let Ok(body) = backend_verb(&backend.addr, &Request::Metrics { text: false }, timeout)
-            else {
+            let Ok(body) = backend_verb(
+                &backend.addr,
+                &Request::Metrics { text: false },
+                timeout,
+                self.config.max_line_bytes,
+            ) else {
                 continue;
             };
             let cache = &body["cache"];
             let get = |k: &str| cache[k].as_u64().unwrap_or(0);
             total.0 += get("memory_hits");
             total.1 += get("disk_hits");
-            total.2 += get("misses");
+            total.2 += get("remote_hits");
+            total.3 += get("misses");
             any = true;
         }
         any.then_some(total)
     }
 }
 
-/// One short request/response exchange with a backend (probe, scrape).
-fn backend_verb(addr: &str, req: &Request, timeout: Duration) -> io::Result<Value> {
+/// One short request/response exchange with a backend (probe, scrape,
+/// artifact fetch). The reply read is line-length-bounded like every
+/// other socket read in the farm — a misbehaving backend cannot balloon
+/// gateway memory with one endless line.
+fn backend_verb(
+    addr: &str,
+    req: &Request,
+    timeout: Duration,
+    max_line_bytes: usize,
+) -> io::Result<Value> {
     let sock = resolve(addr)?;
     let stream = TcpStream::connect_timeout(&sock, timeout)?;
     stream.set_read_timeout(Some(timeout))?;
@@ -252,8 +321,22 @@ fn backend_verb(addr: &str, req: &Request, timeout: Duration) -> io::Result<Valu
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
     proto::write_line(&mut writer, &req.to_value())?;
-    proto::read_line(&mut reader)?
-        .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "backend closed"))
+    match proto::read_line_limited(&mut reader, max_line_bytes) {
+        Ok(Some(v)) => Ok(v),
+        Ok(None) => Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "backend closed",
+        )),
+        Err(ReadLineError::TooLong { limit }) => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("backend reply exceeds {limit} bytes"),
+        )),
+        Err(ReadLineError::BadJson(message)) => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("backend sent bad JSON: {message}"),
+        )),
+        Err(ReadLineError::Io(e)) => Err(e),
+    }
 }
 
 fn resolve(addr: &str) -> io::Result<SocketAddr> {
@@ -295,11 +378,17 @@ impl Gateway {
                         // Distinct seed per backend: no lockstep reprobes.
                         config.jitter_seed.wrapping_add(i as u64 + 1),
                     )),
+                    fetch_breaker: Mutex::new(CircuitBreaker::new(
+                        config.breaker_threshold,
+                        config.breaker_reopen_ms,
+                        config.jitter_seed.wrapping_add(0x100 + i as u64),
+                    )),
                     probe_ok: AtomicBool::new(true),
                     in_flight: AtomicU64::new(0),
                     requests: AtomicU64::new(0),
                     failures: AtomicU64::new(0),
                     failovers: AtomicU64::new(0),
+                    steals: AtomicU64::new(0),
                 })
             })
             .collect();
@@ -308,6 +397,7 @@ impl Gateway {
             config,
             backends,
             governor,
+            artifacts: ArtifactStats::default(),
             jobs_submitted: AtomicU64::new(0),
             jobs_completed: AtomicU64::new(0),
             jobs_failed: AtomicU64::new(0),
@@ -452,7 +542,12 @@ fn health_loop(shared: &Arc<Shared>) {
                 continue;
             }
             let ok = matches!(
-                backend_verb(&backend.addr, &Request::Ping, timeout),
+                backend_verb(
+                    &backend.addr,
+                    &Request::Ping,
+                    timeout,
+                    shared.config.max_line_bytes
+                ),
                 Ok(ref v) if v["event"].as_str() == Some("pong")
             );
             backend.probe_ok.store(ok, Ordering::Relaxed);
@@ -584,7 +679,163 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
                     return;
                 }
             }
+            Request::ArtifactGet { stage, key, kind } => {
+                let event = handle_artifact_get(shared, &stage, &key, &kind);
+                let _ = proto::write_line(&mut writer, &event.to_value());
+            }
+            Request::ArtifactPut {
+                stage,
+                key,
+                kind,
+                data_hex,
+            } => {
+                let event = handle_artifact_put(shared, &stage, &key, &kind, &data_hex);
+                let _ = proto::write_line(&mut writer, &event.to_value());
+            }
         }
+    }
+}
+
+/// Serve an `artifact_get` by asking affinity peers, best-ranked first,
+/// each behind its own fetch breaker. Every failure mode — no backend,
+/// breaker open, exchange error, peer without the entry — collapses to
+/// a `hit=false` reply; the requesting daemon then recomputes locally,
+/// never errors.
+fn handle_artifact_get(shared: &Arc<Shared>, stage: &str, key: &str, kind: &str) -> Event {
+    shared.artifacts.gets.fetch_add(1, Ordering::Relaxed);
+    let timeout = Duration::from_millis(shared.config.probe_timeout_ms.max(1));
+    let req = Request::ArtifactGet {
+        stage: stage.to_string(),
+        key: key.to_string(),
+        kind: kind.to_string(),
+    };
+    for &i in &affinity_order(key, &shared.config.backends) {
+        let backend = &shared.backends[i];
+        if !backend.lock_fetch_breaker().allow(shared.now_ms()) {
+            continue;
+        }
+        match backend_verb(&backend.addr, &req, timeout, shared.config.max_line_bytes) {
+            Ok(body) => {
+                // Any well-formed answer counts as a live backend — a
+                // version-4 daemon's "unknown cmd" error is just a miss.
+                backend.lock_fetch_breaker().on_success();
+                if body["event"].as_str() == Some("artifact") && body["hit"].as_bool() == Some(true)
+                {
+                    if let Some(data_hex) = body["data_hex"].as_str() {
+                        let mut data_hex = data_hex.to_string();
+                        if shared.config.corrupt_artifacts {
+                            corrupt_hex(&mut data_hex);
+                            shared.artifacts.corrupted.fetch_add(1, Ordering::Relaxed);
+                        }
+                        shared.artifacts.hits.fetch_add(1, Ordering::Relaxed);
+                        shared
+                            .artifacts
+                            .bytes_served
+                            .fetch_add((data_hex.len() / 2) as u64, Ordering::Relaxed);
+                        return Event::Artifact {
+                            stage: stage.to_string(),
+                            key: key.to_string(),
+                            hit: true,
+                            data_hex: Some(data_hex),
+                        };
+                    }
+                }
+            }
+            Err(_) => {
+                shared
+                    .artifacts
+                    .fetch_failures
+                    .fetch_add(1, Ordering::Relaxed);
+                backend.lock_fetch_breaker().on_failure(shared.now_ms());
+            }
+        }
+    }
+    shared.artifacts.misses.fetch_add(1, Ordering::Relaxed);
+    Event::Artifact {
+        stage: stage.to_string(),
+        key: key.to_string(),
+        hit: false,
+        data_hex: None,
+    }
+}
+
+/// Replicas an `artifact_put` fans out to: two affinity peers, so the
+/// entry survives one node's SIGKILL and the next fetch for it still
+/// lands warm.
+const PUT_REPLICAS: usize = 2;
+
+/// Serve an `artifact_put` by replicating to the first
+/// [`PUT_REPLICAS`] fetch-breaker-admitted peers in affinity order.
+/// Best-effort: the ack reports whether *any* replica stored it, and
+/// the publishing daemon ignores even that — publish failures only
+/// show in counters.
+fn handle_artifact_put(
+    shared: &Arc<Shared>,
+    stage: &str,
+    key: &str,
+    kind: &str,
+    data_hex: &str,
+) -> Event {
+    shared.artifacts.puts.fetch_add(1, Ordering::Relaxed);
+    shared
+        .artifacts
+        .bytes_stored
+        .fetch_add((data_hex.len() / 2) as u64, Ordering::Relaxed);
+    let timeout = Duration::from_millis(shared.config.probe_timeout_ms.max(1));
+    let req = Request::ArtifactPut {
+        stage: stage.to_string(),
+        key: key.to_string(),
+        kind: kind.to_string(),
+        data_hex: data_hex.to_string(),
+    };
+    let mut stored = 0usize;
+    let mut attempted = 0usize;
+    for &i in &affinity_order(key, &shared.config.backends) {
+        if attempted >= PUT_REPLICAS {
+            break;
+        }
+        let backend = &shared.backends[i];
+        if !backend.lock_fetch_breaker().allow(shared.now_ms()) {
+            continue;
+        }
+        attempted += 1;
+        match backend_verb(&backend.addr, &req, timeout, shared.config.max_line_bytes) {
+            Ok(body) => {
+                backend.lock_fetch_breaker().on_success();
+                if body["event"].as_str() == Some("artifact_ack")
+                    && body["stored"].as_bool() == Some(true)
+                {
+                    stored += 1;
+                } else {
+                    shared
+                        .artifacts
+                        .put_failures
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(_) => {
+                shared
+                    .artifacts
+                    .put_failures
+                    .fetch_add(1, Ordering::Relaxed);
+                backend.lock_fetch_breaker().on_failure(shared.now_ms());
+            }
+        }
+    }
+    Event::ArtifactAck {
+        stored: stored > 0,
+        message: (stored == 0).then(|| "no backend stored the artifact".to_string()),
+    }
+}
+
+/// Flip the payload's first byte while keeping the hex well-formed, so
+/// the receiver's digest verification — not its hex decoder — is what
+/// catches the corruption.
+fn corrupt_hex(s: &mut String) {
+    if s.starts_with('0') {
+        s.replace_range(0..1, "1");
+    } else if !s.is_empty() {
+        s.replace_range(0..1, "0");
     }
 }
 
@@ -724,6 +975,30 @@ fn handle_job(
             .iter()
             .copied()
             .find(|&i| !tried[i] && shared.backends[i].lock_breaker().allow(now));
+        // Work stealing: when the affinity pick is busy and a peer sits
+        // idle, route there — its cold stage prefix is one remote fetch
+        // away, cheaper than queueing behind the busy node. Only fully
+        // closed breakers take part, so a half-open probe slot granted
+        // by `allow` above is never abandoned unanswered.
+        let pick = pick.map(|best| {
+            if shared.config.steal
+                && shared.backends[best].in_flight.load(Ordering::Relaxed) > 0
+                && shared.backends[best].lock_breaker().state() == BreakerState::Closed
+            {
+                let idle = order.iter().copied().find(|&i| {
+                    i != best
+                        && !tried[i]
+                        && shared.backends[i].in_flight.load(Ordering::Relaxed) == 0
+                        && shared.backends[i].probe_ok.load(Ordering::Relaxed)
+                        && shared.backends[i].lock_breaker().state() == BreakerState::Closed
+                });
+                if let Some(idle) = idle {
+                    shared.backends[idle].steals.fetch_add(1, Ordering::Relaxed);
+                    return idle;
+                }
+            }
+            best
+        });
         let Some(index) = pick else {
             // Nobody left: shed with the best hint we have. Retryable
             // from the client's point of view (it is a `rejected`).
@@ -877,6 +1152,7 @@ fn run_attempt(
         &mut backend_reader,
         job_id,
         completed_stages,
+        shared.config.max_line_bytes,
     );
     backend.in_flight.fetch_sub(1, Ordering::Relaxed);
     result
@@ -888,14 +1164,27 @@ fn forward_events(
     backend_reader: &mut BufReader<TcpStream>,
     job_id: u64,
     completed_stages: &mut Vec<String>,
+    max_line_bytes: usize,
 ) -> Attempt {
     loop {
-        let raw = match proto::read_line(backend_reader) {
+        // Length-bounded like every other farm read: one runaway event
+        // line fails the attempt (and feeds the breaker) instead of
+        // growing gateway memory without bound.
+        let raw = match proto::read_line_limited(backend_reader, max_line_bytes) {
             Ok(Some(v)) => v,
             Ok(None) => {
                 return Attempt::Transient(format!("{} closed mid-job", backend.addr));
             }
-            Err(e) => {
+            Err(ReadLineError::TooLong { limit }) => {
+                return Attempt::Transient(format!(
+                    "{} sent an event over {limit} bytes",
+                    backend.addr
+                ));
+            }
+            Err(ReadLineError::BadJson(message)) => {
+                return Attempt::Transient(format!("{} sent bad JSON: {message}", backend.addr));
+            }
+            Err(ReadLineError::Io(e)) => {
                 return Attempt::Transient(format!("read from {}: {e}", backend.addr));
             }
         };
@@ -981,6 +1270,8 @@ fn forward_events(
             | Event::Stats(_)
             | Event::Metrics(_)
             | Event::Status(_)
+            | Event::Artifact { .. }
+            | Event::ArtifactAck { .. }
             | Event::ShuttingDown => {
                 return Attempt::Transient(format!(
                     "{} sent an out-of-place event mid-job",

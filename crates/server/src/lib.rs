@@ -59,6 +59,7 @@
 //!   [`client::compile_with_retry`] honors with jittered exponential
 //!   backoff.
 
+pub mod artifact;
 pub mod breaker;
 pub mod client;
 pub mod gateway;
@@ -69,9 +70,11 @@ pub mod service;
 mod supervisor;
 pub mod tenancy;
 
+pub use artifact::RemoteTierClient;
 pub use breaker::{BreakerCounters, BreakerState, CircuitBreaker};
 pub use client::{
     compile_with_retry, CompileError, CompileOutcome, FlowClient, LintOutcome, RetryPolicy,
+    MAX_UNKNOWN_EVENTS,
 };
 pub use gateway::{Gateway, GatewayConfig};
 pub use metrics::{Histogram, HistogramSnapshot, Metrics, MetricsSnapshot};

@@ -201,8 +201,30 @@ pub struct ServiceCounters {
 pub struct StageCacheCounters {
     pub memory_hits: u64,
     pub disk_hits: u64,
+    /// Hits served from a peer's store via the remote artifact tier.
+    pub remote_hits: u64,
     pub misses: u64,
     pub wall_ms: u64,
+}
+
+/// Daemon-side remote artifact tier client counters, present when
+/// `--artifact-gateway` is configured. Every failure here is a
+/// degradation (the stage recomputes locally), never a job error — the
+/// counters are how operators see the tier limping.
+#[derive(Clone, Debug, Default)]
+pub struct RemoteTierCounters {
+    pub fetch_hits: u64,
+    pub fetch_misses: u64,
+    /// Fetch attempts that errored out (connect/timeout/short read)
+    /// after retries — degraded to a local recompute.
+    pub fetch_failures: u64,
+    pub bytes_fetched: u64,
+    pub published: u64,
+    pub publish_failures: u64,
+    /// Fetches skipped outright because the per-gateway breaker was open.
+    pub breaker_skips: u64,
+    /// Fetch breaker state name: `closed` / `open` / `half-open`.
+    pub breaker: &'static str,
 }
 
 /// Everything the `metrics` verb reports, assembled by the service.
@@ -216,6 +238,9 @@ pub struct MetricsSnapshot {
     /// Durable-store counters, when `--cache-dir` is configured:
     /// `(disk_hits, disk_misses, quarantined, evicted, writes)`.
     pub store: Option<(u64, u64, u64, u64, u64)>,
+    /// Remote artifact tier client counters, when `--artifact-gateway`
+    /// is configured.
+    pub remote: Option<RemoteTierCounters>,
     pub unknown_stage_events: u64,
     /// `(rule_code, findings)` in catalogue order.
     pub lint_rules: Vec<(&'static str, u64)>,
@@ -223,16 +248,18 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
-    fn totals(&self) -> (u64, u64, u64) {
+    fn totals(&self) -> (u64, u64, u64, u64) {
         let mut memory = 0;
         let mut disk = 0;
+        let mut remote = 0;
         let mut misses = 0;
         for (_, _, c) in &self.stages {
             memory += c.memory_hits;
             disk += c.disk_hits;
+            remote += c.remote_hits;
             misses += c.misses;
         }
-        (memory, disk, misses)
+        (memory, disk, remote, misses)
     }
 
     /// The structured body of the `{"cmd":"metrics"}` response. Field
@@ -246,12 +273,13 @@ impl MetricsSnapshot {
                     "latency": hist.to_json(),
                     "memory_hits": cache.memory_hits,
                     "disk_hits": cache.disk_hits,
+                    "remote_hits": cache.remote_hits,
                     "misses": cache.misses,
                     "wall_ms": cache.wall_ms,
                 }),
             );
         }
-        let (memory_hits, disk_hits, misses) = self.totals();
+        let (memory_hits, disk_hits, remote_hits, misses) = self.totals();
         let s = &self.service;
         let mut root = serde_json::Map::new();
         root.insert(
@@ -281,6 +309,7 @@ impl MetricsSnapshot {
         let mut cache = serde_json::Map::new();
         cache.insert("memory_hits".into(), memory_hits.into());
         cache.insert("disk_hits".into(), disk_hits.into());
+        cache.insert("remote_hits".into(), remote_hits.into());
         cache.insert("misses".into(), misses.into());
         cache.insert("entries".into(), self.cache_entries.into());
         cache.insert("memory_evicted".into(), self.cache_memory_evicted.into());
@@ -293,6 +322,21 @@ impl MetricsSnapshot {
                     "quarantined": q,
                     "evicted": ev,
                     "writes": w,
+                }),
+            );
+        }
+        if let Some(r) = &self.remote {
+            cache.insert(
+                "remote".into(),
+                serde_json::json!({
+                    "fetch_hits": r.fetch_hits,
+                    "fetch_misses": r.fetch_misses,
+                    "fetch_failures": r.fetch_failures,
+                    "bytes_fetched": r.bytes_fetched,
+                    "published": r.published,
+                    "publish_failures": r.publish_failures,
+                    "breaker_skips": r.breaker_skips,
+                    "breaker": r.breaker,
                 }),
             );
         }
@@ -375,7 +419,7 @@ impl MetricsSnapshot {
             ),
         );
 
-        let (memory_hits, disk_hits, misses) = self.totals();
+        let (memory_hits, disk_hits, remote_hits, misses) = self.totals();
         push(
             &mut out,
             "# HELP flowd_cache_hits_total Stage-cache hits by tier.".into(),
@@ -388,6 +432,10 @@ impl MetricsSnapshot {
         push(
             &mut out,
             format!("flowd_cache_hits_total{{tier=\"disk\"}} {disk_hits}"),
+        );
+        push(
+            &mut out,
+            format!("flowd_cache_hits_total{{tier=\"remote\"}} {remote_hits}"),
         );
         push(&mut out, "# TYPE flowd_cache_misses_total counter".into());
         push(&mut out, format!("flowd_cache_misses_total {misses}"));
@@ -427,6 +475,50 @@ impl MetricsSnapshot {
             push(&mut out, format!("flowd_store_evicted_total {ev}"));
             push(&mut out, "# TYPE flowd_store_writes_total counter".into());
             push(&mut out, format!("flowd_store_writes_total {w}"));
+        }
+        if let Some(r) = &self.remote {
+            push(
+                &mut out,
+                "# HELP flowd_remote_fetch_total Remote artifact fetches by result.".into(),
+            );
+            push(&mut out, "# TYPE flowd_remote_fetch_total counter".into());
+            for (result, n) in [
+                ("hit", r.fetch_hits),
+                ("miss", r.fetch_misses),
+                ("failure", r.fetch_failures),
+                ("breaker-skip", r.breaker_skips),
+            ] {
+                push(
+                    &mut out,
+                    format!("flowd_remote_fetch_total{{result=\"{result}\"}} {n}"),
+                );
+            }
+            push(
+                &mut out,
+                "# TYPE flowd_remote_bytes_fetched_total counter".into(),
+            );
+            push(
+                &mut out,
+                format!("flowd_remote_bytes_fetched_total {}", r.bytes_fetched),
+            );
+            push(&mut out, "# TYPE flowd_remote_publish_total counter".into());
+            for (result, n) in [("ok", r.published), ("failure", r.publish_failures)] {
+                push(
+                    &mut out,
+                    format!("flowd_remote_publish_total{{result=\"{result}\"}} {n}"),
+                );
+            }
+            push(
+                &mut out,
+                "# HELP flowd_remote_breaker_state 0=closed 1=half-open 2=open.".into(),
+            );
+            push(&mut out, "# TYPE flowd_remote_breaker_state gauge".into());
+            let code = match r.breaker {
+                "closed" => 0,
+                "half-open" => 1,
+                _ => 2,
+            };
+            push(&mut out, format!("flowd_remote_breaker_state {code}"));
         }
 
         push(
@@ -517,6 +609,38 @@ pub struct BackendSnapshot {
     pub failures: u64,
     /// Attempts re-routed here *from* a failed peer attempt.
     pub failovers: u64,
+    /// Artifact-fetch breaker state name (`closed` / `open` /
+    /// `half-open`) — separate from the job breaker so a flaky artifact
+    /// path never stops job routing.
+    pub fetch_breaker: &'static str,
+    /// Jobs routed here instead of their busy affinity backend.
+    pub steals: u64,
+}
+
+/// Gateway artifact-tier counters (`artifact_get` / `artifact_put`
+/// verbs fanned out to backends).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GatewayArtifactCounters {
+    /// `artifact_get` requests received from daemons.
+    pub gets: u64,
+    /// Gets answered with a payload from some backend.
+    pub hits: u64,
+    /// Gets answered `hit=false` (no backend had the entry).
+    pub misses: u64,
+    /// Backend exchanges that errored during a get (fed the fetch
+    /// breaker; the get degrades to a miss, never an error).
+    pub fetch_failures: u64,
+    /// `artifact_put` requests received from daemons.
+    pub puts: u64,
+    /// Put replications that failed on a backend.
+    pub put_failures: u64,
+    /// Payload bytes served to fetching daemons.
+    pub bytes_served: u64,
+    /// Payload bytes accepted from publishing daemons.
+    pub bytes_stored: u64,
+    /// Payloads deliberately corrupted by the `--corrupt-artifacts`
+    /// chaos hook before serving.
+    pub corrupted: u64,
 }
 
 /// Gateway-level job terminals.
@@ -544,11 +668,14 @@ pub struct GatewaySnapshot {
     pub admission_queued: u64,
     pub max_inflight: u64,
     pub queue_bound: u64,
-    /// Aggregated `(memory_hits, disk_hits, misses)` scraped from the
-    /// healthy backends at snapshot time — lets cache-aware clients
-    /// (`qor_bench --via-daemon`) read one `cache` object through the
-    /// gateway exactly as they would from a single daemon.
-    pub cache: Option<(u64, u64, u64)>,
+    /// Artifact-tier traffic through the gateway.
+    pub artifacts: GatewayArtifactCounters,
+    /// Aggregated `(memory_hits, disk_hits, remote_hits, misses)`
+    /// scraped from the healthy backends at snapshot time — lets
+    /// cache-aware clients (`qor_bench --via-daemon`) read one `cache`
+    /// object through the gateway exactly as they would from a single
+    /// daemon.
+    pub cache: Option<(u64, u64, u64, u64)>,
 }
 
 impl GatewaySnapshot {
@@ -556,6 +683,11 @@ impl GatewaySnapshot {
     /// harness asserts on).
     pub fn failover_total(&self) -> u64 {
         self.backends.iter().map(|b| b.failovers).sum()
+    }
+
+    /// Total work steals across backends.
+    pub fn steal_total(&self) -> u64 {
+        self.backends.iter().map(|b| b.steals).sum()
     }
 
     /// The structured body of the gateway's `{"cmd":"metrics"}` reply.
@@ -572,6 +704,7 @@ impl GatewaySnapshot {
                 "shed": j.shed,
                 "timed_out": j.timed_out,
                 "failovers": self.failover_total(),
+                "steals": self.steal_total(),
             }),
         );
         let backends: Vec<Value> = self
@@ -591,6 +724,8 @@ impl GatewaySnapshot {
                     "requests": b.requests,
                     "failures": b.failures,
                     "failovers": b.failovers,
+                    "fetch_breaker": b.fetch_breaker,
+                    "steals": b.steals,
                 })
             })
             .collect();
@@ -616,12 +751,28 @@ impl GatewaySnapshot {
                 "queue_bound": self.queue_bound,
             }),
         );
-        if let Some((memory_hits, disk_hits, misses)) = self.cache {
+        let a = &self.artifacts;
+        root.insert(
+            "artifacts".into(),
+            serde_json::json!({
+                "gets": a.gets,
+                "hits": a.hits,
+                "misses": a.misses,
+                "fetch_failures": a.fetch_failures,
+                "puts": a.puts,
+                "put_failures": a.put_failures,
+                "bytes_served": a.bytes_served,
+                "bytes_stored": a.bytes_stored,
+                "corrupted": a.corrupted,
+            }),
+        );
+        if let Some((memory_hits, disk_hits, remote_hits, misses)) = self.cache {
             root.insert(
                 "cache".into(),
                 serde_json::json!({
                     "memory_hits": memory_hits,
                     "disk_hits": disk_hits,
+                    "remote_hits": remote_hits,
                     "misses": misses,
                 }),
             );
@@ -702,6 +853,28 @@ impl GatewaySnapshot {
                 ),
             );
         }
+        push(
+            &mut out,
+            "# HELP flowgw_backend_steals_total Jobs routed here instead of their busy affinity backend.".into(),
+        );
+        push(
+            &mut out,
+            "# TYPE flowgw_backend_steals_total counter".into(),
+        );
+        for b in &self.backends {
+            push(
+                &mut out,
+                format!(
+                    "flowgw_backend_steals_total{{backend=\"{}\"}} {}",
+                    b.addr, b.steals
+                ),
+            );
+        }
+        push(&mut out, "# TYPE flowgw_steals_total counter".into());
+        push(
+            &mut out,
+            format!("flowgw_steals_total {}", self.steal_total()),
+        );
         push(&mut out, "# TYPE flowgw_backend_in_flight gauge".into());
         for b in &self.backends {
             push(
@@ -741,6 +914,25 @@ impl GatewaySnapshot {
             push(
                 &mut out,
                 format!("flowgw_breaker_state{{backend=\"{}\"}} {code}", b.addr),
+            );
+        }
+        push(
+            &mut out,
+            "# HELP flowgw_fetch_breaker_state Artifact-fetch breaker: 0=closed 1=half-open 2=open.".into(),
+        );
+        push(&mut out, "# TYPE flowgw_fetch_breaker_state gauge".into());
+        for b in &self.backends {
+            let code = match b.fetch_breaker {
+                "closed" => 0,
+                "half-open" => 1,
+                _ => 2,
+            };
+            push(
+                &mut out,
+                format!(
+                    "flowgw_fetch_breaker_state{{backend=\"{}\"}} {code}",
+                    b.addr
+                ),
             );
         }
         push(
@@ -791,7 +983,67 @@ impl GatewaySnapshot {
             &mut out,
             format!("flowgw_admission_queued {}", self.admission_queued),
         );
-        if let Some((memory_hits, disk_hits, misses)) = self.cache {
+        let a = &self.artifacts;
+        push(
+            &mut out,
+            "# HELP flowgw_artifact_requests_total Artifact verbs received from daemons.".into(),
+        );
+        push(
+            &mut out,
+            "# TYPE flowgw_artifact_requests_total counter".into(),
+        );
+        for (verb, n) in [("get", a.gets), ("put", a.puts)] {
+            push(
+                &mut out,
+                format!("flowgw_artifact_requests_total{{verb=\"{verb}\"}} {n}"),
+            );
+        }
+        push(
+            &mut out,
+            "# HELP flowgw_artifact_gets_total Artifact gets by result (failures degrade to misses downstream).".into(),
+        );
+        push(&mut out, "# TYPE flowgw_artifact_gets_total counter".into());
+        for (result, n) in [
+            ("hit", a.hits),
+            ("miss", a.misses),
+            ("fetch-failure", a.fetch_failures),
+        ] {
+            push(
+                &mut out,
+                format!("flowgw_artifact_gets_total{{result=\"{result}\"}} {n}"),
+            );
+        }
+        push(
+            &mut out,
+            "# TYPE flowgw_artifact_put_failures_total counter".into(),
+        );
+        push(
+            &mut out,
+            format!("flowgw_artifact_put_failures_total {}", a.put_failures),
+        );
+        push(
+            &mut out,
+            "# TYPE flowgw_artifact_bytes_total counter".into(),
+        );
+        for (direction, n) in [("served", a.bytes_served), ("stored", a.bytes_stored)] {
+            push(
+                &mut out,
+                format!("flowgw_artifact_bytes_total{{direction=\"{direction}\"}} {n}"),
+            );
+        }
+        push(
+            &mut out,
+            "# HELP flowgw_artifact_corrupted_total Payloads corrupted by the chaos hook.".into(),
+        );
+        push(
+            &mut out,
+            "# TYPE flowgw_artifact_corrupted_total counter".into(),
+        );
+        push(
+            &mut out,
+            format!("flowgw_artifact_corrupted_total {}", a.corrupted),
+        );
+        if let Some((memory_hits, disk_hits, remote_hits, misses)) = self.cache {
             push(
                 &mut out,
                 "# HELP flowgw_cache_hits_total Backend stage-cache hits by tier (aggregated)."
@@ -805,6 +1057,10 @@ impl GatewaySnapshot {
             push(
                 &mut out,
                 format!("flowgw_cache_hits_total{{tier=\"disk\"}} {disk_hits}"),
+            );
+            push(
+                &mut out,
+                format!("flowgw_cache_hits_total{{tier=\"remote\"}} {remote_hits}"),
             );
             push(&mut out, "# TYPE flowgw_cache_misses_total counter".into());
             push(&mut out, format!("flowgw_cache_misses_total {misses}"));
@@ -902,6 +1158,16 @@ mod tests {
                 .map(|(n, h)| (n, h, StageCacheCounters::default()))
                 .collect(),
             store: Some((8, 1, 0, 0, 9)),
+            remote: Some(RemoteTierCounters {
+                fetch_hits: 4,
+                fetch_misses: 2,
+                fetch_failures: 1,
+                bytes_fetched: 1024,
+                published: 5,
+                publish_failures: 0,
+                breaker_skips: 0,
+                breaker: "closed",
+            }),
             ..Default::default()
         };
         let text = snap.to_prometheus_text();
@@ -911,6 +1177,12 @@ mod tests {
         assert!(text.contains("flowd_stage_duration_ms_count{stage=\"pack\"} 1"));
         assert!(text.contains("flowd_store_disk_hits_total 8"));
         assert!(text.contains("flowd_cache_hits_total{tier=\"memory\"} 0"));
+        assert!(text.contains("flowd_cache_hits_total{tier=\"remote\"} 0"));
+        assert!(text.contains("flowd_remote_fetch_total{result=\"hit\"} 4"));
+        assert!(text.contains("flowd_remote_fetch_total{result=\"failure\"} 1"));
+        assert!(text.contains("flowd_remote_bytes_fetched_total 1024"));
+        assert!(text.contains("flowd_remote_publish_total{result=\"ok\"} 5"));
+        assert!(text.contains("flowd_remote_breaker_state 0"));
         // Every line is a comment or `name{labels} value`.
         for line in text.lines() {
             assert!(
@@ -940,6 +1212,8 @@ mod tests {
                     requests: 3,
                     failures: 0,
                     failovers: 0,
+                    fetch_breaker: "closed",
+                    steals: 2,
                 },
                 BackendSnapshot {
                     addr: "127.0.0.1:9102".into(),
@@ -954,6 +1228,8 @@ mod tests {
                     requests: 2,
                     failures: 1,
                     failovers: 1,
+                    fetch_breaker: "open",
+                    steals: 0,
                 },
             ],
             tenants: vec![(
@@ -968,23 +1244,40 @@ mod tests {
             admission_queued: 0,
             max_inflight: 8,
             queue_bound: 16,
-            cache: Some((10, 2, 3)),
+            artifacts: GatewayArtifactCounters {
+                gets: 7,
+                hits: 4,
+                misses: 2,
+                fetch_failures: 1,
+                puts: 5,
+                put_failures: 0,
+                bytes_served: 2048,
+                bytes_stored: 4096,
+                corrupted: 1,
+            },
+            cache: Some((10, 2, 4, 3)),
         };
         assert_eq!(snap.failover_total(), 1);
+        assert_eq!(snap.steal_total(), 2);
 
         let js = snap.to_json();
         assert_eq!(js["role"].as_str(), Some("gateway"));
         assert_eq!(js["jobs"]["failovers"].as_u64(), Some(1));
+        assert_eq!(js["jobs"]["steals"].as_u64(), Some(2));
         assert_eq!(js["backends"][1]["breaker"].as_str(), Some("open"));
+        assert_eq!(js["backends"][1]["fetch_breaker"].as_str(), Some("open"));
         assert_eq!(
             js["backends"][1]["breaker_transitions"]["opened"].as_u64(),
             Some(1)
         );
         assert_eq!(js["tenants"]["acme"]["shed"].as_u64(), Some(1));
+        assert_eq!(js["artifacts"]["hits"].as_u64(), Some(4));
+        assert_eq!(js["artifacts"]["bytes_served"].as_u64(), Some(2048));
         // The aggregated cache object matches the daemon's field names,
         // so cache-aware clients work unchanged through the gateway.
         assert_eq!(js["cache"]["memory_hits"].as_u64(), Some(10));
         assert_eq!(js["cache"]["disk_hits"].as_u64(), Some(2));
+        assert_eq!(js["cache"]["remote_hits"].as_u64(), Some(4));
         assert_eq!(js["cache"]["misses"].as_u64(), Some(3));
 
         let text = snap.to_prometheus_text();
@@ -997,6 +1290,14 @@ mod tests {
         assert!(text.contains("flowgw_tenant_jobs_total{tenant=\"acme\",state=\"admitted\"} 4"));
         assert!(text.contains("flowgw_backend_healthy{backend=\"127.0.0.1:9101\"} 1"));
         assert!(text.contains("flowgw_cache_hits_total{tier=\"memory\"} 10"));
+        assert!(text.contains("flowgw_cache_hits_total{tier=\"remote\"} 4"));
+        assert!(text.contains("flowgw_steals_total 2"));
+        assert!(text.contains("flowgw_backend_steals_total{backend=\"127.0.0.1:9101\"} 2"));
+        assert!(text.contains("flowgw_fetch_breaker_state{backend=\"127.0.0.1:9102\"} 2"));
+        assert!(text.contains("flowgw_artifact_requests_total{verb=\"get\"} 7"));
+        assert!(text.contains("flowgw_artifact_gets_total{result=\"hit\"} 4"));
+        assert!(text.contains("flowgw_artifact_bytes_total{direction=\"served\"} 2048"));
+        assert!(text.contains("flowgw_artifact_corrupted_total 1"));
         // Same exposition-format invariant as the daemon family.
         for line in text.lines() {
             assert!(

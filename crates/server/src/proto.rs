@@ -35,7 +35,14 @@ use serde_json::Value;
 ///   field), and the `status` verb + event (node health — on `flowd` its
 ///   queue/worker state, on `flow-gateway` the per-backend breaker
 ///   table). Wire-compatible with version 3 in both directions.
-pub const PROTO_VERSION: u64 = 4;
+/// * 5 — shared artifact tier: the `artifact_get`/`artifact_put` verbs
+///   and their `artifact`/`artifact_ack` replies, moving raw
+///   [`DiskStore`](fpga_flow::DiskStore) entries (self-verifying,
+///   digest-checked on receipt) between farm nodes via the gateway.
+///   New verbs only — version-4 peers interoperate unchanged, and a
+///   version-4 daemon answering "unknown cmd" is treated as an artifact
+///   miss, never an error.
+pub const PROTO_VERSION: u64 = 5;
 
 /// Source language of a submitted design.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -126,6 +133,26 @@ pub enum Request {
     /// no power, no verification, no bitstream in the reply — and
     /// terminates with a `lint_report` event.
     Lint(Box<CompileRequest>),
+    /// Fetch one stage artifact's raw store entry by its content
+    /// address (proto 5, the farm's shared artifact tier). `flowd`
+    /// answers from its own durable store only; `flow-gateway` fans the
+    /// lookup out to affinity peers. Answered with one `artifact` event
+    /// — a miss is a normal answer, never an error.
+    ArtifactGet {
+        stage: String,
+        key: String,
+        kind: String,
+    },
+    /// Offer a raw store entry (hex-encoded self-verifying bytes) for
+    /// local installation. The receiver verifies the digest before
+    /// storing; corrupt bytes are quarantined and refused. Answered
+    /// with one `artifact_ack` event.
+    ArtifactPut {
+        stage: String,
+        key: String,
+        kind: String,
+        data_hex: String,
+    },
 }
 
 impl Request {
@@ -173,6 +200,24 @@ impl Request {
                 if let Some(tenant) = &c.tenant {
                     obj.insert("tenant".into(), tenant.clone().into());
                 }
+            }
+            Request::ArtifactGet { stage, key, kind } => {
+                obj.insert("cmd".into(), "artifact_get".into());
+                obj.insert("stage".into(), stage.clone().into());
+                obj.insert("key".into(), key.clone().into());
+                obj.insert("kind".into(), kind.clone().into());
+            }
+            Request::ArtifactPut {
+                stage,
+                key,
+                kind,
+                data_hex,
+            } => {
+                obj.insert("cmd".into(), "artifact_put".into());
+                obj.insert("stage".into(), stage.clone().into());
+                obj.insert("key".into(), key.clone().into());
+                obj.insert("kind".into(), kind.clone().into());
+                obj.insert("data_hex".into(), data_hex.clone().into());
             }
         }
         Value::Object(obj)
@@ -254,6 +299,25 @@ pub fn parse_request_value(v: &Value) -> Result<Request, String> {
             } else {
                 Request::Compile(req)
             })
+        }
+        "artifact_get" | "artifact_put" => {
+            let field = |name: &str| -> Result<String, String> {
+                v.get(name)
+                    .and_then(Value::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("'{cmd}' missing '{name}'"))
+            };
+            let (stage, key, kind) = (field("stage")?, field("key")?, field("kind")?);
+            if cmd == "artifact_get" {
+                Ok(Request::ArtifactGet { stage, key, kind })
+            } else {
+                Ok(Request::ArtifactPut {
+                    stage,
+                    key,
+                    kind,
+                    data_hex: field("data_hex")?,
+                })
+            }
         }
         other => Err(format!("unknown cmd '{other}'")),
     }
@@ -397,6 +461,22 @@ pub enum Event {
         message: String,
         retry_after_ms: Option<u64>,
         diagnostics: Vec<Diagnostic>,
+    },
+    /// Reply to `artifact_get` (proto 5). On a hit, `data_hex` carries
+    /// the raw self-verifying store entry; a miss (`hit: false`, no
+    /// data) is a normal answer — the fetcher falls back to computing.
+    Artifact {
+        stage: String,
+        key: String,
+        hit: bool,
+        data_hex: Option<String>,
+    },
+    /// Reply to `artifact_put` (proto 5). `stored: false` means the
+    /// bytes failed verification (and were quarantined) or could not be
+    /// persisted; `message` says why.
+    ArtifactAck {
+        stored: bool,
+        message: Option<String>,
     },
 }
 
@@ -545,6 +625,27 @@ impl Event {
                     obj.insert("diagnostics".into(), diagnostics_to_value(diagnostics));
                 }
             }
+            Event::Artifact {
+                stage,
+                key,
+                hit,
+                data_hex,
+            } => {
+                obj.insert("event".into(), "artifact".into());
+                obj.insert("stage".into(), stage.clone().into());
+                obj.insert("key".into(), key.clone().into());
+                obj.insert("hit".into(), (*hit).into());
+                if let Some(data) = data_hex {
+                    obj.insert("data_hex".into(), data.clone().into());
+                }
+            }
+            Event::ArtifactAck { stored, message } => {
+                obj.insert("event".into(), "artifact_ack".into());
+                obj.insert("stored".into(), (*stored).into());
+                if let Some(message) = message {
+                    obj.insert("message".into(), message.clone().into());
+                }
+            }
         }
         Value::Object(obj)
     }
@@ -679,6 +780,27 @@ pub fn parse_event(v: &Value) -> Result<Event, EventParseError> {
             retry_after_ms: v.get("retry_after_ms").and_then(Value::as_u64),
             diagnostics: diagnostics_from_value(v.get("diagnostics").unwrap_or(&Value::Null))
                 .map_err(|e| Malformed(format!("'error' diagnostics: {e}")))?,
+        }),
+        "artifact" => Ok(Event::Artifact {
+            stage: v
+                .get("stage")
+                .and_then(Value::as_str)
+                .unwrap_or("")
+                .to_string(),
+            key: v
+                .get("key")
+                .and_then(Value::as_str)
+                .unwrap_or("")
+                .to_string(),
+            hit: v.get("hit").and_then(Value::as_bool).unwrap_or(false),
+            data_hex: v
+                .get("data_hex")
+                .and_then(Value::as_str)
+                .map(str::to_string),
+        }),
+        "artifact_ack" => Ok(Event::ArtifactAck {
+            stored: v.get("stored").and_then(Value::as_bool).unwrap_or(false),
+            message: v.get("message").and_then(Value::as_str).map(str::to_string),
         }),
         other => Err(EventParseError::Unknown(other.to_string())),
     }
@@ -847,6 +969,17 @@ mod tests {
                     .with_options(serde_json::json!({"lint": "deny"}))
                     .unwrap(),
             )),
+            Request::ArtifactGet {
+                stage: "route".into(),
+                key: "ab".repeat(32),
+                kind: "routed-design".into(),
+            },
+            Request::ArtifactPut {
+                stage: "pack".into(),
+                key: "cd".repeat(32),
+                kind: "clustering".into(),
+                data_hex: "deadbeef".into(),
+            },
         ];
         for req in reqs {
             let v = req.to_value();
@@ -944,6 +1077,26 @@ mod tests {
                     "cluster 0",
                     "cluster 0 holds 6 BLEs but the architecture allows 5",
                 )],
+            },
+            Event::Artifact {
+                stage: "route".into(),
+                key: "ab".repeat(32),
+                hit: true,
+                data_hex: Some("00ff".into()),
+            },
+            Event::Artifact {
+                stage: "route".into(),
+                key: "ab".repeat(32),
+                hit: false,
+                data_hex: None,
+            },
+            Event::ArtifactAck {
+                stored: true,
+                message: None,
+            },
+            Event::ArtifactAck {
+                stored: false,
+                message: Some("payload digest mismatch".into()),
             },
         ];
         for ev in events {

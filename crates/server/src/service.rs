@@ -34,6 +34,7 @@ use fpga_flow::{check, DiskStore, FlowCtx, StageCache, TraceLog};
 use fpga_lint::{DiagSink, Diagnostic};
 use serde_json::Value;
 
+use crate::artifact::RemoteTierClient;
 use crate::metrics::{Metrics, MetricsSnapshot, ServiceCounters, StageCacheCounters};
 use crate::proto::{
     self, CompileRequest, Event, ReadLineError, Request, SourceFormat, PROTO_VERSION,
@@ -84,6 +85,16 @@ pub struct ServerConfig {
     /// reachable from the durable store when one is configured). `None`
     /// means unbounded.
     pub cache_entries: Option<usize>,
+    /// `flow-gateway` address for the farm's shared artifact tier.
+    /// When set (together with `cache_dir`), stage misses consult
+    /// affinity peers through the gateway before recomputing, and fresh
+    /// artifacts are published back. Strictly best-effort: any tier
+    /// failure degrades to a local recompute within the job's remaining
+    /// deadline, never a job error. No effect without `cache_dir` (the
+    /// tier ships raw durable-store entries).
+    pub artifact_gateway: Option<String>,
+    /// Connect/read/write timeout for artifact tier exchanges.
+    pub artifact_timeout_ms: u64,
     /// Deterministic fault injection for tests: makes named stages
     /// panic/fail/stall on their K-th execution. Never set in
     /// production configs.
@@ -105,6 +116,8 @@ impl Default for ServerConfig {
             cache_dir: None,
             cache_budget_mb: None,
             cache_entries: None,
+            artifact_gateway: None,
+            artifact_timeout_ms: 1_000,
             fault: None,
         }
     }
@@ -132,6 +145,9 @@ struct Job {
 
 struct Shared {
     cache: StageCache,
+    /// Remote artifact tier client, kept for its counters; the cache
+    /// holds its own `Arc` and drives the actual fetch/publish calls.
+    remote: Option<Arc<RemoteTierClient>>,
     queue: JobQueue<Job>,
     config: ServerConfig,
     /// Per-stage latency histograms (and the unknown-stage-id tripwire).
@@ -262,6 +278,7 @@ impl Shared {
                 let cache = StageCacheCounters {
                     memory_hits: c.memory_hits(),
                     disk_hits: c.disk_hits,
+                    remote_hits: c.remote_hits,
                     misses: c.misses,
                     wall_ms: c.wall_nanos / 1_000_000,
                 };
@@ -284,6 +301,7 @@ impl Shared {
             cache_entries: self.cache.len() as u64,
             cache_memory_evicted: self.cache.memory_evicted(),
             store,
+            remote: self.remote.as_ref().map(|r| r.counters()),
             unknown_stage_events: self.metrics.unknown_stage_events(),
             lint_rules: self.metrics.lint_rule_snapshots(),
             unknown_lint_rules: self.metrics.unknown_lint_rules(),
@@ -367,8 +385,19 @@ impl Server {
         if let Some(cap) = config.cache_entries {
             cache = cache.with_capacity(cap);
         }
+        let mut remote = None;
+        if let Some(gw) = &config.artifact_gateway {
+            let client = Arc::new(RemoteTierClient::new(
+                gw.clone(),
+                config.artifact_timeout_ms,
+                config.max_line_bytes,
+            ));
+            cache = cache.with_remote(Arc::clone(&client) as Arc<dyn fpga_flow::RemoteTier>);
+            remote = Some(client);
+        }
         let shared = Arc::new(Shared {
             cache,
+            remote,
             queue: JobQueue::new(queue_capacity),
             config,
             metrics: Metrics::new(),
@@ -781,7 +810,91 @@ fn serve_connection<S: Read + Write + TryCloneStream>(
                     return;
                 }
             }
+            Request::ArtifactGet { stage, key, kind } => {
+                let event = artifact_get_event(shared, &stage, &key, &kind);
+                let _ = proto::write_line(&mut writer, &event.to_value());
+            }
+            Request::ArtifactPut {
+                stage,
+                key,
+                kind,
+                data_hex,
+            } => {
+                let event = artifact_put_event(shared, &stage, &key, &kind, &data_hex);
+                let _ = proto::write_line(&mut writer, &event.to_value());
+            }
         }
+    }
+}
+
+/// Map a wire stage name to its [`fpga_flow::StageId`]. Unknown names
+/// answer as a miss, not an error — a newer peer may know stages this
+/// daemon doesn't.
+fn stage_by_name(name: &str) -> Option<fpga_flow::StageId> {
+    fpga_flow::cache::STAGES
+        .iter()
+        .copied()
+        .find(|s| s.name() == name)
+}
+
+/// Answer a peer's `artifact_get` from the durable store ONLY — never
+/// from this daemon's own remote tier, so lookups can't bounce around
+/// the farm. `raw_entry` re-verifies the digest before shipping, so a
+/// locally-rotted entry is quarantined here and answered as a miss.
+fn artifact_get_event(shared: &Arc<Shared>, stage: &str, key: &str, kind: &str) -> Event {
+    let raw = stage_by_name(stage).and_then(|sid| {
+        shared
+            .cache
+            .store()
+            .and_then(|store| store.raw_entry(sid, key, kind))
+    });
+    match raw {
+        Some(raw) => Event::Artifact {
+            stage: stage.to_string(),
+            key: key.to_string(),
+            hit: true,
+            data_hex: Some(proto::to_hex(&raw)),
+        },
+        None => Event::Artifact {
+            stage: stage.to_string(),
+            key: key.to_string(),
+            hit: false,
+            data_hex: None,
+        },
+    }
+}
+
+/// Accept a replicated `artifact_put` into the durable store.
+/// `admit_raw` re-verifies the digest against the addressed key before
+/// installing; a corrupt or mismatched payload is quarantined and
+/// refused with the reason in the ack.
+fn artifact_put_event(
+    shared: &Arc<Shared>,
+    stage: &str,
+    key: &str,
+    kind: &str,
+    data_hex: &str,
+) -> Event {
+    let refuse = |message: String| Event::ArtifactAck {
+        stored: false,
+        message: Some(message),
+    };
+    let Some(sid) = stage_by_name(stage) else {
+        return refuse(format!("unknown stage '{stage}'"));
+    };
+    let Some(store) = shared.cache.store() else {
+        return refuse("no durable store configured (--cache-dir)".to_string());
+    };
+    let raw = match proto::from_hex(data_hex) {
+        Ok(raw) => raw,
+        Err(e) => return refuse(format!("bad data_hex: {e}")),
+    };
+    match store.admit_raw(sid, key, kind, &raw) {
+        Ok(_) => Event::ArtifactAck {
+            stored: true,
+            message: None,
+        },
+        Err(reason) => refuse(reason),
     }
 }
 

@@ -48,7 +48,7 @@ sh scripts/lint.sh
 echo "==> scripts/bench.sh (QoR + speed gate: smoke tier vs BENCH_baseline.json)"
 sh scripts/bench.sh
 
-echo "==> scripts/farm.sh (compile farm: kill-a-node failover, breakers, tenant quotas, gateway QoR parity)"
+echo "==> scripts/farm.sh (compile farm: kill-a-node failover, breakers, tenant quotas, gateway QoR parity, artifact tier chaos)"
 sh scripts/farm.sh
 
 echo "CI gate passed."
