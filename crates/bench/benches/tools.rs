@@ -5,9 +5,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 use fpga_arch::device::Device;
 use fpga_arch::Architecture;
-use fpga_place::PlaceOptions;
+use fpga_place::{AnnealingPlacer, PlaceConfig, PlaceEngine};
 use fpga_route::rrgraph::RrGraph;
-use fpga_route::RouteOptions;
+use fpga_route::{PathFinderRouter, RouteConfig, RouteEngine};
 
 fn bench_tools(c: &mut Criterion) {
     let mut group = c.benchmark_group("flow_stages");
@@ -29,18 +29,13 @@ fn bench_tools(c: &mut Criterion) {
         clustering.clusters.len(),
         mapped.inputs.len() + mapped.outputs.len() + 1,
     );
-    let placement = fpga_place::place(
-        &clustering,
-        device.clone(),
-        PlaceOptions {
-            seed: 1,
-            inner_num: 2.0,
-        },
-    )
-    .unwrap();
+    let placement = AnnealingPlacer::new(PlaceConfig::new().seed(1).inner_num(2.0))
+        .place(&clustering, device.clone())
+        .unwrap();
     let graph = RrGraph::build(&placement.device, 14);
-    let routed =
-        fpga_route::route(&clustering, &placement, &graph, &RouteOptions::default()).unwrap();
+    let routed = PathFinderRouter::new(RouteConfig::new())
+        .route(&clustering, &placement, &graph)
+        .unwrap();
 
     group.bench_function("synthesis_vhdl_counter8", |b| {
         b.iter(|| fpga_synth::diviner::synthesize(&vhdl).unwrap())
@@ -53,20 +48,16 @@ fn bench_tools(c: &mut Criterion) {
     });
     group.bench_function("vpr_place", |b| {
         b.iter(|| {
-            fpga_place::place(
-                &clustering,
-                device.clone(),
-                PlaceOptions {
-                    seed: 1,
-                    inner_num: 1.0,
-                },
-            )
-            .unwrap()
+            AnnealingPlacer::new(PlaceConfig::new().seed(1).inner_num(1.0))
+                .place(&clustering, device.clone())
+                .unwrap()
         })
     });
     group.bench_function("vpr_route", |b| {
         b.iter(|| {
-            fpga_route::route(&clustering, &placement, &graph, &RouteOptions::default()).unwrap()
+            PathFinderRouter::new(RouteConfig::new())
+                .route(&clustering, &placement, &graph)
+                .unwrap()
         })
     });
     group.bench_function("dagger_bitstream", |b| {

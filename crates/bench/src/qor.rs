@@ -50,6 +50,12 @@ pub struct BenchConfig {
     /// when the *baseline* had them, and a subset run is for debugging,
     /// not for checking in.
     pub only: Vec<String>,
+    /// Place-and-route worker threads (`None` = engine default). The
+    /// engines are bit-identical across thread counts, so this only
+    /// moves wall-clock — every QoR column must match at any setting,
+    /// and `scripts/bench.sh` diffs a 1-thread against an N-thread run
+    /// with `--max-qor-regress 0` to prove it.
+    pub threads: Option<usize>,
 }
 
 impl Default for BenchConfig {
@@ -60,6 +66,7 @@ impl Default for BenchConfig {
             place_effort: 1.0,
             verify_cycles: 0,
             only: Vec::new(),
+            threads: None,
         }
     }
 }
@@ -139,6 +146,10 @@ pub struct BenchReport {
     pub place_seed: u64,
     pub place_effort: f64,
     pub verify_cycles: u64,
+    /// Place-and-route worker threads the run asked for (`None` = the
+    /// engine default; also what pre-parallelism reports deserialize
+    /// to). Never affects QoR columns — only wall-clock.
+    pub pnr_threads: Option<u64>,
     /// Whether the rows went through a live `flowd` (wire path, shared
     /// cache) instead of the in-process pipeline.
     pub via_daemon: bool,
@@ -254,6 +265,9 @@ fn flow_options(entry: &SuiteEntry, cfg: &BenchConfig) -> FlowOptions {
     if let Some(w) = entry.channel_width {
         b = b.channel_width(w);
     }
+    if let Some(t) = cfg.threads {
+        b = b.threads(t);
+    }
     b.build()
 }
 
@@ -303,6 +317,7 @@ pub fn assemble(cfg: &BenchConfig, via_daemon: bool, rows: Vec<DesignRow>) -> Be
         place_seed: cfg.place_seed,
         place_effort: cfg.place_effort,
         verify_cycles: cfg.verify_cycles as u64,
+        pnr_threads: cfg.threads.map(|n| n as u64),
         via_daemon,
         host: HostInfo::current(),
         aggregate: aggregate(&rows),
@@ -370,6 +385,7 @@ pub fn run_design_via_daemon(
         .with_options(serde_json::Value::Object(options))
         .map_err(|e| format!("design '{}': bad options: {e}", entry.name))?;
     req.trace = true;
+    req.threads = cfg.threads.map(|n| n as u64);
     let outcome = client
         .compile_request(&req)
         .map_err(|e| format!("design '{}' failed over the wire: {e}", entry.name))?;
@@ -649,12 +665,35 @@ mod tests {
             place_seed: 1,
             place_effort: 1.0,
             verify_cycles: 0,
+            pnr_threads: None,
             via_daemon: false,
             host: HostInfo::current(),
             aggregate: aggregate(&rows),
             rows,
             daemon_cache: None,
         }
+    }
+
+    #[test]
+    fn pre_parallelism_reports_still_load() {
+        // Reports written before the schema grew `pnr_threads` (e.g. a
+        // checked-in BENCH_1.json baseline) must keep deserializing,
+        // with the missing field reading as "engine default".
+        let mut r = report(vec![row("add32", 12.0, 10.0, 50)]);
+        r.pnr_threads = Some(8);
+        let v: serde_json::Value = serde_json::from_str(&r.to_json()).expect("valid json");
+        let serde_json::Value::Object(fields) = v else {
+            panic!("report is not an object")
+        };
+        let mut stripped = serde_json::Map::new();
+        for (k, val) in fields {
+            if k != "pnr_threads" {
+                stripped.insert(k, val);
+            }
+        }
+        let old_wire = serde_json::Value::Object(stripped).to_string();
+        let loaded = BenchReport::from_json(&old_wire).expect("loads");
+        assert_eq!(loaded.pnr_threads, None);
     }
 
     #[test]

@@ -432,9 +432,9 @@ mod tests {
     use fpga_arch::device::Device;
     use fpga_arch::{Architecture, ClbArch};
     use fpga_netlist::ir::{CellKind, NetId, Netlist};
-    use fpga_place::{place, PlaceOptions};
+    use fpga_place::{AnnealingPlacer, PlaceConfig, PlaceEngine};
     use fpga_route::rrgraph::RrGraph;
-    use fpga_route::{route, RouteOptions};
+    use fpga_route::{PathFinderRouter, RouteConfig, RouteEngine};
 
     fn full_flow(nl: &Netlist) -> (Fabric, Netlist) {
         let c = fpga_pack::pack(nl, &ClbArch::paper_default()).unwrap();
@@ -443,17 +443,13 @@ mod tests {
             c.clusters.len(),
             nl.inputs.len() + nl.outputs.len() + 2,
         );
-        let p = place(
-            &c,
-            device,
-            PlaceOptions {
-                seed: 11,
-                inner_num: 1.5,
-            },
-        )
-        .unwrap();
+        let p = AnnealingPlacer::new(PlaceConfig::new().seed(11).inner_num(1.5))
+            .place(&c, device)
+            .unwrap();
         let g = RrGraph::build(&p.device, p.device.arch.routing.channel_width.max(8));
-        let r = route(&c, &p, &g, &RouteOptions::default()).unwrap();
+        let r = PathFinderRouter::new(RouteConfig::new())
+            .route(&c, &p, &g)
+            .unwrap();
         let bs = generate(&c, &p, &r, &g).unwrap();
         // Exercise serialization in the loop as well.
         let bytes = crate::frames::write(&bs);

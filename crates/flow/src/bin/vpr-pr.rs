@@ -4,15 +4,15 @@
 use fpga_arch::device::Device;
 use fpga_arch::Architecture;
 use fpga_flow::cli;
-use fpga_place::PlaceOptions;
-use fpga_route::RouteOptions;
+use fpga_place::{AnnealingPlacer, Parallelism, PlaceConfig, PlaceEngine};
+use fpga_route::{PathFinderRouter, RouteConfig, RouteEngine};
 
 fn main() {
-    let args = cli::parse_args(&["o", "arch", "seed", "w", "net"]);
+    let args = cli::parse_args(&["o", "arch", "seed", "w", "net", "threads"]);
     cli::handle_version("vpr-pr", &args);
     let text = cli::input_or_usage(
         &args,
-        "vpr-pr <mapped.blif> [--arch arch.txt] [--seed 1] [--w <tracks>] [-o out.place]",
+        "vpr-pr <mapped.blif> [--arch arch.txt] [--seed 1] [--w <tracks>] [--threads N] [-o out.place]",
     );
     let arch = match args.options.get("arch") {
         Some(path) => {
@@ -41,28 +41,35 @@ fn main() {
     };
     let ios = netlist.inputs.len() + netlist.outputs.len() + 1;
     let device = Device::sized_for(arch, clustering.clusters.len(), ios);
-    let placement = fpga_place::place(
-        &clustering,
-        device,
-        PlaceOptions {
-            seed,
-            inner_num: 5.0,
-        },
-    )
-    .unwrap_or_else(|e| cli::die("vpr-pr", e));
+    let parallelism = match args.options.get("threads").map(|s| s.parse::<usize>()) {
+        Some(Ok(n)) if n >= 1 => Parallelism::default().threads(n),
+        Some(_) => cli::die("vpr-pr", "--threads must be a positive integer"),
+        None => Parallelism::default(),
+    };
+    let placer = AnnealingPlacer::new(
+        PlaceConfig::new()
+            .seed(seed)
+            .inner_num(5.0)
+            .parallelism(parallelism),
+    );
+    let placement = placer
+        .place(&clustering, device)
+        .unwrap_or_else(|e| cli::die("vpr-pr", e));
     eprintln!(
         "placed on {} x {} grid, cost {:.1}",
         placement.device.width, placement.device.height, placement.cost
     );
-    let opts = RouteOptions::default();
+    let router = PathFinderRouter::new(RouteConfig::new().parallelism(parallelism));
     let (w, routed) = match args.options.get("w").and_then(|s| s.parse::<usize>().ok()) {
         Some(w) => {
             let g = fpga_route::rrgraph::RrGraph::build(&placement.device, w);
-            let r = fpga_route::route(&clustering, &placement, &g, &opts)
+            let r = router
+                .route(&clustering, &placement, &g)
                 .unwrap_or_else(|e| cli::die("vpr-pr", e));
             (w, r)
         }
-        None => fpga_route::find_min_channel_width(&clustering, &placement, &opts, 128)
+        None => router
+            .find_min_channel_width(&clustering, &placement, 128)
             .unwrap_or_else(|e| cli::die("vpr-pr", e)),
     };
     eprintln!(

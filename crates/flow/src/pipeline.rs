@@ -42,6 +42,10 @@ pub struct FlowOptions {
     /// (run the passes, report, proceed), or `Deny` (any deny-severity
     /// finding fails the job with the diagnostics attached).
     pub lint: LintMode,
+    /// P&R worker threads. `None` defers to the `FLOW_THREADS`
+    /// environment variable (or 1). Engine results are bit-identical
+    /// across thread counts, so this never enters stage-cache keys.
+    pub threads: Option<usize>,
 }
 
 impl Default for FlowOptions {
@@ -54,6 +58,7 @@ impl Default for FlowOptions {
             power: PowerOptions::default(),
             verify_cycles: 48,
             lint: LintMode::Off,
+            threads: None,
         }
     }
 }
@@ -63,6 +68,16 @@ impl FlowOptions {
     /// `FlowOptions::builder().place_seed(7).channel_width(14).build()`.
     pub fn builder() -> FlowOptionsBuilder {
         FlowOptionsBuilder::default()
+    }
+
+    /// The engine parallelism these options select: explicit `threads`
+    /// when set, otherwise the `FLOW_THREADS`/serial default.
+    pub fn parallelism(&self) -> fpga_place::Parallelism {
+        let mut p = fpga_place::Parallelism::default();
+        if let Some(t) = self.threads {
+            p.threads = t.max(1);
+        }
+        p
     }
 }
 
@@ -110,6 +125,13 @@ impl FlowOptionsBuilder {
     /// Design-rule lint gate mode (see [`FlowOptions::lint`]).
     pub fn lint(mut self, mode: LintMode) -> Self {
         self.opts.lint = mode;
+        self
+    }
+
+    /// P&R worker threads (see [`FlowOptions::threads`]). Thread count
+    /// never changes results or stage-cache keys.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.opts.threads = Some(threads.max(1));
         self
     }
 
@@ -790,6 +812,39 @@ mod tests {
             let s = cache.stats(stage);
             assert_eq!((s.misses, s.hits), (1, 1), "{}", stage.name());
         }
+    }
+
+    #[test]
+    fn threads_do_not_change_cache_keys() {
+        let cache = StageCache::new();
+        let src = fpga_circuits::vhdl_counter(3);
+        let serial = FlowOptions::builder().threads(1).build();
+        let parallel = FlowOptions::builder().threads(8).build();
+        run_vhdl_ctx(&src, &serial, FlowCtx::with_cache(&cache)).unwrap();
+        // Same design at 8 threads: every stage is a memory hit — engine
+        // results are thread-count-invariant, so parallelism lives
+        // outside the content-addressed keys.
+        run_vhdl_ctx(&src, &parallel, FlowCtx::with_cache(&cache)).unwrap();
+        for stage in STAGES {
+            let s = cache.stats(stage);
+            assert_eq!((s.misses, s.hits), (1, 1), "{}", stage.name());
+        }
+    }
+
+    #[test]
+    fn parallel_flow_matches_serial_artifacts() {
+        let src = fpga_circuits::vhdl_counter(4);
+        let serial = run_vhdl(&src, &FlowOptions::builder().threads(1).build()).unwrap();
+        let parallel = run_vhdl(&src, &FlowOptions::builder().threads(4).build()).unwrap();
+        assert_eq!(
+            fpga_place::placement_to_bytes(&serial.placement),
+            fpga_place::placement_to_bytes(&parallel.placement)
+        );
+        assert_eq!(
+            fpga_route::route_result_to_bytes(&serial.routing),
+            fpga_route::route_result_to_bytes(&parallel.routing)
+        );
+        assert_eq!(serial.bitstream_bytes, parallel.bitstream_bytes);
     }
 
     #[test]

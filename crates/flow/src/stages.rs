@@ -33,10 +33,10 @@ use fpga_cells::caps::ClbCaps;
 use fpga_cells::tech::Tech;
 use fpga_netlist::{canonical_text, NetId, Netlist};
 use fpga_pack::Clustering;
-use fpga_place::{PlaceOptions, Placement};
+use fpga_place::{AnnealingPlacer, PlaceConfig, PlaceEngine, Placement};
 use fpga_power::PowerReport;
 use fpga_route::rrgraph::RrGraph;
-use fpga_route::{RouteOptions, RouteResult};
+use fpga_route::{PathFinderRouter, RouteConfig, RouteEngine, RouteResult};
 use fpga_synth::{map_to_luts, MapOptions};
 use serde_json::Value;
 
@@ -245,15 +245,20 @@ pub fn place(
     );
     let clustering = Arc::clone(&clustering.value);
     let arch = opts.arch.clone();
-    let place_opts = PlaceOptions {
-        seed: opts.place_seed,
-        inner_num: opts.place_effort,
-    };
+    // Parallelism never enters the fingerprint: engine results are
+    // bit-identical across thread counts, so keys stay thread-invariant.
+    let engine = AnnealingPlacer::new(
+        PlaceConfig::new()
+            .seed(opts.place_seed)
+            .inner_num(opts.place_effort)
+            .parallelism(opts.parallelism()),
+    );
     run_step(ctx, StageId::Place, key, move || {
         let nl = &clustering.netlist;
         let io_count = nl.inputs.len() + nl.outputs.len() + 1;
         let device = Device::sized_for(arch, clustering.clusters.len(), io_count);
-        let placement = fpga_place::place(&clustering, device, place_opts)
+        let placement = engine
+            .place(&clustering, device)
             .map_err(stage_err("placement (VPR)"))?;
         let metrics = serde_json::json!({
             "grid_w": placement.device.width,
@@ -277,19 +282,20 @@ pub fn route(
     let clustering = Arc::clone(&clustering.value);
     let placement = Arc::clone(&placement.value);
     let channel_width = opts.channel_width;
+    let engine = PathFinderRouter::new(RouteConfig::new().parallelism(opts.parallelism()));
     run_step(ctx, StageId::Route, key, move || {
-        let route_opts = RouteOptions::default();
         let (graph, routing) = match channel_width {
             Some(w) => {
                 let g = RrGraph::build(&placement.device, w);
-                let r = fpga_route::route(&clustering, &placement, &g, &route_opts)
+                let r = engine
+                    .route(&clustering, &placement, &g)
                     .map_err(stage_err("routing (VPR)"))?;
                 (g, r)
             }
             None => {
-                let (w, r) =
-                    fpga_route::find_min_channel_width(&clustering, &placement, &route_opts, 128)
-                        .map_err(stage_err("routing (VPR)"))?;
+                let (w, r) = engine
+                    .find_min_channel_width(&clustering, &placement, 128)
+                    .map_err(stage_err("routing (VPR)"))?;
                 (RrGraph::build(&placement.device, w), r)
             }
         };

@@ -88,8 +88,8 @@ pub fn lint_bitstream(
 mod tests {
     use super::*;
     use fpga_arch::Architecture;
-    use fpga_place::PlaceOptions;
-    use fpga_route::RouteOptions;
+    use fpga_place::{AnnealingPlacer, PlaceConfig, PlaceEngine};
+    use fpga_route::{PathFinderRouter, RouteConfig, RouteEngine};
 
     fn full_stack() -> (Netlist, Device, RrGraph, RouteResult, Bitstream) {
         use fpga_netlist::ir::{CellKind, Netlist};
@@ -125,17 +125,13 @@ mod tests {
             clustering.clusters.len(),
             n.inputs.len() + n.outputs.len() + 1,
         );
-        let placement = fpga_place::place(
-            &clustering,
-            device,
-            PlaceOptions {
-                seed: 1,
-                inner_num: 1.0,
-            },
-        )
-        .unwrap();
+        let placement = AnnealingPlacer::new(PlaceConfig::new().seed(1).inner_num(1.0))
+            .place(&clustering, device)
+            .unwrap();
         let g = RrGraph::build(&placement.device, 12);
-        let r = fpga_route::route(&clustering, &placement, &g, &RouteOptions::default()).unwrap();
+        let r = PathFinderRouter::new(RouteConfig::new())
+            .route(&clustering, &placement, &g)
+            .unwrap();
         let bs = fpga_bitstream::generate(&clustering, &placement, &r, &g).unwrap();
         let device = placement.device.clone();
         (clustering.netlist.clone(), device, g, r, bs)

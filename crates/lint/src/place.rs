@@ -99,7 +99,7 @@ mod tests {
     use super::*;
     use fpga_arch::device::GridLoc;
     use fpga_arch::Architecture;
-    use fpga_place::PlaceOptions;
+    use fpga_place::{AnnealingPlacer, PlaceConfig, PlaceEngine};
 
     fn placed() -> (Clustering, Placement) {
         let nl = fpga_circuits_stub();
@@ -110,15 +110,9 @@ mod tests {
             clustering.clusters.len(),
             nl.inputs.len() + nl.outputs.len() + 1,
         );
-        let placement = fpga_place::place(
-            &clustering,
-            device,
-            PlaceOptions {
-                seed: 1,
-                inner_num: 1.0,
-            },
-        )
-        .unwrap();
+        let placement = AnnealingPlacer::new(PlaceConfig::new().seed(1).inner_num(1.0))
+            .place(&clustering, device)
+            .unwrap();
         (clustering, placement)
     }
 

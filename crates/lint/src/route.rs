@@ -135,8 +135,8 @@ fn disconnected_nets(nl: &Netlist, g: &RrGraph, r: &RouteResult, out: &mut Vec<D
 mod tests {
     use super::*;
     use fpga_arch::{Architecture, Device};
-    use fpga_place::PlaceOptions;
-    use fpga_route::RouteOptions;
+    use fpga_place::{AnnealingPlacer, PlaceConfig, PlaceEngine};
+    use fpga_route::{PathFinderRouter, RouteConfig, RouteEngine};
 
     fn routed() -> (Netlist, RrGraph, RouteResult) {
         use fpga_netlist::ir::{CellKind, Netlist};
@@ -172,17 +172,13 @@ mod tests {
             clustering.clusters.len(),
             n.inputs.len() + n.outputs.len() + 1,
         );
-        let placement = fpga_place::place(
-            &clustering,
-            device,
-            PlaceOptions {
-                seed: 1,
-                inner_num: 1.0,
-            },
-        )
-        .unwrap();
+        let placement = AnnealingPlacer::new(PlaceConfig::new().seed(1).inner_num(1.0))
+            .place(&clustering, device)
+            .unwrap();
         let g = RrGraph::build(&placement.device, 12);
-        let r = fpga_route::route(&clustering, &placement, &g, &RouteOptions::default()).unwrap();
+        let r = PathFinderRouter::new(RouteConfig::new())
+            .route(&clustering, &placement, &g)
+            .unwrap();
         (clustering.netlist.clone(), g, r)
     }
 

@@ -15,11 +15,15 @@
 
 pub mod codec;
 pub mod cost;
+pub mod engine;
 pub mod sa;
 
 pub use codec::{placement_from_bytes, placement_to_bytes};
 pub use cost::{net_terminals, PlacedNet};
-pub use sa::{place, PlaceOptions, Placement};
+pub use engine::{AnnealingPlacer, Parallelism, PlaceConfig, PlaceEngine};
+#[allow(deprecated)]
+pub use sa::place;
+pub use sa::{PlaceOptions, Placement};
 
 use fpga_arch::device::GridLoc;
 use fpga_netlist::ir::NetId;

@@ -365,22 +365,18 @@ mod tests {
     fn routed_design_power_uses_wirelength() {
         use fpga_arch::device::Device;
         use fpga_arch::Architecture;
-        use fpga_place::{place, PlaceOptions};
+        use fpga_place::{AnnealingPlacer, PlaceConfig, PlaceEngine};
         use fpga_route::rrgraph::RrGraph;
-        use fpga_route::{route, RouteOptions};
+        use fpga_route::{PathFinderRouter, RouteConfig, RouteEngine};
         let c = clustering(15);
         let device = Device::sized_for(Architecture::paper_default(), c.clusters.len(), 4);
-        let p = place(
-            &c,
-            device,
-            PlaceOptions {
-                seed: 1,
-                inner_num: 1.5,
-            },
-        )
-        .unwrap();
+        let p = AnnealingPlacer::new(PlaceConfig::new().seed(1).inner_num(1.5))
+            .place(&c, device)
+            .unwrap();
         let g = RrGraph::build(&p.device, 10);
-        let r = route(&c, &p, &g, &RouteOptions::default()).unwrap();
+        let r = PathFinderRouter::new(RouteConfig::new())
+            .route(&c, &p, &g)
+            .unwrap();
         let tech = Tech::stm018();
         let caps = ClbCaps::from_designs(&tech);
         let rep = estimate(&c, Some((&r, &g)), &tech, &caps, &PowerOptions::default()).unwrap();

@@ -1,0 +1,214 @@
+//! Engine-level routing API.
+//!
+//! Mirrors `fpga_place::engine`: the flow pipeline, lint drivers, and
+//! bench harness consume routers through the [`RouteEngine`] trait so
+//! alternative engines (a greedy pattern router, a timing-driven
+//! PathFinder, ...) can be slotted in later. [`PathFinderRouter`] is the
+//! production engine: negotiation-based iterations with concurrent
+//! per-net workers whose results are bit-identical across thread counts
+//! (see the `pathfinder` module docs for the determinism argument).
+
+use fpga_pack::Clustering;
+use fpga_place::Placement;
+
+use crate::pathfinder::{route_with, RouteOptions, RouteResult};
+use crate::rrgraph::RrGraph;
+use crate::{Result, RouteError};
+
+/// Shared parallelism knobs, re-exported from `fpga-place` so both P&R
+/// engines configure threading with one type.
+pub use fpga_place::engine::Parallelism;
+
+/// Typed builder-style configuration for [`PathFinderRouter`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct RouteConfig {
+    pub max_iterations: usize,
+    pub pres_fac_first: f64,
+    pub pres_fac_mult: f64,
+    pub hist_fac: f64,
+    pub parallelism: Parallelism,
+}
+
+impl Default for RouteConfig {
+    fn default() -> Self {
+        RouteConfig {
+            // Batch-synchronous Gauss-Seidel converges like the serial
+            // router (later batches see earlier batches' commits within
+            // an iteration); a third of headroom over the old serial
+            // ceiling of 30 absorbs within-batch blindness on designs
+            // pinned near their minimum channel width.
+            max_iterations: 40,
+            pres_fac_first: 0.5,
+            pres_fac_mult: 1.8,
+            hist_fac: 0.4,
+            parallelism: Parallelism::default(),
+        }
+    }
+}
+
+impl RouteConfig {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn max_iterations(mut self, n: usize) -> Self {
+        self.max_iterations = n;
+        self
+    }
+
+    pub fn pres_fac_first(mut self, v: f64) -> Self {
+        self.pres_fac_first = v;
+        self
+    }
+
+    pub fn pres_fac_mult(mut self, v: f64) -> Self {
+        self.pres_fac_mult = v;
+        self
+    }
+
+    pub fn hist_fac(mut self, v: f64) -> Self {
+        self.hist_fac = v;
+        self
+    }
+
+    pub fn parallelism(mut self, p: Parallelism) -> Self {
+        self.parallelism = p;
+        self
+    }
+
+    pub fn threads(mut self, n: usize) -> Self {
+        self.parallelism.threads = n.max(1);
+        self
+    }
+}
+
+impl From<&RouteOptions> for RouteConfig {
+    fn from(opts: &RouteOptions) -> Self {
+        RouteConfig {
+            max_iterations: opts.max_iterations,
+            pres_fac_first: opts.pres_fac_first,
+            pres_fac_mult: opts.pres_fac_mult,
+            hist_fac: opts.hist_fac,
+            parallelism: Parallelism::default(),
+        }
+    }
+}
+
+/// A routing engine: connects every placed net on an RR graph.
+pub trait RouteEngine {
+    /// Stable engine name (for traces and reports).
+    fn name(&self) -> &'static str;
+
+    /// Route all nets of a placement on an RR graph.
+    fn route(
+        &self,
+        clustering: &Clustering,
+        placement: &Placement,
+        g: &RrGraph,
+    ) -> Result<RouteResult>;
+
+    /// Binary search for the minimum channel width that routes the design
+    /// (the width VPR reports for an architecture). Starts from the
+    /// architecture's default width, doubles until routable, then bisects.
+    fn find_min_channel_width(
+        &self,
+        clustering: &Clustering,
+        placement: &Placement,
+        max_width: usize,
+    ) -> Result<(usize, RouteResult)> {
+        let device = &placement.device;
+        // Find an upper bound that routes.
+        let mut hi = device.arch.routing.channel_width.max(2);
+        let mut best: Option<(usize, RouteResult)>;
+        loop {
+            let g = RrGraph::build(device, hi);
+            match self.route(clustering, placement, &g) {
+                Ok(r) => {
+                    best = Some((hi, r));
+                    break;
+                }
+                Err(_) if hi < max_width => hi = (hi * 2).min(max_width),
+                Err(e) => return Err(e),
+            }
+        }
+        let mut hi_w = hi;
+        let mut lo = 1usize;
+        while lo < hi_w {
+            let mid = (lo + hi_w) / 2;
+            let g = RrGraph::build(device, mid);
+            match self.route(clustering, placement, &g) {
+                Ok(r) => {
+                    best = Some((mid, r));
+                    hi_w = mid;
+                }
+                Err(_) => lo = mid + 1,
+            }
+        }
+        best.ok_or_else(|| RouteError::Internal("no routable channel width".into()))
+    }
+}
+
+/// The PathFinder negotiated-congestion router with concurrent per-net
+/// search workers and deterministic barrier commits.
+#[derive(Clone, Debug, Default)]
+pub struct PathFinderRouter {
+    cfg: RouteConfig,
+}
+
+impl PathFinderRouter {
+    pub fn new(cfg: RouteConfig) -> Self {
+        PathFinderRouter { cfg }
+    }
+
+    pub fn config(&self) -> &RouteConfig {
+        &self.cfg
+    }
+}
+
+impl RouteEngine for PathFinderRouter {
+    fn name(&self) -> &'static str {
+        "pathfinder"
+    }
+
+    fn route(
+        &self,
+        clustering: &Clustering,
+        placement: &Placement,
+        g: &RrGraph,
+    ) -> Result<RouteResult> {
+        route_with(&self.cfg, clustering, placement, g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_builder_sets_fields() {
+        let cfg = RouteConfig::new()
+            .max_iterations(12)
+            .pres_fac_first(0.25)
+            .pres_fac_mult(2.0)
+            .hist_fac(0.5)
+            .threads(4);
+        assert_eq!(cfg.max_iterations, 12);
+        assert_eq!(cfg.pres_fac_first, 0.25);
+        assert_eq!(cfg.pres_fac_mult, 2.0);
+        assert_eq!(cfg.hist_fac, 0.5);
+        assert_eq!(cfg.parallelism.threads, 4);
+    }
+
+    #[test]
+    fn config_from_legacy_options_maps_fields() {
+        let opts = RouteOptions {
+            max_iterations: 9,
+            pres_fac_first: 0.7,
+            pres_fac_mult: 1.5,
+            hist_fac: 0.3,
+        };
+        let cfg = RouteConfig::from(&opts);
+        assert_eq!(cfg.max_iterations, 9);
+        assert_eq!(cfg.pres_fac_first, 0.7);
+    }
+}

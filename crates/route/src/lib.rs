@@ -16,13 +16,17 @@
 //! minimum channel width a netlist needs on the architecture.
 
 pub mod codec;
+pub mod engine;
 pub mod pathfinder;
 pub mod rrgraph;
 pub mod sta;
 pub mod timing;
 
 pub use codec::{route_result_from_bytes, route_result_to_bytes};
-pub use pathfinder::{find_min_channel_width, route, RouteOptions, RouteResult, RoutedNet};
+pub use engine::{Parallelism, PathFinderRouter, RouteConfig, RouteEngine};
+#[allow(deprecated)]
+pub use pathfinder::{find_min_channel_width, route};
+pub use pathfinder::{RouteOptions, RouteResult, RoutedNet};
 pub use rrgraph::{RrGraph, RrKind, RrNodeId};
 pub use sta::{analyze_paths, LogicDelays, StaResult};
 

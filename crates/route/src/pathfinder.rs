@@ -1,21 +1,54 @@
 //! PathFinder: negotiated-congestion routing.
 //!
-//! Each iteration routes every net by Dijkstra search over the RR graph
-//! with the cost `base * (1 + hist) * (1 + pres * overuse)`. Present-
-//! congestion pressure (`pres`) grows each iteration, history cost
-//! accumulates on persistently overused nodes, and the loop ends when no
-//! node is shared.
+//! Each iteration rips up and reroutes nets by A* search over the RR
+//! graph with the cost `base * (1 + hist) * (1 + pres * overuse)` and an
+//! admissible manhattan distance-to-go bound toward the remaining sinks.
+//! Present-congestion pressure (`pres`) grows each iteration, history
+//! cost accumulates on persistently overused nodes, and the loop ends
+//! when no node is shared.
+//!
+//! The iteration structure is batch-synchronous Gauss-Seidel so per-net
+//! searches can run concurrently without giving up serial convergence:
+//! the worklist is cut into fixed-size batches in canonical net order,
+//! every net in a batch routes against the congestion state *frozen at
+//! batch start* (with its own previous tree's occupancy subtracted from
+//! its cost view), and the batch's trees are committed at a barrier in
+//! canonical net order before the next batch starts. Later batches
+//! therefore see earlier batches' rip-ups and new trees within the same
+//! iteration — the information flow that makes serial PathFinder
+//! converge — while the handful of nets inside one batch route
+//! independently. After iteration 0, only nets whose trees touch an
+//! overused node are rerouted; once the routing is legal, a couple of
+//! full clean-up sweeps at frozen pressure reclaim the detour cost the
+//! congested stragglers absorbed (see `POLISH_SWEEPS` — incremental
+//! rip-up alone was measured notably worse on critical path). Batch
+//! boundaries are staggered per iteration so order-adjacent nets are not
+//! mutually blind forever, small worklists route serially to break
+//! negotiation standoffs, and small *designs* run fully classic — serial
+//! full sweeps, no jitter (see `SERIAL_WORKLIST`).
+//! Determinism across thread counts is by
+//! construction: the batch size is a constant (never derived from the
+//! thread count), so batch composition, each batch-start snapshot, and
+//! the commit order are functions of canonical net order alone;
+//! history/pressure updates happen single-threaded at the iteration
+//! barrier. The search heap breaks cost ties by node id so results never
+//! depend on heap insertion order.
+//!
+//! Searches reuse per-worker epoch-stamped distance/parent buffers
+//! instead of allocating per sink, which is where most of the serial
+//! router's time went on large graphs.
 
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 use fpga_netlist::ir::NetId;
 use fpga_pack::Clustering;
 use fpga_place::{BlockRef, Placement};
 
+use crate::engine::{PathFinderRouter, RouteConfig, RouteEngine};
 use crate::rrgraph::{clb_ipin, clb_opin, RrGraph, RrKind, RrNodeId};
 use crate::{Result, RouteError};
 
-/// Router options.
+/// Router options for the deprecated free-function API.
 #[derive(Clone, Debug)]
 pub struct RouteOptions {
     pub max_iterations: usize,
@@ -155,7 +188,10 @@ pub fn net_endpoints(
 
 #[derive(Clone, Copy, PartialEq)]
 struct HeapEntry {
+    /// Priority: path cost plus the admissible distance-to-go estimate.
     cost: f64,
+    /// Path cost alone, for the stale-entry check against `dist`.
+    dist: f64,
     node: RrNodeId,
 }
 
@@ -163,17 +199,56 @@ impl Eq for HeapEntry {}
 
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Min-heap on cost.
+        // Min-heap on cost; ties broken by node id so pop order never
+        // depends on heap insertion history.
         other
             .cost
             .partial_cmp(&self.cost)
             .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| other.node.0.cmp(&self.node.0))
     }
 }
 
 impl PartialOrd for HeapEntry {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
+    }
+}
+
+/// Grid label of an RR node — every variant carries the (x, y) of its
+/// tile or channel segment, and every RR edge moves at most one step in
+/// this label space (unit-length segments, disjoint switch boxes,
+/// pin-to-adjacent-channel connections).
+fn tile(kind: RrKind) -> (i32, i32) {
+    match kind {
+        RrKind::Opin { x, y, .. }
+        | RrKind::Ipin { x, y, .. }
+        | RrKind::Chanx { x, y, .. }
+        | RrKind::Chany { x, y, .. } => (x as i32, y as i32),
+    }
+}
+
+/// Beyond this fanout, remaining sinks blanket the chip and a
+/// min-over-sinks bound prunes little while costing O(sinks) per edge.
+const ASTAR_MAX_GOALS: usize = 16;
+
+/// Admissible distance-to-go lower bound for A*: every edge moves at
+/// most one step in label space and costs at least 0.9 (the minimum
+/// base cost; the congestion/history/jitter multipliers are all >= 1),
+/// so `0.9 * (manhattan - 1)` never overestimates the true remaining
+/// cost to the nearest goal. The -1 slack absorbs the half-step
+/// offsets between a pin's label and its adjacent channel's. An empty
+/// goal list means "no bound" (plain Dijkstra).
+fn lower_bound(goals: &[(i32, i32)], at: (i32, i32)) -> f64 {
+    let mut best = i32::MAX;
+    for &(gx, gy) in goals {
+        let d = (gx - at.0).abs() + (gy - at.1).abs();
+        best = best.min(d);
+    }
+    if best == i32::MAX {
+        0.0
+    } else {
+        0.9 * (best - 1).max(0) as f64
     }
 }
 
@@ -185,129 +260,230 @@ fn base_cost(kind: RrKind) -> f64 {
     }
 }
 
+type Tree = Vec<(RrNodeId, Option<RrNodeId>)>;
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic per-(net, node) cost jitter in `[0, JITTER_FAC)`.
+///
+/// Nets inside one batch route against identical frozen congestion, so
+/// without a tie-breaker two symmetric nets fighting over a node can
+/// relocate in lockstep. A tiny multiplicative jitter keyed on
+/// `(net, node)` — never on thread or iteration — makes their cost
+/// landscapes slightly different, so negotiation converges, while results
+/// stay bit-identical across thread counts.
+const JITTER_FAC: f64 = 0.01;
+
+fn jitter(net_salt: u64, node: usize) -> f64 {
+    1.0 + JITTER_FAC
+        * ((splitmix64(net_salt ^ node as u64) >> 11) as f64 * (1.0 / (1u64 << 53) as f64))
+}
+
+/// Nets routed concurrently between commit barriers. A constant — never
+/// derived from the thread count — so batch composition and barrier
+/// placement, and therefore the routed result, are identical at any
+/// parallelism. Small enough that congestion information still flows
+/// through an iteration nearly as fast as fully serial Gauss-Seidel.
+const NET_BATCH: usize = 32;
+
+/// Serial threshold, applied at two levels. A *design* with at most
+/// this many nets routes in classic mode throughout: full serial
+/// sweeps, no jitter, no polish — plain Gauss-Seidel PathFinder.
+/// Convergence at *marginal* channel widths — exactly what
+/// `find_min_channel_width` probes on small designs — measurably
+/// degrades under both within-batch blindness and incremental rip-up
+/// (minimum widths came out 1–2 tracks worse), and small designs carry
+/// no useful parallelism anyway. On bigger designs, an *iteration*
+/// whose worklist shrinks to this size goes serial (batch size 1): in
+/// the negotiation endgame the last few stragglers fighting over one
+/// node can swap resources in lockstep when routed blind inside one
+/// batch, while one-at-a-time each sees the others' commits and the
+/// standoff resolves. Both tests are functions of the design and the
+/// canonical worklist alone, so thread-count invariance is untouched.
+const SERIAL_WORKLIST: usize = 512;
+
+/// After this many consecutive iterations without the overused-node
+/// count improving, incremental rerouting has stalled: the congested
+/// stragglers keep trading the same nodes while every net that could
+/// yield a resource sits outside the worklist. Escalate to full sweeps
+/// — classic PathFinder's global renegotiation — until overuse drops
+/// again. A pure function of the iteration history, so thread-count
+/// invariance is untouched. Measured on `rent_4k` at its pinned width
+/// of 44: incremental-only negotiation parks at 2 overused nodes until
+/// the ceiling, while sweep escalation converges.
+const STAGNATION_SWEEP: usize = 3;
+
+/// Full clean-up sweeps run after negotiation converges, at frozen
+/// pressure. Incremental rip-up leaves the last-resolved nets with
+/// whatever detours broke the congestion; once the landscape has
+/// settled, rerouting every net lets those detours shorten through
+/// space that is now free (occupied nodes stay prohibitively expensive
+/// at converged pressure, so legality is re-checked, not assumed). If a
+/// polish sweep reintroduces overuse, normal negotiation resumes; the
+/// last legal routing is kept as a fallback.
+const POLISH_SWEEPS: usize = 2;
+
 /// Route all nets of a placement on an RR graph.
+#[deprecated(
+    since = "0.2.0",
+    note = "use engine::{PathFinderRouter, RouteConfig, RouteEngine}"
+)]
 pub fn route(
     clustering: &Clustering,
     placement: &Placement,
     g: &RrGraph,
     opts: &RouteOptions,
 ) -> Result<RouteResult> {
-    let endpoints = net_endpoints(clustering, placement, g)?;
-    let n_nodes = g.node_count();
-    let mut occupancy = vec![0u32; n_nodes];
-    let mut history = vec![0.0f64; n_nodes];
-    let mut trees: HashMap<NetId, Vec<(RrNodeId, Option<RrNodeId>)>> = HashMap::new();
-
-    let mut pres_fac = opts.pres_fac_first;
-    for iteration in 0..opts.max_iterations {
-        for (net, source, sinks) in &endpoints {
-            // Rip up the previous tree.
-            if let Some(old) = trees.remove(net) {
-                for (n, _) in &old {
-                    occupancy[n.0 as usize] -= 1;
-                }
-            }
-            let tree =
-                route_net(g, *source, sinks, &occupancy, &history, pres_fac).ok_or_else(|| {
-                    RouteError::Internal(format!(
-                        "no path for net '{}'",
-                        clustering.netlist.net_name(*net)
-                    ))
-                })?;
-            for (n, _) in &tree {
-                occupancy[n.0 as usize] += 1;
-            }
-            trees.insert(*net, tree);
-        }
-        // Congestion check: every node capacity is 1.
-        let mut overused = 0usize;
-        for (i, &occ) in occupancy.iter().enumerate() {
-            if occ > 1 {
-                overused += 1;
-                history[i] += opts.hist_fac * (occ - 1) as f64;
-            }
-        }
-        if overused == 0 {
-            let nets: Vec<RoutedNet> = endpoints
-                .iter()
-                .map(|(net, source, sinks)| RoutedNet {
-                    net: *net,
-                    source: *source,
-                    sinks: sinks.clone(),
-                    tree: trees[net].clone(),
-                })
-                .collect();
-            let wirelength = nets.iter().map(|n| n.wirelength(g)).sum();
-            return Ok(RouteResult {
-                nets,
-                channel_width: g.channel_width,
-                iterations: iteration + 1,
-                wirelength,
-            });
-        }
-        pres_fac *= opts.pres_fac_mult;
-    }
-    let overused = occupancy.iter().filter(|&&o| o > 1).count();
-    Err(RouteError::Unroutable {
-        channel_width: g.channel_width,
-        overused,
-    })
+    PathFinderRouter::new(RouteConfig::from(opts)).route(clustering, placement, g)
 }
 
-/// Dijkstra-grown route tree for one net.
+/// Binary search for the minimum channel width that routes the design.
+#[deprecated(
+    since = "0.2.0",
+    note = "use engine::RouteEngine::find_min_channel_width"
+)]
+pub fn find_min_channel_width(
+    clustering: &Clustering,
+    placement: &Placement,
+    opts: &RouteOptions,
+    max_width: usize,
+) -> Result<(usize, RouteResult)> {
+    PathFinderRouter::new(RouteConfig::from(opts))
+        .find_min_channel_width(clustering, placement, max_width)
+}
+
+/// Reusable, epoch-stamped per-worker search state. An entry of `dist`/
+/// `prev` is valid only when `stamp` carries the current search epoch;
+/// `mark` (in-tree), `own` (the net's previous tree) and `sinkm`
+/// (pending sinks) are valid under the current net epoch. Bumping an
+/// epoch invalidates the whole array in O(1) instead of re-zeroing
+/// node-count-sized buffers for every sink of every net.
+struct SearchBuffers {
+    dist: Vec<f64>,
+    prev: Vec<u32>,
+    stamp: Vec<u32>,
+    search_epoch: u32,
+    mark: Vec<u32>,
+    own: Vec<u32>,
+    sinkm: Vec<u32>,
+    net_epoch: u32,
+    heap: BinaryHeap<HeapEntry>,
+}
+
+impl SearchBuffers {
+    fn new(n: usize) -> Self {
+        SearchBuffers {
+            dist: vec![0.0; n],
+            prev: vec![u32::MAX; n],
+            stamp: vec![0; n],
+            search_epoch: 0,
+            mark: vec![0; n],
+            own: vec![0; n],
+            sinkm: vec![0; n],
+            net_epoch: 0,
+            heap: BinaryHeap::new(),
+        }
+    }
+}
+
+/// A*-grown route tree for one net against a frozen congestion
+/// snapshot, with the net's own previous tree subtracted from its view.
+#[allow(clippy::too_many_arguments)]
 fn route_net(
     g: &RrGraph,
+    net_salt: Option<u64>,
     source: RrNodeId,
     sinks: &[RrNodeId],
     occupancy: &[u32],
     history: &[f64],
+    own_old: Option<&[(RrNodeId, Option<RrNodeId>)]>,
     pres_fac: f64,
-) -> Option<Vec<(RrNodeId, Option<RrNodeId>)>> {
-    let n = g.node_count();
-    let mut tree: Vec<(RrNodeId, Option<RrNodeId>)> = vec![(source, None)];
-    let mut in_tree = vec![false; n];
-    in_tree[source.0 as usize] = true;
-    let mut remaining: Vec<RrNodeId> = sinks.to_vec();
+    bufs: &mut SearchBuffers,
+) -> Option<Tree> {
+    bufs.net_epoch += 1;
+    let ne = bufs.net_epoch;
+    if let Some(old) = own_old {
+        for (node, _) in old {
+            bufs.own[node.0 as usize] = ne;
+        }
+    }
+    let mut tree: Tree = vec![(source, None)];
+    bufs.mark[source.0 as usize] = ne;
+    let mut remaining = 0usize;
+    for s in sinks {
+        if bufs.sinkm[s.0 as usize] != ne {
+            bufs.sinkm[s.0 as usize] = ne;
+            remaining += 1;
+        }
+    }
 
-    let node_cost = |id: RrNodeId, extra_occ: u32| -> f64 {
-        let i = id.0 as usize;
-        let occ = occupancy[i] + extra_occ;
-        let over = occ as f64; // capacity 1: occ >= 1 means congestion next
-        base_cost(g.kind(id)) * (1.0 + history[i]) * (1.0 + pres_fac * over)
-    };
-
-    while !remaining.is_empty() {
-        // Dijkstra from the whole current tree to the nearest sink.
-        let mut dist = vec![f64::INFINITY; n];
-        let mut prev: Vec<Option<RrNodeId>> = vec![None; n];
-        let mut heap = BinaryHeap::new();
+    let mut goals: Vec<(i32, i32)> = Vec::new();
+    while remaining > 0 {
+        // A* from the whole current tree to the nearest sink: plain
+        // Dijkstra ordering plus the admissible `lower_bound` estimate,
+        // which steers the wavefront toward the remaining sinks instead
+        // of flooding cost-annuli across the whole chip. The bound is
+        // consistent, so the first sink popped still carries its true
+        // minimum path cost — the heuristic changes how much gets
+        // explored, never which tree wins.
+        goals.clear();
+        if remaining <= ASTAR_MAX_GOALS {
+            goals.extend(
+                sinks
+                    .iter()
+                    .filter(|s| bufs.sinkm[s.0 as usize] == ne)
+                    .map(|&s| tile(g.kind(s))),
+            );
+        }
+        bufs.search_epoch += 1;
+        let se = bufs.search_epoch;
+        bufs.heap.clear();
         for &(tn, _) in &tree {
-            dist[tn.0 as usize] = 0.0;
-            heap.push(HeapEntry {
-                cost: 0.0,
+            let i = tn.0 as usize;
+            bufs.dist[i] = 0.0;
+            bufs.stamp[i] = se;
+            bufs.prev[i] = u32::MAX;
+            bufs.heap.push(HeapEntry {
+                cost: lower_bound(&goals, tile(g.kind(tn))),
+                dist: 0.0,
                 node: tn,
             });
         }
         let mut reached: Option<RrNodeId> = None;
-        while let Some(HeapEntry { cost, node }) = heap.pop() {
-            if cost > dist[node.0 as usize] {
+        while let Some(HeapEntry { dist, node, .. }) = bufs.heap.pop() {
+            let i = node.0 as usize;
+            if bufs.stamp[i] == se && dist > bufs.dist[i] {
                 continue;
             }
-            if remaining.contains(&node) {
+            if bufs.sinkm[i] == ne {
                 reached = Some(node);
                 break;
             }
             // Input pins terminate paths: you cannot route *through* a pin.
-            if !in_tree[node.0 as usize] && matches!(g.kind(node), RrKind::Ipin { .. }) {
+            if bufs.mark[i] != ne && matches!(g.kind(node), RrKind::Ipin { .. }) {
                 continue;
             }
-            for &succ in &g.edges[node.0 as usize] {
-                let c = cost + node_cost(succ, 0);
-                if c < dist[succ.0 as usize] {
-                    dist[succ.0 as usize] = c;
-                    prev[succ.0 as usize] = Some(node);
-                    heap.push(HeapEntry {
-                        cost: c,
+            for &succ in &g.edges[i] {
+                let si = succ.0 as usize;
+                let occ = occupancy[si].saturating_sub((bufs.own[si] == ne) as u32);
+                let over = occ as f64; // capacity 1: occ >= 1 means congestion next
+                let c = dist
+                    + base_cost(g.kind(succ))
+                        * (1.0 + history[si])
+                        * (1.0 + pres_fac * over)
+                        * net_salt.map_or(1.0, |salt| jitter(salt, si));
+                if bufs.stamp[si] != se || c < bufs.dist[si] {
+                    bufs.dist[si] = c;
+                    bufs.stamp[si] = se;
+                    bufs.prev[si] = node.0;
+                    bufs.heap.push(HeapEntry {
+                        cost: c + lower_bound(&goals, tile(g.kind(succ))),
+                        dist: c,
                         node: succ,
                     });
                 }
@@ -317,65 +493,256 @@ fn route_net(
         // Trace back to the tree.
         let mut cur = sink;
         let mut path = Vec::new();
-        while !in_tree[cur.0 as usize] {
-            let p = prev[cur.0 as usize]?;
-            path.push((cur, Some(p)));
-            cur = p;
+        while bufs.mark[cur.0 as usize] != ne {
+            let p = bufs.prev[cur.0 as usize];
+            if p == u32::MAX {
+                return None;
+            }
+            path.push((cur, Some(RrNodeId(p))));
+            cur = RrNodeId(p);
         }
         for &(node, parent) in path.iter().rev() {
             tree.push((node, parent));
-            in_tree[node.0 as usize] = true;
+            bufs.mark[node.0 as usize] = ne;
         }
-        remaining.retain(|&s| s != sink);
+        bufs.sinkm[sink.0 as usize] = 0;
+        remaining -= 1;
     }
     Some(tree)
 }
 
-/// Binary search for the minimum channel width that routes the design.
-pub fn find_min_channel_width(
+/// Route one batch of nets against the frozen batch-start state, spread
+/// over `threads` workers. Results come back in worklist order no matter
+/// which worker routed which net.
+#[allow(clippy::too_many_arguments)]
+fn route_batch(
+    g: &RrGraph,
+    endpoints: &[(NetId, RrNodeId, Vec<RrNodeId>)],
+    trees: &[Option<Tree>],
+    worklist: &[u32],
+    occupancy: &[u32],
+    history: &[f64],
+    pres_fac: f64,
+    use_jitter: bool,
+    threads: usize,
+    pool: &mut Vec<SearchBuffers>,
+) -> Vec<Option<Tree>> {
+    let workers = threads.min(worklist.len()).max(1);
+    while pool.len() < workers {
+        pool.push(SearchBuffers::new(g.node_count()));
+    }
+    let run = |bufs: &mut SearchBuffers, wi: u32| -> Option<Tree> {
+        let (net, source, sinks) = &endpoints[wi as usize];
+        route_net(
+            g,
+            use_jitter.then(|| splitmix64(0x7ac0_5e1f ^ net.0 as u64)),
+            *source,
+            sinks,
+            occupancy,
+            history,
+            trees[wi as usize].as_deref(),
+            pres_fac,
+            bufs,
+        )
+    };
+    if workers == 1 {
+        let bufs = &mut pool[0];
+        return worklist.iter().map(|&wi| run(bufs, wi)).collect();
+    }
+    let chunk = worklist.len().div_ceil(workers);
+    let mut results: Vec<Option<Tree>> = worklist.iter().map(|_| None).collect();
+    std::thread::scope(|s| {
+        let run = &run;
+        for ((wch, rch), bufs) in worklist
+            .chunks(chunk)
+            .zip(results.chunks_mut(chunk))
+            .zip(pool.iter_mut())
+        {
+            s.spawn(move || {
+                for (&wi, r) in wch.iter().zip(rch.iter_mut()) {
+                    *r = run(bufs, wi);
+                }
+            });
+        }
+    });
+    results
+}
+
+/// Route all nets of a placement on an RR graph (engine entry point).
+pub(crate) fn route_with(
+    cfg: &RouteConfig,
     clustering: &Clustering,
     placement: &Placement,
-    opts: &RouteOptions,
-    max_width: usize,
-) -> Result<(usize, RouteResult)> {
-    let device = &placement.device;
-    // Find an upper bound that routes.
-    let mut hi = device.arch.routing.channel_width.max(2);
-    let mut best: Option<(usize, RouteResult)>;
-    loop {
-        let g = RrGraph::build(device, hi);
-        match route(clustering, placement, &g, opts) {
-            Ok(r) => {
-                best = Some((hi, r));
-                break;
-            }
-            Err(_) if hi < max_width => hi = (hi * 2).min(max_width),
-            Err(e) => return Err(e),
+    g: &RrGraph,
+) -> Result<RouteResult> {
+    let endpoints = net_endpoints(clustering, placement, g)?;
+    let n_nodes = g.node_count();
+    let mut occupancy = vec![0u32; n_nodes];
+    let mut history = vec![0.0f64; n_nodes];
+    let mut trees: Vec<Option<Tree>> = vec![None; endpoints.len()];
+    let threads = cfg.parallelism.threads.max(1);
+    let mut pool: Vec<SearchBuffers> = Vec::new();
+
+    let finish = |trees: &[Option<Tree>], iterations: usize| -> RouteResult {
+        let nets: Vec<RoutedNet> = endpoints
+            .iter()
+            .enumerate()
+            .map(|(i, (net, source, sinks))| RoutedNet {
+                net: *net,
+                source: *source,
+                sinks: sinks.clone(),
+                tree: trees[i].clone().unwrap_or_default(),
+            })
+            .collect();
+        let wirelength = nets.iter().map(|n| n.wirelength(g)).sum();
+        RouteResult {
+            nets,
+            channel_width: g.channel_width,
+            iterations,
+            wirelength,
         }
-    }
-    let mut hi_w = hi;
-    let mut lo = 1usize;
-    while lo < hi_w {
-        let mid = (lo + hi_w) / 2;
-        let g = RrGraph::build(device, mid);
-        match route(clustering, placement, &g, opts) {
-            Ok(r) => {
-                best = Some((mid, r));
-                hi_w = mid;
+    };
+
+    // Small designs route in classic mode: full serial sweeps, no
+    // jitter. Their minimum channel width is itself a QoR metric (the
+    // binary-search experiment), and marginal-width convergence
+    // measurably degrades under both within-batch blindness and
+    // incremental rip-up — while costing nothing to run serially at
+    // this size. The mode is a function of the design alone.
+    let classic = endpoints.len() <= SERIAL_WORKLIST;
+
+    let mut pres_fac = cfg.pres_fac_first;
+    let mut polish_left = if classic { 0 } else { POLISH_SWEEPS };
+    let mut last_legal: Option<(Vec<Option<Tree>>, usize)> = None;
+    let mut prev_overused = usize::MAX;
+    let mut stagnant = 0usize;
+    for iteration in 0..cfg.max_iterations {
+        // Worklist in canonical net order. Iteration 0, classic mode,
+        // polish sweeps (no overuse left), and stagnation escalation
+        // (see STAGNATION_SWEEP) route every net; incremental
+        // negotiation iterations reroute only nets whose tree touches
+        // an overused node.
+        let congested: Vec<u32> = (0..endpoints.len() as u32)
+            .filter(|&i| {
+                trees[i as usize]
+                    .as_ref()
+                    .is_some_and(|t| t.iter().any(|(n, _)| occupancy[n.0 as usize] > 1))
+            })
+            .collect();
+        let polishing = iteration > 0 && congested.is_empty();
+        let worklist: Vec<u32> =
+            if classic || iteration == 0 || polishing || stagnant >= STAGNATION_SWEEP {
+                (0..endpoints.len() as u32).collect()
+            } else {
+                congested
+            };
+        // Batch-synchronous sweep: each fixed-size batch routes against
+        // the occupancy left by the batches before it, then commits at a
+        // barrier in canonical net order (see module docs). Small
+        // worklists run serially — classic Gauss-Seidel — which also
+        // breaks endgame standoffs on big designs: the last stragglers
+        // fighting over one node can swap resources in lockstep when
+        // routed blind inside one batch, while one-at-a-time each sees
+        // the others' commits.
+        let batch_size = if classic || worklist.len() <= SERIAL_WORKLIST {
+            1
+        } else {
+            NET_BATCH
+        };
+        let use_jitter = !classic;
+        // Stagger batch boundaries by iteration: with a fixed phase, two
+        // nets adjacent in canonical order share a batch — mutually
+        // blind — in *every* iteration, and can trade the same overused
+        // node forever. The stagger is a function of the iteration index
+        // only, so it is identical at any thread count.
+        let lead = (iteration * 7 % batch_size).min(worklist.len());
+        let (head, tail) = worklist.split_at(lead);
+        let batches = std::iter::once(head)
+            .filter(|b| !b.is_empty())
+            .chain(tail.chunks(batch_size));
+        for batch in batches {
+            let results = route_batch(
+                g, &endpoints, &trees, batch, &occupancy, &history, pres_fac, use_jitter, threads,
+                &mut pool,
+            );
+            for (&wi, tree) in batch.iter().zip(results) {
+                let wi = wi as usize;
+                let tree = tree.ok_or_else(|| {
+                    RouteError::Internal(format!(
+                        "no path for net '{}'",
+                        clustering.netlist.net_name(endpoints[wi].0)
+                    ))
+                })?;
+                if let Some(old) = trees[wi].take() {
+                    for (n, _) in &old {
+                        occupancy[n.0 as usize] -= 1;
+                    }
+                }
+                for (n, _) in &tree {
+                    occupancy[n.0 as usize] += 1;
+                }
+                trees[wi] = Some(tree);
             }
-            Err(_) => lo = mid + 1,
         }
+        // Congestion check: every node capacity is 1.
+        let mut overused = 0usize;
+        for (i, &occ) in occupancy.iter().enumerate() {
+            if occ > 1 {
+                overused += 1;
+                history[i] += cfg.hist_fac * (occ - 1) as f64;
+            }
+        }
+        if overused == 0 {
+            if polish_left == 0 {
+                return Ok(finish(&trees, iteration + 1));
+            }
+            // Legal but not yet polished: keep this routing as the
+            // fallback, hold pressure steady, and run a clean-up sweep
+            // (next iteration's worklist is every net).
+            last_legal = Some((trees.clone(), iteration + 1));
+            polish_left -= 1;
+            continue;
+        }
+        if std::env::var_os("ROUTE_DEBUG").is_some() {
+            eprintln!(
+                "iter {iteration}: overused {overused} worklist {} pres {pres_fac:.1}",
+                worklist.len()
+            );
+        }
+        if overused >= prev_overused {
+            stagnant += 1;
+        } else {
+            stagnant = 0;
+        }
+        prev_overused = overused;
+        pres_fac *= cfg.pres_fac_mult;
     }
-    Ok(best.expect("at least one successful width"))
+    if let Some((trees, iterations)) = last_legal {
+        // The iteration budget ran out mid-polish; the pre-polish
+        // routing was legal, so ship that.
+        return Ok(finish(&trees, iterations));
+    }
+    let overused = occupancy.iter().filter(|&&o| o > 1).count();
+    Err(RouteError::Unroutable {
+        channel_width: g.channel_width,
+        overused,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::Parallelism;
     use fpga_arch::device::Device;
     use fpga_arch::{Architecture, ClbArch};
     use fpga_netlist::ir::{CellKind, Netlist};
-    use fpga_place::{place, PlaceOptions};
+    use fpga_place::{AnnealingPlacer, PlaceConfig, PlaceEngine};
+
+    fn router(threads: usize) -> PathFinderRouter {
+        PathFinderRouter::new(
+            RouteConfig::new().parallelism(Parallelism::serial().threads(threads)),
+        )
+    }
 
     fn flow(n_luts: usize, seed: u64) -> (Clustering, Placement) {
         // A few LUT+FF chains with cross-links for routing pressure.
@@ -413,15 +780,9 @@ mod tests {
         nl.add_output(prev);
         let c = fpga_pack::pack(&nl, &ClbArch::paper_default()).unwrap();
         let device = Device::sized_for(Architecture::paper_default(), c.clusters.len(), 8);
-        let p = place(
-            &c,
-            device,
-            PlaceOptions {
-                seed,
-                inner_num: 2.0,
-            },
-        )
-        .unwrap();
+        let p = AnnealingPlacer::new(PlaceConfig::new().seed(seed).inner_num(2.0))
+            .place(&c, device)
+            .unwrap();
         (c, p)
     }
 
@@ -429,7 +790,7 @@ mod tests {
     fn routes_small_design() {
         let (c, p) = flow(12, 1);
         let g = RrGraph::build(&p.device, p.device.arch.routing.channel_width);
-        let r = route(&c, &p, &g, &RouteOptions::default()).unwrap();
+        let r = router(1).route(&c, &p, &g).unwrap();
         assert_eq!(r.nets.len(), p.nets.len());
         assert!(r.wirelength > 0);
         // Legality: no node used twice.
@@ -461,7 +822,7 @@ mod tests {
     fn trees_follow_graph_edges() {
         let (c, p) = flow(8, 2);
         let g = RrGraph::build(&p.device, 10);
-        let r = route(&c, &p, &g, &RouteOptions::default()).unwrap();
+        let r = router(1).route(&c, &p, &g).unwrap();
         for net in &r.nets {
             for (node, parent) in &net.tree {
                 if let Some(par) = parent {
@@ -477,15 +838,53 @@ mod tests {
     }
 
     #[test]
+    fn bit_identical_across_thread_counts() {
+        let (c, p) = flow(20, 5);
+        let g = RrGraph::build(&p.device, p.device.arch.routing.channel_width);
+        let r1 = router(1).route(&c, &p, &g).unwrap();
+        for threads in [2, 3, 8] {
+            let rn = router(threads).route(&c, &p, &g).unwrap();
+            assert_eq!(r1.iterations, rn.iterations, "threads={threads}");
+            assert_eq!(r1.wirelength, rn.wirelength, "threads={threads}");
+            for (a, b) in r1.nets.iter().zip(rn.nets.iter()) {
+                assert_eq!(a.net, b.net);
+                assert_eq!(a.tree, b.tree, "threads={threads} tree diverged");
+            }
+        }
+    }
+
+    #[test]
     fn min_channel_width_is_found() {
         let (c, p) = flow(10, 3);
-        let (w, r) = find_min_channel_width(&c, &p, &RouteOptions::default(), 64).unwrap();
+        let (w, r) = router(1).find_min_channel_width(&c, &p, 64).unwrap();
         assert!((1..=64).contains(&w));
         assert_eq!(r.channel_width, w);
         // One less track must fail (minimality), unless already 1.
         if w > 1 {
             let g = RrGraph::build(&p.device, w - 1);
-            assert!(route(&c, &p, &g, &RouteOptions::default()).is_err());
+            assert!(router(1).route(&c, &p, &g).is_err());
+        }
+    }
+
+    #[test]
+    fn deprecated_wrapper_matches_engine() {
+        let (c, p) = flow(9, 6);
+        let g = RrGraph::build(&p.device, p.device.arch.routing.channel_width);
+        #[allow(deprecated)]
+        let legacy = route(
+            &c,
+            &p,
+            &g,
+            &RouteOptions {
+                max_iterations: 50,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let modern = router(1).route(&c, &p, &g).unwrap();
+        assert_eq!(legacy.wirelength, modern.wirelength);
+        for (a, b) in legacy.nets.iter().zip(modern.nets.iter()) {
+            assert_eq!(a.tree, b.tree);
         }
     }
 
@@ -493,11 +892,8 @@ mod tests {
     fn tiny_channel_is_unroutable() {
         let (c, p) = flow(25, 4);
         let g = RrGraph::build(&p.device, 1);
-        let opts = RouteOptions {
-            max_iterations: 6,
-            ..Default::default()
-        };
-        match route(&c, &p, &g, &opts) {
+        let r = PathFinderRouter::new(RouteConfig::new().max_iterations(6));
+        match r.route(&c, &p, &g) {
             Err(RouteError::Unroutable { .. }) | Err(RouteError::Internal(_)) => {}
             Ok(r) => {
                 // Highly unlikely but legal for trivially small placements.

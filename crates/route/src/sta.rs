@@ -208,12 +208,12 @@ pub fn analyze_paths(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pathfinder::{route, RouteOptions};
+    use crate::engine::{PathFinderRouter, RouteConfig, RouteEngine};
     use crate::rrgraph::RrGraph;
     use fpga_arch::device::Device;
     use fpga_arch::{Architecture, ClbArch};
     use fpga_netlist::ir::Netlist;
-    use fpga_place::{place, PlaceOptions};
+    use fpga_place::{AnnealingPlacer, PlaceConfig, PlaceEngine};
 
     fn lut_chain(n: usize) -> Netlist {
         let mut nl = Netlist::new("chain");
@@ -238,17 +238,13 @@ mod tests {
         let nl = lut_chain(n);
         let c = fpga_pack::pack(&nl, &ClbArch::paper_default()).unwrap();
         let device = Device::sized_for(Architecture::paper_default(), c.clusters.len(), 4);
-        let p = place(
-            &c,
-            device,
-            PlaceOptions {
-                seed: 4,
-                inner_num: 1.0,
-            },
-        )
-        .unwrap();
+        let p = AnnealingPlacer::new(PlaceConfig::new().seed(4).inner_num(1.0))
+            .place(&c, device)
+            .unwrap();
         let g = RrGraph::build(&p.device, 10);
-        let r = route(&c, &p, &g, &RouteOptions::default()).unwrap();
+        let r = PathFinderRouter::new(RouteConfig::new())
+            .route(&c, &p, &g)
+            .unwrap();
         analyze_paths(
             &c,
             &p,
@@ -315,17 +311,13 @@ mod tests {
         );
         let c = fpga_pack::pack(&nl, &ClbArch::paper_default()).unwrap();
         let device = Device::sized_for(Architecture::paper_default(), c.clusters.len(), 3);
-        let p = place(
-            &c,
-            device,
-            PlaceOptions {
-                seed: 1,
-                inner_num: 1.0,
-            },
-        )
-        .unwrap();
+        let p = AnnealingPlacer::new(PlaceConfig::new().seed(1).inner_num(1.0))
+            .place(&c, device)
+            .unwrap();
         let g = RrGraph::build(&p.device, 8);
-        let r = route(&c, &p, &g, &RouteOptions::default()).unwrap();
+        let r = PathFinderRouter::new(RouteConfig::new())
+            .route(&c, &p, &g)
+            .unwrap();
         let logic = LogicDelays::default();
         let sta = analyze_paths(&c, &p, &r, &g, &TimingModel::default(), &logic);
         // clk->Q + 2 LUTs + setup at minimum.

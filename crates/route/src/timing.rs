@@ -125,12 +125,12 @@ pub fn analyze(result: &RouteResult, g: &RrGraph, model: &TimingModel) -> Timing
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pathfinder::{route, RouteOptions};
+    use crate::engine::{PathFinderRouter, RouteConfig, RouteEngine};
     use crate::rrgraph::RrGraph;
     use fpga_arch::device::Device;
     use fpga_arch::{Architecture, ClbArch};
     use fpga_netlist::ir::{CellKind, Netlist};
-    use fpga_place::{place, PlaceOptions};
+    use fpga_place::{AnnealingPlacer, PlaceConfig, PlaceEngine};
 
     fn routed() -> (RouteResult, RrGraph) {
         let mut nl = Netlist::new("t");
@@ -150,17 +150,13 @@ mod tests {
         nl.add_output(prev);
         let c = fpga_pack::pack(&nl, &ClbArch::paper_default()).unwrap();
         let device = Device::sized_for(Architecture::paper_default(), c.clusters.len(), 4);
-        let p = place(
-            &c,
-            device,
-            PlaceOptions {
-                seed: 5,
-                inner_num: 1.0,
-            },
-        )
-        .unwrap();
+        let p = AnnealingPlacer::new(PlaceConfig::new().seed(5).inner_num(1.0))
+            .place(&c, device)
+            .unwrap();
         let g = RrGraph::build(&p.device, 8);
-        let r = route(&c, &p, &g, &RouteOptions::default()).unwrap();
+        let r = PathFinderRouter::new(RouteConfig::new())
+            .route(&c, &p, &g)
+            .unwrap();
         (r, g)
     }
 

@@ -52,10 +52,10 @@ flowc — command-line client for flowd
 usage:
   flowc [--tcp HOST:PORT | --unix PATH] compile <design.vhd|design.blif>
         [--blif] [--seed N] [--effort F] [--width W] [--cycles N]
-        [--lint off|warn|deny] [--deadline DUR] [--retries N] [--trace]
-        [-o design.bit] [--report report.json]
+        [--threads N] [--lint off|warn|deny] [--deadline DUR]
+        [--retries N] [--trace] [-o design.bit] [--report report.json]
   flowc [--tcp HOST:PORT | --unix PATH] lint <design.vhd|design.blif>
-        [--blif] [--json] [--quiet] [--deadline DUR]
+        [--blif] [--json] [--quiet] [--deadline DUR] [--threads N]
   flowc [--tcp HOST:PORT | --unix PATH] metrics [--text]
   flowc [--tcp HOST:PORT | --unix PATH] status | stats | ping | shutdown
   flowc --help | --version
@@ -77,6 +77,9 @@ flowd accepts for its --max-deadline / --idle-timeout / --retry-after.
             per-tenant admission counters
   --tenant  tag compile/lint jobs with a tenant id for the gateway's
             per-tenant fair-share quotas (proto v4; flowd ignores it)
+  --threads ask the daemon to place and route this job with N worker
+            threads; results are bit-identical at any thread count, so
+            cached artifacts and QoR never depend on it
 
 {}
 exit codes:
@@ -97,6 +100,14 @@ exit codes:
 fn fail(code: i32, msg: impl std::fmt::Display) -> ! {
     eprintln!("flowc: {msg}");
     std::process::exit(code);
+}
+
+/// Parse `--threads N` (shared by compile and lint submissions).
+fn parse_threads(args: &cli::Args) -> Option<u64> {
+    args.options.get("threads").map(|raw| match raw.parse() {
+        Ok(n) if n >= 1 => n,
+        _ => cli::die("flowc", format!("bad --threads '{raw}'")),
+    })
 }
 
 fn try_connect(args: &cli::Args) -> io::Result<FlowClient> {
@@ -121,7 +132,7 @@ fn connect(args: &cli::Args) -> FlowClient {
 fn main() {
     let args = cli::parse_args(&[
         "tcp", "unix", "seed", "effort", "width", "cycles", "lint", "deadline", "retries", "o",
-        "report", "tenant",
+        "report", "tenant", "threads",
     ]);
     cli::handle_version("flowc", &args);
     if args.flags.iter().any(|f| f == "help") {
@@ -242,6 +253,7 @@ fn compile(args: &cli::Args) {
     req.deadline_ms = deadline_ms;
     req.trace = args.flags.iter().any(|f| f == "trace");
     req.tenant = args.options.get("tenant").cloned();
+    req.threads = parse_threads(args);
 
     let outcome = match compile_with_retry(
         || try_connect(args),
@@ -368,6 +380,7 @@ fn lint(args: &cli::Args) {
             .unwrap_or_else(|e| cli::die("flowc", format!("bad --deadline: {e}")))
     });
     req.tenant = args.options.get("tenant").cloned();
+    req.threads = parse_threads(args);
 
     let outcome = match connect(args).lint_request(&req) {
         Ok(o) => o,

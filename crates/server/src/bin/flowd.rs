@@ -38,6 +38,7 @@ flowd — the flow compile-service daemon
 
 usage:
   flowd [--tcp HOST:PORT] [--unix PATH] [--workers N] [--queue N]
+        [--threads N]
         [--max-deadline DUR] [--idle-timeout DUR] [--max-line SIZE]
         [--max-conns N] [--retry-after DUR]
         [--cache-dir DIR] [--cache-budget-mb N] [--cache-entries N]
@@ -49,6 +50,9 @@ durations (DUR) take 250 / 250ms / 30s / 5m / 1h; sizes (SIZE) take
 512 / 64k / 8m / 2g — the same spellings flowc accepts. A DUR of 0
 disables that guard.
 
+  --threads N      default place-and-route threads per job (requests may
+                   override per job; results are bit-identical at any
+                   thread count, so cached artifacts stay shared)
   --artifact-gateway HOST:PORT
                    fetch missing stage artifacts from farm peers through
                    this gateway before recomputing (needs --cache-dir);
@@ -125,6 +129,7 @@ fn main() {
         "unix",
         "workers",
         "queue",
+        "threads",
         "max-deadline",
         "idle-timeout",
         "max-line",
@@ -164,6 +169,12 @@ fn main() {
         match q.parse() {
             Ok(n) if n > 0 => config.queue_capacity = n,
             _ => cli::die("flowd", format!("bad --queue '{q}'")),
+        }
+    }
+    if let Some(t) = args.options.get("threads") {
+        match t.parse() {
+            Ok(n) if n > 0 => config.threads = Some(n),
+            _ => cli::die("flowd", format!("bad --threads '{t}'")),
         }
     }
     // 0 disables the corresponding guard.
@@ -239,6 +250,12 @@ fn main() {
     eprintln!(
         "flowd {} workers, queue depth {} (stop with: flowc shutdown)",
         config.workers, config.queue_capacity
+    );
+    eprintln!(
+        "flowd place-and-route threads: {}",
+        config
+            .threads
+            .map_or("engine default".to_string(), |n| n.to_string())
     );
     eprintln!(
         "flowd guards: deadline cap {}, idle timeout {}, max line {} B, max conns {}",

@@ -80,6 +80,12 @@ pub struct CompileRequest {
     /// and advisory: `flowd` itself ignores it, and version-3 peers drop
     /// it as an unknown field (proto 4).
     pub tenant: Option<String>,
+    /// Place-and-route worker threads for this job. Optional and
+    /// advisory: absent means "server default". Deliberately a top-level
+    /// field rather than a flow option so it never enters stage-cache
+    /// keys, and so older peers drop it as an unknown field
+    /// (wire-compatible with version 5 in both directions).
+    pub threads: Option<u64>,
 }
 
 impl CompileRequest {
@@ -93,6 +99,7 @@ impl CompileRequest {
             deadline_ms: None,
             trace: false,
             tenant: None,
+            threads: None,
         }
     }
 
@@ -200,6 +207,9 @@ impl Request {
                 if let Some(tenant) = &c.tenant {
                     obj.insert("tenant".into(), tenant.clone().into());
                 }
+                if let Some(threads) = c.threads {
+                    obj.insert("threads".into(), threads.into());
+                }
             }
             Request::ArtifactGet { stage, key, kind } => {
                 obj.insert("cmd".into(), "artifact_get".into());
@@ -286,6 +296,13 @@ pub fn parse_request_value(v: &Value) -> Result<Request, String> {
                         .to_string(),
                 ),
             };
+            let threads = match v.get("threads") {
+                None | Some(Value::Null) => None,
+                Some(t) => match t.as_u64() {
+                    Some(n) if n >= 1 => Some(n),
+                    _ => return Err("threads must be a positive integer".to_string()),
+                },
+            };
             let req = Box::new(CompileRequest {
                 format,
                 source,
@@ -293,6 +310,7 @@ pub fn parse_request_value(v: &Value) -> Result<Request, String> {
                 deadline_ms,
                 trace,
                 tenant,
+                threads,
             });
             Ok(if cmd == "lint" {
                 Request::Lint(req)
@@ -1229,6 +1247,37 @@ mod tests {
             panic!("not compile")
         };
         assert_eq!(c.tenant.as_deref(), Some("acme"));
+    }
+
+    #[test]
+    fn threads_field_is_optional_and_v5_compatible() {
+        // A version-5 line (no threads) parses with threads = None …
+        let req = parse_request(r#"{"cmd":"compile","source":".model m"}"#).unwrap();
+        let Request::Compile(c) = req else {
+            panic!("not compile")
+        };
+        assert_eq!(c.threads, None);
+        // … and its wire form carries no threads key at all.
+        assert!(Request::Compile(c).to_value().get("threads").is_none());
+        // Explicit null is the same as absent.
+        let req = parse_request(r#"{"cmd":"lint","source":".model m","threads":null}"#).unwrap();
+        let Request::Lint(c) = req else {
+            panic!("not lint")
+        };
+        assert_eq!(c.threads, None);
+        // Zero, negative, and non-integer counts are rejected.
+        for bad in ["0", "-1", "\"four\"", "2.5"] {
+            let line = format!(r#"{{"cmd":"compile","source":"x","threads":{bad}}}"#);
+            assert!(parse_request(&line).is_err(), "accepted threads={bad}");
+        }
+        // A present count survives the round trip.
+        let req = parse_request(r#"{"cmd":"compile","source":"x","threads":8}"#).unwrap();
+        let Request::Compile(c) = req else {
+            panic!("not compile")
+        };
+        assert_eq!(c.threads, Some(8));
+        let wire = Request::Compile(c).to_value();
+        assert_eq!(wire.get("threads").and_then(Value::as_u64), Some(8));
     }
 
     #[test]

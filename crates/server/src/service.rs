@@ -99,6 +99,12 @@ pub struct ServerConfig {
     /// panic/fail/stall on their K-th execution. Never set in
     /// production configs.
     pub fault: Option<Arc<FaultPlan>>,
+    /// Default place-and-route worker threads per job. A request's own
+    /// `threads` field wins over this; `None` defers to the engines'
+    /// default (the `FLOW_THREADS` environment variable, else 1).
+    /// Never part of stage-cache keys, so a farm of daemons with
+    /// different thread counts still shares artifacts.
+    pub threads: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -119,6 +125,7 @@ impl Default for ServerConfig {
             artifact_gateway: None,
             artifact_timeout_ms: 1_000,
             fault: None,
+            threads: None,
         }
     }
 }
@@ -1022,7 +1029,7 @@ fn run_job(shared: &Arc<Shared>, job: Job) {
         cancel,
         deadline_ms,
     } = job;
-    let options = match req.flow_options() {
+    let mut options = match req.flow_options() {
         Ok(opts) => opts,
         Err(message) => {
             // Unreachable in practice: options were validated at parse
@@ -1039,6 +1046,10 @@ fn run_job(shared: &Arc<Shared>, job: Job) {
             return;
         }
     };
+    // Per-job thread count beats the daemon default; neither enters the
+    // stage cache, so artifacts stay shared across differently-threaded
+    // nodes.
+    options.threads = req.threads.map(|n| n as usize).or(shared.config.threads);
     // Stream per-stage progress as it happens (feeding the latency
     // histograms on the way out), and remember which stages finished so
     // a timeout can report how far the job got. The sender side never

@@ -8,8 +8,8 @@
 
 use fpga_framework::arch::device::Device;
 use fpga_framework::arch::Architecture;
-use fpga_framework::place::PlaceOptions;
-use fpga_framework::route::{find_min_channel_width, RouteOptions};
+use fpga_framework::place::{AnnealingPlacer, PlaceConfig, PlaceEngine};
+use fpga_framework::route::{PathFinderRouter, RouteConfig, RouteEngine};
 use fpga_framework::synth::{map_to_luts, MapOptions};
 
 fn main() {
@@ -26,16 +26,11 @@ fn main() {
         let clustering = fpga_framework::pack::pack(&mapped, &arch.clb).expect("packs");
         let ios = mapped.inputs.len() + mapped.outputs.len() + 1;
         let device = Device::sized_for(arch, clustering.clusters.len(), ios);
-        let placement = fpga_framework::place::place(
-            &clustering,
-            device,
-            PlaceOptions {
-                seed: 1,
-                inner_num: 3.0,
-            },
-        )
-        .expect("places");
-        match find_min_channel_width(&clustering, &placement, &RouteOptions::default(), 96) {
+        let placement = AnnealingPlacer::new(PlaceConfig::new().seed(1).inner_num(3.0))
+            .place(&clustering, device)
+            .expect("places");
+        let router = PathFinderRouter::new(RouteConfig::new());
+        match router.find_min_channel_width(&clustering, &placement, 96) {
             Ok((w, routed)) => println!(
                 "{:<12} {:>6} {:>6} {:>8} {:>10} {:>12}",
                 name,

@@ -33,6 +33,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q"
 cargo test -q --workspace
 
+echo "==> cargo test -q with FLOW_THREADS=2 (parallel engines by default)"
+# Every test that doesn't pin a thread count now exercises the parallel
+# place/route paths; cross-thread determinism means results — and
+# therefore every assertion — must come out the same.
+FLOW_THREADS=2 cargo test -q --workspace
+
 echo "==> scripts/chaos.sh (fault-injection suites, pinned seed)"
 sh scripts/chaos.sh
 

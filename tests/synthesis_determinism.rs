@@ -12,6 +12,8 @@
 use fpga_framework::circuits::vhdl_counter;
 use fpga_framework::flow::{stages, FlowCtx, FlowOptions};
 use fpga_framework::netlist::canonical_text;
+use fpga_framework::place::placement_to_bytes;
+use fpga_framework::route::route_result_to_bytes;
 
 /// Elaborate the same design on several threads (each thread gets its
 /// own HashMap hasher seeds) and require identical canonical text.
@@ -63,5 +65,45 @@ fn stage_keys_are_thread_deterministic() {
         .collect();
     for ks in &key_sets[1..] {
         assert_eq!(ks, &key_sets[0], "stage keys differ by thread");
+    }
+}
+
+/// The back end under the same lens: place and route the same design on
+/// several worker threads (fresh `HashMap` hasher seeds each) *and* at
+/// several engine thread counts, and require byte-identical artifacts.
+/// The annealer and router both walk `HashMap`-backed structures
+/// internally — any leak of iteration order into move selection, net
+/// ordering, or cost accumulation shows up here as a differing byte.
+#[test]
+fn place_and_route_artifacts_are_thread_deterministic() {
+    let src = vhdl_counter(5);
+    let runs: Vec<(Vec<u8>, Vec<u8>)> = [1usize, 1, 2, 8]
+        .into_iter()
+        .map(|threads| {
+            let src = src.clone();
+            std::thread::spawn(move || {
+                let opts = FlowOptions::builder().threads(threads).build();
+                let ctx = FlowCtx::default();
+                let rtl = stages::synthesize_vhdl(&src, ctx).expect("synthesis");
+                let mapped = stages::lut_map(&rtl, &opts, ctx).expect("lut map");
+                let packed = stages::pack(&mapped, &opts.arch, ctx).expect("pack");
+                let placed = stages::place(&packed, &opts, ctx).expect("place");
+                let routed = stages::route(&packed, &placed, &opts, ctx).expect("route");
+                (
+                    placement_to_bytes(&placed.value),
+                    route_result_to_bytes(&routed.value.routing),
+                )
+            })
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|h| h.join().expect("no panic"))
+        .collect();
+    for r in &runs[1..] {
+        assert_eq!(
+            r.0, runs[0].0,
+            "placement differs by thread or thread count"
+        );
+        assert_eq!(r.1, runs[0].1, "routing differs by thread or thread count");
     }
 }
