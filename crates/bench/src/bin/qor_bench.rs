@@ -24,7 +24,7 @@ const USAGE: &str = "qor_bench — QoR + speed benchmark suite runner
 USAGE:
     qor_bench [--tier smoke|full] [--out FILE] [--via-daemon ADDR]
               [--seed N] [--effort X] [--verify-cycles N] [--threads N]
-              [--only NAME]...
+              [--verify off|warn|deny] [--only NAME]...
     qor_bench --list
     qor_bench --canon NAME
 
@@ -38,6 +38,10 @@ OPTIONS:
     --seed N             placement seed (default: 1)
     --effort X           annealing effort (default: 1.0, the bench standard)
     --verify-cycles N    bitstream verification cycles (default: 0 = skip)
+    --verify MODE        cross-stage equivalence checking (off|warn|deny,
+                         default: off). Adds verify:* spans to each row's
+                         stage list and the verify_ms wall-clock column;
+                         QoR columns never depend on it
     --threads N          place-and-route worker threads (default: engine
                          default). Moves wall-clock only: results are
                          bit-identical at any thread count, so QoR columns
@@ -103,6 +107,11 @@ fn run() -> Result<ExitCode, String> {
                     .parse()
                     .map_err(|_| "--verify-cycles must be an integer".to_string())?;
             }
+            "--verify" => {
+                let raw = value("--verify")?;
+                cfg.verify = fpga_flow::VerifyMode::parse(&raw)
+                    .ok_or_else(|| format!("unknown --verify mode '{raw}' (off|warn|deny)"))?;
+            }
             "--list" => {
                 for e in qor_suite() {
                     println!(
@@ -147,8 +156,15 @@ fn run() -> Result<ExitCode, String> {
         None => qor::run_suite(&cfg, progress)?,
     };
 
+    let verify_note = match report.aggregate.total_verify_ms {
+        Some(ms) if ms > 0.0 => format!(
+            ", verify ({}) {ms:.1} ms",
+            report.verify.as_deref().unwrap_or("off")
+        ),
+        _ => String::new(),
+    };
     eprintln!(
-        "{} designs, {} LUTs total, geomean wall {:.1} ms, total {:.1} s",
+        "{} designs, {} LUTs total, geomean wall {:.1} ms, total {:.1} s{verify_note}",
         report.aggregate.designs,
         report.aggregate.total_luts,
         report.aggregate.geomean_wall_ms,

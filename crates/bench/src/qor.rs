@@ -22,7 +22,7 @@
 use fpga_circuits::{qor_suite, SuiteEntry, SuiteTier};
 use fpga_flow::report::QorSummary;
 use fpga_flow::trace::TraceLog;
-use fpga_flow::{run_netlist_ctx, FlowCtx, FlowOptions, FlowReport};
+use fpga_flow::{run_netlist_ctx, FlowCtx, FlowOptions, FlowReport, VerifyMode};
 use fpga_server::client::FlowClient;
 use fpga_server::proto::{CompileRequest, SourceFormat};
 use serde::{Deserialize, Serialize};
@@ -56,6 +56,11 @@ pub struct BenchConfig {
     /// and `scripts/bench.sh` diffs a 1-thread against an N-thread run
     /// with `--max-qor-regress 0` to prove it.
     pub threads: Option<usize>,
+    /// Cross-stage equivalence checking mode for the run. `Off` (the
+    /// default) keeps trajectory numbers comparable with pre-verify
+    /// baselines; `Warn`/`Deny` add the `verify:*` spans, reported in
+    /// the per-row `verify_ms` column (and inside `wall_ms`).
+    pub verify: VerifyMode,
 }
 
 impl Default for BenchConfig {
@@ -67,6 +72,7 @@ impl Default for BenchConfig {
             verify_cycles: 0,
             only: Vec::new(),
             threads: None,
+            verify: VerifyMode::Off,
         }
     }
 }
@@ -89,6 +95,12 @@ pub struct DesignRow {
     /// Total wall-clock across all pipeline stages, in milliseconds —
     /// the sum of the trace spans, so it excludes netlist generation.
     pub wall_ms: f64,
+    /// Wall-clock spent in the cross-stage equivalence gates — the sum
+    /// of the `verify:*` spans, already included in `wall_ms`. Zero on
+    /// verify-off runs; `None` on reports from before the column
+    /// existed (the vendored serde treats absent `Option` fields as
+    /// `None`, so old reports still load).
+    pub verify_ms: Option<f64>,
     pub stages: Vec<StageTime>,
 }
 
@@ -118,6 +130,10 @@ pub struct Aggregate {
     pub designs: u64,
     pub total_luts: u64,
     pub total_wall_ms: f64,
+    /// Total wall-clock inside the `verify:*` equivalence gates (already
+    /// part of `total_wall_ms`); zero when the run had verify off,
+    /// `None` on pre-column reports.
+    pub total_verify_ms: Option<f64>,
     pub geomean_wall_ms: f64,
     pub geomean_critical_ns: f64,
     pub geomean_wirelength: f64,
@@ -146,6 +162,9 @@ pub struct BenchReport {
     pub place_seed: u64,
     pub place_effort: f64,
     pub verify_cycles: u64,
+    /// Equivalence-checking mode the run used (`off`/`warn`/`deny`);
+    /// `None` on reports from before the column existed (same as `off`).
+    pub verify: Option<String>,
     /// Place-and-route worker threads the run asked for (`None` = the
     /// engine default; also what pre-parallelism reports deserialize
     /// to). Never affects QoR columns — only wall-clock.
@@ -213,6 +232,7 @@ fn aggregate(rows: &[DesignRow]) -> Aggregate {
         designs: rows.len() as u64,
         total_luts: rows.iter().map(|r| r.qor.luts).sum(),
         total_wall_ms: wall.iter().sum(),
+        total_verify_ms: Some(rows.iter().filter_map(|r| r.verify_ms).sum()),
         geomean_wall_ms: geomean(&wall),
         geomean_critical_ns: geomean(&crit),
         geomean_wirelength: geomean(&wirelen),
@@ -261,7 +281,8 @@ fn flow_options(entry: &SuiteEntry, cfg: &BenchConfig) -> FlowOptions {
     let mut b = FlowOptions::builder()
         .place_seed(cfg.place_seed)
         .place_effort(cfg.place_effort)
-        .verify_cycles(cfg.verify_cycles);
+        .verify_cycles(cfg.verify_cycles)
+        .verify(cfg.verify);
     if let Some(w) = entry.channel_width {
         b = b.channel_width(w);
     }
@@ -297,10 +318,16 @@ fn row_from_spans(name: &str, qor: QorSummary, spans: &[fpga_flow::trace::TraceS
         })
         .collect();
     let wall_ms = stages.iter().map(|s| s.ms).sum();
+    let verify_ms = stages
+        .iter()
+        .filter(|s| s.stage.starts_with("verify:"))
+        .map(|s| s.ms)
+        .sum();
     DesignRow {
         name: name.to_string(),
         qor,
         wall_ms,
+        verify_ms: Some(verify_ms),
         stages,
     }
 }
@@ -317,6 +344,7 @@ pub fn assemble(cfg: &BenchConfig, via_daemon: bool, rows: Vec<DesignRow>) -> Be
         place_seed: cfg.place_seed,
         place_effort: cfg.place_effort,
         verify_cycles: cfg.verify_cycles as u64,
+        verify: Some(cfg.verify.name().to_string()),
         pnr_threads: cfg.threads.map(|n| n as u64),
         via_daemon,
         host: HostInfo::current(),
@@ -378,6 +406,9 @@ pub fn run_design_via_daemon(
     options.insert("place_seed".into(), cfg.place_seed.into());
     options.insert("place_effort".into(), cfg.place_effort.into());
     options.insert("verify_cycles".into(), (cfg.verify_cycles as u64).into());
+    if cfg.verify.enabled() {
+        options.insert("verify".into(), cfg.verify.name().into());
+    }
     if let Some(w) = entry.channel_width {
         options.insert("channel_width".into(), (w as u64).into());
     }
@@ -601,13 +632,33 @@ fn qor_metrics(b: &QorSummary, c: &QorSummary) -> Vec<(&'static str, f64, f64)> 
 /// Render the trajectory table documentation and EXPERIMENTS.md embed:
 /// one row per design, markdown.
 pub fn render_table(report: &BenchReport) -> String {
-    let mut out = String::from(
-        "| design | LUTs | CLBs | W | critical ns | fmax MHz | power mW | wall ms |\n\
-         |---|---|---|---|---|---|---|---|\n",
-    );
+    // The verify column only appears when the run actually checked
+    // equivalence — verify-off (and pre-column) reports keep the table
+    // shape their baselines were rendered with.
+    let verified = report
+        .verify
+        .as_deref()
+        .map(|m| m != "off")
+        .unwrap_or(false);
+    let mut out = if verified {
+        String::from(
+            "| design | LUTs | CLBs | W | critical ns | fmax MHz | power mW | wall ms | verify ms |\n\
+             |---|---|---|---|---|---|---|---|---|\n",
+        )
+    } else {
+        String::from(
+            "| design | LUTs | CLBs | W | critical ns | fmax MHz | power mW | wall ms |\n\
+             |---|---|---|---|---|---|---|---|\n",
+        )
+    };
     for r in &report.rows {
+        let verify_col = if verified {
+            format!(" {:.0} |", r.verify_ms.unwrap_or(0.0))
+        } else {
+            String::new()
+        };
         out.push_str(&format!(
-            "| {} | {} | {} | {} | {:.2} | {:.1} | {:.2} | {:.0} |\n",
+            "| {} | {} | {} | {} | {:.2} | {:.1} | {:.2} | {:.0} |{verify_col}\n",
             r.name,
             r.qor.luts,
             r.qor.clbs,
@@ -618,8 +669,13 @@ pub fn render_table(report: &BenchReport) -> String {
             r.wall_ms
         ));
     }
+    let verify_total = if verified {
+        format!(" {:.0} |", report.aggregate.total_verify_ms.unwrap_or(0.0))
+    } else {
+        String::new()
+    };
     out.push_str(&format!(
-        "| **geomean / total** | {} | | | {:.2} | | {:.2} | {:.0} |\n",
+        "| **geomean / total** | {} | | | {:.2} | | {:.2} | {:.0} |{verify_total}\n",
         report.aggregate.total_luts,
         report.aggregate.geomean_critical_ns,
         report.aggregate.geomean_power_mw,
@@ -648,6 +704,7 @@ mod tests {
                 power_mw: 2.0,
             },
             wall_ms: wall,
+            verify_ms: None,
             stages: vec![StageTime {
                 stage: "route".into(),
                 ms: wall,
@@ -665,6 +722,7 @@ mod tests {
             place_seed: 1,
             place_effort: 1.0,
             verify_cycles: 0,
+            verify: None,
             pnr_threads: None,
             via_daemon: false,
             host: HostInfo::current(),
@@ -839,5 +897,54 @@ mod tests {
         let t = render_table(&report(vec![row("x", 1.0, 2.0, 3)]));
         assert!(t.contains("| design |"));
         assert!(t.contains("geomean"));
+        // Verify-off runs keep the pre-verify table shape.
+        assert!(!t.contains("verify ms"));
+    }
+
+    #[test]
+    fn verify_deny_run_is_clean_and_reports_its_wall_clock() {
+        let entry = fpga_circuits::suite_entry("add32").unwrap();
+        let cfg = BenchConfig {
+            verify: VerifyMode::Deny,
+            ..Default::default()
+        };
+        // Deny means a non-equivalent stage artifact would have failed
+        // the whole run; completing is the equivalence proof.
+        let checked = run_design(&entry, &cfg).unwrap();
+        assert!(checked.verify_ms.unwrap_or(0.0) > 0.0);
+        assert!(checked
+            .stages
+            .iter()
+            .any(|s| s.stage.starts_with("verify:")));
+
+        // QoR must be untouched by the gates — only wall-clock moves.
+        let baseline = run_design(&entry, &BenchConfig::default()).unwrap();
+        assert_eq!(checked.qor.wirelength, baseline.qor.wirelength);
+        assert_eq!(checked.qor.luts, baseline.qor.luts);
+
+        let mut r = report(vec![checked]);
+        r.verify = Some("deny".to_string());
+        let t = render_table(&r);
+        assert!(t.contains("verify ms"), "{t}");
+    }
+
+    #[test]
+    fn pre_verify_reports_still_load() {
+        // Baselines written before the verify columns existed must keep
+        // deserializing, with the missing fields reading as verify-off.
+        let r = report(vec![row("add32", 12.0, 10.0, 50)]);
+        let v: serde_json::Value = serde_json::from_str(&r.to_json()).expect("valid json");
+        let serde_json::Value::Object(fields) = v else {
+            panic!("report is not an object")
+        };
+        let mut stripped = serde_json::Map::new();
+        for (k, val) in fields {
+            if k != "verify" {
+                stripped.insert(k, val);
+            }
+        }
+        let old_wire = serde_json::Value::Object(stripped).to_string();
+        let loaded = BenchReport::from_json(&old_wire).expect("loads");
+        assert_eq!(loaded.verify, None);
     }
 }

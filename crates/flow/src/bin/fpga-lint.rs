@@ -21,11 +21,14 @@ fn help() -> String {
 fpga-lint — offline design-rule checker
 
 usage:
-  fpga-lint <design.vhd|design.blif> [--blif] [--json] [--quiet]
+  fpga-lint <design.vhd|design.blif> [--blif] [--verify] [--json] [--quiet]
   fpga-lint --rules
   fpga-lint --help | --version
 
   --blif    treat the input as BLIF regardless of extension
+  --verify  run the cross-stage equivalence check (the EQ rules: every
+            stage artifact proved functionally equivalent to the
+            synthesized netlist) instead of the design-rule lint
   --json    print findings as a JSON array (one object per finding)
   --quiet   print only the summary line
   --rules   print the rule catalogue and exit
@@ -66,6 +69,22 @@ fn main() {
     let opts = FlowOptions::default();
     let ctx = FlowCtx::default();
     let is_blif = args.flags.iter().any(|f| f == "blif") || path.ends_with(".blif");
+    if args.flags.iter().any(|f| f == "verify") {
+        let result = if is_blif {
+            check::verify_blif(&source, &opts, ctx)
+        } else {
+            check::verify_vhdl(&source, &opts, ctx)
+        };
+        let report = match result {
+            Ok(r) => r,
+            Err(e) => cli::die("fpga-lint", e),
+        };
+        render(&args, &report.diagnostics, &report.design, report.reached);
+        if !report.clean() {
+            std::process::exit(EXIT_DENIED);
+        }
+        return;
+    }
     let result = if is_blif {
         check::lint_blif(&source, &opts, ctx)
     } else {
@@ -76,25 +95,31 @@ fn main() {
         Err(e) => cli::die("fpga-lint", e),
     };
 
+    render(&args, &report.diagnostics, &report.design, report.reached);
+    if !report.clean() {
+        std::process::exit(EXIT_DENIED);
+    }
+}
+
+/// Print findings (per `--json`/`--quiet`) and the summary line shared by
+/// the lint and verify paths.
+fn render(args: &cli::Args, diagnostics: &[fpga_lint::Diagnostic], design: &str, reached: &str) {
     let quiet = args.flags.iter().any(|f| f == "quiet");
     if args.flags.iter().any(|f| f == "json") {
-        let body = fpga_lint::diagnostics_to_value(&report.diagnostics);
+        let body = fpga_lint::diagnostics_to_value(diagnostics);
         match serde_json::to_string_pretty(&body) {
             Ok(text) => println!("{text}"),
             Err(e) => cli::die("fpga-lint", format!("cannot render findings: {e}")),
         }
     } else if !quiet {
-        for d in &report.diagnostics {
+        for d in diagnostics {
             println!("{d}");
         }
     }
     eprintln!(
         "{}: checked through '{}': {}",
-        report.design,
-        report.reached,
-        fpga_lint::summarize(&report.diagnostics)
+        design,
+        reached,
+        fpga_lint::summarize(diagnostics)
     );
-    if !report.clean() {
-        std::process::exit(EXIT_DENIED);
-    }
 }

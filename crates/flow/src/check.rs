@@ -19,6 +19,7 @@
 use fpga_lint::{Diagnostic, Severity};
 use fpga_netlist::Netlist;
 
+use crate::equiv::EquivGate;
 use crate::pipeline::{FlowCtx, FlowOptions};
 use crate::stages::{self, Staged};
 use crate::{stage_err, Result};
@@ -121,6 +122,97 @@ fn deep_lint(rtl: Staged<Netlist>, opts: &FlowOptions, ctx: FlowCtx) -> Result<L
     Ok(report)
 }
 
+/// The outcome of a deep equivalence check: every EQ finding, plus how
+/// far the check got.
+#[derive(Debug)]
+pub struct VerifyReport {
+    pub design: String,
+    pub diagnostics: Vec<Diagnostic>,
+    /// The last check point reached (`mapped`, `pack`, `place`, `route`,
+    /// `bitstream`).
+    pub reached: &'static str,
+}
+
+impl VerifyReport {
+    /// Whether every checked artifact is equivalent: no deny-severity
+    /// findings. `EQ003` warnings (unverifiable cones) do not fail a
+    /// design, but callers can still see them in `diagnostics`.
+    pub fn clean(&self) -> bool {
+        self.deny_count() == 0
+    }
+
+    pub fn deny_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Deny)
+            .count()
+    }
+}
+
+/// Deep-verify VHDL source: drive the stages and check each artifact
+/// against the synthesized netlist, collecting every EQ finding instead
+/// of stopping at the first (unlike a compile with
+/// [`FlowOptions::verify`] = `Deny`).
+pub fn verify_vhdl(source: &str, opts: &FlowOptions, ctx: FlowCtx) -> Result<VerifyReport> {
+    let rtl = stages::synthesize_vhdl(source, ctx)?;
+    deep_verify(rtl, opts, ctx)
+}
+
+/// Deep-verify a BLIF design.
+pub fn verify_blif(text: &str, opts: &FlowOptions, ctx: FlowCtx) -> Result<VerifyReport> {
+    let rtl = fpga_netlist::blif::parse(text).map_err(stage_err("blif"))?;
+    deep_verify(stages::adopt_rtl(rtl), opts, ctx)
+}
+
+/// Deep-verify an in-memory netlist.
+pub fn verify_rtl(rtl: Netlist, opts: &FlowOptions, ctx: FlowCtx) -> Result<VerifyReport> {
+    deep_verify(stages::adopt_rtl(rtl), opts, ctx)
+}
+
+fn deep_verify(rtl: Staged<Netlist>, opts: &FlowOptions, ctx: FlowCtx) -> Result<VerifyReport> {
+    let gate = EquivGate::new(&rtl.value);
+    let mut report = VerifyReport {
+        design: rtl.value.name.clone(),
+        diagnostics: Vec::new(),
+        reached: "mapped",
+    };
+
+    let mapped = stages::lut_map(&rtl, opts, ctx)?;
+    report
+        .diagnostics
+        .extend(gate.check_netlist("mapped", &mapped.value));
+
+    let clustering = stages::pack(&mapped, &opts.arch, ctx)?;
+    report.reached = "pack";
+    report
+        .diagnostics
+        .extend(gate.check_clustering(&clustering.value));
+
+    let placement = stages::place(&clustering, opts, ctx)?;
+    report.reached = "place";
+    report
+        .diagnostics
+        .extend(gate.check_placement(&clustering.value, &placement.value));
+
+    let routed = stages::route(&clustering, &placement, opts, ctx)?;
+    report.reached = "route";
+    report.diagnostics.extend(gate.check_routing(
+        &clustering.value,
+        &placement.value,
+        &routed.value.graph,
+        &routed.value.routing,
+    ));
+
+    let bits = stages::bitstream(&clustering, &placement, &routed, ctx)?;
+    report.reached = "bitstream";
+    report.diagnostics.extend(gate.check_bitstream(
+        &bits.value.bitstream,
+        &clustering.value,
+        &placement.value,
+    ));
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,5 +251,22 @@ mod tests {
         let err = lint_blif("not a blif", &FlowOptions::default(), FlowCtx::default())
             .expect_err("parse must fail");
         assert_eq!(err.stage, "blif");
+    }
+
+    #[test]
+    fn clean_vhdl_counter_verifies_clean_through_bitstream() {
+        let src = fpga_circuits::vhdl_counter(3);
+        let report = verify_vhdl(&src, &FlowOptions::default(), FlowCtx::default()).unwrap();
+        assert_eq!(report.reached, "bitstream");
+        assert!(report.clean(), "{:?}", report.diagnostics);
+        assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+    }
+
+    #[test]
+    fn deep_verify_checks_a_rent_netlist_end_to_end() {
+        let rtl = fpga_circuits::rent_logic(24, 0.6, 5);
+        let report = verify_rtl(rtl, &FlowOptions::default(), FlowCtx::default()).unwrap();
+        assert_eq!(report.reached, "bitstream");
+        assert!(report.clean(), "{:?}", report.diagnostics);
     }
 }

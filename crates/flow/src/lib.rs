@@ -23,6 +23,7 @@ pub mod artifact;
 pub mod cache;
 pub mod check;
 pub mod cli;
+pub mod equiv;
 pub mod fault;
 pub mod hash;
 pub mod pipeline;
@@ -34,7 +35,10 @@ pub mod trace;
 
 pub use artifact::Artifact;
 pub use cache::{CacheOutcome, RemoteTier, StageCache, StageId, StageStats};
-pub use check::{lint_blif, lint_rtl, lint_vhdl, LintReport};
+pub use check::{
+    lint_blif, lint_rtl, lint_vhdl, verify_blif, verify_rtl, verify_vhdl, LintReport, VerifyReport,
+};
+pub use equiv::{EquivGate, VerifyMode};
 pub use fault::{CancelReason, CancelToken, FaultAction, FaultPlan, FaultRule, Gate};
 pub use pipeline::{
     run_blif, run_blif_ctx, run_netlist, run_netlist_ctx, run_vhdl, run_vhdl_ctx, FlowArtifacts,

@@ -19,6 +19,7 @@ use fpga_route::rrgraph::RrGraph;
 use fpga_route::RouteResult;
 
 use crate::cache::{StageCache, StageId};
+use crate::equiv::{EquivGate, VerifyMode};
 use crate::fault::{CancelReason, CancelToken, FaultPlan};
 use crate::report::{FlowReport, StageReport};
 use crate::stages::{self, Staged};
@@ -46,6 +47,14 @@ pub struct FlowOptions {
     /// environment variable (or 1). Engine results are bit-identical
     /// across thread counts, so this never enters stage-cache keys.
     pub threads: Option<usize>,
+    /// Cross-stage equivalence gate (signature-based CEC, `fpga-verify`)
+    /// at every stage boundary: `Off` (default — today's behavior, byte
+    /// for byte, including cache keys), `Warn` (check, report EQ
+    /// findings, proceed), or `Deny` (a non-equivalent artifact fails
+    /// the job with the counterexample attached). Like `lint` and
+    /// `threads`, this is a check on the flow, not an input to it — it
+    /// never enters stage-cache keys.
+    pub verify: VerifyMode,
 }
 
 impl Default for FlowOptions {
@@ -59,6 +68,7 @@ impl Default for FlowOptions {
             verify_cycles: 48,
             lint: LintMode::Off,
             threads: None,
+            verify: VerifyMode::Off,
         }
     }
 }
@@ -132,6 +142,12 @@ impl FlowOptionsBuilder {
     /// never changes results or stage-cache keys.
     pub fn threads(mut self, threads: usize) -> Self {
         self.opts.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Cross-stage equivalence gate mode (see [`FlowOptions::verify`]).
+    pub fn verify(mut self, mode: VerifyMode) -> Self {
+        self.opts.verify = mode;
         self
     }
 
@@ -363,8 +379,8 @@ fn record<T>(
         }
     }
     report.push_with_id(Some(staged.stage.name()), name, metrics, started);
-    if let Some(observe) = ctx.observer {
-        observe(report.stages.last().expect("just pushed"));
+    if let (Some(observe), Some(entry)) = (ctx.observer, report.stages.last()) {
+        observe(entry);
     }
 }
 
@@ -406,16 +422,75 @@ fn lint_point(
             .iter()
             .filter(|d| d.severity == Severity::Deny)
             .collect();
-        let first = denies.first().expect("denied implies a deny finding");
+        if let Some(first) = denies.first() {
+            return Err(FlowError {
+                stage: "lint",
+                message: format!(
+                    "design-rule check failed at '{point}': {} ({} deny finding{}; first: [{}] {})",
+                    fpga_lint::summarize(collected),
+                    denies.len(),
+                    if denies.len() == 1 { "" } else { "s" },
+                    first.code,
+                    first.message
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// One equivalence gate: check a stage artifact against the reference
+/// view, record the findings (trace span `verify:{point}`, the shared
+/// diagnostic sink, the run's accumulator), and — under
+/// [`VerifyMode::Deny`] — fail the flow on any deny-severity EQ finding,
+/// carrying the counterexample in the error message. `Off` runs pass a
+/// `None` gate and short-circuit before doing any work, so the default
+/// flow is untouched (byte for byte, including cache keys).
+fn verify_point(
+    ctx: &FlowCtx,
+    opts: &FlowOptions,
+    point: &'static str,
+    collected: &mut Vec<Diagnostic>,
+    gate: Option<&EquivGate>,
+    run: impl FnOnce(&EquivGate) -> Vec<Diagnostic>,
+) -> Result<()> {
+    let Some(gate) = gate else {
+        return Ok(());
+    };
+    let span = ctx.trace.map(|t| t.start(&format!("verify:{point}")));
+    let diags = run(gate);
+    let first_deny = if opts.verify == VerifyMode::Deny {
+        diags.iter().find(|d| d.severity == Severity::Deny).cloned()
+    } else {
+        None
+    };
+    if let (Some(log), Some(id)) = (ctx.trace, span) {
+        let (outcome, detail) = if first_deny.is_some() {
+            (
+                crate::trace::SpanOutcome::Error,
+                Some(fpga_lint::summarize(&diags)),
+            )
+        } else {
+            (crate::trace::SpanOutcome::Computed, None)
+        };
+        log.finish(id, outcome, detail);
+    }
+    if let Some(sink) = ctx.lint {
+        sink.extend(diags.iter().cloned());
+    }
+    collected.extend(diags);
+    if let Some(first) = first_deny {
+        let cex = first
+            .notes
+            .iter()
+            .find(|n| n.starts_with("counterexample: "))
+            .map(|n| format!(" — {n}"))
+            .unwrap_or_default();
         return Err(FlowError {
-            stage: "lint",
+            stage: "verify",
             message: format!(
-                "design-rule check failed at '{point}': {} ({} deny finding{}; first: [{}] {})",
-                fpga_lint::summarize(collected),
-                denies.len(),
-                if denies.len() == 1 { "" } else { "s" },
-                first.code,
-                first.message
+                "equivalence check failed at '{point}': [{}] {}{}",
+                first.code, first.message, cex
             ),
         });
     }
@@ -429,11 +504,18 @@ fn run_from_rtl(
     mut report: FlowReport,
     mut lint: Vec<Diagnostic>,
 ) -> Result<FlowArtifacts> {
+    // The equivalence gates all compare against one reference view,
+    // extracted from the synthesized netlist exactly once per run.
+    let equiv = opts.verify.enabled().then(|| EquivGate::new(&rtl.value));
+
     let t = Instant::now();
     let mapped = stages::lut_map(&rtl, opts, ctx)?;
     record(&mut report, &ctx, "lut mapping (SIS)", &mapped, t);
     lint_point(&ctx, opts, "mapped", &mut lint, || {
         fpga_lint::lint_netlist(&mapped.value)
+    })?;
+    verify_point(&ctx, opts, "mapped", &mut lint, equiv.as_ref(), |g| {
+        g.check_netlist("mapped", &mapped.value)
     })?;
 
     let t = Instant::now();
@@ -442,12 +524,18 @@ fn run_from_rtl(
     lint_point(&ctx, opts, "pack", &mut lint, || {
         fpga_lint::lint_clustering(&clustering.value)
     })?;
+    verify_point(&ctx, opts, "pack", &mut lint, equiv.as_ref(), |g| {
+        g.check_clustering(&clustering.value)
+    })?;
 
     let t = Instant::now();
     let placement = stages::place(&clustering, opts, ctx)?;
     record(&mut report, &ctx, "placement (VPR)", &placement, t);
     lint_point(&ctx, opts, "place", &mut lint, || {
         fpga_lint::lint_placement(&clustering.value, &placement.value)
+    })?;
+    verify_point(&ctx, opts, "place", &mut lint, equiv.as_ref(), |g| {
+        g.check_placement(&clustering.value, &placement.value)
     })?;
 
     let t = Instant::now();
@@ -456,6 +544,14 @@ fn run_from_rtl(
     lint_point(&ctx, opts, "route", &mut lint, || {
         fpga_lint::lint_routing(
             &clustering.value.netlist,
+            &routed.value.graph,
+            &routed.value.routing,
+        )
+    })?;
+    verify_point(&ctx, opts, "route", &mut lint, equiv.as_ref(), |g| {
+        g.check_routing(
+            &clustering.value,
+            &placement.value,
             &routed.value.graph,
             &routed.value.routing,
         )
@@ -476,6 +572,9 @@ fn run_from_rtl(
             &routed.value.routing,
             &bits.value.bitstream,
         )
+    })?;
+    verify_point(&ctx, opts, "bitstream", &mut lint, equiv.as_ref(), |g| {
+        g.check_bitstream(&bits.value.bitstream, &clustering.value, &placement.value)
     })?;
 
     if opts.verify_cycles > 0 {
@@ -863,6 +962,95 @@ mod tests {
         let ctx = FlowCtx::builder().trace(&log).build();
         run_vhdl_ctx(&src, &FlowOptions::default(), ctx).unwrap();
         assert_eq!(log.spans().len(), 8);
+    }
+
+    #[test]
+    fn verify_mode_does_not_change_cache_keys() {
+        let cache = StageCache::new();
+        let src = fpga_circuits::vhdl_counter(3);
+        let off = FlowOptions::default();
+        let deny = FlowOptions::builder().verify(VerifyMode::Deny).build();
+        run_vhdl_ctx(&src, &off, FlowCtx::with_cache(&cache)).unwrap();
+        // Same design with the equivalence gate on: every stage is a
+        // memory hit — verification lives outside the content-addressed
+        // keys, exactly like lint and threads.
+        run_vhdl_ctx(&src, &deny, FlowCtx::with_cache(&cache)).unwrap();
+        for stage in STAGES {
+            let s = cache.stats(stage);
+            assert_eq!((s.misses, s.hits), (1, 1), "{}", stage.name());
+        }
+    }
+
+    #[test]
+    fn verify_gates_emit_their_own_trace_spans() {
+        let src = fpga_circuits::vhdl_counter(3);
+        let log = crate::trace::TraceLog::new();
+        let ctx = FlowCtx::builder().trace(&log).build();
+        let opts = FlowOptions::builder().verify(VerifyMode::Warn).build();
+        run_vhdl_ctx(&src, &opts, ctx).unwrap();
+        let names: Vec<String> = log.spans().iter().map(|s| s.stage.clone()).collect();
+        for point in [
+            "verify:mapped",
+            "verify:pack",
+            "verify:place",
+            "verify:route",
+            "verify:bitstream",
+        ] {
+            assert!(names.iter().any(|n| n == point), "{names:?}");
+        }
+        // Default (Off) runs keep the exact 8-stage span shape.
+        let log = crate::trace::TraceLog::new();
+        let ctx = FlowCtx::builder().trace(&log).build();
+        run_vhdl_ctx(&src, &FlowOptions::default(), ctx).unwrap();
+        assert_eq!(log.spans().len(), 8);
+    }
+
+    #[test]
+    fn verify_deny_passes_a_clean_design_with_no_findings() {
+        let src = fpga_circuits::vhdl_counter(3);
+        let opts = FlowOptions::builder().verify(VerifyMode::Deny).build();
+        let art = run_vhdl(&src, &opts).unwrap();
+        assert!(art.lint.is_empty(), "{:?}", art.lint);
+    }
+
+    #[test]
+    fn verify_deny_surfaces_eq001_with_a_counterexample() {
+        use fpga_netlist::ir::CellKind;
+        let rtl = fpga_circuits::rent_logic(24, 0.6, 3);
+        let (mut bad, _) =
+            fpga_synth::map_to_luts(&rtl, fpga_synth::MapOptions::default()).unwrap();
+        let lut = bad
+            .cells
+            .iter_mut()
+            .find(|c| matches!(c.kind, CellKind::Lut { .. }))
+            .unwrap();
+        if let CellKind::Lut { truth, .. } = &mut lut.kind {
+            *truth ^= 1;
+        }
+        let gate = EquivGate::new(&rtl);
+        let sink = DiagSink::new();
+        let ctx = FlowCtx::builder().lint_sink(&sink).build();
+        let opts = FlowOptions::builder().verify(VerifyMode::Deny).build();
+        let mut collected = Vec::new();
+        let err = verify_point(&ctx, &opts, "mapped", &mut collected, Some(&gate), |g| {
+            g.check_netlist("mapped", &bad)
+        })
+        .expect_err("corrupted LUT must be denied");
+        assert_eq!(err.stage, "verify");
+        assert!(err.message.contains("EQ001"), "{}", err.message);
+        assert!(err.message.contains("counterexample: "), "{}", err.message);
+        // The finding also reached the shared sink (how the flow server
+        // attaches it to the structured error event).
+        assert!(sink.drain().iter().any(|d| d.code == "EQ001"));
+
+        // Warn mode reports the same finding but does not fail.
+        let opts = FlowOptions::builder().verify(VerifyMode::Warn).build();
+        let mut collected = Vec::new();
+        verify_point(&ctx, &opts, "mapped", &mut collected, Some(&gate), |g| {
+            g.check_netlist("mapped", &bad)
+        })
+        .unwrap();
+        assert!(collected.iter().any(|d| d.code == "EQ001"), "{collected:?}");
     }
 
     #[test]

@@ -293,7 +293,7 @@ pub struct Rule {
 
 /// The full rule catalogue, in stage order. Codes are append-only: a
 /// rule's meaning never changes, retired rules keep their slot reserved.
-pub const RULES: [Rule; 8] = [
+pub const RULES: [Rule; 11] = [
     Rule {
         code: "NL001",
         stage: "netlist",
@@ -333,6 +333,21 @@ pub const RULES: [Rule; 8] = [
         code: "BS001",
         stage: "bitstream",
         summary: "bitstream inconsistent with the routed design (geometry or missing switches)",
+    },
+    Rule {
+        code: "EQ001",
+        stage: "verify",
+        summary: "stage artifact not equivalent to the netlist (counterexample attached)",
+    },
+    Rule {
+        code: "EQ002",
+        stage: "verify",
+        summary: "bitstream-decoded fabric not equivalent to the netlist (counterexample attached)",
+    },
+    Rule {
+        code: "EQ003",
+        stage: "verify",
+        summary: "unverifiable cone (view extraction or replay failed; equivalence unknown)",
     },
 ];
 

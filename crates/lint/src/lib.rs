@@ -26,6 +26,15 @@
 //! | RT001 | route     | routing-resource overuse (short) |
 //! | RT002 | route     | disconnected routed net |
 //! | BS001 | bitstream | bitstream inconsistent with routed design |
+//! | EQ001 | verify    | stage artifact not equivalent to the netlist |
+//! | EQ002 | verify    | bitstream-decoded fabric not equivalent to the netlist |
+//! | EQ003 | verify    | unverifiable cone (equivalence unknown) |
+//!
+//! The EQ rules are emitted by the `fpga-verify` equivalence engine (the
+//! checks live there, not in this crate) but share the catalogue, the
+//! severity policy, and every reporting surface with the structural
+//! rules. EQ001/EQ002 findings carry a replayable counterexample in
+//! their note.
 
 pub mod bitstream;
 pub mod diag;

@@ -5,6 +5,7 @@
 //!       [--seed N] [--effort F] [--width W] [--cycles N]
 //!       [--deadline DUR] [--retries N] [--trace]
 //!       [-o design.bit] [--report report.json]
+//! flowc [...] verify design.vhd [--blif] [--json] [--quiet]
 //! flowc [...] metrics [--text] | stats | ping | shutdown
 //! ```
 //!
@@ -41,7 +42,8 @@ const EXIT_TRANSPORT: i32 = 3;
 const EXIT_COMPILE: i32 = 4;
 /// The job's deadline elapsed before the flow finished.
 const EXIT_DEADLINE: i32 = 5;
-/// Design-rule findings at deny severity (same code `fpga-lint` uses).
+/// Design-rule or equivalence findings at deny severity (same code
+/// `fpga-lint` uses; the verify gate's EQ denials land here too).
 const EXIT_LINT: i32 = 6;
 
 fn help() -> String {
@@ -52,9 +54,12 @@ flowc — command-line client for flowd
 usage:
   flowc [--tcp HOST:PORT | --unix PATH] compile <design.vhd|design.blif>
         [--blif] [--seed N] [--effort F] [--width W] [--cycles N]
-        [--threads N] [--lint off|warn|deny] [--deadline DUR]
-        [--retries N] [--trace] [-o design.bit] [--report report.json]
+        [--threads N] [--lint off|warn|deny] [--verify off|warn|deny]
+        [--deadline DUR] [--retries N] [--trace] [-o design.bit]
+        [--report report.json]
   flowc [--tcp HOST:PORT | --unix PATH] lint <design.vhd|design.blif>
+        [--blif] [--json] [--quiet] [--deadline DUR] [--threads N]
+  flowc [--tcp HOST:PORT | --unix PATH] verify <design.vhd|design.blif>
         [--blif] [--json] [--quiet] [--deadline DUR] [--threads N]
   flowc [--tcp HOST:PORT | --unix PATH] metrics [--text]
   flowc [--tcp HOST:PORT | --unix PATH] status | stats | ping | shutdown
@@ -69,6 +74,14 @@ flowd accepts for its --max-deadline / --idle-timeout / --retry-after.
             deny fails the job on deny-severity findings (default: off)
   lint      run the deep design-rule check on the daemon: every rule
             below, through as much of the flow as the design survives
+  --verify  cross-stage equivalence gates during compile: every stage
+            artifact (mapped netlist, packed, placed, routed, decoded
+            bitstream) is checked functionally equivalent to the
+            synthesized netlist; warn reports EQ findings, deny fails
+            the job with a replayable counterexample (default: off)
+  verify    run the deep equivalence check on the daemon: the EQ rules
+            below at every flow point the design survives, without
+            gating — findings ride back in the report
   metrics   fetch flowd's per-stage latency histograms, cache
             memory/disk hit counters, and per-rule lint counters as
             JSON (--text: Prometheus-style)
@@ -91,8 +104,8 @@ exit codes:
   4  compile failed or was refused: the daemon answered and reported a
      stage error, panic, lost worker, or rejection
   5  deadline exceeded: the job's time budget elapsed mid-flow
-  6  design-rule check found deny-severity problems (lint subcommand,
-     or compile with --lint deny)",
+  6  design-rule or equivalence check found deny-severity problems
+     (lint/verify subcommands, or compile with --lint/--verify deny)",
         fpga_lint::catalogue_text()
     )
 }
@@ -100,6 +113,13 @@ exit codes:
 fn fail(code: i32, msg: impl std::fmt::Display) -> ! {
     eprintln!("flowc: {msg}");
     std::process::exit(code);
+}
+
+/// Pretty-print a wire value; a value that somehow refuses to pretty-print
+/// (no such `serde_json::Value` exists today) falls back to its compact
+/// form rather than aborting the client.
+fn render_pretty(v: &Value) -> String {
+    serde_json::to_string_pretty(v).unwrap_or_else(|_| v.to_string())
 }
 
 /// Parse `--threads N` (shared by compile and lint submissions).
@@ -131,8 +151,8 @@ fn connect(args: &cli::Args) -> FlowClient {
 
 fn main() {
     let args = cli::parse_args(&[
-        "tcp", "unix", "seed", "effort", "width", "cycles", "lint", "deadline", "retries", "o",
-        "report", "tenant", "threads",
+        "tcp", "unix", "seed", "effort", "width", "cycles", "lint", "verify", "deadline",
+        "retries", "o", "report", "tenant", "threads",
     ]);
     cli::handle_version("flowc", &args);
     if args.flags.iter().any(|f| f == "help") {
@@ -142,7 +162,7 @@ fn main() {
 
     let Some(cmd) = args.positionals.first().map(String::as_str) else {
         eprintln!(
-            "usage: flowc [--tcp HOST:PORT | --unix PATH] <compile|lint|stats|ping|shutdown> ..."
+            "usage: flowc [--tcp HOST:PORT | --unix PATH] <compile|lint|verify|stats|ping|shutdown> ..."
         );
         eprintln!("       (see flowc --help for options, rule codes, and exit codes)");
         std::process::exit(EXIT_USAGE);
@@ -153,17 +173,11 @@ fn main() {
             Err(e) => fail(EXIT_TRANSPORT, e),
         },
         "status" => match connect(&args).status() {
-            Ok(v) => println!(
-                "{}",
-                serde_json::to_string_pretty(&v).expect("status render")
-            ),
+            Ok(v) => println!("{}", render_pretty(&v)),
             Err(e) => fail(EXIT_TRANSPORT, e),
         },
         "stats" => match connect(&args).stats() {
-            Ok(v) => println!(
-                "{}",
-                serde_json::to_string_pretty(&v).expect("stats render")
-            ),
+            Ok(v) => println!("{}", render_pretty(&v)),
             Err(e) => fail(EXIT_TRANSPORT, e),
         },
         "metrics" => {
@@ -175,10 +189,7 @@ fn main() {
                     Some(body) => print!("{body}"),
                     None => fail(EXIT_TRANSPORT, "metrics reply missing text body"),
                 },
-                Ok(v) => println!(
-                    "{}",
-                    serde_json::to_string_pretty(&v).expect("metrics render")
-                ),
+                Ok(v) => println!("{}", render_pretty(&v)),
                 Err(e) => fail(EXIT_TRANSPORT, e),
             }
         }
@@ -188,6 +199,7 @@ fn main() {
         },
         "compile" => compile(&args),
         "lint" => lint(&args),
+        "verify" => verify(&args),
         other => cli::die("flowc", format!("unknown command '{other}'")),
     }
 }
@@ -227,6 +239,9 @@ fn compile(args: &cli::Args) {
     numeric("cycles", "verify_cycles");
     if let Some(mode) = args.options.get("lint") {
         options.insert("lint".to_string(), serde_json::json!(mode));
+    }
+    if let Some(mode) = args.options.get("verify") {
+        options.insert("verify".to_string(), serde_json::json!(mode));
     }
     let options = if options.is_empty() {
         Value::Null
@@ -280,7 +295,7 @@ fn compile(args: &cli::Args) {
             for d in &diagnostics {
                 eprintln!("{d}");
             }
-            let code = if stage == "lint" {
+            let code = if stage == "lint" || stage == "verify" {
                 EXIT_LINT
             } else {
                 EXIT_COMPILE
@@ -327,7 +342,7 @@ fn compile(args: &cli::Args) {
         }
     }
     if let Some(report_path) = args.options.get("report") {
-        let text = serde_json::to_string_pretty(&outcome.report).expect("report renders");
+        let text = render_pretty(&outcome.report);
         if let Err(e) = std::fs::write(report_path, text) {
             cli::die("flowc", format!("cannot write '{report_path}': {e}"));
         }
@@ -402,10 +417,7 @@ fn lint(args: &cli::Args) {
     let quiet = args.flags.iter().any(|f| f == "quiet");
     if args.flags.iter().any(|f| f == "json") {
         let body = fpga_lint::diagnostics_to_value(&outcome.diagnostics);
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&body).expect("findings render")
-        );
+        println!("{}", render_pretty(&body));
     } else if !quiet {
         for d in &outcome.diagnostics {
             println!("{d}");
@@ -413,6 +425,72 @@ fn lint(args: &cli::Args) {
     }
     eprintln!(
         "job {}: {}: checked through '{}': {}",
+        outcome.job,
+        outcome.design,
+        outcome.reached,
+        fpga_lint::summarize(&outcome.diagnostics)
+    );
+    if fpga_lint::worst(&outcome.diagnostics) == Some(fpga_lint::Severity::Deny) {
+        std::process::exit(EXIT_LINT);
+    }
+}
+
+/// `flowc verify <design>` — run the deep cross-stage equivalence check
+/// on the daemon and print the EQ findings. Deny-severity findings (a
+/// stage artifact that is provably NOT the synthesized netlist, with a
+/// replayable counterexample in the notes) exit with [`EXIT_LINT`]; flow
+/// errors exit like a failed compile.
+fn verify(args: &cli::Args) {
+    let Some(path) = args.positionals.get(1) else {
+        eprintln!("usage: flowc verify <design.vhd|design.blif> [--blif] [--json] [--quiet]");
+        eprintln!("       (see flowc --help for the EQ rule codes)");
+        std::process::exit(EXIT_USAGE);
+    };
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => cli::die("flowc", format!("cannot read '{path}': {e}")),
+    };
+    let format = if args.flags.iter().any(|f| f == "blif") || path.ends_with(".blif") {
+        SourceFormat::Blif
+    } else {
+        SourceFormat::Vhdl
+    };
+    let mut req = CompileRequest::new(format, source);
+    req.deadline_ms = args.options.get("deadline").map(|raw| {
+        cli::parse_duration_ms(raw)
+            .unwrap_or_else(|e| cli::die("flowc", format!("bad --deadline: {e}")))
+    });
+    req.tenant = args.options.get("tenant").cloned();
+    req.threads = parse_threads(args);
+
+    let outcome = match connect(args).verify_request(&req) {
+        Ok(o) => o,
+        Err(e @ CompileError::Io(_)) => fail(EXIT_TRANSPORT, e),
+        Err(e @ CompileError::TimedOut { .. }) => fail(EXIT_DEADLINE, e),
+        Err(e @ (CompileError::Failed { .. } | CompileError::Rejected { .. })) => {
+            fail(EXIT_COMPILE, e)
+        }
+    };
+    for name in &outcome.unknown_events {
+        eprintln!("flowc: warning: unknown event '{name}' (daemon newer than this client?)");
+    }
+    if outcome.unknown_events_dropped > 0 {
+        eprintln!(
+            "flowc: warning: {} more unknown event kinds not recorded",
+            outcome.unknown_events_dropped
+        );
+    }
+    let quiet = args.flags.iter().any(|f| f == "quiet");
+    if args.flags.iter().any(|f| f == "json") {
+        let body = fpga_lint::diagnostics_to_value(&outcome.diagnostics);
+        println!("{}", render_pretty(&body));
+    } else if !quiet {
+        for d in &outcome.diagnostics {
+            println!("{d}");
+        }
+    }
+    eprintln!(
+        "job {}: {}: verified through '{}': {}",
         outcome.job,
         outcome.design,
         outcome.reached,

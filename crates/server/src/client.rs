@@ -116,6 +116,29 @@ pub struct LintOutcome {
     pub unknown_events_dropped: u64,
 }
 
+/// The final state of one `verify` submission.
+#[derive(Debug)]
+pub struct VerifyOutcome {
+    /// Server-assigned job id.
+    pub job: u64,
+    /// Design name from the report.
+    pub design: String,
+    /// The last verify point the equivalence check reached (`"mapped"`
+    /// ... `"bitstream"`).
+    pub reached: String,
+    /// Every EQ finding, in flow order (empty means proven-equivalent
+    /// at every checked point).
+    pub diagnostics: Vec<Diagnostic>,
+    /// The streamed `stage` events, in arrival order (wire form).
+    pub stage_events: Vec<Value>,
+    /// Unknown event names skipped along the way (capped at
+    /// [`MAX_UNKNOWN_EVENTS`], overflow counted in
+    /// `unknown_events_dropped`).
+    pub unknown_events: Vec<String>,
+    /// Unknown events past the cap (skipped but not recorded by name).
+    pub unknown_events_dropped: u64,
+}
+
 /// How many distinct unknown-event names an outcome records before it
 /// starts counting instead of storing — a misbehaving or far-future peer
 /// streaming novel events must not grow client memory without bound.
@@ -433,7 +456,8 @@ impl FlowClient {
                 | Event::ShuttingDown
                 | Event::Artifact { .. }
                 | Event::ArtifactAck { .. }
-                | Event::LintReport { .. } => {
+                | Event::LintReport { .. }
+                | Event::VerifyReport { .. } => {
                     return Err(CompileError::Io(io::Error::new(
                         io::ErrorKind::InvalidData,
                         format!("event out of place in a compile stream: {}", raw),
@@ -537,10 +561,116 @@ impl FlowClient {
                 | Event::ShuttingDown
                 | Event::Artifact { .. }
                 | Event::ArtifactAck { .. }
+                | Event::VerifyReport { .. }
                 | Event::Done { .. } => {
                     return Err(CompileError::Io(io::Error::new(
                         io::ErrorKind::InvalidData,
                         format!("event out of place in a lint stream: {}", raw),
+                    )));
+                }
+            }
+        }
+    }
+
+    /// Submit a design for a deep equivalence check (`verify` verb) and
+    /// block until its `verify_report` arrives. The same rejection /
+    /// failure / timeout errors as a compile apply; deny-severity EQ
+    /// findings are NOT an error — they ride back in the outcome for
+    /// the caller to judge.
+    pub fn verify_request(&mut self, req: &CompileRequest) -> Result<VerifyOutcome, CompileError> {
+        self.send(&Request::Verify(Box::new(req.clone())).to_value())?;
+
+        let mut job = 0u64;
+        let mut stage_events = Vec::new();
+        let mut unknown_events = Vec::new();
+        let mut unknown_events_dropped = 0u64;
+        loop {
+            let raw = self.recv()?;
+            let event = match parse_event(&raw) {
+                Ok(event) => event,
+                Err(EventParseError::Unknown(name)) => {
+                    note_unknown(&mut unknown_events, &mut unknown_events_dropped, name);
+                    continue;
+                }
+                Err(e @ EventParseError::Malformed(_)) => {
+                    return Err(CompileError::Io(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        e.to_string(),
+                    )));
+                }
+            };
+            match event {
+                Event::Queued { job: id } => job = id,
+                Event::Stage { .. } => stage_events.push(raw),
+                Event::VerifyReport {
+                    design,
+                    reached,
+                    diagnostics,
+                    ..
+                } => {
+                    return Ok(VerifyOutcome {
+                        job,
+                        design,
+                        reached,
+                        diagnostics,
+                        stage_events,
+                        unknown_events,
+                        unknown_events_dropped,
+                    });
+                }
+                Event::Rejected {
+                    reason,
+                    retry_after_ms,
+                    ..
+                } => {
+                    return Err(CompileError::Rejected {
+                        reason,
+                        retry_after_ms,
+                    });
+                }
+                Event::Timeout {
+                    deadline_ms,
+                    completed_stages,
+                    ..
+                } => {
+                    return Err(CompileError::TimedOut {
+                        deadline_ms,
+                        completed_stages,
+                    });
+                }
+                Event::Error {
+                    kind,
+                    stage,
+                    message,
+                    retry_after_ms,
+                    diagnostics,
+                    ..
+                } => {
+                    if kind.as_deref() == Some("overloaded") {
+                        return Err(CompileError::Rejected {
+                            reason: message,
+                            retry_after_ms,
+                        });
+                    }
+                    return Err(CompileError::Failed {
+                        stage: stage.unwrap_or_else(|| "?".to_string()),
+                        message,
+                        kind,
+                        diagnostics,
+                    });
+                }
+                Event::Pong { .. }
+                | Event::Stats(_)
+                | Event::Metrics(_)
+                | Event::Status(_)
+                | Event::ShuttingDown
+                | Event::Artifact { .. }
+                | Event::ArtifactAck { .. }
+                | Event::LintReport { .. }
+                | Event::Done { .. } => {
+                    return Err(CompileError::Io(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("event out of place in a verify stream: {}", raw),
                     )));
                 }
             }

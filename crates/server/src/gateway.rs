@@ -131,6 +131,7 @@ pub fn affinity_key(kind: &str, req: &CompileRequest) -> String {
 enum JobKind {
     Compile,
     Lint,
+    Verify,
 }
 
 /// Live per-backend state.
@@ -679,6 +680,11 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
                     return;
                 }
             }
+            Request::Verify(req) => {
+                if !handle_job(JobKind::Verify, *req, shared, &mut writer) {
+                    return;
+                }
+            }
             Request::ArtifactGet { stage, key, kind } => {
                 let event = handle_artifact_get(shared, &stage, &key, &kind);
                 let _ = proto::write_line(&mut writer, &event.to_value());
@@ -933,6 +939,7 @@ fn handle_job(
     let verb = match kind {
         JobKind::Compile => "compile",
         JobKind::Lint => "lint",
+        JobKind::Verify => "verify",
     };
     let order = affinity_order(&affinity_key(verb, &req), &shared.config.backends);
     let mut tried = vec![false; shared.backends.len()];
@@ -1140,6 +1147,7 @@ fn run_attempt(
     let request = match kind {
         JobKind::Compile => Request::Compile(Box::new(req.clone())),
         JobKind::Lint => Request::Lint(Box::new(req.clone())),
+        JobKind::Verify => Request::Verify(Box::new(req.clone())),
     };
     if let Err(e) = proto::write_line(&mut backend_writer, &request.to_value()) {
         return Attempt::Transient(format!("send to {}: {e}", backend.addr));
@@ -1260,7 +1268,7 @@ fn forward_events(
                 }
                 return Attempt::Terminal(Terminal::TimedOut);
             }
-            Event::Done { .. } | Event::LintReport { .. } => {
+            Event::Done { .. } | Event::LintReport { .. } | Event::VerifyReport { .. } => {
                 if proto::write_line(writer, &rewrite_job(raw, job_id)).is_err() {
                     return Attempt::ClientGone;
                 }

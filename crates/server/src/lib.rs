@@ -74,7 +74,7 @@ pub use artifact::RemoteTierClient;
 pub use breaker::{BreakerCounters, BreakerState, CircuitBreaker};
 pub use client::{
     compile_with_retry, CompileError, CompileOutcome, FlowClient, LintOutcome, RetryPolicy,
-    MAX_UNKNOWN_EVENTS,
+    VerifyOutcome, MAX_UNKNOWN_EVENTS,
 };
 pub use gateway::{Gateway, GatewayConfig};
 pub use metrics::{Histogram, HistogramSnapshot, Metrics, MetricsSnapshot};

@@ -119,6 +119,12 @@ pub struct Metrics {
     /// Findings whose code the catalogue does not list — the lint
     /// analogue of `unknown_stage_events`; nonzero means version skew.
     unknown_lint_rules: AtomicU64,
+    /// Equivalence findings by rule code (the `stage == "verify"` slice
+    /// of [`RULES`]), counted separately from the structural lint rules
+    /// so `flowd_verify_*` stays its own metric family.
+    verify_rule_hits: [AtomicU64; RULES.len()],
+    /// EQ-family findings whose code the catalogue does not list.
+    unknown_verify_rules: AtomicU64,
 }
 
 impl Metrics {
@@ -164,6 +170,35 @@ impl Metrics {
 
     pub fn unknown_lint_rules(&self) -> u64 {
         self.unknown_lint_rules.load(Ordering::Relaxed)
+    }
+
+    /// Record one equivalence finding by its code (`"EQ001"`, ...).
+    pub fn observe_verify_rule(&self, code: &str) {
+        match RULES
+            .iter()
+            .position(|r| r.code == code && r.stage == "verify")
+        {
+            Some(i) => {
+                self.verify_rule_hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+            None => {
+                self.unknown_verify_rules.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Per-EQ-rule finding counts, in catalogue order.
+    pub fn verify_rule_snapshots(&self) -> Vec<(&'static str, u64)> {
+        RULES
+            .iter()
+            .zip(self.verify_rule_hits.iter())
+            .filter(|(r, _)| r.stage == "verify")
+            .map(|(r, n)| (r.code, n.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    pub fn unknown_verify_rules(&self) -> u64 {
+        self.unknown_verify_rules.load(Ordering::Relaxed)
     }
 
     /// Snapshot every stage histogram, in flow order.
@@ -245,6 +280,9 @@ pub struct MetricsSnapshot {
     /// `(rule_code, findings)` in catalogue order.
     pub lint_rules: Vec<(&'static str, u64)>,
     pub unknown_lint_rules: u64,
+    /// `(rule_code, findings)` for the EQ equivalence rules.
+    pub verify_rules: Vec<(&'static str, u64)>,
+    pub unknown_verify_rules: u64,
 }
 
 impl MetricsSnapshot {
@@ -352,6 +390,12 @@ impl MetricsSnapshot {
         }
         lint.insert("unknown".into(), self.unknown_lint_rules.into());
         root.insert("lint_rules".into(), Value::Object(lint));
+        let mut verify = serde_json::Map::new();
+        for (code, n) in &self.verify_rules {
+            verify.insert(code.to_string(), (*n).into());
+        }
+        verify.insert("unknown".into(), self.unknown_verify_rules.into());
+        root.insert("verify_rules".into(), Value::Object(verify));
         Value::Object(root)
     }
 
@@ -588,6 +632,31 @@ impl MetricsSnapshot {
         push(
             &mut out,
             format!("flowd_unknown_lint_rules_total {}", self.unknown_lint_rules),
+        );
+        push(
+            &mut out,
+            "# HELP flowd_verify_rule_hits_total Equivalence findings by EQ rule code.".into(),
+        );
+        push(
+            &mut out,
+            "# TYPE flowd_verify_rule_hits_total counter".into(),
+        );
+        for (code, n) in &self.verify_rules {
+            push(
+                &mut out,
+                format!("flowd_verify_rule_hits_total{{rule=\"{code}\"}} {n}"),
+            );
+        }
+        push(
+            &mut out,
+            "# TYPE flowd_unknown_verify_rules_total counter".into(),
+        );
+        push(
+            &mut out,
+            format!(
+                "flowd_unknown_verify_rules_total {}",
+                self.unknown_verify_rules
+            ),
         );
         out
     }

@@ -15,7 +15,7 @@
 use std::io::{self, BufRead, Write};
 
 use fpga_arch::Architecture;
-use fpga_flow::FlowOptions;
+use fpga_flow::{FlowOptions, VerifyMode};
 use fpga_lint::{diagnostics_from_value, diagnostics_to_value, Diagnostic, LintMode};
 use serde_json::Value;
 
@@ -42,7 +42,12 @@ use serde_json::Value;
 ///   New verbs only — version-4 peers interoperate unchanged, and a
 ///   version-4 daemon answering "unknown cmd" is treated as an artifact
 ///   miss, never an error.
-pub const PROTO_VERSION: u64 = 5;
+/// * 6 — equivalence checking: the `verify` verb and its terminal
+///   `verify_report` event (deep cross-stage CEC, EQ rule codes), and
+///   the `verify` flow option (`off`/`warn`/`deny`) gating compiles.
+///   All additions are a new verb, a new event, and a new optional
+///   option field, so version-5 peers interoperate unchanged.
+pub const PROTO_VERSION: u64 = 6;
 
 /// Source language of a submitted design.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -140,6 +145,12 @@ pub enum Request {
     /// no power, no verification, no bitstream in the reply — and
     /// terminates with a `lint_report` event.
     Lint(Box<CompileRequest>),
+    /// Deep equivalence check (proto 6): same submission shape as
+    /// `compile`, but the job drives the stages purely to prove each
+    /// artifact equivalent to the synthesized netlist — collecting every
+    /// EQ finding instead of stopping at the first — and terminates with
+    /// a `verify_report` event.
+    Verify(Box<CompileRequest>),
     /// Fetch one stage artifact's raw store entry by its content
     /// address (proto 5, the farm's shared artifact tier). `flowd`
     /// answers from its own durable store only; `flow-gateway` fans the
@@ -186,11 +197,11 @@ impl Request {
             Request::Status => {
                 obj.insert("cmd".into(), "status".into());
             }
-            Request::Compile(c) | Request::Lint(c) => {
-                let cmd = if matches!(self, Request::Compile(_)) {
-                    "compile"
-                } else {
-                    "lint"
+            Request::Compile(c) | Request::Lint(c) | Request::Verify(c) => {
+                let cmd = match self {
+                    Request::Compile(_) => "compile",
+                    Request::Lint(_) => "lint",
+                    _ => "verify",
                 };
                 obj.insert("cmd".into(), cmd.into());
                 obj.insert("format".into(), c.format.name().into());
@@ -261,7 +272,7 @@ pub fn parse_request_value(v: &Value) -> Result<Request, String> {
         }
         "shutdown" => Ok(Request::Shutdown),
         "status" => Ok(Request::Status),
-        "compile" | "lint" => {
+        "compile" | "lint" | "verify" => {
             let format = match v.get("format").and_then(Value::as_str) {
                 Some("vhdl") | None => SourceFormat::Vhdl,
                 Some("blif") => SourceFormat::Blif,
@@ -312,10 +323,10 @@ pub fn parse_request_value(v: &Value) -> Result<Request, String> {
                 tenant,
                 threads,
             });
-            Ok(if cmd == "lint" {
-                Request::Lint(req)
-            } else {
-                Request::Compile(req)
+            Ok(match cmd {
+                "lint" => Request::Lint(req),
+                "verify" => Request::Verify(req),
+                _ => Request::Compile(req),
             })
         }
         "artifact_get" | "artifact_put" => {
@@ -394,6 +405,13 @@ fn parse_options(v: Option<&Value>) -> Result<FlowOptions, String> {
                 opts.lint = LintMode::parse(name)
                     .ok_or_else(|| format!("unknown lint mode '{name}' (off/warn/deny)"))?;
             }
+            "verify" => {
+                let name = val
+                    .as_str()
+                    .ok_or_else(|| "verify must be a string".to_string())?;
+                opts.verify = VerifyMode::parse(name)
+                    .ok_or_else(|| format!("unknown verify mode '{name}' (off/warn/deny)"))?;
+            }
             other => return Err(format!("unknown option '{other}'")),
         }
     }
@@ -455,6 +473,16 @@ pub enum Event {
     /// produced, plus how far the flow got (`reached` is the last stage
     /// whose artifact was linted, e.g. `"netlist"` or `"bitstream"`).
     LintReport {
+        job: u64,
+        design: String,
+        reached: String,
+        diagnostics: Vec<Diagnostic>,
+    },
+    /// Terminal reply to a `verify` request (proto 6): every EQ finding
+    /// the deep equivalence check produced — counterexamples ride in the
+    /// diagnostics' notes — plus how far the flow got (`reached` is the
+    /// last check point, e.g. `"mapped"` or `"bitstream"`).
+    VerifyReport {
         job: u64,
         design: String,
         reached: String,
@@ -592,8 +620,19 @@ impl Event {
                 design,
                 reached,
                 diagnostics,
+            }
+            | Event::VerifyReport {
+                job,
+                design,
+                reached,
+                diagnostics,
             } => {
-                obj.insert("event".into(), "lint_report".into());
+                let marker = if matches!(self, Event::LintReport { .. }) {
+                    "lint_report"
+                } else {
+                    "verify_report"
+                };
+                obj.insert("event".into(), marker.into());
                 obj.insert("job".into(), (*job).into());
                 obj.insert("design".into(), design.clone().into());
                 obj.insert("reached".into(), reached.clone().into());
@@ -760,21 +799,35 @@ pub fn parse_event(v: &Value) -> Result<Event, EventParseError> {
             lint: diagnostics_from_value(v.get("lint").unwrap_or(&Value::Null))
                 .map_err(|e| Malformed(format!("'done' lint findings: {e}")))?,
         }),
-        "lint_report" => Ok(Event::LintReport {
-            job: job(v)?,
-            design: v
+        "lint_report" | "verify_report" => {
+            let design = v
                 .get("design")
                 .and_then(Value::as_str)
                 .unwrap_or("")
-                .to_string(),
-            reached: v
+                .to_string();
+            let reached = v
                 .get("reached")
                 .and_then(Value::as_str)
                 .unwrap_or("")
-                .to_string(),
-            diagnostics: diagnostics_from_value(v.get("diagnostics").unwrap_or(&Value::Null))
-                .map_err(|e| Malformed(format!("'lint_report' diagnostics: {e}")))?,
-        }),
+                .to_string();
+            let diagnostics = diagnostics_from_value(v.get("diagnostics").unwrap_or(&Value::Null))
+                .map_err(|e| Malformed(format!("'{name}' diagnostics: {e}")))?;
+            Ok(if name == "lint_report" {
+                Event::LintReport {
+                    job: job(v)?,
+                    design,
+                    reached,
+                    diagnostics,
+                }
+            } else {
+                Event::VerifyReport {
+                    job: job(v)?,
+                    design,
+                    reached,
+                    diagnostics,
+                }
+            })
+        }
         "timeout" => Ok(Event::Timeout {
             job: job(v)?,
             deadline_ms: v.get("deadline_ms").and_then(Value::as_u64),
@@ -987,6 +1040,11 @@ mod tests {
                     .with_options(serde_json::json!({"lint": "deny"}))
                     .unwrap(),
             )),
+            Request::Verify(Box::new(
+                CompileRequest::new(SourceFormat::Vhdl, "entity e is end;")
+                    .with_options(serde_json::json!({"verify": "deny"}))
+                    .unwrap(),
+            )),
             Request::ArtifactGet {
                 stage: "route".into(),
                 key: "ab".repeat(32),
@@ -1067,6 +1125,19 @@ mod tests {
                     "combinational loop",
                 )
                 .with_note("a -> b -> a")],
+            },
+            Event::VerifyReport {
+                job: 11,
+                design: "rent24".into(),
+                reached: "bitstream".into(),
+                diagnostics: vec![Diagnostic::new(
+                    "EQ001",
+                    fpga_lint::Severity::Deny,
+                    "verify",
+                    "po:y",
+                    "'mapped' diverges from the netlist on po:y",
+                )
+                .with_note("counterexample: observable po:y reference=1 candidate=0 :: a=1 b=0")],
             },
             Event::Timeout {
                 job: 7,

@@ -131,11 +131,12 @@ impl Default for ServerConfig {
 }
 
 /// What a queued job does with its request: run the full compile flow,
-/// or only the deep design-rule check.
+/// only the deep design-rule check, or only the deep equivalence check.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum JobKind {
     Compile,
     Lint,
+    Verify,
 }
 
 /// One queued job: the request plus the channel its events flow
@@ -312,6 +313,8 @@ impl Shared {
             unknown_stage_events: self.metrics.unknown_stage_events(),
             lint_rules: self.metrics.lint_rule_snapshots(),
             unknown_lint_rules: self.metrics.unknown_lint_rules(),
+            verify_rules: self.metrics.verify_rule_snapshots(),
+            unknown_verify_rules: self.metrics.unknown_verify_rules(),
         }
     }
 
@@ -817,6 +820,11 @@ fn serve_connection<S: Read + Write + TryCloneStream>(
                     return;
                 }
             }
+            Request::Verify(req) => {
+                if !handle_submit(JobKind::Verify, *req, shared, &mut writer) {
+                    return;
+                }
+            }
             Request::ArtifactGet { stage, key, kind } => {
                 let event = artifact_get_event(shared, &stage, &key, &kind);
                 let _ = proto::write_line(&mut writer, &event.to_value());
@@ -963,6 +971,7 @@ fn handle_submit(
                     event,
                     Event::Done { .. }
                         | Event::LintReport { .. }
+                        | Event::VerifyReport { .. }
                         | Event::Error { .. }
                         | Event::Timeout { .. }
                 );
@@ -1015,6 +1024,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 enum Finished {
     Compiled(Box<fpga_flow::FlowArtifacts>),
     Linted(fpga_flow::LintReport),
+    Verified(fpga_flow::VerifyReport),
 }
 
 /// Run one job under the panic guard and classify its ending: `done` or
@@ -1093,7 +1103,7 @@ fn run_job(shared: &Arc<Shared>, job: Job) {
         if let Some(trace) = &trace {
             builder = builder.trace(trace);
         }
-        if kind == JobKind::Compile && options.lint.enabled() {
+        if kind == JobKind::Compile && (options.lint.enabled() || options.verify.enabled()) {
             builder = builder.lint_sink(&lint_sink);
         }
         let ctx = builder.build();
@@ -1112,11 +1122,24 @@ fn run_job(shared: &Arc<Shared>, job: Job) {
             (JobKind::Lint, SourceFormat::Blif) => {
                 check::lint_blif(&req.source, &options, ctx).map(Finished::Linted)
             }
+            (JobKind::Verify, SourceFormat::Vhdl) => {
+                check::verify_vhdl(&req.source, &options, ctx).map(Finished::Verified)
+            }
+            (JobKind::Verify, SourceFormat::Blif) => {
+                check::verify_blif(&req.source, &options, ctx).map(Finished::Verified)
+            }
         }
     }));
+    // EQ findings feed the flowd_verify_* family; everything else the
+    // flowd_lint_* family. A finding is counted where its rule lives,
+    // not by which job kind surfaced it.
     let count_rules = |diags: &[Diagnostic]| {
         for d in diags {
-            shared.metrics.observe_lint_rule(&d.code);
+            if d.stage == "verify" {
+                shared.metrics.observe_verify_rule(&d.code);
+            } else {
+                shared.metrics.observe_lint_rule(&d.code);
+            }
         }
     };
     match result {
@@ -1162,6 +1185,18 @@ fn run_job(shared: &Arc<Shared>, job: Job) {
                 diagnostics: report.diagnostics,
             });
         }
+        Ok(Ok(Finished::Verified(report))) => {
+            // Same contract as lint: the job "completes" whatever the
+            // equivalence check found; the diagnostics carry the verdict.
+            shared.jobs_completed.fetch_add(1, Ordering::Relaxed);
+            count_rules(&report.diagnostics);
+            let _ = events.send(Event::VerifyReport {
+                job: id,
+                design: report.design.clone(),
+                reached: report.reached.to_string(),
+                diagnostics: report.diagnostics,
+            });
+        }
         Ok(Err(e)) => {
             let completed = completed
                 .lock()
@@ -1195,7 +1230,7 @@ fn run_job(shared: &Arc<Shared>, job: Job) {
                 // A design-rule denial carries its findings; other
                 // failures leave the sink's partial findings behind
                 // (they described a design that never finished).
-                let diagnostics = if e.stage == "lint" {
+                let diagnostics = if e.stage == "lint" || e.stage == "verify" {
                     let diags = lint_sink.drain();
                     count_rules(&diags);
                     diags

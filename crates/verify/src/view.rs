@@ -1,0 +1,775 @@
+//! Register-bounded cone views of flow artifacts.
+//!
+//! A [`CombView`] is the purely combinational slice of one stage
+//! artifact: every flip-flop is cut open (its Q output becomes a free
+//! *cut point*, its D input becomes an *observable*), primary inputs are
+//! cut points, primary outputs are observables. Two views whose cut and
+//! observable name sets agree can be compared cone-by-cone without
+//! unrolling sequential behaviour — the classic DFF-cut reduction of
+//! sequential equivalence to combinational equivalence (sound as long as
+//! both sides carry the same state elements, which the boundary check
+//! enforces).
+//!
+//! Cut points are keyed by *name*, never by net id: a packed, placed,
+//! routed or bitstream-decoded artifact numbers its nets differently,
+//! but the design symbols survive every stage, so name-keyed cuts line
+//! the views up.
+
+use std::collections::HashMap;
+
+use fpga_bitstream::config::{Bitstream, IoMode, WireKey, XbarSel};
+use fpga_netlist::ir::{CellId, CellKind, NetId, Netlist};
+use fpga_netlist::sim::eval_cell;
+use fpga_pack::{ClusterId, Clustering};
+use fpga_place::{BlockRef, Placement};
+use fpga_route::{RouteResult, RrGraph, RrKind};
+
+use crate::{Result, VerifyError};
+
+/// One side of a view boundary: (name, net) pairs, sorted by name.
+type Boundary = Vec<(String, NetId)>;
+
+/// A combinational view of one stage artifact.
+pub struct CombView {
+    /// Stage label, e.g. "netlist", "pack", "bitstream" (diagnostics).
+    pub stage: &'static str,
+    /// The rebuilt (or cloned) netlist holding the combinational logic.
+    pub netlist: Netlist,
+    /// Topological evaluation order of the combinational cells.
+    order: Vec<CellId>,
+    /// Cut points: (name, net), sorted by name. Non-clock primary inputs
+    /// under their own name, flip-flop Q outputs under the Q net name.
+    pub cuts: Vec<(String, NetId)>,
+    /// Observables: (name, net), sorted by name. Primary outputs as
+    /// `po:<name>`, flip-flop D inputs as `ff:<q net name>`.
+    pub observables: Vec<(String, NetId)>,
+}
+
+impl CombView {
+    fn assemble(
+        stage: &'static str,
+        netlist: Netlist,
+        mut cuts: Vec<(String, NetId)>,
+        mut observables: Vec<(String, NetId)>,
+    ) -> Result<CombView> {
+        let order = netlist
+            .topo_order()
+            .map_err(|e| VerifyError::View(format!("{stage} view is not acyclic: {e}")))?;
+        cuts.sort();
+        observables.sort();
+        for pair in cuts.windows(2) {
+            if pair[0].0 == pair[1].0 {
+                return Err(VerifyError::View(format!(
+                    "{stage} view has two cut points named '{}'",
+                    pair[0].0
+                )));
+            }
+        }
+        for pair in observables.windows(2) {
+            if pair[0].0 == pair[1].0 {
+                return Err(VerifyError::View(format!(
+                    "{stage} view has two observables named '{}'",
+                    pair[0].0
+                )));
+            }
+        }
+        Ok(CombView {
+            stage,
+            netlist,
+            order,
+            cuts,
+            observables,
+        })
+    }
+
+    /// The default cut/observable recipe over a netlist: non-clock PIs
+    /// and FF Qs are cuts; POs and FF Ds are observables.
+    fn boundaries(nl: &Netlist) -> (Boundary, Boundary) {
+        let mut cuts = Vec::new();
+        let mut observables = Vec::new();
+        for &pi in &nl.inputs {
+            if !nl.clocks.contains(&pi) {
+                cuts.push((nl.net_name(pi).to_string(), pi));
+            }
+        }
+        for &po in &nl.outputs {
+            observables.push((format!("po:{}", nl.net_name(po)), po));
+        }
+        for c in &nl.cells {
+            if let CellKind::Dff { .. } = c.kind {
+                let q = nl.net_name(c.output).to_string();
+                observables.push((format!("ff:{q}"), c.inputs[0]));
+                cuts.push((q, c.output));
+            }
+        }
+        (cuts, observables)
+    }
+
+    /// View of a plain netlist (the synthesized or mapped reference).
+    ///
+    /// Dead cells — those whose output feeds nothing and is not a
+    /// primary output — are pruned to a fixpoint first, mirroring the
+    /// mapper's sweep pass: a register the flow legitimately swept must
+    /// not count as a missing state element, and its unobservable cone
+    /// must not enter the boundary.
+    pub fn from_netlist(stage: &'static str, nl: &Netlist) -> Result<CombView> {
+        let mut nl = nl.clone();
+        prune_dead(&mut nl);
+        let (cuts, observables) = Self::boundaries(&nl);
+        Self::assemble(stage, nl, cuts, observables)
+    }
+
+    /// View of a packed design: the mapped netlist restricted to the
+    /// cells the clustering actually carries.
+    pub fn from_clustering(c: &Clustering) -> Result<CombView> {
+        rebuild(c, "pack", None, None)
+    }
+
+    /// View of a placed design: functionally the packed view, after
+    /// checking the placement binds every block to exactly one site.
+    pub fn from_placement(c: &Clustering, p: &Placement) -> Result<CombView> {
+        check_placement(c, p)?;
+        rebuild(c, "place", None, None)
+    }
+
+    /// View of a routed design: packed logic with every cross-cluster
+    /// connection rewired to the net the routed trees *actually* deliver
+    /// to each cluster input pin and output pad.
+    pub fn from_routing(
+        c: &Clustering,
+        p: &Placement,
+        g: &RrGraph,
+        r: &RouteResult,
+    ) -> Result<CombView> {
+        check_placement(c, p)?;
+        let mut loc2c: HashMap<(u32, u32), usize> = HashMap::new();
+        for ci in 0..c.clusters.len() {
+            let loc = p.cluster_loc(ClusterId(ci as u32));
+            loc2c.insert((loc.x, loc.y), ci);
+        }
+        let mut pad2po: HashMap<(u32, u32, u32), NetId> = HashMap::new();
+        for &po in &c.netlist.outputs {
+            let slot = p.slots[&BlockRef::OutputPad(po)];
+            pad2po.insert((slot.loc.x, slot.loc.y, slot.sub), po);
+        }
+
+        let mut delivered: HashMap<(usize, usize), NetId> = HashMap::new();
+        let mut po_nets: HashMap<NetId, NetId> = HashMap::new();
+        for rn in &r.nets {
+            for &s in &rn.sinks {
+                let RrKind::Ipin { x, y, pin } = g.kind(s) else {
+                    return Err(VerifyError::Boundary(format!(
+                        "net '{}' has a routed sink that is not an input pin",
+                        c.netlist.net_name(rn.net)
+                    )));
+                };
+                if let Some(&ci) = loc2c.get(&(x, y)) {
+                    if pin as usize >= c.clusters[ci].inputs.len() {
+                        return Err(VerifyError::Boundary(format!(
+                            "net '{}' routed to cluster {ci} pin {pin}, which is unused",
+                            c.netlist.net_name(rn.net)
+                        )));
+                    }
+                    if let Some(prev) = delivered.insert((ci, pin as usize), rn.net) {
+                        if prev != rn.net {
+                            return Err(VerifyError::Boundary(format!(
+                                "two nets routed to cluster {ci} input pin {pin}"
+                            )));
+                        }
+                    }
+                } else if let Some(&po) = pad2po.get(&(x, y, pin)) {
+                    if let Some(prev) = po_nets.insert(po, rn.net) {
+                        if prev != rn.net {
+                            return Err(VerifyError::Boundary(format!(
+                                "two nets routed to output pad '{}'",
+                                c.netlist.net_name(po)
+                            )));
+                        }
+                    }
+                } else {
+                    return Err(VerifyError::Boundary(format!(
+                        "net '{}' routed to pin ({x},{y},{pin}) where nothing is placed",
+                        c.netlist.net_name(rn.net)
+                    )));
+                }
+            }
+        }
+        rebuild(c, "route", Some(&delivered), Some(&po_nets))
+    }
+
+    /// View decoded from a bitstream: electrical nets recovered by
+    /// union-find over the configured switches, LUT/FF structure from the
+    /// decoded BLE configurations, names anchored through the placement
+    /// correspondence (CLB location -> cluster -> BLE output symbol) and
+    /// the IO pad symbols carried in the bitstream itself.
+    pub fn from_bitstream(bs: &Bitstream, c: &Clustering, p: &Placement) -> Result<CombView> {
+        let src = &c.netlist;
+        let mut loc2c: HashMap<(u32, u32), usize> = HashMap::new();
+        for ci in 0..c.clusters.len() {
+            let loc = p.cluster_loc(ClusterId(ci as u32));
+            loc2c.insert((loc.x, loc.y), ci);
+        }
+
+        // Electrical connectivity: union-find over every wire/pin key the
+        // configuration shorts together (same reduction the fabric
+        // emulator performs).
+        let mut keys: Vec<WireKey> = Vec::new();
+        let mut key_index: HashMap<WireKey, usize> = HashMap::new();
+        let mut intern = |k: WireKey, keys: &mut Vec<WireKey>| -> usize {
+            *key_index.entry(k).or_insert_with(|| {
+                keys.push(k);
+                keys.len() - 1
+            })
+        };
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        for (a, b) in &bs.sb_switches {
+            let (ia, ib) = (intern(*a, &mut keys), intern(*b, &mut keys));
+            pairs.push((ia, ib));
+        }
+        for ((x, y, pin), wire) in &bs.cb_inputs {
+            let ipin = intern(
+                RrKind::Ipin {
+                    x: *x,
+                    y: *y,
+                    pin: *pin,
+                },
+                &mut keys,
+            );
+            let iw = intern(*wire, &mut keys);
+            pairs.push((ipin, iw));
+        }
+        for ((x, y, pin), wire) in &bs.cb_outputs {
+            let opin = intern(
+                RrKind::Opin {
+                    x: *x,
+                    y: *y,
+                    pin: *pin,
+                },
+                &mut keys,
+            );
+            let iw = intern(*wire, &mut keys);
+            pairs.push((opin, iw));
+        }
+        for io in &bs.ios {
+            let k = match io.mode {
+                IoMode::Input => RrKind::Opin {
+                    x: io.loc.x,
+                    y: io.loc.y,
+                    pin: io.sub,
+                },
+                IoMode::Output => RrKind::Ipin {
+                    x: io.loc.x,
+                    y: io.loc.y,
+                    pin: io.sub,
+                },
+                IoMode::Unused => continue,
+            };
+            intern(k, &mut keys);
+        }
+        let mut parent: Vec<usize> = (0..keys.len()).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for (a, b) in pairs {
+            let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+            if ra != rb {
+                parent[ra] = rb;
+            }
+        }
+        // Electrical nets, numbered in key order (deterministic).
+        let mut root_to_enet: HashMap<usize, usize> = HashMap::new();
+        let mut enet_of_key: Vec<usize> = Vec::with_capacity(keys.len());
+        let mut n_enets = 0usize;
+        for i in 0..keys.len() {
+            let root = find(&mut parent, i);
+            let e = *root_to_enet.entry(root).or_insert_with(|| {
+                n_enets += 1;
+                n_enets - 1
+            });
+            enet_of_key.push(e);
+        }
+
+        // The symbol each electrical net carries: the name of its unique
+        // driving OPIN (a BLE output through the correspondence map, or
+        // an input pad symbol).
+        let mut name_of_enet: Vec<Option<String>> = vec![None; n_enets];
+        for (i, &k) in keys.iter().enumerate() {
+            let RrKind::Opin { x, y, pin } = k else {
+                continue;
+            };
+            let name = if let Some(&ci) = loc2c.get(&(x, y)) {
+                let slot = (pin as usize).wrapping_sub(bs.clb_inputs);
+                let cluster = &c.clusters[ci];
+                cluster
+                    .bles
+                    .get(slot)
+                    .map(|&bid| src.net_name(c.bles[bid.0 as usize].output).to_string())
+            } else {
+                bs.ios
+                    .iter()
+                    .find(|io| {
+                        io.mode == IoMode::Input && io.loc.x == x && io.loc.y == y && io.sub == pin
+                    })
+                    .map(|io| io.net.clone())
+            };
+            if let Some(name) = name {
+                let e = enet_of_key[i];
+                if let Some(prev) = &name_of_enet[e] {
+                    if *prev != name {
+                        return Err(VerifyError::Boundary(format!(
+                            "electrical contention: '{prev}' and '{name}' drive one net"
+                        )));
+                    }
+                }
+                name_of_enet[e] = Some(name);
+            }
+        }
+        let enet_name = |key: WireKey| -> Option<&str> {
+            let i = key_index.get(&key)?;
+            name_of_enet[enet_of_key[*i]].as_deref()
+        };
+
+        // Rebuild the decoded logic as a netlist.
+        let mut nl = Netlist::new(&src.name);
+        let zero = nl.net("$verify$zero"); // undriven pins read low
+        let clk = nl.net("$verify$clk");
+        nl.add_clock(clk);
+        let mut cuts: Vec<(String, NetId)> = Vec::new();
+        let mut observables: Vec<(String, NetId)> = Vec::new();
+        for &pi in &src.inputs {
+            if !src.clocks.contains(&pi) {
+                let name = src.net_name(pi);
+                let n = nl.net(name);
+                cuts.push((name.to_string(), n));
+            }
+        }
+        for clb in &bs.clbs {
+            let Some(&ci) = loc2c.get(&(clb.loc.x, clb.loc.y)) else {
+                return Err(VerifyError::Boundary(format!(
+                    "bitstream configures a CLB at ({}, {}) where no cluster is placed",
+                    clb.loc.x, clb.loc.y
+                )));
+            };
+            let cluster = &c.clusters[ci];
+            for (slot, ble) in clb.bles.iter().enumerate() {
+                if !ble.used {
+                    continue;
+                }
+                let Some(&bid) = cluster.bles.get(slot) else {
+                    return Err(VerifyError::Boundary(format!(
+                        "bitstream configures BLE slot {slot} of cluster {ci}, which is empty"
+                    )));
+                };
+                let out_name = src.net_name(c.bles[bid.0 as usize].output).to_string();
+                let out_net = nl.net(&out_name);
+                let mut ins = Vec::with_capacity(ble.inputs.len());
+                for sel in &ble.inputs {
+                    let n = match sel {
+                        XbarSel::ClusterInput(pin) => {
+                            let key = RrKind::Ipin {
+                                x: clb.loc.x,
+                                y: clb.loc.y,
+                                pin: *pin as u32,
+                            };
+                            match enet_name(key) {
+                                Some(name) => {
+                                    let name = name.to_string();
+                                    nl.net(&name)
+                                }
+                                None => zero,
+                            }
+                        }
+                        XbarSel::Feedback(b) => match cluster.bles.get(*b as usize) {
+                            Some(&fb) => {
+                                let name = src.net_name(c.bles[fb.0 as usize].output).to_string();
+                                nl.net(&name)
+                            }
+                            None => {
+                                return Err(VerifyError::Boundary(format!(
+                                    "BLE feedback {b} in cluster {ci} selects an empty slot"
+                                )))
+                            }
+                        },
+                        XbarSel::Unused => zero,
+                    };
+                    ins.push(n);
+                }
+                let k = ble.inputs.len() as u8;
+                let lut_kind = CellKind::Lut {
+                    k,
+                    truth: ble.truth,
+                };
+                let tag = format!("{}_{}_{slot}", clb.loc.x, clb.loc.y);
+                if ble.registered {
+                    let d = nl.net(&format!("$verify$d${tag}"));
+                    nl.add_cell(&format!("$lut${tag}"), lut_kind, ins, d);
+                    nl.add_cell(
+                        &format!("$ff${tag}"),
+                        CellKind::Dff {
+                            clock: clk,
+                            init: ble.init,
+                        },
+                        vec![d],
+                        out_net,
+                    );
+                    observables.push((format!("ff:{out_name}"), d));
+                    cuts.push((out_name, out_net));
+                } else {
+                    nl.add_cell(&format!("$lut${tag}"), lut_kind, ins, out_net);
+                }
+            }
+        }
+        for &po in &src.outputs {
+            let po_name = src.net_name(po);
+            let io = bs
+                .ios
+                .iter()
+                .find(|io| io.mode == IoMode::Output && io.net == po_name)
+                .ok_or_else(|| {
+                    VerifyError::Boundary(format!("no output pad carries '{po_name}'"))
+                })?;
+            let key = RrKind::Ipin {
+                x: io.loc.x,
+                y: io.loc.y,
+                pin: io.sub,
+            };
+            let n = match enet_name(key) {
+                Some(name) => {
+                    let name = name.to_string();
+                    nl.net(&name)
+                }
+                None => zero,
+            };
+            observables.push((format!("po:{po_name}"), n));
+        }
+        Self::assemble("bitstream", nl, cuts, observables)
+    }
+
+    /// Evaluate all 64 lanes at once. `cut_words` is aligned with
+    /// [`cuts`](Self::cuts); the result is aligned with
+    /// [`observables`](Self::observables).
+    pub fn eval64(&self, cut_words: &[u64]) -> Vec<u64> {
+        debug_assert_eq!(cut_words.len(), self.cuts.len());
+        let mut values = vec![0u64; self.netlist.nets.len()];
+        for ((_, net), &w) in self.cuts.iter().zip(cut_words) {
+            values[net.index()] = w;
+        }
+        for &cid in &self.order {
+            let cell = &self.netlist.cells[cid.index()];
+            values[cell.output.index()] = eval_cell64(&cell.kind, &cell.inputs, &values);
+        }
+        self.observables
+            .iter()
+            .map(|(_, n)| values[n.index()])
+            .collect()
+    }
+
+    /// Replay one concrete cut assignment through the scalar reference
+    /// evaluator ([`fpga_netlist::sim::eval_cell`]) — the independent
+    /// semantics the 64-wide engine is checked against. Returns the
+    /// observable values, aligned with [`observables`](Self::observables).
+    pub fn replay(&self, assignment: &[(String, bool)]) -> Result<Vec<(String, bool)>> {
+        let mut values = vec![false; self.netlist.nets.len()];
+        for (name, v) in assignment {
+            let net = self
+                .cuts
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, id)| *id)
+                .ok_or_else(|| {
+                    VerifyError::View(format!(
+                        "replay assignment names unknown cut point '{name}'"
+                    ))
+                })?;
+            values[net.index()] = *v;
+        }
+        for &cid in &self.order {
+            let cell = &self.netlist.cells[cid.index()];
+            values[cell.output.index()] = eval_cell(&cell.kind, &cell.inputs, &values);
+        }
+        Ok(self
+            .observables
+            .iter()
+            .map(|(name, n)| (name.clone(), values[n.index()]))
+            .collect())
+    }
+
+    /// Structural hash of every observable cone, aligned with
+    /// [`observables`](Self::observables). Cut leaves hash by *name*, so
+    /// isomorphic cones hash equal across views regardless of net
+    /// numbering; hash-equal cone pairs are deduplicated without
+    /// simulation.
+    pub fn cone_hashes(&self) -> Vec<u64> {
+        let mut memo: Vec<u64> = vec![fnv64(b"undriven"); self.netlist.nets.len()];
+        for (name, net) in &self.cuts {
+            memo[net.index()] = fnv64(format!("cut:{name}").as_bytes());
+        }
+        for &cid in &self.order {
+            let cell = &self.netlist.cells[cid.index()];
+            let mut h = kind_hash(&cell.kind);
+            for &i in &cell.inputs {
+                h = mix(h, memo[i.index()]);
+            }
+            memo[cell.output.index()] = h;
+        }
+        self.observables
+            .iter()
+            .map(|(_, n)| memo[n.index()])
+            .collect()
+    }
+}
+
+/// Copy the clustering's cells into a fresh netlist, optionally rewiring
+/// each cluster's external inputs to what routing delivered.
+fn rebuild(
+    c: &Clustering,
+    stage: &'static str,
+    delivered: Option<&HashMap<(usize, usize), NetId>>,
+    po_nets: Option<&HashMap<NetId, NetId>>,
+) -> Result<CombView> {
+    let src = &c.netlist;
+    let mut nl = Netlist::new(&src.name);
+    for net in &src.nets {
+        nl.net(&net.name);
+    }
+    nl.inputs = src.inputs.clone();
+    nl.outputs = src.outputs.clone();
+    nl.clocks = src.clocks.clone();
+
+    for (ci, cluster) in c.clusters.iter().enumerate() {
+        // What each external input net resolves to inside this cluster:
+        // itself, unless a routed view says otherwise.
+        let mut subst: HashMap<NetId, NetId> = HashMap::new();
+        if let Some(delivered) = delivered {
+            for (i, &expected) in cluster.inputs.iter().enumerate() {
+                let actual = delivered.get(&(ci, i)).copied().ok_or_else(|| {
+                    VerifyError::Boundary(format!(
+                        "net '{}' expected at cluster {ci} input {i} was never routed",
+                        src.net_name(expected)
+                    ))
+                })?;
+                if actual != expected {
+                    subst.insert(expected, actual);
+                }
+            }
+        }
+        let remap = |nets: &[NetId]| -> Vec<NetId> {
+            nets.iter()
+                .map(|n| subst.get(n).copied().unwrap_or(*n))
+                .collect()
+        };
+        for &bid in &cluster.bles {
+            let ble = &c.bles[bid.0 as usize];
+            if ble.lut.is_none() && ble.ff.is_none() {
+                return Err(VerifyError::View(format!(
+                    "BLE '{}' carries neither a LUT nor an FF",
+                    ble.name
+                )));
+            }
+            if let Some(l) = ble.lut {
+                let cell = &src.cells[l.index()];
+                nl.add_cell(
+                    &cell.name,
+                    cell.kind.clone(),
+                    remap(&cell.inputs),
+                    cell.output,
+                );
+            }
+            if let Some(f) = ble.ff {
+                let cell = &src.cells[f.index()];
+                nl.add_cell(
+                    &cell.name,
+                    cell.kind.clone(),
+                    remap(&cell.inputs),
+                    cell.output,
+                );
+            }
+        }
+    }
+
+    let (cuts, mut observables) = CombView::boundaries(&nl);
+    if let Some(po_nets) = po_nets {
+        for (name, net) in observables.iter_mut() {
+            let Some(po_name) = name.strip_prefix("po:") else {
+                continue;
+            };
+            let po = src.find_net(po_name).ok_or_else(|| {
+                VerifyError::View(format!("primary output '{po_name}' has no net"))
+            })?;
+            *net = po_nets.get(&po).copied().ok_or_else(|| {
+                VerifyError::Boundary(format!(
+                    "primary output '{po_name}' was never routed to its pad"
+                ))
+            })?;
+        }
+    }
+    CombView::assemble(stage, nl, cuts, observables)
+}
+
+/// Placement sanity: every cluster and IO block bound to a site, no two
+/// blocks sharing one.
+fn check_placement(c: &Clustering, p: &Placement) -> Result<()> {
+    let nl = &c.netlist;
+    for ci in 0..c.clusters.len() {
+        if !p
+            .slots
+            .contains_key(&BlockRef::Cluster(ClusterId(ci as u32)))
+        {
+            return Err(VerifyError::Boundary(format!("cluster {ci} is unplaced")));
+        }
+    }
+    for &pi in &nl.inputs {
+        if !nl.clocks.contains(&pi) && !p.slots.contains_key(&BlockRef::InputPad(pi)) {
+            return Err(VerifyError::Boundary(format!(
+                "input '{}' has no pad",
+                nl.net_name(pi)
+            )));
+        }
+    }
+    for &po in &nl.outputs {
+        if !p.slots.contains_key(&BlockRef::OutputPad(po)) {
+            return Err(VerifyError::Boundary(format!(
+                "output '{}' has no pad",
+                nl.net_name(po)
+            )));
+        }
+    }
+    let mut sites: Vec<(u32, u32, u32)> = p
+        .slots
+        .values()
+        .map(|s| (s.loc.x, s.loc.y, s.sub))
+        .collect();
+    sites.sort_unstable();
+    for pair in sites.windows(2) {
+        if pair[0] == pair[1] {
+            return Err(VerifyError::Boundary(format!(
+                "two blocks placed at ({}, {}) sub {}",
+                pair[0].0, pair[0].1, pair[0].2
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// 64-lane mirror of [`fpga_netlist::sim::eval_cell`]: bit `b` of every
+/// word is an independent evaluation under input vector `b`.
+/// Remove cells whose output feeds nothing and is not a primary output,
+/// to a fixpoint — the same iteration the synthesis sweep runs, so a
+/// pre-sweep netlist and its swept image present identical boundaries.
+fn prune_dead(nl: &mut Netlist) {
+    loop {
+        let sinks = nl.sinks();
+        let keep: Vec<bool> = nl
+            .cells
+            .iter()
+            .map(|c| !sinks[c.output.index()].is_empty() || nl.outputs.contains(&c.output))
+            .collect();
+        if keep.iter().all(|&k| k) {
+            return;
+        }
+        let mut idx = 0;
+        nl.cells.retain(|_| {
+            let k = keep[idx];
+            idx += 1;
+            k
+        });
+    }
+}
+
+pub fn eval_cell64(kind: &CellKind, inputs: &[NetId], values: &[u64]) -> u64 {
+    let v = |i: usize| values[inputs[i].index()];
+    match kind {
+        CellKind::Const0 => 0,
+        CellKind::Const1 => !0,
+        CellKind::Buf => v(0),
+        CellKind::Not => !v(0),
+        CellKind::And => inputs.iter().fold(!0u64, |acc, &n| acc & values[n.index()]),
+        CellKind::Or => inputs.iter().fold(0u64, |acc, &n| acc | values[n.index()]),
+        CellKind::Nand => !inputs.iter().fold(!0u64, |acc, &n| acc & values[n.index()]),
+        CellKind::Nor => !inputs.iter().fold(0u64, |acc, &n| acc | values[n.index()]),
+        CellKind::Xor => inputs.iter().fold(0u64, |acc, &n| acc ^ values[n.index()]),
+        CellKind::Xnor => !inputs.iter().fold(0u64, |acc, &n| acc ^ values[n.index()]),
+        CellKind::Mux2 => {
+            let s = v(0);
+            (s & v(2)) | (!s & v(1))
+        }
+        CellKind::Lut { truth, .. } => {
+            // Lane-parallel truth-table lookup: OR over set minterms of
+            // the AND of matching literals. At most 2^6 minterms.
+            let mut out = 0u64;
+            for m in 0..(1u64 << inputs.len()) {
+                if truth >> m & 1 == 0 {
+                    continue;
+                }
+                let mut lanes = !0u64;
+                for (i, &n) in inputs.iter().enumerate() {
+                    let val = values[n.index()];
+                    lanes &= if m >> i & 1 == 1 { val } else { !val };
+                }
+                out |= lanes;
+            }
+            out
+        }
+        CellKind::Sop(cover) => {
+            // Cube-wise: AND of cared literals, OR over cubes — linear in
+            // the cover, no minterm enumeration.
+            let mut out = 0u64;
+            for cube in &cover.cubes {
+                let mut lanes = !0u64;
+                for (i, &n) in inputs.iter().enumerate() {
+                    if cube.care >> i & 1 == 0 {
+                        continue;
+                    }
+                    let val = values[n.index()];
+                    lanes &= if cube.value >> i & 1 == 1 { val } else { !val };
+                }
+                out |= lanes;
+            }
+            out
+        }
+        CellKind::Dff { .. } => unreachable!("FFs are cut, never combinationally evaluated"),
+    }
+}
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn mix(h: u64, x: u64) -> u64 {
+    (h ^ x.wrapping_mul(0x9E3779B97F4A7C15))
+        .rotate_left(23)
+        .wrapping_mul(0x100000001b3)
+}
+
+fn kind_hash(kind: &CellKind) -> u64 {
+    match kind {
+        CellKind::Const0 => fnv64(b"const0"),
+        CellKind::Const1 => fnv64(b"const1"),
+        CellKind::Buf => fnv64(b"buf"),
+        CellKind::Not => fnv64(b"not"),
+        CellKind::And => fnv64(b"and"),
+        CellKind::Or => fnv64(b"or"),
+        CellKind::Nand => fnv64(b"nand"),
+        CellKind::Nor => fnv64(b"nor"),
+        CellKind::Xor => fnv64(b"xor"),
+        CellKind::Xnor => fnv64(b"xnor"),
+        CellKind::Mux2 => fnv64(b"mux2"),
+        CellKind::Lut { k, truth } => mix(mix(fnv64(b"lut"), *k as u64), *truth),
+        CellKind::Sop(cover) => {
+            let mut h = mix(fnv64(b"sop"), cover.n_inputs as u64);
+            for cube in &cover.cubes {
+                h = mix(mix(h, cube.care), cube.value);
+            }
+            h
+        }
+        CellKind::Dff { .. } => fnv64(b"dff"),
+    }
+}

@@ -24,6 +24,29 @@ if [ -n "$UNWRAPS" ]; then
     exit 1
 fi
 
+echo "==> source lint: no HashMap/HashSet in canonical-bytes / cache-key code"
+# The canonical encoders (stage-artifact codecs, canonical netlist text)
+# and the cache-key/digest plumbing must be iteration-order
+# deterministic: one HashMap iteration in a to_bytes path forks every
+# downstream cache key. Justified non-iterated uses live in
+# scripts/canon-allowlist.txt, same format as the unwrap allowlist.
+HASHED=$(
+    for f in crates/netlist/src/codec.rs crates/netlist/src/canonical.rs \
+             crates/pack/src/codec.rs crates/place/src/codec.rs \
+             crates/route/src/codec.rs crates/flow/src/cache.rs \
+             crates/flow/src/hash.rs crates/flow/src/artifact.rs \
+             crates/flow/src/store.rs; do
+        awk -v file="$f" '/#\[cfg\(test\)\]/{exit}
+            /HashMap|HashSet/ && !/^[ \t]*\/\//{ sub(/^[ \t]+/, ""); print file": "$0 }' "$f"
+    done | grep -vFf scripts/canon-allowlist.txt || true
+)
+if [ -n "$HASHED" ]; then
+    echo "FAIL: HashMap/HashSet in canonical-bytes / cache-key code:" >&2
+    echo "$HASHED" >&2
+    echo "(use a BTreeMap/sorted Vec, or justify and add to scripts/canon-allowlist.txt)" >&2
+    exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
@@ -50,6 +73,9 @@ sh scripts/metrics.sh
 
 echo "==> scripts/lint.sh (design-rule gate over examples/, seeded fault)"
 sh scripts/lint.sh
+
+echo "==> scripts/equiv.sh (cross-stage equivalence gate, seeded LUT corruption)"
+sh scripts/equiv.sh
 
 echo "==> scripts/bench.sh (QoR + speed gate: smoke tier vs BENCH_baseline.json)"
 sh scripts/bench.sh

@@ -1,0 +1,125 @@
+#!/usr/bin/env sh
+# Cross-stage equivalence gate: every example design and every
+# smoke-tier bench circuit must prove equivalent at every flow point,
+# and a seeded mid-flow corruption must be caught with a replayable
+# counterexample.
+#
+#   1. offline: `fpga-lint --verify` over every design in examples/ —
+#      each must check clean through the bitstream point;
+#   2. falsifiability: `equiv-fault` flips one seeded LUT truth-table
+#      bit after mapping, and the gate must report EQ001-deny with a
+#      counterexample that reproduces through the reference simulator
+#      (a clean control run must report nothing);
+#   3. bench: the whole smoke tier runs under `--verify deny` — any
+#      non-equivalent stage artifact fails the suite;
+#   4. wire: against a live flowd, `flowc verify` checks an example
+#      end-to-end (the `verify` verb and its `verify_report` event) and
+#      `flowc compile --verify deny` must still compile the clean
+#      examples, with `flowd_verify_rule_hits_total` visible in the
+#      metrics exposition.
+#
+# Any `flowc: warning: unknown event` line fails the run, same promise
+# as scripts/lint.sh.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+PORT=$((19400 + $$ % 1000))
+ADDR="127.0.0.1:$PORT"
+WORK="${TMPDIR:-/tmp}/ifdf-equiv-$$"
+DAEMON_PID=""
+
+cleanup() {
+    [ -n "$DAEMON_PID" ] && kill -9 "$DAEMON_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+mkdir -p "$WORK"
+
+echo "==> building flowd + flowc + fpga-lint + equiv-fault + qor_bench"
+cargo build -q -p fpga-server -p fpga-flow -p fpga-bench --bins
+FLOWD=target/debug/flowd
+FLOWC=target/debug/flowc
+LINT=target/debug/fpga-lint
+FAULT=target/debug/equiv-fault
+BENCH=target/debug/qor_bench
+
+wait_for() {
+    _tries=150
+    while ! "$@" >/dev/null 2>&1; do
+        _tries=$((_tries - 1))
+        [ "$_tries" -gt 0 ] || { echo "timed out waiting for: $*" >&2; exit 1; }
+        sleep 0.1
+    done
+}
+
+echo "==> leg 1: offline fpga-lint --verify over examples/"
+for design in examples/*.vhd examples/*.blif; do
+    [ -e "$design" ] || continue
+    case "$design" in
+        *.blif) set -- --blif ;;
+        *) set -- ;;
+    esac
+    if ! "$LINT" "$@" --verify --quiet "$design" 2> "$WORK/offline.log"; then
+        echo "FAIL: equivalence check rejected $design" >&2
+        cat "$WORK/offline.log" >&2
+        exit 1
+    fi
+    grep -q "checked through 'bitstream'" "$WORK/offline.log" \
+        || { echo "FAIL: $design was not verified through the whole flow" >&2; cat "$WORK/offline.log" >&2; exit 1; }
+done
+
+echo "==> leg 2: seeded LUT corruption is caught as EQ001 with a replayable counterexample"
+for seed in 1 7 42; do
+    "$FAULT" --seed "$seed" > "$WORK/fault.log" 2>&1 \
+        || { echo "FAIL: seeded fault (seed $seed) escaped the gate" >&2; cat "$WORK/fault.log" >&2; exit 1; }
+    grep -q 'EQ001' "$WORK/fault.log" \
+        || { echo "FAIL: catch was not attributed to EQ001" >&2; cat "$WORK/fault.log" >&2; exit 1; }
+    grep -q 'counterexample replayed' "$WORK/fault.log" \
+        || { echo "FAIL: counterexample was not replayed" >&2; cat "$WORK/fault.log" >&2; exit 1; }
+    "$FAULT" --seed "$seed" --clean > "$WORK/clean.log" 2>&1 \
+        || { echo "FAIL: clean control run (seed $seed) reported findings" >&2; cat "$WORK/clean.log" >&2; exit 1; }
+done
+
+echo "==> leg 3: smoke-tier bench suite passes --verify deny"
+"$BENCH" --tier smoke --verify deny --out "$WORK/BENCH_verify.json" 2> "$WORK/bench.log" \
+    || { echo "FAIL: a smoke-tier circuit failed equivalence under deny" >&2; cat "$WORK/bench.log" >&2; exit 1; }
+grep -q '"verify": "deny"' "$WORK/BENCH_verify.json" \
+    || { echo "FAIL: bench report did not record the verify mode" >&2; exit 1; }
+grep -q '"verify_ms"' "$WORK/BENCH_verify.json" \
+    || { echo "FAIL: bench report has no verify wall-clock column" >&2; exit 1; }
+
+echo "==> leg 4: verify verb + compile --verify deny against a live flowd"
+"$FLOWD" --tcp "$ADDR" --workers 1 2> "$WORK/flowd.log" &
+DAEMON_PID=$!
+wait_for "$FLOWC" --tcp "$ADDR" ping
+if ! "$FLOWC" --tcp "$ADDR" verify --quiet examples/counter.vhd 2> "$WORK/wire.log"; then
+    echo "FAIL: flowc verify rejected examples/counter.vhd" >&2
+    cat "$WORK/wire.log" >&2
+    exit 1
+fi
+grep -q "verified through 'bitstream'" "$WORK/wire.log" \
+    || { echo "FAIL: counter was not verified through the whole flow over the wire" >&2; cat "$WORK/wire.log" >&2; exit 1; }
+for design in examples/*.vhd examples/*.blif; do
+    [ -e "$design" ] || continue
+    "$FLOWC" --tcp "$ADDR" compile --verify deny "$design" -o /dev/null \
+        2> "$WORK/compile.log" \
+        || { echo "FAIL: compile --verify deny rejected $design" >&2; cat "$WORK/compile.log" >&2; exit 1; }
+done
+"$FLOWC" --tcp "$ADDR" metrics --text > "$WORK/metrics.log" 2>&1 \
+    || { echo "FAIL: metrics verb broke" >&2; cat "$WORK/metrics.log" >&2; exit 1; }
+grep -q 'flowd_verify_rule_hits_total' "$WORK/metrics.log" \
+    || { echo "FAIL: no flowd_verify_* metrics in the exposition" >&2; exit 1; }
+
+"$FLOWC" --tcp "$ADDR" shutdown
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=""
+
+if grep -q 'warning: unknown event' "$WORK"/*.log; then
+    echo "FAIL: flowc warned about unknown events" >&2
+    grep 'warning: unknown event' "$WORK"/*.log >&2
+    exit 1
+fi
+
+echo "Equivalence gate passed."

@@ -28,4 +28,5 @@ pub use fpga_route as route;
 pub use fpga_server as server;
 pub use fpga_spice as spice;
 pub use fpga_synth as synth;
+pub use fpga_verify as verify;
 pub use fpga_vhdl as vhdl;
